@@ -1,0 +1,39 @@
+//! Per-figure verdict benchmarks: the cost of one herd-style check for
+//! each canonical pattern of the paper (Figs 6–20), on the witness
+//! executions. This is the "herd processes all 8117 tests in 321 s"
+//! granularity of Tab IX, per pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herd_core::arch::Power;
+use herd_core::event::Fence;
+use herd_core::fixtures::{self, Device};
+use herd_core::model::check;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lwf = Device::Fence(Fence::Lwsync);
+    let ff = Device::Fence(Fence::Sync);
+    let witnesses = vec![
+        ("fig6_coRR", fixtures::co_rr()),
+        ("fig7_lb+addrs", fixtures::lb(Device::Addr, Device::Addr)),
+        ("fig8_mp+lwsync+addr", fixtures::mp(lwf, Device::Addr)),
+        ("fig11_wrc+lwsync+addr", fixtures::wrc(lwf, Device::Addr)),
+        ("fig12_isa2+lwsync+addrs", fixtures::isa2(lwf, Device::Addr, Device::Addr)),
+        ("fig13_2+2w+lwsyncs", fixtures::two_plus_two_w(lwf, lwf)),
+        ("fig14_sb+syncs", fixtures::sb(ff, ff)),
+        ("fig15_rwc+syncs", fixtures::rwc(ff, ff)),
+        ("fig16_r+lwsync+sync", fixtures::r(lwf, ff)),
+        ("fig16_s+lwsync+addr", fixtures::s(lwf, Device::Addr)),
+        ("fig19_w+rwc+eieio", fixtures::w_rwc(Device::Fence(Fence::Eieio), Device::Addr, ff)),
+        ("fig20_iriw+syncs", fixtures::iriw(ff, ff)),
+    ];
+    let power = Power::new();
+    let mut g = c.benchmark_group("figures");
+    for (name, x) in &witnesses {
+        g.bench_function(*name, |b| b.iter(|| black_box(check(&power, black_box(x)))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Tabs XII/XIII/XIV: mole over the real-world kernels (PostgreSQL, RCU,
+//! Apache) and the distribution scan of Sec 9.2. Pattern histograms are
+//! printed once; the bench measures analysis cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herd_mole::{analyze, corpus, scan_distribution, MoleOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let opts = MoleOptions::default();
+
+    for p in corpus::all() {
+        let a = analyze(&p, &opts);
+        println!(
+            "{}: {} cycles, patterns {:?}",
+            p.name,
+            a.cycles.len(),
+            a.pattern_histogram()
+        );
+    }
+
+    let mut g = c.benchmark_group("tab13_14_mole");
+    g.sample_size(10);
+    for p in corpus::all() {
+        g.bench_function(format!("analyze_{}", p.name), |b| {
+            b.iter(|| black_box(analyze(&p, &opts)))
+        });
+    }
+    g.bench_function("scan_50_packages", |b| {
+        b.iter(|| black_box(scan_distribution(50, 2014, &opts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

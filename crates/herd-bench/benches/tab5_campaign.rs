@@ -1,0 +1,49 @@
+//! Tabs V/VI/VIII: the hardware-testing campaigns on the simulated
+//! machines — invalid/unseen classification against reference models,
+//! anomaly counts and violated-axiom classification. The bench measures
+//! campaign throughput; the table content itself is printed once at
+//! startup (see also `examples/hardware_campaign.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herd_bench::{arm_tests, power_tests};
+use herd_core::arch::{Arm, ArmVariant, Power};
+use herd_hw::{arm_machines, campaign, power_machines};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    const RUNS: u64 = 10_000_000_000;
+    let ptests = power_tests();
+    let atests = arm_tests();
+
+    // Print the Tab V rows once, so bench logs double as the table.
+    for m in power_machines() {
+        let s = campaign(&m, &ptests, &Power::new(), RUNS, 42).expect("campaign");
+        println!("{}", s.table_row());
+    }
+    for m in arm_machines() {
+        let s = campaign(&m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42)
+            .expect("campaign");
+        println!("{}   classes {:?}", s.table_row(), s.classification);
+    }
+
+    let mut g = c.benchmark_group("tab5_campaign");
+    g.sample_size(10);
+    g.bench_function("power7_full_campaign", |b| {
+        let m = &power_machines()[1];
+        b.iter(|| black_box(campaign(m, &ptests, &Power::new(), RUNS, 42).expect("campaign")))
+    });
+    g.bench_function("tegra3_full_campaign", |b| {
+        let machines = arm_machines();
+        let m = machines.iter().find(|m| m.name == "Tegra3").expect("machine");
+        b.iter(|| {
+            black_box(
+                campaign(m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42)
+                    .expect("campaign"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Tab IX: simulation cost per modelling style, on the same candidates.
+//!
+//! The paper: operational (ppcmem) ≫ multi-event axiomatic ≫ single-event
+//! axiomatic (herd), with multi-event ~9x slower than single-event and the
+//! operational style orders of magnitude slower still.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use herd_bench::{enumerate_all, power_tests};
+use herd_core::arch::Power;
+use herd_core::model::check;
+use herd_machine::{check_multi, Machine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cands = enumerate_all(&power_tests());
+    let power = Power::new();
+    let mut g = c.benchmark_group("tab9_simulation");
+    g.sample_size(10);
+
+    g.bench_function("single_event_axiomatic", |b| {
+        b.iter(|| {
+            let allowed: usize = cands
+                .iter()
+                .filter(|cand| check(&power, black_box(&cand.exec)).allowed())
+                .count();
+            black_box(allowed)
+        })
+    });
+
+    g.bench_function("multi_event_axiomatic", |b| {
+        b.iter(|| {
+            let allowed: usize = cands
+                .iter()
+                .filter(|cand| check_multi(black_box(&cand.exec), &power).allowed())
+                .count();
+            black_box(allowed)
+        })
+    });
+
+    g.bench_function("operational_machine", |b| {
+        b.iter(|| {
+            let allowed: usize = cands
+                .iter()
+                .filter(|cand| Machine::new(black_box(&cand.exec), &power).accepts())
+                .count();
+            black_box(allowed)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! # herd-bench — benchmark harness shared helpers
+//!
+//! Criterion benches live in `benches/`; this library hosts the helpers
+//! they share. Each bench target regenerates one table or figure of the
+//! paper — see `DESIGN.md` for the index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured outcomes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use herd_litmus::candidates::{enumerate, Candidate, EnumOptions};
+use herd_litmus::corpus::{self, CorpusEntry};
+use herd_litmus::program::LitmusTest;
+
+/// The Power corpus tests (without verdicts).
+pub fn power_tests() -> Vec<LitmusTest> {
+    corpus::power_corpus().into_iter().map(|e| e.test).collect()
+}
+
+/// The ARM corpus tests.
+pub fn arm_tests() -> Vec<LitmusTest> {
+    corpus::arm_corpus().into_iter().map(|e| e.test).collect()
+}
+
+/// The annotated Power corpus.
+pub fn power_corpus() -> Vec<CorpusEntry> {
+    corpus::power_corpus()
+}
+
+/// Pre-enumerated candidates for a set of tests (so benches measure model
+/// checking, not enumeration).
+pub fn enumerate_all(tests: &[LitmusTest]) -> Vec<Candidate> {
+    let opts = EnumOptions::default();
+    tests
+        .iter()
+        .flat_map(|t| enumerate(t, &opts).expect("corpus tests enumerate"))
+        .collect()
+}
+
+/// A larger generated corpus (diy cycles of length ≤ 5).
+pub fn diy_corpus(cap: usize) -> Vec<LitmusTest> {
+    herd_diy::generate_tests(&herd_diy::power_pool(), 5, herd_litmus::isa::Isa::Power, cap)
+}

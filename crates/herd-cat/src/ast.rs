@@ -1,0 +1,131 @@
+//! Abstract syntax of the cat model-definition language (Fig 38).
+
+use std::fmt;
+
+/// A relational expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// The empty relation (`0`).
+    Empty,
+    /// A name: a builtin relation or a `let`-bound one.
+    Name(String),
+    /// Union `a | b`.
+    Union(Box<Expr>, Box<Expr>),
+    /// Intersection `a & b`.
+    Inter(Box<Expr>, Box<Expr>),
+    /// Difference `a \ b`.
+    Diff(Box<Expr>, Box<Expr>),
+    /// Sequence (composition) `a; b`.
+    Seq(Box<Expr>, Box<Expr>),
+    /// Transitive closure `a+`.
+    TClosure(Box<Expr>),
+    /// Reflexive-transitive closure `a*`.
+    RtClosure(Box<Expr>),
+    /// Reflexive closure `a?` (i.e. `a ∪ id`).
+    Opt(Box<Expr>),
+    /// Converse `a^-1`.
+    Inverse(Box<Expr>),
+    /// Direction filter application, e.g. `WW(e)`, `RM(e)` — restricts the
+    /// sources/targets of `e` by direction (`R`, `W`, or `M` for either).
+    App(String, Box<Expr>),
+    /// Partial identity over a direction set: `[W]`, `[R]`, `[M]` — the
+    /// modern cat idiom, so `[W];po;[R]` is the write-read part of `po`.
+    IdSet(String),
+}
+
+impl Expr {
+    /// `a | b`.
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// `a; b`.
+    pub fn seq(a: Expr, b: Expr) -> Expr {
+        Expr::Seq(Box::new(a), Box::new(b))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Empty => write!(f, "0"),
+            Expr::Name(n) => write!(f, "{n}"),
+            Expr::Union(a, b) => write!(f, "({a} | {b})"),
+            Expr::Inter(a, b) => write!(f, "({a} & {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} \\ {b})"),
+            Expr::Seq(a, b) => write!(f, "({a}; {b})"),
+            Expr::TClosure(a) => write!(f, "{a}+"),
+            Expr::RtClosure(a) => write!(f, "{a}*"),
+            Expr::Opt(a) => write!(f, "{a}?"),
+            Expr::Inverse(a) => write!(f, "{a}^-1"),
+            Expr::App(n, a) => write!(f, "{n}({a})"),
+            Expr::IdSet(s) => write!(f, "[{s}]"),
+        }
+    }
+}
+
+/// The kind of a constraint statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// `acyclic e`.
+    Acyclic,
+    /// `irreflexive e`.
+    Irreflexive,
+    /// `empty e`.
+    Empty,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CheckKind::Acyclic => "acyclic",
+            CheckKind::Irreflexive => "irreflexive",
+            CheckKind::Empty => "empty",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One top-level statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let x = e` or `let rec x = e and y = e ...`.
+    Let {
+        /// The bindings of the group.
+        bindings: Vec<(String, Expr)>,
+        /// Whether the group is recursive (fixpoint semantics).
+        recursive: bool,
+    },
+    /// `acyclic e [as name]` and friends.
+    Check {
+        /// The constraint kind.
+        kind: CheckKind,
+        /// The constrained expression.
+        expr: Expr,
+        /// Optional `as` name for reporting.
+        name: Option<String>,
+    },
+}
+
+/// A parsed cat model: an optional header name plus statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    /// The model's name (first bare line of the file, if any).
+    pub name: Option<String>,
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let e = Expr::union(
+            Expr::seq(Expr::Name("rfe".into()), Expr::Name("fence".into())),
+            Expr::TClosure(Box::new(Expr::Name("hb".into()))),
+        );
+        assert_eq!(e.to_string(), "((rfe; fence) | hb+)");
+    }
+}

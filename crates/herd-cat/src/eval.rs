@@ -1,0 +1,256 @@
+//! Evaluation of cat models over candidate executions.
+//!
+//! Names resolve first in the `let` environment, then among the builtin
+//! relations of the execution ([`herd_core::exec::Execution::builtin`]).
+//! `let rec` groups are evaluated as least fixpoints, mirroring the
+//! `ii/ic/ci/cc` equations of Fig 25. Each constraint statement yields one
+//! named check; a candidate is allowed when all checks pass.
+
+use crate::ast::{CheckKind, Expr, Model, Stmt};
+use herd_core::event::Dir;
+use herd_core::exec::Execution;
+use herd_core::relation::Relation;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An evaluation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A name is neither bound nor builtin.
+    UnknownName(String),
+    /// A function application with an unknown combinator.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownName(n) => write!(f, "unknown relation '{n}'"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The outcome of one constraint statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// The check's reporting name (`as` name, or `kind expr` rendering).
+    pub name: String,
+    /// The constraint kind.
+    pub kind: CheckKind,
+    /// Did the candidate satisfy the constraint?
+    pub ok: bool,
+}
+
+/// The verdict of a cat model on one candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatVerdict {
+    /// Per-check outcomes, in statement order.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl CatVerdict {
+    /// Allowed iff every check passed.
+    pub fn allowed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Names of failed checks.
+    pub fn failed(&self) -> Vec<&str> {
+        self.checks.iter().filter(|c| !c.ok).map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// Evaluates `model` on `exec`.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] if a name or combinator cannot be resolved.
+pub fn eval(model: &Model, exec: &Execution) -> Result<CatVerdict, EvalError> {
+    let mut env: BTreeMap<String, Relation> = BTreeMap::new();
+    let mut checks = Vec::new();
+    for stmt in &model.stmts {
+        match stmt {
+            Stmt::Let { bindings, recursive: false } => {
+                for (name, e) in bindings {
+                    let r = eval_expr(e, &env, exec)?;
+                    env.insert(name.clone(), r);
+                }
+            }
+            Stmt::Let { bindings, recursive: true } => {
+                // Least fixpoint: start all bindings at empty, iterate the
+                // equations until stable. Monotonicity of the operators
+                // (no complement in the language) guarantees convergence.
+                let n = exec.len();
+                for (name, _) in bindings {
+                    env.insert(name.clone(), Relation::empty(n));
+                }
+                loop {
+                    let mut stable = true;
+                    let mut next = Vec::with_capacity(bindings.len());
+                    for (name, e) in bindings {
+                        let r = eval_expr(e, &env, exec)?;
+                        if env.get(name) != Some(&r) {
+                            stable = false;
+                        }
+                        next.push((name.clone(), r));
+                    }
+                    for (name, r) in next {
+                        env.insert(name, r);
+                    }
+                    if stable {
+                        break;
+                    }
+                }
+            }
+            Stmt::Check { kind, expr, name } => {
+                let r = eval_expr(expr, &env, exec)?;
+                let ok = match kind {
+                    CheckKind::Acyclic => r.is_acyclic(),
+                    CheckKind::Irreflexive => r.is_irreflexive(),
+                    CheckKind::Empty => r.is_empty(),
+                };
+                let name = name.clone().unwrap_or_else(|| format!("{kind} {expr}"));
+                checks.push(CheckOutcome { name, kind: *kind, ok });
+            }
+        }
+    }
+    Ok(CatVerdict { checks })
+}
+
+fn eval_expr(
+    e: &Expr,
+    env: &BTreeMap<String, Relation>,
+    exec: &Execution,
+) -> Result<Relation, EvalError> {
+    Ok(match e {
+        Expr::Empty => Relation::empty(exec.len()),
+        Expr::Name(n) => match env.get(n) {
+            Some(r) => r.clone(),
+            None => exec
+                .builtin(n)
+                .ok_or_else(|| EvalError::UnknownName(n.clone()))?,
+        },
+        Expr::Union(a, b) => eval_expr(a, env, exec)?.union(&eval_expr(b, env, exec)?),
+        Expr::Inter(a, b) => eval_expr(a, env, exec)?.intersect(&eval_expr(b, env, exec)?),
+        Expr::Diff(a, b) => eval_expr(a, env, exec)?.minus(&eval_expr(b, env, exec)?),
+        Expr::Seq(a, b) => eval_expr(a, env, exec)?.seq(&eval_expr(b, env, exec)?),
+        Expr::TClosure(a) => eval_expr(a, env, exec)?.tclosure(),
+        Expr::RtClosure(a) => eval_expr(a, env, exec)?.rtclosure(),
+        Expr::Opt(a) => eval_expr(a, env, exec)?.union(&Relation::id(exec.len())),
+        Expr::Inverse(a) => eval_expr(a, env, exec)?.transpose(),
+        Expr::App(f, a) => {
+            let r = eval_expr(a, env, exec)?;
+            let (src, dst) = dir_filter(f).ok_or_else(|| EvalError::UnknownFunction(f.clone()))?;
+            exec.dir_restrict(&r, src, dst)
+        }
+        Expr::IdSet(s) => {
+            let id = Relation::id(exec.len());
+            let dir = match s.as_str() {
+                "W" => Some(Dir::W),
+                "R" => Some(Dir::R),
+                "M" | "_" => None,
+                other => return Err(EvalError::UnknownName(format!("[{other}]"))),
+            };
+            exec.dir_restrict(&id, dir, dir)
+        }
+    })
+}
+
+fn dir_filter(name: &str) -> Option<(Option<Dir>, Option<Dir>)> {
+    let part = |c: u8| match c {
+        b'R' => Some(Some(Dir::R)),
+        b'W' => Some(Some(Dir::W)),
+        b'M' => Some(None),
+        _ => None,
+    };
+    let b = name.as_bytes();
+    if b.len() != 2 {
+        return None;
+    }
+    Some((part(b[0])?, part(b[1])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use herd_core::fixtures::{self, Device};
+
+    #[test]
+    fn sc_as_a_cat_file() {
+        let model = parse("acyclic po | rf | fr | co as sc\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        let v = eval(&model, &mp).unwrap();
+        assert!(!v.allowed(), "the mp witness violates SC");
+        assert_eq!(v.failed(), vec!["sc"]);
+    }
+
+    #[test]
+    fn let_bindings_shadow_builtins() {
+        let model = parse("let fr = 0\nempty fr as fr-hidden\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        let v = eval(&model, &mp).unwrap();
+        assert!(v.allowed(), "the let-bound empty fr shadows the builtin");
+    }
+
+    #[test]
+    fn recursive_groups_reach_fixpoints() {
+        // Transitive closure of po by recursion instead of '+'.
+        let model = parse("let rec p = po | (p;p)\nacyclic p\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        let v = eval(&model, &mp).unwrap();
+        assert!(v.allowed());
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let model = parse("acyclic haz\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        assert_eq!(
+            eval(&model, &mp).unwrap_err(),
+            EvalError::UnknownName("haz".into())
+        );
+    }
+
+    #[test]
+    fn direction_filters_restrict() {
+        let model = parse("empty WW(po) as no-write-pairs\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        let v = eval(&model, &mp).unwrap();
+        assert!(!v.allowed(), "mp's writer thread has a WW po pair");
+    }
+
+    #[test]
+    fn inverse_builds_fr_from_scratch() {
+        let model = parse("let myfr = rf^-1;co\nempty myfr \\ fr as same\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        assert!(eval(&model, &mp).unwrap().allowed());
+    }
+
+    #[test]
+    fn bracket_sets_equal_direction_filters() {
+        // [W];po;[R] is exactly WR(po), the modern cat idiom.
+        let model = parse(
+            "let a = [W];po;[R]\nlet b = WR(po)\nempty a \\ b as fwd\nempty b \\ a as bwd\n",
+        )
+        .unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        assert!(eval(&model, &mp).unwrap().allowed());
+        // [M] is the full identity over events.
+        let model = parse("empty [M] \\ id as m-is-id\nempty id \\ [M] as id-is-m\n").unwrap();
+        assert!(eval(&model, &mp).unwrap().allowed());
+    }
+
+    #[test]
+    fn unknown_set_errors() {
+        let model = parse("acyclic [Q];po\n").unwrap();
+        let mp = fixtures::mp(Device::None, Device::None);
+        assert!(matches!(
+            eval(&model, &mp).unwrap_err(),
+            EvalError::UnknownName(n) if n == "[Q]"
+        ));
+    }
+}

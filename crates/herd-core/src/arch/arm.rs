@@ -1,0 +1,223 @@
+//! The ARM models of the paper (Sec 8.1.2, Tab VII).
+//!
+//! Three variants share the Power skeleton:
+//!
+//! - **Power-ARM**: the Power model with ARM fences (`ffence = dmb ∪ dsb`,
+//!   no lightweight fence, `cfence = isb`). Invalidated by ARM hardware on
+//!   the early-commit behaviours (Fig 32/33).
+//! - **Proposed**: `cc0` loses `po-loc`, so same-location accesses may
+//!   commit out of order (early commit), allowing Fig 32/33.
+//! - **Proposed-llh**: additionally drops read-read pairs from the
+//!   SC-PER-LOCATION `po-loc` (load-load hazards, the acknowledged
+//!   Cortex-A9 bug), used to filter hardware logs.
+//!
+//! `.st` fences order write-write pairs only; the paper takes them to be
+//! full fences restricted to `WW` (with the lightweight alternative kept
+//! as an option, Sec 4.7).
+
+use crate::event::{Dir, Fence};
+use crate::exec::Execution;
+use crate::model::Architecture;
+use crate::ppo::{self, PpoConfig};
+use crate::relation::Relation;
+
+use super::power::prop_power_arm;
+
+/// Which ARM model variant (Tab VII).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArmVariant {
+    /// The Power model verbatim with ARM fences.
+    PowerArm,
+    /// The paper's proposed ARM model (early commit allowed).
+    #[default]
+    Proposed,
+    /// Proposed model plus load-load hazards in SC PER LOCATION.
+    ProposedLlh,
+}
+
+/// The ARM architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arm {
+    variant: ArmVariant,
+    /// Treat `dmb.st`/`dsb.st` as *lightweight* WW fences instead of
+    /// WW-restricted full fences (the alternative of Sec 4.7).
+    st_fences_lightweight: bool,
+}
+
+impl Arm {
+    /// Builds the given variant with the paper's default `.st` semantics.
+    pub fn new(variant: ArmVariant) -> Self {
+        Arm { variant, st_fences_lightweight: false }
+    }
+
+    /// Same, but with `.st` fences as lightweight fences (would allow
+    /// `w+rwc+dmb.st+addr+dmb`, Fig 19's ARM analogue).
+    pub fn with_lightweight_st_fences(variant: ArmVariant) -> Self {
+        Arm { variant, st_fences_lightweight: true }
+    }
+
+    /// The variant in force.
+    pub fn variant(&self) -> ArmVariant {
+        self.variant
+    }
+
+    fn st_ww(&self, x: &Execution) -> Relation {
+        let st = x.fence(Fence::DmbSt).union(&x.fence(Fence::DsbSt));
+        x.dir_restrict(&st, Some(Dir::W), Some(Dir::W))
+    }
+
+    /// `ffence = dmb ∪ dsb (∪ .st ∩ WW when .st fences are full)`.
+    pub fn ffence(&self, x: &Execution) -> Relation {
+        let mut ff = x.fence(Fence::Dmb).union(&x.fence(Fence::Dsb));
+        if !self.st_fences_lightweight {
+            ff.union_with(&self.st_ww(x));
+        }
+        ff
+    }
+
+    /// `lwfence = ∅`, or `.st ∩ WW` under the lightweight alternative.
+    pub fn lwfence(&self, x: &Execution) -> Relation {
+        if self.st_fences_lightweight {
+            self.st_ww(x)
+        } else {
+            Relation::empty(x.len())
+        }
+    }
+
+    fn ppo_config(&self) -> PpoConfig {
+        match self.variant {
+            ArmVariant::PowerArm => PpoConfig::power(),
+            ArmVariant::Proposed | ArmVariant::ProposedLlh => PpoConfig::arm(),
+        }
+    }
+}
+
+impl Default for Arm {
+    fn default() -> Self {
+        Arm::new(ArmVariant::default())
+    }
+}
+
+impl Architecture for Arm {
+    fn name(&self) -> &str {
+        match self.variant {
+            ArmVariant::PowerArm => "Power-ARM",
+            ArmVariant::Proposed => "ARM",
+            ArmVariant::ProposedLlh => "ARM-llh",
+        }
+    }
+
+    fn ppo(&self, x: &Execution) -> Relation {
+        ppo::compute(x, &self.ppo_config()).ppo
+    }
+
+    fn fences(&self, x: &Execution) -> Relation {
+        self.lwfence(x).union(&self.ffence(x))
+    }
+
+    fn prop(&self, x: &Execution) -> Relation {
+        prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.ffence(x))
+    }
+
+    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
+        match self.variant {
+            ArmVariant::ProposedLlh => {
+                let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
+                x.po_loc().minus(&rr)
+            }
+            _ => x.po_loc().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, Device, ExecBuilder};
+    use crate::model::check;
+
+    const DMB: Device = Device::Fence(Fence::Dmb);
+
+    #[test]
+    fn arm_forbids_mp_with_dmb_and_dep() {
+        let x = fixtures::mp(DMB, Device::Addr);
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+    }
+
+    #[test]
+    fn arm_has_no_lightweight_fence_so_dmb_does_full_work() {
+        // sb needs full fences; dmb qualifies on ARM.
+        let x = fixtures::sb(DMB, DMB);
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+        // iriw+dmbs is forbidden (Fig 20, ARM documentation).
+        let x = fixtures::iriw(DMB, DMB);
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+    }
+
+    #[test]
+    fn dsb_behaves_as_dmb() {
+        let x = fixtures::sb(Device::Fence(Fence::Dsb), Device::Fence(Fence::Dsb));
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+    }
+
+    #[test]
+    fn st_fences_order_writes_only() {
+        let arm = Arm::new(ArmVariant::Proposed);
+        // 2+2w with dmb.st on both sides: WW pairs, so forbidden.
+        let x = fixtures::two_plus_two_w(Device::Fence(Fence::DmbSt), Device::Fence(Fence::DmbSt));
+        assert!(!check(&arm, &x).allowed());
+        // sb with dmb.st: the fenced pairs are WR, so .st does nothing.
+        let x = fixtures::sb(Device::Fence(Fence::DmbSt), Device::Fence(Fence::DmbSt));
+        assert!(check(&arm, &x).allowed());
+    }
+
+    #[test]
+    fn st_fence_strength_choice_shows_on_w_rwc() {
+        // Fig 19's ARM analogue: w+rwc+dmb.st+addr+dmb. Full-.st forbids,
+        // lightweight-.st allows.
+        let x = fixtures::w_rwc(Device::Fence(Fence::DmbSt), Device::Addr, DMB);
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+        assert!(check(&Arm::with_lightweight_st_fences(ArmVariant::Proposed), &x).allowed());
+    }
+
+    /// The early-commit execution of Fig 32 (mp+dmb+fri-rfi-ctrlisb):
+    /// T0: Wx=1; dmb; Wy=1 — T1: Ry=1; Wy=2; Ry=2; ctrl+isb; Rx=0.
+    fn mp_dmb_fri_rfi_ctrlisb() -> crate::exec::Execution {
+        let mut b = ExecBuilder::new();
+        let a = b.write(0, "x", 1);
+        let w_flag = b.write(0, "y", 1);
+        let c = b.read(1, "y", 1);
+        let d = b.write(1, "y", 2);
+        let e = b.read(1, "y", 2);
+        let f = b.read_init(1, "x");
+        b.rf(w_flag, c)
+            .rf(d, e)
+            .co(w_flag, d)
+            .fence(Fence::Dmb, a, w_flag)
+            .ctrl_cfence(e, f);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig32_separates_power_arm_from_proposed_arm() {
+        let x = mp_dmb_fri_rfi_ctrlisb();
+        assert!(
+            !check(&Arm::new(ArmVariant::PowerArm), &x).allowed(),
+            "Power-ARM wrongly forbids the observed behaviour"
+        );
+        assert!(
+            check(&Arm::new(ArmVariant::Proposed), &x).allowed(),
+            "the proposed ARM model allows early commit"
+        );
+    }
+
+    #[test]
+    fn llh_variant_tolerates_load_load_hazards() {
+        let x = fixtures::co_rr();
+        assert!(!check(&Arm::new(ArmVariant::Proposed), &x).allowed());
+        assert!(check(&Arm::new(ArmVariant::ProposedLlh), &x).allowed());
+        // But coWW stays forbidden even with llh.
+        let x = fixtures::co_ww();
+        assert!(!check(&Arm::new(ArmVariant::ProposedLlh), &x).allowed());
+    }
+}

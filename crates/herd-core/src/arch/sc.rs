@@ -1,0 +1,70 @@
+//! Sequential Consistency as an instance of the framework (Fig 21).
+//!
+//! `ppo = po`, no fences, `prop = ppo ∪ fences ∪ rf ∪ fr`. Lemma 4.1 states
+//! this instance is equivalent to Lamport's SC, i.e. to
+//! `acyclic(po ∪ com)`; `tests/lemma_4_1.rs` checks that equivalence over
+//! the corpus and under proptest.
+
+use crate::exec::Execution;
+use crate::model::Architecture;
+use crate::relation::Relation;
+
+/// Lamport's Sequential Consistency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sc;
+
+impl Architecture for Sc {
+    fn name(&self) -> &str {
+        "SC"
+    }
+
+    fn ppo(&self, x: &Execution) -> Relation {
+        x.po().clone()
+    }
+
+    fn fences(&self, x: &Execution) -> Relation {
+        Relation::empty(x.len())
+    }
+
+    fn prop(&self, x: &Execution) -> Relation {
+        self.ppo(x).union(&self.fences(x)).union(x.rf()).union(x.fr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, Device};
+    use crate::model::check;
+
+    #[test]
+    fn sc_forbids_all_bare_patterns() {
+        for (name, x) in [
+            ("mp", fixtures::mp(Device::None, Device::None)),
+            ("sb", fixtures::sb(Device::None, Device::None)),
+            ("lb", fixtures::lb(Device::None, Device::None)),
+            ("wrc", fixtures::wrc(Device::None, Device::None)),
+            ("2+2w", fixtures::two_plus_two_w(Device::None, Device::None)),
+            ("r", fixtures::r(Device::None, Device::None)),
+            ("s", fixtures::s(Device::None, Device::None)),
+            ("iriw", fixtures::iriw(Device::None, Device::None)),
+        ] {
+            assert!(!check(&Sc, &x).allowed(), "{name} must be forbidden on SC");
+        }
+    }
+
+    #[test]
+    fn sc_matches_lamport_formulation_on_fixtures() {
+        for x in [
+            fixtures::mp(Device::None, Device::None),
+            fixtures::sb(Device::None, Device::None),
+            fixtures::lb(Device::None, Device::None),
+            fixtures::co_rr(),
+            fixtures::r(Device::None, Device::None),
+        ] {
+            let ours = check(&Sc, &x).allowed();
+            let lamport = x.po().union(x.com()).is_acyclic();
+            assert_eq!(ours, lamport);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Graphviz rendering of candidate executions, in the style of the
+//! paper's execution diagrams (events per thread in columns, labelled
+//! `po`/`rf`/`co`/`fr` arrows).
+//!
+//! herd produces such diagrams for every execution it enumerates; the
+//! output here is valid DOT, one cluster per thread, communications drawn
+//! across clusters.
+
+use crate::event::Loc;
+use crate::exec::Execution;
+use std::fmt::Write as _;
+
+/// Renders `x` as a DOT digraph; `loc_name` supplies display names for
+/// locations (front ends know them, the core does not).
+pub fn to_dot(x: &Execution, loc_name: &dyn Fn(Loc) -> String) -> String {
+    let mut s = String::from("digraph execution {\n  rankdir=TB;\n  node [shape=plaintext, fontsize=11];\n");
+
+    // Initial writes.
+    let inits: Vec<_> = x.events().iter().filter(|e| e.is_init()).collect();
+    if !inits.is_empty() {
+        let _ = writeln!(s, "  subgraph cluster_init {{\n    label=\"initial state\"; style=dashed;");
+        for e in &inits {
+            let _ = writeln!(
+                s,
+                "    e{} [label=\"{}: W {}={}\"];",
+                e.id,
+                letter(e.id),
+                loc_name(e.loc),
+                e.val.0
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+
+    // One cluster per thread, po edges chaining the column.
+    let mut threads: Vec<u16> =
+        x.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        let _ = writeln!(s, "  subgraph cluster_t{t} {{\n    label=\"T{t}\";");
+        let mut evs: Vec<_> = x
+            .events()
+            .iter()
+            .filter(|e| e.thread.map(|x| x.0) == Some(t))
+            .collect();
+        evs.sort_by_key(|e| e.po_index);
+        for e in &evs {
+            let d = if e.is_write() { "W" } else { "R" };
+            let _ = writeln!(
+                s,
+                "    e{} [label=\"{}: {d} {}={}\"];",
+                e.id,
+                letter(e.id),
+                loc_name(e.loc),
+                e.val.0
+            );
+        }
+        for w in evs.windows(2) {
+            let _ = writeln!(s, "    e{} -> e{} [label=\"po\", color=black];", w[0].id, w[1].id);
+        }
+        let _ = writeln!(s, "  }}");
+    }
+
+    // Communications (direct co only, to match the paper's figures).
+    for (a, b) in x.rf().iter_pairs() {
+        let _ = writeln!(s, "  e{a} -> e{b} [label=\"rf\", color=red];");
+    }
+    for (a, b) in x.co().iter_pairs() {
+        // Skip transitively implied co edges for readability.
+        let direct = !x
+            .co()
+            .succs(a)
+            .any(|m| m != b && x.co().contains(m, b));
+        if direct {
+            let _ = writeln!(s, "  e{a} -> e{b} [label=\"co\", color=blue];");
+        }
+    }
+    for (a, b) in x.fr().iter_pairs() {
+        let _ = writeln!(s, "  e{a} -> e{b} [label=\"fr\", color=darkgreen];");
+    }
+    // Dependencies.
+    for (a, b) in x.deps().addr.iter_pairs() {
+        let _ = writeln!(s, "  e{a} -> e{b} [label=\"addr\", style=dotted];");
+    }
+    for (a, b) in x.deps().data.iter_pairs() {
+        let _ = writeln!(s, "  e{a} -> e{b} [label=\"data\", style=dotted];");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Event letter in the paper's style: a, b, c, ...
+fn letter(id: usize) -> String {
+    let mut n = id;
+    let mut s = String::new();
+    loop {
+        s.insert(0, (b'a' + (n % 26) as u8) as char);
+        if n < 26 {
+            break;
+        }
+        n = n / 26 - 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, Device};
+
+    #[test]
+    fn dot_contains_threads_and_communications() {
+        let x = fixtures::mp(Device::None, Device::Addr);
+        let dot = to_dot(&x, &|l| ["x", "y"][l.0 as usize].to_owned());
+        assert!(dot.starts_with("digraph execution {"));
+        assert!(dot.contains("cluster_t0") && dot.contains("cluster_t1"));
+        assert!(dot.contains("label=\"rf\""));
+        assert!(dot.contains("label=\"fr\""));
+        assert!(dot.contains("label=\"addr\""));
+        assert!(dot.contains("W x=1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn transitive_co_edges_are_elided() {
+        // Three writes to one location: only two direct co arrows.
+        let mut b = fixtures::ExecBuilder::new();
+        let w1 = b.write(0, "x", 1);
+        let w2 = b.write(0, "x", 2);
+        b.co(w1, w2);
+        let x = b.build().unwrap();
+        let dot = to_dot(&x, &|_| "x".into());
+        let co_edges = dot.matches("label=\"co\"").count();
+        assert_eq!(co_edges, 2, "init->w1->w2, not init->w2:\n{dot}");
+    }
+
+    #[test]
+    fn letters_roll_over() {
+        assert_eq!(letter(0), "a");
+        assert_eq!(letter(25), "z");
+        assert_eq!(letter(26), "aa");
+    }
+}

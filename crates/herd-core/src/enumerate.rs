@@ -1,0 +1,419 @@
+//! Data-flow enumeration: from a program skeleton to all candidate
+//! executions (paper, Sec 3 §Data-flow semantics).
+//!
+//! A [`Skeleton`] is a control-flow semantics whose write values are known
+//! and whose read values are still undetermined. Enumeration chooses, for
+//! every read, a same-location write to read from (`rf`), and for every
+//! location a total coherence order (`co`) with the initial write first —
+//! exactly the candidate-execution construction of Fig 3.
+//!
+//! Front ends whose write values depend on read values (genuine data flow
+//! through registers) perform their own symbolic enumeration and lower to
+//! concrete [`Execution`]s directly; this module covers the common case of
+//! constant-valued writes, which includes every litmus family in the paper.
+
+use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
+use crate::exec::{Deps, Execution};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// One event of a skeleton: a write with a fixed value, or a read whose
+/// value enumeration will determine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkeletonEvent {
+    /// Holding thread (`None` for initial writes).
+    pub thread: Option<ThreadId>,
+    /// Program-order index within the thread.
+    pub po_index: usize,
+    /// Direction.
+    pub dir: Dir,
+    /// Location accessed.
+    pub loc: Loc,
+    /// Value written (ignored for reads).
+    pub val: Val,
+}
+
+/// A control-flow semantics ready for data-flow enumeration.
+#[derive(Clone, Debug)]
+pub struct Skeleton {
+    /// The events; index = event id.
+    pub events: Vec<SkeletonEvent>,
+    /// Program order over the events.
+    pub po: Relation,
+    /// Dependency relations.
+    pub deps: Deps,
+    /// Fence relations.
+    pub fences: BTreeMap<Fence, Relation>,
+}
+
+impl Skeleton {
+    /// Enumerates every candidate execution of the skeleton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relations' universe does not match the event count
+    /// (a front-end bug, not an input error).
+    pub fn candidates(&self) -> Vec<Execution> {
+        let n = self.events.len();
+        assert_eq!(self.po.universe(), n, "po universe mismatch");
+
+        // Group writes by location.
+        let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+        let mut init_by_loc: BTreeMap<Loc, usize> = BTreeMap::new();
+        for (id, e) in self.events.iter().enumerate() {
+            if e.dir == Dir::W {
+                if e.thread.is_none() {
+                    init_by_loc.insert(e.loc, id);
+                } else {
+                    writes_by_loc.entry(e.loc).or_default().push(id);
+                }
+            }
+        }
+
+        let reads: Vec<usize> =
+            (0..n).filter(|&i| self.events[i].dir == Dir::R).collect();
+
+        // rf choices per read: any write (incl. init) to the same location.
+        let rf_choices: Vec<Vec<usize>> = reads
+            .iter()
+            .map(|&r| {
+                let loc = self.events[r].loc;
+                let mut ws: Vec<usize> =
+                    writes_by_loc.get(&loc).cloned().unwrap_or_default();
+                if let Some(&init) = init_by_loc.get(&loc) {
+                    ws.push(init);
+                }
+                ws
+            })
+            .collect();
+
+        // co choices per location: all permutations of non-init writes.
+        let locs: Vec<Loc> = writes_by_loc.keys().copied().collect();
+        let co_choices: Vec<Vec<Vec<usize>>> =
+            locs.iter().map(|l| permutations(&writes_by_loc[l])).collect();
+
+        let mut out = Vec::new();
+        let mut rf_pick = vec![0usize; reads.len()];
+        let mut co_pick = vec![0usize; locs.len()];
+        loop {
+            // Materialise this choice.
+            let mut events: Vec<Event> = self
+                .events
+                .iter()
+                .enumerate()
+                .map(|(id, e)| Event {
+                    id,
+                    thread: e.thread,
+                    po_index: e.po_index,
+                    dir: e.dir,
+                    loc: e.loc,
+                    val: e.val,
+                })
+                .collect();
+            let mut rf = Relation::empty(n);
+            for (k, &r) in reads.iter().enumerate() {
+                let w = rf_choices[k][rf_pick[k]];
+                rf.add(w, r);
+                events[r].val = events[w].val;
+            }
+            let mut co = Relation::empty(n);
+            for (li, l) in locs.iter().enumerate() {
+                let order = &co_choices[li][co_pick[li]];
+                if let Some(&init) = init_by_loc.get(l) {
+                    for &w in order {
+                        co.add(init, w);
+                    }
+                }
+                for pair in order.windows(2) {
+                    co.add(pair[0], pair[1]);
+                }
+            }
+            let co = co.tclosure();
+            let x = Execution::new(
+                events,
+                self.po.clone(),
+                rf,
+                co,
+                self.deps.clone(),
+                self.fences.clone(),
+            )
+            .expect("enumerated candidates are well-formed by construction");
+            out.push(x);
+
+            // Odometer step over (rf_pick, co_pick).
+            if !bump(&mut rf_pick, &rf_choices.iter().map(Vec::len).collect::<Vec<_>>())
+                && !bump(&mut co_pick, &co_choices.iter().map(Vec::len).collect::<Vec<_>>())
+            {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The number of candidates without materialising them.
+    pub fn candidate_count(&self) -> usize {
+        let mut writes_by_loc: BTreeMap<Loc, (usize, bool)> = BTreeMap::new();
+        for e in &self.events {
+            if e.dir == Dir::W {
+                let entry = writes_by_loc.entry(e.loc).or_insert((0, false));
+                if e.thread.is_none() {
+                    entry.1 = true;
+                } else {
+                    entry.0 += 1;
+                }
+            }
+        }
+        let mut count = 1usize;
+        for e in &self.events {
+            if e.dir == Dir::R {
+                let (w, init) = writes_by_loc.get(&e.loc).copied().unwrap_or((0, false));
+                count *= w + usize::from(init);
+            }
+        }
+        for &(w, _) in writes_by_loc.values() {
+            count *= factorial(w);
+        }
+        count
+    }
+}
+
+fn factorial(k: usize) -> usize {
+    (1..=k).product::<usize>().max(1)
+}
+
+/// Advances a mixed-radix odometer; returns false on wrap-around to zero.
+fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
+    for (d, &r) in digits.iter_mut().zip(radices) {
+        if *d + 1 < r {
+            *d += 1;
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Convenience builder for skeletons mirroring [`crate::fixtures::ExecBuilder`]
+/// but without data-flow choices.
+#[derive(Clone, Debug, Default)]
+pub struct SkeletonBuilder {
+    events: Vec<SkeletonEvent>,
+    locs: BTreeMap<String, Loc>,
+    po_counters: BTreeMap<u16, usize>,
+    addr: Vec<(usize, usize)>,
+    data: Vec<(usize, usize)>,
+    ctrl: Vec<(usize, usize)>,
+    ctrl_cfence: Vec<(usize, usize)>,
+    fences: Vec<(Fence, usize, usize)>,
+}
+
+impl SkeletonBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn loc(&mut self, name: &str) -> Loc {
+        if let Some(&l) = self.locs.get(name) {
+            return l;
+        }
+        let l = Loc(self.locs.len() as u32);
+        self.locs.insert(name.to_owned(), l);
+        self.events.push(SkeletonEvent {
+            thread: None,
+            po_index: 0,
+            dir: Dir::W,
+            loc: l,
+            val: Val(0),
+        });
+        l
+    }
+
+    fn push(&mut self, tid: u16, dir: Dir, loc: &str, val: i64) -> usize {
+        let l = self.loc(loc);
+        let idx = {
+            let c = self.po_counters.entry(tid).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        self.events.push(SkeletonEvent {
+            thread: Some(ThreadId(tid)),
+            po_index: idx,
+            dir,
+            loc: l,
+            val: Val(val),
+        });
+        self.events.len() - 1
+    }
+
+    /// Appends a write of `val` to `loc` on thread `tid`.
+    pub fn write(&mut self, tid: u16, loc: &str, val: i64) -> usize {
+        self.push(tid, Dir::W, loc, val)
+    }
+
+    /// Appends a read from `loc` on thread `tid` (value chosen by
+    /// enumeration).
+    pub fn read(&mut self, tid: u16, loc: &str) -> usize {
+        self.push(tid, Dir::R, loc, 0)
+    }
+
+    /// Records an address dependency.
+    pub fn addr(&mut self, a: usize, b: usize) -> &mut Self {
+        self.addr.push((a, b));
+        self
+    }
+
+    /// Records a data dependency.
+    pub fn data(&mut self, a: usize, b: usize) -> &mut Self {
+        self.data.push((a, b));
+        self
+    }
+
+    /// Records a control dependency.
+    pub fn ctrl(&mut self, a: usize, b: usize) -> &mut Self {
+        self.ctrl.push((a, b));
+        self
+    }
+
+    /// Records a `ctrl+cfence` dependency (also a `ctrl` one).
+    pub fn ctrl_cfence(&mut self, a: usize, b: usize) -> &mut Self {
+        self.ctrl.push((a, b));
+        self.ctrl_cfence.push((a, b));
+        self
+    }
+
+    /// Records a fence between `a` and `b`.
+    pub fn fence(&mut self, f: Fence, a: usize, b: usize) -> &mut Self {
+        self.fences.push((f, a, b));
+        self
+    }
+
+    /// Finalises the skeleton; `po` is derived from per-thread insertion
+    /// order, and fence relations are saturated so that a fence between
+    /// consecutive accesses also separates the enclosing pairs.
+    pub fn build(&self) -> Skeleton {
+        let n = self.events.len();
+        let mut po = Relation::empty(n);
+        for (a, ea) in self.events.iter().enumerate() {
+            for (b, eb) in self.events.iter().enumerate() {
+                if let (Some(ta), Some(tb)) = (ea.thread, eb.thread) {
+                    if ta == tb && ea.po_index < eb.po_index {
+                        po.add(a, b);
+                    }
+                }
+            }
+        }
+        let deps = Deps {
+            addr: Relation::from_pairs(n, self.addr.iter().copied()),
+            data: Relation::from_pairs(n, self.data.iter().copied()),
+            ctrl: Relation::from_pairs(n, self.ctrl.iter().copied()),
+            ctrl_cfence: Relation::from_pairs(n, self.ctrl_cfence.iter().copied()),
+        };
+        let mut fences: BTreeMap<Fence, Relation> = BTreeMap::new();
+        for &(f, a, b) in &self.fences {
+            let rel = fences.entry(f).or_insert_with(|| Relation::empty(n));
+            // Saturate: every access po-before-or-equal `a` is separated by
+            // the fence from every access po-after-or-equal `b`.
+            let mut before = vec![a];
+            before.extend((0..n).filter(|&e| po.contains(e, a)));
+            let mut after = vec![b];
+            after.extend((0..n).filter(|&e| po.contains(b, e)));
+            for &x in &before {
+                for &y in &after {
+                    rel.add(x, y);
+                }
+            }
+        }
+        Skeleton { events: self.events.clone(), po, deps, fences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{Power, Sc};
+    use crate::model::check;
+
+    fn mp_skeleton(with_fence: bool, with_addr: bool) -> Skeleton {
+        let mut b = SkeletonBuilder::new();
+        let a = b.write(0, "x", 1);
+        let w = b.write(0, "y", 1);
+        let c = b.read(1, "y");
+        let d = b.read(1, "x");
+        if with_fence {
+            b.fence(Fence::Lwsync, a, w);
+        }
+        if with_addr {
+            b.addr(c, d);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn mp_has_four_candidates() {
+        // Each read has 2 possible sources; 1 non-init write per location.
+        let sk = mp_skeleton(false, false);
+        assert_eq!(sk.candidate_count(), 4);
+        assert_eq!(sk.candidates().len(), 4);
+    }
+
+    #[test]
+    fn sc_rules_out_exactly_the_mp_violation() {
+        let sk = mp_skeleton(false, false);
+        let allowed: Vec<bool> =
+            sk.candidates().iter().map(|x| check(&Sc, x).allowed()).collect();
+        assert_eq!(allowed.iter().filter(|&&a| a).count(), 3, "Fig 3: one of four is non-SC");
+    }
+
+    #[test]
+    fn power_needs_fence_and_dep_to_match_sc_on_mp() {
+        let plain = mp_skeleton(false, false);
+        let fenced = mp_skeleton(true, true);
+        let count_allowed = |sk: &Skeleton| {
+            sk.candidates().iter().filter(|x| check(&Power::new(), x).allowed()).count()
+        };
+        assert_eq!(count_allowed(&plain), 4);
+        assert_eq!(count_allowed(&fenced), 3);
+    }
+
+    #[test]
+    fn co_enumeration_orders_same_location_writes() {
+        let mut b = SkeletonBuilder::new();
+        b.write(0, "x", 1);
+        b.write(1, "x", 2);
+        let sk = b.build();
+        // 2 writes, no reads: 2 candidate coherence orders.
+        assert_eq!(sk.candidates().len(), 2);
+    }
+
+    #[test]
+    fn fence_saturation_covers_transitive_pairs() {
+        let mut b = SkeletonBuilder::new();
+        let a = b.write(0, "x", 1);
+        let w = b.write(0, "y", 1);
+        let c = b.write(0, "z", 1);
+        b.fence(Fence::Sync, a, w);
+        let sk = b.build();
+        let sync = &sk.fences[&Fence::Sync];
+        assert!(sync.contains(a, w));
+        assert!(sync.contains(a, c), "fence also separates a from z-write");
+        assert!(!sync.contains(w, c), "no fence between y and z writes");
+    }
+}

@@ -1,0 +1,183 @@
+//! Memory events and their constituents.
+//!
+//! At the level of the axiomatic model (paper, Sec 4.1) an execution is a
+//! tuple `(E, po, rf, co)` where `E` is a set of *memory events*: reads and
+//! writes to shared locations, each held by a thread at some program point.
+//! Fence instructions appear in the model as *relations* over memory events
+//! (a pair is in the `sync` relation when a `sync` sits between the two
+//! accesses in program order — paper, footnote 2), so fences are not events
+//! here; the litmus front end computes the fence relations.
+
+use std::fmt;
+
+/// A shared memory location (interned; display names live in the front end).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(pub u32);
+
+/// A machine value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Val(pub i64);
+
+/// A thread identifier (`T0`, `T1`, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u16);
+
+/// Direction of a memory event: write or read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// A write (store) event.
+    W,
+    /// A read (load) event.
+    R,
+}
+
+/// Fence flavours across the architectures modelled in the paper (Fig 17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fence {
+    /// Power full fence.
+    Sync,
+    /// Power lightweight fence.
+    Lwsync,
+    /// Power write-write barrier.
+    Eieio,
+    /// Power control fence (enters `ppo` via `ctrl+cfence` only).
+    Isync,
+    /// ARM full fence.
+    Dmb,
+    /// ARM full fence (at least as strong as `dmb`).
+    Dsb,
+    /// ARM store-store variant of `dmb`.
+    DmbSt,
+    /// ARM store-store variant of `dsb`.
+    DsbSt,
+    /// ARM control fence.
+    Isb,
+    /// x86/TSO full fence.
+    Mfence,
+}
+
+impl Fence {
+    /// All fence flavours, for building relation tables.
+    pub const ALL: [Fence; 10] = [
+        Fence::Sync,
+        Fence::Lwsync,
+        Fence::Eieio,
+        Fence::Isync,
+        Fence::Dmb,
+        Fence::Dsb,
+        Fence::DmbSt,
+        Fence::DsbSt,
+        Fence::Isb,
+        Fence::Mfence,
+    ];
+
+    /// The conventional assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Fence::Sync => "sync",
+            Fence::Lwsync => "lwsync",
+            Fence::Eieio => "eieio",
+            Fence::Isync => "isync",
+            Fence::Dmb => "dmb",
+            Fence::Dsb => "dsb",
+            Fence::DmbSt => "dmb.st",
+            Fence::DsbSt => "dsb.st",
+            Fence::Isb => "isb",
+            Fence::Mfence => "mfence",
+        }
+    }
+
+    /// Is this a control fence (`isync`/`isb`), which contributes to the
+    /// preserved program order rather than to propagation (paper, Sec 4.7)?
+    pub fn is_control(self) -> bool {
+        matches!(self, Fence::Isync | Fence::Isb)
+    }
+}
+
+impl fmt::Display for Fence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One memory event of a candidate execution.
+///
+/// Initial-state writes (paper, Sec 3: "fictitious write events ... that we
+/// do not depict") are events with `thread == None`; they are `co`-before
+/// every other write to their location and never appear in `po`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Index of this event in its execution's event vector.
+    pub id: usize,
+    /// Holding thread, or `None` for an initial-state write.
+    pub thread: Option<ThreadId>,
+    /// Position of the generating instruction within its thread
+    /// (meaningless for initial writes).
+    pub po_index: usize,
+    /// Read or write.
+    pub dir: Dir,
+    /// Accessed location.
+    pub loc: Loc,
+    /// Value written or read.
+    pub val: Val,
+}
+
+impl Event {
+    /// Is this an initial-state write?
+    pub fn is_init(&self) -> bool {
+        self.thread.is_none()
+    }
+
+    /// Is this a write?
+    pub fn is_write(&self) -> bool {
+        self.dir == Dir::W
+    }
+
+    /// Is this a read?
+    pub fn is_read(&self) -> bool {
+        self.dir == Dir::R
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.dir {
+            Dir::W => "W",
+            Dir::R => "R",
+        };
+        match self.thread {
+            Some(t) => write!(f, "{}:T{} {}l{}={}", self.id, t.0, d, self.loc.0, self.val.0),
+            None => write!(f, "{}:init {}l{}={}", self.id, d, self.loc.0, self.val.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_properties() {
+        assert!(Fence::Isync.is_control());
+        assert!(Fence::Isb.is_control());
+        assert!(!Fence::Sync.is_control());
+        assert_eq!(Fence::DmbSt.mnemonic(), "dmb.st");
+        assert_eq!(Fence::ALL.len(), 10);
+    }
+
+    #[test]
+    fn event_predicates() {
+        let w = Event { id: 0, thread: None, po_index: 0, dir: Dir::W, loc: Loc(0), val: Val(0) };
+        assert!(w.is_init() && w.is_write() && !w.is_read());
+        let r = Event {
+            id: 1,
+            thread: Some(ThreadId(1)),
+            po_index: 0,
+            dir: Dir::R,
+            loc: Loc(0),
+            val: Val(1),
+        };
+        assert!(!r.is_init() && r.is_read());
+        assert_eq!(format!("{r}"), "1:T1 Rl0=1");
+    }
+}

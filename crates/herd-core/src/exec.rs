@@ -1,0 +1,613 @@
+//! Candidate executions and their derived relations.
+//!
+//! A candidate execution (paper, Sec 3) is a tuple `(E, po, rf, co)`
+//! together with the dependency relations computed by the instruction
+//! semantics (`addr`, `data`, `ctrl`, `ctrl+cfence`) and one relation per
+//! fence flavour. From these, [`Execution::new`] derives everything the
+//! axioms consume: `po-loc`, `fr`, `com`, internal/external splits,
+//! `rdw` (Fig 27) and `detour` (Fig 28).
+
+use crate::event::{Dir, Event, Fence, Loc, Val};
+use crate::relation::Relation;
+use crate::set::EventSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The dependency relations of Fig 22, as computed by a front end from the
+/// register data-flow graph `dd-reg = (rf-reg ∪ iico)+`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Deps {
+    /// Address dependencies (`dd-reg ∩ RM`, last hop into an address port).
+    pub addr: Relation,
+    /// Data dependencies (`dd-reg ∩ RW`, last hop into a value port).
+    pub data: Relation,
+    /// Control dependencies (`(dd-reg ∩ RB); po`).
+    pub ctrl: Relation,
+    /// Control dependencies sealed by a control fence
+    /// (`(dd-reg ∩ RB); cfence`; `isync` on Power, `isb` on ARM).
+    pub ctrl_cfence: Relation,
+}
+
+impl Deps {
+    /// No dependencies at all (universe of `n` events).
+    pub fn none(n: usize) -> Self {
+        Deps {
+            addr: Relation::empty(n),
+            data: Relation::empty(n),
+            ctrl: Relation::empty(n),
+            ctrl_cfence: Relation::empty(n),
+        }
+    }
+}
+
+/// Reasons an execution tuple can be rejected by [`Execution::new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// A relation or set has the wrong universe size.
+    UniverseMismatch {
+        /// Expected universe (the event count).
+        expected: usize,
+        /// Universe found on the offending relation.
+        found: usize,
+    },
+    /// `rf` does not give exactly one source write to some read.
+    MalformedRf {
+        /// The offending read.
+        read: usize,
+    },
+    /// An `rf` edge links mismatched locations or values, or a non-write
+    /// to a non-read.
+    BadRfEdge {
+        /// Source of the edge.
+        write: usize,
+        /// Target of the edge.
+        read: usize,
+    },
+    /// `co` is not a strict total order on the writes of some location, or
+    /// relates events that are not same-location writes.
+    MalformedCo {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `po` relates events of different threads or an initial write.
+    MalformedPo {
+        /// Source of the edge.
+        a: usize,
+        /// Target of the edge.
+        b: usize,
+    },
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::UniverseMismatch { expected, found } => {
+                write!(f, "relation universe {found} does not match event count {expected}")
+            }
+            ExecutionError::MalformedRf { read } => {
+                write!(f, "read {read} lacks a unique read-from source")
+            }
+            ExecutionError::BadRfEdge { write, read } => {
+                write!(f, "rf edge ({write},{read}) mismatches direction, location or value")
+            }
+            ExecutionError::MalformedCo { detail } => {
+                write!(f, "coherence order malformed: {detail}")
+            }
+            ExecutionError::MalformedPo { a, b } => {
+                write!(f, "program order relates ({a},{b}) across threads or init writes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// A candidate execution with every derived relation precomputed.
+///
+/// Construct with [`Execution::new`], which validates well-formedness
+/// (unique same-location same-value `rf` sources, per-location total `co`
+/// with initial writes first, intra-thread `po`).
+#[derive(Clone, Debug)]
+pub struct Execution {
+    events: Vec<Event>,
+    po: Relation,
+    rf: Relation,
+    co: Relation,
+    deps: Deps,
+    fences: BTreeMap<Fence, Relation>,
+
+    // Derived.
+    w_set: EventSet,
+    r_set: EventSet,
+    po_loc: Relation,
+    same_loc: Relation,
+    internal: Relation,
+    external: Relation,
+    rfe: Relation,
+    rfi: Relation,
+    coe: Relation,
+    coi: Relation,
+    fr: Relation,
+    fre: Relation,
+    fri: Relation,
+    com: Relation,
+    rdw: Relation,
+    detour: Relation,
+}
+
+impl Execution {
+    /// Builds and validates a candidate execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] when the tuple is not well formed; see
+    /// the variants for the conditions checked.
+    pub fn new(
+        events: Vec<Event>,
+        po: Relation,
+        rf: Relation,
+        co: Relation,
+        deps: Deps,
+        fences: BTreeMap<Fence, Relation>,
+    ) -> Result<Self, ExecutionError> {
+        let n = events.len();
+        for rel in [&po, &rf, &co, &deps.addr, &deps.data, &deps.ctrl, &deps.ctrl_cfence]
+            .into_iter()
+            .chain(fences.values())
+        {
+            if rel.universe() != n {
+                return Err(ExecutionError::UniverseMismatch {
+                    expected: n,
+                    found: rel.universe(),
+                });
+            }
+        }
+        validate_po(&events, &po)?;
+        validate_rf(&events, &rf)?;
+        validate_co(&events, &co)?;
+
+        let w_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_write()).map(|e| e.id));
+        let r_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_read()).map(|e| e.id));
+
+        let mut same_loc = Relation::empty(n);
+        let mut internal = Relation::empty(n);
+        for a in &events {
+            for b in &events {
+                if a.id == b.id {
+                    continue;
+                }
+                if a.loc == b.loc {
+                    same_loc.add(a.id, b.id);
+                }
+                if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
+                    if ta == tb {
+                        internal.add(a.id, b.id);
+                    }
+                }
+            }
+        }
+        let mut external = Relation::full(n);
+        external.minus_with(&internal);
+        external.minus_with(&Relation::id(n));
+
+        let po_loc = po.intersect(&same_loc);
+        let rfe = rf.intersect(&external);
+        let rfi = rf.intersect(&internal);
+        let coe = co.intersect(&external);
+        let coi = co.intersect(&internal);
+        // fr: r reads from w0, and w0 is co-before w1 (paper, Sec 4.1).
+        let fr = rf.transpose().seq(&co);
+        let fre = fr.intersect(&external);
+        let fri = fr.intersect(&internal);
+        let com = co.union(&rf).union(&fr);
+        // rdw = po-loc ∩ (fre; rfe) (Fig 27).
+        let rdw = po_loc.intersect(&fre.seq(&rfe));
+        // detour = po-loc ∩ (coe; rfe) (Fig 28).
+        let detour = po_loc.intersect(&coe.seq(&rfe));
+
+        Ok(Execution {
+            events,
+            po,
+            rf,
+            co,
+            deps,
+            fences,
+            w_set,
+            r_set,
+            po_loc,
+            same_loc,
+            internal,
+            external,
+            rfe,
+            rfi,
+            coe,
+            coi,
+            fr,
+            fre,
+            fri,
+            com,
+            rdw,
+            detour,
+        })
+    }
+
+    /// Number of events (including initial writes).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the execution devoid of events?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, indexed by their `id`.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// One event by index.
+    pub fn event(&self, id: usize) -> &Event {
+        &self.events[id]
+    }
+
+    /// Program order.
+    pub fn po(&self) -> &Relation {
+        &self.po
+    }
+
+    /// Read-from.
+    pub fn rf(&self) -> &Relation {
+        &self.rf
+    }
+
+    /// Coherence order.
+    pub fn co(&self) -> &Relation {
+        &self.co
+    }
+
+    /// The dependency relations.
+    pub fn deps(&self) -> &Deps {
+        &self.deps
+    }
+
+    /// The raw relation of one fence flavour: pairs of memory accesses with
+    /// such a fence in between in program order.
+    pub fn fence(&self, f: Fence) -> Relation {
+        self.fences.get(&f).cloned().unwrap_or_else(|| Relation::empty(self.len()))
+    }
+
+    /// All write events (including initial writes).
+    pub fn writes(&self) -> &EventSet {
+        &self.w_set
+    }
+
+    /// All read events.
+    pub fn reads(&self) -> &EventSet {
+        &self.r_set
+    }
+
+    /// `po-loc`: program order restricted to same-location pairs.
+    pub fn po_loc(&self) -> &Relation {
+        &self.po_loc
+    }
+
+    /// Same-location pairs (irreflexive).
+    pub fn same_loc(&self) -> &Relation {
+        &self.same_loc
+    }
+
+    /// Same-thread pairs (irreflexive; excludes initial writes).
+    pub fn internal(&self) -> &Relation {
+        &self.internal
+    }
+
+    /// Cross-thread pairs (initial writes are external to every thread).
+    pub fn external(&self) -> &Relation {
+        &self.external
+    }
+
+    /// External read-from.
+    pub fn rfe(&self) -> &Relation {
+        &self.rfe
+    }
+
+    /// Internal read-from.
+    pub fn rfi(&self) -> &Relation {
+        &self.rfi
+    }
+
+    /// External coherence.
+    pub fn coe(&self) -> &Relation {
+        &self.coe
+    }
+
+    /// Internal coherence.
+    pub fn coi(&self) -> &Relation {
+        &self.coi
+    }
+
+    /// From-read (derived: `rf⁻¹; co`).
+    pub fn fr(&self) -> &Relation {
+        &self.fr
+    }
+
+    /// External from-read.
+    pub fn fre(&self) -> &Relation {
+        &self.fre
+    }
+
+    /// Internal from-read.
+    pub fn fri(&self) -> &Relation {
+        &self.fri
+    }
+
+    /// Communications `com = co ∪ rf ∪ fr`.
+    pub fn com(&self) -> &Relation {
+        &self.com
+    }
+
+    /// "Read different writes" `rdw = po-loc ∩ (fre; rfe)` (Fig 27).
+    pub fn rdw(&self) -> &Relation {
+        &self.rdw
+    }
+
+    /// "Detour" `detour = po-loc ∩ (coe; rfe)` (Fig 28).
+    pub fn detour(&self) -> &Relation {
+        &self.detour
+    }
+
+    /// The set of events with direction `d`.
+    pub fn dir_set(&self, d: Dir) -> &EventSet {
+        match d {
+            Dir::W => &self.w_set,
+            Dir::R => &self.r_set,
+        }
+    }
+
+    /// Restricts `r` to pairs whose source has direction `src` and whose
+    /// target has direction `dst` — the `WW(r)`, `RM(r)`, ... combinators
+    /// of the cat language (Fig 38).
+    pub fn dir_restrict(&self, r: &Relation, src: Option<Dir>, dst: Option<Dir>) -> Relation {
+        let full = EventSet::full(self.len());
+        let s = src.map_or(&full, |d| self.dir_set(d));
+        let t = dst.map_or(&full, |d| self.dir_set(d));
+        r.restrict(s, t)
+    }
+
+    /// The final memory state: for each location, the value of the
+    /// `co`-maximal write.
+    pub fn final_memory(&self) -> BTreeMap<Loc, Val> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if e.is_write() && self.co.succs(e.id).next().is_none() {
+                out.insert(e.loc, e.val);
+            }
+        }
+        out
+    }
+
+    /// Looks up a relation by its cat-language name
+    /// (`po`, `po-loc`, `rf`, `fr`, `co`, `addr`, `data`, `ctrl`,
+    /// `ctrl+cfence`/`ctrl+isync`/`ctrl+isb`, `rdw`, `detour`, the `e`/`i`
+    /// variants, `com`, `loc`, `int`, `ext`, `id`, and the fence names).
+    pub fn builtin(&self, name: &str) -> Option<Relation> {
+        let r = match name {
+            "po" => &self.po,
+            "po-loc" => &self.po_loc,
+            "rf" => &self.rf,
+            "rfe" => &self.rfe,
+            "rfi" => &self.rfi,
+            "co" | "ws" => &self.co,
+            "coe" | "wse" => &self.coe,
+            "coi" | "wsi" => &self.coi,
+            "fr" => &self.fr,
+            "fre" => &self.fre,
+            "fri" => &self.fri,
+            "com" => &self.com,
+            "addr" => &self.deps.addr,
+            "data" => &self.deps.data,
+            "ctrl" => &self.deps.ctrl,
+            "ctrl+cfence" | "ctrl+isync" | "ctrl+isb" => &self.deps.ctrl_cfence,
+            "rdw" => &self.rdw,
+            "detour" => &self.detour,
+            "loc" => &self.same_loc,
+            "int" => &self.internal,
+            "ext" => &self.external,
+            "id" => return Some(Relation::id(self.len())),
+            "0" => return Some(Relation::empty(self.len())),
+            other => {
+                let f = Fence::ALL.iter().find(|f| f.mnemonic() == other)?;
+                return Some(self.fence(*f));
+            }
+        };
+        Some(r.clone())
+    }
+}
+
+fn validate_po(events: &[Event], po: &Relation) -> Result<(), ExecutionError> {
+    for (a, b) in po.iter_pairs() {
+        let (ea, eb) = (&events[a], &events[b]);
+        match (ea.thread, eb.thread) {
+            (Some(ta), Some(tb)) if ta == tb => {}
+            _ => return Err(ExecutionError::MalformedPo { a, b }),
+        }
+    }
+    if !po.is_acyclic() {
+        return Err(ExecutionError::MalformedPo { a: 0, b: 0 });
+    }
+    Ok(())
+}
+
+fn validate_rf(events: &[Event], rf: &Relation) -> Result<(), ExecutionError> {
+    for (w, r) in rf.iter_pairs() {
+        let (ew, er) = (&events[w], &events[r]);
+        if !ew.is_write() || !er.is_read() || ew.loc != er.loc || ew.val != er.val {
+            return Err(ExecutionError::BadRfEdge { write: w, read: r });
+        }
+    }
+    let rft = rf.transpose();
+    for e in events {
+        if e.is_read() && rft.succs(e.id).count() != 1 {
+            return Err(ExecutionError::MalformedRf { read: e.id });
+        }
+    }
+    Ok(())
+}
+
+fn validate_co(events: &[Event], co: &Relation) -> Result<(), ExecutionError> {
+    for (a, b) in co.iter_pairs() {
+        let (ea, eb) = (&events[a], &events[b]);
+        if !ea.is_write() || !eb.is_write() || ea.loc != eb.loc {
+            return Err(ExecutionError::MalformedCo {
+                detail: format!("({a},{b}) is not a same-location write pair"),
+            });
+        }
+        if eb.is_init() {
+            return Err(ExecutionError::MalformedCo {
+                detail: format!("initial write {b} has a co-predecessor"),
+            });
+        }
+    }
+    if !co.is_acyclic() {
+        return Err(ExecutionError::MalformedCo { detail: "cyclic".into() });
+    }
+    // Totality per location.
+    let closed = co.tclosure();
+    for a in events {
+        for b in events {
+            if a.id < b.id && a.is_write() && b.is_write() && a.loc == b.loc {
+                let linked = closed.contains(a.id, b.id) || closed.contains(b.id, a.id);
+                if !linked {
+                    return Err(ExecutionError::MalformedCo {
+                        detail: format!("writes {} and {} unordered", a.id, b.id),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ThreadId;
+
+    /// The message-passing execution of the paper's Fig 4:
+    /// T0: a:Wx=1, b:Wy=1 — T1: c:Ry=1, d:Rx=0, with init writes for x, y.
+    pub(crate) fn mp_fig4() -> Execution {
+        let x = Loc(0);
+        let y = Loc(1);
+        let t0 = Some(ThreadId(0));
+        let t1 = Some(ThreadId(1));
+        let events = vec![
+            Event { id: 0, thread: None, po_index: 0, dir: Dir::W, loc: x, val: Val(0) },
+            Event { id: 1, thread: None, po_index: 0, dir: Dir::W, loc: y, val: Val(0) },
+            Event { id: 2, thread: t0, po_index: 0, dir: Dir::W, loc: x, val: Val(1) },
+            Event { id: 3, thread: t0, po_index: 1, dir: Dir::W, loc: y, val: Val(1) },
+            Event { id: 4, thread: t1, po_index: 0, dir: Dir::R, loc: y, val: Val(1) },
+            Event { id: 5, thread: t1, po_index: 1, dir: Dir::R, loc: x, val: Val(0) },
+        ];
+        let n = events.len();
+        let po = Relation::from_pairs(n, [(2, 3), (4, 5)]);
+        let rf = Relation::from_pairs(n, [(3, 4), (0, 5)]);
+        let co = Relation::from_pairs(n, [(0, 2), (1, 3)]);
+        Execution::new(events, po, rf, co, Deps::none(n), BTreeMap::new()).expect("well-formed")
+    }
+
+    #[test]
+    fn derives_fr_and_com() {
+        let x = mp_fig4();
+        // d reads x from init, which is co-before a => (d, a) ∈ fr.
+        assert!(x.fr().contains(5, 2));
+        assert!(x.fre().contains(5, 2));
+        assert!(!x.fri().contains(5, 2));
+        assert!(x.com().contains(3, 4), "rf ⊆ com");
+        assert!(x.com().contains(0, 2), "co ⊆ com");
+    }
+
+    #[test]
+    fn splits_internal_external() {
+        let x = mp_fig4();
+        assert!(x.rfe().contains(3, 4));
+        assert!(x.rfi().is_empty());
+        assert!(x.external().contains(0, 5), "init writes are external");
+    }
+
+    #[test]
+    fn po_loc_only_same_location() {
+        let x = mp_fig4();
+        assert!(x.po_loc().is_empty(), "mp threads touch two distinct locations");
+        assert!(x.po().contains(2, 3));
+    }
+
+    #[test]
+    fn final_memory_takes_co_maximal() {
+        let x = mp_fig4();
+        let fin = x.final_memory();
+        assert_eq!(fin[&Loc(0)], Val(1));
+        assert_eq!(fin[&Loc(1)], Val(1));
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        let x = mp_fig4();
+        assert_eq!(x.builtin("fr").unwrap(), *x.fr());
+        assert_eq!(x.builtin("ctrl+isync").unwrap(), x.deps().ctrl_cfence);
+        assert!(x.builtin("sync").unwrap().is_empty());
+        assert!(x.builtin("no-such").is_none());
+        assert_eq!(x.builtin("id").unwrap(), Relation::id(6));
+    }
+
+    #[test]
+    fn rejects_bad_rf() {
+        let x = mp_fig4();
+        let n = x.len();
+        let bad_rf = Relation::from_pairs(n, [(2, 4), (0, 5)]); // value mismatch: Wx=1 -> Ry=1
+        let err = Execution::new(
+            x.events().to_vec(),
+            x.po().clone(),
+            bad_rf,
+            x.co().clone(),
+            Deps::none(n),
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecutionError::BadRfEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_partial_co() {
+        let x = mp_fig4();
+        let n = x.len();
+        let partial_co = Relation::from_pairs(n, [(0, 2)]); // y writes unordered
+        let err = Execution::new(
+            x.events().to_vec(),
+            x.po().clone(),
+            x.rf().clone(),
+            partial_co,
+            Deps::none(n),
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecutionError::MalformedCo { .. }));
+    }
+
+    #[test]
+    fn rejects_cross_thread_po() {
+        let x = mp_fig4();
+        let n = x.len();
+        let bad_po = Relation::from_pairs(n, [(2, 4)]);
+        let err = Execution::new(
+            x.events().to_vec(),
+            bad_po,
+            x.rf().clone(),
+            x.co().clone(),
+            Deps::none(n),
+            BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecutionError::MalformedPo { .. }));
+    }
+}

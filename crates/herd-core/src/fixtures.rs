@@ -1,0 +1,527 @@
+//! Hand-built candidate executions for the paper's canonical patterns.
+//!
+//! Each function builds exactly the execution depicted in the corresponding
+//! figure of the paper (the cycle witness), parameterised by the *device*
+//! maintaining order on each thread — a dependency, a fence, or nothing.
+//! These fixtures let the axioms be exercised without the litmus front end,
+//! and double as documentation of the patterns' shapes.
+
+use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
+use crate::exec::{Deps, Execution};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// The ordering device placed between two accesses of one thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Device {
+    /// No ordering: plain program order.
+    None,
+    /// An address dependency (`addr`).
+    Addr,
+    /// A data dependency (`data`).
+    Data,
+    /// A control dependency (`ctrl`).
+    Ctrl,
+    /// A control dependency sealed by a control fence (`ctrl+cfence`).
+    CtrlCfence,
+    /// A fence instruction of the given flavour.
+    Fence(Fence),
+}
+
+/// Incremental builder for candidate executions.
+///
+/// Events get identifiers in insertion order; initial writes are created
+/// lazily (value 0) the first time a location is used. `po` is derived from
+/// per-thread insertion order; `co` edges are closed transitively and the
+/// initial write of each location is put `co`-first automatically.
+///
+/// # Examples
+///
+/// ```
+/// use herd_core::fixtures::ExecBuilder;
+/// let mut b = ExecBuilder::new();
+/// let w = b.write(0, "x", 1);
+/// let r = b.read(1, "x", 1);
+/// b.rf(w, r);
+/// let x = b.build().unwrap();
+/// assert!(x.rfe().contains(w, r));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExecBuilder {
+    events: Vec<PendingEvent>,
+    locs: BTreeMap<String, Loc>,
+    init: BTreeMap<Loc, usize>,
+    rf: Vec<(usize, usize)>,
+    co: Vec<(usize, usize)>,
+    addr: Vec<(usize, usize)>,
+    data: Vec<(usize, usize)>,
+    ctrl: Vec<(usize, usize)>,
+    ctrl_cfence: Vec<(usize, usize)>,
+    fences: Vec<(Fence, usize, usize)>,
+}
+
+#[derive(Clone, Debug)]
+struct PendingEvent {
+    thread: Option<ThreadId>,
+    dir: Dir,
+    loc: Loc,
+    val: Val,
+}
+
+impl ExecBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn loc(&mut self, name: &str) -> Loc {
+        if let Some(&l) = self.locs.get(name) {
+            return l;
+        }
+        let l = Loc(self.locs.len() as u32);
+        self.locs.insert(name.to_owned(), l);
+        // Initial write, value 0.
+        self.events.push(PendingEvent { thread: None, dir: Dir::W, loc: l, val: Val(0) });
+        self.init.insert(l, self.events.len() - 1);
+        l
+    }
+
+    /// The event id of the initial write to `name` (creating it if needed).
+    pub fn init_write(&mut self, name: &str) -> usize {
+        let l = self.loc(name);
+        self.init[&l]
+    }
+
+    /// Appends a write of `val` to `loc` on thread `tid`; returns its id.
+    pub fn write(&mut self, tid: u16, loc: &str, val: i64) -> usize {
+        let l = self.loc(loc);
+        self.events.push(PendingEvent {
+            thread: Some(ThreadId(tid)),
+            dir: Dir::W,
+            loc: l,
+            val: Val(val),
+        });
+        self.events.len() - 1
+    }
+
+    /// Appends a read of `val` from `loc` on thread `tid`; returns its id.
+    /// The matching `rf` edge must be added separately (or use
+    /// [`ExecBuilder::read_init`]).
+    pub fn read(&mut self, tid: u16, loc: &str, val: i64) -> usize {
+        let l = self.loc(loc);
+        self.events.push(PendingEvent {
+            thread: Some(ThreadId(tid)),
+            dir: Dir::R,
+            loc: l,
+            val: Val(val),
+        });
+        self.events.len() - 1
+    }
+
+    /// Appends a read of the initial value (0) of `loc`, wiring `rf` from
+    /// the initial write.
+    pub fn read_init(&mut self, tid: u16, loc: &str) -> usize {
+        let init = self.init_write(loc);
+        let r = self.read(tid, loc, 0);
+        self.rf(init, r);
+        r
+    }
+
+    /// Records a read-from edge.
+    pub fn rf(&mut self, w: usize, r: usize) -> &mut Self {
+        self.rf.push((w, r));
+        self
+    }
+
+    /// Records a coherence edge (closed transitively at build time).
+    pub fn co(&mut self, w1: usize, w2: usize) -> &mut Self {
+        self.co.push((w1, w2));
+        self
+    }
+
+    /// Records an address dependency.
+    pub fn addr(&mut self, a: usize, b: usize) -> &mut Self {
+        self.addr.push((a, b));
+        self
+    }
+
+    /// Records a data dependency.
+    pub fn data(&mut self, a: usize, b: usize) -> &mut Self {
+        self.data.push((a, b));
+        self
+    }
+
+    /// Records a control dependency.
+    pub fn ctrl(&mut self, a: usize, b: usize) -> &mut Self {
+        self.ctrl.push((a, b));
+        self
+    }
+
+    /// Records a control dependency sealed by a control fence. A
+    /// `ctrl+cfence` pair is also a `ctrl` pair (Fig 22).
+    pub fn ctrl_cfence(&mut self, a: usize, b: usize) -> &mut Self {
+        self.ctrl.push((a, b));
+        self.ctrl_cfence.push((a, b));
+        self
+    }
+
+    /// Records that fence `f` separates `a` and `b` in program order.
+    pub fn fence(&mut self, f: Fence, a: usize, b: usize) -> &mut Self {
+        self.fences.push((f, a, b));
+        self
+    }
+
+    /// Applies `device` between events `a` and `b` of the same thread.
+    pub fn device(&mut self, device: Device, a: usize, b: usize) -> &mut Self {
+        match device {
+            Device::None => self,
+            Device::Addr => self.addr(a, b),
+            Device::Data => self.data(a, b),
+            Device::Ctrl => self.ctrl(a, b),
+            Device::CtrlCfence => self.ctrl_cfence(a, b),
+            Device::Fence(f) => self.fence(f, a, b),
+        }
+    }
+
+    /// Finalises the execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::exec::ExecutionError`] when the recorded edges do
+    /// not form a well-formed candidate (e.g. a read without an `rf` source).
+    pub fn build(&self) -> Result<Execution, crate::exec::ExecutionError> {
+        let n = self.events.len();
+        let mut po_index = BTreeMap::new();
+        let events: Vec<Event> = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(id, p)| {
+                let idx = match p.thread {
+                    Some(t) => {
+                        let c = po_index.entry(t).or_insert(0usize);
+                        let i = *c;
+                        *c += 1;
+                        i
+                    }
+                    None => 0,
+                };
+                Event { id, thread: p.thread, po_index: idx, dir: p.dir, loc: p.loc, val: p.val }
+            })
+            .collect();
+
+        let mut po = Relation::empty(n);
+        for a in &events {
+            for b in &events {
+                if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
+                    if ta == tb && a.po_index < b.po_index {
+                        po.add(a.id, b.id);
+                    }
+                }
+            }
+        }
+
+        let rf = Relation::from_pairs(n, self.rf.iter().copied());
+
+        let mut co = Relation::from_pairs(n, self.co.iter().copied());
+        for e in &events {
+            if e.is_write() && !e.is_init() {
+                co.add(self.init[&e.loc], e.id);
+            }
+        }
+        let co = co.tclosure();
+
+        let deps = Deps {
+            addr: Relation::from_pairs(n, self.addr.iter().copied()),
+            data: Relation::from_pairs(n, self.data.iter().copied()),
+            ctrl: Relation::from_pairs(n, self.ctrl.iter().copied()),
+            ctrl_cfence: Relation::from_pairs(n, self.ctrl_cfence.iter().copied()),
+        };
+
+        let mut fences: BTreeMap<Fence, Relation> = BTreeMap::new();
+        for &(f, a, b) in &self.fences {
+            fences.entry(f).or_insert_with(|| Relation::empty(n)).add(a, b);
+        }
+
+        Execution::new(events, po, rf, co, deps, fences)
+    }
+}
+
+fn build(b: &ExecBuilder) -> Execution {
+    b.build().expect("fixture executions are well-formed by construction")
+}
+
+/// The id of the `k`-th program event (in program order) of thread `tid`.
+///
+/// Initial writes are interleaved with program events in the id space, so
+/// tests should locate events with this helper rather than by raw id.
+///
+/// # Panics
+///
+/// Panics if the thread has fewer than `k + 1` events.
+pub fn program_event(x: &Execution, tid: u16, k: usize) -> usize {
+    x.events()
+        .iter()
+        .find(|e| e.thread == Some(ThreadId(tid)) && e.po_index == k)
+        .unwrap_or_else(|| panic!("no event {k} on thread {tid}"))
+        .id
+}
+
+/// Message passing, Fig 4/8: `T0: Wx=1; d0; Wy=1 — T1: Ry=1; d1; Rx=0`.
+/// The witness has `rf(b,c)` and `fr(d,a)`.
+pub fn mp(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let w = b.write(0, "y", 1);
+    let c = b.read(1, "y", 1);
+    let d = b.read_init(1, "x");
+    b.rf(w, c).device(d0, a, w).device(d1, c, d);
+    build(&b)
+}
+
+/// Store buffering, Fig 14: `T0: Wx=1; d0; Ry=0 — T1: Wy=1; d1; Rx=0`.
+pub fn sb(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let r0 = b.read_init(0, "y");
+    let c = b.write(1, "y", 1);
+    let r1 = b.read_init(1, "x");
+    b.device(d0, a, r0).device(d1, c, r1);
+    build(&b)
+}
+
+/// Load buffering, Fig 7: `T0: Rx=1; d0; Wy=1 — T1: Ry=1; d1; Wx=1`,
+/// each read satisfied by the other thread's write.
+pub fn lb(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.read(0, "x", 1);
+    let w0 = b.write(0, "y", 1);
+    let c = b.read(1, "y", 1);
+    let w1 = b.write(1, "x", 1);
+    b.rf(w1, a).rf(w0, c).device(d0, a, w0).device(d1, c, w1);
+    build(&b)
+}
+
+/// Write-to-read causality, Fig 11:
+/// `T0: Wx=1 — T1: Rx=1; d1; Wy=1 — T2: Ry=1; d2; Rx=0`.
+pub fn wrc(d1: Device, d2: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let r1 = b.read(1, "x", 1);
+    let w1 = b.write(1, "y", 1);
+    let r2 = b.read(2, "y", 1);
+    let r3 = b.read_init(2, "x");
+    b.rf(a, r1).rf(w1, r2).device(d1, r1, w1).device(d2, r2, r3);
+    build(&b)
+}
+
+/// Power ISA2, Fig 12:
+/// `T0: Wx=1; d0; Wy=1 — T1: Ry=1; d1; Wz=1 — T2: Rz=1; d2; Rx=0`.
+pub fn isa2(d0: Device, d1: Device, d2: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let w0 = b.write(0, "y", 1);
+    let c = b.read(1, "y", 1);
+    let d = b.write(1, "z", 1);
+    let e = b.read(2, "z", 1);
+    let f = b.read_init(2, "x");
+    b.rf(w0, c).rf(d, e).device(d0, a, w0).device(d1, c, d).device(d2, e, f);
+    build(&b)
+}
+
+/// 2+2w, Fig 13(a): `T0: Wx=2; d0; Wy=1 — T1: Wy=2; d1; Wx=1`,
+/// with `co(Wy=1, Wy=2)` and `co(Wx=1, Wx=2)`.
+pub fn two_plus_two_w(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 2);
+    let w0 = b.write(0, "y", 1);
+    let c = b.write(1, "y", 2);
+    let d = b.write(1, "x", 1);
+    b.co(w0, c).co(d, a).device(d0, a, w0).device(d1, c, d);
+    build(&b)
+}
+
+/// w+rw+2w, Fig 13(b):
+/// `T0: Wx=2 — T1: Rx=2; d1; Wy=1 — T2: Wy=2; d2; Wx=1`.
+pub fn w_rw_2w(d1: Device, d2: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 2);
+    let r = b.read(1, "x", 2);
+    let c = b.write(1, "y", 1);
+    let d = b.write(2, "y", 2);
+    let e = b.write(2, "x", 1);
+    b.rf(a, r).co(c, d).co(e, a).device(d1, r, c).device(d2, d, e);
+    build(&b)
+}
+
+/// Read-to-write causality, Fig 15:
+/// `T0: Wx=1 — T1: Rx=1; d1; Ry=0 — T2: Wy=1; d2; Rx=0`.
+pub fn rwc(d1: Device, d2: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let r1 = b.read(1, "x", 1);
+    let r2 = b.read_init(1, "y");
+    let d = b.write(2, "y", 1);
+    let e = b.read_init(2, "x");
+    b.rf(a, r1).device(d1, r1, r2).device(d2, d, e);
+    build(&b)
+}
+
+/// The `r` pattern, Fig 16 (left):
+/// `T0: Wx=1; d0; Wy=1 — T1: Wy=2; d1; Rx=0` with `co(Wy=1, Wy=2)`.
+pub fn r(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let w0 = b.write(0, "y", 1);
+    let c = b.write(1, "y", 2);
+    let d = b.read_init(1, "x");
+    b.co(w0, c).device(d0, a, w0).device(d1, c, d);
+    build(&b)
+}
+
+/// The `s` pattern, Fig 16 (right) / Fig 39:
+/// `T0: Wx=2; d0; Wy=1 — T1: Ry=1; d1; Wx=1` with `co(Wx=1, Wx=2)`.
+pub fn s(d0: Device, d1: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 2);
+    let w0 = b.write(0, "y", 1);
+    let c = b.read(1, "y", 1);
+    let d = b.write(1, "x", 1);
+    b.rf(w0, c).co(d, a).device(d0, a, w0).device(d1, c, d);
+    build(&b)
+}
+
+/// Independent reads of independent writes, Fig 20:
+/// `T0: Wx=1 — T1: Rx=1; d1; Ry=0 — T2: Wy=1 — T3: Ry=1; d3; Rx=0`.
+pub fn iriw(d1: Device, d3: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let r1 = b.read(1, "x", 1);
+    let r2 = b.read_init(1, "y");
+    let d = b.write(2, "y", 1);
+    let e = b.read(3, "y", 1);
+    let f = b.read_init(3, "x");
+    b.rf(a, r1).rf(d, e).device(d1, r1, r2).device(d3, e, f);
+    build(&b)
+}
+
+/// w+rwc, Fig 19: `T0: Wx=1; d0; Wy=1 — T1: Ry=1; d1; Rz=0 —
+/// T2: Wz=1; d2; Rx=0`.
+pub fn w_rwc(d0: Device, d1: Device, d2: Device) -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let w0 = b.write(0, "y", 1);
+    let c = b.read(1, "y", 1);
+    let d = b.read_init(1, "z");
+    let e = b.write(2, "z", 1);
+    let f = b.read_init(2, "x");
+    b.rf(w0, c).device(d0, a, w0).device(d1, c, d).device(d2, e, f);
+    build(&b)
+}
+
+/// coWW, Fig 6: two same-location writes in program order, `co` inverted.
+pub fn co_ww() -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.write(0, "x", 1);
+    let w = b.write(0, "x", 2);
+    b.co(w, a);
+    build(&b)
+}
+
+/// coRW1, Fig 6: a read from a po-later write of the same thread.
+pub fn co_rw1() -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.read(0, "x", 1);
+    let w = b.write(0, "x", 1);
+    b.rf(w, a);
+    build(&b)
+}
+
+/// coRW2, Fig 6: `T0: Rx=2; Wx=1 — T1: Wx=2`, `co(Wx=1, Wx=2)`,
+/// the read takes its value from the co-later external write.
+pub fn co_rw2() -> Execution {
+    let mut b = ExecBuilder::new();
+    let a = b.read(0, "x", 2);
+    let w1 = b.write(0, "x", 1);
+    let w2 = b.write(1, "x", 2);
+    b.rf(w2, a).co(w1, w2);
+    build(&b)
+}
+
+/// coWR, Fig 6: `T0: Wx=1; Rx=2 — T1: Wx=2`, the read takes its value from
+/// a write co-before the thread's own earlier write.
+pub fn co_wr() -> Execution {
+    let mut b = ExecBuilder::new();
+    let w1 = b.write(0, "x", 1);
+    let r = b.read(0, "x", 2);
+    let w2 = b.write(1, "x", 2);
+    b.rf(w2, r).co(w2, w1);
+    build(&b)
+}
+
+/// coRR, Fig 6: two same-location reads in program order observing
+/// coherence backwards (`Rx=1` then `Rx=0`).
+pub fn co_rr() -> Execution {
+    let mut b = ExecBuilder::new();
+    let r1 = b.read(0, "x", 1);
+    let r2 = b.read_init(0, "x");
+    let w = b.write(1, "x", 1);
+    b.rf(w, r1);
+    let _ = r2;
+    build(&b)
+}
+
+/// The message-passing execution of the paper's Fig 4 (no devices).
+pub fn mp_fig4() -> Execution {
+    mp(Device::None, Device::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mp_shape() {
+        let x = mp(Device::Fence(Fence::Lwsync), Device::Addr);
+        assert_eq!(x.len(), 6); // 2 init + 4 program events
+        assert_eq!(x.fence(Fence::Lwsync).len(), 1);
+        assert_eq!(x.deps().addr.len(), 1);
+        assert!(x.fre().len() == 1);
+    }
+
+    #[test]
+    fn two_plus_two_w_coherence_cycle_exists_in_co_union_devices() {
+        let x = two_plus_two_w(Device::None, Device::None);
+        // a -po-> b -co-> c -po-> d -co-> a is a cycle of po ∪ co.
+        assert!(!x.po().union(x.co()).is_acyclic());
+        // But no axiom of the null architecture forbids it: SC PER LOCATION
+        // only sees po-loc, which is empty here.
+        assert!(crate::model::sc_per_location(&x));
+    }
+
+    #[test]
+    fn coherence_fixtures_violate_sc_per_location() {
+        for (name, x) in [
+            ("coWW", co_ww()),
+            ("coRW1", co_rw1()),
+            ("coRW2", co_rw2()),
+            ("coWR", co_wr()),
+            ("coRR", co_rr()),
+        ] {
+            assert!(!crate::model::sc_per_location(&x), "{name} must violate SC PER LOCATION");
+        }
+    }
+
+    #[test]
+    fn iriw_has_two_fr_edges() {
+        let x = iriw(Device::None, Device::None);
+        assert_eq!(x.fre().len(), 2);
+    }
+
+    #[test]
+    fn builder_read_without_rf_is_rejected() {
+        let mut b = ExecBuilder::new();
+        b.read(0, "x", 7);
+        assert!(b.build().is_err());
+    }
+}

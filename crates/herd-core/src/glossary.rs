@@ -1,0 +1,46 @@
+//! Glossary of relations and litmus names (the paper's Tabs II and III),
+//! as living documentation with pointers into this crate.
+//!
+//! # Relations (Tab II)
+//!
+//! | notation | name | nature | dirns | where | description |
+//! |---|---|---|---|---|---|
+//! | `po` | program order | execution | any,any | [`crate::exec::Execution::po`] | instruction order lifted to events |
+//! | `rf` | read-from | execution | WR | [`crate::exec::Execution::rf`] | links a write to a read taking its value |
+//! | `co` | coherence | execution | WW | [`crate::exec::Execution::co`] | total order over writes to one location |
+//! | `ppo` | preserved program order | architecture | any,any | [`crate::model::Architecture::ppo`] | program order the architecture maintains |
+//! | `ffence` | full fence | architecture | any,any | e.g. `sync`, `dmb`, `dsb`, `mfence` |
+//! | `lwfence` | lightweight fence | architecture | any,any | e.g. `lwsync` (write-read pairs excluded) |
+//! | `cfence` | control fence | architecture | any,any | `isync`/`isb`; enters `ppo` via `ctrl+cfence` |
+//! | `fences` | fences | architecture | any,any | [`crate::model::Architecture::fences`] | the fence relations the architecture keeps |
+//! | `prop` | propagation | architecture | WW* | [`crate::model::Architecture::prop`] | order in which writes propagate (the strong part may touch reads) |
+//! | `po-loc` | po per location | derived | any,any | [`crate::exec::Execution::po_loc`] | `po ∩ same-location` |
+//! | `com` | communications | derived | any,any | [`crate::exec::Execution::com`] | `co ∪ rf ∪ fr` |
+//! | `fr` | from-read | derived | RW | [`crate::exec::Execution::fr`] | read overtaken by a co-later write |
+//! | `hb` | happens-before | derived | any,any | [`crate::model::ArchRelations::hb`] | `ppo ∪ fences ∪ rfe` |
+//! | `rdw` | read different writes | derived | RR | [`crate::exec::Execution::rdw`] | `po-loc ∩ (fre; rfe)` (Fig 27) |
+//! | `detour` | detour | derived | WR | [`crate::exec::Execution::detour`] | `po-loc ∩ (coe; rfe)` (Fig 28) |
+//!
+//! # Litmus names (Tab III)
+//!
+//! | classic | systematic | description |
+//! |---|---|---|
+//! | `coXY` | — | coherence test, accesses of kinds X and Y (Fig 6) |
+//! | `lb` | `rw+rw` | load buffering (Fig 7) |
+//! | `mp` | `ww+rr` | message passing (Fig 8) |
+//! | `wrc` | `w+rw+rr` | write-to-read causality (Fig 11) |
+//! | `isa2` | `ww+rw+rr` | the Power ISA test (Fig 12) |
+//! | `2+2w` | `ww+ww` | two threads, two writes each (Fig 13a) |
+//! | — | `w+rw+2w` | (Fig 13b) |
+//! | `sb` | `wr+wr` | store buffering (Fig 14) |
+//! | `rwc` | `w+rr+wr` | read-to-write causality (Fig 15) |
+//! | `r` | `ww+wr` | (Fig 16) |
+//! | `s` | `ww+rw` | (Fig 39) |
+//! | `w+rwc` | `ww+rr+wr` | rwc prefixed by a write (Fig 19) |
+//! | `iriw` | `w+rr+w+rr` | independent reads of independent writes (Fig 20) |
+//!
+//! Builders for every row live in [`crate::fixtures`] (witness
+//! executions) and `herd_litmus::corpus` (full litmus tests); systematic
+//! naming is implemented by `herd_diy::classic_name`.
+
+// This module is documentation-only.

@@ -1,0 +1,59 @@
+//! # herd-core — the *Herding Cats* generic weak memory framework
+//!
+//! This crate implements the axiomatic framework of
+//! *Herding cats: modelling, simulation, testing, and data-mining for weak
+//! memory* (Alglave, Maranget, Tautschnig, 2014): candidate executions as
+//! relations over memory events, the four axioms of Fig 5, and the paper's
+//! architecture instances — SC, TSO, C++ release-acquire, Power and ARM.
+//!
+//! ## Tour
+//!
+//! - [`relation`] / [`set`]: dense bit-matrix relational algebra (union,
+//!   sequence, closures, acyclicity).
+//! - [`event`] / [`exec`]: memory events and candidate executions with all
+//!   derived relations (`fr`, `com`, `rdw`, `detour`, ...).
+//! - [`model`]: the generic axioms and the [`model::Architecture`] trait.
+//! - [`ppo`]: the Power/ARM preserved-program-order fixpoint (Fig 25).
+//! - [`arch`]: the stock architectures.
+//! - [`enumerate`]: data-flow enumeration from skeletons to candidates.
+//! - [`fixtures`]: hand-built executions for every canonical pattern
+//!   (mp, sb, lb, wrc, isa2, 2+2w, r, s, rwc, iriw, the coXY five, ...).
+//!
+//! ## Example
+//!
+//! Check that Power forbids message passing once fenced and ordered
+//! (Fig 8), but allows the bare pattern:
+//!
+//! ```
+//! use herd_core::arch::Power;
+//! use herd_core::event::Fence;
+//! use herd_core::fixtures::{mp, Device};
+//! use herd_core::model::check;
+//!
+//! let bare = mp(Device::None, Device::None);
+//! assert!(check(&Power::new(), &bare).allowed());
+//!
+//! let fenced = mp(Device::Fence(Fence::Lwsync), Device::Addr);
+//! assert!(!check(&Power::new(), &fenced).allowed());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arch;
+pub mod dot;
+pub mod enumerate;
+pub mod event;
+pub mod exec;
+pub mod fixtures;
+pub mod glossary;
+pub mod model;
+pub mod ppo;
+pub mod relation;
+pub mod set;
+
+pub use event::{Dir, Event, Fence, Loc, ThreadId, Val};
+pub use exec::{Deps, Execution, ExecutionError};
+pub use model::{check, Architecture, Verdict};
+pub use relation::Relation;
+pub use set::EventSet;

@@ -1,0 +1,216 @@
+//! The generic axiomatic model: the four axioms of Fig 5, the
+//! architecture abstraction, and verdict classification.
+//!
+//! An *architecture* is a triple of functions `(ppo, fences, prop)`
+//! (paper, Sec 4.1 §Architectures). Given a candidate execution, the
+//! generic model checks:
+//!
+//! 1. **SC PER LOCATION** — `acyclic(po-loc ∪ com)`
+//! 2. **NO THIN AIR** — `acyclic(hb)`, `hb = ppo ∪ fences ∪ rfe`
+//! 3. **OBSERVATION** — `irreflexive(fre; prop; hb*)`
+//! 4. **PROPAGATION** — `acyclic(co ∪ prop)`
+//!
+//! Two hooks cover the paper's documented deviations: ARM-with-load-load
+//! -hazards weakens `po-loc` in axiom 1 (Tab VII), and exact C++ R-A
+//! weakens axiom 4 to `irreflexive(prop; co)` (Sec 4.8).
+
+use crate::exec::Execution;
+use crate::relation::Relation;
+use std::fmt;
+
+/// How the PROPAGATION axiom is enforced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PropagationCheck {
+    /// The paper's default: `acyclic(co ∪ prop)`.
+    #[default]
+    Acyclic,
+    /// The weakening matching C++ R-A's `HBVSMO`: `irreflexive(prop; co)`
+    /// (paper, Sec 4.8).
+    IrreflexivePropCo,
+}
+
+/// An instance of the generic framework.
+///
+/// Implementations provide the three architecture functions; the default
+/// hook methods reproduce the paper's standard axioms.
+pub trait Architecture {
+    /// Human-readable architecture name (e.g. `"Power"`).
+    fn name(&self) -> &str;
+
+    /// The preserved program order for this execution.
+    fn ppo(&self, x: &Execution) -> Relation;
+
+    /// The ordering contributed by fences (direction-filtered; e.g. on
+    /// Power `lwfence = lwsync \ WR`, Fig 17).
+    fn fences(&self, x: &Execution) -> Relation;
+
+    /// The propagation order (Fig 18 for Power/ARM, Fig 21 for SC/TSO).
+    fn prop(&self, x: &Execution) -> Relation;
+
+    /// The `po-loc` used by SC PER LOCATION. ARM llh machines drop
+    /// read-read pairs (`po-loc-llh = po-loc \ RR`, Tab VII).
+    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
+        x.po_loc().clone()
+    }
+
+    /// Which form of the PROPAGATION axiom applies.
+    fn propagation_check(&self) -> PropagationCheck {
+        PropagationCheck::Acyclic
+    }
+}
+
+/// The three architecture relations, computed once per candidate.
+#[derive(Clone, Debug)]
+pub struct ArchRelations {
+    /// Preserved program order.
+    pub ppo: Relation,
+    /// Fence-induced ordering.
+    pub fences: Relation,
+    /// Propagation order.
+    pub prop: Relation,
+    /// Happens-before `ppo ∪ fences ∪ rfe`.
+    pub hb: Relation,
+}
+
+impl ArchRelations {
+    /// Evaluates the architecture functions on a candidate.
+    pub fn compute<A: Architecture + ?Sized>(arch: &A, x: &Execution) -> Self {
+        let ppo = arch.ppo(x);
+        let fences = arch.fences(x);
+        let prop = arch.prop(x);
+        let hb = ppo.union(&fences).union(x.rfe());
+        ArchRelations { ppo, fences, prop, hb }
+    }
+}
+
+/// Per-axiom outcome for one candidate execution (`true` = axiom holds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Verdict {
+    /// SC PER LOCATION held.
+    pub sc_per_location: bool,
+    /// NO THIN AIR held.
+    pub no_thin_air: bool,
+    /// OBSERVATION held.
+    pub observation: bool,
+    /// PROPAGATION held.
+    pub propagation: bool,
+}
+
+impl Verdict {
+    /// A verdict with every axiom satisfied.
+    pub const ALLOWED: Verdict = Verdict {
+        sc_per_location: true,
+        no_thin_air: true,
+        observation: true,
+        propagation: true,
+    };
+
+    /// Does the model allow the candidate (all four axioms hold)?
+    pub fn allowed(&self) -> bool {
+        self.sc_per_location && self.no_thin_air && self.observation && self.propagation
+    }
+
+    /// The paper's Tab VIII labels the set of violated axioms with one
+    /// letter each: `S` (SC PER LOCATION), `T` (NO THIN AIR),
+    /// `O` (OBSERVATION), `P` (PROPAGATION). An allowed execution yields
+    /// the empty string.
+    pub fn violation_label(&self) -> String {
+        let mut s = String::new();
+        if !self.sc_per_location {
+            s.push('S');
+        }
+        if !self.no_thin_air {
+            s.push('T');
+        }
+        if !self.observation {
+            s.push('O');
+        }
+        if !self.propagation {
+            s.push('P');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.allowed() {
+            f.write_str("allowed")
+        } else {
+            write!(f, "forbidden({})", self.violation_label())
+        }
+    }
+}
+
+/// Checks the four axioms of Fig 5 on one candidate execution.
+pub fn check<A: Architecture + ?Sized>(arch: &A, x: &Execution) -> Verdict {
+    let rels = ArchRelations::compute(arch, x);
+    check_with(arch, x, &rels)
+}
+
+/// Axiom check reusing precomputed architecture relations.
+pub fn check_with<A: Architecture + ?Sized>(
+    arch: &A,
+    x: &Execution,
+    rels: &ArchRelations,
+) -> Verdict {
+    let po_loc = arch.sc_per_location_po_loc(x);
+    let sc_per_location = po_loc.union(x.com()).is_acyclic();
+
+    let no_thin_air = rels.hb.is_acyclic();
+
+    let hb_star = rels.hb.rtclosure();
+    let observation = x.fre().seq(&rels.prop).seq(&hb_star).is_irreflexive();
+
+    let propagation = match arch.propagation_check() {
+        PropagationCheck::Acyclic => x.co().union(&rels.prop).is_acyclic(),
+        PropagationCheck::IrreflexivePropCo => rels.prop.seq(x.co()).is_irreflexive(),
+    };
+
+    Verdict { sc_per_location, no_thin_air, observation, propagation }
+}
+
+/// Checks only SC PER LOCATION with the standard `po-loc` — used on its own
+/// by the coherence tests of Fig 6 and by `herd-hw` anomaly classification.
+pub fn sc_per_location(x: &Execution) -> bool {
+    x.po_loc().union(x.com()).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl Architecture for Null {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn ppo(&self, x: &Execution) -> Relation {
+            Relation::empty(x.len())
+        }
+        fn fences(&self, x: &Execution) -> Relation {
+            Relation::empty(x.len())
+        }
+        fn prop(&self, x: &Execution) -> Relation {
+            Relation::empty(x.len())
+        }
+    }
+
+    #[test]
+    fn verdict_labels() {
+        let mut v = Verdict::ALLOWED;
+        assert!(v.allowed());
+        assert_eq!(v.violation_label(), "");
+        v.sc_per_location = false;
+        v.propagation = false;
+        assert_eq!(v.violation_label(), "SP");
+        assert_eq!(v.to_string(), "forbidden(SP)");
+    }
+
+    #[test]
+    fn null_architecture_allows_mp() {
+        let x = crate::fixtures::mp_fig4();
+        let v = check(&Null, &x);
+        assert!(v.allowed(), "no ppo, no fences, no prop: everything is allowed");
+    }
+}

@@ -1,0 +1,222 @@
+//! Dense bitsets over event identifiers.
+//!
+//! An [`EventSet`] represents a subset of a fixed universe of `n` events
+//! (the events of one candidate execution). Litmus-scale executions have a
+//! few dozen events at most, so a handful of `u64` words suffices and all
+//! set operations are word-parallel.
+
+use std::fmt;
+
+/// A subset of a fixed universe of `n` events, stored as a bitset.
+///
+/// # Examples
+///
+/// ```
+/// use herd_core::set::EventSet;
+/// let mut s = EventSet::empty(70);
+/// s.insert(3);
+/// s.insert(69);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct EventSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+#[inline]
+pub(crate) fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl EventSet {
+    /// The empty subset of a universe of `n` events.
+    pub fn empty(n: usize) -> Self {
+        EventSet { n, words: vec![0; words_for(n)] }
+    }
+
+    /// The full universe of `n` events.
+    pub fn full(n: usize) -> Self {
+        let mut s = EventSet::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of event indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(n: usize, iter: I) -> Self {
+        let mut s = EventSet::empty(n);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Size of the universe (not the cardinality of the set).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts event `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.n, "event index {i} out of universe {}", self.n);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes event `i` if present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if i < self.n {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Does the set contain event `i`?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.n && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union, in place.
+    pub fn union_with(&mut self, other: &EventSet) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Set intersection, in place.
+    pub fn intersect_with(&mut self, other: &EventSet) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Set difference, in place.
+    pub fn minus_with(&mut self, other: &EventSet) {
+        assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Set union, by value.
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Set intersection, by value.
+    pub fn intersect(&self, other: &EventSet) -> EventSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> EventSet {
+        let mut s = EventSet::full(self.n);
+        s.minus_with(self);
+        s
+    }
+
+    /// Iterates over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&i| self.contains(i))
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for EventSet {
+    /// Collects indices into a set whose universe is just large enough.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let n = items.iter().copied().max().map_or(0, |m| m + 1);
+        EventSet::from_indices(n, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = EventSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = EventSet::full(10);
+        assert_eq!(f.len(), 10);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = EventSet::empty(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = EventSet::from_indices(8, [0, 1, 2]);
+        let b = EventSet::from_indices(8, [2, 3]);
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![2]);
+        let mut d = a.clone();
+        d.minus_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        let a = EventSet::from_indices(70, [0, 5, 69]);
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_bounds_panics() {
+        let mut s = EventSet::empty(4);
+        s.insert(4);
+    }
+}

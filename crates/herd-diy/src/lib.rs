@@ -1,0 +1,33 @@
+//! # herd-diy — critical-cycle based litmus test generation
+//!
+//! The diy tool of the paper generates litmus tests from *cycles of
+//! relaxations*: sequences like `LwSyncdWW Rfe DpAddrdR Fre` naming the
+//! edges of a critical cycle (Sec 9 defines criticality; Sec 8.1 runs the
+//! generated tests against hardware). This crate implements the
+//! vocabulary ([`relax`]), the synthesis of a litmus test from one cycle
+//! ([`synth`]) — threads, locations, coherence-ordered values and the
+//! witness condition — and the systematic enumeration used to build
+//! thousand-test campaigns ([`generate`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use herd_diy::synthesize_str;
+//! use herd_litmus::isa::Isa;
+//!
+//! let test = synthesize_str("LwSyncdWW Rfe DpAddrdR Fre", Isa::Power).unwrap();
+//! assert!(test.name.starts_with("mp+"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generate;
+pub mod place;
+pub mod relax;
+pub mod synth;
+
+pub use generate::{arm_pool, enumerate_cycles, generate_tests, power_pool, x86_pool};
+pub use place::recommend;
+pub use relax::{PoKind, Relax};
+pub use synth::{classic_name, synthesize, synthesize_str};

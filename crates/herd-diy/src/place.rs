@@ -1,0 +1,212 @@
+//! Automatic fence placement (Sec 4.7 §Fence placement).
+//!
+//! The paper: *"Placing fences essentially amounts to counting the number
+//! of communications involved in the behaviour that we want to forbid"*:
+//!
+//! - only `rf` communications (or one `fr` and otherwise `rf`):
+//!   OBSERVATION via `prop-base` — a lightweight fence on the writing
+//!   thread(s), preserved program order (dependencies) on the reading
+//!   ones (mp, wrc, isa2, lb);
+//! - only `co` and `rf`: PROPAGATION via `prop-base` — lightweight
+//!   fences everywhere (2+2w, w+rw+2w, s);
+//! - two or more `fr`, or `co` mixed with `fr`: the full-fence part of
+//!   `prop` — full fences everywhere (sb, rwc, r, w+rwc, iriw).
+
+use crate::relax::{PoKind, Relax};
+use herd_core::event::Dir;
+use herd_litmus::isa::Isa;
+
+/// Strengthens every program-order edge of `cycle` just enough to forbid
+/// it, per the Sec 4.7 recipe. Communication edges are left untouched.
+pub fn recommend(cycle: &[Relax], isa: Isa) -> Vec<Relax> {
+    let n = cycle.len();
+    let frs = cycle.iter().filter(|e| matches!(e, Relax::Fre)).count();
+    let cos = cycle.iter().filter(|e| matches!(e, Relax::Wse)).count();
+
+    let full = PoKind::Fence(isa.full_fence());
+    let light = isa.lightweight_fence().map_or(full, PoKind::Fence);
+
+    // For the observation shape (exactly one fr, otherwise rf), the
+    // lightweight fence must cover the propagation of the overtaken
+    // write: the *first* program-order edge downstream of the fr along
+    // the cycle (on the write's own thread for mp/isa2, or — by
+    // A-cumulativity — on the thread its rfe reaches, for wrc).
+    let first_po_after_fre: Option<usize> = cycle
+        .iter()
+        .position(|e| matches!(e, Relax::Fre))
+        .and_then(|f| {
+            (1..n).map(|k| (f + k) % n).find(|&i| matches!(cycle[i], Relax::Po { .. }))
+        });
+
+    cycle
+        .iter()
+        .enumerate()
+        .map(|(i, e)| match *e {
+            Relax::Po { src, dst, .. } => {
+                let kind = if frs >= 2 || (frs >= 1 && cos >= 1) {
+                    // The strong part of prop: full fences (sb, rwc, r,
+                    // w+rwc, iriw).
+                    full
+                } else if cos >= 1 {
+                    // co ∪ rf only: lightweight fences everywhere
+                    // (2+2w, w+rw+2w, s).
+                    light
+                } else if first_po_after_fre == Some(i) {
+                    // One fr, rest rf: the fence protecting the
+                    // overtaken write (mp, wrc, isa2).
+                    light
+                } else if dst == Dir::R {
+                    // Remaining read-read pairs: address dependency.
+                    PoKind::Addr
+                } else if src == Dir::R {
+                    // Remaining read-write pairs: data dependency.
+                    PoKind::Data
+                } else {
+                    // A write-write pair away from the fr (cannot take a
+                    // dependency): lightweight fence.
+                    light
+                };
+                Relax::Po { kind, src, dst }
+            }
+            comm => comm,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::enumerate_cycles;
+    use crate::synth::synthesize;
+    use herd_core::arch::{Arm, ArmVariant, Power};
+    use herd_core::event::Fence;
+    use herd_litmus::simulate::simulate;
+
+    fn bare(cycle: &[Relax]) -> bool {
+        cycle.iter().all(|e| !matches!(e, Relax::Po { kind, .. } if *kind != PoKind::Plain))
+    }
+
+    /// The headline property: for every bare critical cycle over plain
+    /// program order, the recommended placement yields a test the model
+    /// forbids.
+    #[test]
+    fn recommended_placement_forbids_every_bare_power_cycle() {
+        let pool = [
+            Relax::Rfe,
+            Relax::Fre,
+            Relax::Wse,
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::R },
+            Relax::Po { kind: PoKind::Plain, src: Dir::R, dst: Dir::W },
+            Relax::Po { kind: PoKind::Plain, src: Dir::R, dst: Dir::R },
+        ];
+        let power = Power::new();
+        let mut checked = 0;
+        for cycle in enumerate_cycles(&pool, 6) {
+            if !bare(&cycle) {
+                continue;
+            }
+            let strengthened = recommend(&cycle, Isa::Power);
+            let Ok(test) = synthesize(&strengthened, Isa::Power) else { continue };
+            let out = simulate(&test, &power).expect("simulates");
+            assert!(
+                !out.validated,
+                "{}: placement failed for cycle {:?}",
+                test.name, cycle
+            );
+            checked += 1;
+        }
+        assert!(checked > 50, "checked {checked} cycles");
+    }
+
+    #[test]
+    fn recommended_placement_forbids_bare_arm_cycles() {
+        let pool = [
+            Relax::Rfe,
+            Relax::Fre,
+            Relax::Wse,
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::R },
+            Relax::Po { kind: PoKind::Plain, src: Dir::R, dst: Dir::W },
+            Relax::Po { kind: PoKind::Plain, src: Dir::R, dst: Dir::R },
+        ];
+        let arm = Arm::new(ArmVariant::Proposed);
+        let mut checked = 0;
+        for cycle in enumerate_cycles(&pool, 6) {
+            if !bare(&cycle) {
+                continue;
+            }
+            let strengthened = recommend(&cycle, Isa::Arm);
+            let Ok(test) = synthesize(&strengthened, Isa::Arm) else { continue };
+            let out = simulate(&test, &arm).expect("simulates");
+            assert!(!out.validated, "{}: placement failed", test.name);
+            checked += 1;
+        }
+        assert!(checked > 50, "checked {checked} cycles");
+    }
+
+    #[test]
+    fn mp_gets_lwsync_plus_addr() {
+        let mp = [
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Rfe,
+            Relax::Po { kind: PoKind::Plain, src: Dir::R, dst: Dir::R },
+            Relax::Fre,
+        ];
+        let placed = recommend(&mp, Isa::Power);
+        assert_eq!(
+            placed[0],
+            Relax::Po { kind: PoKind::Fence(Fence::Lwsync), src: Dir::W, dst: Dir::W }
+        );
+        assert_eq!(placed[2], Relax::Po { kind: PoKind::Addr, src: Dir::R, dst: Dir::R });
+    }
+
+    #[test]
+    fn sb_gets_full_fences() {
+        let sb = [
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::R },
+            Relax::Fre,
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::R },
+            Relax::Fre,
+        ];
+        for e in recommend(&sb, Isa::Power) {
+            if let Relax::Po { kind, .. } = e {
+                assert_eq!(kind, PoKind::Fence(Fence::Sync));
+            }
+        }
+    }
+
+    #[test]
+    fn two_plus_two_w_gets_lightweight_fences() {
+        let tw = [
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Wse,
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Wse,
+        ];
+        for e in recommend(&tw, Isa::Power) {
+            if let Relax::Po { kind, .. } = e {
+                assert_eq!(kind, PoKind::Fence(Fence::Lwsync));
+            }
+        }
+    }
+
+    /// The recipe is not minimal for r (co + fr needs full fences even
+    /// though there is a single fr) — and must NOT downgrade: check the
+    /// r cycle gets syncs.
+    #[test]
+    fn r_gets_full_fences_not_lwsync() {
+        let r = [
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::W },
+            Relax::Wse,
+            Relax::Po { kind: PoKind::Plain, src: Dir::W, dst: Dir::R },
+            Relax::Fre,
+        ];
+        let placed = recommend(&r, Isa::Power);
+        for e in &placed {
+            if let Relax::Po { kind, .. } = e {
+                assert_eq!(*kind, PoKind::Fence(Fence::Sync), "r mixes co and fr");
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Litmus logs and log comparison (the diy suite's `mcompare` step).
+//!
+//! Hardware campaigns and model simulations both produce *logs*: per test,
+//! a histogram of observed final states. The paper's methodology compares
+//! such logs — model vs hardware — to find the *invalid* and *unseen*
+//! discrepancies of Tab V (the online material at `diy.inria.fr/cats` is
+//! exactly these logs). The format here follows litmus7's:
+//!
+//! ```text
+//! Test mp Allowed
+//! Histogram (3 states)
+//! 4999999:>1:r1=0; 1:r2=0;
+//! 4999998:>1:r1=1; 1:r2=1;
+//! 153:>1:r1=1; 1:r2=0;
+//! Ok
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One test's entry in a log: state → count (0 for model logs, which list
+/// allowed states without frequencies).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Test name.
+    pub name: String,
+    /// Observed (or allowed) states with counts.
+    pub states: BTreeMap<String, u64>,
+}
+
+/// A whole log: many tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Log {
+    /// Entries by test name.
+    pub entries: BTreeMap<String, LogEntry>,
+}
+
+impl Log {
+    /// Adds one test's states.
+    pub fn insert(&mut self, name: &str, states: BTreeMap<String, u64>) {
+        self.entries
+            .insert(name.to_owned(), LogEntry { name: name.to_owned(), states });
+    }
+
+    /// Renders in litmus7-style text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in self.entries.values() {
+            s.push_str(&format!("Test {} Allowed\n", e.name));
+            s.push_str(&format!("Histogram ({} states)\n", e.states.len()));
+            for (state, count) in &e.states {
+                s.push_str(&format!("{count}:>{state}\n"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the textual format back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Log, String> {
+        let mut log = Log::default();
+        let mut current: Option<LogEntry> = None;
+        for (lno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("Test ") {
+                if let Some(e) = current.take() {
+                    log.entries.insert(e.name.clone(), e);
+                }
+                let name = rest.split_whitespace().next().unwrap_or("").to_owned();
+                if name.is_empty() {
+                    return Err(format!("line {}: empty test name", lno + 1));
+                }
+                current = Some(LogEntry { name, states: BTreeMap::new() });
+            } else if line.starts_with("Histogram") || line == "Ok" || line == "No" {
+                // Informational lines.
+            } else if let Some((count, state)) = line.split_once(":>") {
+                let Some(entry) = current.as_mut() else {
+                    return Err(format!("line {}: state before any Test header", lno + 1));
+                };
+                let count: u64 = count
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("line {}: bad count '{count}'", lno + 1))?;
+                entry.states.insert(state.trim().to_owned(), count);
+            } else {
+                return Err(format!("line {}: unrecognised '{line}'", lno + 1));
+            }
+        }
+        if let Some(e) = current.take() {
+            log.entries.insert(e.name.clone(), e);
+        }
+        Ok(log)
+    }
+}
+
+impl fmt::Display for Log {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Per-test discrepancies between a model log and a hardware log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Tests with hardware states the model does not list (Tab V
+    /// "invalid").
+    pub invalid: BTreeMap<String, BTreeSet<String>>,
+    /// Tests with model states the hardware never showed (Tab V
+    /// "unseen").
+    pub unseen: BTreeMap<String, BTreeSet<String>>,
+    /// Tests present in only one log.
+    pub missing: BTreeSet<String>,
+}
+
+impl Comparison {
+    /// Tab V summary counts: `(tests compared, invalid, unseen)`.
+    pub fn summary(&self) -> (usize, usize, usize) {
+        (
+            self.invalid.len().max(self.unseen.len()),
+            self.invalid.values().filter(|s| !s.is_empty()).count(),
+            self.unseen.values().filter(|s| !s.is_empty()).count(),
+        )
+    }
+}
+
+/// Compares a model log (allowed states) against a hardware log (observed
+/// states) — `mcompare`.
+pub fn compare(model: &Log, hardware: &Log) -> Comparison {
+    let mut out = Comparison::default();
+    for (name, hw) in &hardware.entries {
+        let Some(m) = model.entries.get(name) else {
+            out.missing.insert(name.clone());
+            continue;
+        };
+        let invalid: BTreeSet<String> = hw
+            .states
+            .keys()
+            .filter(|s| !m.states.contains_key(*s))
+            .cloned()
+            .collect();
+        let unseen: BTreeSet<String> = m
+            .states
+            .keys()
+            .filter(|s| !hw.states.contains_key(*s))
+            .cloned()
+            .collect();
+        if !invalid.is_empty() {
+            out.invalid.insert(name.clone(), invalid);
+        }
+        if !unseen.is_empty() {
+            out.unseen.insert(name.clone(), unseen);
+        }
+    }
+    for name in model.entries.keys() {
+        if !hardware.entries.contains_key(name) {
+            out.missing.insert(name.clone());
+        }
+    }
+    out
+}
+
+/// Builds the model-side log for a set of tests under a model: per test,
+/// the full states of the allowed candidate executions (count 0).
+pub fn model_log(
+    tests: &[herd_litmus::program::LitmusTest],
+    model: &dyn herd_core::model::Architecture,
+) -> Log {
+    use crate::campaign::render_full_state;
+    use herd_litmus::candidates::{enumerate, EnumOptions};
+    let mut log = Log::default();
+    for t in tests {
+        let states: BTreeMap<String, u64> = enumerate(t, &EnumOptions::default())
+            .expect("corpus tests enumerate")
+            .iter()
+            .filter(|c| herd_core::model::check(model, &c.exec).allowed())
+            .map(|c| (render_full_state(c), 0))
+            .collect();
+        log.insert(&t.name, states);
+    }
+    log
+}
+
+/// Builds the hardware-side log by running each test on a machine.
+pub fn hardware_log(
+    tests: &[herd_litmus::program::LitmusTest],
+    machine: &crate::silicon::Machine,
+    iterations: u64,
+    seed: u64,
+) -> Log {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut log = Log::default();
+    for t in tests {
+        let run = crate::campaign::run_test(machine, t, iterations, &mut rng)
+            .expect("corpus tests run");
+        log.insert(&t.name, run.states);
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silicon::arm_machines;
+    use herd_core::arch::{Arm, ArmVariant};
+    use herd_litmus::corpus;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut log = Log::default();
+        log.insert(
+            "mp",
+            BTreeMap::from([
+                ("1:r1=0; 1:r2=0;".to_owned(), 4_999_999),
+                ("1:r1=1; 1:r2=0;".to_owned(), 153),
+            ]),
+        );
+        log.insert("sb", BTreeMap::from([("0:r1=0; 1:r1=0;".to_owned(), 42)]));
+        let text = log.render();
+        assert_eq!(Log::parse(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Log::parse("Test \n").is_err());
+        assert!(Log::parse("5:>x=1;\n").is_err(), "state before header");
+        assert!(Log::parse("Test t Allowed\nwat\n").is_err());
+    }
+
+    #[test]
+    fn mcompare_reproduces_tab5_for_one_machine() {
+        let tests: Vec<_> = corpus::arm_corpus().into_iter().map(|e| e.test).collect();
+        let machines = arm_machines();
+        let tegra3 = machines.iter().find(|m| m.name == "Tegra3").unwrap();
+        let hw = hardware_log(&tests, tegra3, 10_000_000_000, 7);
+        let model = model_log(&tests, &Arm::new(ArmVariant::PowerArm));
+        let cmp = compare(&model, &hw);
+        let (_, invalid, unseen) = cmp.summary();
+        assert!(invalid > 0, "Tegra3 invalidates Power-ARM");
+        assert!(unseen > 0, "some allowed states stay unseen");
+        assert!(cmp.missing.is_empty());
+        // The coRR state is among the invalid ones.
+        assert!(
+            cmp.invalid.keys().any(|k| k == "coRR"),
+            "{:?}",
+            cmp.invalid.keys().collect::<Vec<_>>()
+        );
+        // And the whole thing round-trips through text.
+        let hw2 = Log::parse(&hw.render()).unwrap();
+        assert_eq!(compare(&model, &hw2), cmp);
+    }
+}

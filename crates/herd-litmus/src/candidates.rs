@@ -1,0 +1,572 @@
+//! From a litmus test to its candidate executions (paper, Sec 3).
+//!
+//! The pipeline: run every thread symbolically ([`crate::sem`]), take the
+//! cartesian product of control-flow paths, then enumerate the data flow —
+//! a read-from source per read and a coherence order per location. Each
+//! read-from choice contributes the equation *read symbol = source write's
+//! value expression*; [`crate::expr::solve`] resolves the system (including
+//! the circular, thin-air-style systems of `lb+data`-like tests, whose free
+//! symbols are enumerated over the test's value domain) and each consistent
+//! assignment concretises into one [`herd_core::Execution`].
+
+use crate::expr::{self, Assignment, Equation, RVal, SymExpr, SymId};
+use crate::isa::Reg;
+use crate::program::{InitVal, LitmusTest};
+use crate::sem::{self, SemError, ThreadPath};
+use herd_core::event::{Dir, Event, Fence, Loc, ThreadId, Val};
+use herd_core::exec::{Deps, Execution};
+use herd_core::relation::Relation;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The final value of a register, for condition checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegFinal {
+    /// An integer.
+    Int(i64),
+    /// The address of a location.
+    Addr(String),
+}
+
+/// One candidate execution plus the thread-local state needed to evaluate
+/// final conditions.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The execution, ready for the axioms.
+    pub exec: Execution,
+    /// Final register values, per `(thread, register)`.
+    pub final_regs: BTreeMap<(u16, Reg), RegFinal>,
+    /// Final memory values, by location name (the `co`-maximal writes).
+    pub final_mem: BTreeMap<String, i64>,
+    /// Location names in `Loc` order (for rendering).
+    pub loc_names: Vec<String>,
+}
+
+impl Candidate {
+    /// Renders the execution as a Graphviz digraph in the style of the
+    /// paper's diagrams (herd's `-show` output).
+    pub fn to_dot(&self) -> String {
+        herd_core::dot::to_dot(&self.exec, &|l: Loc| {
+            self.loc_names
+                .get(l.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("l{}", l.0))
+        })
+    }
+}
+
+/// Errors turning a test into candidates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CandidateError {
+    /// Thread semantics failed.
+    Sem(SemError),
+    /// The enumeration exceeded `max_candidates`.
+    TooManyCandidates {
+        /// The configured bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for CandidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CandidateError::Sem(e) => write!(f, "instruction semantics: {e}"),
+            CandidateError::TooManyCandidates { bound } => {
+                write!(f, "more than {bound} candidate executions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CandidateError {}
+
+impl From<SemError> for CandidateError {
+    fn from(e: SemError) -> Self {
+        CandidateError::Sem(e)
+    }
+}
+
+/// Enumeration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumOptions {
+    /// Per-thread step budget (loops unrolled up to this many steps).
+    pub fuel: usize,
+    /// Upper bound on produced candidates.
+    pub max_candidates: usize,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions { fuel: 4096, max_candidates: 1 << 20 }
+    }
+}
+
+/// The location table of a test: name ↔ [`Loc`] in sorted-name order.
+#[derive(Clone, Debug, Default)]
+pub struct LocTable {
+    names: Vec<String>,
+}
+
+impl LocTable {
+    /// Builds the table for a test.
+    pub fn for_test(test: &LitmusTest) -> Self {
+        LocTable { names: test.locations() }
+    }
+
+    /// The [`Loc`] of `name`.
+    pub fn lookup(&self, name: &str) -> Option<Loc> {
+        self.names.iter().position(|n| n == name).map(|i| Loc(i as u32))
+    }
+
+    /// The name of `loc`.
+    pub fn name(&self, loc: Loc) -> &str {
+        &self.names[loc.0 as usize]
+    }
+
+    /// All names in `Loc` order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The name → [`Loc`] map (for the instruction semantics).
+    pub fn as_map(&self) -> BTreeMap<String, Loc> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), Loc(i as u32)))
+            .collect()
+    }
+}
+
+/// Enumerates all candidate executions of `test`.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the candidate bound is
+/// exceeded.
+pub fn enumerate(test: &LitmusTest, opts: &EnumOptions) -> Result<Vec<Candidate>, CandidateError> {
+    let locs = LocTable::for_test(test);
+    let loc_map = locs.as_map();
+
+    // Per-thread control-flow paths.
+    let mut thread_paths: Vec<Vec<ThreadPath>> = Vec::new();
+    for (tid, code) in test.threads.iter().enumerate() {
+        let init: BTreeMap<Reg, RVal> = test
+            .reg_init
+            .iter()
+            .filter(|((t, _), _)| *t == tid as u16)
+            .map(|((_, r), v)| {
+                let rv = match v {
+                    InitVal::Int(i) => RVal::int(*i),
+                    InitVal::Loc(l) => RVal::Addr(loc_map[l]),
+                };
+                (*r, rv)
+            })
+            .collect();
+        thread_paths.push(sem::run_thread(tid as u16, code, &init, &loc_map, opts.fuel)?);
+    }
+
+    // Value domain for free (thin-air) symbols: every constant the test can
+    // produce.
+    let domain = value_domain(test);
+
+    let mut out = Vec::new();
+    let mut pick = vec![0usize; thread_paths.len()];
+    loop {
+        let combo: Vec<&ThreadPath> =
+            pick.iter().zip(&thread_paths).map(|(&i, ps)| &ps[i]).collect();
+        assemble(test, &locs, &combo, &domain, opts, &mut out)?;
+        if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn value_domain(test: &LitmusTest) -> Vec<i64> {
+    use crate::isa::Instr;
+    let mut d: Vec<i64> = vec![0, 1];
+    for t in &test.threads {
+        for i in t {
+            match i {
+                Instr::MoveImm { val, .. }
+                | Instr::StoreImm { val, .. }
+                | Instr::CmpImm { val, .. } => d.push(*val),
+                _ => {}
+            }
+        }
+    }
+    d.extend(test.mem_init.values().copied());
+    for ((_, _), v) in &test.reg_init {
+        if let InitVal::Int(i) = v {
+            d.push(*i);
+        }
+    }
+    d.sort_unstable();
+    d.dedup();
+    d
+}
+
+/// Assembles all candidates for one combination of thread paths.
+fn assemble(
+    test: &LitmusTest,
+    locs: &LocTable,
+    combo: &[&ThreadPath],
+    domain: &[i64],
+    opts: &EnumOptions,
+    out: &mut Vec<Candidate>,
+) -> Result<(), CandidateError> {
+    // Lay out events: init writes first, then thread accesses.
+    let n_init = locs.names().len();
+    let n: usize = n_init + combo.iter().map(|p| p.accesses.len()).sum::<usize>();
+
+    struct Layout {
+        /// global id of access `k` of thread `t`: `access_gid[t][k]`.
+        access_gid: Vec<Vec<usize>>,
+        /// global id of local read index `i` of thread `t`.
+        read_gid: Vec<Vec<usize>>,
+    }
+    let mut layout = Layout { access_gid: Vec::new(), read_gid: Vec::new() };
+    let mut events: Vec<Event> = Vec::with_capacity(n);
+    let mut write_value: Vec<Option<SymExpr>> = vec![None; n];
+
+    for (i, name) in locs.names().iter().enumerate() {
+        let init_val = test.mem_init.get(name).copied().unwrap_or(0);
+        events.push(Event {
+            id: i,
+            thread: None,
+            po_index: 0,
+            dir: Dir::W,
+            loc: Loc(i as u32),
+            val: Val(init_val),
+        });
+        write_value[i] = Some(SymExpr::Const(init_val));
+    }
+
+    let mut gid = n_init;
+    for (t, path) in combo.iter().enumerate() {
+        let mut gids = Vec::new();
+        let mut rgids = Vec::new();
+        for (k, a) in path.accesses.iter().enumerate() {
+            events.push(Event {
+                id: gid,
+                thread: Some(ThreadId(t as u16)),
+                po_index: k,
+                dir: a.dir,
+                loc: a.loc,
+                val: Val(0), // concretised later
+            });
+            gids.push(gid);
+            if a.read_index.is_some() {
+                rgids.push(gid);
+            }
+            gid += 1;
+        }
+        layout.access_gid.push(gids);
+        layout.read_gid.push(rgids);
+    }
+
+    // Rename thread-local symbols to global read event ids.
+    let rename_for = |t: usize| {
+        let rgids = layout.read_gid[t].clone();
+        move |s: SymId| SymId(rgids[s.0])
+    };
+
+    // po, deps, fences.
+    let mut po = Relation::empty(n);
+    let mut deps = Deps::none(n);
+    let mut fences: BTreeMap<Fence, Relation> = BTreeMap::new();
+    for (t, path) in combo.iter().enumerate() {
+        let gids = &layout.access_gid[t];
+        let rgids = &layout.read_gid[t];
+        for i in 0..gids.len() {
+            for j in i + 1..gids.len() {
+                po.add(gids[i], gids[j]);
+            }
+        }
+        for (k, a) in path.accesses.iter().enumerate() {
+            let tgt = gids[k];
+            for &r in &a.addr_deps {
+                deps.addr.add(rgids[r], tgt);
+            }
+            for &r in &a.data_deps {
+                deps.data.add(rgids[r], tgt);
+            }
+            for &r in &a.ctrl_deps {
+                deps.ctrl.add(rgids[r], tgt);
+            }
+            for &r in &a.ctrl_cfence_deps {
+                deps.ctrl_cfence.add(rgids[r], tgt);
+            }
+        }
+        for &(f, pos) in &path.fences {
+            let rel = fences.entry(f).or_insert_with(|| Relation::empty(n));
+            for i in 0..pos.min(gids.len()) {
+                for j in pos..gids.len() {
+                    rel.add(gids[i], gids[j]);
+                }
+            }
+        }
+        // Write value expressions, renamed to global symbols.
+        for (k, a) in path.accesses.iter().enumerate() {
+            if a.dir == Dir::W {
+                write_value[gids[k]] = Some(a.value.rename(&rename_for(t)));
+            }
+        }
+    }
+
+    // Path constraints, renamed.
+    let mut base_equations: Vec<Equation> = Vec::new();
+    for (t, path) in combo.iter().enumerate() {
+        for c in &path.constraints {
+            base_equations.push(Equation::Constraint {
+                expr: c.expr.rename(&rename_for(t)),
+                want: c.want,
+                negated: c.negated,
+            });
+        }
+    }
+
+    // Same-location writes, for rf choices and co permutations.
+    let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+    for e in &events {
+        if e.dir == Dir::W && e.thread.is_some() {
+            writes_by_loc.entry(e.loc).or_default().push(e.id);
+        }
+    }
+    let reads: Vec<usize> = events.iter().filter(|e| e.dir == Dir::R).map(|e| e.id).collect();
+    let rf_choices: Vec<Vec<usize>> = reads
+        .iter()
+        .map(|&r| {
+            let loc = events[r].loc;
+            let mut ws = writes_by_loc.get(&loc).cloned().unwrap_or_default();
+            ws.push(loc.0 as usize); // the init write of `loc` has id loc.0
+            ws
+        })
+        .collect();
+    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> = writes_by_loc
+        .iter()
+        .map(|(l, ws)| (*l, permutations(ws)))
+        .collect();
+
+    let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
+
+    let mut rf_pick = vec![0usize; reads.len()];
+    loop {
+        // Equations for this rf choice.
+        let mut equations = base_equations.clone();
+        let mut rf = Relation::empty(n);
+        for (k, &r) in reads.iter().enumerate() {
+            let w = rf_choices[k][rf_pick[k]];
+            rf.add(w, r);
+            equations.push(Equation::ReadsValue {
+                sym: SymId(r),
+                expr: write_value[w].clone().expect("write has a value expression"),
+            });
+        }
+
+        for asg in expr::solve(&symbols, &equations, domain) {
+            // Concretise event values.
+            let mut evs = events.clone();
+            let mut ok = true;
+            for e in &mut evs {
+                if e.thread.is_none() {
+                    continue;
+                }
+                let v = match e.dir {
+                    Dir::R => asg.get(SymId(e.id)),
+                    Dir::W => write_value[e.id].as_ref().and_then(|x| x.eval(&asg)),
+                };
+                match v {
+                    Some(v) => e.val = Val(v),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let final_regs = final_registers(test, locs, combo, &asg, &layout.read_gid);
+
+            for orders in co_iter(&co_orders) {
+                let mut co = Relation::empty(n);
+                for ((loc, _), order) in co_orders.iter().zip(&orders) {
+                    let init_id = loc.0 as usize;
+                    for &w in order.iter() {
+                        co.add(init_id, w);
+                    }
+                    for pair in order.windows(2) {
+                        co.add(pair[0], pair[1]);
+                    }
+                }
+                let co = co.tclosure();
+                let exec = Execution::new(
+                    evs.clone(),
+                    po.clone(),
+                    rf.clone(),
+                    co,
+                    deps.clone(),
+                    fences.clone(),
+                )
+                .expect("assembled candidates are well-formed");
+                let final_mem = exec
+                    .final_memory()
+                    .into_iter()
+                    .map(|(l, v)| (locs.name(l).to_owned(), v.0))
+                    .collect();
+                out.push(Candidate {
+                    exec,
+                    final_regs: final_regs.clone(),
+                    final_mem,
+                    loc_names: locs.names().to_vec(),
+                });
+                if out.len() > opts.max_candidates {
+                    return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
+                }
+            }
+        }
+
+        if !bump(&mut rf_pick, &rf_choices.iter().map(Vec::len).collect::<Vec<_>>()) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn final_registers(
+    test: &LitmusTest,
+    locs: &LocTable,
+    combo: &[&ThreadPath],
+    asg: &Assignment,
+    read_gid: &[Vec<usize>],
+) -> BTreeMap<(u16, Reg), RegFinal> {
+    let mut out = BTreeMap::new();
+    for (t, path) in combo.iter().enumerate() {
+        let rgids = read_gid[t].clone();
+        let rename = move |s: SymId| SymId(rgids[s.0]);
+        for (reg, val) in &path.final_regs {
+            let fin = match val {
+                RVal::Addr(l) => RegFinal::Addr(locs.name(*l).to_owned()),
+                RVal::Int(e) => match e.rename(&rename).eval(asg) {
+                    Some(v) => RegFinal::Int(v),
+                    None => continue,
+                },
+            };
+            out.insert((t as u16, *reg), fin);
+        }
+        // Registers never written keep their initial value.
+        for ((tid, reg), init) in &test.reg_init {
+            if *tid == t as u16 && !path.final_regs.contains_key(reg) {
+                let fin = match init {
+                    InitVal::Int(i) => RegFinal::Int(*i),
+                    InitVal::Loc(l) => RegFinal::Addr(l.clone()),
+                };
+                out.insert((*tid, *reg), fin);
+            }
+        }
+    }
+    out
+}
+
+/// Iterates over the cartesian product of coherence orders.
+fn co_iter<'a>(
+    co_orders: &'a [(Loc, Vec<Vec<usize>>)],
+) -> impl Iterator<Item = Vec<Vec<usize>>> + 'a {
+    let radices: Vec<usize> = co_orders.iter().map(|(_, p)| p.len()).collect();
+    let total: usize = radices.iter().product::<usize>().max(1);
+    (0..total).map(move |mut idx| {
+        let mut orders = Vec::with_capacity(co_orders.len());
+        for (k, (_, perms)) in co_orders.iter().enumerate() {
+            let r = radices[k];
+            orders.push(perms[idx % r].clone());
+            idx /= r;
+        }
+        orders
+    })
+}
+
+fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
+    for (d, &r) in digits.iter_mut().zip(radices) {
+        if *d + 1 < r {
+            *d += 1;
+            return true;
+        }
+        *d = 0;
+    }
+    false
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{mp, sb, Dev};
+    use crate::isa::Isa;
+
+    #[test]
+    fn mp_yields_four_candidates() {
+        let test = mp(Isa::Power, Dev::Po, Dev::Po);
+        let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+        assert_eq!(cands.len(), 4, "2 rf choices per read, 1 write per location");
+    }
+
+    #[test]
+    fn final_registers_track_rf_choice() {
+        let test = mp(Isa::Power, Dev::Po, Dev::Po);
+        let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+        // The two read registers take every combination of {0,1}.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &cands {
+            let regs: Vec<&RegFinal> = c
+                .final_regs
+                .iter()
+                .filter(|((t, _), _)| *t == 1)
+                .map(|(_, v)| v)
+                .collect();
+            seen.insert(format!("{regs:?}"));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn x86_direct_operands_enumerate() {
+        let test = sb(Isa::X86, Dev::Po, Dev::Po);
+        let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+        assert_eq!(cands.len(), 4);
+        for c in &cands {
+            assert_eq!(c.exec.len(), 6, "2 init + 4 accesses");
+            assert!(c.final_mem.contains_key("x"));
+        }
+    }
+
+    #[test]
+    fn dependency_edges_survive_assembly() {
+        let test = mp(Isa::Power, Dev::F(herd_core::event::Fence::Lwsync), Dev::Addr);
+        let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+        for c in &cands {
+            assert_eq!(c.exec.deps().addr.len(), 1, "one addr edge on T1");
+            assert_eq!(
+                c.exec.fence(herd_core::event::Fence::Lwsync).len(),
+                1,
+                "one lwsync pair on T0"
+            );
+        }
+    }
+}

@@ -1,0 +1,741 @@
+//! The classic litmus tests of the paper, built programmatically.
+//!
+//! Each family function takes the *devices* maintaining order on each
+//! thread (Tab III naming: `mp+lwsync+addr` is [`mp`] with a lightweight
+//! fence on the writer and an address dependency on the reader) and emits
+//! real assembly: false dependencies are `xor r,r,r` chains, control
+//! dependencies are compare-and-branch-to-next, exactly as diy generates
+//! them (Sec 5.2).
+
+use crate::isa::{Addr, BranchCond, Instr, Isa, Reg};
+use crate::program::{CondVal, Condition, InitVal, LitmusTest, Prop, Quantifier};
+use herd_core::event::Fence;
+use std::collections::BTreeMap;
+
+/// An ordering device between two consecutive accesses of a thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dev {
+    /// Plain program order.
+    Po,
+    /// Address dependency (false, via `xor`).
+    Addr,
+    /// Data dependency (false, via `xor` then `add`).
+    Data,
+    /// Control dependency (`cmp r,r; beq L; L:`).
+    Ctrl,
+    /// Control dependency sealed by the ISA's control fence.
+    CtrlCfence,
+    /// An explicit fence.
+    F(Fence),
+}
+
+impl Dev {
+    /// The paper's name fragment for this device (`mp+lwsync+addr` style).
+    pub fn suffix(self, isa: Isa) -> String {
+        match self {
+            Dev::Po => "po".into(),
+            Dev::Addr => "addr".into(),
+            Dev::Data => "data".into(),
+            Dev::Ctrl => "ctrl".into(),
+            Dev::CtrlCfence => match isa {
+                Isa::Power => "ctrlisync".into(),
+                Isa::Arm => "ctrlisb".into(),
+                Isa::X86 => "ctrlcfence".into(),
+            },
+            Dev::F(f) => f.mnemonic().replace('.', ""),
+        }
+    }
+}
+
+/// One access of a thread specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A write of `val` to `loc`.
+    W(&'static str, i64),
+    /// A read from `loc`.
+    R(&'static str),
+}
+
+impl Op {
+    fn loc(&self) -> &'static str {
+        match self {
+            Op::W(l, _) | Op::R(l) => l,
+        }
+    }
+}
+
+/// Compiles thread specifications into a litmus test.
+///
+/// Returns the test plus, per thread, the destination register of each
+/// read (for building final conditions).
+pub struct TestBuilder {
+    isa: Isa,
+    name: String,
+    threads: Vec<(Vec<Op>, Vec<Dev>)>,
+}
+
+impl TestBuilder {
+    /// Starts a test named after `family` and the device suffixes.
+    pub fn new(isa: Isa, family: &str) -> Self {
+        TestBuilder { isa, name: family.to_owned(), threads: Vec::new() }
+    }
+
+    /// Adds a thread: `ops` interleaved with `devices`
+    /// (`devices.len() == ops.len() - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device count does not match.
+    pub fn thread(mut self, ops: Vec<Op>, devices: Vec<Dev>) -> Self {
+        assert_eq!(devices.len(), ops.len().saturating_sub(1), "one device per adjacent pair");
+        self.threads.push((ops, devices));
+        self
+    }
+
+    /// Finishes with the given condition over read registers:
+    /// `prop(read_regs)` receives, per thread, the destination register of
+    /// each read in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid device placement (e.g. a data dependency whose
+    /// source is a write) or a fence foreign to the ISA.
+    pub fn condition(
+        self,
+        quantifier: Quantifier,
+        prop: impl FnOnce(&[Vec<Reg>]) -> Prop,
+    ) -> LitmusTest {
+        let isa = self.isa;
+        // Name: family + device suffixes in thread order (Po contributes
+        // "po" only when another thread has a real device).
+        let suffixes: Vec<String> = self
+            .threads
+            .iter()
+            .flat_map(|(_, devs)| devs.iter().map(|d| d.suffix(isa)))
+            .collect();
+        let name = if suffixes.iter().all(|s| s == "po") {
+            self.name.clone()
+        } else {
+            format!("{}+{}", self.name, suffixes.join("+"))
+        };
+
+        // Global location table for address registers.
+        let mut locs: Vec<&'static str> = Vec::new();
+        for (ops, _) in &self.threads {
+            for op in ops {
+                if !locs.contains(&op.loc()) {
+                    locs.push(op.loc());
+                }
+            }
+        }
+
+        let mut reg_init: BTreeMap<(u16, Reg), InitVal> = BTreeMap::new();
+        let mut threads = Vec::new();
+        let mut read_regs: Vec<Vec<Reg>> = Vec::new();
+
+        for (tid, (ops, devs)) in self.threads.iter().enumerate() {
+            let tid = tid as u16;
+            let mut code: Vec<Instr> = Vec::new();
+            let mut reads = Vec::new();
+            let mut next_reg = 1u8;
+            let mut next_label = 0usize;
+            let mut alloc = || {
+                let r = Reg(next_reg);
+                next_reg += 1;
+                r
+            };
+            // Address registers: r20 + location index, initialised to the
+            // location's address (x86 uses direct operands instead).
+            let addr_of = |l: &str| Reg(20 + locs.iter().position(|x| *x == l).unwrap() as u8);
+            if isa != Isa::X86 {
+                for op in ops {
+                    let l = op.loc();
+                    reg_init
+                        .entry((tid, addr_of(l)))
+                        .or_insert_with(|| InitVal::Loc(l.to_owned()));
+                }
+            }
+            let operand = |l: &str| {
+                if isa == Isa::X86 {
+                    Addr::Direct(l.to_owned())
+                } else {
+                    Addr::Reg(addr_of(l))
+                }
+            };
+
+            let mut last_read: Option<Reg> = None;
+            for (k, op) in ops.iter().enumerate() {
+                let dev = if k == 0 { Dev::Po } else { devs[k - 1] };
+                let dep_src = last_read;
+                let need_src = || {
+                    dep_src.unwrap_or_else(|| {
+                        panic!("{name}: device {dev:?} needs a po-previous read")
+                    })
+                };
+                // Emit the device prologue.
+                let mut indexed: Option<Reg> = None;
+                match dev {
+                    Dev::Po => {}
+                    Dev::F(f) => {
+                        assert!(isa.fences().contains(&f), "{name}: {f} is not a {isa} fence");
+                        code.push(Instr::Fence(f));
+                    }
+                    Dev::Addr => {
+                        let src = need_src();
+                        let t = alloc();
+                        code.push(Instr::Xor { dst: t, a: src, b: src });
+                        indexed = Some(t);
+                    }
+                    Dev::Data => {
+                        // handled at the store below
+                    }
+                    Dev::Ctrl | Dev::CtrlCfence => {
+                        let src = need_src();
+                        let label = format!("LC{tid}{next_label}");
+                        next_label += 1;
+                        code.push(Instr::CmpReg { a: src, b: src });
+                        code.push(Instr::Branch { cond: BranchCond::Eq, label: label.clone() });
+                        code.push(Instr::Label(label));
+                        if dev == Dev::CtrlCfence {
+                            let cf = isa
+                                .control_fence()
+                                .unwrap_or_else(|| panic!("{name}: {isa} has no control fence"));
+                            code.push(Instr::Fence(cf));
+                        }
+                    }
+                }
+                // Emit the access.
+                match *op {
+                    Op::R(l) => {
+                        let dst = alloc();
+                        let addr = match indexed {
+                            Some(idx) if isa != Isa::X86 => {
+                                Addr::Indexed { base: addr_of(l), index: idx }
+                            }
+                            _ => operand(l),
+                        };
+                        code.push(Instr::Load { dst, addr });
+                        reads.push(dst);
+                        last_read = Some(dst);
+                    }
+                    Op::W(l, v) => {
+                        if dev == Dev::Data {
+                            let src = need_src();
+                            let z = alloc();
+                            let c = alloc();
+                            let val = alloc();
+                            code.push(Instr::Xor { dst: z, a: src, b: src });
+                            code.push(Instr::MoveImm { dst: c, val: v });
+                            code.push(Instr::Add { dst: val, a: z, b: c });
+                            code.push(Instr::Store { src: val, addr: operand(l) });
+                        } else if isa == Isa::X86 {
+                            code.push(Instr::StoreImm { val: v, addr: operand(l) });
+                        } else {
+                            let val = alloc();
+                            code.push(Instr::MoveImm { dst: val, val: v });
+                            match indexed {
+                                Some(idx) => code.push(Instr::Store {
+                                    src: val,
+                                    addr: Addr::Indexed { base: addr_of(l), index: idx },
+                                }),
+                                None => code.push(Instr::Store { src: val, addr: operand(l) }),
+                            }
+                        }
+                    }
+                }
+            }
+            threads.push(code);
+            read_regs.push(reads);
+        }
+
+        let prop = prop(&read_regs);
+        LitmusTest {
+            isa,
+            name,
+            threads,
+            reg_init,
+            mem_init: BTreeMap::new(),
+            condition: Condition { quantifier, prop },
+        }
+    }
+}
+
+fn reg_eq(tid: u16, reg: Reg, v: i64) -> Prop {
+    Prop::RegEq { tid, reg, val: CondVal::Int(v) }
+}
+
+fn mem_eq(loc: &str, v: i64) -> Prop {
+    Prop::MemEq { loc: loc.to_owned(), val: v }
+}
+
+fn conj(props: Vec<Prop>) -> Prop {
+    props.into_iter().reduce(Prop::and).unwrap_or(Prop::True)
+}
+
+/// mp (Fig 8): `T0: Wx=1; d0; Wy=1 — T1: Ry; d1; Rx`,
+/// `exists (1:flag=1 /\ 1:data=0)`.
+pub fn mp(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "mp")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::R("y"), Op::R("x")], vec![d1])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)])
+        })
+}
+
+/// sb (Fig 14): `T0: Wx=1; d0; Ry — T1: Wy=1; d1; Rx`,
+/// `exists (0:r=0 /\ 1:r=0)`.
+pub fn sb(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "sb")
+        .thread(vec![Op::W("x", 1), Op::R("y")], vec![d0])
+        .thread(vec![Op::W("y", 1), Op::R("x")], vec![d1])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(0, r[0][0], 0), reg_eq(1, r[1][0], 0)])
+        })
+}
+
+/// lb (Fig 7): `T0: Rx; d0; Wy=1 — T1: Ry; d1; Wx=1`,
+/// `exists (0:r=1 /\ 1:r=1)`.
+pub fn lb(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "lb")
+        .thread(vec![Op::R("x"), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::R("y"), Op::W("x", 1)], vec![d1])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)])
+        })
+}
+
+/// wrc (Fig 11): `T0: Wx=1 — T1: Rx; d1; Wy=1 — T2: Ry; d2; Rx`,
+/// `exists (1:r=1 /\ 2:r1=1 /\ 2:r2=0)`.
+pub fn wrc(isa: Isa, d1: Dev, d2: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "wrc")
+        .thread(vec![Op::W("x", 1)], vec![])
+        .thread(vec![Op::R("x"), Op::W("y", 1)], vec![d1])
+        .thread(vec![Op::R("y"), Op::R("x")], vec![d2])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(2, r[2][0], 1), reg_eq(2, r[2][1], 0)])
+        })
+}
+
+/// isa2 (Fig 12): `T0: Wx=1; d0; Wy=1 — T1: Ry; d1; Wz=1 — T2: Rz; d2; Rx`.
+pub fn isa2(isa: Isa, d0: Dev, d1: Dev, d2: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "isa2")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::R("y"), Op::W("z", 1)], vec![d1])
+        .thread(vec![Op::R("z"), Op::R("x")], vec![d2])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(2, r[2][0], 1), reg_eq(2, r[2][1], 0)])
+        })
+}
+
+/// 2+2w (Fig 13a): `T0: Wx=2; d0; Wy=1 — T1: Wy=2; d1; Wx=1`,
+/// `exists (x=2 /\ y=2)`.
+pub fn two_plus_two_w(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "2+2w")
+        .thread(vec![Op::W("x", 2), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::W("y", 2), Op::W("x", 1)], vec![d1])
+        .condition(Quantifier::Exists, |_| conj(vec![mem_eq("x", 2), mem_eq("y", 2)]))
+}
+
+/// w+rw+2w (Fig 13b).
+pub fn w_rw_2w(isa: Isa, d1: Dev, d2: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "w+rw+2w")
+        .thread(vec![Op::W("x", 2)], vec![])
+        .thread(vec![Op::R("x"), Op::W("y", 1)], vec![d1])
+        .thread(vec![Op::W("y", 2), Op::W("x", 1)], vec![d2])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 2), mem_eq("x", 2), mem_eq("y", 2)])
+        })
+}
+
+/// r (Fig 16 left): `T0: Wx=1; d0; Wy=1 — T1: Wy=2; d1; Rx`,
+/// `exists (y=2 /\ 1:r=0)`.
+pub fn r(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "r")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::W("y", 2), Op::R("x")], vec![d1])
+        .condition(Quantifier::Exists, |r| conj(vec![mem_eq("y", 2), reg_eq(1, r[1][0], 0)]))
+}
+
+/// s (Fig 16 right): `T0: Wx=2; d0; Wy=1 — T1: Ry; d1; Wx=1`,
+/// `exists (1:r=1 /\ x=2)`.
+pub fn s(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "s")
+        .thread(vec![Op::W("x", 2), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::R("y"), Op::W("x", 1)], vec![d1])
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(1, r[1][0], 1), mem_eq("x", 2)]))
+}
+
+/// rwc (Fig 15): `T0: Wx=1 — T1: Rx; d1; Ry — T2: Wy=1; d2; Rx`.
+pub fn rwc(isa: Isa, d1: Dev, d2: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "rwc")
+        .thread(vec![Op::W("x", 1)], vec![])
+        .thread(vec![Op::R("x"), Op::R("y")], vec![d1])
+        .thread(vec![Op::W("y", 1), Op::R("x")], vec![d2])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0), reg_eq(2, r[2][0], 0)])
+        })
+}
+
+/// w+rwc (Fig 19): `T0: Wx=1; d0; Wy=1 — T1: Ry; d1; Rz — T2: Wz=1; d2; Rx`.
+pub fn w_rwc(isa: Isa, d0: Dev, d1: Dev, d2: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "w+rwc")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![d0])
+        .thread(vec![Op::R("y"), Op::R("z")], vec![d1])
+        .thread(vec![Op::W("z", 1), Op::R("x")], vec![d2])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0), reg_eq(2, r[2][0], 0)])
+        })
+}
+
+/// iriw (Fig 20): `T0: Wx=1 — T1: Rx; d1; Ry — T2: Wy=1 — T3: Ry; d3; Rx`.
+pub fn iriw(isa: Isa, d1: Dev, d3: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "iriw")
+        .thread(vec![Op::W("x", 1)], vec![])
+        .thread(vec![Op::R("x"), Op::R("y")], vec![d1])
+        .thread(vec![Op::W("y", 1)], vec![])
+        .thread(vec![Op::R("y"), Op::R("x")], vec![d3])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![
+                reg_eq(1, r[1][0], 1),
+                reg_eq(1, r[1][1], 0),
+                reg_eq(3, r[3][0], 1),
+                reg_eq(3, r[3][1], 0),
+            ])
+        })
+}
+
+/// lb+devs+ww (Fig 29): `T0: Rx; d; Wy=1; po; Wz=1 — T1: Rz; d; Wa=1; po; Wx=1`.
+pub fn lb_ww(isa: Isa, d: Dev) -> LitmusTest {
+    TestBuilder::new(isa, "lb+ww")
+        .thread(vec![Op::R("x"), Op::W("y", 1), Op::W("z", 1)], vec![d, Dev::Po])
+        .thread(vec![Op::R("z"), Op::W("a", 1), Op::W("x", 1)], vec![d, Dev::Po])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)])
+        })
+}
+
+/// coWW: `T0: Wx=1; Wx=2`, `exists (x=1)` — forbidden everywhere (Fig 6).
+pub fn co_ww(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "coWW")
+        .thread(vec![Op::W("x", 1), Op::W("x", 2)], vec![Dev::Po])
+        .condition(Quantifier::Exists, |_| mem_eq("x", 1))
+}
+
+/// coRW1: `T0: Rx; Wx=1`, `exists (0:r=1)` (Fig 6).
+pub fn co_rw1(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "coRW1")
+        .thread(vec![Op::R("x"), Op::W("x", 1)], vec![Dev::Po])
+        .condition(Quantifier::Exists, |r| reg_eq(0, r[0][0], 1))
+}
+
+/// coRW2: `T0: Rx; Wx=1 — T1: Wx=2`, `exists (0:r=2 /\ x=2)` (Fig 6).
+pub fn co_rw2(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "coRW2")
+        .thread(vec![Op::R("x"), Op::W("x", 1)], vec![Dev::Po])
+        .thread(vec![Op::W("x", 2)], vec![])
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(0, r[0][0], 2), mem_eq("x", 2)]))
+}
+
+/// coWR: `T0: Wx=1; Rx — T1: Wx=2`, `exists (0:r=2 /\ x=1)` (Fig 6).
+pub fn co_wr(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "coWR")
+        .thread(vec![Op::W("x", 1), Op::R("x")], vec![Dev::Po])
+        .thread(vec![Op::W("x", 2)], vec![])
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(0, r[0][0], 2), mem_eq("x", 1)]))
+}
+
+/// coRR: `T0: Wx=1 — T1: Rx; Rx`, `exists (1:r1=1 /\ 1:r2=0)` (Fig 6);
+/// the load-load hazard observed on ARM hardware (Sec 8.1.2).
+pub fn co_rr(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "coRR")
+        .thread(vec![Op::W("x", 1)], vec![])
+        .thread(vec![Op::R("x"), Op::R("x")], vec![Dev::Po])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)])
+        })
+}
+
+/// mp+dmb+fri-rfi-ctrlisb (Fig 32): the ARM early-commit behaviour.
+/// `T0: Wx=1; ff; Wy=1 — T1: Ry; Wy=2; Ry; ctrl+cfence; Rx`.
+pub fn mp_fri_rfi_ctrlcfence(isa: Isa) -> LitmusTest {
+    let ff = isa.full_fence();
+    TestBuilder::new(isa, "mp+fri-rfi")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![Dev::F(ff)])
+        .thread(
+            vec![Op::R("y"), Op::W("y", 2), Op::R("y"), Op::R("x")],
+            vec![Dev::Po, Dev::Po, Dev::CtrlCfence],
+        )
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![
+                reg_eq(1, r[1][0], 1),
+                reg_eq(1, r[1][1], 2),
+                reg_eq(1, r[1][2], 0),
+                mem_eq("y", 2),
+            ])
+        })
+}
+
+/// lb+data+fri-rfi-ctrl (Fig 33).
+pub fn lb_data_fri_rfi_ctrl(isa: Isa) -> LitmusTest {
+    TestBuilder::new(isa, "lb+data+fri-rfi-ctrl")
+        .thread(vec![Op::R("x"), Op::W("y", 1)], vec![Dev::Data])
+        .thread(
+            vec![Op::R("y"), Op::W("y", 2), Op::R("y"), Op::W("x", 1)],
+            vec![Dev::Po, Dev::Po, Dev::Ctrl],
+        )
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![
+                reg_eq(0, r[0][0], 1),
+                reg_eq(1, r[1][0], 1),
+                reg_eq(1, r[1][1], 2),
+                mem_eq("y", 2),
+            ])
+        })
+}
+
+/// mp+lwsync+addr-po-detour (Fig 36): allowed by our Power model, wrongly
+/// forbidden by the PLDI 2011 model.
+/// `T0: Wx=2; lwf; Wy=1 — T1: Ry; addr; Rz; po; Rx — T2: Wx=1; po; Rx`.
+pub fn mp_addr_po_detour(isa: Isa) -> LitmusTest {
+    let lwf = isa.lightweight_fence().unwrap_or_else(|| isa.full_fence());
+    TestBuilder::new(isa, "mp+addr-po-detour")
+        .thread(vec![Op::W("x", 2), Op::W("y", 1)], vec![Dev::F(lwf)])
+        .thread(vec![Op::R("y"), Op::R("z"), Op::R("x")], vec![Dev::Addr, Dev::Po])
+        .thread(vec![Op::W("x", 1), Op::R("x")], vec![Dev::Po])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![
+                reg_eq(1, r[1][0], 1), // Ry=1
+                reg_eq(1, r[1][1], 0), // Rz=0
+                reg_eq(1, r[1][2], 0), // Rx=0 — the mp violation
+                reg_eq(2, r[2][0], 2), // T2's read sees x=2 (the detour)
+                mem_eq("x", 2),        // T2's write is co-before T0's
+            ])
+        })
+}
+
+/// mp+lwsync+addr-bigdetour-addr (Fig 37): allowed by our model, forbidden
+/// by the multi-event model of Mador-Haim et al.
+pub fn mp_addr_bigdetour_addr(isa: Isa) -> LitmusTest {
+    let lwf = isa.lightweight_fence().unwrap_or_else(|| isa.full_fence());
+    TestBuilder::new(isa, "mp+addr-bigdetour-addr")
+        .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![Dev::F(lwf)])
+        .thread(
+            vec![Op::R("y"), Op::R("z"), Op::R("w"), Op::R("x")],
+            vec![Dev::Addr, Dev::Po, Dev::Addr],
+        )
+        .thread(vec![Op::W("z", 1), Op::W("w", 1)], vec![Dev::F(lwf)])
+        .condition(Quantifier::Exists, |r| {
+            conj(vec![
+                reg_eq(1, r[1][0], 1),
+                reg_eq(1, r[1][1], 0),
+                reg_eq(1, r[1][2], 1),
+                reg_eq(1, r[1][3], 0),
+            ])
+        })
+}
+
+/// A named verdict-bearing corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// The test.
+    pub test: LitmusTest,
+    /// Whether the paper's model for this ISA *allows* the final condition.
+    pub allowed: bool,
+}
+
+/// The Power corpus with the paper's verdicts (captions of Figs 6–20,
+/// Sec 4.6–4.7 discussion).
+pub fn power_corpus() -> Vec<CorpusEntry> {
+    use Dev::{Addr as DA, Ctrl as DC, CtrlCfence as DCF, Data as DD, Po};
+    let isa = Isa::Power;
+    let lw = Dev::F(Fence::Lwsync);
+    let ff = Dev::F(Fence::Sync);
+    let eieio = Dev::F(Fence::Eieio);
+    let e = |test, allowed| CorpusEntry { test, allowed };
+    vec![
+        // Coherence (Fig 6): forbidden everywhere.
+        e(co_ww(isa), false),
+        e(co_rw1(isa), false),
+        e(co_rw2(isa), false),
+        e(co_wr(isa), false),
+        e(co_rr(isa), false),
+        // mp family (Fig 8).
+        e(mp(isa, Po, Po), true),
+        e(mp(isa, lw, Po), true),
+        e(mp(isa, Po, DA), true),
+        e(mp(isa, lw, DA), false),
+        e(mp(isa, lw, DCF), false),
+        e(mp(isa, lw, DC), true), // ctrl does not order read-read
+        e(mp(isa, ff, DA), false),
+        e(mp(isa, ff, DCF), false),
+        e(mp(isa, ff, DC), true), // even sync cannot make ctrl order reads
+        e(mp(isa, eieio, DA), false), // eieio keeps write-write order
+        e(mp(isa, eieio, DCF), false),
+        // lb family (Fig 7).
+        e(lb(isa, Po, Po), true),
+        e(lb(isa, DA, DA), false),
+        e(lb(isa, DD, DD), false),
+        e(lb(isa, DC, DC), false), // ctrl to a write is preserved
+        e(lb(isa, DC, DA), false),
+        e(lb(isa, Po, DA), true), // one unprotected side suffices
+        e(lb(isa, lw, DA), false),
+        e(lb(isa, ff, ff), false),
+        // Fig 29 variants.
+        e(lb_ww(isa, DA), false),
+        e(lb_ww(isa, DD), true), // data variant allowed and observed
+        // sb family (Fig 14).
+        e(sb(isa, Po, Po), true),
+        e(sb(isa, lw, lw), true), // lwsync does not order write-read
+        e(sb(isa, lw, ff), true), // one full fence is not enough
+        e(sb(isa, ff, ff), false),
+        // wrc (Fig 11).
+        e(wrc(isa, Po, DA), true),
+        e(wrc(isa, lw, DA), false),
+        e(wrc(isa, ff, DA), false),
+        e(wrc(isa, DA, DA), true),
+        e(wrc(isa, DD, DA), true), // deps alone never forbid wrc
+        // isa2 (Fig 12).
+        e(isa2(isa, lw, DA, DA), false),
+        e(isa2(isa, lw, DD, DA), false), // data on the read-write pair works too
+        e(isa2(isa, ff, DD, DCF), false),
+        e(isa2(isa, Po, DA, DA), true),
+        // 2+2w and w+rw+2w (Fig 13).
+        e(two_plus_two_w(isa, Po, Po), true),
+        e(two_plus_two_w(isa, lw, lw), false),
+        e(two_plus_two_w(isa, lw, ff), false), // full is at least lightweight
+        e(two_plus_two_w(isa, lw, Po), true),  // one fence is not enough
+        e(two_plus_two_w(isa, eieio, eieio), false), // eieio is WW-capable
+        e(w_rw_2w(isa, lw, lw), false),
+        e(w_rw_2w(isa, DA, lw), true),
+        // r and s (Fig 16).
+        e(r(isa, Po, Po), true),
+        e(r(isa, ff, ff), false),
+        e(r(isa, lw, ff), true), // r+lwsync+sync: the architects' surprise
+        e(s(isa, lw, DA), false),
+        e(s(isa, lw, DD), false),
+        e(s(isa, Po, DD), true),
+        // rwc (Fig 15).
+        e(rwc(isa, ff, ff), false),
+        e(rwc(isa, lw, lw), true),
+        // w+rwc (Fig 19): eieio is not a full fence.
+        e(w_rwc(isa, eieio, DA, ff), true),
+        e(w_rwc(isa, ff, DA, ff), false),
+        // iriw (Fig 20).
+        e(iriw(isa, Po, Po), true),
+        e(iriw(isa, lw, lw), true),
+        e(iriw(isa, lw, ff), true), // both sides need the full fence
+        e(iriw(isa, ff, ff), false),
+        e(iriw(isa, DA, DA), true),
+        // Fig 36: the PLDI-model counterexample is allowed by our model.
+        e(mp_addr_po_detour(isa), true),
+        // Fig 37: the multi-event counterexample is allowed by our model.
+        e(mp_addr_bigdetour_addr(isa), true),
+    ]
+}
+
+/// The ARM corpus with the proposed-model verdicts (Sec 8.1.2, Tab VII).
+pub fn arm_corpus() -> Vec<CorpusEntry> {
+    use Dev::{Addr as DA, Ctrl as DC, CtrlCfence as DCF, Data as DD, Po};
+    let isa = Isa::Arm;
+    let ff = Dev::F(Fence::Dmb);
+    let dsb = Dev::F(Fence::Dsb);
+    let st = Dev::F(Fence::DmbSt);
+    let e = |test, allowed| CorpusEntry { test, allowed };
+    vec![
+        e(co_ww(isa), false),
+        e(co_rw1(isa), false),
+        e(co_wr(isa), false),
+        e(co_rr(isa), false), // forbidden by the model; hardware bug (Tab VI)
+        e(mp(isa, Po, Po), true),
+        e(mp(isa, ff, DA), false),
+        e(mp(isa, ff, DCF), false),
+        e(mp(isa, ff, DC), true),
+        e(mp(isa, dsb, DA), false),
+        e(mp(isa, st, DA), false), // dmb.st orders the write-write pair
+        e(mp(isa, st, DCF), false),
+        e(lb(isa, DA, DA), false),
+        e(lb(isa, DD, DD), false),
+        e(lb(isa, DC, DC), false),
+        e(lb(isa, Po, DC), true),
+        e(sb(isa, ff, ff), false),
+        e(sb(isa, st, st), true), // .st does nothing on write-read pairs
+        e(rwc(isa, st, st), true), // nor on the rwc read-read / write-read pairs
+        e(wrc(isa, ff, DA), false),
+        e(wrc(isa, ff, DCF), false),
+        e(iriw(isa, DA, DA), true),
+        e(isa2(isa, ff, DA, DA), false),
+        e(two_plus_two_w(isa, st, st), false),
+        e(r(isa, ff, ff), false),
+        e(rwc(isa, ff, ff), false),
+        e(iriw(isa, ff, ff), false),
+        // The early-commit behaviours (Fig 32/33): allowed by the proposed
+        // ARM model (and observed on Qualcomm hardware).
+        e(mp_fri_rfi_ctrlcfence(isa), true),
+        e(lb_data_fri_rfi_ctrl(isa), true),
+    ]
+}
+
+/// The x86/TSO corpus (Fig 21, Sec 4.8).
+pub fn x86_corpus() -> Vec<CorpusEntry> {
+    use Dev::Po;
+    let isa = Isa::X86;
+    let mf = Dev::F(Fence::Mfence);
+    let e = |test, allowed| CorpusEntry { test, allowed };
+    vec![
+        e(co_ww(isa), false),
+        e(co_rw1(isa), false),
+        e(co_wr(isa), false),
+        e(co_rr(isa), false),
+        e(sb(isa, Po, Po), true), // THE TSO behaviour
+        e(sb(isa, mf, mf), false),
+        e(mp(isa, Po, Po), false),
+        e(lb(isa, Po, Po), false),
+        e(wrc(isa, Po, Po), false),
+        e(iriw(isa, Po, Po), false),
+        e(two_plus_two_w(isa, Po, Po), false),
+        // r and rwc each hide a write-read pair, which TSO relaxes: both
+        // are allowed bare and need mfence on that pair (Sec 4.6: "on TSO
+        // every relation contributes to prop except the write-read pairs").
+        e(r(isa, Po, Po), true),
+        e(r(isa, mf, Po), true), // the WW pair is already preserved on TSO
+        e(r(isa, Po, mf), false),
+        e(rwc(isa, Po, Po), true),
+        e(rwc(isa, Po, mf), false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_convention() {
+        assert_eq!(mp(Isa::Power, Dev::F(Fence::Lwsync), Dev::Addr).name, "mp+lwsync+addr");
+        assert_eq!(mp(Isa::Power, Dev::Po, Dev::Po).name, "mp");
+        assert_eq!(
+            mp(Isa::Arm, Dev::F(Fence::Dmb), Dev::CtrlCfence).name,
+            "mp+dmb+ctrlisb"
+        );
+        assert_eq!(sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence)).name,
+            "sb+mfence+mfence");
+    }
+
+    #[test]
+    fn corpora_are_nonempty_and_named_uniquely() {
+        for corpus in [power_corpus(), arm_corpus(), x86_corpus()] {
+            let mut names: Vec<String> = corpus.iter().map(|e| e.test.name.clone()).collect();
+            let total = names.len();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), total, "duplicate test names");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a po-previous read")]
+    fn invalid_device_placement_panics() {
+        // An address dependency between two writes has no source read.
+        let _ = mp(Isa::Power, Dev::Addr, Dev::Po);
+    }
+}

@@ -1,0 +1,361 @@
+//! Symbolic values flowing through registers.
+//!
+//! Thread semantics (paper, Sec 5) runs each thread with the values of its
+//! memory loads left *symbolic*: load event `r` introduces the symbol
+//! `S_r`. Register contents are then expressions over these symbols, with
+//! arithmetic folded eagerly — in particular `xor x x` folds to `0` even
+//! for unknown `x`, which is exactly how litmus tests build *false*
+//! dependencies (Sec 5.2.1) whose addresses still resolve concretely.
+//!
+//! Choosing a read-from edge `w → r` later equates `S_r` with the write's
+//! value expression; [`Assignment`] resolves the resulting equation system.
+
+use herd_core::event::Loc;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbol standing for the (yet unknown) value of one memory read;
+/// identified by the read's event id within its candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub usize);
+
+/// An integer-valued symbolic expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SymExpr {
+    /// A known constant.
+    Const(i64),
+    /// The value of a read.
+    Sym(SymId),
+    /// Bitwise exclusive or.
+    Xor(Box<SymExpr>, Box<SymExpr>),
+    /// Addition.
+    Add(Box<SymExpr>, Box<SymExpr>),
+    /// Comparison for equality, yielding 1 or 0. Used for condition
+    /// registers (`cmpwi`/`cmp`).
+    Eq(Box<SymExpr>, Box<SymExpr>),
+}
+
+impl SymExpr {
+    /// Smart constructor for xor: folds constants and the structural
+    /// identity `e ⊕ e = 0` (false dependencies).
+    pub fn xor(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(x ^ y),
+            _ if a == b => SymExpr::Const(0),
+            (SymExpr::Const(0), _) => b,
+            (_, SymExpr::Const(0)) => a,
+            _ => SymExpr::Xor(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for addition: folds constants and `+ 0`.
+    #[allow(clippy::should_implement_trait)] // cat-algebra naming, not ops::Add
+    pub fn add(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(x + y),
+            (SymExpr::Const(0), _) => b,
+            (_, SymExpr::Const(0)) => a,
+            _ => SymExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Smart constructor for equality comparison.
+    #[allow(clippy::should_implement_trait)] // cat-algebra naming, not PartialEq
+    pub fn eq(a: SymExpr, b: SymExpr) -> SymExpr {
+        match (&a, &b) {
+            (SymExpr::Const(x), SymExpr::Const(y)) => SymExpr::Const(i64::from(x == y)),
+            _ if a == b => SymExpr::Const(1),
+            _ => SymExpr::Eq(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluates under an assignment; `None` if a needed symbol is
+    /// unassigned.
+    pub fn eval(&self, asg: &Assignment) -> Option<i64> {
+        match self {
+            SymExpr::Const(c) => Some(*c),
+            SymExpr::Sym(s) => asg.get(*s),
+            SymExpr::Xor(a, b) => Some(a.eval(asg)? ^ b.eval(asg)?),
+            SymExpr::Add(a, b) => Some(a.eval(asg)? + b.eval(asg)?),
+            SymExpr::Eq(a, b) => Some(i64::from(a.eval(asg)? == b.eval(asg)?)),
+        }
+    }
+
+    /// Collects the symbols occurring in the expression.
+    pub fn symbols(&self, out: &mut Vec<SymId>) {
+        match self {
+            SymExpr::Const(_) => {}
+            SymExpr::Sym(s) => out.push(*s),
+            SymExpr::Xor(a, b) | SymExpr::Add(a, b) | SymExpr::Eq(a, b) => {
+                a.symbols(out);
+                b.symbols(out);
+            }
+        }
+    }
+
+    /// Is the expression a known constant?
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            SymExpr::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Rewrites every symbol through `f` (used to map thread-local read
+    /// indices to global event identifiers).
+    pub fn rename(&self, f: &impl Fn(SymId) -> SymId) -> SymExpr {
+        match self {
+            SymExpr::Const(c) => SymExpr::Const(*c),
+            SymExpr::Sym(s) => SymExpr::Sym(f(*s)),
+            SymExpr::Xor(a, b) => SymExpr::Xor(Box::new(a.rename(f)), Box::new(b.rename(f))),
+            SymExpr::Add(a, b) => SymExpr::Add(Box::new(a.rename(f)), Box::new(b.rename(f))),
+            SymExpr::Eq(a, b) => SymExpr::Eq(Box::new(a.rename(f)), Box::new(b.rename(f))),
+        }
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Const(c) => write!(f, "{c}"),
+            SymExpr::Sym(s) => write!(f, "s{}", s.0),
+            SymExpr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            SymExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            SymExpr::Eq(a, b) => write!(f, "({a} == {b})"),
+        }
+    }
+}
+
+/// A register's content: an integer expression or a location (address).
+///
+/// Registers initialised with `0:r2=x` hold addresses; arithmetic on
+/// addresses is limited to adding a (folded) zero offset, which is all the
+/// paper's false-dependency idioms need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RVal {
+    /// An integer expression.
+    Int(SymExpr),
+    /// The address of a shared location.
+    Addr(Loc),
+}
+
+impl Default for RVal {
+    /// Uninitialised registers read as the integer 0.
+    fn default() -> Self {
+        RVal::int(0)
+    }
+}
+
+impl RVal {
+    /// A constant integer.
+    pub fn int(v: i64) -> RVal {
+        RVal::Int(SymExpr::Const(v))
+    }
+
+    /// The integer expression, if this is not an address.
+    pub fn as_int(&self) -> Option<&SymExpr> {
+        match self {
+            RVal::Int(e) => Some(e),
+            RVal::Addr(_) => None,
+        }
+    }
+}
+
+/// A partial map from symbols to concrete values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: BTreeMap<SymId, i64>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The value of `s`, if assigned.
+    pub fn get(&self, s: SymId) -> Option<i64> {
+        self.map.get(&s).copied()
+    }
+
+    /// Binds `s` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is already bound to a different value (resolution
+    /// logic must check before binding).
+    pub fn bind(&mut self, s: SymId, v: i64) {
+        let prev = self.map.insert(s, v);
+        assert!(prev.is_none() || prev == Some(v), "rebinding {s:?}");
+    }
+
+    /// Number of bound symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is nothing bound?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One equation `Sym(s) == expr` produced by a read-from choice, or a path
+/// constraint `expr == const` / `expr != const` produced by a branch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Equation {
+    /// The read with symbol `sym` takes the value of `expr`.
+    ReadsValue {
+        /// The read's symbol.
+        sym: SymId,
+        /// The source write's value expression.
+        expr: SymExpr,
+    },
+    /// A branch went the way requiring `expr == want` (`negated` flips it).
+    Constraint {
+        /// The branch condition expression.
+        expr: SymExpr,
+        /// The required value.
+        want: i64,
+        /// Whether the requirement is `!=` instead of `==`.
+        negated: bool,
+    },
+}
+
+/// Resolves a system of equations, given the domain to enumerate for
+/// symbols that stay free (value cycles, e.g. genuine `lb+data` thin-air
+/// candidates, constrain values only up to equality).
+///
+/// Returns every consistent total assignment over `symbols`.
+pub fn solve(
+    symbols: &[SymId],
+    equations: &[Equation],
+    domain: &[i64],
+) -> Vec<Assignment> {
+    let mut base = Assignment::new();
+    // Propagate forced values to a fixpoint.
+    loop {
+        let mut changed = false;
+        for eq in equations {
+            if let Equation::ReadsValue { sym, expr } = eq {
+                if base.get(*sym).is_none() {
+                    if let Some(v) = expr.eval(&base) {
+                        base.bind(*sym, v);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let free: Vec<SymId> = symbols.iter().copied().filter(|s| base.get(*s).is_none()).collect();
+    let mut out = Vec::new();
+    enumerate_free(&free, 0, domain, &mut base, equations, &mut out);
+    out
+}
+
+fn enumerate_free(
+    free: &[SymId],
+    k: usize,
+    domain: &[i64],
+    asg: &mut Assignment,
+    equations: &[Equation],
+    out: &mut Vec<Assignment>,
+) {
+    if k == free.len() {
+        if consistent(asg, equations) {
+            out.push(asg.clone());
+        }
+        return;
+    }
+    for &v in domain {
+        let mut next = asg.clone();
+        next.bind(free[k], v);
+        enumerate_free(free, k + 1, domain, &mut next, equations, out);
+    }
+}
+
+/// Do all equations hold under a total assignment?
+pub fn consistent(asg: &Assignment, equations: &[Equation]) -> bool {
+    equations.iter().all(|eq| match eq {
+        Equation::ReadsValue { sym, expr } => match (asg.get(*sym), expr.eval(asg)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        },
+        Equation::Constraint { expr, want, negated } => match expr.eval(asg) {
+            Some(v) => (v == *want) != *negated,
+            None => false,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_folds_false_dependency() {
+        let s = SymExpr::Sym(SymId(3));
+        assert_eq!(SymExpr::xor(s.clone(), s), SymExpr::Const(0));
+        assert_eq!(SymExpr::xor(SymExpr::Const(5), SymExpr::Const(3)), SymExpr::Const(6));
+    }
+
+    #[test]
+    fn add_folds_zero() {
+        let s = SymExpr::Sym(SymId(0));
+        assert_eq!(SymExpr::add(SymExpr::Const(0), s.clone()), s);
+        assert_eq!(SymExpr::add(SymExpr::Const(2), SymExpr::Const(40)), SymExpr::Const(42));
+    }
+
+    #[test]
+    fn eval_needs_all_symbols() {
+        let e = SymExpr::add(SymExpr::Sym(SymId(0)), SymExpr::Const(1));
+        let mut asg = Assignment::new();
+        assert_eq!(e.eval(&asg), None);
+        asg.bind(SymId(0), 41);
+        assert_eq!(e.eval(&asg), Some(42));
+    }
+
+    #[test]
+    fn solve_propagates_chains() {
+        // s0 = 1; s1 = s0 + 1.
+        let eqs = vec![
+            Equation::ReadsValue { sym: SymId(0), expr: SymExpr::Const(1) },
+            Equation::ReadsValue {
+                sym: SymId(1),
+                expr: SymExpr::add(SymExpr::Sym(SymId(0)), SymExpr::Const(1)),
+            },
+        ];
+        let sols = solve(&[SymId(0), SymId(1)], &eqs, &[0]);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(SymId(1)), Some(2));
+    }
+
+    #[test]
+    fn solve_enumerates_value_cycles() {
+        // s0 = s1; s1 = s0 — the thin-air shape: any domain value works,
+        // but the two symbols must agree.
+        let eqs = vec![
+            Equation::ReadsValue { sym: SymId(0), expr: SymExpr::Sym(SymId(1)) },
+            Equation::ReadsValue { sym: SymId(1), expr: SymExpr::Sym(SymId(0)) },
+        ];
+        let sols = solve(&[SymId(0), SymId(1)], &eqs, &[0, 1]);
+        assert_eq!(sols.len(), 2);
+        for s in &sols {
+            assert_eq!(s.get(SymId(0)), s.get(SymId(1)));
+        }
+    }
+
+    #[test]
+    fn constraints_filter_solutions() {
+        let eqs = vec![
+            Equation::ReadsValue { sym: SymId(0), expr: SymExpr::Sym(SymId(0)) },
+            Equation::Constraint { expr: SymExpr::Sym(SymId(0)), want: 1, negated: false },
+        ];
+        let sols = solve(&[SymId(0)], &eqs, &[0, 1, 2]);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(SymId(0)), Some(1));
+    }
+}

@@ -1,0 +1,544 @@
+//! Instruction semantics: symbolic per-thread execution (paper, Sec 5).
+//!
+//! Each thread is run with the values of its memory loads left symbolic.
+//! Instead of materialising register read/write events and `iico` edges,
+//! every register carries a *taint*: the set of po-earlier loads reachable
+//! from it through the register data-flow graph
+//! `dd-reg = (rf-reg ∪ iico)+` of Fig 22. The dependency relations then
+//! fall out directly:
+//!
+//! - `addr`: taint of the registers feeding an access's address;
+//! - `data`: taint of the register feeding a store's value;
+//! - `ctrl`: accumulated taint of every conditional-branch condition
+//!   executed so far (`(dd-reg ∩ RB); po`);
+//! - `ctrl+cfence`: the part of `ctrl` sealed by an executed control fence
+//!   (`isync`/`isb`).
+//!
+//! False dependencies are preserved: `xor r9,r1,r1` folds its *value* to 0
+//! but keeps `r1`'s taint, exactly as Sec 5.2.1 prescribes. A load's
+//! destination inherits the address registers' taint as well (the formal
+//! `dd-reg` chains through the load's `iico` edges).
+//!
+//! Conditional branches whose condition does not fold to a constant fork
+//! the execution; each completed path records the branch constraints it
+//! assumed, checked later against the chosen data flow.
+
+use crate::expr::{RVal, SymExpr, SymId};
+use crate::isa::{Addr, BranchCond, Instr, Reg};
+use herd_core::event::{Dir, Fence, Loc};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One memory access produced by a thread path, with its dependencies
+/// expressed as indices of earlier *reads of the same path*.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Read or write.
+    pub dir: Dir,
+    /// Accessed location.
+    pub loc: Loc,
+    /// Value: for writes, the (symbolic) value stored; for reads,
+    /// `Sym(local read index)`.
+    pub value: SymExpr,
+    /// Local read indices feeding the address.
+    pub addr_deps: Vec<usize>,
+    /// Local read indices feeding a store's value.
+    pub data_deps: Vec<usize>,
+    /// Local read indices controlling an earlier conditional branch.
+    pub ctrl_deps: Vec<usize>,
+    /// The subset of `ctrl_deps` sealed by a control fence.
+    pub ctrl_cfence_deps: Vec<usize>,
+    /// Local read index of this access, if it is a read.
+    pub read_index: Option<usize>,
+}
+
+/// A branch constraint assumed by a path: `expr == want`, or `!=` when
+/// `negated`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathConstraint {
+    /// The branch condition expression.
+    pub expr: SymExpr,
+    /// Compared value.
+    pub want: i64,
+    /// `!=` instead of `==`.
+    pub negated: bool,
+}
+
+/// One complete control-flow path of a thread.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPath {
+    /// Memory accesses in program order.
+    pub accesses: Vec<Access>,
+    /// Fences, as `(flavour, position)`: the fence separates accesses
+    /// `[0, position)` from `[position, ...)`.
+    pub fences: Vec<(Fence, usize)>,
+    /// Branch constraints assumed along the path.
+    pub constraints: Vec<PathConstraint>,
+    /// Final register file.
+    pub final_regs: BTreeMap<Reg, RVal>,
+    /// Number of reads on the path.
+    pub read_count: usize,
+}
+
+/// Errors of the instruction semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemError {
+    /// A branch targets an unknown label.
+    UnknownLabel {
+        /// Thread index.
+        tid: u16,
+        /// The missing label.
+        label: String,
+    },
+    /// A memory operand's address could not be resolved to a location
+    /// (e.g. the index register of `lwzx` did not fold to zero).
+    UnresolvedAddress {
+        /// Thread index.
+        tid: u16,
+        /// Instruction position.
+        pc: usize,
+    },
+    /// A conditional branch executed with no preceding comparison.
+    MissingComparison {
+        /// Thread index.
+        tid: u16,
+        /// Instruction position.
+        pc: usize,
+    },
+    /// The step budget was exhausted (runaway loop).
+    FuelExhausted {
+        /// Thread index.
+        tid: u16,
+    },
+    /// An operation mixed addresses and integers unsupportedly.
+    AddressArithmetic {
+        /// Thread index.
+        tid: u16,
+        /// Instruction position.
+        pc: usize,
+    },
+    /// A `Direct` operand names a location missing from the table.
+    UnknownLocation {
+        /// The location name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemError::UnknownLabel { tid, label } => write!(f, "T{tid}: unknown label {label}"),
+            SemError::UnresolvedAddress { tid, pc } => {
+                write!(f, "T{tid}@{pc}: address does not resolve to a location")
+            }
+            SemError::MissingComparison { tid, pc } => {
+                write!(f, "T{tid}@{pc}: conditional branch without comparison")
+            }
+            SemError::FuelExhausted { tid } => write!(f, "T{tid}: step budget exhausted"),
+            SemError::AddressArithmetic { tid, pc } => {
+                write!(f, "T{tid}@{pc}: unsupported arithmetic on addresses")
+            }
+            SemError::UnknownLocation { name } => write!(f, "unknown location {name}"),
+        }
+    }
+}
+
+impl std::error::Error for SemError {}
+
+#[derive(Clone, Debug, Default)]
+struct RegState {
+    val: RVal,
+    taint: BTreeSet<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadState {
+    regs: BTreeMap<Reg, RegState>,
+    cond: Option<(SymExpr, BTreeSet<usize>)>,
+    ctrl_taint: BTreeSet<usize>,
+    cfence_taint: BTreeSet<usize>,
+    path: ThreadPath,
+    pc: usize,
+    fuel: usize,
+}
+
+/// Runs a thread, returning every control-flow path (paper, Sec 3: the
+/// program order "determines the branches taken", so each path is one
+/// control-flow semantics).
+///
+/// # Errors
+///
+/// Returns a [`SemError`] for malformed programs (unknown labels,
+/// unresolvable addresses, runaway loops past `fuel` steps).
+pub fn run_thread(
+    tid: u16,
+    code: &[Instr],
+    init: &BTreeMap<Reg, RVal>,
+    locs: &BTreeMap<String, Loc>,
+    fuel: usize,
+) -> Result<Vec<ThreadPath>, SemError> {
+    let mut labels: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, instr) in code.iter().enumerate() {
+        if let Instr::Label(l) = instr {
+            labels.insert(l, i);
+        }
+    }
+    let regs = init
+        .iter()
+        .map(|(r, v)| (*r, RegState { val: v.clone(), taint: BTreeSet::new() }))
+        .collect();
+    let start = ThreadState {
+        regs,
+        cond: None,
+        ctrl_taint: BTreeSet::new(),
+        cfence_taint: BTreeSet::new(),
+        path: ThreadPath::default(),
+        pc: 0,
+        fuel,
+    };
+    let mut paths = Vec::new();
+    explore(tid, code, &labels, locs, start, &mut paths)?;
+    Ok(paths)
+}
+
+fn explore(
+    tid: u16,
+    code: &[Instr],
+    labels: &BTreeMap<&str, usize>,
+    locs: &BTreeMap<String, Loc>,
+    mut st: ThreadState,
+    out: &mut Vec<ThreadPath>,
+) -> Result<(), SemError> {
+    loop {
+        if st.pc >= code.len() {
+            st.path.final_regs =
+                st.regs.iter().map(|(r, s)| (*r, s.val.clone())).collect();
+            out.push(st.path);
+            return Ok(());
+        }
+        if st.fuel == 0 {
+            return Err(SemError::FuelExhausted { tid });
+        }
+        st.fuel -= 1;
+        let pc = st.pc;
+        st.pc += 1;
+        match &code[pc] {
+            Instr::Label(_) => {}
+            Instr::MoveImm { dst, val } => {
+                st.regs.insert(*dst, RegState { val: RVal::int(*val), taint: BTreeSet::new() });
+            }
+            Instr::Move { dst, src } => {
+                let s = st.reg(*src);
+                st.regs.insert(*dst, s);
+            }
+            Instr::Xor { dst, a, b } => {
+                let (ra, rb) = (st.reg(*a), st.reg(*b));
+                let (ea, eb) = match (ra.val.as_int(), rb.val.as_int()) {
+                    (Some(x), Some(y)) => (x.clone(), y.clone()),
+                    _ => return Err(SemError::AddressArithmetic { tid, pc }),
+                };
+                let mut taint = ra.taint;
+                taint.extend(rb.taint);
+                st.regs.insert(*dst, RegState { val: RVal::Int(SymExpr::xor(ea, eb)), taint });
+            }
+            Instr::Add { dst, a, b } => {
+                let (ra, rb) = (st.reg(*a), st.reg(*b));
+                let mut taint = ra.taint.clone();
+                taint.extend(rb.taint.iter().copied());
+                let val = match (&ra.val, &rb.val) {
+                    (RVal::Int(x), RVal::Int(y)) => {
+                        RVal::Int(SymExpr::add(x.clone(), y.clone()))
+                    }
+                    // Address plus an offset that folds to zero stays the
+                    // same address (false-dependency address computation).
+                    (RVal::Addr(l), RVal::Int(e)) | (RVal::Int(e), RVal::Addr(l))
+                        if e.as_const() == Some(0) =>
+                    {
+                        RVal::Addr(*l)
+                    }
+                    _ => return Err(SemError::AddressArithmetic { tid, pc }),
+                };
+                st.regs.insert(*dst, RegState { val, taint });
+            }
+            Instr::CmpImm { src, val } => {
+                let r = st.reg(*src);
+                let e = match r.val.as_int() {
+                    Some(e) => e.clone(),
+                    None => return Err(SemError::AddressArithmetic { tid, pc }),
+                };
+                st.cond = Some((SymExpr::eq(e, SymExpr::Const(*val)), r.taint));
+            }
+            Instr::CmpReg { a, b } => {
+                let (ra, rb) = (st.reg(*a), st.reg(*b));
+                let (ea, eb) = match (ra.val.as_int(), rb.val.as_int()) {
+                    (Some(x), Some(y)) => (x.clone(), y.clone()),
+                    _ => return Err(SemError::AddressArithmetic { tid, pc }),
+                };
+                let mut taint = ra.taint;
+                taint.extend(rb.taint);
+                // cmp r,r folds to "equal" but keeps the taint: the false
+                // control dependency of Sec 5.2.3.
+                st.cond = Some((SymExpr::eq(ea, eb), taint));
+            }
+            Instr::Fence(f) => {
+                if f.is_control() {
+                    // A control fence seals every branch executed so far
+                    // (Sec 5.2.4).
+                    let t = st.ctrl_taint.clone();
+                    st.cfence_taint.extend(t);
+                } else {
+                    st.path.fences.push((*f, st.path.accesses.len()));
+                }
+            }
+            Instr::Load { dst, addr } => {
+                let (loc, addr_taint) = st.resolve(tid, pc, addr, locs)?;
+                let idx = st.path.read_count;
+                st.path.read_count += 1;
+                st.path.accesses.push(Access {
+                    dir: Dir::R,
+                    loc,
+                    value: SymExpr::Sym(SymId(idx)),
+                    addr_deps: addr_taint.iter().copied().collect(),
+                    data_deps: Vec::new(),
+                    ctrl_deps: st.ctrl_taint.iter().copied().collect(),
+                    ctrl_cfence_deps: st.cfence_taint.iter().copied().collect(),
+                    read_index: Some(idx),
+                });
+                // dd-reg chains through the load: the destination carries
+                // both this read and the address registers' taint.
+                let mut taint = addr_taint;
+                taint.insert(idx);
+                st.regs.insert(*dst, RegState { val: RVal::Int(SymExpr::Sym(SymId(idx))), taint });
+            }
+            Instr::Store { src, addr } => {
+                let (loc, addr_taint) = st.resolve(tid, pc, addr, locs)?;
+                let r = st.reg(*src);
+                let value = match r.val.as_int() {
+                    Some(e) => e.clone(),
+                    None => return Err(SemError::AddressArithmetic { tid, pc }),
+                };
+                st.path.accesses.push(Access {
+                    dir: Dir::W,
+                    loc,
+                    value,
+                    addr_deps: addr_taint.iter().copied().collect(),
+                    data_deps: r.taint.iter().copied().collect(),
+                    ctrl_deps: st.ctrl_taint.iter().copied().collect(),
+                    ctrl_cfence_deps: st.cfence_taint.iter().copied().collect(),
+                    read_index: None,
+                });
+            }
+            Instr::StoreImm { val, addr } => {
+                let (loc, addr_taint) = st.resolve(tid, pc, addr, locs)?;
+                st.path.accesses.push(Access {
+                    dir: Dir::W,
+                    loc,
+                    value: SymExpr::Const(*val),
+                    addr_deps: addr_taint.iter().copied().collect(),
+                    data_deps: Vec::new(),
+                    ctrl_deps: st.ctrl_taint.iter().copied().collect(),
+                    ctrl_cfence_deps: st.cfence_taint.iter().copied().collect(),
+                    read_index: None,
+                });
+            }
+            Instr::Branch { cond: BranchCond::Always, label } => {
+                st.pc = *labels
+                    .get(label.as_str())
+                    .ok_or_else(|| SemError::UnknownLabel { tid, label: label.clone() })?;
+            }
+            Instr::Branch { cond, label } => {
+                let target = *labels
+                    .get(label.as_str())
+                    .ok_or_else(|| SemError::UnknownLabel { tid, label: label.clone() })?;
+                let (expr, taint) = st
+                    .cond
+                    .clone()
+                    .ok_or(SemError::MissingComparison { tid, pc })?;
+                // The branch event depends on the comparison's sources
+                // regardless of the outcome or of constant folding
+                // ("false" control dependencies, Sec 5.2.3).
+                st.ctrl_taint.extend(taint);
+                // eq(..) yields 1 when equal; beq taken iff 1, bne iff 0.
+                let taken_wants_eq = matches!(cond, BranchCond::Eq);
+                match expr.as_const() {
+                    Some(v) => {
+                        if (v == 1) == taken_wants_eq {
+                            st.pc = target;
+                        }
+                    }
+                    None => {
+                        // Fork: taken branch...
+                        let mut taken = st.clone();
+                        taken.pc = target;
+                        taken.path.constraints.push(PathConstraint {
+                            expr: expr.clone(),
+                            want: 1,
+                            negated: !taken_wants_eq,
+                        });
+                        explore(tid, code, labels, locs, taken, out)?;
+                        // ...and fall-through (continue this state).
+                        st.path.constraints.push(PathConstraint {
+                            expr,
+                            want: 1,
+                            negated: taken_wants_eq,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ThreadState {
+    fn reg(&self, r: Reg) -> RegState {
+        self.regs.get(&r).cloned().unwrap_or_default()
+    }
+
+    fn resolve(
+        &self,
+        tid: u16,
+        pc: usize,
+        addr: &Addr,
+        locs: &BTreeMap<String, Loc>,
+    ) -> Result<(Loc, BTreeSet<usize>), SemError> {
+        match addr {
+            Addr::Reg(r) => {
+                let s = self.reg(*r);
+                match s.val {
+                    RVal::Addr(l) => Ok((l, s.taint)),
+                    RVal::Int(_) => Err(SemError::UnresolvedAddress { tid, pc }),
+                }
+            }
+            Addr::Indexed { base, index } => {
+                let b = self.reg(*base);
+                let i = self.reg(*index);
+                let base_loc = match b.val {
+                    RVal::Addr(l) => l,
+                    RVal::Int(_) => return Err(SemError::UnresolvedAddress { tid, pc }),
+                };
+                match i.val.as_int().and_then(SymExpr::as_const) {
+                    Some(0) => {
+                        let mut taint = b.taint;
+                        taint.extend(i.taint);
+                        Ok((base_loc, taint))
+                    }
+                    _ => Err(SemError::UnresolvedAddress { tid, pc }),
+                }
+            }
+            Addr::Direct(name) => match locs.get(name) {
+                Some(&l) => Ok((l, BTreeSet::new())),
+                None => Err(SemError::UnknownLocation { name: name.clone() }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn locs_xy() -> BTreeMap<String, Loc> {
+        BTreeMap::from([("x".to_owned(), Loc(0)), ("y".to_owned(), Loc(1))])
+    }
+
+    fn init_addr(pairs: &[(u8, &str)]) -> BTreeMap<Reg, RVal> {
+        let locs = locs_xy();
+        pairs.iter().map(|&(r, l)| (Reg(r), RVal::Addr(locs[l]))).collect()
+    }
+
+    #[test]
+    fn false_address_dependency_of_sec_5_2_1() {
+        // lwz r2,0(r1); xor r9,r2,r2; lwzx r4,r9,r3  (r1=&x, r3=&y)
+        let code = vec![
+            Instr::Load { dst: Reg(2), addr: Addr::Reg(Reg(1)) },
+            Instr::Xor { dst: Reg(9), a: Reg(2), b: Reg(2) },
+            Instr::Load { dst: Reg(4), addr: Addr::Indexed { base: Reg(3), index: Reg(9) } },
+        ];
+        let paths =
+            run_thread(0, &code, &init_addr(&[(1, "x"), (3, "y")]), &locs_xy(), 100).unwrap();
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.accesses.len(), 2);
+        assert_eq!(p.accesses[1].loc, Loc(1), "xor folded to 0, address resolves to y");
+        assert_eq!(p.accesses[1].addr_deps, vec![0], "...but the false addr dep is kept");
+    }
+
+    #[test]
+    fn data_dependency_through_xor() {
+        // lwz r2,0(r1); xor r9,r2,r2; li r5,1; add r9,r9,r5; stw r9,0(r3)
+        let code = vec![
+            Instr::Load { dst: Reg(2), addr: Addr::Reg(Reg(1)) },
+            Instr::Xor { dst: Reg(9), a: Reg(2), b: Reg(2) },
+            Instr::MoveImm { dst: Reg(5), val: 1 },
+            Instr::Add { dst: Reg(9), a: Reg(9), b: Reg(5) },
+            Instr::Store { src: Reg(9), addr: Addr::Reg(Reg(3)) },
+        ];
+        let paths =
+            run_thread(0, &code, &init_addr(&[(1, "x"), (3, "y")]), &locs_xy(), 100).unwrap();
+        let st = &paths[0].accesses[1];
+        assert_eq!(st.dir, Dir::W);
+        assert_eq!(st.value, SymExpr::Const(1), "value folded concretely");
+        assert_eq!(st.data_deps, vec![0], "false data dep kept");
+    }
+
+    #[test]
+    fn control_dependency_and_cfence() {
+        // lwz r2,0(r1); cmpwi r2,1; bne L; isync; lwz r4,0(r3); L:
+        let code = vec![
+            Instr::Load { dst: Reg(2), addr: Addr::Reg(Reg(1)) },
+            Instr::CmpImm { src: Reg(2), val: 1 },
+            Instr::Branch { cond: BranchCond::Ne, label: "L".into() },
+            Instr::Fence(Fence::Isync),
+            Instr::Load { dst: Reg(4), addr: Addr::Reg(Reg(3)) },
+            Instr::Label("L".into()),
+        ];
+        let paths =
+            run_thread(0, &code, &init_addr(&[(1, "x"), (3, "y")]), &locs_xy(), 100).unwrap();
+        // Two paths: branch taken (skips the 2nd load) and fall-through.
+        assert_eq!(paths.len(), 2);
+        let through: &ThreadPath =
+            paths.iter().find(|p| p.accesses.len() == 2).expect("fall-through path");
+        let second = &through.accesses[1];
+        assert_eq!(second.ctrl_deps, vec![0]);
+        assert_eq!(second.ctrl_cfence_deps, vec![0], "isync seals the branch");
+        let taken = paths.iter().find(|p| p.accesses.len() == 1).expect("taken path");
+        assert_eq!(taken.constraints.len(), 1);
+    }
+
+    #[test]
+    fn constant_branch_does_not_fork() {
+        let code = vec![
+            Instr::MoveImm { dst: Reg(2), val: 5 },
+            Instr::CmpImm { src: Reg(2), val: 5 },
+            Instr::Branch { cond: BranchCond::Eq, label: "L".into() },
+            Instr::Store { src: Reg(2), addr: Addr::Reg(Reg(1)) },
+            Instr::Label("L".into()),
+        ];
+        let paths = run_thread(0, &code, &init_addr(&[(1, "x")]), &locs_xy(), 100).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].accesses.is_empty(), "branch was taken deterministically");
+    }
+
+    #[test]
+    fn loops_exhaust_fuel() {
+        let code = vec![
+            Instr::Label("L".into()),
+            Instr::Branch { cond: BranchCond::Always, label: "L".into() },
+        ];
+        let err = run_thread(0, &code, &BTreeMap::new(), &locs_xy(), 50).unwrap_err();
+        assert_eq!(err, SemError::FuelExhausted { tid: 0 });
+    }
+
+    #[test]
+    fn fences_record_positions() {
+        let code = vec![
+            Instr::MoveImm { dst: Reg(5), val: 1 },
+            Instr::Store { src: Reg(5), addr: Addr::Reg(Reg(1)) },
+            Instr::Fence(Fence::Lwsync),
+            Instr::Store { src: Reg(5), addr: Addr::Reg(Reg(3)) },
+        ];
+        let paths =
+            run_thread(0, &code, &init_addr(&[(1, "x"), (3, "y")]), &locs_xy(), 100).unwrap();
+        assert_eq!(paths[0].fences, vec![(Fence::Lwsync, 1)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The herd-style simulation driver: enumerate candidates, apply a model,
+//! evaluate the final condition (paper, Sec 8.3).
+
+use crate::candidates::{self, Candidate, CandidateError, EnumOptions, RegFinal};
+use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
+use herd_core::model::{self, Architecture, Verdict};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Result of simulating one test under one model.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Test name.
+    pub test: String,
+    /// Model name.
+    pub arch: String,
+    /// Number of candidate executions.
+    pub candidates: usize,
+    /// Number the model allows.
+    pub allowed: usize,
+    /// Allowed executions satisfying the condition's proposition.
+    pub positive: usize,
+    /// Allowed executions not satisfying it.
+    pub negative: usize,
+    /// Whether the quantified condition is validated.
+    pub validated: bool,
+    /// Rendered final states of the allowed executions.
+    pub states: BTreeSet<String>,
+}
+
+impl SimOutcome {
+    /// herd prints `Ok` when the condition is validated, `No` otherwise.
+    pub fn verdict_str(&self) -> &'static str {
+        if self.validated {
+            "Ok"
+        } else {
+            "No"
+        }
+    }
+}
+
+impl fmt::Display for SimOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Test {} ({})", self.test, self.arch)?;
+        for s in &self.states {
+            writeln!(f, "  {s}")?;
+        }
+        writeln!(
+            f,
+            "{} — positive: {}, negative: {} ({} candidates, {} allowed)",
+            self.verdict_str(),
+            self.positive,
+            self.negative,
+            self.candidates,
+            self.allowed
+        )
+    }
+}
+
+/// Simulates `test` under `arch` with default enumeration options.
+///
+/// # Errors
+///
+/// Propagates [`CandidateError`] from enumeration.
+pub fn simulate(
+    test: &LitmusTest,
+    arch: &dyn Architecture,
+) -> Result<SimOutcome, CandidateError> {
+    simulate_with(test, arch, &EnumOptions::default())
+}
+
+/// Simulates with explicit enumeration options.
+///
+/// # Errors
+///
+/// Propagates [`CandidateError`] from enumeration.
+pub fn simulate_with(
+    test: &LitmusTest,
+    arch: &dyn Architecture,
+    opts: &EnumOptions,
+) -> Result<SimOutcome, CandidateError> {
+    let cands = candidates::enumerate(test, opts)?;
+    Ok(judge(test, arch, &cands))
+}
+
+/// Applies the model and condition to pre-enumerated candidates (lets
+/// callers reuse one enumeration across several models).
+pub fn judge(test: &LitmusTest, arch: &dyn Architecture, cands: &[Candidate]) -> SimOutcome {
+    let mut allowed = 0usize;
+    let mut positive = 0usize;
+    let mut negative = 0usize;
+    let mut states = BTreeSet::new();
+    for c in cands {
+        let v: Verdict = model::check(arch, &c.exec);
+        if !v.allowed() {
+            continue;
+        }
+        allowed += 1;
+        let sat = eval_prop(&test.condition.prop, c);
+        if sat {
+            positive += 1;
+        } else {
+            negative += 1;
+        }
+        states.insert(render_state(test, c));
+    }
+    let validated = match test.condition.quantifier {
+        Quantifier::Exists => positive > 0,
+        Quantifier::NotExists => positive == 0,
+        Quantifier::Forall => negative == 0,
+    };
+    SimOutcome {
+        test: test.name.clone(),
+        arch: arch.name().to_owned(),
+        candidates: cands.len(),
+        allowed,
+        positive,
+        negative,
+        validated,
+        states,
+    }
+}
+
+/// Evaluates a proposition against one candidate's final state.
+pub fn eval_prop(p: &Prop, c: &Candidate) -> bool {
+    match p {
+        Prop::True => true,
+        Prop::Not(q) => !eval_prop(q, c),
+        Prop::And(a, b) => eval_prop(a, c) && eval_prop(b, c),
+        Prop::Or(a, b) => eval_prop(a, c) || eval_prop(b, c),
+        Prop::MemEq { loc, val } => c.final_mem.get(loc) == Some(val),
+        Prop::RegEq { tid, reg, val } => match (c.final_regs.get(&(*tid, *reg)), val) {
+            (Some(RegFinal::Int(v)), CondVal::Int(w)) => v == w,
+            (Some(RegFinal::Addr(l)), CondVal::Loc(m)) => l == m,
+            _ => false,
+        },
+    }
+}
+
+/// Renders the observable state (the registers and locations the condition
+/// mentions), in the style of litmus logs: `1:r1=1; 1:r5=0;`.
+fn render_state(test: &LitmusTest, c: &Candidate) -> String {
+    let mut pieces: Vec<String> = Vec::new();
+    let mut seen = BTreeSet::new();
+    collect_atoms(&test.condition.prop, &mut |p| match p {
+        Prop::RegEq { tid, reg, .. } if seen.insert(format!("{tid}:{reg}")) => {
+            let v = match c.final_regs.get(&(*tid, *reg)) {
+                Some(RegFinal::Int(v)) => v.to_string(),
+                Some(RegFinal::Addr(l)) => l.clone(),
+                None => "?".into(),
+            };
+            pieces.push(format!("{tid}:{reg}={v};"));
+        }
+        Prop::MemEq { loc, .. } if seen.insert(loc.clone()) => {
+            let v = c.final_mem.get(loc).copied().unwrap_or(0);
+            pieces.push(format!("{loc}={v};"));
+        }
+        _ => {}
+    });
+    pieces.join(" ")
+}
+
+fn collect_atoms(p: &Prop, f: &mut impl FnMut(&Prop)) {
+    match p {
+        Prop::Not(a) => collect_atoms(a, f),
+        Prop::And(a, b) | Prop::Or(a, b) => {
+            collect_atoms(a, f);
+            collect_atoms(b, f);
+        }
+        atom => f(atom),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{self, Dev};
+    use crate::isa::Isa;
+    use herd_core::arch::{Power, Sc, Tso};
+    use herd_core::event::Fence;
+
+    #[test]
+    fn mp_bare_validated_on_power_not_on_sc() {
+        let test = corpus::mp(Isa::Power, Dev::Po, Dev::Po);
+        let power = simulate(&test, &Power::new()).unwrap();
+        assert!(power.validated, "bare mp is observable on Power");
+        assert_eq!(power.allowed, 4);
+        let sc = simulate(&test, &Sc).unwrap();
+        assert!(!sc.validated, "SC forbids the mp outcome");
+        assert_eq!(sc.allowed, 3, "Fig 3: three of four candidates are SC");
+    }
+
+    #[test]
+    fn mp_lwsync_addr_forbidden_on_power() {
+        let test = corpus::mp(Isa::Power, Dev::F(Fence::Lwsync), Dev::Addr);
+        let out = simulate(&test, &Power::new()).unwrap();
+        assert!(!out.validated, "Fig 8: mp+lwsync+addr is forbidden");
+        assert_eq!(out.positive, 0);
+        assert!(out.negative > 0);
+    }
+
+    #[test]
+    fn sb_on_tso_needs_mfences() {
+        let bare = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        assert!(simulate(&bare, &Tso).unwrap().validated);
+        let fenced = corpus::sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence));
+        assert!(!simulate(&fenced, &Tso).unwrap().validated);
+    }
+
+    #[test]
+    fn states_are_rendered() {
+        let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        let out = simulate(&test, &Tso).unwrap();
+        assert!(out.states.iter().any(|s| s.contains("0:r1=0;") && s.contains("1:r1=0;")), "{:?}", out.states);
+    }
+}

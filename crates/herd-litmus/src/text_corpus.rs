@@ -1,0 +1,137 @@
+//! Classic tests shipped as real `.litmus` files (`corpus/*.litmus`),
+//! with the expected verdict under the matching architecture's model.
+//!
+//! These exercise the parser end-to-end and double as documentation of
+//! the input format; the programmatic corpus in [`crate::corpus`] covers
+//! the full matrix of families and devices.
+
+use crate::parse::{parse, ParseError};
+use crate::program::LitmusTest;
+
+/// One shipped file: name, source, and whether the matching model
+/// validates the final condition.
+#[derive(Clone, Copy, Debug)]
+pub struct TextEntry {
+    /// File name under `corpus/`.
+    pub file: &'static str,
+    /// The litmus source.
+    pub source: &'static str,
+    /// Stock model to judge with (`herd_core::arch::by_name` key).
+    pub model: &'static str,
+    /// Expected `validated` outcome under that model.
+    pub allowed: bool,
+}
+
+/// All shipped files with verdicts.
+pub const ALL: [TextEntry; 10] = [
+    TextEntry {
+        file: "mp+lwsync+addr.litmus",
+        source: include_str!("../corpus/mp+lwsync+addr.litmus"),
+        model: "power",
+        allowed: false,
+    },
+    TextEntry {
+        file: "sb+syncs.litmus",
+        source: include_str!("../corpus/sb+syncs.litmus"),
+        model: "power",
+        allowed: false,
+    },
+    TextEntry {
+        file: "lb+addrs.litmus",
+        source: include_str!("../corpus/lb+addrs.litmus"),
+        model: "power",
+        allowed: false,
+    },
+    TextEntry {
+        file: "r+lwsync+sync.litmus",
+        source: include_str!("../corpus/r+lwsync+sync.litmus"),
+        model: "power",
+        allowed: true,
+    },
+    TextEntry {
+        file: "iriw+syncs.litmus",
+        source: include_str!("../corpus/iriw+syncs.litmus"),
+        model: "power",
+        allowed: false,
+    },
+    TextEntry {
+        file: "2+2w+lwsyncs.litmus",
+        source: include_str!("../corpus/2+2w+lwsyncs.litmus"),
+        model: "power",
+        allowed: false,
+    },
+    TextEntry {
+        file: "mp+dmb+ctrlisb.litmus",
+        source: include_str!("../corpus/mp+dmb+ctrlisb.litmus"),
+        model: "arm",
+        allowed: false,
+    },
+    TextEntry {
+        file: "corr.litmus",
+        source: include_str!("../corpus/corr.litmus"),
+        model: "arm",
+        allowed: false,
+    },
+    TextEntry {
+        file: "sb.litmus",
+        source: include_str!("../corpus/sb.litmus"),
+        model: "tso",
+        allowed: true,
+    },
+    TextEntry {
+        file: "sb+mfences.litmus",
+        source: include_str!("../corpus/sb+mfences.litmus"),
+        model: "tso",
+        allowed: false,
+    },
+];
+
+/// Parses every shipped file.
+///
+/// # Errors
+///
+/// Returns the first file that fails to parse (a packaging defect,
+/// covered by tests).
+pub fn load_all() -> Result<Vec<LitmusTest>, ParseError> {
+    ALL.iter().map(|e| parse(e.source)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+    use herd_core::arch;
+
+    #[test]
+    fn all_files_parse() {
+        let tests = load_all().expect("all corpus files parse");
+        assert_eq!(tests.len(), ALL.len());
+    }
+
+    #[test]
+    fn verdicts_match_under_the_matching_model() {
+        for entry in ALL {
+            let test = parse(entry.source).unwrap_or_else(|e| panic!("{}: {e}", entry.file));
+            let model = arch::by_name(entry.model).expect("stock model");
+            let out = simulate(&test, model.as_ref()).expect("simulates");
+            assert_eq!(
+                out.validated, entry.allowed,
+                "{} under {}: got {}",
+                entry.file,
+                entry.model,
+                out.verdict_str()
+            );
+        }
+    }
+
+    #[test]
+    fn files_roundtrip_through_display() {
+        for entry in ALL {
+            let test = parse(entry.source).unwrap();
+            let printed = test.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{} reprint:\n{printed}\n{e}", entry.file));
+            assert_eq!(reparsed, test, "{}", entry.file);
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The intermediate operational machine of Fig 30, equivalent to the
+//! axiomatic model (Thm 7.1).
+//!
+//! The machine consumes a path of labels — commit write `c(w)`, write
+//! reaches coherence point `cp(w)`, satisfy read `s(w,r)`, commit read
+//! `c(w,r)` — and maintains the state `(cw, cpw, sr, cr)`. Here the
+//! machine is used to *decide* a given candidate execution: the read-from
+//! map fixes the `s`/`c` read labels, and `cp` labels are constrained to
+//! follow the candidate's coherence order, so the machine accepts the
+//! candidate iff some interleaving of its labels satisfies every rule
+//! premise.
+//!
+//! Two entry points mirror the two directions of the equivalence proof:
+//!
+//! - [`accepts`] searches all label interleavings (memoised DFS) —
+//!   Lemma 7.2's direction is tested by checking that acceptance implies
+//!   the axioms hold;
+//! - [`Machine::construct_path`] builds the explicit linearisation of
+//!   Lemma 7.3's relation `r` from a *valid* axiomatic execution, and
+//!   [`Machine::replay`] runs the machine down that path — the executable
+//!   content of Lemma 7.3.
+//!
+//! The machine implements the coRR-extended visibility check (end of
+//! Sec 7.1), matching the axiomatic SC PER LOCATION exactly, and requires
+//! the standard `acyclic(co ∪ prop)` PROPAGATION axiom (the C++ R-A
+//! weakening has no operational counterpart in the paper).
+
+use herd_core::exec::Execution;
+use herd_core::model::{ArchRelations, Architecture, PropagationCheck};
+use herd_core::relation::Relation;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A machine label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// `c(w)`: the write becomes available to other threads.
+    CommitWrite(usize),
+    /// `cp(w)`: the write takes its final coherence position.
+    CoherencePoint(usize),
+    /// `s(w, r)`: the read binds its value (from its rf source).
+    SatisfyRead(usize),
+    /// `c(w, r)`: the read becomes irrevocable.
+    CommitRead(usize),
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::CommitWrite(w) => write!(f, "c(w{w})"),
+            Label::CoherencePoint(w) => write!(f, "cp(w{w})"),
+            Label::SatisfyRead(r) => write!(f, "s(r{r})"),
+            Label::CommitRead(r) => write!(f, "c(r{r})"),
+        }
+    }
+}
+
+/// The machine specialised to one candidate execution and architecture.
+pub struct Machine<'a> {
+    exec: &'a Execution,
+    /// Program-thread events that need labels (init writes are implicit:
+    /// committed and at coherence point from the start).
+    writes: Vec<usize>,
+    reads: Vec<usize>,
+    /// rf source per read id.
+    rf_src: Vec<usize>,
+    /// `ppo ∪ fences` of the architecture.
+    ppo_fences: Relation,
+    /// The architecture's `prop`.
+    prop: Relation,
+    /// `prop; hb*`, for the SR: OBSERVATION premise.
+    prop_hb_star: Relation,
+    /// The architecture's `fences`.
+    fences: Relation,
+}
+
+/// Machine state: four bitmasks over event ids (≤ 64 events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct State {
+    cw: u64,
+    cpw: u64,
+    sr: u64,
+    cr: u64,
+}
+
+impl State {
+    fn contains(mask: u64, e: usize) -> bool {
+        mask >> e & 1 == 1
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Builds the machine for one candidate under one architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution has more than 64 events (litmus tests are
+    /// far smaller) or the architecture uses a non-standard PROPAGATION
+    /// check.
+    pub fn new<A: Architecture + ?Sized>(exec: &'a Execution, arch: &A) -> Self {
+        assert!(exec.len() <= 64, "machine states are 64-bit masks");
+        assert_eq!(
+            arch.propagation_check(),
+            PropagationCheck::Acyclic,
+            "the intermediate machine models the standard PROPAGATION axiom"
+        );
+        let rels = ArchRelations::compute(arch, exec);
+        let hb_star = rels.hb.rtclosure();
+        let prop_hb_star = rels.prop.seq(&hb_star);
+        let mut rf_src = vec![usize::MAX; exec.len()];
+        for (w, r) in exec.rf().iter_pairs() {
+            rf_src[r] = w;
+        }
+        let writes = exec
+            .events()
+            .iter()
+            .filter(|e| e.is_write() && !e.is_init())
+            .map(|e| e.id)
+            .collect();
+        let reads = exec.events().iter().filter(|e| e.is_read()).map(|e| e.id).collect();
+        Machine {
+            exec,
+            writes,
+            reads,
+            rf_src,
+            ppo_fences: rels.ppo.union(&rels.fences),
+            prop: rels.prop,
+            prop_hb_star,
+            fences: rels.fences,
+        }
+    }
+
+    fn initial(&self) -> State {
+        // Initial writes are committed and at coherence point from the
+        // start (they are co-minimal by construction).
+        let mut cw = 0u64;
+        let mut cpw = 0u64;
+        for e in self.exec.events() {
+            if e.is_init() {
+                cw |= 1 << e.id;
+                cpw |= 1 << e.id;
+            }
+        }
+        State { cw, cpw, sr: 0, cr: 0 }
+    }
+
+    fn done(&self, st: &State) -> bool {
+        self.writes.iter().all(|&w| State::contains(st.cpw, w))
+            && self.reads.iter().all(|&r| State::contains(st.cr, r))
+    }
+
+    /// All labels enabled in `st`.
+    fn enabled(&self, st: &State) -> Vec<Label> {
+        let mut out = Vec::new();
+        for &w in &self.writes {
+            if !State::contains(st.cw, w) && self.can_commit_write(st, w) {
+                out.push(Label::CommitWrite(w));
+            }
+            if State::contains(st.cw, w)
+                && !State::contains(st.cpw, w)
+                && self.can_reach_coherence_point(st, w)
+            {
+                out.push(Label::CoherencePoint(w));
+            }
+        }
+        for &r in &self.reads {
+            if !State::contains(st.sr, r) && self.can_satisfy_read(st, r) {
+                out.push(Label::SatisfyRead(r));
+            }
+            if State::contains(st.sr, r)
+                && !State::contains(st.cr, r)
+                && self.can_commit_read(st, r)
+            {
+                out.push(Label::CommitRead(r));
+            }
+        }
+        out
+    }
+
+    /// Has `e`'s "global point" fired — commit for writes, satisfaction
+    /// for reads? The propagation order constrains these points: `x` is
+    /// prop-before `y` means `x` fires before `y` (cf. the strong
+    /// A-cumulativity chains of Sec 4.6, whose endpoints may be reads).
+    fn fired(&self, st: &State, e: usize) -> bool {
+        if self.exec.event(e).is_read() {
+            State::contains(st.sr, e)
+        } else {
+            State::contains(st.cw, e)
+        }
+    }
+
+    /// COMMIT WRITE premises (Fig 30). The (CW: PROPAGATION) premise is
+    /// generalised to *all* prop successors, reads included: the paper's
+    /// write-only statement misses pure-`prop` cycles through reads (e.g.
+    /// the sb+syncs and iriw+syncs cycles built by strong A-cumulativity),
+    /// which the axiomatic PROPAGATION axiom does reject.
+    fn can_commit_write(&self, st: &State, w: usize) -> bool {
+        let n = self.exec.len();
+        for e in 0..n {
+            // (CW: SC PER LOCATION/coWW).
+            if State::contains(st.cw, e) && self.exec.po_loc().contains(w, e) {
+                return false;
+            }
+            // (CW: PROPAGATION), generalised.
+            if self.prop.contains(w, e) && self.fired(st, e) {
+                return false;
+            }
+            // (CW: fences ∩ WR).
+            if State::contains(st.sr, e) && self.fences.contains(w, e) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// WRITE REACHES COHERENCE POINT premises, plus agreement with the
+    /// candidate's coherence order.
+    fn can_reach_coherence_point(&self, st: &State, w: usize) -> bool {
+        let n = self.exec.len();
+        for e in 0..n {
+            // Candidate-co agreement: all co-predecessors first.
+            if self.exec.co().contains(e, w) && !State::contains(st.cpw, e) {
+                return false;
+            }
+            // (CPW: po-loc AND cpw ARE IN ACCORD) and (CPW: PROPAGATION).
+            if State::contains(st.cpw, e)
+                && (self.exec.po_loc().contains(w, e) || self.prop.contains(w, e))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// SATISFY READ premises.
+    fn can_satisfy_read(&self, st: &State, r: usize) -> bool {
+        let w = self.rf_src[r];
+        // (SR: WRITE IS EITHER LOCAL OR COMMITTED).
+        let local = self.exec.po_loc().contains(w, r);
+        if !local && !State::contains(st.cw, w) {
+            return false;
+        }
+        let n = self.exec.len();
+        for e in 0..n {
+            // (SR: PPO/ii0 ∩ RR).
+            if State::contains(st.sr, e) && self.ppo_fences.contains(r, e) {
+                return false;
+            }
+            // (SR: PROPAGATION on read sources) — the same generalisation
+            // as in COMMIT WRITE, for prop edges whose source is a read.
+            if self.prop.contains(r, e) && self.fired(st, e) {
+                return false;
+            }
+        }
+        // (SR: OBSERVATION): no w' co-after w with (w', r) ∈ prop; hb*.
+        for wp in self.exec.co().succs(w) {
+            if self.prop_hb_star.contains(wp, r) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// COMMIT READ premises, with the coRR-extended visibility check.
+    fn can_commit_read(&self, st: &State, r: usize) -> bool {
+        let w = self.rf_src[r];
+        if !self.visible(st, w, r) {
+            return false;
+        }
+        let n = self.exec.len();
+        for e in 0..n {
+            // (CR: PPO/cc0 ∩ RW).
+            if State::contains(st.cw, e) && self.ppo_fences.contains(r, e) {
+                return false;
+            }
+            // (CR: PPO/(ci0 ∪ cc0) ∩ RR).
+            if State::contains(st.sr, e)
+                && e != r
+                && self.exec.event(e).is_read()
+                && self.ppo_fences.contains(r, e)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is `w` visible to `r` (Sec 7.1)? `w` must lie between the last
+    /// po-loc-previous write `wb` and the first po-loc-subsequent write
+    /// `wa` of `r`, in coherence; the extension for coRR additionally
+    /// rejects a source co-before the source of an already-committed
+    /// po-loc-earlier read.
+    fn visible(&self, st: &State, w: usize, r: usize) -> bool {
+        if self.exec.event(w).loc != self.exec.event(r).loc {
+            return false;
+        }
+        let co = self.exec.co();
+        let po_loc = self.exec.po_loc();
+        // wb: the last (in program order) write to r's location before r.
+        // po-loc pairs live on one thread, so po_index orders them.
+        let wb = self
+            .exec
+            .events()
+            .iter()
+            .filter(|e| e.is_write() && po_loc.contains(e.id, r))
+            .max_by_key(|e| e.po_index)
+            .map(|e| e.id);
+        if let Some(wb) = wb {
+            if w != wb && !co.contains(wb, w) {
+                return false;
+            }
+        }
+        // wa: the first (in program order) write to r's location after r.
+        let wa = self
+            .exec
+            .events()
+            .iter()
+            .filter(|e| e.is_write() && po_loc.contains(r, e.id))
+            .min_by_key(|e| e.po_index)
+            .map(|e| e.id);
+        let local = po_loc.contains(w, r);
+        if let Some(wa) = wa {
+            if !local && !co.contains(w, wa) {
+                return false;
+            }
+        }
+        // coRR extension: no committed po-loc-earlier read took its value
+        // from a co-later write.
+        for &rp in &self.reads {
+            if State::contains(st.cr, rp) && po_loc.contains(rp, r) {
+                let wp = self.rf_src[rp];
+                if co.contains(w, wp) {
+                    return false;
+                }
+            }
+        }
+        // ...and symmetrically, no committed po-loc-later read reads from
+        // a co-earlier write (commits may happen out of po order).
+        for &rp in &self.reads {
+            if State::contains(st.cr, rp) && po_loc.contains(r, rp) {
+                let wp = self.rf_src[rp];
+                if co.contains(wp, w) && wp != w {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies `label` to `st` (no premise checks).
+    fn apply(&self, st: &State, label: Label) -> State {
+        let mut next = *st;
+        match label {
+            Label::CommitWrite(w) => next.cw |= 1 << w,
+            Label::CoherencePoint(w) => next.cpw |= 1 << w,
+            Label::SatisfyRead(r) => next.sr |= 1 << r,
+            Label::CommitRead(r) => next.cr |= 1 << r,
+        }
+        next
+    }
+
+    /// Does some interleaving of the labels drive the machine to the
+    /// final state? Memoised DFS over reachable states.
+    pub fn accepts(&self) -> bool {
+        let mut seen: HashSet<State> = HashSet::new();
+        let mut stack = vec![self.initial()];
+        while let Some(st) = stack.pop() {
+            if self.done(&st) {
+                return true;
+            }
+            if !seen.insert(st) {
+                continue;
+            }
+            for label in self.enabled(&st) {
+                let next = self.apply(&st, label);
+                if !seen.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// Counts reachable states (the operational "state explosion" of
+    /// Tab IX — compare with the axiomatic checks' constant footprint).
+    pub fn reachable_states(&self) -> usize {
+        let mut seen: HashSet<State> = HashSet::new();
+        let mut stack = vec![self.initial()];
+        while let Some(st) = stack.pop() {
+            if !seen.insert(st) {
+                continue;
+            }
+            for label in self.enabled(&st) {
+                let next = self.apply(&st, label);
+                if !seen.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Replays an explicit label path; `true` iff every step's premises
+    /// hold and the final state is complete.
+    pub fn replay(&self, path: &[Label]) -> bool {
+        let mut st = self.initial();
+        for &label in path {
+            let ok = match label {
+                Label::CommitWrite(w) => {
+                    !State::contains(st.cw, w) && self.can_commit_write(&st, w)
+                }
+                Label::CoherencePoint(w) => {
+                    State::contains(st.cw, w)
+                        && !State::contains(st.cpw, w)
+                        && self.can_reach_coherence_point(&st, w)
+                }
+                Label::SatisfyRead(r) => {
+                    !State::contains(st.sr, r) && self.can_satisfy_read(&st, r)
+                }
+                Label::CommitRead(r) => {
+                    State::contains(st.sr, r)
+                        && !State::contains(st.cr, r)
+                        && self.can_commit_read(&st, r)
+                }
+            };
+            if !ok {
+                return false;
+            }
+            st = self.apply(&st, label);
+        }
+        self.done(&st)
+    }
+
+    /// Lemma 7.3's construction: linearises the relation `r` over labels
+    /// (satisfy-before-commit, commit-before-coherence-point, fences,
+    /// external read-from, coherence, preserved program order, propagation,
+    /// and the fifo condition of footnote 8). Returns `None` when `r` is
+    /// cyclic — which the proof shows cannot happen for an execution valid
+    /// in the axiomatic model.
+    pub fn construct_path(&self) -> Option<Vec<Label>> {
+        // Label indexing: 4 slots per event id.
+        let n = self.exec.len();
+        let idx = |l: Label| -> usize {
+            match l {
+                Label::CommitWrite(w) => 4 * w,
+                Label::CoherencePoint(w) => 4 * w + 1,
+                Label::SatisfyRead(r) => 4 * r + 2,
+                Label::CommitRead(r) => 4 * r + 3,
+            }
+        };
+        let mut order = Relation::empty(4 * n);
+
+        for &r in &self.reads {
+            order.add(idx(Label::SatisfyRead(r)), idx(Label::CommitRead(r)));
+        }
+        for &w in &self.writes {
+            order.add(idx(Label::CommitWrite(w)), idx(Label::CoherencePoint(w)));
+        }
+        // Fenced write-read pairs: commit the write before satisfying the
+        // read.
+        for (a, b) in self.fences.iter_pairs() {
+            if self.exec.event(a).is_write() && self.exec.event(b).is_read() {
+                order.add(idx(Label::CommitWrite(a)), idx(Label::SatisfyRead(b)));
+            }
+        }
+        // External read-from: commit the write before satisfying the read.
+        for (w, r) in self.exec.rfe().iter_pairs() {
+            if !self.exec.event(w).is_init() {
+                order.add(idx(Label::CommitWrite(w)), idx(Label::SatisfyRead(r)));
+            }
+        }
+        // ppo ∪ fences from a read: commit the read before processing the
+        // target.
+        for (r, e) in self.ppo_fences.iter_pairs() {
+            if self.exec.event(r).is_read() {
+                let tgt = if self.exec.event(e).is_read() {
+                    idx(Label::SatisfyRead(e))
+                } else {
+                    idx(Label::CommitWrite(e))
+                };
+                order.add(idx(Label::CommitRead(r)), tgt);
+            }
+        }
+        // co (plus prop between writes) orders coherence points; prop
+        // orders the "firing" labels (satisfy for reads, commit for
+        // writes) — matching the machine's (CW/SR/CPW: PROPAGATION)
+        // premises. Commits of same-location same-thread writes follow
+        // program order (the CW: coWW premise); commits are otherwise free
+        // to disagree with co, which is essential: Power allows executions
+        // whose commit order must contradict co across threads.
+        let fire = |e: usize| -> Option<usize> {
+            let ev = self.exec.event(e);
+            if ev.is_init() {
+                None
+            } else if ev.is_read() {
+                Some(idx(Label::SatisfyRead(e)))
+            } else {
+                Some(idx(Label::CommitWrite(e)))
+            }
+        };
+        for (e1, e2) in self.exec.co().iter_pairs() {
+            if !self.exec.event(e1).is_init() && !self.exec.event(e2).is_init() {
+                order.add(idx(Label::CoherencePoint(e1)), idx(Label::CoherencePoint(e2)));
+            }
+        }
+        for (e1, e2) in self.prop.iter_pairs() {
+            let (v1, v2) = (self.exec.event(e1), self.exec.event(e2));
+            if v1.is_write() && v2.is_write() && !v1.is_init() && !v2.is_init() {
+                order.add(idx(Label::CoherencePoint(e1)), idx(Label::CoherencePoint(e2)));
+            }
+            if let (Some(f1), Some(f2)) = (fire(e1), fire(e2)) {
+                order.add(f1, f2);
+            }
+        }
+        for (w1, w2) in self.exec.po_loc().iter_pairs() {
+            if self.exec.event(w1).is_write() && self.exec.event(w2).is_write() {
+                order.add(idx(Label::CommitWrite(w1)), idx(Label::CommitWrite(w2)));
+            }
+        }
+
+        let sorted = order.topo_sort()?;
+        let valid: HashSet<usize> = self
+            .writes
+            .iter()
+            .flat_map(|&w| [4 * w, 4 * w + 1])
+            .chain(self.reads.iter().flat_map(|&r| [4 * r + 2, 4 * r + 3]))
+            .collect();
+        Some(
+            sorted
+                .into_iter()
+                .filter(|i| valid.contains(i))
+                .map(|i| match i % 4 {
+                    0 => Label::CommitWrite(i / 4),
+                    1 => Label::CoherencePoint(i / 4),
+                    2 => Label::SatisfyRead(i / 4),
+                    _ => Label::CommitRead(i / 4),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Convenience: does the machine accept the candidate under `arch`?
+pub fn accepts<A: Architecture + ?Sized>(exec: &Execution, arch: &A) -> bool {
+    Machine::new(exec, arch).accepts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herd_core::arch::{Power, Sc};
+    use herd_core::event::Fence;
+    use herd_core::fixtures::{self, Device};
+    use herd_core::model::check;
+
+    #[test]
+    fn machine_rejects_what_power_forbids() {
+        for (name, x) in [
+            ("mp+lwsync+addr", fixtures::mp(Device::Fence(Fence::Lwsync), Device::Addr)),
+            ("sb+syncs", fixtures::sb(Device::Fence(Fence::Sync), Device::Fence(Fence::Sync))),
+            ("lb+addrs", fixtures::lb(Device::Addr, Device::Addr)),
+            ("2+2w+lwsyncs", fixtures::two_plus_two_w(
+                Device::Fence(Fence::Lwsync),
+                Device::Fence(Fence::Lwsync),
+            )),
+            ("coWW", fixtures::co_ww()),
+            ("coRR", fixtures::co_rr()),
+            ("coWR", fixtures::co_wr()),
+        ] {
+            assert!(!check(&Power::new(), &x).allowed(), "{name} sanity");
+            assert!(!accepts(&x, &Power::new()), "{name}: machine must reject");
+        }
+    }
+
+    #[test]
+    fn machine_accepts_what_power_allows() {
+        for (name, x) in [
+            ("mp", fixtures::mp(Device::None, Device::None)),
+            ("sb+lwsyncs", fixtures::sb(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Lwsync))),
+            ("r+lwsync+sync", fixtures::r(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Sync))),
+            ("iriw+lwsyncs", fixtures::iriw(
+                Device::Fence(Fence::Lwsync),
+                Device::Fence(Fence::Lwsync),
+            )),
+        ] {
+            assert!(check(&Power::new(), &x).allowed(), "{name} sanity");
+            assert!(accepts(&x, &Power::new()), "{name}: machine must accept");
+        }
+    }
+
+    #[test]
+    fn constructed_path_replays_for_allowed_executions() {
+        let x = fixtures::mp(Device::None, Device::None);
+        let m = Machine::new(&x, &Power::new());
+        let path = m.construct_path().expect("r is acyclic for allowed executions");
+        assert!(m.replay(&path), "Lemma 7.3: the constructed path is accepted");
+    }
+
+    #[test]
+    fn sc_machine_equals_sc_model_on_fixtures() {
+        for x in [
+            fixtures::mp(Device::None, Device::None),
+            fixtures::sb(Device::None, Device::None),
+            fixtures::lb(Device::None, Device::None),
+        ] {
+            assert_eq!(check(&Sc, &x).allowed(), accepts(&x, &Sc));
+        }
+    }
+
+    #[test]
+    fn reachable_state_count_grows_with_events() {
+        let small = fixtures::mp(Device::None, Device::None);
+        let big = fixtures::iriw(Device::None, Device::None);
+        let m1 = Machine::new(&small, &Power::new()).reachable_states();
+        let m2 = Machine::new(&big, &Power::new()).reachable_states();
+        assert!(m2 > m1, "more events, more states ({m1} vs {m2})");
+    }
+}

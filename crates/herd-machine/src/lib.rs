@@ -1,0 +1,28 @@
+//! # herd-machine — operational models and comparisons
+//!
+//! The operational side of the *Herding Cats* reproduction:
+//!
+//! - [`intermediate`]: the machine of Fig 30, provably equivalent to the
+//!   axiomatic model (Thm 7.1). Both proof directions are executable:
+//!   exhaustive acceptance search and the Lemma 7.3 path construction.
+//! - [`compare`]: surrogates for the PLDI 2011 operational model (with its
+//!   documented flaw on `mp+lwsync+addr-po-detour`) and the CAV 2012
+//!   multi-event model (with its `bigdetour` divergence).
+//! - [`multi_event`]: the multi-event *representation* (one propagation
+//!   node per thread per write), verdict-preserving, used to measure the
+//!   representational cost the paper reports in Tab IX.
+//! - [`verify`]: bounded verification in both the axiomatic and the
+//!   operational style (Tabs X–XII).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compare;
+pub mod intermediate;
+pub mod multi_event;
+pub mod verify;
+
+pub use compare::{MadorHaim, PldiFlawed};
+pub use intermediate::{accepts, Label, Machine};
+pub use multi_event::check_multi;
+pub use verify::{verify_axiomatic, verify_operational, VerifyOutcome};

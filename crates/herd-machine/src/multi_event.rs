@@ -1,0 +1,173 @@
+//! A multi-event representation of candidate executions (Sec 2, Sec 8.3).
+//!
+//! The models of Mador-Haim et al. use *several* events per store — one
+//! propagation subevent per thread — mimicking the PLDI machine's
+//! transitions. The paper's measurements (Tab IX) attribute an order of
+//! magnitude of simulation time to this representational choice alone.
+//!
+//! This module reproduces the representation: every non-init write `w` is
+//! exploded into its base (commit) node plus one propagation node per
+//! thread, relations are lifted onto the enlarged universe (external
+//! read-from routes through the reader thread's propagation node,
+//! coherence orders propagation nodes per thread), and the four axioms are
+//! evaluated on the lifted relations. The verdict is provably identical to
+//! the single-event check — collapsing every propagation node onto its
+//! base write projects any lifted cycle onto a single-event cycle and vice
+//! versa — so the comparison isolates exactly the representation cost.
+
+use herd_core::exec::Execution;
+use herd_core::model::{ArchRelations, Architecture, Verdict};
+use herd_core::relation::Relation;
+
+/// The lifted (multi-event) form of one candidate.
+pub struct MultiEventExec {
+    /// Number of nodes in the enlarged universe.
+    pub nodes: usize,
+    /// Lifted communications `co ∪ rf ∪ fr`.
+    pub com: Relation,
+    /// Lifted `po-loc`.
+    pub po_loc: Relation,
+    /// Lifted happens-before.
+    pub hb: Relation,
+    /// Lifted `fre`.
+    pub fre: Relation,
+    /// Lifted propagation order.
+    pub prop: Relation,
+    /// Lifted coherence.
+    pub co: Relation,
+}
+
+/// Explodes `exec` into the multi-event representation under `arch`.
+pub fn lift<A: Architecture + ?Sized>(exec: &Execution, arch: &A) -> MultiEventExec {
+    let n = exec.len();
+    let threads: Vec<u16> = {
+        let mut t: Vec<u16> =
+            exec.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let tcount = threads.len().max(1);
+    let writes: Vec<usize> = exec
+        .events()
+        .iter()
+        .filter(|e| e.is_write() && !e.is_init())
+        .map(|e| e.id)
+        .collect();
+    // Node layout: [0, n) base events, then per non-init write one
+    // propagation node per thread.
+    let nodes = n + writes.len() * tcount;
+    let prop_node = |w: usize, t: u16| -> usize {
+        let wi = writes.iter().position(|&x| x == w).expect("write index");
+        let ti = threads.iter().position(|&x| x == t).expect("thread index");
+        n + wi * tcount + ti
+    };
+
+    let rels = ArchRelations::compute(arch, exec);
+    let lift_base = |r: &Relation| -> Relation {
+        let mut out = Relation::empty(nodes);
+        for (a, b) in r.iter_pairs() {
+            out.add(a, b);
+        }
+        out
+    };
+
+    // Base-to-propagation skeleton: a write reaches each thread after its
+    // base (commit) node.
+    let mut skeleton = Relation::empty(nodes);
+    for &w in &writes {
+        for &t in &threads {
+            skeleton.add(w, prop_node(w, t));
+        }
+    }
+
+    // rf: external edges route through the reader's propagation node;
+    // internal (and init) edges stay base-to-base.
+    let mut rf = Relation::empty(nodes);
+    for (w, r) in exec.rf().iter_pairs() {
+        let reader_thread = exec.event(r).thread.expect("reads have threads").0;
+        if exec.rfe().contains(w, r) && !exec.event(w).is_init() {
+            rf.add(w, prop_node(w, reader_thread));
+            rf.add(prop_node(w, reader_thread), r);
+        } else {
+            rf.add(w, r);
+        }
+    }
+
+    // co: base order plus per-thread propagation order.
+    let mut co = lift_base(exec.co());
+    for (w1, w2) in exec.co().iter_pairs() {
+        if !exec.event(w1).is_init() && !exec.event(w2).is_init() {
+            for &t in &threads {
+                co.add(prop_node(w1, t), prop_node(w2, t));
+            }
+        }
+    }
+
+    // fr stays base-to-base (a read overtakes the base write).
+    let fr = lift_base(exec.fr());
+    let com = co.union(&rf).union(&fr).union(&skeleton);
+
+    let hb = lift_base(&rels.hb).union(&rf).union(&skeleton);
+    // prop stays base-to-base: a skeleton hop inside prop would act as a
+    // phantom propagation step (fre; skeleton; rf ≠ fre; prop).
+    let prop = lift_base(&rels.prop);
+    let po_loc = lift_base(exec.po_loc());
+    let fre = lift_base(exec.fre());
+
+    MultiEventExec { nodes, com, po_loc, hb, fre, prop, co }
+}
+
+/// Runs the four axioms on the lifted representation.
+pub fn check_multi<A: Architecture + ?Sized>(exec: &Execution, arch: &A) -> Verdict {
+    let m = lift(exec, arch);
+    let sc_per_location = m.po_loc.union(&m.com).is_acyclic();
+    let no_thin_air = m.hb.is_acyclic();
+    let hb_star = m.hb.rtclosure();
+    let observation = m.fre.seq(&m.prop).seq(&hb_star).is_irreflexive();
+    let propagation = m.co.union(&m.prop).is_acyclic();
+    Verdict { sc_per_location, no_thin_air, observation, propagation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use herd_core::arch::Power;
+    use herd_core::event::Fence;
+    use herd_core::fixtures::{self, Device};
+    use herd_core::model::check;
+
+    #[test]
+    fn multi_event_verdicts_equal_single_event() {
+        let lwf = Device::Fence(Fence::Lwsync);
+        let ff = Device::Fence(Fence::Sync);
+        for x in [
+            fixtures::mp(Device::None, Device::None),
+            fixtures::mp(lwf, Device::Addr),
+            fixtures::sb(ff, ff),
+            fixtures::sb(lwf, lwf),
+            fixtures::lb(Device::Addr, Device::Addr),
+            fixtures::r(lwf, ff),
+            fixtures::r(ff, ff),
+            fixtures::two_plus_two_w(lwf, lwf),
+            fixtures::iriw(ff, ff),
+            fixtures::iriw(lwf, lwf),
+            fixtures::wrc(lwf, Device::Addr),
+            fixtures::co_rr(),
+            fixtures::co_wr(),
+        ] {
+            let single = check(&Power::new(), &x);
+            let multi = check_multi(&x, &Power::new());
+            assert_eq!(single.allowed(), multi.allowed());
+        }
+    }
+
+    #[test]
+    fn lifted_universe_is_larger() {
+        let x = fixtures::iriw(Device::None, Device::None);
+        let m = lift(&x, &Power::new());
+        assert!(m.nodes > x.len(), "{} > {}", m.nodes, x.len());
+        // iriw: 8 program events + 2 init, 2 non-init writes × 4 threads.
+        assert_eq!(m.nodes, x.len() + 2 * 4);
+    }
+}

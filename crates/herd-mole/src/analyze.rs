@@ -1,0 +1,808 @@
+//! The static critical-cycle search (Sec 9.1).
+//!
+//! Pipeline, mirroring `goto-instrument --static-cycles`:
+//!
+//! 1. **Entry points**: explicitly spawned functions, else every
+//!    external-linkage function not (transitively) called by another;
+//!    one of each mutually-recursive clique.
+//! 2. **Grouping**: entry points sharing objects (transitively) are
+//!    assumed to run concurrently; each group gets three thread instances
+//!    per entry point.
+//! 3. **Access extraction**: bodies are inlined (recursion cut), keeping
+//!    program order, fences and dependencies.
+//! 4. **Cycle enumeration**: alternating program-order and competing
+//!    (`cmp`) edges; *static critical cycles* use at most two accesses
+//!    per thread at distinct locations and at most three accesses per
+//!    location from distinct threads; SC-PER-LOCATION cycles (coWW,
+//!    coRW1/2, coWR, coRR) are collected separately.
+//! 5. **Reduction** (Fig 39): `co;co = co`, `rf;fr = co`, `fr;co = fr`.
+//! 6. **Classification**: each reduced cycle is named (Tab III
+//!    convention) and attributed to the axiom that would reject it under
+//!    the SC instantiation (Sec 9.1.3).
+
+use crate::ir::{DepKind, Program, Stmt};
+use herd_core::event::{Dir, Fence};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One ordering device on a program-order step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PoDevice {
+    /// Plain program order.
+    Plain,
+    /// A dependency.
+    Dep(DepKind),
+    /// A fence.
+    Fence(Fence),
+}
+
+/// An edge of a static cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeLabel {
+    /// Program order within a thread, with the strongest device on the
+    /// path and whether the two accesses share a location.
+    Po {
+        /// Strongest device between the accesses.
+        device: PoDevice,
+        /// Same-location pair (`po-loc`)?
+        same_loc: bool,
+    },
+    /// A competing edge across threads; interpreted by direction:
+    /// `W→R` as read-from, `R→W` as from-read, `W→W` as coherence.
+    Cmp,
+}
+
+/// One access of the flattened thread instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatAccess {
+    /// Owning thread instance.
+    pub thread: usize,
+    /// Entry-point id the instance was spawned from (instances of one
+    /// entry are interchangeable; deduplication quotients over them).
+    pub entry: usize,
+    /// Index within the thread.
+    pub index: usize,
+    /// Object name.
+    pub var: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Dependency on the po-previous read.
+    pub dep: Option<DepKind>,
+    /// Fences immediately preceding this access.
+    pub fences_before: Vec<Fence>,
+}
+
+/// A found cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoundCycle {
+    /// Access indices (into the group's flat access list), in order.
+    pub nodes: Vec<usize>,
+    /// Edge labels, `edges[i]` from `nodes[i]` to `nodes[(i+1)%len]`.
+    pub edges: Vec<EdgeLabel>,
+    /// Directions of the accesses, parallel to `nodes`.
+    pub dirs: Vec<Dir>,
+    /// Pattern name after reduction (Tab III convention, classic when
+    /// known).
+    pub pattern: String,
+    /// The axiom that rejects the cycle (Sec 9.1.3 categorisation).
+    pub axiom: AxiomClass,
+}
+
+/// The axiom a cycle is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AxiomClass {
+    /// All edges are po-loc or communications.
+    ScPerLocation,
+    /// All edges lie in `hb` (program order and read-froms).
+    NoThinAir,
+    /// Exactly one from-read: the observation shape (mp, wrc, isa2).
+    Observation,
+    /// Everything else (coherence and multiple from-reads: 2+2w, sb, rwc).
+    Propagation,
+}
+
+impl AxiomClass {
+    /// Short label (Tab VIII style).
+    pub fn label(self) -> &'static str {
+        match self {
+            AxiomClass::ScPerLocation => "SC PER LOCATION",
+            AxiomClass::NoThinAir => "NO THIN AIR",
+            AxiomClass::Observation => "OBSERVATION",
+            AxiomClass::Propagation => "PROPAGATION",
+        }
+    }
+}
+
+/// Results of analysing one program.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Number of concurrent groups analysed.
+    pub groups: usize,
+    /// Every static cycle found (critical and SC-per-location).
+    pub cycles: Vec<FoundCycle>,
+}
+
+impl Analysis {
+    /// Pattern → number of cycles (the Tab XIII/XIV histograms).
+    pub fn pattern_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for c in &self.cycles {
+            *h.entry(c.pattern.clone()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Axiom → number of cycles.
+    pub fn axiom_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut h = BTreeMap::new();
+        for c in &self.cycles {
+            *h.entry(c.axiom.label()).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Analysis knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MoleOptions {
+    /// Thread instances created per entry point (the paper uses 3).
+    pub instances_per_entry: usize,
+    /// Inlining depth bound.
+    pub max_inline_depth: usize,
+    /// Upper bound on enumerated cycles per group (guards pathological
+    /// inputs).
+    pub max_cycles: usize,
+}
+
+impl Default for MoleOptions {
+    fn default() -> Self {
+        MoleOptions { instances_per_entry: 3, max_inline_depth: 8, max_cycles: 100_000 }
+    }
+}
+
+/// Identifies the thread entry points of a program (Sec 9.1.3 §Finding
+/// entry points).
+pub fn entry_points(program: &Program) -> Vec<String> {
+    if !program.spawned.is_empty() {
+        return program.spawned.clone();
+    }
+    // Callees (transitively reached from anyone).
+    let mut called: BTreeSet<&str> = BTreeSet::new();
+    for f in &program.functions {
+        for s in &f.body {
+            if let Stmt::Call(g) = s {
+                called.insert(g);
+            }
+        }
+    }
+    let mut entries: Vec<String> = program
+        .functions
+        .iter()
+        .filter(|f| !called.contains(f.name.as_str()) && !program.internal.contains(&f.name))
+        .map(|f| f.name.clone())
+        .collect();
+    if entries.is_empty() && !program.functions.is_empty() {
+        // Mutually recursive cliques: pick an arbitrary representative.
+        entries.push(program.functions[0].name.clone());
+    }
+    entries
+}
+
+/// Flattens one entry point into its access sequence (calls inlined).
+pub fn flatten(program: &Program, entry: &str, max_depth: usize) -> Vec<FlatAccess> {
+    let mut out = Vec::new();
+    let mut pending_fences: Vec<Fence> = Vec::new();
+    walk(program, entry, max_depth, &mut out, &mut pending_fences);
+    out
+}
+
+fn walk(
+    program: &Program,
+    func: &str,
+    depth: usize,
+    out: &mut Vec<FlatAccess>,
+    pending_fences: &mut Vec<Fence>,
+) {
+    if depth == 0 {
+        return;
+    }
+    let Some(f) = program.find(func) else { return };
+    for s in &f.body {
+        match s {
+            Stmt::Access { var, dir, dep } => {
+                out.push(FlatAccess {
+                    thread: 0,
+                    entry: 0,
+                    index: out.len(),
+                    var: var.clone(),
+                    dir: *dir,
+                    dep: *dep,
+                    fences_before: std::mem::take(pending_fences),
+                });
+            }
+            Stmt::Fence(fence) => pending_fences.push(*fence),
+            Stmt::Call(g) => walk(program, g, depth - 1, out, pending_fences),
+            Stmt::Lock(_) | Stmt::Unlock(_) => {}
+        }
+    }
+}
+
+/// Groups entry points by (transitively) shared objects (Sec 9.1.3
+/// §Finding threads' groups).
+pub fn group_entries(program: &Program, opts: &MoleOptions) -> Vec<Vec<String>> {
+    let entries = entry_points(program);
+    let vars: Vec<BTreeSet<String>> = entries
+        .iter()
+        .map(|e| {
+            flatten(program, e, opts.max_inline_depth)
+                .into_iter()
+                .map(|a| a.var)
+                .collect()
+        })
+        .collect();
+    // Union-find by shared-variable intersection.
+    let n = entries.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    #[allow(clippy::needless_range_loop)] // union-find over index pairs
+    for i in 0..n {
+        for j in i + 1..n {
+            if !vars[i].is_disjoint(&vars[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(entry.clone());
+    }
+    groups.into_values().collect()
+}
+
+/// Analyses a whole program.
+pub fn analyze(program: &Program, opts: &MoleOptions) -> Analysis {
+    let mut analysis = Analysis::default();
+    for group in group_entries(program, opts) {
+        analysis.groups += 1;
+        // Instantiate threads: `instances_per_entry` copies per entry.
+        let mut threads: Vec<Vec<FlatAccess>> = Vec::new();
+        for (eid, entry) in group.iter().enumerate() {
+            let accesses = flatten(program, entry, opts.max_inline_depth);
+            if accesses.is_empty() {
+                continue;
+            }
+            for _ in 0..opts.instances_per_entry {
+                let t = threads.len();
+                threads.push(
+                    accesses
+                        .iter()
+                        .cloned()
+                        .map(|mut a| {
+                            a.thread = t;
+                            a.entry = eid;
+                            a
+                        })
+                        .collect(),
+                );
+            }
+        }
+        let before = analysis.cycles.len();
+        // (entry, instance) per thread, for instance-symmetry breaking.
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        let thread_meta: Vec<(usize, usize)> = threads
+            .iter()
+            .filter_map(|t| t.first())
+            .map(|a| {
+                let c = counts.entry(a.entry).or_insert(0);
+                let i = *c;
+                *c += 1;
+                (a.entry, i)
+            })
+            .collect();
+        enumerate_cycles(&threads, &thread_meta, opts, &mut analysis.cycles);
+        let flat: Vec<&FlatAccess> = threads.iter().flatten().collect();
+        dedupe(&flat, &mut analysis.cycles, before);
+    }
+    analysis
+}
+
+/// Instance-symmetry breaking: thread `t` (instance `i` of entry `e`) may
+/// join a cycle only when every earlier instance of `e` is already used.
+/// Instances are interchangeable, so this loses no cycle shapes and cuts
+/// the search by a factor of `instances!` per entry.
+fn may_visit(thread_meta: &[(usize, usize)], used: &[usize], t: usize) -> bool {
+    let (e, i) = thread_meta[t];
+    (0..i).all(|j| {
+        used.iter().any(|&u| thread_meta[u] == (e, j))
+    })
+}
+
+/// All accesses of the group flattened, with global ids.
+fn enumerate_cycles(
+    threads: &[Vec<FlatAccess>],
+    thread_meta: &[(usize, usize)],
+    opts: &MoleOptions,
+    out: &mut Vec<FoundCycle>,
+) {
+    let flat: Vec<&FlatAccess> = threads.iter().flatten().collect();
+    let n = flat.len();
+    // cmp edges: distinct threads, same var, at least one write.
+    let cmp = |a: usize, b: usize| -> bool {
+        let (x, y) = (flat[a], flat[b]);
+        x.thread != y.thread && x.var == y.var && (x.dir == Dir::W || y.dir == Dir::W)
+    };
+    // The strongest device on the po path between two accesses of one
+    // thread: a fence anywhere between them, or the target's dependency
+    // when the pair is adjacent in the dependency sense.
+    let po_label = |a: usize, b: usize| -> EdgeLabel {
+        let (x, y) = (flat[a], flat[b]);
+        let thread = &threads[x.thread];
+        let mut device = PoDevice::Plain;
+        for acc in &thread[x.index + 1..=y.index] {
+            for f in &acc.fences_before {
+                device = device.max(PoDevice::Fence(*f));
+            }
+        }
+        // A dependency device only orders the pair when the pair's source
+        // is the read the dependency hangs off (Fig 22: dependencies start
+        // at reads).
+        if device == PoDevice::Plain && x.dir == Dir::R {
+            if let Some(dep) = y.dep {
+                device = PoDevice::Dep(dep);
+            }
+        }
+        EdgeLabel::Po { device, same_loc: x.var == y.var }
+    };
+
+    // DFS over alternating sequences starting at each access; a cycle may
+    // begin with either a po or a cmp edge — starting at the po source of
+    // every po edge covers all alternating cycles (every cycle has a po
+    // edge... except pure-cmp ones, which reduce to co/rf chains with no
+    // po and are not critical). Criticality: ≤ 2 accesses per thread,
+    // ≤ 3 accesses per location from distinct threads. Same-location
+    // po pairs are only allowed in SC-PER-LOCATION cycles (length-2
+    // cycles: po-loc + closing cmp chain).
+    for start in 0..n {
+        // Symmetry breaking: cycles start in instance 0 of their entry.
+        if thread_meta[flat[start].thread].1 != 0 {
+            continue;
+        }
+        for next in 0..n {
+            if flat[start].thread != flat[next].thread || flat[start].index >= flat[next].index
+            {
+                continue;
+            }
+            let first_po = po_label(start, next);
+            if let EdgeLabel::Po { same_loc: true, .. } = first_po {
+                // SC PER LOCATION shapes. The closing communication may be
+                // *internal*: coWW closes with coi (the po-later write
+                // co-before the earlier one) and coRW1 with rfi (a read
+                // from a po-later write) — both single-thread cycles.
+                if flat[next].dir == Dir::W {
+                    push_cycle(
+                        flat.as_slice(),
+                        vec![start, next],
+                        vec![first_po, EdgeLabel::Cmp],
+                        out,
+                    );
+                }
+                // coWR / coRW2 / coRR close through an external write.
+                for mid in 0..n {
+                    if out.len() >= opts.max_cycles {
+                        return;
+                    }
+                    if mid != start
+                        && mid != next
+                        && cmp(next, mid)
+                        && cmp(mid, start)
+                        && flat[mid].var == flat[start].var
+                        && may_visit(thread_meta, &[flat[start].thread], flat[mid].thread)
+                    {
+                        push_cycle(
+                            flat.as_slice(),
+                            vec![start, next, mid],
+                            vec![first_po, EdgeLabel::Cmp, EdgeLabel::Cmp],
+                            out,
+                        );
+                    }
+                }
+                continue;
+            }
+            // Critical cycles: extend with cmp, then alternate.
+            let mut nodes = vec![start, next];
+            let mut edges = vec![first_po];
+            explore(
+                flat.as_slice(),
+                thread_meta,
+                &cmp,
+                &po_label,
+                &mut nodes,
+                &mut edges,
+                opts,
+                out,
+            );
+        }
+    }
+}
+
+/// Extends an alternating path whose last edge was po; tries cmp hops and
+/// further po hops, closing back to `nodes[0]` when possible.
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    flat: &[&FlatAccess],
+    thread_meta: &[(usize, usize)],
+    cmp: &dyn Fn(usize, usize) -> bool,
+    po_label: &dyn Fn(usize, usize) -> EdgeLabel,
+    nodes: &mut Vec<usize>,
+    edges: &mut Vec<EdgeLabel>,
+    opts: &MoleOptions,
+    out: &mut Vec<FoundCycle>,
+) {
+    if out.len() >= opts.max_cycles || nodes.len() > 8 {
+        return;
+    }
+    let last = *nodes.last().expect("nonempty");
+    let used: Vec<usize> = nodes.iter().map(|&v| flat[v].thread).collect();
+    for target in 0..flat.len() {
+        if !cmp(last, target) {
+            continue;
+        }
+        if target == nodes[0] {
+            // Cycle closed.
+            let mut e = edges.clone();
+            e.push(EdgeLabel::Cmp);
+            if is_critical(flat, nodes, &e) {
+                push_cycle(flat, nodes.clone(), e, out);
+            }
+            continue;
+        }
+        if nodes.contains(&target) {
+            continue;
+        }
+        // Visit a fresh thread: at most two accesses there, distinct locs.
+        let t = flat[target].thread;
+        if used.contains(&t) || !may_visit(thread_meta, &used, t) {
+            continue;
+        }
+        // cmp into target, then po onwards (or close from target later).
+        nodes.push(target);
+        edges.push(EdgeLabel::Cmp);
+        // Option A: close directly with cmp from target next round.
+        explore(flat, thread_meta, cmp, po_label, nodes, edges, opts, out);
+        nodes.pop();
+        edges.pop();
+        for after in 0..flat.len() {
+            if flat[after].thread != t
+                || flat[target].index >= flat[after].index
+                || nodes.contains(&after)
+                || flat[after].var == flat[target].var
+            {
+                continue;
+            }
+            nodes.push(target);
+            edges.push(EdgeLabel::Cmp);
+            nodes.push(after);
+            edges.push(po_label(target, after));
+            explore(flat, thread_meta, cmp, po_label, nodes, edges, opts, out);
+            nodes.pop();
+            nodes.pop();
+            edges.pop();
+            edges.pop();
+        }
+    }
+}
+
+/// The criticality conditions of Sec 9: per thread at most two accesses
+/// at distinct locations; per location at most three accesses from
+/// distinct threads.
+fn is_critical(flat: &[&FlatAccess], nodes: &[usize], edges: &[EdgeLabel]) -> bool {
+    let mut by_thread: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut by_var: BTreeMap<&str, BTreeSet<usize>> = BTreeMap::new();
+    for &v in nodes {
+        by_thread.entry(flat[v].thread).or_default().push(v);
+        by_var.entry(flat[v].var.as_str()).or_default().insert(flat[v].thread);
+    }
+    if by_thread.values().any(|vs| vs.len() > 2) {
+        return false;
+    }
+    for vs in by_thread.values() {
+        if vs.len() == 2 && flat[vs[0]].var == flat[vs[1]].var {
+            return false;
+        }
+    }
+    if by_var.values().any(|ts| ts.len() > 3) {
+        return false;
+    }
+    // Note: consecutive cmp edges are legitimate (single-access threads,
+    // e.g. the reading thread of Fig 39's w+rw+r) — no alternation check.
+    let _ = edges;
+    true
+}
+
+fn push_cycle(
+    flat: &[&FlatAccess],
+    nodes: Vec<usize>,
+    edges: Vec<EdgeLabel>,
+    out: &mut Vec<FoundCycle>,
+) {
+    let (pattern, axiom) = classify(flat, &nodes, &edges);
+    let dirs = nodes.iter().map(|&v| flat[v].dir).collect();
+    out.push(FoundCycle { nodes, edges, dirs, pattern, axiom });
+}
+
+/// Reduction + naming + axiom attribution.
+fn classify(flat: &[&FlatAccess], nodes: &[usize], edges: &[EdgeLabel]) -> (String, AxiomClass) {
+    let n = nodes.len();
+    // Label each cmp edge by its endpoint directions: W→R rf, R→W fr,
+    // W→W co.
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum E {
+        Po(PoDevice, bool),
+        Rf,
+        Fr,
+        Co,
+    }
+    let mut seq: Vec<(usize, E)> = Vec::new(); // (source node, edge)
+    for (i, e) in edges.iter().enumerate() {
+        let a = nodes[i];
+        let b = nodes[(i + 1) % n];
+        let lab = match e {
+            EdgeLabel::Po { device, same_loc } => E::Po(*device, *same_loc),
+            EdgeLabel::Cmp => match (flat[a].dir, flat[b].dir) {
+                (Dir::W, Dir::R) => E::Rf,
+                (Dir::R, Dir::W) => E::Fr,
+                (Dir::W, Dir::W) => E::Co,
+                (Dir::R, Dir::R) => E::Fr, // cannot happen: cmp needs a write
+            },
+        };
+        seq.push((a, lab));
+    }
+    // Reduction rules over adjacent communication edges (Fig 39):
+    // rf;fr = co, fr;co = fr, co;co = co.
+    loop {
+        let mut changed = false;
+        let m = seq.len();
+        if m < 3 {
+            break;
+        }
+        'scan: for i in 0..m {
+            let j = (i + 1) % m;
+            let red = match (seq[i].1, seq[j].1) {
+                (E::Rf, E::Fr) => Some(E::Co),
+                (E::Fr, E::Co) => Some(E::Fr),
+                (E::Co, E::Co) => Some(E::Co),
+                _ => None,
+            };
+            if let Some(r) = red {
+                let src = seq[i].0;
+                if j > i {
+                    seq.remove(j);
+                    seq.remove(i);
+                    seq.insert(i, (src, r));
+                } else {
+                    seq.remove(i);
+                    seq.remove(j);
+                    seq.insert(j, (src, r));
+                }
+                changed = true;
+                break 'scan;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Axiom attribution (Sec 9.1.3): SC PER LOCATION if everything is
+    // po-loc or com; NO THIN AIR if everything is hb (po/rf); OBSERVATION
+    // for exactly one fr and no co; PROPAGATION otherwise.
+    let all_scpl = seq.iter().all(|(_, e)| match e {
+        E::Po(_, same_loc) => *same_loc,
+        _ => true,
+    });
+    let frs = seq.iter().filter(|(_, e)| matches!(e, E::Fr)).count();
+    let cos = seq.iter().filter(|(_, e)| matches!(e, E::Co)).count();
+    let axiom = if all_scpl {
+        AxiomClass::ScPerLocation
+    } else if frs == 0 && cos == 0 {
+        AxiomClass::NoThinAir
+    } else if frs == 1 && cos == 0 {
+        AxiomClass::Observation
+    } else {
+        AxiomClass::Propagation
+    };
+
+    // Name: SC-per-location cycles use the coXY convention; critical
+    // cycles use the systematic thread-signature (classic when known).
+    let name = if all_scpl {
+        let dirs: Vec<Dir> = nodes.iter().map(|&v| flat[v].dir).collect();
+        match dirs.as_slice() {
+            // [W, W, R] is coWW observed through a reader: its rf;fr tail
+            // reduces to co (Fig 39's rule), leaving the coWW shape.
+            [Dir::W, Dir::W] | [Dir::W, Dir::W, Dir::W] | [Dir::W, Dir::W, Dir::R] => {
+                "coWW".to_owned()
+            }
+            [Dir::R, Dir::W] => "coRW1".to_owned(),
+            [Dir::R, Dir::W, Dir::W] => "coRW2".to_owned(),
+            [Dir::W, Dir::R] | [Dir::W, Dir::R, Dir::W] => "coWR".to_owned(),
+            [Dir::R, Dir::R] | [Dir::R, Dir::R, Dir::W] => "coRR".to_owned(),
+            _ => "coXY".to_owned(),
+        }
+    } else {
+        // Thread signature of the *reduced* cycle, in cycle order.
+        let mut sig: Vec<String> = Vec::new();
+        let mut cur_thread = usize::MAX;
+        for &(src, _) in &seq {
+            let t = flat[src].thread;
+            let d = if flat[src].dir == Dir::W { 'w' } else { 'r' };
+            if t != cur_thread {
+                sig.push(String::new());
+                cur_thread = t;
+            }
+            sig.last_mut().expect("pushed").push(d);
+        }
+        let systematic = sig.join("+");
+        herd_diy::classic_name(&systematic)
+            .map(str::to_owned)
+            .unwrap_or(systematic)
+    };
+    (name, axiom)
+}
+
+/// Deduplicates cycles equal up to rotation and up to swapping
+/// interchangeable thread instances of the same entry point. Only the
+/// cycles found after `from` (the current group's batch) are filtered.
+fn dedupe(flat: &[&FlatAccess], cycles: &mut Vec<FoundCycle>, from: usize) {
+    let mut seen = BTreeSet::new();
+    let mut kept = Vec::new();
+    for (i, c) in cycles.iter().enumerate() {
+        if i < from {
+            kept.push(c.clone());
+            continue;
+        }
+        let key = (0..c.nodes.len())
+            .map(|r| {
+                let mut ns = c.nodes.clone();
+                ns.rotate_left(r);
+                // Abstract thread identity: rank of first appearance.
+                let mut ranks: Vec<usize> = Vec::new();
+                let sig: Vec<(usize, usize, usize)> = ns
+                    .iter()
+                    .map(|&v| {
+                        let t = flat[v].thread;
+                        let rank = match ranks.iter().position(|&x| x == t) {
+                            Some(p) => p,
+                            None => {
+                                ranks.push(t);
+                                ranks.len() - 1
+                            }
+                        };
+                        (flat[v].entry, flat[v].index, rank)
+                    })
+                    .collect();
+                format!("{sig:?}")
+            })
+            .min()
+            .unwrap_or_default();
+        if seen.insert(key) {
+            kept.push(c.clone());
+        }
+    }
+    *cycles = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Program, Stmt};
+
+    fn mp_program() -> Program {
+        Program::new("mp-demo")
+            .function(
+                "writer",
+                vec![Stmt::write("data"), Stmt::Fence(Fence::Lwsync), Stmt::write("flag")],
+            )
+            .function("reader", vec![Stmt::read("flag"), Stmt::read_dep("data", DepKind::Addr)])
+            .spawn("writer")
+            .spawn("reader")
+    }
+
+    #[test]
+    fn finds_the_mp_cycle_in_the_message_passing_program() {
+        let a = analyze(&mp_program(), &MoleOptions::default());
+        let hist = a.pattern_histogram();
+        assert!(hist.contains_key("mp"), "{hist:?}");
+        let mp_cycles: Vec<&FoundCycle> =
+            a.cycles.iter().filter(|c| c.pattern == "mp").collect();
+        assert!(mp_cycles.iter().all(|c| c.axiom == AxiomClass::Observation));
+    }
+
+    #[test]
+    fn entry_point_inference_without_spawn() {
+        let p = Program::new("lib")
+            .function("api", vec![Stmt::write("x"), Stmt::Call("helper".into())])
+            .function("helper", vec![Stmt::read("x")]);
+        let entries = entry_points(&p);
+        assert_eq!(entries, vec!["api".to_owned()], "helper is called, api is not");
+    }
+
+    #[test]
+    fn grouping_by_shared_objects() {
+        let p = Program::new("two-groups")
+            .function("a1", vec![Stmt::write("x")])
+            .function("a2", vec![Stmt::read("x")])
+            .function("b1", vec![Stmt::write("q")])
+            .function("b2", vec![Stmt::read("q")]);
+        let groups = group_entries(&p, &MoleOptions::default());
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn sc_per_location_cycles_are_found() {
+        // Two threads hammering one variable: coWR/coRR/coWW shapes.
+        let p = Program::new("hammer")
+            .function("t1", vec![Stmt::write("x"), Stmt::read("x")])
+            .function("t2", vec![Stmt::write("x")])
+            .spawn("t1")
+            .spawn("t2");
+        let a = analyze(&p, &MoleOptions::default());
+        let hist = a.pattern_histogram();
+        assert!(hist.keys().any(|k| k.starts_with("co")), "{hist:?}");
+        assert!(a
+            .cycles
+            .iter()
+            .any(|c| c.axiom == AxiomClass::ScPerLocation));
+    }
+
+    #[test]
+    fn store_buffering_is_propagation() {
+        let p = Program::new("sb-demo")
+            .function("t1", vec![Stmt::write("x"), Stmt::read("y")])
+            .function("t2", vec![Stmt::write("y"), Stmt::read("x")])
+            .spawn("t1")
+            .spawn("t2");
+        let a = analyze(&p, &MoleOptions::default());
+        let sb: Vec<&FoundCycle> = a.cycles.iter().filter(|c| c.pattern == "sb").collect();
+        assert!(!sb.is_empty());
+        assert!(sb.iter().all(|c| c.axiom == AxiomClass::Propagation));
+    }
+
+    #[test]
+    fn load_buffering_is_no_thin_air() {
+        let p = Program::new("lb-demo")
+            .function("t1", vec![Stmt::read("x"), Stmt::write_dep("y", DepKind::Data)])
+            .function("t2", vec![Stmt::read("y"), Stmt::write_dep("x", DepKind::Data)])
+            .spawn("t1")
+            .spawn("t2");
+        let a = analyze(&p, &MoleOptions::default());
+        let lb: Vec<&FoundCycle> = a.cycles.iter().filter(|c| c.pattern == "lb").collect();
+        assert!(!lb.is_empty());
+        assert!(lb.iter().all(|c| c.axiom == AxiomClass::NoThinAir));
+    }
+
+    #[test]
+    fn reduction_collapses_rf_fr_to_co() {
+        // Fig 39: ww+rw+r reduces to s (the reading thread drops out).
+        // T0: Wx,Wy — T1: Ry,Wx — T2: Rx. The T2 read makes rf;fr, which
+        // reduces to co, leaving the s pattern.
+        let p = Program::new("s-demo")
+            .function("t0", vec![Stmt::write("x"), Stmt::write("y")])
+            .function("t1", vec![Stmt::read("y"), Stmt::write_dep("x", DepKind::Data)])
+            .function("t2", vec![Stmt::read("x")])
+            .spawn("t0")
+            .spawn("t1")
+            .spawn("t2");
+        let a = analyze(&p, &MoleOptions::default());
+        let hist = a.pattern_histogram();
+        assert!(hist.contains_key("s"), "{hist:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! The concurrent-program intermediate representation mole analyses.
+//!
+//! mole (Sec 9) consumes goto-programs; here, programs are lists of
+//! functions whose bodies are sequences of shared-memory accesses, fences
+//! (from inline assembly), lock operations and calls. This is exactly the
+//! structure the static cycle search needs: program order per thread,
+//! competing accesses across threads, and ordering devices in between.
+
+use herd_core::event::{Dir, Fence};
+use std::collections::BTreeSet;
+
+/// How an access depends on the po-previous read of its thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DepKind {
+    /// Address dependency (pointer dereference chains, Fig 40's
+    /// `gbl_foo->a`).
+    Addr,
+    /// Data dependency.
+    Data,
+    /// Control dependency (branching on a loaded value).
+    Ctrl,
+}
+
+/// One statement of a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// A shared-memory access.
+    Access {
+        /// Shared object name.
+        var: String,
+        /// Read or write.
+        dir: Dir,
+        /// Dependency on the thread's po-previous read, if any.
+        dep: Option<DepKind>,
+    },
+    /// A memory barrier (inline assembly).
+    Fence(Fence),
+    /// A function call (inlined by the analysis; recursion cut off).
+    Call(String),
+    /// Lock acquisition — *ignored* by the cycle search (mole
+    /// overapproximates: program logic that would rule a cycle out is not
+    /// modelled, Sec 9.1.3; such cycles may be spurious).
+    Lock(String),
+    /// Lock release (ignored, as above).
+    Unlock(String),
+}
+
+impl Stmt {
+    /// A shared read.
+    pub fn read(var: &str) -> Stmt {
+        Stmt::Access { var: var.to_owned(), dir: Dir::R, dep: None }
+    }
+
+    /// A shared write.
+    pub fn write(var: &str) -> Stmt {
+        Stmt::Access { var: var.to_owned(), dir: Dir::W, dep: None }
+    }
+
+    /// A shared read depending on the previous read.
+    pub fn read_dep(var: &str, dep: DepKind) -> Stmt {
+        Stmt::Access { var: var.to_owned(), dir: Dir::R, dep: Some(dep) }
+    }
+
+    /// A shared write depending on the previous read.
+    pub fn write_dep(var: &str, dep: DepKind) -> Stmt {
+        Stmt::Access { var: var.to_owned(), dir: Dir::W, dep: Some(dep) }
+    }
+}
+
+/// A function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Name (external linkage assumed unless listed in
+    /// [`Program::internal`]).
+    pub name: String,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A program (one "package" of the scan).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Package/program name.
+    pub name: String,
+    /// All functions.
+    pub functions: Vec<Function>,
+    /// Functions explicitly spawned as threads (pthread_create /
+    /// kthread_run targets).
+    pub spawned: Vec<String>,
+    /// Functions with internal linkage (never thread entry candidates).
+    pub internal: BTreeSet<String>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: &str) -> Self {
+        Program { name: name.to_owned(), ..Default::default() }
+    }
+
+    /// Adds a function.
+    pub fn function(mut self, name: &str, body: Vec<Stmt>) -> Self {
+        self.functions.push(Function { name: name.to_owned(), body });
+        self
+    }
+
+    /// Marks a function as explicitly spawned.
+    pub fn spawn(mut self, name: &str) -> Self {
+        self.spawned.push(name.to_owned());
+        self
+    }
+
+    /// Marks a function as internal linkage.
+    pub fn mark_internal(mut self, name: &str) -> Self {
+        self.internal.insert(name.to_owned());
+        self
+    }
+
+    /// Finds a function by name.
+    pub fn find(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = Program::new("demo")
+            .function("writer", vec![Stmt::write("x"), Stmt::Fence(Fence::Lwsync), Stmt::write("y")])
+            .function("reader", vec![Stmt::read("y"), Stmt::read_dep("x", DepKind::Addr)])
+            .spawn("writer")
+            .spawn("reader");
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.find("writer").is_some());
+        assert!(p.find("nope").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # herd-mole — static critical-cycle mining
+//!
+//! mole (Sec 9) explores concurrent C programs for the weak-memory idioms
+//! they contain: it identifies thread entry points, groups the ones that
+//! may run concurrently, and enumerates *static critical cycles* —
+//! alternations of program order and competing accesses that violate SC
+//! minimally — plus the SC-PER-LOCATION shapes (coWW, coRW1/2, coWR,
+//! coRR). Each cycle is reduced (`co;co = co`, `rf;fr = co`,
+//! `fr;co = fr`, Fig 39), named by the Tab III convention, and attributed
+//! to the axiom that would reject it.
+//!
+//! The paper runs this over Debian 7.1; here [`corpus`] models the
+//! RCU/PostgreSQL/Apache kernels the paper details, and [`scan`] analyses
+//! a seeded synthetic distribution with the same pipeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use herd_mole::{analyze, MoleOptions};
+//!
+//! let rcu = herd_mole::corpus::rcu();
+//! let analysis = analyze(&rcu, &MoleOptions::default());
+//! assert!(analysis.pattern_histogram().contains_key("mp"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod bridge;
+pub mod corpus;
+pub mod ir;
+pub mod parse;
+pub mod scan;
+
+pub use analyze::{analyze, Analysis, AxiomClass, FoundCycle, MoleOptions};
+pub use bridge::{to_relaxations, witnesses};
+pub use ir::{DepKind, Function, Program, Stmt};
+pub use parse::{parse, render, MoleParseError};
+pub use scan::{scan_distribution, ScanReport};

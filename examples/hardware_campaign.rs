@@ -1,0 +1,103 @@
+//! The hardware-testing campaign of Sec 8.1, on the simulated machines:
+//! run the corpus plus diy-generated tests on each part, compare against
+//! the models, and print the Tab V / Tab VI / Tab VIII analogues.
+//!
+//! Run with: `cargo run --release --example hardware_campaign`
+
+use herd_core::arch::{Arm, ArmVariant, Power};
+use herd_hw::{arm_machines, campaign, power_machines};
+use herd_litmus::program::LitmusTest;
+use herd_litmus::{corpus, isa::Isa};
+
+fn main() {
+    let power_tests: Vec<LitmusTest> = corpus::power_corpus()
+        .into_iter()
+        .map(|e| e.test)
+        .chain(herd_diy::generate_tests(&herd_diy::power_pool(), 4, Isa::Power, 60))
+        .collect();
+    let arm_tests: Vec<LitmusTest> = corpus::arm_corpus()
+        .into_iter()
+        .map(|e| e.test)
+        .chain(herd_diy::generate_tests(&herd_diy::arm_pool(), 4, Isa::Arm, 60))
+        .collect();
+    const RUNS: u64 = 10_000_000_000; // simulated runs per test
+
+    println!("== Tab V analogue: model validation against hardware ==\n");
+    for machine in power_machines() {
+        let summary =
+            campaign(&machine, &power_tests, &Power::new(), RUNS, 42).expect("campaign");
+        println!("{}", summary.table_row());
+    }
+    for machine in arm_machines() {
+        for reference in [
+            Box::new(Arm::new(ArmVariant::PowerArm)) as Box<dyn herd_core::Architecture>,
+            Box::new(Arm::new(ArmVariant::Proposed)),
+        ] {
+            let summary =
+                campaign(&machine, &arm_tests, reference.as_ref(), RUNS, 42).expect("campaign");
+            println!("{}", summary.table_row());
+        }
+    }
+
+    println!("\n== Tab VI analogue: anomaly observation counts ==\n");
+    let anomalies =
+        [corpus::co_rr(Isa::Arm), corpus::mp_fri_rfi_ctrlcfence(Isa::Arm)];
+    let reference = Arm::new(ArmVariant::PowerArm);
+    for machine in arm_machines() {
+        for test in &anomalies {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+            let run = herd_hw::run_test(&machine, test, RUNS, &mut rng).expect("run");
+            // Full states the reference model allows.
+            let allowed: std::collections::BTreeSet<String> =
+                herd_litmus::candidates::enumerate(test, &Default::default())
+                    .expect("enumerate")
+                    .iter()
+                    .filter(|c| herd_core::model::check(&reference, &c.exec).allowed())
+                    .map(herd_hw::campaign::render_full_state)
+                    .collect();
+            // Count observations of states the Power-ARM model forbids.
+            let bug_count: u64 = run
+                .states
+                .iter()
+                .filter(|(s, _)| !allowed.contains(*s))
+                .map(|(_, c)| c)
+                .sum();
+            if bug_count > 0 {
+                println!(
+                    "{:12} {:28} Forbid  Ok, {}/{}G",
+                    machine.name,
+                    test.name,
+                    human(bug_count),
+                    RUNS / 1_000_000_000
+                );
+            } else {
+                println!("{:12} {:28} Forbid  unseen", machine.name, test.name);
+            }
+        }
+    }
+
+    println!("\n== Tab VIII analogue: anomalies classified by violated axioms ==\n");
+    println!("(reference model: Power-ARM — the paper's row 'Power-ARM')");
+    let reference = Arm::new(ArmVariant::PowerArm);
+    let mut total: std::collections::BTreeMap<String, usize> = Default::default();
+    for machine in arm_machines() {
+        let summary = campaign(&machine, &arm_tests, &reference, RUNS, 42).expect("campaign");
+        for (label, count) in summary.classification {
+            *total.entry(label).or_insert(0) += count;
+        }
+    }
+    println!("{:6} invalid observations", "axioms");
+    for (label, count) in &total {
+        println!("{label:6} {count}");
+    }
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}

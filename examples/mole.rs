@@ -1,0 +1,65 @@
+//! A command-line mole: mine a program file for weak-memory idioms.
+//!
+//! ```text
+//! cargo run --example mole -- <program.mole> [--witnesses]
+//! ```
+//!
+//! `--witnesses` additionally synthesises one litmus test per mined
+//! critical cycle (the mole → diy bridge) and simulates it under the
+//! Power model.
+
+use herd_mole::{analyze, parse, witnesses, MoleOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want_witnesses = args.iter().any(|a| a == "--witnesses");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: mole <program.mole> [--witnesses]");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = analyze(&program, &MoleOptions::default());
+    println!(
+        "program {}: {} concurrent group(s), {} static cycle(s)",
+        program.name,
+        analysis.groups,
+        analysis.cycles.len()
+    );
+    println!("\n{:14} {:>6}", "pattern", "cycles");
+    for (pattern, count) in analysis.pattern_histogram() {
+        println!("{pattern:14} {count:>6}");
+    }
+    println!("\n{:16} {:>6}", "axiom", "cycles");
+    for (axiom, count) in analysis.axiom_histogram() {
+        println!("{axiom:16} {count:>6}");
+    }
+    if want_witnesses {
+        println!("\n== synthesised witnesses (mole → diy → herd) ==");
+        let power = herd_core::arch::Power::new();
+        for (pattern, test) in witnesses(&analysis, herd_litmus::isa::Isa::Power) {
+            match herd_litmus::simulate::simulate(&test, &power) {
+                Ok(out) => println!(
+                    "{pattern:8} {:34} {} on Power",
+                    test.name,
+                    out.verdict_str()
+                ),
+                Err(e) => println!("{pattern:8} {:34} error: {e}", test.name),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,49 @@
+//! The mole experiments of Sec 9: mine the RCU, PostgreSQL and Apache
+//! kernels for weak-memory idioms (Tabs XIII/XIV), then scan a synthetic
+//! distribution the way the paper scans Debian 7.1.
+//!
+//! Run with: `cargo run --release --example mole_scan`
+
+use herd_mole::scan::{accumulate, scan_distribution, ScanReport};
+use herd_mole::{analyze, corpus, MoleOptions};
+
+fn main() {
+    let opts = MoleOptions::default();
+
+    for program in corpus::all() {
+        let analysis = analyze(&program, &opts);
+        println!("== {} ==", program.name);
+        println!(
+            "entry groups: {}   cycles: {}",
+            analysis.groups,
+            analysis.cycles.len()
+        );
+        println!("{:14} {:>6}", "pattern", "cycles");
+        for (pattern, count) in analysis.pattern_histogram() {
+            println!("{pattern:14} {count:>6}");
+        }
+        println!("{:16} {:>6}", "axiom", "cycles");
+        for (axiom, count) in analysis.axiom_histogram() {
+            println!("{axiom:16} {count:>6}");
+        }
+        println!();
+    }
+
+    println!("== synthetic distribution scan (the Debian 7.1 analogue) ==\n");
+    let packages = 150;
+    let mut report: ScanReport = scan_distribution(packages, 2014, &opts);
+    // Fold the real kernels in as three more "packages".
+    for program in corpus::all() {
+        report.packages += 1;
+        accumulate(&mut report, &analyze(&program, &opts));
+    }
+    println!(
+        "packages analysed: {}   with cycles: {}   total cycles: {}\n",
+        report.packages, report.packages_with_cycles, report.cycles
+    );
+    println!("{}", report.pattern_table());
+    println!("{:16} {:>8}", "axiom", "cycles");
+    for (axiom, count) in &report.axioms {
+        println!("{axiom:16} {count:>8}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Regenerates the paper's verdict figures and timing tables in one run:
+//! every captioned litmus verdict (Figs 6–20, 29, 32–37), the model
+//! comparisons (Tab I's experimental rows), the simulation-cost comparison
+//! (Tab IX shape) and the verification comparison (Tab X shape).
+//!
+//! Run with: `cargo run --release --example paper_report`
+
+use herd_core::arch::{Arm, ArmVariant, Power, Sc, Tso};
+use herd_core::model::{check, Architecture};
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::corpus::{self, CorpusEntry};
+use herd_litmus::simulate::{judge, simulate};
+use herd_machine::{check_multi, verify_axiomatic, verify_operational, MadorHaim, Machine, PldiFlawed};
+use std::time::Instant;
+
+fn verdict_table(title: &str, corpus: &[CorpusEntry], arch: &dyn Architecture) {
+    println!("== {title} ==");
+    println!("{:34} {:>6} {:>9} {:>9}", "test", "paper", "model", "agree");
+    let mut agree = 0;
+    for e in corpus {
+        let out = simulate(&e.test, arch).expect("simulation");
+        let ok = out.validated == e.allowed;
+        agree += usize::from(ok);
+        println!(
+            "{:34} {:>6} {:>9} {:>9}",
+            e.test.name,
+            if e.allowed { "Allow" } else { "Forbid" },
+            if out.validated { "Allow" } else { "Forbid" },
+            if ok { "yes" } else { "** NO **" },
+        );
+    }
+    println!("agreement: {agree}/{}\n", corpus.len());
+}
+
+fn main() {
+    verdict_table("Power verdicts (Figs 6-20, 29, 36, 37)", &corpus::power_corpus(), &Power::new());
+    verdict_table(
+        "ARM verdicts (Sec 8.1.2, Figs 32/33)",
+        &corpus::arm_corpus(),
+        &Arm::new(ArmVariant::Proposed),
+    );
+    verdict_table("x86/TSO verdicts", &corpus::x86_corpus(), &Tso);
+
+    println!("== Tab I experimental rows: model comparisons ==");
+    let detour = corpus::mp_addr_po_detour(herd_litmus::isa::Isa::Power);
+    let bigdetour = corpus::mp_addr_bigdetour_addr(herd_litmus::isa::Isa::Power);
+    for (model, name) in [
+        (Box::new(Power::new()) as Box<dyn Architecture>, "this paper"),
+        (Box::new(PldiFlawed::new()), "PLDI 2011 (operational)"),
+        (Box::new(MadorHaim::new()), "CAV 2012 (multi-event)"),
+    ] {
+        let d = simulate(&detour, model.as_ref()).unwrap().validated;
+        let b = simulate(&bigdetour, model.as_ref()).unwrap().validated;
+        println!(
+            "{:26} mp+lwsync+addr-po-detour: {:6}  bigdetour: {:6}",
+            name,
+            if d { "Allow" } else { "Forbid" },
+            if b { "Allow" } else { "Forbid" },
+        );
+    }
+    println!("(hardware observes both; only 'this paper' allows both)\n");
+
+    println!("== Tab IX shape: simulation cost per style ==");
+    let tests: Vec<CorpusEntry> = corpus::power_corpus();
+    let opts = EnumOptions::default();
+    let all_cands: Vec<(String, Vec<herd_litmus::Candidate>)> = tests
+        .iter()
+        .map(|e| (e.test.name.clone(), enumerate(&e.test, &opts).unwrap()))
+        .collect();
+    let power = Power::new();
+
+    let t0 = Instant::now();
+    let mut single = 0usize;
+    for (_, cands) in &all_cands {
+        for c in cands {
+            single += usize::from(check(&power, &c.exec).allowed());
+        }
+    }
+    let t_single = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut multi = 0usize;
+    for (_, cands) in &all_cands {
+        for c in cands {
+            multi += usize::from(check_multi(&c.exec, &power).allowed());
+        }
+    }
+    let t_multi = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut oper = 0usize;
+    for (_, cands) in &all_cands {
+        for c in cands {
+            oper += usize::from(Machine::new(&c.exec, &power).accepts());
+        }
+    }
+    let t_oper = t0.elapsed();
+
+    assert_eq!(single, multi);
+    assert_eq!(single, oper);
+    let candidates: usize = all_cands.iter().map(|(_, c)| c.len()).sum();
+    println!("style                      candidates   time        vs single-event");
+    println!(
+        "single-event axiomatic     {candidates:>10}   {:>9.2?}   1.0x",
+        t_single
+    );
+    println!(
+        "multi-event axiomatic      {candidates:>10}   {:>9.2?}   {:.1}x",
+        t_multi,
+        t_multi.as_secs_f64() / t_single.as_secs_f64()
+    );
+    println!(
+        "operational (machine)      {candidates:>10}   {:>9.2?}   {:.1}x\n",
+        t_oper,
+        t_oper.as_secs_f64() / t_single.as_secs_f64()
+    );
+
+    println!("== Tab X shape: verification cost, axiomatic vs operational ==");
+    let t0 = Instant::now();
+    for e in &tests {
+        let _ = verify_axiomatic(&e.test, &power).unwrap();
+    }
+    let t_ax = t0.elapsed();
+    let t0 = Instant::now();
+    for e in &tests {
+        let _ = verify_operational(&e.test, &power).unwrap();
+    }
+    let t_op = t0.elapsed();
+    println!("axiomatic encoding      {t_ax:>9.2?}   1.0x");
+    println!(
+        "operational encoding    {t_op:>9.2?}   {:.1}x\n",
+        t_op.as_secs_f64() / t_ax.as_secs_f64()
+    );
+
+    println!("== Sec 8.3: model-level simulation of one test ==");
+    let mp = corpus::mp(herd_litmus::isa::Isa::Power, corpus::Dev::Po, corpus::Dev::Po);
+    let cands = enumerate(&mp, &opts).unwrap();
+    for model in [
+        Box::new(Sc) as Box<dyn Architecture>,
+        Box::new(Tso),
+        Box::new(Power::new()),
+    ] {
+        let out = judge(&mp, model.as_ref(), &cands);
+        println!("{out}");
+    }
+}

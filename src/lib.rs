@@ -1,0 +1,25 @@
+//! # cats — a Rust reproduction of *Herding Cats* (2014)
+//!
+//! Umbrella crate re-exporting the whole tool suite:
+//!
+//! - [`core`]: the generic axiomatic framework (events, relations, the
+//!   four axioms, SC/TSO/C++RA/Power/ARM architectures).
+//! - [`litmus`]: mini-ISAs, instruction semantics, the litmus format,
+//!   candidate enumeration and the herd-style simulator.
+//! - [`cat`]: the cat model-definition language.
+//! - [`machine`]: the intermediate operational machine and the comparison
+//!   models (multi-event axiomatic, PLDI-style operational).
+//! - [`hw`]: simulated hardware testbeds with injectable bugs.
+//! - [`diy`]: critical-cycle based litmus test generation.
+//! - [`mole`]: static critical-cycle mining of concurrent programs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use herd_cat as cat;
+pub use herd_core as core;
+pub use herd_diy as diy;
+pub use herd_hw as hw;
+pub use herd_litmus as litmus;
+pub use herd_machine as machine;
+pub use herd_mole as mole;

@@ -1,0 +1,93 @@
+//! The whole architecture zoo over the whole corpus: strength ordering
+//! and totality (every stock model judges every candidate without error).
+//!
+//! The paper's hierarchy: SC is the strongest; TSO relaxes write-read;
+//! PSO additionally write-write; RMO keeps only dependencies; Power/ARM
+//! are incomparable with the Sparc family but weaker than SC.
+
+use herd_core::arch::{self, Arm, ArmVariant, Power, Pso, Rmo, Sc, Tso};
+use herd_core::model::{check, Architecture};
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::corpus::{self, CorpusEntry};
+
+fn all_tests() -> Vec<CorpusEntry> {
+    corpus::power_corpus()
+        .into_iter()
+        .chain(corpus::arm_corpus())
+        .chain(corpus::x86_corpus())
+        .collect()
+}
+
+/// `stronger` allows ⊆ `weaker` allows, on every candidate.
+fn assert_stronger(stronger: &dyn Architecture, weaker: &dyn Architecture) {
+    for entry in all_tests() {
+        for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
+            if check(stronger, &c.exec).allowed() {
+                assert!(
+                    check(weaker, &c.exec).allowed(),
+                    "{}: {} allows but {} forbids",
+                    entry.test.name,
+                    stronger.name(),
+                    weaker.name(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sc_is_the_strongest_model() {
+    for weaker in arch::all() {
+        assert_stronger(&Sc, weaker.as_ref());
+    }
+    assert_stronger(&Sc, &Pso);
+    assert_stronger(&Sc, &Rmo);
+}
+
+#[test]
+fn sparc_family_orders_tso_pso_rmo() {
+    assert_stronger(&Tso, &Pso);
+    assert_stronger(&Pso, &Rmo);
+}
+
+#[test]
+fn power_arm_hierarchy() {
+    // The Power-ARM variant (Power ppo with ARM fences) is stronger than
+    // the proposed ARM model, which is stronger than the llh variant.
+    assert_stronger(&Arm::new(ArmVariant::PowerArm), &Arm::new(ArmVariant::Proposed));
+    assert_stronger(&Arm::new(ArmVariant::Proposed), &Arm::new(ArmVariant::ProposedLlh));
+}
+
+#[test]
+fn every_stock_model_judges_every_candidate() {
+    let models: Vec<Box<dyn Architecture>> = vec![
+        Box::new(Sc),
+        Box::new(Tso),
+        Box::new(Pso),
+        Box::new(Rmo),
+        Box::new(Power::new()),
+        Box::new(Power::without_dynamic_ppo()),
+        Box::new(Arm::new(ArmVariant::PowerArm)),
+        Box::new(Arm::new(ArmVariant::Proposed)),
+        Box::new(Arm::new(ArmVariant::ProposedLlh)),
+        Box::new(herd_core::arch::CppRa::default()),
+    ];
+    let mut judged = 0usize;
+    for entry in all_tests() {
+        for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
+            for m in &models {
+                let v = check(m.as_ref(), &c.exec);
+                // The label is consistent with the verdict.
+                assert_eq!(v.allowed(), v.violation_label().is_empty());
+                judged += 1;
+            }
+        }
+    }
+    assert!(judged > 5_000, "{judged}");
+}
+
+#[test]
+fn static_ppo_is_weaker_than_full_power() {
+    // Dropping rdw/detour can only shrink ppo, hence allow more.
+    assert_stronger(&Power::new(), &Power::without_dynamic_ppo());
+}

@@ -1,0 +1,62 @@
+//! C++ restricted to release-acquire (Sec 4.8): the paper's instance is
+//! slightly *stronger* than the standard — PROPAGATION's
+//! `acyclic(co ∪ prop)` versus HBVSMO's `irreflexive(hb+; mo)`. The gap
+//! is exactly the `2+2w` family: cycles alternating `prop` and `co` more
+//! than once.
+
+use herd_core::arch::{CppRa, CppRaStrength, Sc};
+use herd_core::model::check;
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::corpus;
+
+#[test]
+fn strong_and_exact_differ_only_on_multi_step_prop_co_cycles() {
+    let strong = CppRa::new(CppRaStrength::PaperStrong);
+    let exact = CppRa::new(CppRaStrength::StandardExact);
+    let all: Vec<corpus::CorpusEntry> = corpus::power_corpus()
+        .into_iter()
+        .chain(corpus::arm_corpus())
+        .chain(corpus::x86_corpus())
+        .collect();
+    let mut differing_tests = std::collections::BTreeSet::new();
+    for entry in &all {
+        for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
+            let s = check(&strong, &c.exec).allowed();
+            let e = check(&exact, &c.exec).allowed();
+            // Strong is stronger: it can only forbid more.
+            assert!(!s || e, "{}: strong allowed but exact forbade", entry.test.name);
+            if s != e {
+                differing_tests.insert(entry.test.name.clone());
+            }
+        }
+    }
+    assert!(
+        differing_tests.iter().any(|n| n.starts_with("2+2w")),
+        "the canonical witness of the gap is 2+2w: {differing_tests:?}"
+    );
+    // Everything that differs is a 2+2w or w+rw+2w shape (two co edges).
+    for name in &differing_tests {
+        assert!(
+            name.starts_with("2+2w") || name.starts_with("w+rw+2w"),
+            "unexpected divergence on {name}"
+        );
+    }
+}
+
+#[test]
+fn cpp_ra_sits_between_sc_and_hardware_models() {
+    // Release-acquire forbids mp/wrc/isa2 outright (synchronises-with),
+    // allows sb and iriw (no total order over sc-atomics here).
+    let ra = CppRa::default();
+    for entry in corpus::power_corpus() {
+        for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
+            if check(&Sc, &c.exec).allowed() {
+                assert!(
+                    check(&ra, &c.exec).allowed(),
+                    "{}: SC-allowed must be R-A-allowed",
+                    entry.test.name
+                );
+            }
+        }
+    }
+}

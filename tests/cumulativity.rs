@@ -1,0 +1,81 @@
+//! Cumulativity of fences (Sec 4.5.2, Figs 9–12, 15, 19–20): the
+//! A-cumulative (`rfe; fences`) and B-cumulative (`fences; hb*`) parts of
+//! `prop-base`, and the strong A-cumulativity reserved to full fences
+//! (`com*; prop-base*; ffence; hb*`).
+
+use herd_core::arch::Power;
+use herd_core::event::Fence;
+use herd_core::fixtures::{self, Device};
+use herd_core::model::check;
+
+const LWF: Device = Device::Fence(Fence::Lwsync);
+const FF: Device = Device::Fence(Fence::Sync);
+
+/// Fig 11: wrc shows the lightweight fence acting A-cumulatively — the
+/// fence on T1 orders T0's write (read by T1) before T1's own write.
+#[test]
+fn a_cumulativity_wrc() {
+    let power = Power::new();
+    assert!(!check(&power, &fixtures::wrc(LWF, Device::Addr)).allowed());
+    // Without the fence the chain breaks.
+    assert!(check(&power, &fixtures::wrc(Device::Addr, Device::Addr)).allowed());
+}
+
+/// Fig 12: isa2 shows B-cumulativity — the fence on T0 extends through
+/// the hb-chain across T1 to T2.
+#[test]
+fn b_cumulativity_isa2() {
+    let power = Power::new();
+    assert!(!check(&power, &fixtures::isa2(LWF, Device::Addr, Device::Addr)).allowed());
+    assert!(check(&power, &fixtures::isa2(Device::None, Device::Addr, Device::Addr)).allowed());
+}
+
+/// Fig 13(b): w+rw+2w responds to the lightweight fence exactly like 2+2w
+/// (the A-cumulative role again, now through PROPAGATION).
+#[test]
+fn a_cumulativity_w_rw_2w() {
+    let power = Power::new();
+    assert!(!check(&power, &fixtures::w_rw_2w(LWF, LWF)).allowed());
+    assert!(!check(&power, &fixtures::two_plus_two_w(LWF, LWF)).allowed());
+}
+
+/// Figs 14/15/20: sb, rwc and iriw are instances of *strong*
+/// A-cumulativity: only full fences forbid them.
+#[test]
+fn strong_a_cumulativity_needs_full_fences() {
+    let power = Power::new();
+    for (name, lw, ff) in [
+        ("sb", fixtures::sb(LWF, LWF), fixtures::sb(FF, FF)),
+        ("rwc", fixtures::rwc(LWF, LWF), fixtures::rwc(FF, FF)),
+        ("iriw", fixtures::iriw(LWF, LWF), fixtures::iriw(FF, FF)),
+    ] {
+        assert!(check(&power, &lw).allowed(), "{name}: lwsync too weak");
+        assert!(!check(&power, &ff).allowed(), "{name}: sync strong enough");
+    }
+}
+
+/// Fig 19: eieio orders write-write pairs only, so w+rwc+eieio+addr+sync
+/// stays allowed although the same test with sync is forbidden — the
+/// hardware observation that proves eieio is not a full fence.
+#[test]
+fn eieio_is_no_full_fence() {
+    let power = Power::new();
+    let eieio = fixtures::w_rwc(Device::Fence(Fence::Eieio), Device::Addr, FF);
+    assert!(check(&power, &eieio).allowed());
+    let sync = fixtures::w_rwc(FF, Device::Addr, FF);
+    assert!(!check(&power, &sync).allowed());
+    // And within its write-write remit, eieio equals lwsync: mp responds.
+    let mp_eieio = fixtures::mp(Device::Fence(Fence::Eieio), Device::Addr);
+    assert!(!check(&power, &mp_eieio).allowed());
+}
+
+/// The asymmetry of Fig 16: one lightweight fence suffices for s but not
+/// for r — co-then-fr (r) needs the strong part of prop, rf-closing (s)
+/// does not.
+#[test]
+fn fig16_s_vs_r_asymmetry() {
+    let power = Power::new();
+    assert!(!check(&power, &fixtures::s(LWF, Device::Addr)).allowed());
+    assert!(check(&power, &fixtures::r(LWF, FF)).allowed());
+    assert!(!check(&power, &fixtures::r(FF, FF)).allowed());
+}

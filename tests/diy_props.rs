@@ -1,0 +1,47 @@
+//! Property tests for the diy generator: every synthesised test must
+//! (a) exhibit its cycle in some candidate execution (the witness is
+//! reachable), and (b) be forbidden on SC (critical cycles violate SC by
+//! construction, Sec 9.1.2).
+
+use herd_core::arch::Sc;
+use herd_diy::{enumerate_cycles, power_pool, synthesize};
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::isa::Isa;
+use herd_litmus::simulate::{eval_prop, simulate};
+use proptest::prelude::*;
+
+#[test]
+fn all_short_power_cycles_synthesise_with_reachable_witnesses() {
+    let cycles = enumerate_cycles(&power_pool(), 4);
+    assert!(cycles.len() > 50);
+    let opts = EnumOptions::default();
+    for cycle in &cycles {
+        let test = synthesize(cycle, Isa::Power)
+            .unwrap_or_else(|e| panic!("{cycle:?}: {e}"));
+        let cands = enumerate(&test, &opts).unwrap();
+        let witnesses = cands.iter().filter(|c| eval_prop(&test.condition.prop, c)).count();
+        assert!(witnesses > 0, "{}: no witness", test.name);
+        // Critical cycles violate SC (Sec 9.1.2: a critical cycle violates
+        // SC in a minimal way).
+        let sc = simulate(&test, &Sc).unwrap();
+        assert!(!sc.validated, "{}: SC must forbid the witness", test.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random cycles from the pool (sampled by index) synthesise tests
+    /// whose parse/display round-trips.
+    #[test]
+    fn random_cycles_roundtrip_through_litmus_format(idx in 0usize..1000) {
+        let cycles = enumerate_cycles(&power_pool(), 5);
+        prop_assume!(idx < cycles.len());
+        if let Ok(test) = synthesize(&cycles[idx], Isa::Power) {
+            let printed = test.to_string();
+            let reparsed = herd_litmus::parse::parse(&printed)
+                .unwrap_or_else(|e| panic!("{}:\n{printed}\n{e}", test.name));
+            prop_assert_eq!(reparsed, test);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Tab V shapes, asserted: our Power model is never invalidated by the
+//! Power machines but leaves behaviours unseen; every ARM part invalidates
+//! the Power-ARM model; Tegra3 is the worst offender; x86 is clean.
+
+use herd_core::arch::{Arm, ArmVariant, Power, Tso};
+use herd_hw::{arm_machines, campaign, power_machines, x86_machines};
+use herd_litmus::corpus;
+use herd_litmus::program::LitmusTest;
+
+const RUNS: u64 = 10_000_000_000;
+
+fn power_tests() -> Vec<LitmusTest> {
+    corpus::power_corpus().into_iter().map(|e| e.test).collect()
+}
+
+fn arm_tests() -> Vec<LitmusTest> {
+    corpus::arm_corpus().into_iter().map(|e| e.test).collect()
+}
+
+#[test]
+fn tab5_power_row() {
+    for machine in power_machines() {
+        let s = campaign(&machine, &power_tests(), &Power::new(), RUNS, 42).unwrap();
+        assert_eq!(s.invalid, 0, "{}: our Power model is sound w.r.t. the machines", s.machine);
+        assert!(s.unseen > 0, "{}: lb stays unseen (not implemented in silicon)", s.machine);
+    }
+}
+
+#[test]
+fn tab5_arm_rows_against_power_arm() {
+    let reference = Arm::new(ArmVariant::PowerArm);
+    let mut tegra3_invalid = 0;
+    let mut others_max = 0;
+    for machine in arm_machines() {
+        let s = campaign(&machine, &arm_tests(), &reference, RUNS, 42).unwrap();
+        assert!(s.invalid > 0, "{}: every part invalidates Power-ARM", s.machine);
+        if s.machine == "Tegra3" {
+            tegra3_invalid = s.invalid;
+        } else {
+            others_max = others_max.max(s.invalid);
+        }
+    }
+    assert!(
+        tegra3_invalid > others_max,
+        "Tegra3 ({tegra3_invalid}) shows more anomalies than any other part ({others_max})"
+    );
+}
+
+#[test]
+fn tab5_proposed_arm_tolerates_early_commit() {
+    // Against the *proposed* model, the Qualcomm parts' early-commit
+    // behaviours stop counting as invalid; only genuine errata remain.
+    let machines = arm_machines();
+    let apq = machines.iter().find(|m| m.name == "APQ8060").unwrap();
+    let power_arm = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::PowerArm), RUNS, 42)
+        .unwrap();
+    let proposed = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::Proposed), RUNS, 42)
+        .unwrap();
+    assert!(
+        proposed.invalid < power_arm.invalid,
+        "the proposed model explains the early-commit observations ({} < {})",
+        proposed.invalid,
+        power_arm.invalid
+    );
+}
+
+#[test]
+fn tab5_x86_control_row() {
+    let tests: Vec<LitmusTest> = corpus::x86_corpus().into_iter().map(|e| e.test).collect();
+    let machine = &x86_machines()[0];
+    let s = campaign(machine, &tests, &Tso, RUNS, 42).unwrap();
+    assert_eq!((s.invalid, s.unseen), (0, 0), "x86 silicon is exactly TSO");
+}
+
+#[test]
+fn tab8_classification_buckets() {
+    // The invalid observations classify into the S (llh) and O/P-involving
+    // (early commit, isb defeat) buckets, as in the paper's Tab VIII.
+    let reference = Arm::new(ArmVariant::PowerArm);
+    let mut labels = std::collections::BTreeSet::new();
+    for machine in arm_machines() {
+        let s = campaign(&machine, &arm_tests(), &reference, RUNS, 42).unwrap();
+        labels.extend(s.classification.keys().cloned());
+    }
+    assert!(labels.contains("S"), "{labels:?}");
+    assert!(
+        labels.iter().any(|l| l.contains('O') || l.contains('P')),
+        "{labels:?}"
+    );
+}

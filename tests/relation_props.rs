@@ -1,0 +1,106 @@
+//! Property tests for the relational algebra underlying everything
+//! (herd-core): closure laws, composition associativity, transpose
+//! involution, acyclicity coherence.
+
+use herd_core::relation::Relation;
+use herd_core::set::EventSet;
+use proptest::prelude::*;
+
+fn relation(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..n, 0..n), 0..=n * 2)
+        .prop_map(move |pairs| Relation::from_pairs(n, pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tclosure_is_idempotent(r in relation(8)) {
+        let c = r.tclosure();
+        prop_assert_eq!(c.tclosure(), c);
+    }
+
+    #[test]
+    fn tclosure_is_transitive_and_contains(r in relation(8)) {
+        let c = r.tclosure();
+        prop_assert!(r.is_subset(&c));
+        prop_assert!(c.seq(&c).is_subset(&c));
+    }
+
+    #[test]
+    fn rtclosure_adds_identity(r in relation(8)) {
+        let c = r.rtclosure();
+        prop_assert!(Relation::id(8).is_subset(&c));
+        prop_assert_eq!(c.clone(), r.tclosure().union(&Relation::id(8)));
+    }
+
+    #[test]
+    fn seq_is_associative(a in relation(6), b in relation(6), c in relation(6)) {
+        prop_assert_eq!(a.seq(&b).seq(&c), a.seq(&b.seq(&c)));
+    }
+
+    #[test]
+    fn seq_distributes_over_union(a in relation(6), b in relation(6), c in relation(6)) {
+        prop_assert_eq!(a.seq(&b.union(&c)), a.seq(&b).union(&a.seq(&c)));
+    }
+
+    #[test]
+    fn transpose_involution_and_antidistribution(a in relation(7), b in relation(7)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert_eq!(a.seq(&b).transpose(), b.transpose().seq(&a.transpose()));
+    }
+
+    #[test]
+    fn acyclic_iff_topo_sortable(r in relation(8)) {
+        prop_assert_eq!(r.is_acyclic(), r.topo_sort().is_some());
+        prop_assert_eq!(r.is_acyclic(), r.find_cycle().is_none());
+    }
+
+    #[test]
+    fn found_cycles_are_real(r in relation(8)) {
+        if let Some(cycle) = r.find_cycle() {
+            for w in cycle.windows(2) {
+                prop_assert!(r.contains(w[0], w[1]));
+            }
+            prop_assert!(r.contains(*cycle.last().unwrap(), cycle[0]));
+        }
+    }
+
+    #[test]
+    fn irreflexive_union_check(a in relation(8), b in relation(8)) {
+        // acyclic(a ∪ b) implies both acyclic(a) and acyclic(b).
+        if a.union(&b).is_acyclic() {
+            prop_assert!(a.is_acyclic());
+            prop_assert!(b.is_acyclic());
+        }
+    }
+
+    #[test]
+    fn restrict_is_intersection_with_product(r in relation(8)) {
+        let evens = EventSet::from_indices(8, (0..8).step_by(2));
+        let odds = evens.complement();
+        let q = r.restrict(&evens, &odds);
+        for (x, y) in q.iter_pairs() {
+            prop_assert!(evens.contains(x) && odds.contains(y));
+            prop_assert!(r.contains(x, y));
+        }
+        for (x, y) in r.iter_pairs() {
+            if evens.contains(x) && odds.contains(y) {
+                prop_assert!(q.contains(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn topo_sort_respects_edges(r in relation(8)) {
+        if let Some(order) = r.topo_sort() {
+            let mut rank = [0usize; 8];
+            for (i, &e) in order.iter().enumerate() {
+                rank[e] = i;
+            }
+            for (a, b) in r.iter_pairs() {
+                prop_assert!(rank[a] < rank[b]);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Out-of-thin-air values (Sec 4.4): the genuine `lb+datas` with the
+//! *loaded value stored on*, whose read values form a self-justifying
+//! cycle. The symbolic enumeration must represent such candidates (free
+//! symbols enumerated over the test's value domain), NO THIN AIR must
+//! reject them, and removing the axiom from the cat model must let them
+//! through — "one can very simply disable the NO THIN AIR check"
+//! (Sec 4.9).
+
+use herd_cat::{stock, CatModel};
+use herd_core::arch::Power;
+use herd_core::model::check;
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::isa::{Addr, Instr, Isa, Reg};
+use herd_litmus::program::{CondVal, Condition, InitVal, LitmusTest, Prop, Quantifier};
+use herd_litmus::simulate::eval_prop;
+use std::collections::BTreeMap;
+
+/// `T0: r1 = x; y = r1 — T1: r2 = y; x = r2`, with a 1 written nowhere:
+/// any non-zero outcome is out of thin air.
+fn true_lb() -> LitmusTest {
+    let thread = |addr_in: u8, addr_out: u8| {
+        vec![
+            Instr::Load { dst: Reg(1), addr: Addr::Reg(Reg(addr_in)) },
+            Instr::Store { src: Reg(1), addr: Addr::Reg(Reg(addr_out)) },
+        ]
+    };
+    let mut reg_init = BTreeMap::new();
+    reg_init.insert((0u16, Reg(2)), InitVal::Loc("x".into()));
+    reg_init.insert((0u16, Reg(4)), InitVal::Loc("y".into()));
+    reg_init.insert((1u16, Reg(2)), InitVal::Loc("y".into()));
+    reg_init.insert((1u16, Reg(4)), InitVal::Loc("x".into()));
+    LitmusTest {
+        isa: Isa::Power,
+        name: "lb+datas-true".into(),
+        threads: vec![thread(2, 4), thread(2, 4)],
+        reg_init,
+        mem_init: BTreeMap::new(),
+        condition: Condition {
+            quantifier: Quantifier::Exists,
+            prop: Prop::and(
+                Prop::RegEq { tid: 0, reg: Reg(1), val: CondVal::Int(1) },
+                Prop::RegEq { tid: 1, reg: Reg(1), val: CondVal::Int(1) },
+            ),
+        },
+    }
+}
+
+#[test]
+fn thin_air_candidates_are_representable() {
+    let test = true_lb();
+    let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+    // The self-justifying candidate exists: both reads return 1 although
+    // nobody ever writes a literal 1.
+    let witnesses: Vec<_> =
+        cands.iter().filter(|c| eval_prop(&test.condition.prop, c)).collect();
+    assert!(!witnesses.is_empty(), "the value domain includes 1; the cycle justifies it");
+    // Its data flow is circular: each read reads the other thread's write.
+    for w in &witnesses {
+        assert_eq!(w.exec.rfe().len(), 2, "both rf edges are external");
+    }
+}
+
+#[test]
+fn no_thin_air_rejects_the_witness_on_power() {
+    let test = true_lb();
+    let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+    for c in cands.iter().filter(|c| eval_prop(&test.condition.prop, c)) {
+        let v = check(&Power::new(), &c.exec);
+        assert!(!v.allowed());
+        assert!(!v.no_thin_air, "rejected precisely by NO THIN AIR, got {v}");
+    }
+}
+
+#[test]
+fn disabling_the_axiom_admits_thin_air() {
+    // Sec 4.9: the axioms are bricks; drop NO THIN AIR from the cat file
+    // and the self-justifying execution becomes allowed.
+    let weakened =
+        CatModel::parse(&stock::POWER.replace("acyclic hb as no-thin-air", "")).unwrap();
+    let test = true_lb();
+    let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+    let admitted = cands
+        .iter()
+        .filter(|c| eval_prop(&test.condition.prop, c))
+        .any(|c| weakened.check(&c.exec).unwrap().allowed());
+    assert!(admitted);
+}
+
+#[test]
+fn zero_outcomes_stay_sequential() {
+    // The non-thin-air outcomes (someone reads 0) are allowed everywhere.
+    let test = true_lb();
+    let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+    let sequential = cands.iter().any(|c| {
+        !eval_prop(&test.condition.prop, c) && check(&Power::new(), &c.exec).allowed()
+    });
+    assert!(sequential);
+}
