@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI for the cats workspace. Run from the repository root.
+#
+# Mirrors the tier-1 verify command (ROADMAP.md) and adds the
+# documentation and hygiene gates:
+#
+#   1. cargo build --release        — the whole workspace, optimised
+#   2. cargo build --examples       — every paper-reproduction example
+#   3. cargo bench --no-run         — the 8 harness=false bench targets
+#                                     (cargo build/test skip these)
+#   4. cargo test  -q               — all unit + integration + doc tests
+#   5. cargo doc   --no-deps        — rustdoc, warnings denied
+#   6. cargo fmt   --check          — formatting (rustfmt.toml at root)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace
+run cargo build --examples
+run cargo bench --no-run --workspace
+run cargo test -q --workspace
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+run cargo fmt --check
+
+echo "CI OK"

@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
     let static_ppo = Power::without_dynamic_ppo();
     let drift = cands
         .iter()
-        .filter(|x| {
-            check(&full, &x.exec).allowed() != check(&static_ppo, &x.exec).allowed()
-        })
+        .filter(|x| check(&full, &x.exec).allowed() != check(&static_ppo, &x.exec).allowed())
         .count();
     println!(
         "static-ppo ablation: {} of {} candidates change verdict (paper: 24 tests of 8117)",
@@ -44,10 +42,8 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("power_static_ppo", |b| {
         b.iter(|| {
-            let n: usize = cands
-                .iter()
-                .filter(|x| check(&static_ppo, black_box(&x.exec)).allowed())
-                .count();
+            let n: usize =
+                cands.iter().filter(|x| check(&static_ppo, black_box(&x.exec)).allowed()).count();
             black_box(n)
         })
     });

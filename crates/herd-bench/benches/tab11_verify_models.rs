@@ -14,10 +14,8 @@ fn bench(c: &mut Criterion) {
     let mut tests = power_tests();
     tests.extend(diy_corpus(80));
     let opts = EnumOptions::default();
-    let cands: Vec<_> = tests
-        .iter()
-        .flat_map(|t| enumerate(t, &opts).expect("enumerates"))
-        .collect();
+    let cands: Vec<_> =
+        tests.iter().flat_map(|t| enumerate(t, &opts).expect("enumerates")).collect();
     let mut g = c.benchmark_group("tab11_verify_models");
     g.sample_size(10);
 

@@ -11,12 +11,7 @@ fn bench(c: &mut Criterion) {
 
     for p in corpus::all() {
         let a = analyze(&p, &opts);
-        println!(
-            "{}: {} cycles, patterns {:?}",
-            p.name,
-            a.cycles.len(),
-            a.pattern_histogram()
-        );
+        println!("{}: {} cycles, patterns {:?}", p.name, a.cycles.len(), a.pattern_histogram());
     }
 
     let mut g = c.benchmark_group("tab13_14_mole");

@@ -21,8 +21,7 @@ fn bench(c: &mut Criterion) {
         println!("{}", s.table_row());
     }
     for m in arm_machines() {
-        let s = campaign(&m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42)
-            .expect("campaign");
+        let s = campaign(&m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42).expect("campaign");
         println!("{}   classes {:?}", s.table_row(), s.classification);
     }
 
@@ -37,8 +36,7 @@ fn bench(c: &mut Criterion) {
         let m = machines.iter().find(|m| m.name == "Tegra3").expect("machine");
         b.iter(|| {
             black_box(
-                campaign(m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42)
-                    .expect("campaign"),
+                campaign(m, &atests, &Arm::new(ArmVariant::PowerArm), RUNS, 42).expect("campaign"),
             )
         })
     });

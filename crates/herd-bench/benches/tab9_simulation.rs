@@ -19,10 +19,8 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("single_event_axiomatic", |b| {
         b.iter(|| {
-            let allowed: usize = cands
-                .iter()
-                .filter(|cand| check(&power, black_box(&cand.exec)).allowed())
-                .count();
+            let allowed: usize =
+                cands.iter().filter(|cand| check(&power, black_box(&cand.exec)).allowed()).count();
             black_box(allowed)
         })
     });

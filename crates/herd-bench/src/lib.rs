@@ -31,10 +31,7 @@ pub fn power_corpus() -> Vec<CorpusEntry> {
 /// checking, not enumeration).
 pub fn enumerate_all(tests: &[LitmusTest]) -> Vec<Candidate> {
     let opts = EnumOptions::default();
-    tests
-        .iter()
-        .flat_map(|t| enumerate(t, &opts).expect("corpus tests enumerate"))
-        .collect()
+    tests.iter().flat_map(|t| enumerate(t, &opts).expect("corpus tests enumerate")).collect()
 }
 
 /// A larger generated corpus (diy cycles of length ≤ 5).

@@ -129,9 +129,7 @@ fn eval_expr(
         Expr::Empty => Relation::empty(exec.len()),
         Expr::Name(n) => match env.get(n) {
             Some(r) => r.clone(),
-            None => exec
-                .builtin(n)
-                .ok_or_else(|| EvalError::UnknownName(n.clone()))?,
+            None => exec.builtin(n).ok_or_else(|| EvalError::UnknownName(n.clone()))?,
         },
         Expr::Union(a, b) => eval_expr(a, env, exec)?.union(&eval_expr(b, env, exec)?),
         Expr::Inter(a, b) => eval_expr(a, env, exec)?.intersect(&eval_expr(b, env, exec)?),
@@ -209,10 +207,7 @@ mod tests {
     fn unknown_names_error() {
         let model = parse("acyclic haz\n").unwrap();
         let mp = fixtures::mp(Device::None, Device::None);
-        assert_eq!(
-            eval(&model, &mp).unwrap_err(),
-            EvalError::UnknownName("haz".into())
-        );
+        assert_eq!(eval(&model, &mp).unwrap_err(), EvalError::UnknownName("haz".into()));
     }
 
     #[test]
@@ -233,10 +228,9 @@ mod tests {
     #[test]
     fn bracket_sets_equal_direction_filters() {
         // [W];po;[R] is exactly WR(po), the modern cat idiom.
-        let model = parse(
-            "let a = [W];po;[R]\nlet b = WR(po)\nempty a \\ b as fwd\nempty b \\ a as bwd\n",
-        )
-        .unwrap();
+        let model =
+            parse("let a = [W];po;[R]\nlet b = WR(po)\nempty a \\ b as fwd\nempty b \\ a as bwd\n")
+                .unwrap();
         let mp = fixtures::mp(Device::None, Device::None);
         assert!(eval(&model, &mp).unwrap().allowed());
         // [M] is the full identity over events.

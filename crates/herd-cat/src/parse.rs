@@ -260,7 +260,9 @@ impl Parser {
             self.next();
             match self.next() {
                 Some(Tok::Name(n)) => Some(n),
-                other => return Err(self.error(format!("expected a name after 'as', found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("expected a name after 'as', found {other:?}")))
+                }
             }
         } else {
             None

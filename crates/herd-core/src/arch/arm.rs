@@ -190,11 +190,7 @@ mod tests {
         let d = b.write(1, "y", 2);
         let e = b.read(1, "y", 2);
         let f = b.read_init(1, "x");
-        b.rf(w_flag, c)
-            .rf(d, e)
-            .co(w_flag, d)
-            .fence(Fence::Dmb, a, w_flag)
-            .ctrl_cfence(e, f);
+        b.rf(w_flag, c).rf(d, e).co(w_flag, d).fence(Fence::Dmb, a, w_flag).ctrl_cfence(e, f);
         b.build().unwrap()
     }
 

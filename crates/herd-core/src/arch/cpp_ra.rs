@@ -83,10 +83,9 @@ mod tests {
 
     #[test]
     fn cpp_ra_allows_sb_and_iriw() {
-        for x in [
-            fixtures::sb(Device::None, Device::None),
-            fixtures::iriw(Device::None, Device::None),
-        ] {
+        for x in
+            [fixtures::sb(Device::None, Device::None), fixtures::iriw(Device::None, Device::None)]
+        {
             assert!(check(&CppRa::default(), &x).allowed());
         }
     }

@@ -93,8 +93,10 @@ mod tests {
         assert!(check(&Rmo, &fixtures::lb(Device::None, Device::None)).allowed());
         assert!(!check(&Rmo, &fixtures::lb(Device::Addr, Device::Addr)).allowed());
         assert!(!check(&Rmo, &fixtures::lb(Device::Ctrl, Device::Ctrl)).allowed());
-        assert!(check(&Rmo, &fixtures::mp(Device::None, Device::Addr)).allowed(),
-            "no fence on the writer: mp still observable");
+        assert!(
+            check(&Rmo, &fixtures::mp(Device::None, Device::Addr)).allowed(),
+            "no fence on the writer: mp still observable"
+        );
     }
 
     #[test]

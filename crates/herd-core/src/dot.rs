@@ -13,12 +13,15 @@ use std::fmt::Write as _;
 /// Renders `x` as a DOT digraph; `loc_name` supplies display names for
 /// locations (front ends know them, the core does not).
 pub fn to_dot(x: &Execution, loc_name: &dyn Fn(Loc) -> String) -> String {
-    let mut s = String::from("digraph execution {\n  rankdir=TB;\n  node [shape=plaintext, fontsize=11];\n");
+    let mut s = String::from(
+        "digraph execution {\n  rankdir=TB;\n  node [shape=plaintext, fontsize=11];\n",
+    );
 
     // Initial writes.
     let inits: Vec<_> = x.events().iter().filter(|e| e.is_init()).collect();
     if !inits.is_empty() {
-        let _ = writeln!(s, "  subgraph cluster_init {{\n    label=\"initial state\"; style=dashed;");
+        let _ =
+            writeln!(s, "  subgraph cluster_init {{\n    label=\"initial state\"; style=dashed;");
         for e in &inits {
             let _ = writeln!(
                 s,
@@ -33,17 +36,13 @@ pub fn to_dot(x: &Execution, loc_name: &dyn Fn(Loc) -> String) -> String {
     }
 
     // One cluster per thread, po edges chaining the column.
-    let mut threads: Vec<u16> =
-        x.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
+    let mut threads: Vec<u16> = x.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
     threads.sort_unstable();
     threads.dedup();
     for t in threads {
         let _ = writeln!(s, "  subgraph cluster_t{t} {{\n    label=\"T{t}\";");
-        let mut evs: Vec<_> = x
-            .events()
-            .iter()
-            .filter(|e| e.thread.map(|x| x.0) == Some(t))
-            .collect();
+        let mut evs: Vec<_> =
+            x.events().iter().filter(|e| e.thread.map(|x| x.0) == Some(t)).collect();
         evs.sort_by_key(|e| e.po_index);
         for e in &evs {
             let d = if e.is_write() { "W" } else { "R" };
@@ -68,10 +67,7 @@ pub fn to_dot(x: &Execution, loc_name: &dyn Fn(Loc) -> String) -> String {
     }
     for (a, b) in x.co().iter_pairs() {
         // Skip transitively implied co edges for readability.
-        let direct = !x
-            .co()
-            .succs(a)
-            .any(|m| m != b && x.co().contains(m, b));
+        let direct = !x.co().succs(a).any(|m| m != b && x.co().contains(m, b));
         if direct {
             let _ = writeln!(s, "  e{a} -> e{b} [label=\"co\", color=blue];");
         }

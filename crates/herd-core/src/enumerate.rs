@@ -70,16 +70,14 @@ impl Skeleton {
             }
         }
 
-        let reads: Vec<usize> =
-            (0..n).filter(|&i| self.events[i].dir == Dir::R).collect();
+        let reads: Vec<usize> = (0..n).filter(|&i| self.events[i].dir == Dir::R).collect();
 
         // rf choices per read: any write (incl. init) to the same location.
         let rf_choices: Vec<Vec<usize>> = reads
             .iter()
             .map(|&r| {
                 let loc = self.events[r].loc;
-                let mut ws: Vec<usize> =
-                    writes_by_loc.get(&loc).cloned().unwrap_or_default();
+                let mut ws: Vec<usize> = writes_by_loc.get(&loc).cloned().unwrap_or_default();
                 if let Some(&init) = init_by_loc.get(&loc) {
                     ws.push(init);
                 }
@@ -377,8 +375,7 @@ mod tests {
     #[test]
     fn sc_rules_out_exactly_the_mp_violation() {
         let sk = mp_skeleton(false, false);
-        let allowed: Vec<bool> =
-            sk.candidates().iter().map(|x| check(&Sc, x).allowed()).collect();
+        let allowed: Vec<bool> = sk.candidates().iter().map(|x| check(&Sc, x).allowed()).collect();
         assert_eq!(allowed.iter().filter(|&&a| a).count(), 3, "Fig 3: one of four is non-SC");
     }
 

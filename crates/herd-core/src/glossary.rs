@@ -1,25 +1,42 @@
 //! Glossary of relations and litmus names (the paper's Tabs II and III),
-//! as living documentation with pointers into this crate.
+//! as living documentation with pointers into this crate **and into the
+//! paper**: every relation row names the section or figure of *Herding
+//! Cats* (Alglave, Maranget, Tautschnig, PLDI 2014) that defines it.
 //!
 //! # Relations (Tab II)
 //!
-//! | notation | name | nature | dirns | where | description |
-//! |---|---|---|---|---|---|
-//! | `po` | program order | execution | any,any | [`crate::exec::Execution::po`] | instruction order lifted to events |
-//! | `rf` | read-from | execution | WR | [`crate::exec::Execution::rf`] | links a write to a read taking its value |
-//! | `co` | coherence | execution | WW | [`crate::exec::Execution::co`] | total order over writes to one location |
-//! | `ppo` | preserved program order | architecture | any,any | [`crate::model::Architecture::ppo`] | program order the architecture maintains |
-//! | `ffence` | full fence | architecture | any,any | e.g. `sync`, `dmb`, `dsb`, `mfence` |
-//! | `lwfence` | lightweight fence | architecture | any,any | e.g. `lwsync` (write-read pairs excluded) |
-//! | `cfence` | control fence | architecture | any,any | `isync`/`isb`; enters `ppo` via `ctrl+cfence` |
-//! | `fences` | fences | architecture | any,any | [`crate::model::Architecture::fences`] | the fence relations the architecture keeps |
-//! | `prop` | propagation | architecture | WW* | [`crate::model::Architecture::prop`] | order in which writes propagate (the strong part may touch reads) |
-//! | `po-loc` | po per location | derived | any,any | [`crate::exec::Execution::po_loc`] | `po ∩ same-location` |
-//! | `com` | communications | derived | any,any | [`crate::exec::Execution::com`] | `co ∪ rf ∪ fr` |
-//! | `fr` | from-read | derived | RW | [`crate::exec::Execution::fr`] | read overtaken by a co-later write |
-//! | `hb` | happens-before | derived | any,any | [`crate::model::ArchRelations::hb`] | `ppo ∪ fences ∪ rfe` |
-//! | `rdw` | read different writes | derived | RR | [`crate::exec::Execution::rdw`] | `po-loc ∩ (fre; rfe)` (Fig 27) |
-//! | `detour` | detour | derived | WR | [`crate::exec::Execution::detour`] | `po-loc ∩ (coe; rfe)` (Fig 28) |
+//! | notation | name | nature | dirns | paper | where | description |
+//! |---|---|---|---|---|---|---|
+//! | `po` | program order | execution | any,any | §4.2, Fig 4 | [`crate::exec::Execution::po`] | instruction order lifted to events |
+//! | `rf` | read-from | execution | WR | §4.2, Fig 4 | [`crate::exec::Execution::rf`] | links a write to a read taking its value |
+//! | `co` | coherence | execution | WW | §4.2, Fig 4 | [`crate::exec::Execution::co`] | total order over writes to one location |
+//! | `ppo` | preserved program order | architecture | any,any | §4.1; Fig 25 (Power/ARM) | [`crate::model::Architecture::ppo`] | program order the architecture maintains |
+//! | `ffence` | full fence | architecture | any,any | §4.4, Fig 17 | [`crate::arch::Power::ffence`] | e.g. `sync`, `dmb`, `dsb`, `mfence` |
+//! | `lwfence` | lightweight fence | architecture | any,any | §4.4, Fig 17 | [`crate::arch::Power::lwfence`] | e.g. `lwsync` (write-read pairs excluded) |
+//! | `cfence` | control fence | architecture | any,any | §4.3, Fig 22 | [`crate::exec::Deps::ctrl_cfence`] | `isync`/`isb`; enters `ppo` via `ctrl+cfence` |
+//! | `fences` | fences | architecture | any,any | §4.1, §4.4 | [`crate::model::Architecture::fences`] | the fence relations the architecture keeps |
+//! | `prop` | propagation | architecture | WW* | §4.4, Fig 18 (Power); Fig 21 (SC/TSO) | [`crate::model::Architecture::prop`] | order in which writes propagate (the strong part may touch reads) |
+//! | `po-loc` | po per location | derived | any,any | §4.2, Fig 5 (SC PER LOCATION) | [`crate::exec::Execution::po_loc`] | `po ∩ same-location` |
+//! | `com` | communications | derived | any,any | §4.2 | [`crate::exec::Execution::com`] | `co ∪ rf ∪ fr` |
+//! | `fr` | from-read | derived | RW | §4.2, Fig 4 | [`crate::exec::Execution::fr`] | read overtaken by a co-later write: `rf⁻¹; co` |
+//! | `rfe`, `rfi` | external/internal read-from | derived | WR | §4.2 | [`crate::exec::Execution::rfe`] | `rf` split by crossing threads (`e`) or not (`i`) |
+//! | `coe`, `coi` | external/internal coherence | derived | WW | §4.2 | [`crate::exec::Execution::coe`] | `co` split likewise |
+//! | `fre`, `fri` | external/internal from-read | derived | RW | §4.2 | [`crate::exec::Execution::fre`] | `fr` split likewise |
+//! | `hb` | happens-before | derived | any,any | §4.3, Fig 5 (NO THIN AIR) | [`crate::model::ArchRelations::hb`] | `ppo ∪ fences ∪ rfe` |
+//! | `rdw` | read different writes | derived | RR | §4.5, Fig 27 | [`crate::exec::Execution::rdw`] | `po-loc ∩ (fre; rfe)` |
+//! | `detour` | detour | derived | WR | §4.5, Fig 28 | [`crate::exec::Execution::detour`] | `po-loc ∩ (coe; rfe)` |
+//! | `A-cumul` | A-cumulativity | derived | any,any | §4.4, Fig 18 | [`crate::arch::prop_power_arm`] | `rfe; fences` — fences order writes read before them |
+//! | `prop-base` | base propagation | derived | any,any | §4.4, Fig 18 | [`crate::arch::prop_power_arm`] | `(fences ∪ A-cumul); hb*` |
+//! | `ii`,`ic`,`ci`,`cc` | subevent orders | derived | any,any | §4.5, Fig 25, Tab VI | [`crate::ppo::SubeventOrders`] | init/commit orderings whose fixpoint yields `ppo` |
+//!
+//! # The four axioms (Fig 5)
+//!
+//! | axiom | statement | paper | where |
+//! |---|---|---|---|
+//! | SC PER LOCATION | `acyclic(po-loc ∪ com)` | §4.2, Figs 5–6 | [`crate::model::Verdict::sc_per_location`] |
+//! | NO THIN AIR | `acyclic(hb)` | §4.3, Figs 5, 7 | [`crate::model::Verdict::no_thin_air`] |
+//! | OBSERVATION | `irreflexive(fre; prop; hb*)` | §4.4, Figs 5, 8 | [`crate::model::Verdict::observation`] |
+//! | PROPAGATION | `acyclic(co ∪ prop)` | §4.4, Figs 5, 13 | [`crate::model::Verdict::propagation`] |
 //!
 //! # Litmus names (Tab III)
 //!
@@ -41,6 +58,8 @@
 //!
 //! Builders for every row live in [`crate::fixtures`] (witness
 //! executions) and `herd_litmus::corpus` (full litmus tests); systematic
-//! naming is implemented by `herd_diy::classic_name`.
+//! naming is implemented by `herd_diy::classic_name`. The cat-language
+//! renditions of the models using these relations are the `models/*.cat`
+//! files at the workspace root (Fig 38).
 
 // This module is documentation-only.

@@ -18,6 +18,10 @@
 //! - [`enumerate`]: data-flow enumeration from skeletons to candidates.
 //! - [`fixtures`]: hand-built executions for every canonical pattern
 //!   (mp, sb, lb, wrc, isa2, 2+2w, r, s, rwc, iriw, the coXY five, ...).
+//! - [`glossary`]: the paper's Tabs II and III as living documentation —
+//!   every relation name (`fr`, `ppo`, `hb`, `prop`, `rdw`, `detour`, ...)
+//!   cross-referenced to its paper section/figure and its home in this
+//!   crate.
 //!
 //! ## Example
 //!

@@ -98,12 +98,8 @@ pub struct Verdict {
 
 impl Verdict {
     /// A verdict with every axiom satisfied.
-    pub const ALLOWED: Verdict = Verdict {
-        sc_per_location: true,
-        no_thin_air: true,
-        observation: true,
-        propagation: true,
-    };
+    pub const ALLOWED: Verdict =
+        Verdict { sc_per_location: true, no_thin_air: true, observation: true, propagation: true };
 
     /// Does the model allow the candidate (all four axioms hold)?
     pub fn allowed(&self) -> bool {

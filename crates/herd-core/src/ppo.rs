@@ -82,11 +82,8 @@ pub fn compute(x: &Execution, cfg: &PpoConfig) -> SubeventOrders {
 
     let ic0 = Relation::empty(n);
 
-    let mut ci0 = if cfg.ctrl_cfence_in_ci0 {
-        x.deps().ctrl_cfence.clone()
-    } else {
-        Relation::empty(n)
-    };
+    let mut ci0 =
+        if cfg.ctrl_cfence_in_ci0 { x.deps().ctrl_cfence.clone() } else { Relation::empty(n) };
     if cfg.detour_in_ci0 {
         ci0.union_with(x.detour());
     }
@@ -107,16 +104,10 @@ pub fn compute(x: &Execution, cfg: &PpoConfig) -> SubeventOrders {
         // Fig 25: ii = ii0 ∪ ci ∪ (ic; ci) ∪ (ii; ii), and so on. The
         // right-hand sides are monotone in (ii, ic, ci, cc), so iterating
         // from the base cases reaches the least fixpoint.
-        let ii_next =
-            ii0.union(&ci).union(&ic.seq(&ci)).union(&ii.seq(&ii));
-        let ic_next = ic0
-            .union(&ii)
-            .union(&cc)
-            .union(&ic.seq(&cc))
-            .union(&ii.seq(&ic));
+        let ii_next = ii0.union(&ci).union(&ic.seq(&ci)).union(&ii.seq(&ii));
+        let ic_next = ic0.union(&ii).union(&cc).union(&ic.seq(&cc)).union(&ii.seq(&ic));
         let ci_next = ci0.union(&ci.seq(&ii)).union(&cc.seq(&ci));
-        let cc_next =
-            cc0.union(&ci).union(&ci.seq(&ic)).union(&cc.seq(&cc));
+        let cc_next = cc0.union(&ci).union(&ci.seq(&ic)).union(&cc.seq(&cc));
 
         let stable = ii_next == ii && ic_next == ic && ci_next == ci && cc_next == cc;
         ii = ii_next;
@@ -128,9 +119,11 @@ pub fn compute(x: &Execution, cfg: &PpoConfig) -> SubeventOrders {
         }
     }
 
-    let ppo = x
-        .dir_restrict(&ii, Some(Dir::R), Some(Dir::R))
-        .union(&x.dir_restrict(&ic, Some(Dir::R), Some(Dir::W)));
+    let ppo = x.dir_restrict(&ii, Some(Dir::R), Some(Dir::R)).union(&x.dir_restrict(
+        &ic,
+        Some(Dir::R),
+        Some(Dir::W),
+    ));
 
     SubeventOrders { ii, ic, cc, ci, ppo }
 }

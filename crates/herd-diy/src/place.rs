@@ -34,9 +34,7 @@ pub fn recommend(cycle: &[Relax], isa: Isa) -> Vec<Relax> {
     let first_po_after_fre: Option<usize> = cycle
         .iter()
         .position(|e| matches!(e, Relax::Fre))
-        .and_then(|f| {
-            (1..n).map(|k| (f + k) % n).find(|&i| matches!(cycle[i], Relax::Po { .. }))
-        });
+        .and_then(|f| (1..n).map(|k| (f + k) % n).find(|&i| matches!(cycle[i], Relax::Po { .. })));
 
     cycle
         .iter()
@@ -109,11 +107,7 @@ mod tests {
             let strengthened = recommend(&cycle, Isa::Power);
             let Ok(test) = synthesize(&strengthened, Isa::Power) else { continue };
             let out = simulate(&test, &power).expect("simulates");
-            assert!(
-                !out.validated,
-                "{}: placement failed for cycle {:?}",
-                test.name, cycle
-            );
+            assert!(!out.validated, "{}: placement failed for cycle {:?}", test.name, cycle);
             checked += 1;
         }
         assert!(checked > 50, "checked {checked} cycles");

@@ -209,8 +209,20 @@ mod tests {
     #[test]
     fn parse_and_display_roundtrip() {
         for s in [
-            "Rfe", "Fre", "Wse", "PodRR", "PodWW", "DpAddrdR", "DpDatadW", "DpCtrldW",
-            "DpCtrlIsyncdR", "SyncdWR", "LwSyncdWW", "EieiodWW", "DmbdRR", "MfencedWR",
+            "Rfe",
+            "Fre",
+            "Wse",
+            "PodRR",
+            "PodWW",
+            "DpAddrdR",
+            "DpDatadW",
+            "DpCtrldW",
+            "DpCtrlIsyncdR",
+            "SyncdWR",
+            "LwSyncdWW",
+            "EieiodWW",
+            "DmbdRR",
+            "MfencedWR",
         ] {
             let r = Relax::parse(s).unwrap_or_else(|| panic!("parse {s}"));
             assert_eq!(r.to_string(), s.replace("DpCtrlIsbd", "DpCtrlIsyncd"), "{s}");

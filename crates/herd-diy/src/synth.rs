@@ -133,9 +133,7 @@ pub fn synthesize(cycle: &[Relax], isa: Isa) -> Result<LitmusTest, String> {
         while !remaining.is_empty() {
             let pick = remaining
                 .iter()
-                .position(|&w| {
-                    !before.iter().any(|&(a, b)| b == w && remaining.contains(&a))
-                })
+                .position(|&w| !before.iter().any(|&(a, b)| b == w && remaining.contains(&a)))
                 .ok_or_else(|| "cyclic coherence constraints in cycle".to_owned())?;
             order.push(remaining.remove(pick));
         }
@@ -148,8 +146,7 @@ pub fn synthesize(cycle: &[Relax], isa: Isa) -> Result<LitmusTest, String> {
     }
 
     // Expected read values.
-    let read_val: Vec<i64> =
-        (0..n).map(|i| rf_src[i].map_or(0, |w| values[w])).collect();
+    let read_val: Vec<i64> = (0..n).map(|i| rf_src[i].map_or(0, |w| values[w])).collect();
 
     // Assemble threads in order: ops and devices.
     let nthreads = thread_of[n - 1] + 1;
@@ -179,9 +176,7 @@ pub fn synthesize(cycle: &[Relax], isa: Isa) -> Result<LitmusTest, String> {
     let systematic: String = ops
         .iter()
         .map(|t| {
-            t.iter()
-                .map(|o| if matches!(o, Op::W(..)) { 'w' } else { 'r' })
-                .collect::<String>()
+            t.iter().map(|o| if matches!(o, Op::W(..)) { 'w' } else { 'r' }).collect::<String>()
         })
         .collect::<Vec<_>>()
         .join("+");
@@ -191,11 +186,8 @@ pub fn synthesize(cycle: &[Relax], isa: Isa) -> Result<LitmusTest, String> {
     for (o, d) in ops.into_iter().zip(devs) {
         builder = builder.thread(o, d);
     }
-    let mem_conds: Vec<(usize, i64)> = final_vals
-        .iter()
-        .enumerate()
-        .filter_map(|(l, v)| v.map(|v| (l, v)))
-        .collect();
+    let mem_conds: Vec<(usize, i64)> =
+        final_vals.iter().enumerate().filter_map(|(l, v)| v.map(|v| (l, v))).collect();
     Ok(builder.condition(Quantifier::Exists, move |regs| {
         let mut props: Vec<Prop> = read_slots
             .iter()
@@ -287,8 +279,7 @@ mod tests {
         ] {
             let t = synthesize_str(spec, Isa::Power).unwrap();
             let cands = enumerate(&t, &EnumOptions::default()).unwrap();
-            let witnesses =
-                cands.iter().filter(|c| eval_prop(&t.condition.prop, c)).count();
+            let witnesses = cands.iter().filter(|c| eval_prop(&t.condition.prop, c)).count();
             assert!(witnesses > 0, "{spec} -> {} has no witness candidate", t.name);
         }
     }

@@ -211,17 +211,10 @@ pub fn campaign(
                 state_labels.entry(state).or_default().insert(verdict.violation_label());
             }
         }
-        let invalid_states: Vec<String> = run
-            .states
-            .keys()
-            .filter(|s| !model_allowed.contains(*s))
-            .cloned()
-            .collect();
-        let unseen_states: Vec<String> = model_allowed
-            .iter()
-            .filter(|s| !run.states.contains_key(*s))
-            .cloned()
-            .collect();
+        let invalid_states: Vec<String> =
+            run.states.keys().filter(|s| !model_allowed.contains(*s)).cloned().collect();
+        let unseen_states: Vec<String> =
+            model_allowed.iter().filter(|s| !run.states.contains_key(*s)).cloned().collect();
         let mut invalid_axioms = BTreeSet::new();
         for s in &invalid_states {
             if let Some(labels) = state_labels.get(s) {
@@ -272,19 +265,22 @@ mod tests {
     #[test]
     fn power_campaign_has_unseen_but_no_invalid() {
         let machine = &power_machines()[1]; // Power7
-        let summary =
-            campaign(machine, &power_tests(), &Power::new(), 1_000_000_000, 42).unwrap();
+        let summary = campaign(machine, &power_tests(), &Power::new(), 1_000_000_000, 42).unwrap();
         assert_eq!(summary.invalid, 0, "our Power model is not invalidated by Power hardware");
         assert!(summary.unseen > 0, "lb behaviours stay unseen");
     }
 
     #[test]
     fn arm_campaign_against_power_arm_model_shows_invalid_tests() {
-        let machine = &arm_machines().iter().find(|m| m.name == "APQ8060").map(|m| Machine {
-            name: m.name,
-            silicon: dyn_clone_silicon(m),
-            clean: Box::new(Arm::new(ArmVariant::Proposed)),
-        }).unwrap();
+        let machine = &arm_machines()
+            .iter()
+            .find(|m| m.name == "APQ8060")
+            .map(|m| Machine {
+                name: m.name,
+                silicon: dyn_clone_silicon(m),
+                clean: Box::new(Arm::new(ArmVariant::Proposed)),
+            })
+            .unwrap();
         let reference = Arm::new(ArmVariant::PowerArm);
         let summary = campaign(machine, &arm_tests(), &reference, 10_000_000_000, 7).unwrap();
         assert!(summary.invalid > 0, "Power-ARM is invalidated by the ARM machines (Tab V)");

@@ -38,8 +38,7 @@ pub struct Log {
 impl Log {
     /// Adds one test's states.
     pub fn insert(&mut self, name: &str, states: BTreeMap<String, u64>) {
-        self.entries
-            .insert(name.to_owned(), LogEntry { name: name.to_owned(), states });
+        self.entries.insert(name.to_owned(), LogEntry { name: name.to_owned(), states });
     }
 
     /// Renders in litmus7-style text.
@@ -139,18 +138,10 @@ pub fn compare(model: &Log, hardware: &Log) -> Comparison {
             out.missing.insert(name.clone());
             continue;
         };
-        let invalid: BTreeSet<String> = hw
-            .states
-            .keys()
-            .filter(|s| !m.states.contains_key(*s))
-            .cloned()
-            .collect();
-        let unseen: BTreeSet<String> = m
-            .states
-            .keys()
-            .filter(|s| !hw.states.contains_key(*s))
-            .cloned()
-            .collect();
+        let invalid: BTreeSet<String> =
+            hw.states.keys().filter(|s| !m.states.contains_key(*s)).cloned().collect();
+        let unseen: BTreeSet<String> =
+            m.states.keys().filter(|s| !hw.states.contains_key(*s)).cloned().collect();
         if !invalid.is_empty() {
             out.invalid.insert(name.clone(), invalid);
         }
@@ -198,8 +189,8 @@ pub fn hardware_log(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut log = Log::default();
     for t in tests {
-        let run = crate::campaign::run_test(machine, t, iterations, &mut rng)
-            .expect("corpus tests run");
+        let run =
+            crate::campaign::run_test(machine, t, iterations, &mut rng).expect("corpus tests run");
         log.insert(&t.name, run.states);
     }
     log

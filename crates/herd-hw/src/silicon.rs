@@ -183,10 +183,8 @@ pub fn x86_machines() -> Vec<Machine> {
 /// The ARM machines of Sec 8.1.2 with their observed errata.
 pub fn arm_machines() -> Vec<Machine> {
     let llh = ArmErrata { load_load_hazards: true, ..Default::default() };
-    let qualcomm =
-        ArmErrata { load_load_hazards: true, early_commit: true, ..Default::default() };
-    let tegra3 =
-        ArmErrata { load_load_hazards: true, isb_defeat: true, ..Default::default() };
+    let qualcomm = ArmErrata { load_load_hazards: true, early_commit: true, ..Default::default() };
+    let tegra3 = ArmErrata { load_load_hazards: true, isb_defeat: true, ..Default::default() };
     let parts: Vec<(&'static str, ArmErrata)> = vec![
         ("Tegra2", llh),
         ("Tegra3", tegra3),
@@ -223,7 +221,8 @@ mod tests {
 
     #[test]
     fn llh_parts_show_corr() {
-        let t2 = ArmSilicon::new("Tegra2", ArmErrata { load_load_hazards: true, ..Default::default() });
+        let t2 =
+            ArmSilicon::new("Tegra2", ArmErrata { load_load_hazards: true, ..Default::default() });
         assert!(check(&t2, &fixtures::co_rr()).allowed());
         assert!(!check(&t2, &fixtures::co_ww()).allowed());
     }

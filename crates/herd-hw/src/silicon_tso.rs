@@ -43,12 +43,17 @@ mod tests {
         let summary = campaign(machine, &tests, &Tso, 10_000_000_000, 3).expect("campaign");
         assert_eq!(summary.invalid, 0, "x86 silicon never contradicts TSO");
         // With billions of runs every allowed state shows up.
-        assert_eq!(summary.unseen, 0, "{:?}", summary
-            .reports
-            .iter()
-            .filter(|r| r.has_unseen())
-            .map(|r| (&r.name, &r.unseen_states))
-            .collect::<Vec<_>>());
+        assert_eq!(
+            summary.unseen,
+            0,
+            "{:?}",
+            summary
+                .reports
+                .iter()
+                .filter(|r| r.has_unseen())
+                .map(|r| (&r.name, &r.unseen_states))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -57,10 +62,7 @@ mod tests {
         use herd_litmus::candidates::{enumerate, EnumOptions};
         for entry in corpus::x86_corpus() {
             for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
-                assert_eq!(
-                    check(&TsoSilicon, &c.exec).allowed(),
-                    check(&Tso, &c.exec).allowed()
-                );
+                assert_eq!(check(&TsoSilicon, &c.exec).allowed(), check(&Tso, &c.exec).allowed());
             }
         }
     }

@@ -47,10 +47,7 @@ impl Candidate {
     /// paper's diagrams (herd's `-show` output).
     pub fn to_dot(&self) -> String {
         herd_core::dot::to_dot(&self.exec, &|l: Loc| {
-            self.loc_names
-                .get(l.0 as usize)
-                .cloned()
-                .unwrap_or_else(|| format!("l{}", l.0))
+            self.loc_names.get(l.0 as usize).cloned().unwrap_or_else(|| format!("l{}", l.0))
         })
     }
 }
@@ -130,11 +127,7 @@ impl LocTable {
 
     /// The name → [`Loc`] map (for the instruction semantics).
     pub fn as_map(&self) -> BTreeMap<String, Loc> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), Loc(i as u32)))
-            .collect()
+        self.names.iter().enumerate().map(|(i, n)| (n.clone(), Loc(i as u32))).collect()
     }
 }
 
@@ -344,10 +337,8 @@ fn assemble(
             ws
         })
         .collect();
-    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> = writes_by_loc
-        .iter()
-        .map(|(l, ws)| (*l, permutations(ws)))
-        .collect();
+    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> =
+        writes_by_loc.iter().map(|(l, ws)| (*l, permutations(ws))).collect();
 
     let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
 
@@ -534,12 +525,8 @@ mod tests {
         // The two read registers take every combination of {0,1}.
         let mut seen = std::collections::BTreeSet::new();
         for c in &cands {
-            let regs: Vec<&RegFinal> = c
-                .final_regs
-                .iter()
-                .filter(|((t, _), _)| *t == 1)
-                .map(|(_, v)| v)
-                .collect();
+            let regs: Vec<&RegFinal> =
+                c.final_regs.iter().filter(|((t, _), _)| *t == 1).map(|(_, v)| v).collect();
             seen.insert(format!("{regs:?}"));
         }
         assert_eq!(seen.len(), 4);

@@ -108,11 +108,8 @@ impl TestBuilder {
         let isa = self.isa;
         // Name: family + device suffixes in thread order (Po contributes
         // "po" only when another thread has a real device).
-        let suffixes: Vec<String> = self
-            .threads
-            .iter()
-            .flat_map(|(_, devs)| devs.iter().map(|d| d.suffix(isa)))
-            .collect();
+        let suffixes: Vec<String> =
+            self.threads.iter().flat_map(|(_, devs)| devs.iter().map(|d| d.suffix(isa))).collect();
         let name = if suffixes.iter().all(|s| s == "po") {
             self.name.clone()
         } else {
@@ -150,9 +147,7 @@ impl TestBuilder {
             if isa != Isa::X86 {
                 for op in ops {
                     let l = op.loc();
-                    reg_init
-                        .entry((tid, addr_of(l)))
-                        .or_insert_with(|| InitVal::Loc(l.to_owned()));
+                    reg_init.entry((tid, addr_of(l))).or_insert_with(|| InitVal::Loc(l.to_owned()));
                 }
             }
             let operand = |l: &str| {
@@ -278,9 +273,7 @@ pub fn mp(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
     TestBuilder::new(isa, "mp")
         .thread(vec![Op::W("x", 1), Op::W("y", 1)], vec![d0])
         .thread(vec![Op::R("y"), Op::R("x")], vec![d1])
-        .condition(Quantifier::Exists, |r| {
-            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)])
-        })
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)]))
 }
 
 /// sb (Fig 14): `T0: Wx=1; d0; Ry — T1: Wy=1; d1; Rx`,
@@ -289,9 +282,7 @@ pub fn sb(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
     TestBuilder::new(isa, "sb")
         .thread(vec![Op::W("x", 1), Op::R("y")], vec![d0])
         .thread(vec![Op::W("y", 1), Op::R("x")], vec![d1])
-        .condition(Quantifier::Exists, |r| {
-            conj(vec![reg_eq(0, r[0][0], 0), reg_eq(1, r[1][0], 0)])
-        })
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(0, r[0][0], 0), reg_eq(1, r[1][0], 0)]))
 }
 
 /// lb (Fig 7): `T0: Rx; d0; Wy=1 — T1: Ry; d1; Wx=1`,
@@ -300,9 +291,7 @@ pub fn lb(isa: Isa, d0: Dev, d1: Dev) -> LitmusTest {
     TestBuilder::new(isa, "lb")
         .thread(vec![Op::R("x"), Op::W("y", 1)], vec![d0])
         .thread(vec![Op::R("y"), Op::W("x", 1)], vec![d1])
-        .condition(Quantifier::Exists, |r| {
-            conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)])
-        })
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)]))
 }
 
 /// wrc (Fig 11): `T0: Wx=1 — T1: Rx; d1; Wy=1 — T2: Ry; d2; Rx`,
@@ -410,9 +399,7 @@ pub fn lb_ww(isa: Isa, d: Dev) -> LitmusTest {
     TestBuilder::new(isa, "lb+ww")
         .thread(vec![Op::R("x"), Op::W("y", 1), Op::W("z", 1)], vec![d, Dev::Po])
         .thread(vec![Op::R("z"), Op::W("a", 1), Op::W("x", 1)], vec![d, Dev::Po])
-        .condition(Quantifier::Exists, |r| {
-            conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)])
-        })
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(0, r[0][0], 1), reg_eq(1, r[1][0], 1)]))
 }
 
 /// coWW: `T0: Wx=1; Wx=2`, `exists (x=1)` — forbidden everywhere (Fig 6).
@@ -451,9 +438,7 @@ pub fn co_rr(isa: Isa) -> LitmusTest {
     TestBuilder::new(isa, "coRR")
         .thread(vec![Op::W("x", 1)], vec![])
         .thread(vec![Op::R("x"), Op::R("x")], vec![Dev::Po])
-        .condition(Quantifier::Exists, |r| {
-            conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)])
-        })
+        .condition(Quantifier::Exists, |r| conj(vec![reg_eq(1, r[1][0], 1), reg_eq(1, r[1][1], 0)]))
 }
 
 /// mp+dmb+fri-rfi-ctrlisb (Fig 32): the ARM early-commit behaviour.
@@ -659,7 +644,7 @@ pub fn arm_corpus() -> Vec<CorpusEntry> {
         e(lb(isa, DC, DC), false),
         e(lb(isa, Po, DC), true),
         e(sb(isa, ff, ff), false),
-        e(sb(isa, st, st), true), // .st does nothing on write-read pairs
+        e(sb(isa, st, st), true),  // .st does nothing on write-read pairs
         e(rwc(isa, st, st), true), // nor on the rwc read-read / write-read pairs
         e(wrc(isa, ff, DA), false),
         e(wrc(isa, ff, DCF), false),
@@ -713,12 +698,11 @@ mod tests {
     fn names_follow_the_convention() {
         assert_eq!(mp(Isa::Power, Dev::F(Fence::Lwsync), Dev::Addr).name, "mp+lwsync+addr");
         assert_eq!(mp(Isa::Power, Dev::Po, Dev::Po).name, "mp");
+        assert_eq!(mp(Isa::Arm, Dev::F(Fence::Dmb), Dev::CtrlCfence).name, "mp+dmb+ctrlisb");
         assert_eq!(
-            mp(Isa::Arm, Dev::F(Fence::Dmb), Dev::CtrlCfence).name,
-            "mp+dmb+ctrlisb"
+            sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence)).name,
+            "sb+mfence+mfence"
         );
-        assert_eq!(sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence)).name,
-            "sb+mfence+mfence");
     }
 
     #[test]

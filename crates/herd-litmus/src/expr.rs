@@ -227,11 +227,7 @@ pub enum Equation {
 /// candidates, constrain values only up to equality).
 ///
 /// Returns every consistent total assignment over `symbols`.
-pub fn solve(
-    symbols: &[SymId],
-    equations: &[Equation],
-    domain: &[i64],
-) -> Vec<Assignment> {
+pub fn solve(symbols: &[SymId], equations: &[Equation], domain: &[i64]) -> Vec<Assignment> {
     let mut base = Assignment::new();
     // Propagate forced values to a fixpoint.
     loop {

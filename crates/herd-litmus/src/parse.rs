@@ -149,8 +149,7 @@ pub fn parse(src: &str) -> Result<LitmusTest, ParseError> {
             if cell.is_empty() {
                 continue;
             }
-            let instr =
-                parse_instr(isa, cell).map_err(|m| ParseError::new(Some(l), m))?;
+            let instr = parse_instr(isa, cell).map_err(|m| ParseError::new(Some(l), m))?;
             threads[k].push(instr);
         }
     }
@@ -184,12 +183,10 @@ fn parse_init(
     reg_init: &mut BTreeMap<(u16, Reg), InitVal>,
     mem_init: &mut BTreeMap<String, i64>,
 ) -> Result<(), String> {
-    let (lhs, rhs) =
-        item.split_once('=').ok_or_else(|| format!("init item '{item}' lacks '='"))?;
+    let (lhs, rhs) = item.split_once('=').ok_or_else(|| format!("init item '{item}' lacks '='"))?;
     let (lhs, rhs) = (lhs.trim(), rhs.trim());
     if let Some((tid, reg)) = lhs.split_once(':') {
-        let tid: u16 =
-            tid.trim().parse().map_err(|_| format!("bad thread id in '{item}'"))?;
+        let tid: u16 = tid.trim().parse().map_err(|_| format!("bad thread id in '{item}'"))?;
         let reg = parse_reg(reg.trim()).ok_or_else(|| format!("bad register in '{item}'"))?;
         let val = match rhs.parse::<i64>() {
             Ok(v) => InitVal::Int(v),
@@ -264,32 +261,32 @@ fn parse_instr(isa: Isa, text: &str) -> Result<Instr, String> {
             dst: reg(0)?,
             val: parse_imm(&args[1]).ok_or_else(|| format!("bad immediate in '{t}'"))?,
         }),
-        (Isa::Power, "lwz" | "ld") => Ok(Instr::Load { dst: reg(0)?, addr: parse_power_mem(&args[1])? }),
-        (Isa::Power, "lwzx" | "ldx") => Ok(Instr::Load {
-            dst: reg(0)?,
-            addr: Addr::Indexed { base: reg(2)?, index: reg(1)? },
-        }),
+        (Isa::Power, "lwz" | "ld") => {
+            Ok(Instr::Load { dst: reg(0)?, addr: parse_power_mem(&args[1])? })
+        }
+        (Isa::Power, "lwzx" | "ldx") => {
+            Ok(Instr::Load { dst: reg(0)?, addr: Addr::Indexed { base: reg(2)?, index: reg(1)? } })
+        }
         (Isa::Power, "stw" | "std") => {
             Ok(Instr::Store { src: reg(0)?, addr: parse_power_mem(&args[1])? })
         }
-        (Isa::Power, "stwx" | "stdx") => Ok(Instr::Store {
-            src: reg(0)?,
-            addr: Addr::Indexed { base: reg(2)?, index: reg(1)? },
-        }),
+        (Isa::Power, "stwx" | "stdx") => {
+            Ok(Instr::Store { src: reg(0)?, addr: Addr::Indexed { base: reg(2)?, index: reg(1)? } })
+        }
         (Isa::Power, "mr") => Ok(Instr::Move { dst: reg(0)?, src: reg(1)? }),
         (Isa::Power | Isa::Arm, "xor" | "eor") => {
             Ok(Instr::Xor { dst: reg(0)?, a: reg(1)?, b: reg(2)? })
         }
-        (Isa::Power | Isa::Arm, "add") => {
-            Ok(Instr::Add { dst: reg(0)?, a: reg(1)?, b: reg(2)? })
-        }
+        (Isa::Power | Isa::Arm, "add") => Ok(Instr::Add { dst: reg(0)?, a: reg(1)?, b: reg(2)? }),
         (Isa::Power, "cmpwi") => Ok(Instr::CmpImm {
             src: reg(0)?,
             val: parse_imm(&args[1]).ok_or_else(|| format!("bad immediate in '{t}'"))?,
         }),
         (Isa::Power, "cmpw") => Ok(Instr::CmpReg { a: reg(0)?, b: reg(1)? }),
         (Isa::Arm, "cmp") => match parse_imm(&args[1]) {
-            Some(v) if args[1].trim().starts_with('#') => Ok(Instr::CmpImm { src: reg(0)?, val: v }),
+            Some(v) if args[1].trim().starts_with('#') => {
+                Ok(Instr::CmpImm { src: reg(0)?, val: v })
+            }
             _ => Ok(Instr::CmpReg { a: reg(0)?, b: reg(1)? }),
         },
         (Isa::Arm, "mov") => match parse_imm(&args[1]) {
@@ -466,7 +463,13 @@ fn cond_tokens(s: &str) -> Result<Vec<CTok>, String> {
             _ => {
                 let mut atom = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c.is_alphanumeric() || c == ':' || c == '_' || c == '-' || c == '[' || c == ']' {
+                    if c.is_alphanumeric()
+                        || c == ':'
+                        || c == '_'
+                        || c == '-'
+                        || c == '['
+                        || c == ']'
+                    {
                         atom.push(c);
                         chars.next();
                     } else {

@@ -230,8 +230,11 @@ impl fmt::Display for LitmusTest {
             (0..cols.len()).map(|k| format!("{:w$}", format!("P{k}"), w = widths[k])).collect();
         writeln!(f, " {} ;", header.join(" | "))?;
         for r in 0..rows {
-            let row: Vec<String> =
-                cols.iter().enumerate().map(|(k, c)| format!("{:w$}", c[r], w = widths[k])).collect();
+            let row: Vec<String> = cols
+                .iter()
+                .enumerate()
+                .map(|(k, c)| format!("{:w$}", c[r], w = widths[k]))
+                .collect();
             writeln!(f, " {} ;", row.join(" | "))?;
         }
         writeln!(f, "{}", self.condition)

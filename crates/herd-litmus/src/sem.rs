@@ -211,8 +211,7 @@ fn explore(
 ) -> Result<(), SemError> {
     loop {
         if st.pc >= code.len() {
-            st.path.final_regs =
-                st.regs.iter().map(|(r, s)| (*r, s.val.clone())).collect();
+            st.path.final_regs = st.regs.iter().map(|(r, s)| (*r, s.val.clone())).collect();
             out.push(st.path);
             return Ok(());
         }
@@ -246,9 +245,7 @@ fn explore(
                 let mut taint = ra.taint.clone();
                 taint.extend(rb.taint.iter().copied());
                 let val = match (&ra.val, &rb.val) {
-                    (RVal::Int(x), RVal::Int(y)) => {
-                        RVal::Int(SymExpr::add(x.clone(), y.clone()))
-                    }
+                    (RVal::Int(x), RVal::Int(y)) => RVal::Int(SymExpr::add(x.clone(), y.clone())),
                     // Address plus an offset that folds to zero stays the
                     // same address (false-dependency address computation).
                     (RVal::Addr(l), RVal::Int(e)) | (RVal::Int(e), RVal::Addr(l))
@@ -350,10 +347,8 @@ fn explore(
                 let target = *labels
                     .get(label.as_str())
                     .ok_or_else(|| SemError::UnknownLabel { tid, label: label.clone() })?;
-                let (expr, taint) = st
-                    .cond
-                    .clone()
-                    .ok_or(SemError::MissingComparison { tid, pc })?;
+                let (expr, taint) =
+                    st.cond.clone().ok_or(SemError::MissingComparison { tid, pc })?;
                 // The branch event depends on the comparison's sources
                 // regardless of the outcome or of constant folding
                 // ("false" control dependencies, Sec 5.2.3).

@@ -62,10 +62,7 @@ impl fmt::Display for SimOutcome {
 /// # Errors
 ///
 /// Propagates [`CandidateError`] from enumeration.
-pub fn simulate(
-    test: &LitmusTest,
-    arch: &dyn Architecture,
-) -> Result<SimOutcome, CandidateError> {
+pub fn simulate(test: &LitmusTest, arch: &dyn Architecture) -> Result<SimOutcome, CandidateError> {
     simulate_with(test, arch, &EnumOptions::default())
 }
 
@@ -211,6 +208,10 @@ mod tests {
     fn states_are_rendered() {
         let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
         let out = simulate(&test, &Tso).unwrap();
-        assert!(out.states.iter().any(|s| s.contains("0:r1=0;") && s.contains("1:r1=0;")), "{:?}", out.states);
+        assert!(
+            out.states.iter().any(|s| s.contains("0:r1=0;") && s.contains("1:r1=0;")),
+            "{:?}",
+            out.states
+        );
     }
 }

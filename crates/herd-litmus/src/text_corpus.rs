@@ -115,7 +115,8 @@ mod tests {
             let model = arch::by_name(entry.model).expect("stock model");
             let out = simulate(&test, model.as_ref()).expect("simulates");
             assert_eq!(
-                out.validated, entry.allowed,
+                out.validated,
+                entry.allowed,
                 "{} under {}: got {}",
                 entry.file,
                 entry.model,

@@ -58,12 +58,7 @@ impl Architecture for PldiFlawed {
 
     fn prop(&self, x: &Execution) -> Relation {
         // Fig 18's prop, but over this model's (stronger) ppo.
-        herd_core::arch::prop_power_arm(
-            x,
-            &self.ppo(x),
-            &self.fences(x),
-            &self.inner.ffence(x),
-        )
+        herd_core::arch::prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.inner.ffence(x))
     }
 }
 
@@ -105,12 +100,7 @@ impl Architecture for MadorHaim {
     }
 
     fn prop(&self, x: &Execution) -> Relation {
-        herd_core::arch::prop_power_arm(
-            x,
-            &self.ppo(x),
-            &self.fences(x),
-            &self.inner.ffence(x),
-        )
+        herd_core::arch::prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.inner.ffence(x))
     }
 }
 

@@ -111,12 +111,8 @@ impl<'a> Machine<'a> {
         for (w, r) in exec.rf().iter_pairs() {
             rf_src[r] = w;
         }
-        let writes = exec
-            .events()
-            .iter()
-            .filter(|e| e.is_write() && !e.is_init())
-            .map(|e| e.id)
-            .collect();
+        let writes =
+            exec.events().iter().filter(|e| e.is_write() && !e.is_init()).map(|e| e.id).collect();
         let reads = exec.events().iter().filter(|e| e.is_read()).map(|e| e.id).collect();
         Machine {
             exec,
@@ -559,10 +555,13 @@ mod tests {
             ("mp+lwsync+addr", fixtures::mp(Device::Fence(Fence::Lwsync), Device::Addr)),
             ("sb+syncs", fixtures::sb(Device::Fence(Fence::Sync), Device::Fence(Fence::Sync))),
             ("lb+addrs", fixtures::lb(Device::Addr, Device::Addr)),
-            ("2+2w+lwsyncs", fixtures::two_plus_two_w(
-                Device::Fence(Fence::Lwsync),
-                Device::Fence(Fence::Lwsync),
-            )),
+            (
+                "2+2w+lwsyncs",
+                fixtures::two_plus_two_w(
+                    Device::Fence(Fence::Lwsync),
+                    Device::Fence(Fence::Lwsync),
+                ),
+            ),
             ("coWW", fixtures::co_ww()),
             ("coRR", fixtures::co_rr()),
             ("coWR", fixtures::co_wr()),
@@ -576,12 +575,18 @@ mod tests {
     fn machine_accepts_what_power_allows() {
         for (name, x) in [
             ("mp", fixtures::mp(Device::None, Device::None)),
-            ("sb+lwsyncs", fixtures::sb(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Lwsync))),
-            ("r+lwsync+sync", fixtures::r(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Sync))),
-            ("iriw+lwsyncs", fixtures::iriw(
-                Device::Fence(Fence::Lwsync),
-                Device::Fence(Fence::Lwsync),
-            )),
+            (
+                "sb+lwsyncs",
+                fixtures::sb(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Lwsync)),
+            ),
+            (
+                "r+lwsync+sync",
+                fixtures::r(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Sync)),
+            ),
+            (
+                "iriw+lwsyncs",
+                fixtures::iriw(Device::Fence(Fence::Lwsync), Device::Fence(Fence::Lwsync)),
+            ),
         ] {
             assert!(check(&Power::new(), &x).allowed(), "{name} sanity");
             assert!(accepts(&x, &Power::new()), "{name}: machine must accept");

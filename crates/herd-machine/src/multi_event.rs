@@ -41,19 +41,14 @@ pub struct MultiEventExec {
 pub fn lift<A: Architecture + ?Sized>(exec: &Execution, arch: &A) -> MultiEventExec {
     let n = exec.len();
     let threads: Vec<u16> = {
-        let mut t: Vec<u16> =
-            exec.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
+        let mut t: Vec<u16> = exec.events().iter().filter_map(|e| e.thread.map(|t| t.0)).collect();
         t.sort_unstable();
         t.dedup();
         t
     };
     let tcount = threads.len().max(1);
-    let writes: Vec<usize> = exec
-        .events()
-        .iter()
-        .filter(|e| e.is_write() && !e.is_init())
-        .map(|e| e.id)
-        .collect();
+    let writes: Vec<usize> =
+        exec.events().iter().filter(|e| e.is_write() && !e.is_init()).map(|e| e.id).collect();
     // Node layout: [0, n) base events, then per non-init write one
     // propagation node per thread.
     let nodes = n + writes.len() * tcount;

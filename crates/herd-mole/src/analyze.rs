@@ -232,12 +232,7 @@ pub fn group_entries(program: &Program, opts: &MoleOptions) -> Vec<Vec<String>> 
     let entries = entry_points(program);
     let vars: Vec<BTreeSet<String>> = entries
         .iter()
-        .map(|e| {
-            flatten(program, e, opts.max_inline_depth)
-                .into_iter()
-                .map(|a| a.var)
-                .collect()
-        })
+        .map(|e| flatten(program, e, opts.max_inline_depth).into_iter().map(|a| a.var).collect())
         .collect();
     // Union-find by shared-variable intersection.
     let n = entries.len();
@@ -321,9 +316,7 @@ pub fn analyze(program: &Program, opts: &MoleOptions) -> Analysis {
 /// the search by a factor of `instances!` per entry.
 fn may_visit(thread_meta: &[(usize, usize)], used: &[usize], t: usize) -> bool {
     let (e, i) = thread_meta[t];
-    (0..i).all(|j| {
-        used.iter().any(|&u| thread_meta[u] == (e, j))
-    })
+    (0..i).all(|j| used.iter().any(|&u| thread_meta[u] == (e, j)))
 }
 
 /// All accesses of the group flattened, with global ids.
@@ -377,8 +370,7 @@ fn enumerate_cycles(
             continue;
         }
         for next in 0..n {
-            if flat[start].thread != flat[next].thread || flat[start].index >= flat[next].index
-            {
+            if flat[start].thread != flat[next].thread || flat[start].index >= flat[next].index {
                 continue;
             }
             let first_po = po_label(start, next);
@@ -651,9 +643,7 @@ fn classify(flat: &[&FlatAccess], nodes: &[usize], edges: &[EdgeLabel]) -> (Stri
             sig.last_mut().expect("pushed").push(d);
         }
         let systematic = sig.join("+");
-        herd_diy::classic_name(&systematic)
-            .map(str::to_owned)
-            .unwrap_or(systematic)
+        herd_diy::classic_name(&systematic).map(str::to_owned).unwrap_or(systematic)
     };
     (name, axiom)
 }
@@ -721,8 +711,7 @@ mod tests {
         let a = analyze(&mp_program(), &MoleOptions::default());
         let hist = a.pattern_histogram();
         assert!(hist.contains_key("mp"), "{hist:?}");
-        let mp_cycles: Vec<&FoundCycle> =
-            a.cycles.iter().filter(|c| c.pattern == "mp").collect();
+        let mp_cycles: Vec<&FoundCycle> = a.cycles.iter().filter(|c| c.pattern == "mp").collect();
         assert!(mp_cycles.iter().all(|c| c.axiom == AxiomClass::Observation));
     }
 
@@ -757,10 +746,7 @@ mod tests {
         let a = analyze(&p, &MoleOptions::default());
         let hist = a.pattern_histogram();
         assert!(hist.keys().any(|k| k.starts_with("co")), "{hist:?}");
-        assert!(a
-            .cycles
-            .iter()
-            .any(|c| c.axiom == AxiomClass::ScPerLocation));
+        assert!(a.cycles.iter().any(|c| c.axiom == AxiomClass::ScPerLocation));
     }
 
     #[test]

@@ -98,7 +98,11 @@ mod tests {
     fn postgresql_witnesses_simulate() {
         let analysis = analyze(&corpus::postgresql(), &MoleOptions::default());
         let tests = witnesses(&analysis, Isa::Power);
-        assert!(tests.len() >= 3, "{:?}", tests.iter().map(|(p, t)| (p, &t.name)).collect::<Vec<_>>());
+        assert!(
+            tests.len() >= 3,
+            "{:?}",
+            tests.iter().map(|(p, t)| (p, &t.name)).collect::<Vec<_>>()
+        );
         for (_, t) in &tests {
             let out = simulate(t, &Power::new()).unwrap();
             assert!(out.candidates > 0, "{}", t.name);

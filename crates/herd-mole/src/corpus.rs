@@ -20,23 +20,23 @@ pub fn rcu() -> Program {
         .function(
             "foo_update_a",
             vec![
-                Stmt::write("foo2_a"),       // foo2.a = 100
+                Stmt::write("foo2_a"), // foo2.a = 100
                 Stmt::Lock("foo_mutex".into()),
-                Stmt::read("gbl_foo"),       // old_fp = gbl_foo
+                Stmt::read("gbl_foo"),                   // old_fp = gbl_foo
                 Stmt::read_dep("foo1_a", DepKind::Addr), // *new_fp = *old_fp
-                Stmt::write("foo2_a"),       // new_fp->a = *(int*)new_a
+                Stmt::write("foo2_a"),                   // new_fp->a = *(int*)new_a
                 Stmt::read("new_val"),
-                Stmt::Fence(Fence::Lwsync),  // __asm__ ("lwsync")
-                Stmt::write("gbl_foo"),      // gbl_foo = new_fp
+                Stmt::Fence(Fence::Lwsync), // __asm__ ("lwsync")
+                Stmt::write("gbl_foo"),     // gbl_foo = new_fp
                 Stmt::Unlock("foo_mutex".into()),
             ],
         )
         .function(
             "foo_get_a",
             vec![
-                Stmt::read("gbl_foo"),                    // p1 = gbl_foo
-                Stmt::read_dep("foo2_a", DepKind::Addr),  // p1->a
-                Stmt::write("a_value"),                   // *ret = retval
+                Stmt::read("gbl_foo"),                   // p1 = gbl_foo
+                Stmt::read_dep("foo2_a", DepKind::Addr), // p1->a
+                Stmt::write("a_value"),                  // *ret = retval
             ],
         )
         .function(
@@ -62,10 +62,10 @@ pub fn rcu() -> Program {
 pub fn postgresql() -> Program {
     let worker = |me: usize, other: usize| -> Vec<Stmt> {
         vec![
-            Stmt::read(&format!("latch{me}")),  // while (!latch[i])
+            Stmt::read(&format!("latch{me}")), // while (!latch[i])
             Stmt::write_dep(&format!("latch{me}"), DepKind::Ctrl), // latch[i] = 0
-            Stmt::read(&format!("flag{me}")),   // if (flag[i])
-            Stmt::write_dep(&format!("flag{me}"), DepKind::Ctrl),  // flag[i] = 0
+            Stmt::read(&format!("flag{me}")),  // if (flag[i])
+            Stmt::write_dep(&format!("flag{me}"), DepKind::Ctrl), // flag[i] = 0
             Stmt::write(&format!("flag{other}")), // flag[1-i] = 1
             Stmt::write(&format!("latch{other}")), // latch[1-i] = 1
         ]
@@ -84,19 +84,19 @@ pub fn apache() -> Program {
         .function(
             "ap_queue_info_set_idle",
             vec![
-                Stmt::read("recycled_pools"),   // first = qi->recycled_pools
+                Stmt::read("recycled_pools"), // first = qi->recycled_pools
                 Stmt::write_dep("pool_next", DepKind::Data), // pool->next = first
-                Stmt::write("recycled_pools"),  // CAS push
-                Stmt::read("idlers"),           // prev_idlers = qi->idlers
+                Stmt::write("recycled_pools"), // CAS push
+                Stmt::read("idlers"),         // prev_idlers = qi->idlers
                 Stmt::write_dep("idlers", DepKind::Data), // ++idlers
             ],
         )
         .function(
             "ap_queue_info_wait_for_idler",
             vec![
-                Stmt::read("idlers"),            // if (qi->idlers == 0)
-                Stmt::write_dep("idlers", DepKind::Ctrl), // --idlers
-                Stmt::read("recycled_pools"),    // pop
+                Stmt::read("idlers"),                       // if (qi->idlers == 0)
+                Stmt::write_dep("idlers", DepKind::Ctrl),   // --idlers
+                Stmt::read("recycled_pools"),               // pop
                 Stmt::read_dep("pool_next", DepKind::Addr), // first->next
                 Stmt::write("recycled_pools"),
             ],
@@ -121,9 +121,7 @@ mod tests {
         let hist = a.pattern_histogram();
         assert!(hist.contains_key("mp"), "Fig 40's publish/subscribe is mp: {hist:?}");
         assert!(
-            a.cycles
-                .iter()
-                .any(|c| c.pattern == "mp" && c.axiom == AxiomClass::Observation),
+            a.cycles.iter().any(|c| c.pattern == "mp" && c.axiom == AxiomClass::Observation),
             "the mp cycle is an OBSERVATION cycle"
         );
     }

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn builders_compose() {
         let p = Program::new("demo")
-            .function("writer", vec![Stmt::write("x"), Stmt::Fence(Fence::Lwsync), Stmt::write("y")])
+            .function(
+                "writer",
+                vec![Stmt::write("x"), Stmt::Fence(Fence::Lwsync), Stmt::write("y")],
+            )
             .function("reader", vec![Stmt::read("y"), Stmt::read_dep("x", DepKind::Addr)])
             .spawn("writer")
             .spawn("reader");

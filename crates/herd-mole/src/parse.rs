@@ -104,11 +104,8 @@ pub fn parse(src: &str) -> Result<Program, MoleParseError> {
                     ["ctrl"] => Some(DepKind::Ctrl),
                     other => return Err(err(lno, format!("bad dependency {other:?}"))),
                 };
-                let dir = if *op == "read" {
-                    herd_core::event::Dir::R
-                } else {
-                    herd_core::event::Dir::W
-                };
+                let dir =
+                    if *op == "read" { herd_core::event::Dir::R } else { herd_core::event::Dir::W };
                 body.push(Stmt::Access { var: (*var).to_owned(), dir, dep });
             }
             ["fence", f] => {

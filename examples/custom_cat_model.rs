@@ -2,21 +2,24 @@
 //! shipped Power model from its cat file, weaken one axiom, and watch the
 //! verdicts change — no simulator code modified.
 //!
+//! Reproduces: the model fine-tuning workflow of Sec 4.9 / Sec 8.3 over
+//! the Fig 38 Power model, with verdicts drawn from Figs 7, 8, 13, 14.
+//!
 //! Run with: `cargo run --example custom_cat_model`
 
 use herd_cat::{stock, CatModel};
+use herd_core::event::Fence;
 use herd_litmus::candidates::{enumerate, EnumOptions};
 use herd_litmus::corpus::{self, Dev};
 use herd_litmus::isa::Isa;
 use herd_litmus::simulate::eval_prop;
-use herd_core::event::Fence;
 
 /// Does `model` validate the test's exists-condition?
 fn validated(model: &CatModel, test: &herd_litmus::LitmusTest) -> bool {
     let cands = enumerate(test, &EnumOptions::default()).expect("enumeration");
-    cands
-        .iter()
-        .any(|c| model.check(&c.exec).expect("evaluation").allowed() && eval_prop(&test.condition.prop, c))
+    cands.iter().any(|c| {
+        model.check(&c.exec).expect("evaluation").allowed() && eval_prop(&test.condition.prop, c)
+    })
 }
 
 fn main() {
@@ -35,12 +38,14 @@ fn main() {
     let no_observation =
         CatModel::parse(&stock::POWER.replace("irreflexive fre;prop;hb* as observation", ""))
             .expect("still parses");
-    let no_thin_air_off =
-        CatModel::parse(&stock::POWER.replace("acyclic hb as no-thin-air", ""))
-            .expect("still parses");
+    let no_thin_air_off = CatModel::parse(&stock::POWER.replace("acyclic hb as no-thin-air", ""))
+        .expect("still parses");
     let llh = stock::load(stock::ARM_LLH);
 
-    println!("{:24} {:>8} {:>10} {:>10} {:>8}", "test", "power", "-observ.", "-thin-air", "arm-llh");
+    println!(
+        "{:24} {:>8} {:>10} {:>10} {:>8}",
+        "test", "power", "-observ.", "-thin-air", "arm-llh"
+    );
     for t in &tests {
         println!(
             "{:24} {:>8} {:>10} {:>10} {:>8}",

@@ -2,6 +2,10 @@
 //! run the corpus plus diy-generated tests on each part, compare against
 //! the models, and print the Tab V / Tab VI / Tab VIII analogues.
 //!
+//! Reproduces: Tab V (invalid/unseen counts per machine vs model),
+//! Tab VI (anomaly counts per part) and Tab VIII (violated-axiom
+//! classification of invalid observations).
+//!
 //! Run with: `cargo run --release --example hardware_campaign`
 
 use herd_core::arch::{Arm, ArmVariant, Power};
@@ -24,8 +28,7 @@ fn main() {
 
     println!("== Tab V analogue: model validation against hardware ==\n");
     for machine in power_machines() {
-        let summary =
-            campaign(&machine, &power_tests, &Power::new(), RUNS, 42).expect("campaign");
+        let summary = campaign(&machine, &power_tests, &Power::new(), RUNS, 42).expect("campaign");
         println!("{}", summary.table_row());
     }
     for machine in arm_machines() {
@@ -40,8 +43,7 @@ fn main() {
     }
 
     println!("\n== Tab VI analogue: anomaly observation counts ==\n");
-    let anomalies =
-        [corpus::co_rr(Isa::Arm), corpus::mp_fri_rfi_ctrlcfence(Isa::Arm)];
+    let anomalies = [corpus::co_rr(Isa::Arm), corpus::mp_fri_rfi_ctrlcfence(Isa::Arm)];
     let reference = Arm::new(ArmVariant::PowerArm);
     for machine in arm_machines() {
         for test in &anomalies {
@@ -56,12 +58,8 @@ fn main() {
                     .map(herd_hw::campaign::render_full_state)
                     .collect();
             // Count observations of states the Power-ARM model forbids.
-            let bug_count: u64 = run
-                .states
-                .iter()
-                .filter(|(s, _)| !allowed.contains(*s))
-                .map(|(_, c)| c)
-                .sum();
+            let bug_count: u64 =
+                run.states.iter().filter(|(s, _)| !allowed.contains(*s)).map(|(_, c)| c).sum();
             if bug_count > 0 {
                 println!(
                     "{:12} {:28} Forbid  Ok, {}/{}G",

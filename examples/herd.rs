@@ -8,6 +8,10 @@
 //! PPC, the proposed ARM model for ARM, TSO for X86). `--dot` prints a
 //! Graphviz digraph per *allowed* execution, in the style of the paper's
 //! diagrams.
+//!
+//! Reproduces: the herd simulator workflow of Sec 4.9 / Sec 8.3 — the
+//! model file as an input (Fig 38) — with output in herd's `Ok`/`No`
+//! format; the `--dot` diagrams mirror the execution figures (Fig 4).
 
 use herd_cat::CatModel;
 use herd_litmus::candidates::{enumerate, EnumOptions};

@@ -7,6 +7,9 @@
 //! `--witnesses` additionally synthesises one litmus test per mined
 //! critical cycle (the mole → diy bridge) and simulates it under the
 //! Power model.
+//!
+//! Reproduces: the mole pipeline of Sec 9 (static critical cycles,
+//! Fig 39 reductions, Tab III naming) on a user-supplied program.
 
 use herd_mole::{analyze, parse, witnesses, MoleOptions};
 use std::process::ExitCode;
@@ -52,11 +55,7 @@ fn main() -> ExitCode {
         let power = herd_core::arch::Power::new();
         for (pattern, test) in witnesses(&analysis, herd_litmus::isa::Isa::Power) {
             match herd_litmus::simulate::simulate(&test, &power) {
-                Ok(out) => println!(
-                    "{pattern:8} {:34} {} on Power",
-                    test.name,
-                    out.verdict_str()
-                ),
+                Ok(out) => println!("{pattern:8} {:34} {} on Power", test.name, out.verdict_str()),
                 Err(e) => println!("{pattern:8} {:34} error: {e}", test.name),
             }
         }

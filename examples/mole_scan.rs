@@ -2,6 +2,9 @@
 //! kernels for weak-memory idioms (Tabs XIII/XIV), then scan a synthetic
 //! distribution the way the paper scans Debian 7.1.
 //!
+//! Reproduces: Tab XIII (cycles per codebase, by pattern) and Tab XIV
+//! (distribution-wide pattern histogram and axiom attribution).
+//!
 //! Run with: `cargo run --release --example mole_scan`
 
 use herd_mole::scan::{accumulate, scan_distribution, ScanReport};
@@ -13,11 +16,7 @@ fn main() {
     for program in corpus::all() {
         let analysis = analyze(&program, &opts);
         println!("== {} ==", program.name);
-        println!(
-            "entry groups: {}   cycles: {}",
-            analysis.groups,
-            analysis.cycles.len()
-        );
+        println!("entry groups: {}   cycles: {}", analysis.groups, analysis.cycles.len());
         println!("{:14} {:>6}", "pattern", "cycles");
         for (pattern, count) in analysis.pattern_histogram() {
             println!("{pattern:14} {count:>6}");

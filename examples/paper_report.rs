@@ -3,6 +3,9 @@
 //! comparisons (Tab I's experimental rows), the simulation-cost comparison
 //! (Tab IX shape) and the verification comparison (Tab X shape).
 //!
+//! Reproduces: Figs 6–20, 29, 32–37 (verdicts), Tab I (model comparison
+//! rows), Tab IX (simulation cost) and Tab X (verification cost).
+//!
 //! Run with: `cargo run --release --example paper_report`
 
 use herd_core::arch::{Arm, ArmVariant, Power, Sc, Tso};
@@ -10,7 +13,9 @@ use herd_core::model::{check, Architecture};
 use herd_litmus::candidates::{enumerate, EnumOptions};
 use herd_litmus::corpus::{self, CorpusEntry};
 use herd_litmus::simulate::{judge, simulate};
-use herd_machine::{check_multi, verify_axiomatic, verify_operational, MadorHaim, Machine, PldiFlawed};
+use herd_machine::{
+    check_multi, verify_axiomatic, verify_operational, Machine, MadorHaim, PldiFlawed,
+};
 use std::time::Instant;
 
 fn verdict_table(title: &str, corpus: &[CorpusEntry], arch: &dyn Architecture) {
@@ -63,10 +68,8 @@ fn main() {
     println!("== Tab IX shape: simulation cost per style ==");
     let tests: Vec<CorpusEntry> = corpus::power_corpus();
     let opts = EnumOptions::default();
-    let all_cands: Vec<(String, Vec<herd_litmus::Candidate>)> = tests
-        .iter()
-        .map(|e| (e.test.name.clone(), enumerate(&e.test, &opts).unwrap()))
-        .collect();
+    let all_cands: Vec<(String, Vec<herd_litmus::Candidate>)> =
+        tests.iter().map(|e| (e.test.name.clone(), enumerate(&e.test, &opts).unwrap())).collect();
     let power = Power::new();
 
     let t0 = Instant::now();
@@ -100,10 +103,7 @@ fn main() {
     assert_eq!(single, oper);
     let candidates: usize = all_cands.iter().map(|(_, c)| c.len()).sum();
     println!("style                      candidates   time        vs single-event");
-    println!(
-        "single-event axiomatic     {candidates:>10}   {:>9.2?}   1.0x",
-        t_single
-    );
+    println!("single-event axiomatic     {candidates:>10}   {:>9.2?}   1.0x", t_single);
     println!(
         "multi-event axiomatic      {candidates:>10}   {:>9.2?}   {:.1}x",
         t_multi,
@@ -135,11 +135,7 @@ fn main() {
     println!("== Sec 8.3: model-level simulation of one test ==");
     let mp = corpus::mp(herd_litmus::isa::Isa::Power, corpus::Dev::Po, corpus::Dev::Po);
     let cands = enumerate(&mp, &opts).unwrap();
-    for model in [
-        Box::new(Sc) as Box<dyn Architecture>,
-        Box::new(Tso),
-        Box::new(Power::new()),
-    ] {
+    for model in [Box::new(Sc) as Box<dyn Architecture>, Box::new(Tso), Box::new(Power::new())] {
         let out = judge(&mp, model.as_ref(), &cands);
         println!("{out}");
     }

@@ -1,6 +1,9 @@
 //! Quickstart: simulate the message-passing litmus test under every
 //! stock model — the Figs 1–4 walk-through of the paper.
 //!
+//! Reproduces: Figs 1–4 (the mp litmus test, its candidate executions
+//! and per-model verdicts), plus one Fig 8 row (mp+lwsync+addr).
+//!
 //! Run with: `cargo run --example quickstart`
 
 use herd_core::arch;
@@ -49,8 +52,11 @@ exists (1:r1=1 /\ 1:r5=0)
     println!("\n=== {} ===", fenced.name);
     let power = arch::by_name("power").expect("stock model");
     let out = simulate(&fenced, power.as_ref()).expect("simulation");
-    println!("{:8} {:3}  — the fence and the dependency close the hole", power.name(),
-        out.verdict_str());
+    println!(
+        "{:8} {:3}  — the fence and the dependency close the hole",
+        power.name(),
+        out.verdict_str()
+    );
     // The same pattern on ARM needs ARM fences (dmb) and isb.
     let arm_fenced = mp(Isa::Arm, Dev::F(Fence::Dmb), Dev::CtrlCfence);
     let arm = arch::by_name("arm").expect("stock model");
@@ -59,12 +65,12 @@ exists (1:r1=1 /\ 1:r5=0)
 
     // Fences matter per pair: an eieio (write-write barrier) also fixes
     // mp, but cannot fix the store-buffering test.
-    let sb = herd_litmus::corpus::sb(
-        Isa::Power,
-        Dev::F(Fence::Eieio),
-        Dev::F(Fence::Eieio),
-    );
+    let sb = herd_litmus::corpus::sb(Isa::Power, Dev::F(Fence::Eieio), Dev::F(Fence::Eieio));
     let power = arch::by_name("power").unwrap();
     let out = simulate(&sb, power.as_ref()).unwrap();
-    println!("\n{} on Power: {} (eieio does not order write-read pairs)", sb.name, out.verdict_str());
+    println!(
+        "\n{} on Power: {} (eieio does not order write-read pairs)",
+        sb.name,
+        out.verdict_str()
+    );
 }

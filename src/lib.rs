@@ -12,6 +12,26 @@
 //! - [`hw`]: simulated hardware testbeds with injectable bugs.
 //! - [`diy`]: critical-cycle based litmus test generation.
 //! - [`mole`]: static critical-cycle mining of concurrent programs.
+//!
+//! See the repository `README.md` for the crate map and quickstart, and
+//! [`core::glossary`] for the paper's relation vocabulary with
+//! section/figure cross-references.
+//!
+//! ## Example
+//!
+//! Check the Fig 8 verdict through the umbrella: Power forbids message
+//! passing once fenced with `lwsync` and ordered by an address
+//! dependency:
+//!
+//! ```
+//! use cats::core::arch::Power;
+//! use cats::core::event::Fence;
+//! use cats::core::fixtures::{mp, Device};
+//! use cats::core::model::check;
+//!
+//! let witness = mp(Device::Fence(Fence::Lwsync), Device::Addr);
+//! assert!(!check(&Power::new(), &witness).allowed());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

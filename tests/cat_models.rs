@@ -15,9 +15,9 @@ fn assert_agreement(corpus: &[CorpusEntry], native: &dyn Architecture, cat: &Cat
         let cands = enumerate(&entry.test, &opts).expect("enumeration succeeds");
         for (i, c) in cands.iter().enumerate() {
             let native_allowed = check(native, &c.exec).allowed();
-            let cat_verdict = cat.check(&c.exec).unwrap_or_else(|e| {
-                panic!("{}: cat evaluation failed: {e}", entry.test.name)
-            });
+            let cat_verdict = cat
+                .check(&c.exec)
+                .unwrap_or_else(|e| panic!("{}: cat evaluation failed: {e}", entry.test.name));
             assert_eq!(
                 native_allowed,
                 cat_verdict.allowed(),

@@ -16,8 +16,7 @@ fn all_short_power_cycles_synthesise_with_reachable_witnesses() {
     assert!(cycles.len() > 50);
     let opts = EnumOptions::default();
     for cycle in &cycles {
-        let test = synthesize(cycle, Isa::Power)
-            .unwrap_or_else(|e| panic!("{cycle:?}: {e}"));
+        let test = synthesize(cycle, Isa::Power).unwrap_or_else(|e| panic!("{cycle:?}: {e}"));
         let cands = enumerate(&test, &opts).unwrap();
         let witnesses = cands.iter().filter(|c| eval_prop(&test.condition.prop, c)).count();
         assert!(witnesses > 0, "{}: no witness", test.name);

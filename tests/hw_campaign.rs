@@ -52,10 +52,8 @@ fn tab5_proposed_arm_tolerates_early_commit() {
     // behaviours stop counting as invalid; only genuine errata remain.
     let machines = arm_machines();
     let apq = machines.iter().find(|m| m.name == "APQ8060").unwrap();
-    let power_arm = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::PowerArm), RUNS, 42)
-        .unwrap();
-    let proposed = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::Proposed), RUNS, 42)
-        .unwrap();
+    let power_arm = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::PowerArm), RUNS, 42).unwrap();
+    let proposed = campaign(apq, &arm_tests(), &Arm::new(ArmVariant::Proposed), RUNS, 42).unwrap();
     assert!(
         proposed.invalid < power_arm.invalid,
         "the proposed model explains the early-commit observations ({} < {})",
@@ -83,8 +81,5 @@ fn tab8_classification_buckets() {
         labels.extend(s.classification.keys().cloned());
     }
     assert!(labels.contains("S"), "{labels:?}");
-    assert!(
-        labels.iter().any(|l| l.contains('O') || l.contains('P')),
-        "{labels:?}"
-    );
+    assert!(labels.iter().any(|l| l.contains('O') || l.contains('P')), "{labels:?}");
 }

@@ -18,13 +18,8 @@ fn sparc_tso(x: &herd_core::Execution) -> bool {
     // Uniproc plus the global axiom acyclic(ppo ∪ co ∪ rfe ∪ fr ∪ fences)
     // ([Alglave 2012, Def 23]).
     let tso = Tso;
-    let global = tso
-        .ppo(x)
-        .union(x.co())
-        .union(x.rfe())
-        .union(x.fr())
-        .union(&tso.fences(x))
-        .is_acyclic();
+    let global =
+        tso.ppo(x).union(x.co()).union(x.rfe()).union(x.fr()).union(&tso.fences(x)).is_acyclic();
     sc_per_location(x) && global
 }
 
@@ -37,30 +32,18 @@ fn sc_equivalence_on_all_corpora() {
         .collect();
     for entry in all {
         for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
-            assert_eq!(
-                check(&Sc, &c.exec).allowed(),
-                lamport_sc(&c.exec),
-                "{}",
-                entry.test.name
-            );
+            assert_eq!(check(&Sc, &c.exec).allowed(), lamport_sc(&c.exec), "{}", entry.test.name);
         }
     }
 }
 
 #[test]
 fn tso_equivalence_on_all_corpora() {
-    let all: Vec<corpus::CorpusEntry> = corpus::power_corpus()
-        .into_iter()
-        .chain(corpus::x86_corpus())
-        .collect();
+    let all: Vec<corpus::CorpusEntry> =
+        corpus::power_corpus().into_iter().chain(corpus::x86_corpus()).collect();
     for entry in all {
         for c in enumerate(&entry.test, &EnumOptions::default()).unwrap() {
-            assert_eq!(
-                check(&Tso, &c.exec).allowed(),
-                sparc_tso(&c.exec),
-                "{}",
-                entry.test.name
-            );
+            assert_eq!(check(&Tso, &c.exec).allowed(), sparc_tso(&c.exec), "{}", entry.test.name);
         }
     }
 }
@@ -71,10 +54,7 @@ fn tso_equivalence_on_all_corpora() {
 fn random_program() -> impl Strategy<Value = Vec<Vec<(bool, u8, bool)>>> {
     // (is_write, loc, fence_before_next)
     proptest::collection::vec(
-        proptest::collection::vec(
-            (any::<bool>(), 0u8..3, any::<bool>()),
-            1..=3,
-        ),
+        proptest::collection::vec((any::<bool>(), 0u8..3, any::<bool>()), 1..=3),
         1..=3,
     )
 }

@@ -26,7 +26,8 @@ fn assert_equivalence(corpus: &[CorpusEntry], arch: &dyn Architecture) {
             let machine = Machine::new(&c.exec, arch);
             let accepted = machine.accepts();
             assert_eq!(
-                axiomatic, accepted,
+                axiomatic,
+                accepted,
                 "{} candidate #{i} on {}: axioms say {axiomatic}, machine says {accepted}",
                 entry.test.name,
                 arch.name(),
@@ -155,10 +156,8 @@ mod random_programs {
 fn machine_state_space_is_the_expensive_part() {
     let test = corpus::iriw(herd_litmus::isa::Isa::Power, corpus::Dev::Po, corpus::Dev::Po);
     let cands = enumerate(&test, &EnumOptions::default()).unwrap();
-    let total_states: usize = cands
-        .iter()
-        .map(|c| Machine::new(&c.exec, &Power::new()).reachable_states())
-        .sum();
+    let total_states: usize =
+        cands.iter().map(|c| Machine::new(&c.exec, &Power::new()).reachable_states()).sum();
     assert!(
         total_states > 10 * cands.len(),
         "exploration visits many states per candidate ({total_states} for {} candidates)",

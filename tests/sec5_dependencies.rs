@@ -25,10 +25,7 @@ fn one_thread(body_rows: &[&str], init: &[&str]) -> herd_litmus::LitmusTest {
 /// dependency, yet the loads stay ordered by `addr`.
 #[test]
 fn sec_5_2_1_address_dependency() {
-    let t = one_thread(
-        &["lwz r2,0(r1)", "xor r9,r2,r2", "lwzx r4,r9,r3"],
-        &["0:r1=x", "0:r3=y"],
-    );
+    let t = one_thread(&["lwz r2,0(r1)", "xor r9,r2,r2", "lwzx r4,r9,r3"], &["0:r1=x", "0:r3=y"]);
     let cands = enumerate(&t, &EnumOptions::default()).unwrap();
     assert!(!cands.is_empty());
     for c in &cands {
@@ -45,10 +42,7 @@ fn sec_5_2_1_address_dependency() {
 /// `lwz r2,0(r1); xor r9,r2,r2; stw r9,0(r4)`.
 #[test]
 fn sec_5_2_2_data_dependency() {
-    let t = one_thread(
-        &["lwz r2,0(r1)", "xor r9,r2,r2", "stw r9,0(r4)"],
-        &["0:r1=x", "0:r4=y"],
-    );
+    let t = one_thread(&["lwz r2,0(r1)", "xor r9,r2,r2", "stw r9,0(r4)"], &["0:r1=x", "0:r4=y"]);
     let cands = enumerate(&t, &EnumOptions::default()).unwrap();
     for c in &cands {
         assert_eq!(c.exec.deps().data.len(), 1, "one data edge");
@@ -143,10 +137,8 @@ fn sec_5_2_4_control_cfence_dependency() {
 #[test]
 fn footnote_2_fence_relations_are_raw() {
     use herd_core::event::Fence;
-    let t = one_thread(
-        &["li r1,1", "stw r1,0(r2)", "lwsync", "lwz r3,0(r4)"],
-        &["0:r2=x", "0:r4=y"],
-    );
+    let t =
+        one_thread(&["li r1,1", "stw r1,0(r2)", "lwsync", "lwz r3,0(r4)"], &["0:r2=x", "0:r4=y"]);
     let cands = enumerate(&t, &EnumOptions::default()).unwrap();
     for c in &cands {
         let lws = c.exec.fence(Fence::Lwsync);

@@ -51,8 +51,7 @@ fn thin_air_candidates_are_representable() {
     let cands = enumerate(&test, &EnumOptions::default()).unwrap();
     // The self-justifying candidate exists: both reads return 1 although
     // nobody ever writes a literal 1.
-    let witnesses: Vec<_> =
-        cands.iter().filter(|c| eval_prop(&test.condition.prop, c)).collect();
+    let witnesses: Vec<_> = cands.iter().filter(|c| eval_prop(&test.condition.prop, c)).collect();
     assert!(!witnesses.is_empty(), "the value domain includes 1; the cycle justifies it");
     // Its data flow is circular: each read reads the other thread's write.
     for w in &witnesses {
@@ -75,8 +74,7 @@ fn no_thin_air_rejects_the_witness_on_power() {
 fn disabling_the_axiom_admits_thin_air() {
     // Sec 4.9: the axioms are bricks; drop NO THIN AIR from the cat file
     // and the self-justifying execution becomes allowed.
-    let weakened =
-        CatModel::parse(&stock::POWER.replace("acyclic hb as no-thin-air", "")).unwrap();
+    let weakened = CatModel::parse(&stock::POWER.replace("acyclic hb as no-thin-air", "")).unwrap();
     let test = true_lb();
     let cands = enumerate(&test, &EnumOptions::default()).unwrap();
     let admitted = cands
@@ -91,8 +89,8 @@ fn zero_outcomes_stay_sequential() {
     // The non-thin-air outcomes (someone reads 0) are allowed everywhere.
     let test = true_lb();
     let cands = enumerate(&test, &EnumOptions::default()).unwrap();
-    let sequential = cands.iter().any(|c| {
-        !eval_prop(&test.condition.prop, c) && check(&Power::new(), &c.exec).allowed()
-    });
+    let sequential = cands
+        .iter()
+        .any(|c| !eval_prop(&test.condition.prop, c) && check(&Power::new(), &c.exec).allowed());
     assert!(sequential);
 }

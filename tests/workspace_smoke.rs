@@ -1,0 +1,86 @@
+//! Workspace smoke test: every crate of the suite is reachable through
+//! the `cats` umbrella and does one representative piece of end-to-end
+//! work. This is the "did the workspace wiring survive" canary — each
+//! check is tiny, but together they cross every crate boundary the
+//! manifests declare.
+
+use cats::core::arch::{Power, Sc};
+use cats::core::fixtures::{self, Device};
+use cats::core::model::check;
+
+/// `cats::core`: the generic four-axiom model — SC forbids the bare
+/// message-passing pattern (Fig 21 / Lemma 4.1).
+#[test]
+fn core_sc_forbids_mp() {
+    let mp = fixtures::mp(Device::None, Device::None);
+    assert!(!check(&Sc, &mp).allowed(), "SC must forbid bare mp");
+    assert!(check(&Power::new(), &mp).allowed(), "Power allows bare mp");
+}
+
+/// `cats::litmus`: the shipped `.litmus` corpus parses and the herd-style
+/// simulator reproduces each file's recorded verdict.
+#[test]
+fn litmus_corpus_parses_and_simulates() {
+    let tests = cats::litmus::text_corpus::load_all().expect("corpus parses");
+    assert_eq!(tests.len(), cats::litmus::text_corpus::ALL.len());
+    let entry = &cats::litmus::text_corpus::ALL[0];
+    let test = cats::litmus::parse::parse(entry.source).expect("parses");
+    let model = cats::core::arch::by_name(entry.model).expect("stock model");
+    let out = cats::litmus::simulate::simulate(&test, model.as_ref()).expect("simulates");
+    assert_eq!(out.validated, entry.allowed, "{}", entry.file);
+}
+
+/// `cats::cat`: the stock Power model file parses, and agrees with the
+/// native Power model on the Fig 8 witness.
+#[test]
+fn cat_stock_model_parses_and_checks() {
+    use cats::core::event::Fence;
+    let power = cats::cat::stock::load(cats::cat::stock::POWER);
+    assert_eq!(power.name(), Some("Power"));
+    let witness = fixtures::mp(Device::Fence(Fence::Lwsync), Device::Addr);
+    let verdict = power.check(&witness).expect("evaluates");
+    assert!(!verdict.allowed(), "mp+lwsync+addr is forbidden");
+    assert_eq!(verdict.allowed(), check(&Power::new(), &witness).allowed());
+}
+
+/// `cats::machine`: the intermediate machine of Fig 30 agrees with the
+/// axiomatic model on a witness (Thm 7.1, one data point).
+#[test]
+fn machine_agrees_with_axiomatic_model() {
+    let x = fixtures::mp(Device::None, Device::None);
+    let arch = Power::new();
+    assert_eq!(cats::machine::accepts(&x, &arch), check(&arch, &x).allowed());
+}
+
+/// `cats::hw`: a tiny campaign on simulated Power silicon produces a
+/// summary over the requested tests.
+#[test]
+fn hw_campaign_runs() {
+    let machines = cats::hw::power_machines();
+    let tests = [cats::litmus::corpus::power_corpus()[0].test.clone()];
+    let summary =
+        cats::hw::campaign(&machines[0], &tests, &Power::new(), 50, 7).expect("campaign runs");
+    assert_eq!(summary.tests, 1);
+}
+
+/// `cats::diy`: one relaxation cycle synthesises the classic mp test
+/// (Sec 9 vocabulary).
+#[test]
+fn diy_generates_a_cycle() {
+    use cats::litmus::isa::Isa;
+    let test = cats::diy::synthesize_str("LwSyncdWW Rfe DpAddrdR Fre", Isa::Power)
+        .expect("cycle synthesises");
+    assert!(test.name.starts_with("mp+"), "got {}", test.name);
+    assert_eq!(test.threads.len(), 2);
+}
+
+/// `cats::mole`: the static miner scans a synthetic distribution and
+/// finds critical cycles (Sec 9 / Tabs XIII–XIV).
+#[test]
+fn mole_scans_a_program() {
+    let opts = cats::mole::MoleOptions::default();
+    let report = cats::mole::scan_distribution(5, 42, &opts);
+    assert_eq!(report.packages, 5);
+    let analysis = cats::mole::analyze(&cats::mole::corpus::rcu(), &opts);
+    assert!(analysis.pattern_histogram().contains_key("mp"));
+}

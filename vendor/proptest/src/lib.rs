@@ -1,0 +1,363 @@
+//! Minimal, dependency-light stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored stub implements the slice of `proptest 1.x` the workspace's
+//! property tests use: the [`Strategy`] trait with [`Strategy::prop_map`],
+//! range and tuple strategies, [`arbitrary::any`], [`collection::vec`],
+//! the [`proptest!`] macro (with `#![proptest_config(..)]` support) and
+//! the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (reproducible failures,
+//! no env-var replay machinery), and there is **no shrinking** — a
+//! failing case panics with the generated inputs left to the assert
+//! message. Both are acceptable for a CI property suite and keep the
+//! stub small.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use std::ops::Range;
+
+/// The RNG handed to strategies; re-exported so generated code can name it.
+pub type TestRng = StdRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value using bits from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f` applied to this strategy's values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `any::<T>()` entry point and its supporting trait.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy, mirroring
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value of this type.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rand::Rng::gen(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Returns a strategy producing unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Strategies for collections (only `vec` is provided).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for [`vec()`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                rand::Rng::gen_range(rng, self.size.lo..self.size.hi_inclusive + 1)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Returns a strategy producing vectors whose elements come from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Derives a stable 64-bit seed from a property name so each property
+/// gets its own reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a; any stable hash works, the stream only has to be fixed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property, reporting the running case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` targeting the per-case loop the [`proptest!`]
+/// macro generates, so it is only usable inside a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg).cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default().cases; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases: u32 = $cases;
+                let mut __rng: $crate::TestRng =
+                    rand::SeedableRng::seed_from_u64($crate::seed_for(stringify!($name)));
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 0u8..3)) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn vec_lengths(v in collection::vec(any::<bool>(), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+
+        #[test]
+        fn map_applies(x in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+}
