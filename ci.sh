@@ -6,11 +6,16 @@
 #
 #   1. cargo build --release        — the whole workspace, optimised
 #   2. cargo build --examples       — every paper-reproduction example
-#   3. cargo bench --no-run         — the 8 harness=false bench targets
+#   3. cargo bench --no-run         — the 9 harness=false bench targets
 #                                     (cargo build/test skip these)
 #   4. cargo test  -q               — all unit + integration + doc tests
-#   5. cargo doc   --no-deps        — rustdoc, warnings denied
-#   6. cargo fmt   --check          — formatting (rustfmt.toml at root)
+#   5. perf_pipeline --quick        — the tracked perf bench (eager vs
+#                                     streaming vs pruned enumeration,
+#                                     compiled cat models, corpus split);
+#                                     refreshes BENCH_pr2.json so every PR
+#                                     leaves a perf-trajectory data point
+#   6. cargo doc   --no-deps        — rustdoc, warnings denied
+#   7. cargo fmt   --check          — formatting (rustfmt.toml at root)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,6 +28,7 @@ run cargo build --release --workspace
 run cargo build --examples
 run cargo bench --no-run --workspace
 run cargo test -q --workspace
+run cargo bench -p herd-bench --bench perf_pipeline -- --quick --json "$PWD/BENCH_pr2.json"
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo fmt --check
 

@@ -1,0 +1,311 @@
+//! perf_pipeline: the enumeration→check pipeline, eager vs streaming vs
+//! pruned (paper, Sec 8.3 / Tab IX).
+//!
+//! Measures three generations of the hottest path in the repo on the
+//! IRIW / 2+2W skeleton family:
+//!
+//! * **eager** — the seed's generate-then-filter: materialise every
+//!   candidate (per-location permutation tables, deep-cloned po/deps/
+//!   fences), then check each against the model;
+//! * **stream** — lazy odometer enumeration sharing one `Arc`'d core;
+//! * **pruned** — streaming with SC-PER-LOCATION subtrees skipped at
+//!   generation time (uniproc-first pruning, Sec 8.3).
+//!
+//! Also measures compiled-vs-tree cat-model checking throughput on the
+//! corpus and the scoped-thread corpus simulation split.
+//!
+//! Usage (the driver `ci.sh` runs the quick mode):
+//!
+//! ```text
+//! cargo bench -p herd-bench --bench perf_pipeline -- [--quick] [--json PATH]
+//! ```
+
+use herd_bench::{iriw_scaled, power_tests, two_plus_two_w_scaled};
+use herd_core::arch::Power;
+use herd_core::enumerate::Skeleton;
+use herd_core::model::check;
+use herd_litmus::candidates::EnumOptions;
+use herd_litmus::corpus;
+use herd_litmus::simulate::{simulate_corpus, simulate_with};
+use std::time::Instant;
+
+/// Wall-clock of the best of `reps` runs of `f`, in nanoseconds, plus the
+/// last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+struct PipelineRow {
+    name: String,
+    candidates: usize,
+    emitted: usize,
+    pruned: usize,
+    allowed: usize,
+    eager_ns: u128,
+    stream_ns: u128,
+    pruned_ns: u128,
+}
+
+impl PipelineRow {
+    fn speedup_stream(&self) -> f64 {
+        self.eager_ns as f64 / self.stream_ns.max(1) as f64
+    }
+    fn speedup_pruned(&self) -> f64 {
+        self.eager_ns as f64 / self.pruned_ns.max(1) as f64
+    }
+    fn pruned_fraction(&self) -> f64 {
+        self.pruned as f64 / self.candidates.max(1) as f64
+    }
+}
+
+fn bench_pipeline(name: &str, sk: &Skeleton, reps: usize) -> PipelineRow {
+    let power = Power::new();
+    let (eager_ns, eager_allowed) = best_of(reps, || {
+        sk.candidates_eager().iter().filter(|x| check(&power, x).allowed()).count()
+    });
+    let (stream_ns, stream_allowed) =
+        best_of(reps, || sk.stream().filter(|x| check(&power, x).allowed()).count());
+    let mut emitted = 0;
+    let mut pruned = 0;
+    let (pruned_ns, pruned_allowed) = best_of(reps, || {
+        let mut it = sk.stream_pruned();
+        let allowed = it.by_ref().filter(|x| check(&power, x).allowed()).count();
+        emitted = it.emitted();
+        pruned = it.pruned();
+        allowed
+    });
+    assert_eq!(eager_allowed, stream_allowed, "{name}: streaming changed the verdict");
+    assert_eq!(eager_allowed, pruned_allowed, "{name}: pruning changed the verdict");
+    let candidates = sk.candidate_count();
+    assert_eq!(emitted + pruned, candidates, "{name}: pruning accounting is exact");
+    PipelineRow {
+        name: name.to_owned(),
+        candidates,
+        emitted,
+        pruned,
+        allowed: eager_allowed,
+        eager_ns,
+        stream_ns,
+        pruned_ns,
+    }
+}
+
+struct ModelRow {
+    model: String,
+    execs: usize,
+    tree_ns: u128,
+    compiled_ns: u128,
+}
+
+impl ModelRow {
+    fn speedup(&self) -> f64 {
+        self.tree_ns as f64 / self.compiled_ns.max(1) as f64
+    }
+    fn checks_per_sec(&self) -> f64 {
+        self.execs as f64 / (self.compiled_ns as f64 / 1e9)
+    }
+}
+
+fn bench_models(reps: usize) -> Vec<ModelRow> {
+    let cands = herd_bench::enumerate_all(&power_tests());
+    let mut rows = Vec::new();
+    for (name, src) in herd_cat::stock::ALL {
+        let model = herd_cat::parse(src).expect("stock model parses");
+        let compiled = herd_cat::compile(&model).expect("stock model compiles");
+        let (tree_ns, tree_allowed) = best_of(reps, || {
+            cands.iter().filter(|c| herd_cat::eval_tree(&model, &c.exec).unwrap().allowed()).count()
+        });
+        let (compiled_ns, compiled_allowed) =
+            best_of(reps, || cands.iter().filter(|c| compiled.check(&c.exec).allowed()).count());
+        assert_eq!(tree_allowed, compiled_allowed, "{name}: compilation changed the verdict");
+        rows.push(ModelRow { model: name.to_owned(), execs: cands.len(), tree_ns, compiled_ns });
+    }
+    rows
+}
+
+struct CorpusRow {
+    tests: usize,
+    candidates: usize,
+    pruned: usize,
+    sequential_ns: u128,
+    parallel_ns: u128,
+    threads: usize,
+}
+
+impl CorpusRow {
+    fn candidates_per_sec(&self) -> f64 {
+        self.candidates as f64 / (self.parallel_ns as f64 / 1e9)
+    }
+}
+
+fn bench_corpus(reps: usize) -> CorpusRow {
+    let mut tests: Vec<_> = corpus::power_corpus().into_iter().map(|e| e.test).collect();
+    tests.extend(corpus::arm_corpus().into_iter().map(|e| e.test));
+    tests.extend(corpus::x86_corpus().into_iter().map(|e| e.test));
+    let power = Power::new();
+    let opts = EnumOptions::default();
+    let (sequential_ns, _) = best_of(reps, || {
+        tests
+            .iter()
+            .map(|t| simulate_with(t, &power, &opts).expect("corpus simulates").candidates)
+            .sum::<usize>()
+    });
+    let (parallel_ns, outs) =
+        best_of(reps, || simulate_corpus(&tests, &power, &opts).expect("corpus simulates"));
+    CorpusRow {
+        tests: tests.len(),
+        candidates: outs.iter().map(|o| o.candidates).sum(),
+        pruned: outs.iter().map(|o| o.pruned).sum(),
+        sequential_ns,
+        parallel_ns,
+        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(
+    path: &str,
+    mode: &str,
+    pipeline: &[PipelineRow],
+    models: &[ModelRow],
+    corpus: &CorpusRow,
+) {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"pr\": 2,\n  \"bench\": \"perf_pipeline\",\n");
+    j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    j.push_str("  \"pipeline\": [\n");
+    for (i, r) in pipeline.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"emitted\": {}, \"pruned\": {}, \
+             \"pruned_fraction\": {:.4}, \"allowed\": {}, \"eager_ns\": {}, \"stream_ns\": {}, \
+             \"pruned_ns\": {}, \"speedup_stream\": {:.2}, \"speedup_pruned\": {:.2}}}{}\n",
+            json_escape(&r.name),
+            r.candidates,
+            r.emitted,
+            r.pruned,
+            r.pruned_fraction(),
+            r.allowed,
+            r.eager_ns,
+            r.stream_ns,
+            r.pruned_ns,
+            r.speedup_stream(),
+            r.speedup_pruned(),
+            if i + 1 < pipeline.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n  \"models\": [\n");
+    for (i, r) in models.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"model\": \"{}\", \"execs\": {}, \"tree_ns\": {}, \"compiled_ns\": {}, \
+             \"speedup\": {:.2}, \"checks_per_sec\": {:.0}}}{}\n",
+            json_escape(&r.model),
+            r.execs,
+            r.tree_ns,
+            r.compiled_ns,
+            r.speedup(),
+            r.checks_per_sec(),
+            if i + 1 < models.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"corpus\": {{\"tests\": {}, \"candidates\": {}, \"pruned\": {}, \
+         \"sequential_ns\": {}, \"parallel_ns\": {}, \"threads\": {}, \
+         \"candidates_per_sec\": {:.0}}}\n",
+        corpus.tests,
+        corpus.candidates,
+        corpus.pruned,
+        corpus.sequential_ns,
+        corpus.parallel_ns,
+        corpus.threads,
+        corpus.candidates_per_sec(),
+    ));
+    j.push_str("}\n");
+    std::fs::write(path, j).expect("write bench JSON");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let reps = if quick { 1 } else { 3 };
+
+    // Same workload set in both modes (so the refreshed BENCH_pr2.json
+    // rows stay comparable PR over PR); quick mode only drops repetitions.
+    let workloads: Vec<(String, Skeleton)> = vec![
+        ("iriw".into(), iriw_scaled(1)),
+        ("iriw+2w".into(), iriw_scaled(2)),
+        ("2+2w".into(), two_plus_two_w_scaled(1)),
+        ("2+2w+2w".into(), two_plus_two_w_scaled(2)),
+        ("iriw+3w".into(), iriw_scaled(3)),
+    ];
+
+    println!(
+        "{:<10} {:>10} {:>8} {:>7} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "test", "cands", "pruned%", "allowed", "eager", "stream", "pruned", "xstream", "xpruned"
+    );
+    let mut pipeline = Vec::new();
+    for (name, sk) in &workloads {
+        let row = bench_pipeline(name, sk, reps);
+        println!(
+            "{:<10} {:>10} {:>7.1}% {:>7} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>7.1}x {:>7.1}x",
+            row.name,
+            row.candidates,
+            100.0 * row.pruned_fraction(),
+            row.allowed,
+            row.eager_ns as f64 / 1e6,
+            row.stream_ns as f64 / 1e6,
+            row.pruned_ns as f64 / 1e6,
+            row.speedup_stream(),
+            row.speedup_pruned(),
+        );
+        pipeline.push(row);
+    }
+
+    println!(
+        "\n{:<16} {:>7} {:>12} {:>12} {:>8} {:>14}",
+        "model", "execs", "tree", "compiled", "x", "checks/s"
+    );
+    let models = bench_models(reps);
+    for r in &models {
+        println!(
+            "{:<16} {:>7} {:>10.2}ms {:>10.2}ms {:>7.1}x {:>14.0}",
+            r.model,
+            r.execs,
+            r.tree_ns as f64 / 1e6,
+            r.compiled_ns as f64 / 1e6,
+            r.speedup(),
+            r.checks_per_sec(),
+        );
+    }
+
+    let corpus = bench_corpus(reps);
+    println!(
+        "\ncorpus: {} tests, {} candidates ({} pruned), sequential {:.2}ms, \
+         parallel {:.2}ms on {} threads ({:.0} candidates/s)",
+        corpus.tests,
+        corpus.candidates,
+        corpus.pruned,
+        corpus.sequential_ns as f64 / 1e6,
+        corpus.parallel_ns as f64 / 1e6,
+        corpus.threads,
+        corpus.candidates_per_sec(),
+    );
+
+    if let Some(path) = json {
+        emit_json(&path, if quick { "quick" } else { "full" }, &pipeline, &models, &corpus);
+    }
+}

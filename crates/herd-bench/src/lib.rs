@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use herd_core::enumerate::{Skeleton, SkeletonBuilder};
 use herd_litmus::candidates::{enumerate, Candidate, EnumOptions};
 use herd_litmus::corpus::{self, CorpusEntry};
 use herd_litmus::program::LitmusTest;
@@ -37,4 +38,41 @@ pub fn enumerate_all(tests: &[LitmusTest]) -> Vec<Candidate> {
 /// A larger generated corpus (diy cycles of length ≤ 5).
 pub fn diy_corpus(cap: usize) -> Vec<LitmusTest> {
     herd_diy::generate_tests(&herd_diy::power_pool(), 5, herd_litmus::isa::Isa::Power, cap)
+}
+
+/// The IRIW skeleton scaled up: each writer thread performs `k` coherent
+/// writes to its location instead of one, and two reader threads observe
+/// both locations (paper, Fig 31 at `k = 1`).
+///
+/// Scaling `k` blows the data-flow space up factorially — `(k+1)^4` rf
+/// choices × `(k!)^2` coherence orders — while `po-loc` pins each writer's
+/// coherence order, so uniproc-first pruning collapses the co dimension
+/// entirely. This is the family Sec 8.3's generate-and-prune argument is
+/// about.
+pub fn iriw_scaled(k: usize) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    for i in 0..k {
+        b.write(0, "x", i as i64 + 1);
+        b.write(1, "y", i as i64 + 1);
+    }
+    b.read(2, "y");
+    b.read(2, "x");
+    b.read(3, "x");
+    b.read(3, "y");
+    b.build()
+}
+
+/// The 2+2W skeleton scaled up: two threads each write both locations `k`
+/// times in opposite orders, so every location carries `2k` writes from
+/// two threads — `((2k)!)^2` coherence orders of which only the po-loc
+/// -respecting interleavings survive pruning.
+pub fn two_plus_two_w_scaled(k: usize) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    for i in 0..k {
+        b.write(0, "x", 2 * i as i64 + 1);
+        b.write(0, "y", 2 * i as i64 + 2);
+        b.write(1, "y", 100 + 2 * i as i64 + 1);
+        b.write(1, "x", 100 + 2 * i as i64 + 2);
+    }
+    b.build()
 }

@@ -1,0 +1,636 @@
+//! Compilation of cat models to a slot-indexed instruction program.
+//!
+//! The tree-walking evaluator ([`crate::eval::eval_tree`]) re-resolves
+//! every name through a string-keyed environment map on each candidate
+//! execution. Simulation campaigns check thousands of candidates against
+//! one model, so this module performs the name resolution **once per
+//! model**: [`compile`] lowers the AST to a straight-line program over
+//! dense result slots, with
+//!
+//! * every `let`-bound and builtin name resolved to a slot or a
+//!   [`BuiltinRel`] variant at compile time (zero string lookups per
+//!   candidate),
+//! * hash-consing (common-subexpression elimination), so a subexpression
+//!   like `hb*` that several axioms sequence through is computed once per
+//!   candidate,
+//! * constant folding of expressions involving the empty relation
+//!   (`0 | x = x`, `0; x = 0`, `0* = id`, ...) and other algebraic
+//!   identities (`x | x = x`, `(x+)+ = x+`, `(x^-1)^-1 = x`),
+//! * hoisting of fixpoint-invariant subexpressions out of `let rec`
+//!   iteration bodies: an operand of a recursive equation that does not
+//!   depend on the recursively bound names is evaluated once, not once
+//!   per fixpoint iteration.
+//!
+//! [`crate::eval::eval`] is a thin wrapper over compile-then-run; use
+//! [`CompiledModel::check`] directly to amortise compilation across a
+//! candidate stream.
+
+use crate::ast::{CheckKind, Expr, Model, Stmt};
+use crate::eval::{CatVerdict, CheckOutcome, EvalError};
+use herd_core::event::{Dir, Fence};
+use herd_core::exec::Execution;
+use herd_core::relation::Relation;
+use std::collections::HashMap;
+
+/// A builtin relation of the candidate execution, resolved from its cat
+/// name at compile time (mirrors [`Execution::builtin`] without the string
+/// dispatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BuiltinRel {
+    /// `po`.
+    Po,
+    /// `po-loc`.
+    PoLoc,
+    /// `rf`.
+    Rf,
+    /// `rfe`.
+    Rfe,
+    /// `rfi`.
+    Rfi,
+    /// `co` / `ws`.
+    Co,
+    /// `coe` / `wse`.
+    Coe,
+    /// `coi` / `wsi`.
+    Coi,
+    /// `fr`.
+    Fr,
+    /// `fre`.
+    Fre,
+    /// `fri`.
+    Fri,
+    /// `com`.
+    Com,
+    /// `addr`.
+    Addr,
+    /// `data`.
+    Data,
+    /// `ctrl`.
+    Ctrl,
+    /// `ctrl+cfence` / `ctrl+isync` / `ctrl+isb`.
+    CtrlCfence,
+    /// `rdw` (Fig 27).
+    Rdw,
+    /// `detour` (Fig 28).
+    Detour,
+    /// `loc` (same-location pairs).
+    SameLoc,
+    /// `int` (same-thread pairs).
+    Int,
+    /// `ext` (cross-thread pairs).
+    Ext,
+    /// `id`.
+    Id,
+    /// One fence flavour's relation.
+    Fence(Fence),
+}
+
+impl BuiltinRel {
+    /// Resolves a cat name to a builtin, if it is one.
+    pub fn resolve(name: &str) -> Option<BuiltinRel> {
+        use BuiltinRel::*;
+        Some(match name {
+            "po" => Po,
+            "po-loc" => PoLoc,
+            "rf" => Rf,
+            "rfe" => Rfe,
+            "rfi" => Rfi,
+            "co" | "ws" => Co,
+            "coe" | "wse" => Coe,
+            "coi" | "wsi" => Coi,
+            "fr" => Fr,
+            "fre" => Fre,
+            "fri" => Fri,
+            "com" => Com,
+            "addr" => Addr,
+            "data" => Data,
+            "ctrl" => Ctrl,
+            "ctrl+cfence" | "ctrl+isync" | "ctrl+isb" => CtrlCfence,
+            "rdw" => Rdw,
+            "detour" => Detour,
+            "loc" => SameLoc,
+            "int" => Int,
+            "ext" => Ext,
+            "id" => Id,
+            other => Fence(*herd_core::event::Fence::ALL.iter().find(|f| f.mnemonic() == other)?),
+        })
+    }
+
+    /// Materialises the builtin on one execution.
+    fn fetch(self, x: &Execution) -> Relation {
+        use BuiltinRel::*;
+        match self {
+            Po => x.po().clone(),
+            PoLoc => x.po_loc().clone(),
+            Rf => x.rf().clone(),
+            Rfe => x.rfe().clone(),
+            Rfi => x.rfi().clone(),
+            Co => x.co().clone(),
+            Coe => x.coe().clone(),
+            Coi => x.coi().clone(),
+            Fr => x.fr().clone(),
+            Fre => x.fre().clone(),
+            Fri => x.fri().clone(),
+            Com => x.com().clone(),
+            Addr => x.deps().addr.clone(),
+            Data => x.deps().data.clone(),
+            Ctrl => x.deps().ctrl.clone(),
+            CtrlCfence => x.deps().ctrl_cfence.clone(),
+            Rdw => x.rdw().clone(),
+            Detour => x.detour().clone(),
+            SameLoc => x.same_loc().clone(),
+            Int => x.internal().clone(),
+            Ext => x.external().clone(),
+            Id => Relation::id(x.len()),
+            Fence(f) => x.fence(f),
+        }
+    }
+}
+
+/// One relational operation over result slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    Builtin(BuiltinRel),
+    Empty,
+    /// `[W]` / `[R]` / `[M]`: partial identity over a direction set.
+    DirId(Option<Dir>),
+    Union(usize, usize),
+    Inter(usize, usize),
+    Diff(usize, usize),
+    Seq(usize, usize),
+    TClosure(usize),
+    RtClosure(usize),
+    Opt(usize),
+    Inverse(usize),
+    /// `WW(e)`, `RM(e)`, ... — source/target direction restriction.
+    DirRestrict(usize, Option<Dir>, Option<Dir>),
+}
+
+/// An instruction: compute `op` into slot `dst`.
+#[derive(Clone, Copy, Debug)]
+struct Insn {
+    dst: usize,
+    op: Op,
+}
+
+/// One element of the compiled program.
+#[derive(Clone, Debug)]
+enum Step {
+    /// A straight-line instruction.
+    Op(Insn),
+    /// A `let rec` group run to its least fixpoint.
+    Fixpoint {
+        /// Slots holding the recursively bound names (start empty).
+        rec: Vec<usize>,
+        /// Per binding, the slot its recomputed value lands in.
+        results: Vec<usize>,
+        /// Loop body: only the fixpoint-variant instructions; invariant
+        /// subexpressions were hoisted into the enclosing program.
+        body: Vec<Insn>,
+    },
+}
+
+/// One compiled constraint statement.
+#[derive(Clone, Debug)]
+struct CompiledCheck {
+    name: String,
+    kind: CheckKind,
+    slot: usize,
+}
+
+/// A cat model lowered to a slot-indexed program; see the module docs.
+#[derive(Clone, Debug)]
+pub struct CompiledModel {
+    name: Option<String>,
+    prog: Vec<Step>,
+    checks: Vec<CompiledCheck>,
+    n_slots: usize,
+}
+
+impl CompiledModel {
+    /// The model's declared name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Number of result slots (compile-time statistic).
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Number of straight-line instructions plus fixpoint-body
+    /// instructions (compile-time statistic).
+    pub fn insn_count(&self) -> usize {
+        self.prog
+            .iter()
+            .map(|s| match s {
+                Step::Op(_) => 1,
+                Step::Fixpoint { body, .. } => body.len(),
+            })
+            .sum()
+    }
+
+    /// Checks one candidate execution against the compiled model.
+    ///
+    /// Infallible: every name was resolved at compile time.
+    pub fn check(&self, exec: &Execution) -> CatVerdict {
+        let mut slots: Vec<Option<Relation>> = vec![None; self.n_slots];
+        for step in &self.prog {
+            match step {
+                Step::Op(insn) => {
+                    slots[insn.dst] = Some(run_op(insn.op, &slots, exec));
+                }
+                Step::Fixpoint { rec, results, body } => {
+                    let n = exec.len();
+                    for &r in rec {
+                        slots[r] = Some(Relation::empty(n));
+                    }
+                    loop {
+                        for insn in body {
+                            slots[insn.dst] = Some(run_op(insn.op, &slots, exec));
+                        }
+                        let stable = rec.iter().zip(results).all(|(&r, &s)| slots[r] == slots[s]);
+                        for (&r, &s) in rec.iter().zip(results) {
+                            if r != s {
+                                slots[r] = slots[s].clone();
+                            }
+                        }
+                        if stable {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                let r = slots[c.slot].as_ref().expect("check slot computed");
+                let ok = match c.kind {
+                    CheckKind::Acyclic => r.is_acyclic(),
+                    CheckKind::Irreflexive => r.is_irreflexive(),
+                    CheckKind::Empty => r.is_empty(),
+                };
+                CheckOutcome { name: c.name.clone(), kind: c.kind, ok }
+            })
+            .collect();
+        CatVerdict { checks }
+    }
+}
+
+fn run_op(op: Op, slots: &[Option<Relation>], x: &Execution) -> Relation {
+    let s = |i: usize| slots[i].as_ref().expect("operand slot computed");
+    match op {
+        Op::Builtin(b) => b.fetch(x),
+        Op::Empty => Relation::empty(x.len()),
+        Op::DirId(d) => {
+            let id = Relation::id(x.len());
+            x.dir_restrict(&id, d, d)
+        }
+        Op::Union(a, b) => s(a).union(s(b)),
+        Op::Inter(a, b) => s(a).intersect(s(b)),
+        Op::Diff(a, b) => s(a).minus(s(b)),
+        Op::Seq(a, b) => s(a).seq(s(b)),
+        Op::TClosure(a) => s(a).tclosure(),
+        Op::RtClosure(a) => s(a).rtclosure(),
+        Op::Opt(a) => s(a).union(&Relation::id(s(a).universe())),
+        Op::Inverse(a) => s(a).transpose(),
+        Op::DirRestrict(a, src, dst) => x.dir_restrict(s(a), src, dst),
+    }
+}
+
+/// Compiles a model.
+///
+/// # Errors
+///
+/// Returns the same [`EvalError`]s the tree-walking evaluator would raise
+/// lazily: unknown names and unknown combinators.
+pub fn compile(model: &Model) -> Result<CompiledModel, EvalError> {
+    let mut c = Compiler::default();
+    for stmt in &model.stmts {
+        match stmt {
+            Stmt::Let { bindings, recursive: false } => {
+                for (name, e) in bindings {
+                    let slot = c.lower(e)?;
+                    c.env.insert(name.clone(), slot);
+                }
+            }
+            Stmt::Let { bindings, recursive: true } => c.lower_rec(bindings)?,
+            Stmt::Check { kind, expr, name } => {
+                let slot = c.lower(expr)?;
+                let name = name.clone().unwrap_or_else(|| format!("{kind} {expr}"));
+                c.checks.push(CompiledCheck { name, kind: *kind, slot });
+            }
+        }
+    }
+    Ok(CompiledModel {
+        name: model.name.clone(),
+        prog: c.prog,
+        checks: c.checks,
+        n_slots: c.n_slots,
+    })
+}
+
+#[derive(Default)]
+struct Compiler {
+    prog: Vec<Step>,
+    checks: Vec<CompiledCheck>,
+    env: HashMap<String, usize>,
+    /// Hash-consing: op (over slot ids) → slot already computing it.
+    memo: HashMap<Op, usize>,
+    n_slots: usize,
+    /// Slots whose value changes across the current fixpoint's iterations.
+    variant: Vec<bool>,
+    /// Body of the fixpoint currently being lowered, if any.
+    rec_body: Option<Vec<Insn>>,
+    /// The slot holding the empty relation, if one was emitted.
+    empty_slot: Option<usize>,
+}
+
+impl Compiler {
+    fn fresh(&mut self) -> usize {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        self.variant.push(false);
+        s
+    }
+
+    /// Emits `op` (or reuses a previous slot via CSE / folding).
+    fn emit(&mut self, op: Op) -> usize {
+        if let Some(folded) = self.fold(op) {
+            return folded;
+        }
+        let variant = self.op_is_variant(op);
+        // CSE: reuse only when the cached slot is certain to hold the same
+        // value here — invariant ops always do; variant ops only while the
+        // same fixpoint body is being built (they are recomputed each
+        // iteration in order).
+        if let Some(&slot) = self.memo.get(&op) {
+            if self.variant[slot] == variant {
+                return slot;
+            }
+        }
+        let dst = self.fresh();
+        self.variant[dst] = variant;
+        let insn = Insn { dst, op };
+        if variant {
+            self.rec_body.as_mut().expect("variant op outside fixpoint").push(insn);
+        } else {
+            self.prog.push(Step::Op(insn));
+        }
+        self.memo.insert(op, dst);
+        if op == Op::Empty {
+            self.empty_slot = Some(dst);
+        }
+        dst
+    }
+
+    fn op_is_variant(&self, op: Op) -> bool {
+        let v = |s: usize| self.variant[s];
+        match op {
+            Op::Builtin(_) | Op::Empty | Op::DirId(_) => false,
+            Op::Union(a, b) | Op::Inter(a, b) | Op::Diff(a, b) | Op::Seq(a, b) => v(a) || v(b),
+            Op::TClosure(a)
+            | Op::RtClosure(a)
+            | Op::Opt(a)
+            | Op::Inverse(a)
+            | Op::DirRestrict(a, _, _) => v(a),
+        }
+    }
+
+    /// Algebraic folds; returns the slot that already holds the result.
+    fn fold(&mut self, op: Op) -> Option<usize> {
+        let empty = |s: usize| self.empty_slot == Some(s);
+        match op {
+            Op::Union(a, b) if a == b => Some(a),
+            Op::Union(a, b) if empty(a) => Some(b),
+            Op::Union(a, b) if empty(b) => Some(a),
+            Op::Inter(a, b) if a == b => Some(a),
+            Op::Inter(a, b) | Op::Seq(a, b) if empty(a) || empty(b) => {
+                Some(if empty(a) { a } else { b })
+            }
+            Op::Diff(a, b) if empty(b) => Some(a),
+            Op::Diff(a, b) if a == b || empty(a) => Some(self.emit(Op::Empty)),
+            Op::TClosure(a) | Op::Inverse(a) | Op::DirRestrict(a, _, _) if empty(a) => Some(a),
+            Op::RtClosure(a) | Op::Opt(a) if empty(a) => {
+                Some(self.emit(Op::Builtin(BuiltinRel::Id)))
+            }
+            // (x*)+ = (x*)* = x* and (x+)+ = x+.
+            Op::TClosure(a) | Op::RtClosure(a)
+                if matches!(self.memo_of(a), Some(Op::RtClosure(_))) =>
+            {
+                Some(a)
+            }
+            Op::TClosure(a) if matches!(self.memo_of(a), Some(Op::TClosure(_))) => Some(a),
+            Op::Inverse(a) => match self.memo_of(a) {
+                Some(Op::Inverse(inner)) => Some(inner),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The op that computed `slot`, if it is a straight-line CSE'd one.
+    fn memo_of(&self, slot: usize) -> Option<Op> {
+        self.memo.iter().find(|&(_, &s)| s == slot).map(|(&op, _)| op)
+    }
+
+    fn lower(&mut self, e: &Expr) -> Result<usize, EvalError> {
+        Ok(match e {
+            Expr::Empty => self.emit(Op::Empty),
+            Expr::Name(n) => match self.env.get(n) {
+                Some(&slot) => slot,
+                None => match BuiltinRel::resolve(n) {
+                    Some(b) => self.emit(Op::Builtin(b)),
+                    None => return Err(EvalError::UnknownName(n.clone())),
+                },
+            },
+            Expr::Union(a, b) => {
+                let (a, b) = (self.lower(a)?, self.lower(b)?);
+                self.emit(Op::Union(a, b))
+            }
+            Expr::Inter(a, b) => {
+                let (a, b) = (self.lower(a)?, self.lower(b)?);
+                self.emit(Op::Inter(a, b))
+            }
+            Expr::Diff(a, b) => {
+                let (a, b) = (self.lower(a)?, self.lower(b)?);
+                self.emit(Op::Diff(a, b))
+            }
+            Expr::Seq(a, b) => {
+                let (a, b) = (self.lower(a)?, self.lower(b)?);
+                self.emit(Op::Seq(a, b))
+            }
+            Expr::TClosure(a) => {
+                let a = self.lower(a)?;
+                self.emit(Op::TClosure(a))
+            }
+            Expr::RtClosure(a) => {
+                let a = self.lower(a)?;
+                self.emit(Op::RtClosure(a))
+            }
+            Expr::Opt(a) => {
+                let a = self.lower(a)?;
+                self.emit(Op::Opt(a))
+            }
+            Expr::Inverse(a) => {
+                let a = self.lower(a)?;
+                self.emit(Op::Inverse(a))
+            }
+            Expr::App(f, a) => {
+                let (src, dst) =
+                    dir_filter(f).ok_or_else(|| EvalError::UnknownFunction(f.clone()))?;
+                let a = self.lower(a)?;
+                self.emit(Op::DirRestrict(a, src, dst))
+            }
+            Expr::IdSet(s) => {
+                let dir = match s.as_str() {
+                    "W" => Some(Dir::W),
+                    "R" => Some(Dir::R),
+                    "M" | "_" => None,
+                    other => return Err(EvalError::UnknownName(format!("[{other}]"))),
+                };
+                match dir {
+                    None => self.emit(Op::Builtin(BuiltinRel::Id)),
+                    d => self.emit(Op::DirId(d)),
+                }
+            }
+        })
+    }
+
+    fn lower_rec(&mut self, bindings: &[(String, Expr)]) -> Result<(), EvalError> {
+        // Allocate the recursion slots first: every binding sees every
+        // other (and itself) while lowering, as in the Fig 25 equations.
+        let rec: Vec<usize> = bindings
+            .iter()
+            .map(|(name, _)| {
+                let slot = self.fresh();
+                self.variant[slot] = true;
+                self.env.insert(name.clone(), slot);
+                slot
+            })
+            .collect();
+        let prev_body = self.rec_body.replace(Vec::new());
+        let mut results = Vec::with_capacity(bindings.len());
+        for (_, e) in bindings {
+            results.push(self.lower(e)?);
+        }
+        let body = self.rec_body.take().expect("rec body present");
+        self.rec_body = prev_body;
+        // Once the loop has converged, the rec slots and the body's
+        // intermediate slots all hold their stable fixpoint values, so
+        // everything computed from them afterwards is invariant again —
+        // and the memo entries of body ops stay valid for CSE.
+        for &r in &rec {
+            self.variant[r] = false;
+        }
+        for insn in &body {
+            self.variant[insn.dst] = false;
+        }
+        self.prog.push(Step::Fixpoint { rec, results, body });
+        Ok(())
+    }
+}
+
+fn dir_filter(name: &str) -> Option<(Option<Dir>, Option<Dir>)> {
+    let part = |c: u8| match c {
+        b'R' => Some(Some(Dir::R)),
+        b'W' => Some(Some(Dir::W)),
+        b'M' => Some(None),
+        _ => None,
+    };
+    let b = name.as_bytes();
+    if b.len() != 2 {
+        return None;
+    }
+    Some((part(b[0])?, part(b[1])?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_tree;
+    use crate::parse::parse;
+    use herd_core::fixtures::{self, Device};
+
+    fn agree(src: &str) {
+        let model = parse(src).unwrap();
+        let compiled = compile(&model).unwrap();
+        for x in [
+            fixtures::mp(Device::None, Device::None),
+            fixtures::mp(Device::Fence(herd_core::event::Fence::Lwsync), Device::Addr),
+            fixtures::sb(Device::None, Device::None),
+            fixtures::iriw(Device::None, Device::None),
+        ] {
+            assert_eq!(compiled.check(&x), eval_tree(&model, &x).unwrap(), "{src}");
+        }
+    }
+
+    #[test]
+    fn compiled_agrees_with_tree_walker() {
+        agree("acyclic po | rf | fr | co as sc\n");
+        agree("let fr2 = rf^-1;co\nempty fr2 \\ fr as same\n");
+        agree("let rec p = po | (p;p)\nacyclic p\n");
+        agree("empty WW(po) as ww\nirreflexive fre;po as obs\n");
+        agree("let a = [W];po;[R]\nempty a \\ WR(po) as fwd\n");
+    }
+
+    #[test]
+    fn stock_models_compile_and_agree() {
+        for (name, src) in crate::stock::ALL {
+            let model = parse(src).unwrap();
+            let compiled = compile(&model).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let x = fixtures::mp(Device::Addr, Device::Addr);
+            assert_eq!(compiled.check(&x), eval_tree(&model, &x).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn cse_computes_shared_subexpressions_once() {
+        // hb* appears twice; CSE must emit one RtClosure instruction.
+        let model =
+            parse("let hb = po | rfe\nirreflexive fre;hb* as a\nacyclic co;hb* as b\n").unwrap();
+        let compiled = compile(&model).unwrap();
+        let rt = compiled
+            .prog
+            .iter()
+            .filter(|s| matches!(s, Step::Op(Insn { op: Op::RtClosure(_), .. })))
+            .count();
+        assert_eq!(rt, 1, "hb* computed once");
+    }
+
+    #[test]
+    fn empty_folds_away() {
+        let model = parse("let fences = 0\nlet prop = po | fences\nacyclic prop\n").unwrap();
+        let compiled = compile(&model).unwrap();
+        // `po | 0` folds to `po`: no Union instruction at all.
+        assert!(!compiled
+            .prog
+            .iter()
+            .any(|s| matches!(s, Step::Op(Insn { op: Op::Union(_, _), .. }))));
+    }
+
+    #[test]
+    fn fixpoint_invariant_operands_are_hoisted() {
+        let model = parse("let rec ii = (addr | data) | (ii;ii)\nacyclic ii\n").unwrap();
+        let compiled = compile(&model).unwrap();
+        let Step::Fixpoint { body, .. } = compiled
+            .prog
+            .iter()
+            .find(|s| matches!(s, Step::Fixpoint { .. }))
+            .expect("has a fixpoint")
+        else {
+            unreachable!()
+        };
+        // The loop body recomputes only ii;ii and the outer union —
+        // `addr | data` runs once, outside.
+        assert_eq!(body.len(), 2, "invariant union hoisted out of the loop");
+    }
+
+    #[test]
+    fn unknown_names_error_at_compile_time() {
+        let model = parse("acyclic haz\n").unwrap();
+        assert_eq!(compile(&model).unwrap_err(), EvalError::UnknownName("haz".into()));
+    }
+}

@@ -5,6 +5,10 @@
 //! `let rec` groups are evaluated as least fixpoints, mirroring the
 //! `ii/ic/ci/cc` equations of Fig 25. Each constraint statement yields one
 //! named check; a candidate is allowed when all checks pass.
+//!
+//! Two evaluators live here: [`eval`] compiles the model to a slot-indexed
+//! program ([`mod@crate::compile`]) and runs it, and [`eval_tree`] is the
+//! direct tree-walking reference the compiler is tested against.
 
 use crate::ast::{CheckKind, Expr, Model, Stmt};
 use herd_core::event::Dir;
@@ -65,10 +69,30 @@ impl CatVerdict {
 
 /// Evaluates `model` on `exec`.
 ///
+/// A thin wrapper over [`crate::compile::compile`] + run: the model is
+/// lowered to a slot-indexed program and executed once. When checking many
+/// candidates against one model, compile once with
+/// [`crate::compile::compile`] (or [`crate::CatModel::compile`]) and call
+/// [`crate::compile::CompiledModel::check`] per candidate instead.
+///
 /// # Errors
 ///
 /// Returns an [`EvalError`] if a name or combinator cannot be resolved.
 pub fn eval(model: &Model, exec: &Execution) -> Result<CatVerdict, EvalError> {
+    Ok(crate::compile::compile(model)?.check(exec))
+}
+
+/// The reference tree-walking evaluator.
+///
+/// Resolves names through a string-keyed environment on every use; kept as
+/// the executable specification the compiled path
+/// ([`crate::compile::CompiledModel`]) is property-tested against, and for
+/// one-off evaluations where compilation would not amortise.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] if a name or combinator cannot be resolved.
+pub fn eval_tree(model: &Model, exec: &Execution) -> Result<CatVerdict, EvalError> {
     let mut env: BTreeMap<String, Relation> = BTreeMap::new();
     let mut checks = Vec::new();
     for stmt in &model.stmts {

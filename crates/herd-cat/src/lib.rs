@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod parse;
 
 pub use ast::{CheckKind, Expr, Model, Stmt};
-pub use eval::{eval, CatVerdict, CheckOutcome, EvalError};
+pub use compile::{compile, BuiltinRel, CompiledModel};
+pub use eval::{eval, eval_tree, CatVerdict, CheckOutcome, EvalError};
 pub use parse::{parse, CatParseError};
 
 use herd_core::exec::Execution;
@@ -92,11 +94,24 @@ impl CatModel {
 
     /// Checks one candidate execution against the model.
     ///
+    /// Compiles on every call; for candidate streams, [`CatModel::compile`]
+    /// once and use [`CompiledModel::check`] per candidate.
+    ///
     /// # Errors
     ///
     /// Returns an error when a relation name cannot be resolved.
     pub fn check(&self, exec: &Execution) -> Result<CatVerdict, CatError> {
         Ok(eval(&self.model, exec)?)
+    }
+
+    /// Compiles the model to its slot-indexed form (name resolution,
+    /// common-subexpression elimination and constant folding done once).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a relation name cannot be resolved.
+    pub fn compile(&self) -> Result<CompiledModel, CatError> {
+        Ok(compile::compile(&self.model)?)
     }
 }
 

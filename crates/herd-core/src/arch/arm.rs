@@ -119,14 +119,8 @@ impl Architecture for Arm {
         prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.ffence(x))
     }
 
-    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
-        match self.variant {
-            ArmVariant::ProposedLlh => {
-                let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
-                x.po_loc().minus(&rr)
-            }
-            _ => x.po_loc().clone(),
-        }
+    fn tolerates_load_load_hazards(&self) -> bool {
+        self.variant == ArmVariant::ProposedLlh
     }
 }
 

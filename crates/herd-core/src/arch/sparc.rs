@@ -61,10 +61,9 @@ impl Architecture for Rmo {
         self.ppo(x).union(&self.fences(x)).union(x.rfe()).union(x.fr())
     }
 
-    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
+    fn tolerates_load_load_hazards(&self) -> bool {
         // RMO officially allows load-load hazards (Sec 4.9).
-        let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
-        x.po_loc().minus(&rr)
+        true
     }
 }
 

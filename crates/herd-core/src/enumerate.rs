@@ -7,15 +7,27 @@
 //! location a total coherence order (`co`) with the initial write first —
 //! exactly the candidate-execution construction of Fig 3.
 //!
+//! Enumeration is *streaming*: [`Skeleton::stream`] returns a
+//! [`CandidateIter`] that walks an odometer over rf picks and in-place
+//! Heap's-algorithm coherence permutations, sharing one `Arc`'d
+//! [`ExecCore`] (po, deps, fences and the skeleton-invariant derived
+//! relations) across every candidate instead of deep-cloning per candidate.
+//! [`Skeleton::stream_pruned`] additionally checks SC PER LOCATION
+//! incrementally, location by location, as each coherence order is fixed —
+//! the uniproc-first pruning of Sec 8.3 — so entire rf×co subtrees are
+//! skipped before an [`Execution`] is ever built.
+//!
 //! Front ends whose write values depend on read values (genuine data flow
 //! through registers) perform their own symbolic enumeration and lower to
 //! concrete [`Execution`]s directly; this module covers the common case of
 //! constant-valued writes, which includes every litmus family in the paper.
 
 use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
-use crate::exec::{Deps, Execution};
+use crate::exec::{Deps, ExecCore, Execution};
 use crate::relation::Relation;
+use crate::uniproc::{EventShape, LocGraphs};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One event of a skeleton: a write with a fixed value, or a read whose
 /// value enumeration will determine.
@@ -47,86 +59,92 @@ pub struct Skeleton {
 }
 
 impl Skeleton {
-    /// Enumerates every candidate execution of the skeleton.
+    /// Streams every candidate execution of the skeleton lazily.
     ///
     /// # Panics
     ///
     /// Panics if the relations' universe does not match the event count
     /// (a front-end bug, not an input error).
+    pub fn stream(&self) -> CandidateIter {
+        CandidateIter::new(self, PruneMode::None)
+    }
+
+    /// Streams only the candidates satisfying SC PER LOCATION, pruning
+    /// whole rf×co subtrees at generation time (paper, Sec 8.3). The
+    /// discarded candidates — all of them uniproc-forbidden — are counted
+    /// by [`CandidateIter::pruned`].
+    pub fn stream_pruned(&self) -> CandidateIter {
+        CandidateIter::new(self, PruneMode::Uniproc { drop_rr: false })
+    }
+
+    /// Like [`Skeleton::stream_pruned`], but tolerating load-load hazards
+    /// (read-read `po-loc` pairs dropped), matching architectures whose SC
+    /// PER LOCATION axiom is weakened that way (ARM-llh, Sparc RMO).
+    pub fn stream_pruned_llh(&self) -> CandidateIter {
+        CandidateIter::new(self, PruneMode::Uniproc { drop_rr: true })
+    }
+
+    /// Enumerates every candidate execution into a vector.
+    ///
+    /// Equivalent to `self.stream().collect()`; prefer [`Skeleton::stream`]
+    /// when the candidates are consumed once.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
     pub fn candidates(&self) -> Vec<Execution> {
+        self.stream().collect()
+    }
+
+    /// The seed's eager generate-then-filter enumeration, kept as the
+    /// baseline the streaming engine is benchmarked and property-tested
+    /// against: materialises per-location permutation tables up front and
+    /// deep-clones `po`/`deps`/`fences` into every candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
+    pub fn candidates_eager(&self) -> Vec<Execution> {
         let n = self.events.len();
         assert_eq!(self.po.universe(), n, "po universe mismatch");
+        let parts = SkeletonParts::new(self);
 
-        // Group writes by location.
-        let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
-        let mut init_by_loc: BTreeMap<Loc, usize> = BTreeMap::new();
-        for (id, e) in self.events.iter().enumerate() {
-            if e.dir == Dir::W {
-                if e.thread.is_none() {
-                    init_by_loc.insert(e.loc, id);
-                } else {
-                    writes_by_loc.entry(e.loc).or_default().push(id);
-                }
-            }
-        }
-
-        let reads: Vec<usize> = (0..n).filter(|&i| self.events[i].dir == Dir::R).collect();
-
-        // rf choices per read: any write (incl. init) to the same location.
-        let rf_choices: Vec<Vec<usize>> = reads
+        // Materialise every coherence permutation per location up front.
+        let co_choices: Vec<Vec<Vec<usize>>> = parts
+            .loc_writes
             .iter()
-            .map(|&r| {
-                let loc = self.events[r].loc;
-                let mut ws: Vec<usize> = writes_by_loc.get(&loc).cloned().unwrap_or_default();
-                if let Some(&init) = init_by_loc.get(&loc) {
-                    ws.push(init);
+            .map(|ws| {
+                let mut perms = Vec::new();
+                let mut heap = HeapPerm::new(ws.clone());
+                loop {
+                    perms.push(heap.current().to_vec());
+                    if !heap.advance() {
+                        break;
+                    }
                 }
-                ws
+                perms
             })
             .collect();
 
-        // co choices per location: all permutations of non-init writes.
-        let locs: Vec<Loc> = writes_by_loc.keys().copied().collect();
-        let co_choices: Vec<Vec<Vec<usize>>> =
-            locs.iter().map(|l| permutations(&writes_by_loc[l])).collect();
-
         let mut out = Vec::new();
-        let mut rf_pick = vec![0usize; reads.len()];
-        let mut co_pick = vec![0usize; locs.len()];
+        if parts.rf_choices.iter().any(Vec::is_empty) {
+            return out;
+        }
+        let mut rf_pick = vec![0usize; parts.reads.len()];
+        let mut co_pick = vec![0usize; parts.locs.len()];
         loop {
-            // Materialise this choice.
-            let mut events: Vec<Event> = self
-                .events
-                .iter()
-                .enumerate()
-                .map(|(id, e)| Event {
-                    id,
-                    thread: e.thread,
-                    po_index: e.po_index,
-                    dir: e.dir,
-                    loc: e.loc,
-                    val: e.val,
-                })
-                .collect();
+            let mut events = parts.base_events.clone();
             let mut rf = Relation::empty(n);
-            for (k, &r) in reads.iter().enumerate() {
-                let w = rf_choices[k][rf_pick[k]];
+            for (k, &r) in parts.reads.iter().enumerate() {
+                let w = parts.rf_choices[k][rf_pick[k]];
                 rf.add(w, r);
                 events[r].val = events[w].val;
             }
             let mut co = Relation::empty(n);
-            for (li, l) in locs.iter().enumerate() {
+            for (li, &init) in parts.loc_init.iter().enumerate() {
                 let order = &co_choices[li][co_pick[li]];
-                if let Some(&init) = init_by_loc.get(l) {
-                    for &w in order {
-                        co.add(init, w);
-                    }
-                }
-                for pair in order.windows(2) {
-                    co.add(pair[0], pair[1]);
-                }
+                build_co(&mut co, init, order);
             }
-            let co = co.tclosure();
             let x = Execution::new(
                 events,
                 self.po.clone(),
@@ -138,8 +156,7 @@ impl Skeleton {
             .expect("enumerated candidates are well-formed by construction");
             out.push(x);
 
-            // Odometer step over (rf_pick, co_pick).
-            if !bump(&mut rf_pick, &rf_choices.iter().map(Vec::len).collect::<Vec<_>>())
+            if !bump(&mut rf_pick, &parts.rf_choices.iter().map(Vec::len).collect::<Vec<_>>())
                 && !bump(&mut co_pick, &co_choices.iter().map(Vec::len).collect::<Vec<_>>())
             {
                 break;
@@ -175,6 +192,353 @@ impl Skeleton {
     }
 }
 
+/// How the streaming iterator prunes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PruneMode {
+    /// Yield every candidate.
+    None,
+    /// Skip uniproc-violating subtrees as coherence orders are fixed.
+    Uniproc {
+        /// Tolerate load-load hazards (drop RR `po-loc` edges)?
+        drop_rr: bool,
+    },
+}
+
+/// Skeleton-derived tables shared by the eager and streaming paths.
+struct SkeletonParts {
+    base_events: Vec<Event>,
+    reads: Vec<usize>,
+    rf_choices: Vec<Vec<usize>>,
+    locs: Vec<Loc>,
+    /// Initial write of each `locs` entry, if any.
+    loc_init: Vec<Option<usize>>,
+    /// Non-initial writes of each `locs` entry, in event order.
+    loc_writes: Vec<Vec<usize>>,
+}
+
+impl SkeletonParts {
+    fn new(sk: &Skeleton) -> Self {
+        let base_events: Vec<Event> = sk
+            .events
+            .iter()
+            .enumerate()
+            .map(|(id, e)| Event {
+                id,
+                thread: e.thread,
+                po_index: e.po_index,
+                dir: e.dir,
+                loc: e.loc,
+                val: e.val,
+            })
+            .collect();
+
+        let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
+        let mut init_by_loc: BTreeMap<Loc, usize> = BTreeMap::new();
+        for e in &base_events {
+            if e.dir == Dir::W {
+                if e.thread.is_none() {
+                    init_by_loc.insert(e.loc, e.id);
+                } else {
+                    writes_by_loc.entry(e.loc).or_default().push(e.id);
+                }
+            }
+        }
+
+        let reads: Vec<usize> =
+            base_events.iter().filter(|e| e.dir == Dir::R).map(|e| e.id).collect();
+        let rf_choices: Vec<Vec<usize>> = reads
+            .iter()
+            .map(|&r| {
+                let loc = base_events[r].loc;
+                let mut ws: Vec<usize> = writes_by_loc.get(&loc).cloned().unwrap_or_default();
+                if let Some(&init) = init_by_loc.get(&loc) {
+                    ws.push(init);
+                }
+                ws
+            })
+            .collect();
+
+        let locs: Vec<Loc> = writes_by_loc.keys().copied().collect();
+        let loc_init: Vec<Option<usize>> =
+            locs.iter().map(|l| init_by_loc.get(l).copied()).collect();
+        let loc_writes: Vec<Vec<usize>> = locs.iter().map(|l| writes_by_loc[l].clone()).collect();
+
+        SkeletonParts { base_events, reads, rf_choices, locs, loc_init, loc_writes }
+    }
+}
+
+/// Adds the (transitively closed) coherence edges of one location's order:
+/// the initial write before every ordered write, and each ordered write
+/// before all its successors. Shared by every enumeration front end.
+pub fn build_co(co: &mut Relation, init: Option<usize>, order: &[usize]) {
+    if let Some(init) = init {
+        for &w in order {
+            co.add(init, w);
+        }
+    }
+    for i in 0..order.len() {
+        for j in i + 1..order.len() {
+            co.add(order[i], order[j]);
+        }
+    }
+}
+
+/// Per-location coherence enumeration state of one rf configuration.
+enum CoState {
+    /// In-place Heap's-algorithm generators, one per location (no pruning).
+    Lazy(Vec<HeapPerm>),
+    /// Uniproc-valid orders per location, filtered once per rf config,
+    /// with the odometer radices precomputed.
+    Menu { menus: Vec<Vec<Vec<usize>>>, pick: Vec<usize>, radices: Vec<usize> },
+}
+
+/// A lazy, pruning iterator over the candidate executions of a skeleton.
+///
+/// Created by [`Skeleton::stream`] / [`Skeleton::stream_pruned`]. All
+/// yielded executions share one [`ExecCore`] via `Arc`; [`pruned`]
+/// (and [`emitted`]) expose the generation-time pruning statistics, with
+/// `emitted + pruned == candidate_count()` once exhausted.
+///
+/// [`pruned`]: CandidateIter::pruned
+/// [`emitted`]: CandidateIter::emitted
+pub struct CandidateIter {
+    core: Arc<ExecCore>,
+    parts: SkeletonParts,
+    graphs: Option<LocGraphs>,
+
+    rf_pick: Vec<usize>,
+    /// Odometer radices for `rf_pick` (fixed for the whole iteration).
+    rf_radices: Vec<usize>,
+    /// Read-from source per global event id (entries only valid for reads).
+    rf_src: Vec<usize>,
+    cur_rf: Relation,
+    co: CoState,
+    fresh_rf: bool,
+    done: bool,
+
+    emitted: usize,
+    pruned: usize,
+}
+
+impl CandidateIter {
+    fn new(sk: &Skeleton, mode: PruneMode) -> Self {
+        let n = sk.events.len();
+        assert_eq!(sk.po.universe(), n, "po universe mismatch");
+        let parts = SkeletonParts::new(sk);
+        let core = Arc::new(
+            ExecCore::new(&parts.base_events, sk.po.clone(), sk.deps.clone(), sk.fences.clone())
+                .expect("skeleton relations are well-formed"),
+        );
+        let graphs = match mode {
+            PruneMode::None => None,
+            PruneMode::Uniproc { drop_rr } => {
+                let shape: Vec<EventShape> = parts
+                    .base_events
+                    .iter()
+                    .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+                    .collect();
+                Some(LocGraphs::new(&shape, &sk.po, drop_rr))
+            }
+        };
+        let done = parts.rf_choices.iter().any(Vec::is_empty);
+        let co = CoState::Lazy(Vec::new());
+        let rf_pick = vec![0usize; parts.reads.len()];
+        let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
+        let rf_src = vec![0usize; n];
+        let cur_rf = Relation::empty(n);
+        CandidateIter {
+            core,
+            parts,
+            graphs,
+            rf_pick,
+            rf_radices,
+            rf_src,
+            cur_rf,
+            co,
+            fresh_rf: true,
+            done,
+            emitted: 0,
+            pruned: 0,
+        }
+    }
+
+    /// Candidates yielded so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Candidates pruned (skipped before materialisation) so far. Always 0
+    /// for [`Skeleton::stream`].
+    pub fn pruned(&self) -> usize {
+        self.pruned
+    }
+
+    /// Total coherence combinations of one rf configuration.
+    fn co_total(&self) -> usize {
+        self.parts.loc_writes.iter().map(|ws| factorial(ws.len())).product::<usize>().max(1)
+    }
+
+    /// Prepares rf relation, sources, and the coherence state for the
+    /// current rf configuration. Returns `false` when the whole rf subtree
+    /// is pruned (some location has no uniproc-consistent order).
+    fn setup_rf_config(&mut self) -> bool {
+        let n = self.parts.base_events.len();
+        self.cur_rf = Relation::empty(n);
+        for (k, &r) in self.parts.reads.iter().enumerate() {
+            let w = self.parts.rf_choices[k][self.rf_pick[k]];
+            self.cur_rf.add(w, r);
+            self.rf_src[r] = w;
+        }
+        match &self.graphs {
+            None => {
+                self.co = CoState::Lazy(
+                    self.parts.loc_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
+                );
+                true
+            }
+            Some(graphs) => {
+                let menus = graphs.co_menus(&self.parts.locs, &self.parts.loc_writes, &self.rf_src);
+                let rf_ok = graphs.rf_only_consistent(&self.parts.locs, &self.rf_src);
+                let kept: usize = menus.iter().map(Vec::len).product();
+                if !rf_ok || kept == 0 {
+                    self.pruned += self.co_total();
+                    return false;
+                }
+                self.pruned += self.co_total() - kept;
+                let radices: Vec<usize> = menus.iter().map(Vec::len).collect();
+                self.co = CoState::Menu { pick: vec![0; menus.len()], menus, radices };
+                true
+            }
+        }
+    }
+
+    /// Materialises the current candidate.
+    fn emit(&self) -> Execution {
+        let n = self.parts.base_events.len();
+        let mut events = self.parts.base_events.clone();
+        for (k, &r) in self.parts.reads.iter().enumerate() {
+            let w = self.parts.rf_choices[k][self.rf_pick[k]];
+            events[r].val = events[w].val;
+        }
+        let mut co = Relation::empty(n);
+        match &self.co {
+            CoState::Lazy(heaps) => {
+                for (li, &init) in self.parts.loc_init.iter().enumerate() {
+                    build_co(&mut co, init, heaps[li].current());
+                }
+            }
+            CoState::Menu { menus, pick, .. } => {
+                for (li, &init) in self.parts.loc_init.iter().enumerate() {
+                    build_co(&mut co, init, &menus[li][pick[li]]);
+                }
+            }
+        }
+        Execution::with_core(events, Arc::clone(&self.core), self.cur_rf.clone(), co)
+            .expect("enumerated candidates are well-formed by construction")
+    }
+
+    /// Advances the coherence odometer; `false` on wrap-around.
+    fn advance_co(&mut self) -> bool {
+        match &mut self.co {
+            CoState::Lazy(heaps) => {
+                for h in heaps.iter_mut() {
+                    if h.advance() {
+                        return true;
+                    }
+                }
+                false
+            }
+            CoState::Menu { pick, radices, .. } => bump(pick, radices),
+        }
+    }
+
+    /// Advances the rf odometer; `false` on wrap-around.
+    fn advance_rf(&mut self) -> bool {
+        bump(&mut self.rf_pick, &self.rf_radices)
+    }
+}
+
+impl Iterator for CandidateIter {
+    type Item = Execution;
+
+    fn next(&mut self) -> Option<Execution> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.fresh_rf {
+                self.fresh_rf = false;
+                if !self.setup_rf_config() {
+                    if !self.advance_rf() {
+                        self.done = true;
+                    }
+                    self.fresh_rf = true;
+                    continue;
+                }
+            }
+            let x = self.emit();
+            self.emitted += 1;
+            if !self.advance_co() {
+                if self.advance_rf() {
+                    self.fresh_rf = true;
+                } else {
+                    self.done = true;
+                }
+            }
+            return Some(x);
+        }
+    }
+}
+
+/// In-place permutation generator (Heap's algorithm, iterative form).
+///
+/// Visits all `n!` orders of the initial slice without allocating per
+/// permutation; [`advance`](HeapPerm::advance) restores the initial order
+/// and returns `false` after the last one, so the generator cycles and can
+/// serve as one digit of a mixed-radix odometer.
+pub struct HeapPerm {
+    arr: Vec<usize>,
+    initial: Vec<usize>,
+    c: Vec<usize>,
+    i: usize,
+}
+
+impl HeapPerm {
+    /// A generator starting at `items`' given order.
+    pub fn new(items: Vec<usize>) -> Self {
+        let c = vec![0; items.len()];
+        HeapPerm { initial: items.clone(), arr: items, c, i: 0 }
+    }
+
+    /// The current permutation.
+    pub fn current(&self) -> &[usize] {
+        &self.arr
+    }
+
+    /// Steps to the next permutation in place; returns `false` (and resets
+    /// to the initial order) once all `n!` have been visited.
+    pub fn advance(&mut self) -> bool {
+        while self.i < self.arr.len() {
+            if self.c[self.i] < self.i {
+                if self.i % 2 == 0 {
+                    self.arr.swap(0, self.i);
+                } else {
+                    self.arr.swap(self.c[self.i], self.i);
+                }
+                self.c[self.i] += 1;
+                self.i = 0;
+                return true;
+            }
+            self.c[self.i] = 0;
+            self.i += 1;
+        }
+        self.arr.copy_from_slice(&self.initial);
+        self.c.iter_mut().for_each(|x| *x = 0);
+        self.i = 0;
+        false
+    }
+}
+
 fn factorial(k: usize) -> usize {
     (1..=k).product::<usize>().max(1)
 }
@@ -189,22 +553,6 @@ fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
         *d = 0;
     }
     false
-}
-
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
-    if items.is_empty() {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for (i, &x) in items.iter().enumerate() {
-        let mut rest = items.to_vec();
-        rest.remove(i);
-        for mut p in permutations(&rest) {
-            p.insert(0, x);
-            out.push(p);
-        }
-    }
-    out
 }
 
 /// Convenience builder for skeletons mirroring [`crate::fixtures::ExecBuilder`]
@@ -308,13 +656,19 @@ impl SkeletonBuilder {
     /// consecutive accesses also separates the enclosing pairs.
     pub fn build(&self) -> Skeleton {
         let n = self.events.len();
+        // po from per-thread event lists: events were pushed in program
+        // order, so each thread's list is already sorted by po_index.
+        let mut by_thread: BTreeMap<ThreadId, Vec<usize>> = BTreeMap::new();
+        for (id, e) in self.events.iter().enumerate() {
+            if let Some(t) = e.thread {
+                by_thread.entry(t).or_default().push(id);
+            }
+        }
         let mut po = Relation::empty(n);
-        for (a, ea) in self.events.iter().enumerate() {
-            for (b, eb) in self.events.iter().enumerate() {
-                if let (Some(ta), Some(tb)) = (ea.thread, eb.thread) {
-                    if ta == tb && ea.po_index < eb.po_index {
-                        po.add(a, b);
-                    }
+        for ids in by_thread.values() {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    po.add(a, b);
                 }
             }
         }
@@ -347,7 +701,7 @@ impl SkeletonBuilder {
 mod tests {
     use super::*;
     use crate::arch::{Power, Sc};
-    use crate::model::check;
+    use crate::model::{check, sc_per_location};
 
     fn mp_skeleton(with_fence: bool, with_addr: bool) -> Skeleton {
         let mut b = SkeletonBuilder::new();
@@ -370,6 +724,7 @@ mod tests {
         let sk = mp_skeleton(false, false);
         assert_eq!(sk.candidate_count(), 4);
         assert_eq!(sk.candidates().len(), 4);
+        assert_eq!(sk.candidates_eager().len(), 4);
     }
 
     #[test]
@@ -398,6 +753,67 @@ mod tests {
         let sk = b.build();
         // 2 writes, no reads: 2 candidate coherence orders.
         assert_eq!(sk.candidates().len(), 2);
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        let sk = mp_skeleton(true, true);
+        let key = |x: &Execution| {
+            format!(
+                "{:?}|{:?}|{:?}",
+                x.events().iter().map(|e| e.val).collect::<Vec<_>>(),
+                x.rf(),
+                x.co()
+            )
+        };
+        let mut eager: Vec<String> = sk.candidates_eager().iter().map(key).collect();
+        let mut lazy: Vec<String> = sk.stream().map(|x| key(&x)).collect();
+        eager.sort();
+        lazy.sort();
+        assert_eq!(eager, lazy);
+    }
+
+    #[test]
+    fn streamed_candidates_share_one_core() {
+        let sk = mp_skeleton(false, false);
+        let xs: Vec<Execution> = sk.stream().collect();
+        assert!(xs.windows(2).all(|w| Arc::ptr_eq(w[0].core(), w[1].core())));
+    }
+
+    #[test]
+    fn pruning_keeps_exactly_the_uniproc_candidates() {
+        // coWW-style skeleton: same-thread same-location writes make half
+        // the coherence orders uniproc-inconsistent.
+        let mut b = SkeletonBuilder::new();
+        b.write(0, "x", 1);
+        b.write(0, "x", 2);
+        b.write(1, "x", 3);
+        let r = b.read(1, "x");
+        let _ = r;
+        let sk = b.build();
+        let total = sk.candidate_count();
+        let all: Vec<Execution> = sk.stream().collect();
+        let ok_eager = all.iter().filter(|x| sc_per_location(x)).count();
+
+        let mut it = sk.stream_pruned();
+        let kept: Vec<Execution> = it.by_ref().collect();
+        assert!(kept.iter().all(|x| sc_per_location(x)));
+        assert_eq!(kept.len(), ok_eager, "pruning keeps exactly the uniproc-consistent ones");
+        assert_eq!(it.emitted() + it.pruned(), total, "pruned + emitted == candidate_count");
+        assert!(it.pruned() > 0, "this skeleton must actually prune");
+    }
+
+    #[test]
+    fn heap_perm_visits_all_orders_and_cycles() {
+        let mut h = HeapPerm::new(vec![1, 2, 3]);
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(h.current().to_vec());
+        while h.advance() {
+            assert!(seen.insert(h.current().to_vec()), "no repeats");
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(h.current(), &[1, 2, 3], "wrap restores the initial order");
+        assert!(h.advance(), "generator cycles");
     }
 
     #[test]

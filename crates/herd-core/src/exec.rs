@@ -6,12 +6,21 @@
 //! fence flavour. From these, [`Execution::new`] derives everything the
 //! axioms consume: `po-loc`, `fr`, `com`, internal/external splits,
 //! `rdw` (Fig 27) and `detour` (Fig 28).
+//!
+//! The skeleton-invariant part of that data — `po`, the dependency and
+//! fence relations, and every derived relation that depends only on the
+//! events' threads, directions and locations — lives in an [`ExecCore`]
+//! shared between all candidates of one enumeration via [`Arc`]. Only the
+//! data-flow-dependent relations (`rf`, `co` and what follows from them)
+//! are computed per candidate, which is what makes streaming enumeration
+//! cheap (paper, Sec 8.3).
 
 use crate::event::{Dir, Event, Fence, Loc, Val};
 use crate::relation::Relation;
 use crate::set::EventSet;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The dependency relations of Fig 22, as computed by a front end from the
 /// register data-flow graph `dd-reg = (rf-reg ∪ iico)+`.
@@ -102,27 +111,143 @@ impl fmt::Display for ExecutionError {
 
 impl std::error::Error for ExecutionError {}
 
-/// A candidate execution with every derived relation precomputed.
+/// The skeleton-invariant part of a candidate execution: `po`, the
+/// dependency and fence relations, and every derived relation that does not
+/// depend on the data-flow choice (`rf`/`co`).
 ///
-/// Construct with [`Execution::new`], which validates well-formedness
-/// (unique same-location same-value `rf` sources, per-location total `co`
-/// with initial writes first, intra-thread `po`).
+/// Enumeration builds one `ExecCore`, validates it once, and shares it via
+/// [`Arc`] across every candidate of the skeleton through
+/// [`Execution::with_core`] — no per-candidate deep clone of `po`, `deps`
+/// or the fence map.
 #[derive(Clone, Debug)]
-pub struct Execution {
-    events: Vec<Event>,
+pub struct ExecCore {
     po: Relation,
-    rf: Relation,
-    co: Relation,
     deps: Deps,
     fences: BTreeMap<Fence, Relation>,
-
-    // Derived.
     w_set: EventSet,
     r_set: EventSet,
     po_loc: Relation,
     same_loc: Relation,
     internal: Relation,
     external: Relation,
+}
+
+impl ExecCore {
+    /// Builds and validates the invariant core for `events`.
+    ///
+    /// Only the events' identities (thread, direction, location) are read;
+    /// the values may still be unconcretised, so one core serves every
+    /// data-flow completion of the same skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Rejects universe mismatches and malformed `po` (cross-thread or
+    /// cyclic edges).
+    pub fn new(
+        events: &[Event],
+        po: Relation,
+        deps: Deps,
+        fences: BTreeMap<Fence, Relation>,
+    ) -> Result<Self, ExecutionError> {
+        let n = events.len();
+        for rel in [&po, &deps.addr, &deps.data, &deps.ctrl, &deps.ctrl_cfence]
+            .into_iter()
+            .chain(fences.values())
+        {
+            if rel.universe() != n {
+                return Err(ExecutionError::UniverseMismatch {
+                    expected: n,
+                    found: rel.universe(),
+                });
+            }
+        }
+        validate_po(events, &po)?;
+
+        let w_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_write()).map(|e| e.id));
+        let r_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_read()).map(|e| e.id));
+
+        let mut same_loc = Relation::empty(n);
+        let mut internal = Relation::empty(n);
+        for a in events {
+            for b in events {
+                if a.id == b.id {
+                    continue;
+                }
+                if a.loc == b.loc {
+                    same_loc.add(a.id, b.id);
+                }
+                if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
+                    if ta == tb {
+                        internal.add(a.id, b.id);
+                    }
+                }
+            }
+        }
+        let mut external = Relation::full(n);
+        external.minus_with(&internal);
+        external.minus_with(&Relation::id(n));
+
+        let po_loc = po.intersect(&same_loc);
+
+        Ok(ExecCore { po, deps, fences, w_set, r_set, po_loc, same_loc, internal, external })
+    }
+
+    /// Size of the event universe.
+    pub fn universe(&self) -> usize {
+        self.po.universe()
+    }
+
+    /// Program order.
+    pub fn po(&self) -> &Relation {
+        &self.po
+    }
+
+    /// The dependency relations.
+    pub fn deps(&self) -> &Deps {
+        &self.deps
+    }
+
+    /// The fence relation map.
+    pub fn fences(&self) -> &BTreeMap<Fence, Relation> {
+        &self.fences
+    }
+
+    /// `po-loc`: program order restricted to same-location pairs.
+    pub fn po_loc(&self) -> &Relation {
+        &self.po_loc
+    }
+
+    /// Same-location pairs (irreflexive).
+    pub fn same_loc(&self) -> &Relation {
+        &self.same_loc
+    }
+
+    /// Same-thread pairs (irreflexive; excludes initial writes).
+    pub fn internal(&self) -> &Relation {
+        &self.internal
+    }
+
+    /// Cross-thread pairs (initial writes are external to every thread).
+    pub fn external(&self) -> &Relation {
+        &self.external
+    }
+}
+
+/// A candidate execution with every derived relation precomputed.
+///
+/// Construct with [`Execution::new`], which validates well-formedness
+/// (unique same-location same-value `rf` sources, per-location total `co`
+/// with initial writes first, intra-thread `po`), or with
+/// [`Execution::with_core`] to share one validated [`ExecCore`] across the
+/// candidates of an enumeration.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    events: Vec<Event>,
+    core: Arc<ExecCore>,
+    rf: Relation,
+    co: Relation,
+
+    // Derived from the data-flow choice.
     rfe: Relation,
     rfi: Relation,
     coe: Relation,
@@ -150,11 +275,28 @@ impl Execution {
         deps: Deps,
         fences: BTreeMap<Fence, Relation>,
     ) -> Result<Self, ExecutionError> {
+        let core = Arc::new(ExecCore::new(&events, po, deps, fences)?);
+        Execution::with_core(events, core, rf, co)
+    }
+
+    /// Builds a candidate execution on a shared, already-validated core.
+    ///
+    /// Validates the per-candidate parts (`rf`, `co`) and computes the
+    /// relations derived from them; the invariant relations come from
+    /// `core` without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] on universe mismatch or malformed
+    /// `rf`/`co`.
+    pub fn with_core(
+        events: Vec<Event>,
+        core: Arc<ExecCore>,
+        rf: Relation,
+        co: Relation,
+    ) -> Result<Self, ExecutionError> {
         let n = events.len();
-        for rel in [&po, &rf, &co, &deps.addr, &deps.data, &deps.ctrl, &deps.ctrl_cfence]
-            .into_iter()
-            .chain(fences.values())
-        {
+        for rel in [&rf, &co] {
             if rel.universe() != n {
                 return Err(ExecutionError::UniverseMismatch {
                     expected: n,
@@ -162,73 +304,27 @@ impl Execution {
                 });
             }
         }
-        validate_po(&events, &po)?;
+        if core.universe() != n {
+            return Err(ExecutionError::UniverseMismatch { expected: n, found: core.universe() });
+        }
         validate_rf(&events, &rf)?;
         validate_co(&events, &co)?;
 
-        let w_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_write()).map(|e| e.id));
-        let r_set = EventSet::from_indices(n, events.iter().filter(|e| e.is_read()).map(|e| e.id));
-
-        let mut same_loc = Relation::empty(n);
-        let mut internal = Relation::empty(n);
-        for a in &events {
-            for b in &events {
-                if a.id == b.id {
-                    continue;
-                }
-                if a.loc == b.loc {
-                    same_loc.add(a.id, b.id);
-                }
-                if let (Some(ta), Some(tb)) = (a.thread, b.thread) {
-                    if ta == tb {
-                        internal.add(a.id, b.id);
-                    }
-                }
-            }
-        }
-        let mut external = Relation::full(n);
-        external.minus_with(&internal);
-        external.minus_with(&Relation::id(n));
-
-        let po_loc = po.intersect(&same_loc);
-        let rfe = rf.intersect(&external);
-        let rfi = rf.intersect(&internal);
-        let coe = co.intersect(&external);
-        let coi = co.intersect(&internal);
+        let rfe = rf.intersect(core.external());
+        let rfi = rf.intersect(core.internal());
+        let coe = co.intersect(core.external());
+        let coi = co.intersect(core.internal());
         // fr: r reads from w0, and w0 is co-before w1 (paper, Sec 4.1).
         let fr = rf.transpose().seq(&co);
-        let fre = fr.intersect(&external);
-        let fri = fr.intersect(&internal);
+        let fre = fr.intersect(core.external());
+        let fri = fr.intersect(core.internal());
         let com = co.union(&rf).union(&fr);
         // rdw = po-loc ∩ (fre; rfe) (Fig 27).
-        let rdw = po_loc.intersect(&fre.seq(&rfe));
+        let rdw = core.po_loc().intersect(&fre.seq(&rfe));
         // detour = po-loc ∩ (coe; rfe) (Fig 28).
-        let detour = po_loc.intersect(&coe.seq(&rfe));
+        let detour = core.po_loc().intersect(&coe.seq(&rfe));
 
-        Ok(Execution {
-            events,
-            po,
-            rf,
-            co,
-            deps,
-            fences,
-            w_set,
-            r_set,
-            po_loc,
-            same_loc,
-            internal,
-            external,
-            rfe,
-            rfi,
-            coe,
-            coi,
-            fr,
-            fre,
-            fri,
-            com,
-            rdw,
-            detour,
-        })
+        Ok(Execution { events, core, rf, co, rfe, rfi, coe, coi, fr, fre, fri, com, rdw, detour })
     }
 
     /// Number of events (including initial writes).
@@ -251,9 +347,14 @@ impl Execution {
         &self.events[id]
     }
 
+    /// The shared skeleton-invariant core.
+    pub fn core(&self) -> &Arc<ExecCore> {
+        &self.core
+    }
+
     /// Program order.
     pub fn po(&self) -> &Relation {
-        &self.po
+        self.core.po()
     }
 
     /// Read-from.
@@ -268,43 +369,43 @@ impl Execution {
 
     /// The dependency relations.
     pub fn deps(&self) -> &Deps {
-        &self.deps
+        self.core.deps()
     }
 
     /// The raw relation of one fence flavour: pairs of memory accesses with
     /// such a fence in between in program order.
     pub fn fence(&self, f: Fence) -> Relation {
-        self.fences.get(&f).cloned().unwrap_or_else(|| Relation::empty(self.len()))
+        self.core.fences().get(&f).cloned().unwrap_or_else(|| Relation::empty(self.len()))
     }
 
     /// All write events (including initial writes).
     pub fn writes(&self) -> &EventSet {
-        &self.w_set
+        &self.core.w_set
     }
 
     /// All read events.
     pub fn reads(&self) -> &EventSet {
-        &self.r_set
+        &self.core.r_set
     }
 
     /// `po-loc`: program order restricted to same-location pairs.
     pub fn po_loc(&self) -> &Relation {
-        &self.po_loc
+        self.core.po_loc()
     }
 
     /// Same-location pairs (irreflexive).
     pub fn same_loc(&self) -> &Relation {
-        &self.same_loc
+        self.core.same_loc()
     }
 
     /// Same-thread pairs (irreflexive; excludes initial writes).
     pub fn internal(&self) -> &Relation {
-        &self.internal
+        self.core.internal()
     }
 
     /// Cross-thread pairs (initial writes are external to every thread).
     pub fn external(&self) -> &Relation {
-        &self.external
+        self.core.external()
     }
 
     /// External read-from.
@@ -360,8 +461,8 @@ impl Execution {
     /// The set of events with direction `d`.
     pub fn dir_set(&self, d: Dir) -> &EventSet {
         match d {
-            Dir::W => &self.w_set,
-            Dir::R => &self.r_set,
+            Dir::W => &self.core.w_set,
+            Dir::R => &self.core.r_set,
         }
     }
 
@@ -393,8 +494,8 @@ impl Execution {
     /// variants, `com`, `loc`, `int`, `ext`, `id`, and the fence names).
     pub fn builtin(&self, name: &str) -> Option<Relation> {
         let r = match name {
-            "po" => &self.po,
-            "po-loc" => &self.po_loc,
+            "po" => self.po(),
+            "po-loc" => self.po_loc(),
             "rf" => &self.rf,
             "rfe" => &self.rfe,
             "rfi" => &self.rfi,
@@ -405,15 +506,15 @@ impl Execution {
             "fre" => &self.fre,
             "fri" => &self.fri,
             "com" => &self.com,
-            "addr" => &self.deps.addr,
-            "data" => &self.deps.data,
-            "ctrl" => &self.deps.ctrl,
-            "ctrl+cfence" | "ctrl+isync" | "ctrl+isb" => &self.deps.ctrl_cfence,
+            "addr" => &self.deps().addr,
+            "data" => &self.deps().data,
+            "ctrl" => &self.deps().ctrl,
+            "ctrl+cfence" | "ctrl+isync" | "ctrl+isb" => &self.deps().ctrl_cfence,
             "rdw" => &self.rdw,
             "detour" => &self.detour,
-            "loc" => &self.same_loc,
-            "int" => &self.internal,
-            "ext" => &self.external,
+            "loc" => self.same_loc(),
+            "int" => self.internal(),
+            "ext" => self.external(),
             "id" => return Some(Relation::id(self.len())),
             "0" => return Some(Relation::empty(self.len())),
             other => {
@@ -558,6 +659,32 @@ mod tests {
         assert!(x.builtin("sync").unwrap().is_empty());
         assert!(x.builtin("no-such").is_none());
         assert_eq!(x.builtin("id").unwrap(), Relation::id(6));
+    }
+
+    #[test]
+    fn with_core_shares_the_invariant_part() {
+        let x = mp_fig4();
+        let n = x.len();
+        // The other rf completion of the same skeleton: c:Ry=0, d:Rx=1.
+        let mut events = x.events().to_vec();
+        events[4].val = Val(0);
+        events[5].val = Val(1);
+        let rf = Relation::from_pairs(n, [(1, 4), (2, 5)]);
+        let y =
+            Execution::with_core(events, Arc::clone(x.core()), rf, x.co().clone()).expect("valid");
+        assert!(Arc::ptr_eq(x.core(), y.core()), "one core, two candidates");
+        assert_eq!(y.po(), x.po());
+        assert!(y.fr().contains(4, 3), "c reads init y, co-before b");
+    }
+
+    #[test]
+    fn with_core_rejects_universe_mismatch() {
+        let x = mp_fig4();
+        let rf = Relation::empty(3);
+        let err =
+            Execution::with_core(x.events().to_vec(), Arc::clone(x.core()), rf, x.co().clone())
+                .unwrap_err();
+        assert!(matches!(err, ExecutionError::UniverseMismatch { .. }));
     }
 
     #[test]

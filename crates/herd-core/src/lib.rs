@@ -55,6 +55,7 @@ pub mod model;
 pub mod ppo;
 pub mod relation;
 pub mod set;
+pub mod uniproc;
 
 pub use event::{Dir, Event, Fence, Loc, ThreadId, Val};
 pub use exec::{Deps, Execution, ExecutionError};

@@ -14,6 +14,7 @@
 //! -hazards weakens `po-loc` in axiom 1 (Tab VII), and exact C++ R-A
 //! weakens axiom 4 to `irreflexive(prop; co)` (Sec 4.8).
 
+use crate::event::Dir;
 use crate::exec::Execution;
 use crate::relation::Relation;
 use std::fmt;
@@ -47,10 +48,26 @@ pub trait Architecture {
     /// The propagation order (Fig 18 for Power/ARM, Fig 21 for SC/TSO).
     fn prop(&self, x: &Execution) -> Relation;
 
-    /// The `po-loc` used by SC PER LOCATION. ARM llh machines drop
-    /// read-read pairs (`po-loc-llh = po-loc \ RR`, Tab VII).
+    /// Does this architecture tolerate load-load hazards, i.e. does its SC
+    /// PER LOCATION axiom drop read-read `po-loc` pairs (Tab VII for
+    /// ARM-llh, Sec 4.9 for Sparc RMO)? Drives the default
+    /// [`Architecture::sc_per_location_po_loc`] and tells enumeration-time
+    /// uniproc pruning which per-location graph is sound for this
+    /// architecture.
+    fn tolerates_load_load_hazards(&self) -> bool {
+        false
+    }
+
+    /// The `po-loc` used by SC PER LOCATION. Architectures tolerating
+    /// load-load hazards drop read-read pairs
+    /// (`po-loc-llh = po-loc \ RR`, Tab VII).
     fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
-        x.po_loc().clone()
+        if self.tolerates_load_load_hazards() {
+            let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
+            x.po_loc().minus(&rr)
+        } else {
+            x.po_loc().clone()
+        }
     }
 
     /// Which form of the PROPAGATION axiom applies.
@@ -70,6 +87,13 @@ pub struct ArchRelations {
     pub prop: Relation,
     /// Happens-before `ppo ∪ fences ∪ rfe`.
     pub hb: Relation,
+    /// Transitive closure `hb+` (computed once; NO THIN AIR is its
+    /// irreflexivity).
+    pub hb_plus: Relation,
+    /// Reflexive-transitive closure `hb*` (computed once and shared by
+    /// every axiom consumer — the OBSERVATION axiom and the Power/ARM
+    /// `prop` both sequence through it).
+    pub hb_star: Relation,
 }
 
 impl ArchRelations {
@@ -79,7 +103,9 @@ impl ArchRelations {
         let fences = arch.fences(x);
         let prop = arch.prop(x);
         let hb = ppo.union(&fences).union(x.rfe());
-        ArchRelations { ppo, fences, prop, hb }
+        let hb_plus = hb.tclosure();
+        let hb_star = hb_plus.union(&Relation::id(hb.universe()));
+        ArchRelations { ppo, fences, prop, hb, hb_plus, hb_star }
     }
 }
 
@@ -153,10 +179,9 @@ pub fn check_with<A: Architecture + ?Sized>(
     let po_loc = arch.sc_per_location_po_loc(x);
     let sc_per_location = po_loc.union(x.com()).is_acyclic();
 
-    let no_thin_air = rels.hb.is_acyclic();
+    let no_thin_air = rels.hb_plus.is_irreflexive();
 
-    let hb_star = rels.hb.rtclosure();
-    let observation = x.fre().seq(&rels.prop).seq(&hb_star).is_irreflexive();
+    let observation = x.fre().seq(&rels.prop).seq(&rels.hb_star).is_irreflexive();
 
     let propagation = match arch.propagation_check() {
         PropagationCheck::Acyclic => x.co().union(&rels.prop).is_acyclic(),

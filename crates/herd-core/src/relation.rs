@@ -44,20 +44,22 @@ impl Relation {
     pub fn id(n: usize) -> Self {
         let mut r = Relation::empty(n);
         for i in 0..n {
-            r.add(i, i);
+            r.bits[i * r.wpr + i / 64] = 1u64 << (i % 64);
         }
         r
     }
 
     /// The full relation over `n` events.
     pub fn full(n: usize) -> Self {
-        let mut r = Relation::empty(n);
-        for i in 0..n {
-            for j in 0..n {
-                r.add(i, j);
+        let wpr = words_for(n);
+        let mut bits = vec![!0u64; n * wpr];
+        if n % 64 != 0 && wpr > 0 {
+            let tail = (1u64 << (n % 64)) - 1;
+            for row in 0..n {
+                bits[row * wpr + wpr - 1] = tail;
             }
         }
-        r
+        Relation { n, wpr, bits }
     }
 
     /// Builds a relation from explicit pairs.
@@ -392,6 +394,18 @@ mod tests {
         r.remove(0, 69);
         assert!(!r.contains(0, 69));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn full_and_id_fill_whole_words() {
+        let f = Relation::full(70);
+        assert_eq!(f.len(), 70 * 70);
+        assert!(f.contains(69, 69) && f.contains(0, 64));
+        assert_eq!(f, Relation::from_pairs(70, (0..70).flat_map(|a| (0..70).map(move |b| (a, b)))));
+        let id = Relation::id(70);
+        assert_eq!(id.len(), 70);
+        assert!((0..70).all(|i| id.contains(i, i)));
+        assert!(!id.contains(0, 1));
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Early SC PER LOCATION pruning for candidate enumeration.
+//!
+//! herd is fast because it prunes candidate executions eagerly instead of
+//! generating-then-filtering (paper, Sec 8.3): the first axiom of Fig 5,
+//! `acyclic(po-loc ∪ com)`, only ever relates same-location events, so the
+//! constraint graph decomposes into one independent subgraph per location.
+//! As soon as the read-from sources of a location's reads and the coherence
+//! order of its writes are fixed, that location's subgraph can be checked —
+//! and if it is cyclic, every completion of the remaining locations is
+//! doomed, so the whole rf×co subtree is skipped before a single
+//! [`crate::exec::Execution`] is materialised.
+//!
+//! [`LocGraphs`] precomputes, once per skeleton, the per-location membership
+//! and `po-loc` edges as ≤64-bit masks; [`LocGraph::is_uniproc`] then checks
+//! one location against a candidate `(rf, co)` choice with a handful of word
+//! operations and no allocation.
+
+use crate::enumerate::HeapPerm;
+use crate::event::{Dir, Loc};
+use crate::relation::Relation;
+
+/// The identity of one event, as the pruner sees it: direction, location,
+/// and whether it is an initial write (co-minimal by construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventShape {
+    /// Read or write.
+    pub dir: Dir,
+    /// Location accessed.
+    pub loc: Loc,
+    /// Initial write (location's pre-state)?
+    pub init: bool,
+}
+
+/// The per-location communication subgraphs of one skeleton.
+#[derive(Clone, Debug)]
+pub struct LocGraphs {
+    graphs: Vec<LocGraph>,
+}
+
+/// One location's subgraph: members, local indices and `po-loc` masks.
+#[derive(Clone, Debug)]
+pub struct LocGraph {
+    loc: Loc,
+    /// Global event ids of the members; position = local index.
+    members: Vec<usize>,
+    /// Local index by global event id (`NOT_LOCAL` for other locations) —
+    /// O(1) lookups in the per-permutation check.
+    local_of: Vec<u8>,
+    /// `po-loc` successor masks, indexed by local index (RR pairs already
+    /// dropped when the architecture tolerates load-load hazards).
+    po_mask: Vec<u64>,
+    /// Local-index mask of the location's initial writes.
+    init_mask: u64,
+    /// Local-index mask of the location's reads.
+    read_mask: u64,
+}
+
+/// Sentinel in [`LocGraph::local_of`] for events of other locations.
+const NOT_LOCAL: u8 = u8::MAX;
+
+impl LocGraphs {
+    /// Builds the per-location graphs for a skeleton.
+    ///
+    /// `drop_rr` removes read-read pairs from the `po-loc` edges, matching
+    /// architectures that tolerate load-load hazards (ARM-llh, Sparc RMO —
+    /// paper Tab VII / Sec 4.9); pruning with the weakened graph never
+    /// discards a candidate such an architecture would allow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if one location has more than 64 events (far beyond litmus
+    /// scale; the bitmask representation caps there).
+    pub fn new(shape: &[EventShape], po: &Relation, drop_rr: bool) -> Self {
+        assert_eq!(po.universe(), shape.len(), "po universe mismatch");
+        let mut locs: Vec<Loc> = shape.iter().map(|s| s.loc).collect();
+        locs.sort_unstable();
+        locs.dedup();
+
+        let mut graphs = Vec::new();
+        for loc in locs {
+            let members: Vec<usize> = (0..shape.len()).filter(|&id| shape[id].loc == loc).collect();
+            // A lone event can never close a cycle.
+            if members.len() < 2 {
+                continue;
+            }
+            assert!(members.len() <= 64, "more than 64 events at one location");
+            let mut local_of = vec![NOT_LOCAL; shape.len()];
+            for (i, &gid) in members.iter().enumerate() {
+                local_of[gid] = i as u8;
+            }
+            let local = |gid: usize| local_of[gid] as usize;
+            let mut po_mask = vec![0u64; members.len()];
+            let mut init_mask = 0u64;
+            let mut read_mask = 0u64;
+            for (i, &a) in members.iter().enumerate() {
+                if shape[a].init {
+                    init_mask |= 1 << i;
+                }
+                if shape[a].dir == Dir::R {
+                    read_mask |= 1 << i;
+                }
+                for &b in &members {
+                    if po.contains(a, b)
+                        && !(drop_rr && shape[a].dir == Dir::R && shape[b].dir == Dir::R)
+                    {
+                        po_mask[i] |= 1 << local(b);
+                    }
+                }
+            }
+            graphs.push(LocGraph { loc, members, local_of, po_mask, init_mask, read_mask });
+        }
+        LocGraphs { graphs }
+    }
+
+    /// The non-trivial location graphs (locations with ≥ 2 events).
+    pub fn graphs(&self) -> &[LocGraph] {
+        &self.graphs
+    }
+
+    /// The graph of one location, if non-trivial.
+    pub fn graph_for(&self, loc: Loc) -> Option<&LocGraph> {
+        self.graphs.iter().find(|g| g.loc == loc)
+    }
+
+    /// Filters every location's coherence permutations down to the
+    /// uniproc-valid ones under the current rf sources — the per-rf-config
+    /// step shared by both enumeration front ends. `locs[i]` names the
+    /// location whose non-initial writes are `writes[i]`; an empty menu
+    /// means the whole rf subtree is doomed.
+    pub fn co_menus(
+        &self,
+        locs: &[Loc],
+        writes: &[Vec<usize>],
+        rf_src: &[usize],
+    ) -> Vec<Vec<Vec<usize>>> {
+        locs.iter()
+            .zip(writes)
+            .map(|(l, ws)| {
+                let graph = self.graph_for(*l);
+                let mut valid = Vec::new();
+                let mut heap = HeapPerm::new(ws.clone());
+                loop {
+                    if graph.is_none_or(|g| g.is_uniproc(heap.current(), rf_src)) {
+                        valid.push(heap.current().to_vec());
+                    }
+                    if !heap.advance() {
+                        break;
+                    }
+                }
+                valid
+            })
+            .collect()
+    }
+
+    /// Checks the locations carrying no coherence digit (only reads beyond
+    /// the initial write, so excluded from `co_locs`): their `rf`/`po-loc`
+    /// edges are fixed by the rf choice alone and need checking once per
+    /// rf configuration.
+    pub fn rf_only_consistent(&self, co_locs: &[Loc], rf_src: &[usize]) -> bool {
+        self.graphs.iter().filter(|g| !co_locs.contains(&g.loc)).all(|g| g.is_uniproc(&[], rf_src))
+    }
+}
+
+impl LocGraph {
+    /// The location this graph covers.
+    pub fn loc(&self) -> Loc {
+        self.loc
+    }
+
+    /// Checks SC PER LOCATION for this location under one data-flow choice.
+    ///
+    /// * `co_order` — the location's non-initial writes as global event
+    ///   ids, in coherence order (initial writes are co-minimal).
+    /// * `rf_src` — global read-from source, indexed by global event id;
+    ///   only this location's read entries are consulted.
+    ///
+    /// Returns `true` when `po-loc ∪ rf ∪ co ∪ fr` restricted to this
+    /// location is acyclic.
+    pub fn is_uniproc(&self, co_order: &[usize], rf_src: &[usize]) -> bool {
+        let m = self.members.len();
+        let mut adj = [0u64; 64];
+        adj[..m].copy_from_slice(&self.po_mask);
+
+        // Masks of "co-strictly-after" per order position (also recorded
+        // per local index, for the fr lookup below), plus the mask of
+        // every ordered write (what the initial writes precede).
+        let mut order_bits = 0u64;
+        let mut after = [0u64; 64];
+        let mut after_of_local = [0u64; 64];
+        for (k, &w) in co_order.iter().enumerate().rev() {
+            let li = self.local(w);
+            after[k] = order_bits;
+            after_of_local[li] = order_bits;
+            order_bits |= 1 << li;
+        }
+        // co edges: each write precedes the later ones; inits precede all.
+        for (k, &w) in co_order.iter().enumerate() {
+            adj[self.local(w)] |= after[k];
+        }
+        let mut im = self.init_mask;
+        while im != 0 {
+            let i = im.trailing_zeros() as usize;
+            adj[i] |= order_bits;
+            im &= im - 1;
+        }
+        // rf and fr edges per read.
+        let mut rm = self.read_mask;
+        while rm != 0 {
+            let r = rm.trailing_zeros() as usize;
+            rm &= rm - 1;
+            let w = rf_src[self.members[r]];
+            let lw = self.local(w);
+            adj[lw] |= 1 << r;
+            // fr: the read precedes every write co-after its source.
+            let co_after =
+                if self.init_mask >> lw & 1 == 1 { order_bits } else { after_of_local[lw] };
+            adj[r] |= co_after;
+        }
+
+        acyclic_masks(&adj[..m])
+    }
+
+    #[inline]
+    fn local(&self, gid: usize) -> usize {
+        let li = self.local_of[gid];
+        debug_assert_ne!(li, NOT_LOCAL, "event {gid} does not belong to this location");
+        li as usize
+    }
+}
+
+/// Kahn-style elimination over an adjacency-mask graph of ≤ 64 nodes.
+fn acyclic_masks(adj: &[u64]) -> bool {
+    let m = adj.len();
+    let mut preds = [0u64; 64];
+    for (i, &succ) in adj.iter().enumerate() {
+        let mut s = succ;
+        while s != 0 {
+            let j = s.trailing_zeros() as usize;
+            s &= s - 1;
+            preds[j] |= 1 << i;
+        }
+    }
+    let mut alive: u64 = if m == 64 { !0 } else { (1u64 << m) - 1 };
+    loop {
+        let mut removed = 0u64;
+        let mut a = alive;
+        while a != 0 {
+            let i = a.trailing_zeros() as usize;
+            a &= a - 1;
+            if preds[i] & alive & !(1 << i) == 0 && adj[i] >> i & 1 == 0 {
+                removed |= 1 << i;
+            }
+        }
+        alive &= !removed;
+        if alive == 0 {
+            return true;
+        }
+        if removed == 0 {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// coWW at location x: T0 writes x twice (ids 1, 2), init id 0.
+    fn coww_shape() -> (Vec<EventShape>, Relation) {
+        let x = Loc(0);
+        let shape = vec![
+            EventShape { dir: Dir::W, loc: x, init: true },
+            EventShape { dir: Dir::W, loc: x, init: false },
+            EventShape { dir: Dir::W, loc: x, init: false },
+        ];
+        let po = Relation::from_pairs(3, [(1, 2)]);
+        (shape, po)
+    }
+
+    #[test]
+    fn co_against_po_is_cyclic() {
+        let (shape, po) = coww_shape();
+        let graphs = LocGraphs::new(&shape, &po, false);
+        let g = graphs.graph_for(Loc(0)).unwrap();
+        let rf: Vec<usize> = vec![0; 3];
+        assert!(g.is_uniproc(&[1, 2], &rf), "co follows po");
+        assert!(!g.is_uniproc(&[2, 1], &rf), "co against po: uniproc violation");
+    }
+
+    /// coRR: T1 reads x twice; reading new-then-old is a violation unless
+    /// load-load hazards are tolerated.
+    fn corr_shape() -> (Vec<EventShape>, Relation) {
+        let x = Loc(0);
+        let shape = vec![
+            EventShape { dir: Dir::W, loc: x, init: true },
+            EventShape { dir: Dir::W, loc: x, init: false },
+            EventShape { dir: Dir::R, loc: x, init: false },
+            EventShape { dir: Dir::R, loc: x, init: false },
+        ];
+        let po = Relation::from_pairs(4, [(2, 3)]);
+        (shape, po)
+    }
+
+    #[test]
+    fn load_load_hazard_depends_on_rr_edges() {
+        let (shape, po) = corr_shape();
+        // Hazard: first read sees the new write, second the initial state.
+        let rf = vec![0, 0, 1, 0];
+        let strict = LocGraphs::new(&shape, &po, false);
+        assert!(!strict.graph_for(Loc(0)).unwrap().is_uniproc(&[1], &rf));
+        let llh = LocGraphs::new(&shape, &po, true);
+        assert!(llh.graph_for(Loc(0)).unwrap().is_uniproc(&[1], &rf), "llh tolerates the hazard");
+        // Reading in coherence order is fine either way.
+        let ok_rf = vec![0, 0, 0, 1];
+        assert!(strict.graph_for(Loc(0)).unwrap().is_uniproc(&[1], &ok_rf));
+    }
+
+    #[test]
+    fn trivial_locations_have_no_graph() {
+        let shape = vec![
+            EventShape { dir: Dir::W, loc: Loc(0), init: true },
+            EventShape { dir: Dir::W, loc: Loc(1), init: true },
+            EventShape { dir: Dir::W, loc: Loc(1), init: false },
+        ];
+        let po = Relation::empty(3);
+        let graphs = LocGraphs::new(&shape, &po, false);
+        assert!(graphs.graph_for(Loc(0)).is_none(), "single event: nothing to check");
+        assert!(graphs.graph_for(Loc(1)).is_some());
+    }
+
+    #[test]
+    fn acyclic_masks_detects_cycles() {
+        assert!(acyclic_masks(&[0b010, 0b100, 0b000]));
+        assert!(!acyclic_masks(&[0b010, 0b100, 0b001]));
+        assert!(!acyclic_masks(&[0b001]), "self loop");
+        assert!(acyclic_masks(&[]));
+    }
+}

@@ -113,13 +113,12 @@ impl Architecture for ArmSilicon {
         prop_power_arm(x, &self.ppo(x), &self.fences(x), &arm.ffence(x))
     }
 
-    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
-        if self.errata.load_load_hazards {
-            let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
-            x.po_loc().minus(&rr)
-        } else {
-            x.po_loc().clone()
-        }
+    fn tolerates_load_load_hazards(&self) -> bool {
+        // Routes both the default sc_per_location_po_loc and the driver's
+        // generation-time pruning mode (Prune::for_arch) through the
+        // erratum, so hazard candidates survive enumeration on parts that
+        // exhibit them.
+        self.errata.load_load_hazards
     }
 }
 

@@ -8,16 +8,27 @@
 //! the circular, thin-air-style systems of `lb+data`-like tests, whose free
 //! symbols are enumerated over the test's value domain) and each consistent
 //! assignment concretises into one [`herd_core::Execution`].
+//!
+//! Enumeration is *streaming*: [`stream`] pushes candidates into a sink as
+//! the odometer advances (coherence orders come from in-place
+//! Heap's-algorithm generators, and every candidate of one control-flow
+//! combination shares a single `Arc`'d [`ExecCore`]), and with
+//! [`Prune::Uniproc`] whole rf×co subtrees are skipped before an execution
+//! is materialised whenever a location's communication graph is already
+//! cyclic — herd's generate-and-prune strategy (paper, Sec 8.3).
 
 use crate::expr::{self, Assignment, Equation, RVal, SymExpr, SymId};
 use crate::isa::Reg;
 use crate::program::{InitVal, LitmusTest};
 use crate::sem::{self, SemError, ThreadPath};
+use herd_core::enumerate::{build_co, HeapPerm};
 use herd_core::event::{Dir, Event, Fence, Loc, ThreadId, Val};
-use herd_core::exec::{Deps, Execution};
+use herd_core::exec::{Deps, ExecCore, Execution};
 use herd_core::relation::Relation;
+use herd_core::uniproc::{EventShape, LocGraphs};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The final value of a register, for condition checking.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -131,13 +142,65 @@ impl LocTable {
     }
 }
 
-/// Enumerates all candidate executions of `test`.
+/// How streaming enumeration prunes at generation time (paper, Sec 8.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Prune {
+    /// Yield every candidate.
+    #[default]
+    None,
+    /// Skip candidates violating SC PER LOCATION: as soon as one
+    /// location's `po-loc ∪ com` subgraph is cyclic under the current
+    /// rf/co choice, the whole subtree is dropped unmaterialised.
+    Uniproc,
+    /// Uniproc pruning with read-read `po-loc` pairs dropped, for
+    /// architectures tolerating load-load hazards (ARM-llh, Sparc RMO).
+    UniprocLlh,
+}
+
+impl Prune {
+    /// The sound pruning mode for an architecture.
+    pub fn for_arch<A: herd_core::model::Architecture + ?Sized>(arch: &A) -> Prune {
+        if arch.tolerates_load_load_hazards() {
+            Prune::UniprocLlh
+        } else {
+            Prune::Uniproc
+        }
+    }
+}
+
+/// Statistics of one streaming enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Candidates pushed to the sink.
+    pub emitted: usize,
+    /// Candidates pruned before materialisation (0 without pruning).
+    pub pruned: usize,
+}
+
+impl EnumStats {
+    /// All candidates the data-flow odometer covered.
+    pub fn total(&self) -> usize {
+        self.emitted + self.pruned
+    }
+}
+
+/// Streams the candidate executions of `test` into `sink`.
+///
+/// Candidates are materialised one at a time; with pruning, subtrees that
+/// already violate SC PER LOCATION are skipped and only counted (see
+/// [`EnumStats::pruned`]). `emitted + pruned` equals what
+/// [`enumerate`] without pruning would have produced.
 ///
 /// # Errors
 ///
-/// Fails if thread semantics rejects the program or the candidate bound is
-/// exceeded.
-pub fn enumerate(test: &LitmusTest, opts: &EnumOptions) -> Result<Vec<Candidate>, CandidateError> {
+/// Fails if thread semantics rejects the program or the emitted-candidate
+/// bound is exceeded.
+pub fn stream(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    prune: Prune,
+    sink: &mut dyn FnMut(Candidate),
+) -> Result<EnumStats, CandidateError> {
     let locs = LocTable::for_test(test);
     let loc_map = locs.as_map();
 
@@ -163,16 +226,31 @@ pub fn enumerate(test: &LitmusTest, opts: &EnumOptions) -> Result<Vec<Candidate>
     // produce.
     let domain = value_domain(test);
 
-    let mut out = Vec::new();
+    let mut stats = EnumStats::default();
     let mut pick = vec![0usize; thread_paths.len()];
     loop {
         let combo: Vec<&ThreadPath> =
             pick.iter().zip(&thread_paths).map(|(&i, ps)| &ps[i]).collect();
-        assemble(test, &locs, &combo, &domain, opts, &mut out)?;
+        assemble(test, &locs, &combo, &domain, opts, prune, sink, &mut stats)?;
         if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
             break;
         }
     }
+    Ok(stats)
+}
+
+/// Enumerates all candidate executions of `test` into a vector.
+///
+/// Equivalent to [`stream`] with [`Prune::None`] collecting into a `Vec`;
+/// prefer streaming when candidates are consumed once.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the candidate bound is
+/// exceeded.
+pub fn enumerate(test: &LitmusTest, opts: &EnumOptions) -> Result<Vec<Candidate>, CandidateError> {
+    let mut out = Vec::new();
+    stream(test, opts, Prune::None, &mut |c| out.push(c))?;
     Ok(out)
 }
 
@@ -200,14 +278,18 @@ fn value_domain(test: &LitmusTest) -> Vec<i64> {
     d
 }
 
-/// Assembles all candidates for one combination of thread paths.
+/// Assembles all candidates for one combination of thread paths, pushing
+/// them into `sink` as the data-flow odometer advances.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     test: &LitmusTest,
     locs: &LocTable,
     combo: &[&ThreadPath],
     domain: &[i64],
     opts: &EnumOptions,
-    out: &mut Vec<Candidate>,
+    prune: Prune,
+    sink: &mut dyn FnMut(Candidate),
+    stats: &mut EnumStats,
 ) -> Result<(), CandidateError> {
     // Lay out events: init writes first, then thread accesses.
     let n_init = locs.names().len();
@@ -320,6 +402,12 @@ fn assemble(
         }
     }
 
+    // One shared core per control-flow combination: po, deps and fences
+    // are validated once and every candidate holds them through an `Arc`.
+    let core = Arc::new(
+        ExecCore::new(&events, po, deps, fences).expect("assembled relations are well-formed"),
+    );
+
     // Same-location writes, for rf choices and co permutations.
     let mut writes_by_loc: BTreeMap<Loc, Vec<usize>> = BTreeMap::new();
     for e in &events {
@@ -337,12 +425,27 @@ fn assemble(
             ws
         })
         .collect();
-    let co_orders: Vec<(Loc, Vec<Vec<usize>>)> =
-        writes_by_loc.iter().map(|(l, ws)| (*l, permutations(ws))).collect();
+    let co_locs: Vec<Loc> = writes_by_loc.keys().copied().collect();
+    let co_writes: Vec<Vec<usize>> = writes_by_loc.values().cloned().collect();
+    let co_inits: Vec<Option<usize>> = co_locs.iter().map(|l| Some(l.0 as usize)).collect();
+    let co_total: usize = co_writes.iter().map(|ws| factorial(ws.len())).product::<usize>().max(1);
+
+    let graphs = match prune {
+        Prune::None => None,
+        Prune::Uniproc | Prune::UniprocLlh => {
+            let shape: Vec<EventShape> = events
+                .iter()
+                .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+                .collect();
+            Some(LocGraphs::new(&shape, core.po(), prune == Prune::UniprocLlh))
+        }
+    };
 
     let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
 
+    let mut rf_src = vec![0usize; n];
     let mut rf_pick = vec![0usize; reads.len()];
+    let rf_radices: Vec<usize> = rf_choices.iter().map(Vec::len).collect();
     loop {
         // Equations for this rf choice.
         let mut equations = base_equations.clone();
@@ -350,14 +453,16 @@ fn assemble(
         for (k, &r) in reads.iter().enumerate() {
             let w = rf_choices[k][rf_pick[k]];
             rf.add(w, r);
+            rf_src[r] = w;
             equations.push(Equation::ReadsValue {
                 sym: SymId(r),
                 expr: write_value[w].clone().expect("write has a value expression"),
             });
         }
 
+        // Concretised event values per consistent assignment.
+        let mut concs: Vec<(Vec<Event>, BTreeMap<(u16, Reg), RegFinal>)> = Vec::new();
         for asg in expr::solve(&symbols, &equations, domain) {
-            // Concretise event values.
             let mut evs = events.clone();
             let mut ok = true;
             for e in &mut evs {
@@ -376,54 +481,95 @@ fn assemble(
                     }
                 }
             }
-            if !ok {
-                continue;
+            if ok {
+                concs.push((evs, final_registers(test, locs, combo, &asg, &layout.read_gid)));
             }
-            let final_regs = final_registers(test, locs, combo, &asg, &layout.read_gid);
+        }
 
-            for orders in co_iter(&co_orders) {
+        if concs.is_empty() {
+            if !bump(&mut rf_pick, &rf_radices) {
+                break;
+            }
+            continue;
+        }
+
+        // With pruning: filter each location's coherence orders once per
+        // rf configuration and check the locations without a co digit —
+        // an empty menu or a failed rf-only location kills the whole rf
+        // subtree before any execution is built (shared helpers in
+        // herd_core::uniproc, same logic as Skeleton::stream_pruned).
+        let menus: Option<Vec<Vec<Vec<usize>>>> =
+            graphs.as_ref().map(|g| g.co_menus(&co_locs, &co_writes, &rf_src));
+        let rf_only_ok = graphs.as_ref().is_none_or(|g| g.rf_only_consistent(&co_locs, &rf_src));
+        let co_valid = match &menus {
+            Some(menus) if rf_only_ok => menus.iter().map(Vec::len).product::<usize>(),
+            Some(_) => 0,
+            None => co_total,
+        };
+        stats.pruned += concs.len() * (co_total - co_valid);
+        if co_valid == 0 {
+            if !bump(&mut rf_pick, &rf_radices) {
+                break;
+            }
+            continue;
+        }
+
+        let menu_radices: Vec<usize> =
+            menus.as_ref().map(|m| m.iter().map(Vec::len).collect()).unwrap_or_default();
+        for (evs, final_regs) in &concs {
+            // Coherence odometer: in-place Heap's generators without
+            // pruning, the filtered menus with it.
+            let mut heaps: Vec<HeapPerm> = match &menus {
+                None => co_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
+                Some(_) => Vec::new(),
+            };
+            let mut menu_pick = vec![0usize; co_locs.len()];
+            loop {
                 let mut co = Relation::empty(n);
-                for ((loc, _), order) in co_orders.iter().zip(&orders) {
-                    let init_id = loc.0 as usize;
-                    for &w in order.iter() {
-                        co.add(init_id, w);
-                    }
-                    for pair in order.windows(2) {
-                        co.add(pair[0], pair[1]);
-                    }
+                for (li, &init) in co_inits.iter().enumerate() {
+                    let order: &[usize] = match &menus {
+                        None => heaps[li].current(),
+                        Some(menus) => &menus[li][menu_pick[li]],
+                    };
+                    build_co(&mut co, init, order);
                 }
-                let co = co.tclosure();
-                let exec = Execution::new(
-                    evs.clone(),
-                    po.clone(),
-                    rf.clone(),
-                    co,
-                    deps.clone(),
-                    fences.clone(),
-                )
-                .expect("assembled candidates are well-formed");
+                let exec = Execution::with_core(evs.clone(), Arc::clone(&core), rf.clone(), co)
+                    .expect("assembled candidates are well-formed");
                 let final_mem = exec
                     .final_memory()
                     .into_iter()
                     .map(|(l, v)| (locs.name(l).to_owned(), v.0))
                     .collect();
-                out.push(Candidate {
+                sink(Candidate {
                     exec,
                     final_regs: final_regs.clone(),
                     final_mem,
                     loc_names: locs.names().to_vec(),
                 });
-                if out.len() > opts.max_candidates {
+                stats.emitted += 1;
+                if stats.emitted > opts.max_candidates {
                     return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
+                }
+
+                let more = match &menus {
+                    None => heaps.iter_mut().any(|h| h.advance()),
+                    Some(_) => bump(&mut menu_pick, &menu_radices),
+                };
+                if !more {
+                    break;
                 }
             }
         }
 
-        if !bump(&mut rf_pick, &rf_choices.iter().map(Vec::len).collect::<Vec<_>>()) {
+        if !bump(&mut rf_pick, &rf_radices) {
             break;
         }
     }
     Ok(())
+}
+
+fn factorial(k: usize) -> usize {
+    (1..=k).product::<usize>().max(1)
 }
 
 fn final_registers(
@@ -461,23 +607,6 @@ fn final_registers(
     out
 }
 
-/// Iterates over the cartesian product of coherence orders.
-fn co_iter<'a>(
-    co_orders: &'a [(Loc, Vec<Vec<usize>>)],
-) -> impl Iterator<Item = Vec<Vec<usize>>> + 'a {
-    let radices: Vec<usize> = co_orders.iter().map(|(_, p)| p.len()).collect();
-    let total: usize = radices.iter().product::<usize>().max(1);
-    (0..total).map(move |mut idx| {
-        let mut orders = Vec::with_capacity(co_orders.len());
-        for (k, (_, perms)) in co_orders.iter().enumerate() {
-            let r = radices[k];
-            orders.push(perms[idx % r].clone());
-            idx /= r;
-        }
-        orders
-    })
-}
-
 fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
     for (d, &r) in digits.iter_mut().zip(radices) {
         if *d + 1 < r {
@@ -487,22 +616,6 @@ fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
         *d = 0;
     }
     false
-}
-
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
-    if items.is_empty() {
-        return vec![vec![]];
-    }
-    let mut out = Vec::new();
-    for (i, &x) in items.iter().enumerate() {
-        let mut rest = items.to_vec();
-        rest.remove(i);
-        for mut p in permutations(&rest) {
-            p.insert(0, x);
-            out.push(p);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -541,6 +654,45 @@ mod tests {
             assert_eq!(c.exec.len(), 6, "2 init + 4 accesses");
             assert!(c.final_mem.contains_key("x"));
         }
+    }
+
+    #[test]
+    fn streaming_matches_enumerate_and_shares_cores() {
+        let test = mp(Isa::Power, Dev::Po, Dev::Po);
+        let eager = enumerate(&test, &EnumOptions::default()).unwrap();
+        let mut streamed = Vec::new();
+        let stats =
+            stream(&test, &EnumOptions::default(), Prune::None, &mut |c| streamed.push(c)).unwrap();
+        assert_eq!(stats.emitted, eager.len());
+        assert_eq!(stats.pruned, 0);
+        assert!(
+            streamed.windows(2).all(|w| Arc::ptr_eq(w[0].exec.core(), w[1].exec.core())),
+            "one shared core per control-flow combination"
+        );
+    }
+
+    #[test]
+    fn pruning_drops_exactly_the_uniproc_violations() {
+        // coRR-style test: same-location reads make some rf choices
+        // violate SC PER LOCATION.
+        let test = crate::corpus::co_rr(Isa::Arm);
+        let all = enumerate(&test, &EnumOptions::default()).unwrap();
+        let coherent = all.iter().filter(|c| herd_core::model::sc_per_location(&c.exec)).count();
+        let mut kept = Vec::new();
+        let stats =
+            stream(&test, &EnumOptions::default(), Prune::Uniproc, &mut |c| kept.push(c)).unwrap();
+        assert_eq!(stats.emitted, coherent);
+        assert_eq!(stats.total(), all.len(), "emitted + pruned covers everything");
+        assert!(stats.pruned > 0, "coRR must actually prune");
+        assert!(kept.iter().all(|c| herd_core::model::sc_per_location(&c.exec)));
+
+        // The llh variant keeps the load-load-hazard candidates.
+        let mut llh_kept = 0usize;
+        let llh = stream(&test, &EnumOptions::default(), Prune::UniprocLlh, &mut |_| {
+            llh_kept += 1;
+        })
+        .unwrap();
+        assert!(llh.emitted > stats.emitted, "llh tolerates hazards strict pruning drops");
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! The herd-style simulation driver: enumerate candidates, apply a model,
-//! evaluate the final condition (paper, Sec 8.3).
+//! The herd-style simulation driver: stream candidates with uniproc
+//! pruning, apply a model, evaluate the final condition (paper, Sec 8.3).
+//!
+//! [`simulate`] never materialises the candidate vector: candidates arrive
+//! one at a time from [`candidates::stream`] with SC-PER-LOCATION-violating
+//! subtrees pruned at the generator (they are forbidden by every
+//! architecture's first axiom, so only their count is kept). Each surviving
+//! candidate is judged via [`herd_core::model::check_with`] on
+//! architecture relations computed once per candidate — `hb+`/`hb*` are
+//! shared by the NO THIN AIR and OBSERVATION axioms instead of being
+//! recomputed per axiom consumer. [`simulate_corpus`] fans a whole corpus
+//! out over `std::thread::scope` so campaign-scale runs use every core.
 
-use crate::candidates::{self, Candidate, CandidateError, EnumOptions, RegFinal};
+use crate::candidates::{self, Candidate, CandidateError, EnumOptions, Prune, RegFinal};
 use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
-use herd_core::model::{self, Architecture, Verdict};
+use herd_core::model::{self, ArchRelations, Architecture, Verdict};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -14,8 +24,12 @@ pub struct SimOutcome {
     pub test: String,
     /// Model name.
     pub arch: String,
-    /// Number of candidate executions.
+    /// Number of candidate executions (including pruned ones).
     pub candidates: usize,
+    /// Candidates discarded at generation time by uniproc pruning (all of
+    /// them forbidden by SC PER LOCATION; 0 when judging pre-enumerated
+    /// slices).
+    pub pruned: usize,
     /// Number the model allows.
     pub allowed: usize,
     /// Allowed executions satisfying the condition's proposition.
@@ -62,60 +76,136 @@ impl fmt::Display for SimOutcome {
 /// # Errors
 ///
 /// Propagates [`CandidateError`] from enumeration.
-pub fn simulate(test: &LitmusTest, arch: &dyn Architecture) -> Result<SimOutcome, CandidateError> {
+pub fn simulate<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    arch: &A,
+) -> Result<SimOutcome, CandidateError> {
     simulate_with(test, arch, &EnumOptions::default())
 }
 
-/// Simulates with explicit enumeration options.
+/// Simulates with explicit enumeration options, streaming candidates with
+/// the architecture's sound uniproc pruning.
 ///
 /// # Errors
 ///
 /// Propagates [`CandidateError`] from enumeration.
-pub fn simulate_with(
+pub fn simulate_with<A: Architecture + ?Sized>(
     test: &LitmusTest,
-    arch: &dyn Architecture,
+    arch: &A,
     opts: &EnumOptions,
 ) -> Result<SimOutcome, CandidateError> {
-    let cands = candidates::enumerate(test, opts)?;
-    Ok(judge(test, arch, &cands))
+    let mut acc = Judgement::default();
+    let stats = candidates::stream(test, opts, Prune::for_arch(arch), &mut |c| {
+        acc.absorb(test, arch, &c);
+    })?;
+    Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
 }
 
 /// Applies the model and condition to pre-enumerated candidates (lets
 /// callers reuse one enumeration across several models).
-pub fn judge(test: &LitmusTest, arch: &dyn Architecture, cands: &[Candidate]) -> SimOutcome {
-    let mut allowed = 0usize;
-    let mut positive = 0usize;
-    let mut negative = 0usize;
-    let mut states = BTreeSet::new();
+pub fn judge<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    arch: &A,
+    cands: &[Candidate],
+) -> SimOutcome {
+    let mut acc = Judgement::default();
     for c in cands {
-        let v: Verdict = model::check(arch, &c.exec);
+        acc.absorb(test, arch, c);
+    }
+    acc.outcome(test, arch, cands.len(), 0)
+}
+
+/// Streaming accumulator behind [`simulate_with`] and [`judge`].
+#[derive(Default)]
+struct Judgement {
+    allowed: usize,
+    positive: usize,
+    negative: usize,
+    states: BTreeSet<String>,
+}
+
+impl Judgement {
+    fn absorb<A: Architecture + ?Sized>(&mut self, test: &LitmusTest, arch: &A, c: &Candidate) {
+        // One relation computation per candidate, shared by every axiom
+        // (hb+/hb* feed both NO THIN AIR and OBSERVATION).
+        let rels = ArchRelations::compute(arch, &c.exec);
+        let v: Verdict = model::check_with(arch, &c.exec, &rels);
         if !v.allowed() {
-            continue;
+            return;
         }
-        allowed += 1;
-        let sat = eval_prop(&test.condition.prop, c);
-        if sat {
-            positive += 1;
+        self.allowed += 1;
+        if eval_prop(&test.condition.prop, c) {
+            self.positive += 1;
         } else {
-            negative += 1;
+            self.negative += 1;
         }
-        states.insert(render_state(test, c));
+        self.states.insert(render_state(test, c));
     }
-    let validated = match test.condition.quantifier {
-        Quantifier::Exists => positive > 0,
-        Quantifier::NotExists => positive == 0,
-        Quantifier::Forall => negative == 0,
-    };
-    SimOutcome {
-        test: test.name.clone(),
-        arch: arch.name().to_owned(),
-        candidates: cands.len(),
-        allowed,
-        positive,
-        negative,
-        validated,
-        states,
+
+    fn outcome<A: Architecture + ?Sized>(
+        self,
+        test: &LitmusTest,
+        arch: &A,
+        candidates: usize,
+        pruned: usize,
+    ) -> SimOutcome {
+        let validated = match test.condition.quantifier {
+            Quantifier::Exists => self.positive > 0,
+            Quantifier::NotExists => self.positive == 0,
+            Quantifier::Forall => self.negative == 0,
+        };
+        SimOutcome {
+            test: test.name.clone(),
+            arch: arch.name().to_owned(),
+            candidates,
+            pruned,
+            allowed: self.allowed,
+            positive: self.positive,
+            negative: self.negative,
+            validated,
+            states: self.states,
+        }
     }
+}
+
+/// Simulates a whole corpus in parallel, splitting the tests over all
+/// available cores with scoped threads. Outcomes are returned in input
+/// order.
+///
+/// # Errors
+///
+/// Returns the first [`CandidateError`] any test produced.
+pub fn simulate_corpus<A: Architecture + Sync + ?Sized>(
+    tests: &[LitmusTest],
+    arch: &A,
+    opts: &EnumOptions,
+) -> Result<Vec<SimOutcome>, CandidateError> {
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
+    if workers <= 1 {
+        return tests.iter().map(|t| simulate_with(t, arch, opts)).collect();
+    }
+    let mut results: Vec<Option<Result<SimOutcome, CandidateError>>> =
+        (0..tests.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Contiguous split: worker w owns tests [w*stride, (w+1)*stride).
+        let mut rest: &mut [Option<Result<SimOutcome, CandidateError>>] = &mut results;
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let stride = tests.len().div_ceil(workers);
+            let (mine, tail) = rest.split_at_mut(stride.min(rest.len()));
+            rest = tail;
+            let lo = w * stride;
+            handles.push(scope.spawn(move || {
+                for (k, slot) in mine.iter_mut().enumerate() {
+                    *slot = Some(simulate_with(&tests[lo + k], arch, opts));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("simulation worker panicked");
+        }
+    });
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 /// Evaluates a proposition against one candidate's final state.
@@ -202,6 +292,44 @@ mod tests {
         assert!(simulate(&bare, &Tso).unwrap().validated);
         let fenced = corpus::sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence));
         assert!(!simulate(&fenced, &Tso).unwrap().validated);
+    }
+
+    #[test]
+    fn pruning_is_invisible_in_the_verdict() {
+        // coRR exercises real pruning; the allowed/validated figures must
+        // be identical to judging the full enumeration.
+        let test = corpus::co_rr(Isa::Power);
+        let power = Power::new();
+        let streamed = simulate(&test, &power).unwrap();
+        let eager = judge(
+            &test,
+            &power,
+            &crate::candidates::enumerate(&test, &crate::candidates::EnumOptions::default())
+                .unwrap(),
+        );
+        assert!(streamed.pruned > 0, "coRR prunes at generation time");
+        assert_eq!(streamed.candidates, eager.candidates);
+        assert_eq!(streamed.allowed, eager.allowed);
+        assert_eq!(streamed.positive, eager.positive);
+        assert_eq!(streamed.negative, eager.negative);
+        assert_eq!(streamed.states, eager.states);
+        assert_eq!(streamed.validated, eager.validated);
+    }
+
+    #[test]
+    fn corpus_driver_matches_sequential_simulation() {
+        let tests: Vec<_> = corpus::power_corpus().into_iter().map(|e| e.test).collect();
+        let power = Power::new();
+        let opts = crate::candidates::EnumOptions::default();
+        let par = simulate_corpus(&tests, &power, &opts).unwrap();
+        assert_eq!(par.len(), tests.len());
+        for (out, test) in par.iter().zip(&tests) {
+            let seq = simulate_with(test, &power, &opts).unwrap();
+            assert_eq!(out.test, seq.test);
+            assert_eq!(out.validated, seq.validated, "{}", test.name);
+            assert_eq!(out.allowed, seq.allowed, "{}", test.name);
+            assert_eq!(out.states, seq.states, "{}", test.name);
+        }
     }
 
     #[test]

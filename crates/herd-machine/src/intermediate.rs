@@ -105,8 +105,7 @@ impl<'a> Machine<'a> {
             "the intermediate machine models the standard PROPAGATION axiom"
         );
         let rels = ArchRelations::compute(arch, exec);
-        let hb_star = rels.hb.rtclosure();
-        let prop_hb_star = rels.prop.seq(&hb_star);
+        let prop_hb_star = rels.prop.seq(&rels.hb_star);
         let mut rf_src = vec![usize::MAX; exec.len()];
         for (w, r) in exec.rf().iter_pairs() {
             rf_src[r] = w;

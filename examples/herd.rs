@@ -67,6 +67,15 @@ fn main() -> ExitCode {
         }
     };
 
+    // Resolve names and fold constants once; check per candidate.
+    let compiled = match model.compile() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("evaluation: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let cands = match enumerate(&test, &EnumOptions::default()) {
         Ok(c) => c,
         Err(e) => {
@@ -80,14 +89,7 @@ fn main() -> ExitCode {
     let mut negative = 0usize;
     let mut states = std::collections::BTreeSet::new();
     for c in &cands {
-        let verdict = match model.check(&c.exec) {
-            Ok(v) => v,
-            Err(e) => {
-                eprintln!("evaluation: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if !verdict.allowed() {
+        if !compiled.check(&c.exec).allowed() {
             continue;
         }
         if eval_prop(&test.condition.prop, c) {

@@ -10,14 +10,13 @@ use herd_litmus::corpus::{self, CorpusEntry};
 
 fn assert_agreement(corpus: &[CorpusEntry], native: &dyn Architecture, cat: &CatModel) {
     let opts = EnumOptions::default();
+    let compiled = cat.compile().expect("stock model compiles");
     let mut candidates = 0usize;
     for entry in corpus {
         let cands = enumerate(&entry.test, &opts).expect("enumeration succeeds");
         for (i, c) in cands.iter().enumerate() {
             let native_allowed = check(native, &c.exec).allowed();
-            let cat_verdict = cat
-                .check(&c.exec)
-                .unwrap_or_else(|e| panic!("{}: cat evaluation failed: {e}", entry.test.name));
+            let cat_verdict = compiled.check(&c.exec);
             assert_eq!(
                 native_allowed,
                 cat_verdict.allowed(),
@@ -128,6 +127,40 @@ mod random_agreement {
             }
         }
     }
+}
+
+/// The compiled evaluator (slot-indexed, CSE'd, constant-folded) must
+/// agree check-for-check with the tree-walking reference on all 7 stock
+/// models × every candidate of the full corpus.
+#[test]
+fn compiled_models_agree_with_tree_walker_on_full_corpus() {
+    let all: Vec<CorpusEntry> = corpus::power_corpus()
+        .into_iter()
+        .chain(corpus::arm_corpus())
+        .chain(corpus::x86_corpus())
+        .collect();
+    let opts = EnumOptions::default();
+    let execs: Vec<(String, herd_core::Execution)> = all
+        .iter()
+        .flat_map(|entry| {
+            enumerate(&entry.test, &opts)
+                .expect("enumeration succeeds")
+                .into_iter()
+                .map(|c| (entry.test.name.clone(), c.exec))
+        })
+        .collect();
+    let mut checked = 0usize;
+    for (name, src) in stock::ALL {
+        let model = herd_cat::parse(src).unwrap();
+        let compiled = herd_cat::compile(&model).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (test, exec) in &execs {
+            let tree = herd_cat::eval_tree(&model, exec)
+                .unwrap_or_else(|e| panic!("{name} × {test}: {e}"));
+            assert_eq!(tree, compiled.check(exec), "{name} × {test}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 7 * 400, "7 models × the whole corpus, got {checked}");
 }
 
 /// A user-modified model: dropping the OBSERVATION axiom from the Power

@@ -1,0 +1,159 @@
+//! Streaming enumeration must be a drop-in replacement for the seed's
+//! eager generate-then-filter pipeline (paper, Sec 8.3):
+//!
+//! * the lazy [`Skeleton::stream`] yields exactly the same multiset of
+//!   executions as the eager reference (`candidates_eager`);
+//! * uniproc pruning is *exact* — `emitted + pruned == candidate_count()`
+//!   — and *sound*: the emitted set is precisely the SC-PER-LOCATION
+//!   -consistent subset, in both the strict and load-load-hazard variants;
+//! * the streamed, pruned litmus driver reaches identical verdicts to the
+//!   eager judge on the whole corpus, under native and llh architectures.
+
+use herd_core::enumerate::{Skeleton, SkeletonBuilder};
+use herd_core::event::{Dir, Fence};
+use herd_core::exec::Execution;
+use herd_core::model::{sc_per_location, Architecture};
+use herd_litmus::candidates::{enumerate, EnumOptions};
+use herd_litmus::corpus::CorpusEntry;
+use herd_litmus::simulate::{judge, simulate_with};
+use proptest::prelude::*;
+
+/// A canonical fingerprint of one execution: event values plus the rf/co
+/// choice (everything the data-flow enumeration decides).
+fn key(x: &Execution) -> String {
+    format!("{:?}|{:?}|{:?}", x.events().iter().map(|e| e.val).collect::<Vec<_>>(), x.rf(), x.co())
+}
+
+fn sorted_keys<I: IntoIterator<Item = Execution>>(xs: I) -> Vec<String> {
+    let mut ks: Vec<String> = xs.into_iter().map(|x| key(&x)).collect();
+    ks.sort();
+    ks
+}
+
+/// SC PER LOCATION with read-read po-loc pairs dropped (the ARM-llh /
+/// Sparc-RMO weakening the llh pruning mode must match).
+fn sc_per_location_llh(x: &Execution) -> bool {
+    let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
+    x.po_loc().minus(&rr).union(x.com()).is_acyclic()
+}
+
+/// One op: (is_write, location 0..3, value, fence-after 0..3).
+type ProgOp = (bool, u8, i8, u8);
+
+fn random_program() -> impl Strategy<Value = Vec<Vec<ProgOp>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0u8..3, -2i8..3, 0u8..3), 1..=4),
+        1..=3,
+    )
+}
+
+fn build_skeleton(prog: &[Vec<ProgOp>]) -> Skeleton {
+    let locs = ["x", "y", "z"];
+    let mut b = SkeletonBuilder::new();
+    for (tid, thread) in prog.iter().enumerate() {
+        let mut prev: Option<usize> = None;
+        for &(is_write, loc, val, fence) in thread {
+            let id = if is_write {
+                b.write(tid as u16, locs[loc as usize], i64::from(val))
+            } else {
+                b.read(tid as u16, locs[loc as usize])
+            };
+            if let Some(p) = prev {
+                match fence {
+                    1 => {
+                        b.fence(Fence::Lwsync, p, id);
+                    }
+                    2 => {
+                        b.fence(Fence::Sync, p, id);
+                    }
+                    _ => {}
+                }
+            }
+            prev = Some(id);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_yields_the_eager_multiset(prog in random_program()) {
+        let sk = build_skeleton(&prog);
+        prop_assume!(sk.candidate_count() <= 1500);
+        let eager = sorted_keys(sk.candidates_eager());
+        let lazy = sorted_keys(sk.stream());
+        prop_assert_eq!(eager, lazy);
+        // The back-compat entry point is the stream, collected.
+        prop_assert_eq!(sk.candidates().len(), sk.candidate_count());
+    }
+
+    #[test]
+    fn pruning_is_exact_and_sound(prog in random_program()) {
+        let sk = build_skeleton(&prog);
+        prop_assume!(sk.candidate_count() <= 1500);
+        let total = sk.candidate_count();
+        let all: Vec<Execution> = sk.stream().collect();
+
+        let mut it = sk.stream_pruned();
+        let kept = sorted_keys(it.by_ref());
+        prop_assert_eq!(it.emitted() + it.pruned(), total,
+            "pruned-count + emitted must equal candidate_count()");
+        let expected =
+            sorted_keys(all.iter().filter(|x| sc_per_location(x)).cloned());
+        prop_assert_eq!(kept, expected,
+            "pruning keeps exactly the SC-PER-LOCATION-consistent candidates");
+
+        let mut llh_it = sk.stream_pruned_llh();
+        let llh_kept = sorted_keys(llh_it.by_ref());
+        prop_assert_eq!(llh_it.emitted() + llh_it.pruned(), total);
+        let llh_expected =
+            sorted_keys(all.iter().filter(|x| sc_per_location_llh(x)).cloned());
+        prop_assert_eq!(llh_kept, llh_expected,
+            "llh pruning matches the load-load-hazard weakening");
+    }
+}
+
+/// The streamed, pruned driver and the eager enumerate-then-judge path
+/// must produce identical outcomes for every corpus test.
+fn assert_corpus_equivalence<A: Architecture + ?Sized>(corpus: &[CorpusEntry], arch: &A) {
+    let opts = EnumOptions::default();
+    for entry in corpus {
+        let streamed = simulate_with(&entry.test, arch, &opts).expect("streamed simulation");
+        let eager = judge(&entry.test, arch, &enumerate(&entry.test, &opts).expect("enumeration"));
+        assert_eq!(streamed.candidates, eager.candidates, "{}", entry.test.name);
+        assert_eq!(streamed.allowed, eager.allowed, "{}", entry.test.name);
+        assert_eq!(streamed.positive, eager.positive, "{}", entry.test.name);
+        assert_eq!(streamed.negative, eager.negative, "{}", entry.test.name);
+        assert_eq!(streamed.states, eager.states, "{}", entry.test.name);
+        assert_eq!(streamed.validated, eager.validated, "{}", entry.test.name);
+    }
+}
+
+#[test]
+fn streamed_verdicts_match_eager_on_the_whole_corpus() {
+    use herd_core::arch::{Arm, ArmVariant, Power, Sc, Tso};
+    use herd_litmus::corpus;
+    assert_corpus_equivalence(&corpus::power_corpus(), &Power::new());
+    assert_corpus_equivalence(&corpus::arm_corpus(), &Arm::new(ArmVariant::Proposed));
+    // The llh variant exercises the weakened pruning graph end to end.
+    assert_corpus_equivalence(&corpus::arm_corpus(), &Arm::new(ArmVariant::ProposedLlh));
+    assert_corpus_equivalence(&corpus::x86_corpus(), &Tso);
+    assert_corpus_equivalence(&corpus::x86_corpus(), &Sc);
+}
+
+/// Silicon models with the load-load-hazard erratum must keep their
+/// hazard candidates under the streamed, pruned driver: `Prune::for_arch`
+/// has to pick the weakened graph for them, or coRR outcomes the part
+/// exhibits on real hardware would be pruned away at generation time.
+#[test]
+fn erratum_silicon_keeps_hazard_candidates_under_pruning() {
+    use herd_hw::silicon::{ArmErrata, ArmSilicon};
+    use herd_litmus::{corpus, isa::Isa};
+    let tegra2 =
+        ArmSilicon::new("Tegra2", ArmErrata { load_load_hazards: true, ..Default::default() });
+    assert!(tegra2.tolerates_load_load_hazards());
+    let test = corpus::co_rr(Isa::Arm);
+    assert_corpus_equivalence(&[CorpusEntry { test, allowed: true }], &tegra2);
+}
