@@ -9,11 +9,17 @@
 #   3. cargo bench --no-run         — the 9 harness=false bench targets
 #                                     (cargo build/test skip these)
 #   4. cargo test  -q               — all unit + integration + doc tests
-#   5. perf_pipeline --quick        — the tracked perf bench (eager vs
-#                                     streaming vs pruned enumeration,
-#                                     compiled cat models, corpus split);
-#                                     refreshes BENCH_pr2.json so every PR
-#                                     leaves a perf-trajectory data point
+#   5. perf_pipeline --quick --gate — the tracked perf bench (eager vs
+#                                     streaming vs uniproc- vs thin-air-
+#                                     pruned enumeration, single-test
+#                                     sharding, compiled cat models,
+#                                     work-stealing corpus split); writes
+#                                     BENCH_pr<N>.json so every PR leaves
+#                                     its own perf-trajectory data point
+#                                     (prior PRs' files are kept), and
+#                                     FAILS if a heavily-pruning IRIW/2+2W
+#                                     row drops below 5x or a heavily-
+#                                     cyclic lb+datas row below 2x
 #   6. cargo doc   --no-deps        — rustdoc, warnings denied
 #   7. cargo fmt   --check          — formatting (rustfmt.toml at root)
 set -euo pipefail
@@ -24,11 +30,23 @@ run() {
     "$@"
 }
 
+# The PR number this run benches for: $PR_NUMBER wins; otherwise one past
+# the newest "PR <N>:" subject in git history (each session lands exactly
+# one such commit, so the in-flight PR is last + 1).
+PR="${PR_NUMBER:-}"
+if [[ -z "$PR" ]]; then
+    # `|| true` rescues the SIGPIPE exit that pipefail would otherwise
+    # surface once `head -1` closes the pipe on a long history.
+    last=$(git log --pretty=%s 2>/dev/null | sed -n 's/^PR \([0-9][0-9]*\).*/\1/p' | head -1 || true)
+    PR=$(( ${last:-0} + 1 ))
+fi
+
 run cargo build --release --workspace
 run cargo build --examples
 run cargo bench --no-run --workspace
 run cargo test -q --workspace
-run cargo bench -p herd-bench --bench perf_pipeline -- --quick --json "$PWD/BENCH_pr2.json"
+run cargo bench -p herd-bench --bench perf_pipeline -- \
+    --quick --gate --pr "$PR" --json "$PWD/BENCH_pr${PR}.json"
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo fmt --check
 

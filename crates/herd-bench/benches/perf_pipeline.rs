@@ -1,26 +1,36 @@
 //! perf_pipeline: the enumeration→check pipeline, eager vs streaming vs
 //! pruned (paper, Sec 8.3 / Tab IX).
 //!
-//! Measures three generations of the hottest path in the repo on the
-//! IRIW / 2+2W skeleton family:
+//! Measures the generations of the hottest path in the repo:
 //!
 //! * **eager** — the seed's generate-then-filter: materialise every
 //!   candidate (per-location permutation tables, deep-cloned po/deps/
 //!   fences), then check each against the model;
 //! * **stream** — lazy odometer enumeration sharing one `Arc`'d core;
 //! * **pruned** — streaming with SC-PER-LOCATION subtrees skipped at
-//!   generation time (uniproc-first pruning, Sec 8.3).
+//!   generation time (uniproc-first pruning, Sec 8.3);
+//! * **thinair** — the second `-speedcheck` axis on the lb+datas family:
+//!   rf subtrees whose partial `hb` is already cyclic die before any
+//!   coherence work, on top of uniproc pruning;
+//! * **sharded** — a single test's rf×co space split over scoped threads
+//!   by rf-odometer prefix range, with exactly merged counters.
 //!
 //! Also measures compiled-vs-tree cat-model checking throughput on the
-//! corpus and the scoped-thread corpus simulation split.
+//! corpus and the work-stealing corpus simulation split.
 //!
-//! Usage (the driver `ci.sh` runs the quick mode):
+//! Usage (the driver `ci.sh` runs quick mode with a derived PR number):
 //!
 //! ```text
-//! cargo bench -p herd-bench --bench perf_pipeline -- [--quick] [--json PATH]
+//! cargo bench -p herd-bench --bench perf_pipeline -- \
+//!     [--quick] [--json PATH] [--pr N] [--gate]
 //! ```
+//!
+//! `--gate` turns the regression thresholds into a hard failure: any
+//! heavily-pruning IRIW/2+2W row (pruned fraction ≥ 0.9) below 5x, or any
+//! heavily-thin-air row (≥ half the uniproc-kept candidates cyclic)
+//! below 2x, exits non-zero.
 
-use herd_bench::{iriw_scaled, power_tests, two_plus_two_w_scaled};
+use herd_bench::{iriw_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled};
 use herd_core::arch::Power;
 use herd_core::enumerate::Skeleton;
 use herd_core::model::check;
@@ -45,9 +55,9 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u128, R) {
 
 struct PipelineRow {
     name: String,
-    candidates: usize,
-    emitted: usize,
-    pruned: usize,
+    candidates: u128,
+    emitted: u128,
+    pruned: u128,
     allowed: usize,
     eager_ns: u128,
     stream_ns: u128,
@@ -84,7 +94,7 @@ fn bench_pipeline(name: &str, sk: &Skeleton, reps: usize) -> PipelineRow {
     });
     assert_eq!(eager_allowed, stream_allowed, "{name}: streaming changed the verdict");
     assert_eq!(eager_allowed, pruned_allowed, "{name}: pruning changed the verdict");
-    let candidates = sk.candidate_count();
+    let candidates = sk.candidate_count().expect("bench skeletons count in u128");
     assert_eq!(emitted + pruned, candidates, "{name}: pruning accounting is exact");
     PipelineRow {
         name: name.to_owned(),
@@ -95,6 +105,132 @@ fn bench_pipeline(name: &str, sk: &Skeleton, reps: usize) -> PipelineRow {
         eager_ns,
         stream_ns,
         pruned_ns,
+    }
+}
+
+struct ThinAirRow {
+    name: String,
+    candidates: u128,
+    /// Candidate executions emitted by uniproc-only pruning.
+    emitted_uniproc: u128,
+    /// Candidate executions surviving uniproc + thin-air pruning.
+    emitted_thinair: u128,
+    pruned_thinair: u128,
+    allowed: usize,
+    uniproc_ns: u128,
+    thinair_ns: u128,
+}
+
+impl ThinAirRow {
+    fn speedup(&self) -> f64 {
+        self.uniproc_ns as f64 / self.thinair_ns.max(1) as f64
+    }
+    /// Fraction of the uniproc-surviving *candidates* that thin air
+    /// removes (weighted by each rf configuration's coherence count — on
+    /// the lb+datas rings every surviving configuration keeps exactly one
+    /// coherence order, so this coincides with the rf-config fraction).
+    fn thinair_fraction(&self) -> f64 {
+        1.0 - self.emitted_thinair as f64 / self.emitted_uniproc.max(1) as f64
+    }
+}
+
+fn bench_thinair(name: &str, sk: &Skeleton, reps: usize) -> ThinAirRow {
+    let power = Power::new();
+    let mut emitted_uniproc = 0;
+    let (uniproc_ns, uniproc_allowed) = best_of(reps, || {
+        let mut it = sk.stream_pruned();
+        let allowed = it.by_ref().filter(|x| check(&power, x).allowed()).count();
+        emitted_uniproc = it.emitted();
+        allowed
+    });
+    let mut emitted_thinair = 0;
+    let mut pruned_thinair = 0;
+    let (thinair_ns, thinair_allowed) = best_of(reps, || {
+        let mut it = sk.stream_pruned_for(&power);
+        let allowed = it.by_ref().filter(|x| check(&power, x).allowed()).count();
+        emitted_thinair = it.emitted();
+        pruned_thinair = it.pruned();
+        allowed
+    });
+    assert_eq!(uniproc_allowed, thinair_allowed, "{name}: thin-air pruning changed the verdict");
+    let candidates = sk.candidate_count().expect("bench skeletons count in u128");
+    assert_eq!(
+        emitted_thinair + pruned_thinair,
+        candidates,
+        "{name}: thin-air accounting is exact"
+    );
+    assert!(emitted_thinair < emitted_uniproc, "{name}: thin air must actually cut deeper");
+    ThinAirRow {
+        name: name.to_owned(),
+        candidates,
+        emitted_uniproc,
+        emitted_thinair,
+        pruned_thinair,
+        allowed: uniproc_allowed,
+        uniproc_ns,
+        thinair_ns,
+    }
+}
+
+struct ShardRow {
+    name: String,
+    candidates: u128,
+    workers: usize,
+    single_ns: u128,
+    /// `None` when only one worker is available: a "parallel" number
+    /// measured on one thread would be meaningless, so none is reported.
+    sharded_ns: Option<u128>,
+}
+
+impl ShardRow {
+    fn speedup(&self) -> Option<f64> {
+        self.sharded_ns.map(|ns| self.single_ns as f64 / ns.max(1) as f64)
+    }
+}
+
+fn bench_sharded(name: &str, sk: &Skeleton, reps: usize) -> ShardRow {
+    let power = Power::new();
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let candidates = sk.candidate_count().expect("bench skeletons count in u128");
+
+    let (single_ns, single_allowed) = best_of(reps, || {
+        let mut it = sk.stream_pruned_for(&power);
+        let allowed = it.by_ref().filter(|x| check(&power, x).allowed()).count();
+        assert_eq!(it.emitted() + it.pruned(), candidates, "{name}: single-shard accounting");
+        allowed
+    });
+
+    // Run the sharded drain at least once (2 shards even on one core) to
+    // hold the exact-merge invariant; only time it when >1 worker exists.
+    let nshards = workers.max(2);
+    let drain = || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nshards)
+                .map(|s| {
+                    let (sk, power) = (&sk, &power);
+                    scope.spawn(move || {
+                        let mut it = sk.stream_pruned_for_shard(power, s, nshards);
+                        let allowed = it.by_ref().filter(|x| check(power, x).allowed()).count();
+                        (allowed, it.emitted(), it.pruned())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .fold((0usize, 0u128, 0u128), |(a, e, p), (a2, e2, p2)| (a + a2, e + e2, p + p2))
+        })
+    };
+    let (sharded_ns, (allowed, emitted, pruned)) = best_of(reps, drain);
+    assert_eq!(allowed, single_allowed, "{name}: sharding changed the verdict");
+    assert_eq!(emitted + pruned, candidates, "{name}: merged shard counters are exact");
+
+    ShardRow {
+        name: name.to_owned(),
+        candidates,
+        workers,
+        single_ns,
+        sharded_ns: (workers > 1).then_some(sharded_ns),
     }
 }
 
@@ -133,16 +269,19 @@ fn bench_models(reps: usize) -> Vec<ModelRow> {
 
 struct CorpusRow {
     tests: usize,
-    candidates: usize,
-    pruned: usize,
+    candidates: u128,
+    pruned: u128,
     sequential_ns: u128,
-    parallel_ns: u128,
-    threads: usize,
+    /// `None` when only one worker ran (a 1-thread "parallel" figure is
+    /// not a parallel figure).
+    parallel_ns: Option<u128>,
+    workers: usize,
 }
 
 impl CorpusRow {
     fn candidates_per_sec(&self) -> f64 {
-        self.candidates as f64 / (self.parallel_ns as f64 / 1e9)
+        let ns = self.parallel_ns.unwrap_or(self.sequential_ns);
+        self.candidates as f64 / (ns as f64 / 1e9)
     }
 }
 
@@ -152,38 +291,44 @@ fn bench_corpus(reps: usize) -> CorpusRow {
     tests.extend(corpus::x86_corpus().into_iter().map(|e| e.test));
     let power = Power::new();
     let opts = EnumOptions::default();
-    let (sequential_ns, _) = best_of(reps, || {
+    let (sequential_ns, (candidates, pruned)) = best_of(reps, || {
         tests
             .iter()
-            .map(|t| simulate_with(t, &power, &opts).expect("corpus simulates").candidates)
-            .sum::<usize>()
+            .map(|t| {
+                let o = simulate_with(t, &power, &opts).expect("corpus simulates");
+                (o.candidates, o.pruned)
+            })
+            .fold((0u128, 0u128), |(c, p), (c2, p2)| (c + c2, p + p2))
     });
-    let (parallel_ns, outs) =
-        best_of(reps, || simulate_corpus(&tests, &power, &opts).expect("corpus simulates"));
-    CorpusRow {
-        tests: tests.len(),
-        candidates: outs.iter().map(|o| o.candidates).sum(),
-        pruned: outs.iter().map(|o| o.pruned).sum(),
-        sequential_ns,
-        parallel_ns,
-        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
-    }
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
+    let parallel_ns = (workers > 1).then(|| {
+        best_of(reps, || simulate_corpus(&tests, &power, &opts).expect("corpus simulates")).0
+    });
+    CorpusRow { tests: tests.len(), candidates, pruned, sequential_ns, parallel_ns, workers }
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+fn json_opt(v: Option<u128>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     path: &str,
+    pr: u64,
     mode: &str,
     pipeline: &[PipelineRow],
+    thinair: &[ThinAirRow],
+    sharded: &ShardRow,
     models: &[ModelRow],
     corpus: &CorpusRow,
 ) {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"pr\": 2,\n  \"bench\": \"perf_pipeline\",\n");
+    j.push_str(&format!("  \"pr\": {pr},\n  \"bench\": \"perf_pipeline\",\n"));
     j.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     j.push_str("  \"pipeline\": [\n");
     for (i, r) in pipeline.iter().enumerate() {
@@ -205,7 +350,38 @@ fn emit_json(
             if i + 1 < pipeline.len() { "," } else { "" },
         ));
     }
-    j.push_str("  ],\n  \"models\": [\n");
+    j.push_str("  ],\n  \"thinair\": [\n");
+    for (i, r) in thinair.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"emitted_uniproc\": {}, \
+             \"emitted_thinair\": {}, \"pruned_thinair\": {}, \"thinair_fraction\": {:.4}, \
+             \"allowed\": {}, \"uniproc_ns\": {}, \"thinair_ns\": {}, \
+             \"speedup_thinair\": {:.2}}}{}\n",
+            json_escape(&r.name),
+            r.candidates,
+            r.emitted_uniproc,
+            r.emitted_thinair,
+            r.pruned_thinair,
+            r.thinair_fraction(),
+            r.allowed,
+            r.uniproc_ns,
+            r.thinair_ns,
+            r.speedup(),
+            if i + 1 < thinair.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"sharded\": {{\"name\": \"{}\", \"candidates\": {}, \"workers\": {}, \
+         \"single_ns\": {}, \"sharded_ns\": {}, \"speedup\": {}}},\n",
+        json_escape(&sharded.name),
+        sharded.candidates,
+        sharded.workers,
+        sharded.single_ns,
+        json_opt(sharded.sharded_ns),
+        sharded.speedup().map_or_else(|| "null".to_owned(), |s| format!("{s:.2}")),
+    ));
+    j.push_str("  \"models\": [\n");
     for (i, r) in models.iter().enumerate() {
         j.push_str(&format!(
             "    {{\"model\": \"{}\", \"execs\": {}, \"tree_ns\": {}, \"compiled_ns\": {}, \
@@ -222,14 +398,14 @@ fn emit_json(
     j.push_str("  ],\n");
     j.push_str(&format!(
         "  \"corpus\": {{\"tests\": {}, \"candidates\": {}, \"pruned\": {}, \
-         \"sequential_ns\": {}, \"parallel_ns\": {}, \"threads\": {}, \
+         \"sequential_ns\": {}, \"parallel_ns\": {}, \"workers\": {}, \
          \"candidates_per_sec\": {:.0}}}\n",
         corpus.tests,
         corpus.candidates,
         corpus.pruned,
         corpus.sequential_ns,
-        corpus.parallel_ns,
-        corpus.threads,
+        json_opt(corpus.parallel_ns),
+        corpus.workers,
         corpus.candidates_per_sec(),
     ));
     j.push_str("}\n");
@@ -237,13 +413,50 @@ fn emit_json(
     println!("\nwrote {path}");
 }
 
+/// Regression thresholds (ROADMAP): heavily-pruning IRIW/2+2W rows must
+/// hold 5x over eager, heavily-cyclic lb+datas rows must hold 2x over
+/// uniproc-only pruning. Returns the violations.
+fn gate_violations(pipeline: &[PipelineRow], thinair: &[ThinAirRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in pipeline {
+        if r.pruned_fraction() >= 0.9 && r.speedup_pruned() < 5.0 {
+            bad.push(format!(
+                "{}: speedup_pruned {:.2}x < 5x at {:.0}% pruned",
+                r.name,
+                r.speedup_pruned(),
+                100.0 * r.pruned_fraction()
+            ));
+        }
+    }
+    for r in thinair {
+        if r.thinair_fraction() >= 0.5 && r.speedup() < 2.0 {
+            bad.push(format!(
+                "{}: speedup_thinair {:.2}x < 2x at {:.0}% of uniproc-kept candidates cyclic",
+                r.name,
+                r.speedup(),
+                100.0 * r.thinair_fraction()
+            ));
+        }
+    }
+    bad
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
     let json = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let pr: u64 = args
+        .iter()
+        .position(|a| a == "--pr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("PR_NUMBER").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let reps = if quick { 1 } else { 3 };
 
-    // Same workload set in both modes (so the refreshed BENCH_pr2.json
+    // Same workload set in both modes (so the refreshed BENCH_pr<N>.json
     // rows stay comparable PR over PR); quick mode only drops repetitions.
     let workloads: Vec<(String, Skeleton)> = vec![
         ("iriw".into(), iriw_scaled(1)),
@@ -275,6 +488,50 @@ fn main() {
         pipeline.push(row);
     }
 
+    // The thin-air axis: lb+datas rings whose all-non-init rf choices are
+    // hb-cyclic, compared against uniproc-only pruning.
+    let ta_workloads: Vec<(String, Skeleton)> = vec![
+        ("lb+datas".into(), lb_datas_scaled(3, 2)),
+        ("lb+datas+6w".into(), lb_datas_scaled(3, 6)),
+    ];
+    println!(
+        "\n{:<12} {:>16} {:>8} {:>8} {:>12} {:>12} {:>8}",
+        "test", "cands", "uni-emit", "ta-emit", "uniproc", "thinair", "xthinair"
+    );
+    let mut thinair = Vec::new();
+    for (name, sk) in &ta_workloads {
+        let row = bench_thinair(name, sk, reps);
+        println!(
+            "{:<12} {:>16} {:>8} {:>8} {:>10.2}ms {:>10.2}ms {:>7.1}x",
+            row.name,
+            row.candidates,
+            row.emitted_uniproc,
+            row.emitted_thinair,
+            row.uniproc_ns as f64 / 1e6,
+            row.thinair_ns as f64 / 1e6,
+            row.speedup(),
+        );
+        thinair.push(row);
+    }
+
+    // Single-test sharding on the biggest pipeline workload.
+    let sharded = bench_sharded("iriw+3w", &iriw_scaled(3), reps);
+    match sharded.sharded_ns {
+        Some(ns) => println!(
+            "\nsharded {}: single {:.2}ms, {} shards {:.2}ms ({:.2}x)",
+            sharded.name,
+            sharded.single_ns as f64 / 1e6,
+            sharded.workers,
+            ns as f64 / 1e6,
+            sharded.speedup().expect("sharded_ns implies a speedup"),
+        ),
+        None => println!(
+            "\nsharded {}: single {:.2}ms; 1 worker available, no parallel number to report",
+            sharded.name,
+            sharded.single_ns as f64 / 1e6,
+        ),
+    }
+
     println!(
         "\n{:<16} {:>7} {:>12} {:>12} {:>8} {:>14}",
         "model", "execs", "tree", "compiled", "x", "checks/s"
@@ -293,19 +550,51 @@ fn main() {
     }
 
     let corpus = bench_corpus(reps);
-    println!(
-        "\ncorpus: {} tests, {} candidates ({} pruned), sequential {:.2}ms, \
-         parallel {:.2}ms on {} threads ({:.0} candidates/s)",
-        corpus.tests,
-        corpus.candidates,
-        corpus.pruned,
-        corpus.sequential_ns as f64 / 1e6,
-        corpus.parallel_ns as f64 / 1e6,
-        corpus.threads,
-        corpus.candidates_per_sec(),
-    );
+    match corpus.parallel_ns {
+        Some(par) => println!(
+            "\ncorpus: {} tests, {} candidates ({} pruned), sequential {:.2}ms, \
+             parallel {:.2}ms on {} workers ({:.0} candidates/s)",
+            corpus.tests,
+            corpus.candidates,
+            corpus.pruned,
+            corpus.sequential_ns as f64 / 1e6,
+            par as f64 / 1e6,
+            corpus.workers,
+            corpus.candidates_per_sec(),
+        ),
+        None => println!(
+            "\ncorpus: {} tests, {} candidates ({} pruned), sequential {:.2}ms on 1 worker \
+             ({:.0} candidates/s); no parallel number to report",
+            corpus.tests,
+            corpus.candidates,
+            corpus.pruned,
+            corpus.sequential_ns as f64 / 1e6,
+            corpus.candidates_per_sec(),
+        ),
+    }
 
     if let Some(path) = json {
-        emit_json(&path, if quick { "quick" } else { "full" }, &pipeline, &models, &corpus);
+        emit_json(
+            &path,
+            pr,
+            if quick { "quick" } else { "full" },
+            &pipeline,
+            &thinair,
+            &sharded,
+            &models,
+            &corpus,
+        );
+    }
+
+    let violations = gate_violations(&pipeline, &thinair);
+    if !violations.is_empty() {
+        eprintln!("\nperf regression gate:");
+        for v in &violations {
+            eprintln!("  FAIL {v}");
+        }
+        if gate {
+            std::process::exit(1);
+        }
+        eprintln!("  (--gate not set: not failing the run)");
     }
 }

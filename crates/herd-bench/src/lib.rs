@@ -62,6 +62,33 @@ pub fn iriw_scaled(k: usize) -> Skeleton {
     b.build()
 }
 
+/// The lb+datas ring scaled: `threads` threads, thread `i` reading
+/// location `i` and then writing location `i+1 (mod threads)` `writes`
+/// times, each write data-dependent on the read — the genuine
+/// load-buffering shape of paper Fig 7 / Sec 4.3.
+///
+/// Every rf configuration in which *all* reads pick a non-init write
+/// closes a `data ∪ rfe` cycle, i.e. violates NO THIN AIR whatever the
+/// coherence orders do: `writes^threads` of the `(writes+1)^threads` rf
+/// subtrees die before any of the `(writes!)^threads` coherence work —
+/// the family the thin-air pruning axis (`-speedcheck`'s second cut) is
+/// measured on.
+pub fn lb_datas_scaled(threads: usize, writes: usize) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    let names: Vec<String> = (0..threads).map(|i| format!("x{i}")).collect();
+    let mut reads = Vec::new();
+    for t in 0..threads {
+        reads.push(b.read(t as u16, &names[t]));
+    }
+    for t in 0..threads {
+        for j in 0..writes {
+            let w = b.write(t as u16, &names[(t + 1) % threads], j as i64 + 1);
+            b.data(reads[t], w);
+        }
+    }
+    b.build()
+}
+
 /// The 2+2W skeleton scaled up: two threads each write both locations `k`
 /// times in opposite orders, so every location carries `2k` writes from
 /// two threads — `((2k)!)^2` coherence orders of which only the po-loc

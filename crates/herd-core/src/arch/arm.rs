@@ -16,7 +16,7 @@
 //! as an option, Sec 4.7).
 
 use crate::event::{Dir, Fence};
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::Architecture;
 use crate::ppo::{self, PpoConfig};
 use crate::relation::Relation;
@@ -90,6 +90,16 @@ impl Arm {
             ArmVariant::Proposed | ArmVariant::ProposedLlh => PpoConfig::arm(),
         }
     }
+
+    /// The fence relation from a core alone: directions and fence
+    /// placement are skeleton-invariant, so this equals
+    /// [`Arm::fences`](Architecture::fences) on every candidate.
+    fn fences_static(&self, core: &ExecCore) -> Relation {
+        let st = core.fence(Fence::DmbSt).union(&core.fence(Fence::DsbSt));
+        let st_ww = core.dir_restrict(&st, Some(Dir::W), Some(Dir::W));
+        // Full or lightweight, .st ∩ WW ends up in fences either way.
+        core.fence(Fence::Dmb).union(&core.fence(Fence::Dsb)).union(&st_ww)
+    }
 }
 
 impl Default for Arm {
@@ -121,6 +131,10 @@ impl Architecture for Arm {
 
     fn tolerates_load_load_hazards(&self) -> bool {
         self.variant == ArmVariant::ProposedLlh
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        Some(ppo::compute_static(core, &self.ppo_config()).union(&self.fences_static(core)))
     }
 }
 

@@ -5,7 +5,7 @@
 //! axiom (`acyclic(co ∪ prop)`) is slightly *stronger* than the standard's
 //! `HBVSMO` (`irreflexive(hb⁺; mo)`); [`CppRaStrength`] selects either.
 
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::{Architecture, PropagationCheck};
 use crate::relation::Relation;
 
@@ -64,6 +64,11 @@ impl Architecture for CppRa {
             CppRaStrength::PaperStrong => PropagationCheck::Acyclic,
             CppRaStrength::StandardExact => PropagationCheck::IrreflexivePropCo,
         }
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // ppo = sb = po and no fences.
+        Some(core.po().clone())
     }
 }
 

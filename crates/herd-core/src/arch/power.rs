@@ -12,7 +12,7 @@
 //! ```
 
 use crate::event::{Dir, Fence};
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::Architecture;
 use crate::ppo::{self, PpoConfig};
 use crate::relation::Relation;
@@ -53,6 +53,16 @@ impl Power {
         let eieio_ww = x.dir_restrict(&x.fence(Fence::Eieio), Some(Dir::W), Some(Dir::W));
         lw.minus(&lw_wr).union(&eieio_ww)
     }
+
+    /// The fence relation computed from a core alone: directions and fence
+    /// placement are skeleton-invariant, so this equals
+    /// [`Power::fences`](Architecture::fences) on every candidate.
+    fn fences_static(core: &ExecCore) -> Relation {
+        let lw = core.fence(Fence::Lwsync);
+        let lw_wr = core.dir_restrict(&lw, Some(Dir::W), Some(Dir::R));
+        let eieio_ww = core.dir_restrict(&core.fence(Fence::Eieio), Some(Dir::W), Some(Dir::W));
+        lw.minus(&lw_wr).union(&eieio_ww).union(&core.fence(Fence::Sync))
+    }
 }
 
 impl Default for Power {
@@ -80,6 +90,12 @@ impl Architecture for Power {
 
     fn prop(&self, x: &Execution) -> Relation {
         prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.ffence(x))
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // The static ppo fixpoint (rdw/rfi/detour emptied) is ⊆ ppo on
+        // every candidate; the fence relations are skeleton-invariant.
+        Some(ppo::compute_static(core, &self.ppo_cfg).union(&Power::fences_static(core)))
     }
 }
 

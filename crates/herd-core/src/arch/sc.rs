@@ -5,7 +5,7 @@
 //! `acyclic(po ∪ com)`; `tests/lemma_4_1.rs` checks that equivalence over
 //! the corpus and under proptest.
 
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::Architecture;
 use crate::relation::Relation;
 
@@ -28,6 +28,11 @@ impl Architecture for Sc {
 
     fn prop(&self, x: &Execution) -> Relation {
         self.ppo(x).union(&self.fences(x)).union(x.rf()).union(x.fr())
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // ppo = po and no fences: the whole of hb \ rfe is static.
+        Some(core.po().clone())
     }
 }
 

@@ -12,7 +12,7 @@
 //! fence and keep the TSO-style propagation `ppo ∪ fences ∪ rfe ∪ fr`.
 
 use crate::event::{Dir, Fence};
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::Architecture;
 use crate::relation::Relation;
 
@@ -37,6 +37,13 @@ impl Architecture for Pso {
 
     fn prop(&self, x: &Execution) -> Relation {
         self.ppo(x).union(&self.fences(x)).union(x.rfe()).union(x.fr())
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // ppo = po \ (WR ∪ WW) and fences = mfence are skeleton-invariant.
+        let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
+        let ww = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::W));
+        Some(core.po().minus(&wr).minus(&ww).union(&core.fence(Fence::Mfence)))
     }
 }
 
@@ -64,6 +71,12 @@ impl Architecture for Rmo {
     fn tolerates_load_load_hazards(&self) -> bool {
         // RMO officially allows load-load hazards (Sec 4.9).
         true
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // ppo = addr ∪ data ∪ ctrl and fences = mfence: all static.
+        let deps = core.deps();
+        Some(deps.addr.union(&deps.data).union(&deps.ctrl).union(&core.fence(Fence::Mfence)))
     }
 }
 

@@ -3,7 +3,7 @@
 //! `prop = ppo ∪ fences ∪ rfe ∪ fr`.
 
 use crate::event::{Dir, Fence};
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::model::Architecture;
 use crate::relation::Relation;
 
@@ -28,6 +28,12 @@ impl Architecture for Tso {
 
     fn prop(&self, x: &Execution) -> Relation {
         self.ppo(x).union(&self.fences(x)).union(x.rfe()).union(x.fr())
+    }
+
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        // ppo = po \ WR and fences = mfence are both skeleton-invariant.
+        let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
+        Some(core.po().minus(&wr).union(&core.fence(Fence::Mfence)))
     }
 }
 

@@ -17,6 +17,20 @@
 //! the uniproc-first pruning of Sec 8.3 — so entire rf×co subtrees are
 //! skipped before an [`Execution`] is ever built.
 //!
+//! Two further `-speedcheck` axes compose via [`StreamOpts`] (or the
+//! architecture-driven [`Skeleton::stream_pruned_for`]):
+//!
+//! * **NO THIN AIR pruning** — with a sound static base from
+//!   [`crate::model::Architecture::thin_air_base`], an incremental
+//!   [`ThinAirTracker`] follows the rf odometer digit by digit and skips
+//!   every rf subtree whose partial happens-before graph is already
+//!   cyclic, before any coherence permutation is visited.
+//! * **Sharding** — the rf odometer's linear index range splits into
+//!   contiguous shards ([`StreamOpts::shard`]), so the rf×co space of a
+//!   *single* test fans out across threads; per-shard
+//!   [`CandidateIter::emitted`]/[`CandidateIter::pruned`] counters sum to
+//!   exactly [`Skeleton::candidate_count`].
+//!
 //! Front ends whose write values depend on read values (genuine data flow
 //! through registers) perform their own symbolic enumeration and lower to
 //! concrete [`Execution`]s directly; this module covers the common case of
@@ -24,7 +38,9 @@
 
 use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
 use crate::exec::{Deps, ExecCore, Execution};
+use crate::model::Architecture;
 use crate::relation::Relation;
+use crate::thinair::ThinAirTracker;
 use crate::uniproc::{EventShape, LocGraphs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -66,7 +82,7 @@ impl Skeleton {
     /// Panics if the relations' universe does not match the event count
     /// (a front-end bug, not an input error).
     pub fn stream(&self) -> CandidateIter {
-        CandidateIter::new(self, PruneMode::None)
+        self.stream_with(StreamOpts::default())
     }
 
     /// Streams only the candidates satisfying SC PER LOCATION, pruning
@@ -74,14 +90,77 @@ impl Skeleton {
     /// discarded candidates — all of them uniproc-forbidden — are counted
     /// by [`CandidateIter::pruned`].
     pub fn stream_pruned(&self) -> CandidateIter {
-        CandidateIter::new(self, PruneMode::Uniproc { drop_rr: false })
+        self.stream_with(StreamOpts { uniproc: true, ..StreamOpts::default() })
     }
 
     /// Like [`Skeleton::stream_pruned`], but tolerating load-load hazards
     /// (read-read `po-loc` pairs dropped), matching architectures whose SC
     /// PER LOCATION axiom is weakened that way (ARM-llh, Sparc RMO).
     pub fn stream_pruned_llh(&self) -> CandidateIter {
-        CandidateIter::new(self, PruneMode::Uniproc { drop_rr: true })
+        self.stream_with(StreamOpts { uniproc: true, llh: true, ..StreamOpts::default() })
+    }
+
+    /// Streams with every generation-time pruning axis that is sound for
+    /// `arch`: uniproc masks (load-load-hazard-weakened when the
+    /// architecture asks for it) plus incremental NO THIN AIR pruning when
+    /// [`Architecture::thin_air_base`] vouches for a static base.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
+    pub fn stream_pruned_for<A: Architecture + ?Sized>(&self, arch: &A) -> CandidateIter {
+        self.stream_pruned_for_shard(arch, 0, 1)
+    }
+
+    /// One shard of [`Skeleton::stream_pruned_for`]: covers the
+    /// `shard`-th of `nshards` contiguous slices of the rf odometer, so a
+    /// single test's rf×co space fans out across threads. Per-shard
+    /// `emitted + pruned` counters sum to exactly
+    /// [`Skeleton::candidate_count`] over all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch or `shard >= nshards`.
+    pub fn stream_pruned_for_shard<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        shard: usize,
+        nshards: usize,
+    ) -> CandidateIter {
+        let (parts, core) = self.parts_core();
+        let opts = StreamOpts {
+            uniproc: true,
+            llh: arch.tolerates_load_load_hazards(),
+            thin_air: arch.thin_air_base(&core),
+            shard: Some((shard, nshards)),
+        };
+        CandidateIter::new(self, parts, core, opts)
+    }
+
+    /// Streams with explicit [`StreamOpts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch or an out-of-range shard index.
+    pub fn stream_with(&self, opts: StreamOpts) -> CandidateIter {
+        let (parts, core) = self.parts_core();
+        CandidateIter::new(self, parts, core, opts)
+    }
+
+    fn parts_core(&self) -> (SkeletonParts, Arc<ExecCore>) {
+        let n = self.events.len();
+        assert_eq!(self.po.universe(), n, "po universe mismatch");
+        let parts = SkeletonParts::new(self);
+        let core = Arc::new(
+            ExecCore::new(
+                &parts.base_events,
+                self.po.clone(),
+                self.deps.clone(),
+                self.fences.clone(),
+            )
+            .expect("skeleton relations are well-formed"),
+        );
+        (parts, core)
     }
 
     /// Enumerates every candidate execution into a vector.
@@ -165,8 +244,13 @@ impl Skeleton {
         out
     }
 
-    /// The number of candidates without materialising them.
-    pub fn candidate_count(&self) -> usize {
+    /// The number of candidates without materialising them: the product of
+    /// per-read rf choices and per-location coherence permutations,
+    /// checked in `u128` — `None` when even that overflows (a skeleton no
+    /// enumeration could ever finish anyway). The old `usize` arithmetic
+    /// wrapped silently (debug-panicked) on large skeletons, breaking the
+    /// `emitted + pruned == candidate_count` accounting.
+    pub fn candidate_count(&self) -> Option<u128> {
         let mut writes_by_loc: BTreeMap<Loc, (usize, bool)> = BTreeMap::new();
         for e in &self.events {
             if e.dir == Dir::W {
@@ -178,30 +262,43 @@ impl Skeleton {
                 }
             }
         }
-        let mut count = 1usize;
+        let mut count = 1u128;
         for e in &self.events {
             if e.dir == Dir::R {
                 let (w, init) = writes_by_loc.get(&e.loc).copied().unwrap_or((0, false));
-                count *= w + usize::from(init);
+                count = count.checked_mul(w as u128 + u128::from(init))?;
             }
         }
         for &(w, _) in writes_by_loc.values() {
-            count *= factorial(w);
+            count = count.checked_mul(factorial_checked(w)?)?;
         }
-        count
+        Some(count)
+    }
+
+    /// [`Skeleton::candidate_count`], saturating at `u128::MAX` instead of
+    /// returning `None` — convenient for size guards in tests.
+    pub fn candidate_count_saturating(&self) -> u128 {
+        self.candidate_count().unwrap_or(u128::MAX)
     }
 }
 
-/// How the streaming iterator prunes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum PruneMode {
-    /// Yield every candidate.
-    None,
-    /// Skip uniproc-violating subtrees as coherence orders are fixed.
-    Uniproc {
-        /// Tolerate load-load hazards (drop RR `po-loc` edges)?
-        drop_rr: bool,
-    },
+/// Options for [`Skeleton::stream_with`]: which generation-time pruning
+/// axes are active, and which rf-odometer shard to cover.
+#[derive(Clone, Debug, Default)]
+pub struct StreamOpts {
+    /// Prune SC-PER-LOCATION-violating subtrees at generation time.
+    pub uniproc: bool,
+    /// Tolerate load-load hazards in the uniproc graphs (drop RR `po-loc`
+    /// pairs) — only meaningful with `uniproc`.
+    pub llh: bool,
+    /// Static `ppo ∪ fences` underapproximation enabling incremental
+    /// NO THIN AIR pruning; must satisfy the
+    /// [`Architecture::thin_air_base`] soundness contract. Universes over
+    /// 64 events silently fall back to no thin-air pruning.
+    pub thin_air: Option<Relation>,
+    /// Restrict the iterator to one contiguous shard `(index, count)` of
+    /// the rf odometer's linear index range.
+    pub shard: Option<(usize, usize)>,
 }
 
 /// Skeleton-derived tables shared by the eager and streaming paths.
@@ -294,10 +391,12 @@ enum CoState {
 
 /// A lazy, pruning iterator over the candidate executions of a skeleton.
 ///
-/// Created by [`Skeleton::stream`] / [`Skeleton::stream_pruned`]. All
-/// yielded executions share one [`ExecCore`] via `Arc`; [`pruned`]
-/// (and [`emitted`]) expose the generation-time pruning statistics, with
-/// `emitted + pruned == candidate_count()` once exhausted.
+/// Created by [`Skeleton::stream`] / [`Skeleton::stream_pruned`] /
+/// [`Skeleton::stream_pruned_for`]. All yielded executions share one
+/// [`ExecCore`] via `Arc`; [`pruned`] (and [`emitted`]) expose the
+/// generation-time pruning statistics, with
+/// `emitted + pruned == candidate_count()` once exhausted (summed over
+/// all shards when sharded).
 ///
 /// [`pruned`]: CandidateIter::pruned
 /// [`emitted`]: CandidateIter::emitted
@@ -305,10 +404,21 @@ pub struct CandidateIter {
     core: Arc<ExecCore>,
     parts: SkeletonParts,
     graphs: Option<LocGraphs>,
+    thinair: Option<ThinAirTracker>,
 
     rf_pick: Vec<usize>,
     /// Odometer radices for `rf_pick` (fixed for the whole iteration).
     rf_radices: Vec<usize>,
+    /// `rf_weights[d]` = Π `rf_radices[..d]`: the number of rf
+    /// configurations in one digit-`d` subtree (saturating).
+    rf_weights: Vec<u128>,
+    /// Linear rf-configuration index of the current pick; this iterator
+    /// covers `[pos, end)` of the rf odometer.
+    pos: u128,
+    end: u128,
+    /// Total coherence combinations of one rf configuration (saturating).
+    co_total: u128,
+
     /// Read-from source per global event id (entries only valid for reads).
     rf_src: Vec<usize>,
     cur_rf: Relation,
@@ -316,71 +426,171 @@ pub struct CandidateIter {
     fresh_rf: bool,
     done: bool,
 
-    emitted: usize,
-    pruned: usize,
+    emitted: u128,
+    pruned: u128,
 }
 
 impl CandidateIter {
-    fn new(sk: &Skeleton, mode: PruneMode) -> Self {
+    fn new(sk: &Skeleton, parts: SkeletonParts, core: Arc<ExecCore>, opts: StreamOpts) -> Self {
         let n = sk.events.len();
-        assert_eq!(sk.po.universe(), n, "po universe mismatch");
-        let parts = SkeletonParts::new(sk);
-        let core = Arc::new(
-            ExecCore::new(&parts.base_events, sk.po.clone(), sk.deps.clone(), sk.fences.clone())
-                .expect("skeleton relations are well-formed"),
-        );
-        let graphs = match mode {
-            PruneMode::None => None,
-            PruneMode::Uniproc { drop_rr } => {
-                let shape: Vec<EventShape> = parts
-                    .base_events
-                    .iter()
-                    .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
-                    .collect();
-                Some(LocGraphs::new(&shape, &sk.po, drop_rr))
-            }
+        let graphs = if opts.uniproc {
+            let shape: Vec<EventShape> = parts
+                .base_events
+                .iter()
+                .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+                .collect();
+            Some(LocGraphs::new(&shape, &sk.po, opts.llh))
+        } else {
+            None
         };
-        let done = parts.rf_choices.iter().any(Vec::is_empty);
-        let co = CoState::Lazy(Vec::new());
-        let rf_pick = vec![0usize; parts.reads.len()];
+        let thinair = opts.thin_air.as_ref().and_then(ThinAirTracker::new);
+
         let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
-        let rf_src = vec![0usize; n];
-        let cur_rf = Relation::empty(n);
-        CandidateIter {
+        let mut rf_weights = Vec::with_capacity(rf_radices.len());
+        let mut rf_total: u128 = 1;
+        for &r in &rf_radices {
+            rf_weights.push(rf_total);
+            rf_total = rf_total.saturating_mul(r as u128);
+        }
+        let co_total = parts
+            .loc_writes
+            .iter()
+            .map(|ws| factorial_saturating(ws.len()))
+            .fold(1u128, u128::saturating_mul);
+
+        let (shard, nshards) = opts.shard.unwrap_or((0, 1));
+        assert!(nshards > 0 && shard < nshards, "shard index out of range");
+        let chunk = rf_total.div_ceil(nshards as u128);
+        let pos = chunk.saturating_mul(shard as u128).min(rf_total);
+        let end = pos.saturating_add(chunk).min(rf_total);
+
+        let mut it = CandidateIter {
             core,
             parts,
             graphs,
-            rf_pick,
+            thinair,
+            rf_pick: vec![0usize; rf_radices.len()],
             rf_radices,
-            rf_src,
-            cur_rf,
-            co,
+            rf_weights,
+            pos,
+            end,
+            co_total,
+            rf_src: vec![0usize; n],
+            cur_rf: Relation::empty(n),
+            co: CoState::Lazy(Vec::new()),
             fresh_rf: true,
-            done,
+            done: pos >= end,
             emitted: 0,
             pruned: 0,
+        };
+        if !it.done {
+            it.decode_pos();
+            // A cyclic static base forbids every candidate of the shard.
+            if it.thinair.as_ref().is_some_and(ThinAirTracker::is_base_cyclic) {
+                it.pruned = (it.end - it.pos).saturating_mul(it.co_total);
+                it.pos = it.end;
+                it.done = true;
+            }
         }
+        it
     }
 
     /// Candidates yielded so far.
-    pub fn emitted(&self) -> usize {
+    pub fn emitted(&self) -> u128 {
         self.emitted
     }
 
     /// Candidates pruned (skipped before materialisation) so far. Always 0
     /// for [`Skeleton::stream`].
-    pub fn pruned(&self) -> usize {
+    pub fn pruned(&self) -> u128 {
         self.pruned
     }
 
-    /// Total coherence combinations of one rf configuration.
-    fn co_total(&self) -> usize {
-        self.parts.loc_writes.iter().map(|ws| factorial(ws.len())).product::<usize>().max(1)
+    /// Rewrites `rf_pick` to the digits of the linear index `pos`.
+    fn decode_pos(&mut self) {
+        for (d, pick) in self.rf_pick.iter_mut().enumerate() {
+            *pick = ((self.pos / self.rf_weights[d]) % self.rf_radices[d] as u128) as usize;
+        }
+    }
+
+    /// Moves to the next rf configuration (sets `done` past the shard).
+    fn advance_one(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.end {
+            self.done = true;
+            return;
+        }
+        let more = bump(&mut self.rf_pick, &self.rf_radices);
+        debug_assert!(more, "pos < end implies the odometer has not wrapped");
+    }
+
+    /// The external read-from edge read-digit `d` contributes to `hb`
+    /// under the current pick, if any (`rfi ⊄ hb`; initial writes are
+    /// external but can never sit on a cycle, so including them is fine).
+    fn rfe_edge(&self, d: usize) -> Option<(usize, usize)> {
+        let r = self.parts.reads[d];
+        let w = self.parts.rf_choices[d][self.rf_pick[d]];
+        let ev = &self.parts.base_events;
+        match (ev[w].thread, ev[r].thread) {
+            (Some(a), Some(b)) if a == b => None,
+            _ => Some((w, r)),
+        }
+    }
+
+    /// Aligns the thin-air tracker with the current rf configuration,
+    /// skipping doomed subtrees: reads are layered from the most
+    /// significant odometer digit down, so when the edge of digit `d`
+    /// closes a cycle, every configuration sharing digits `d..` — a whole
+    /// subtree of `rf_weights[d]` configurations × `co_total` coherence
+    /// orders — is pruned in O(1) and the odometer jumps past it.
+    ///
+    /// Returns `true` when `pos` names a thin-air-clean configuration;
+    /// `false` when the shard is exhausted (`done` is set).
+    fn sync_thinair(&mut self) -> bool {
+        if self.thinair.is_none() {
+            return true;
+        }
+        let nreads = self.parts.reads.len();
+        'retarget: loop {
+            // Levels are stacked top digit first: level `l` holds the pick
+            // of digit `nreads - 1 - l`. Keep the prefix that still
+            // matches, then extend downwards.
+            let tracker = self.thinair.as_ref().expect("checked above");
+            let mut keep = 0;
+            while keep < tracker.depth()
+                && tracker.level_tag(keep) == self.rf_pick[nreads - 1 - keep]
+            {
+                keep += 1;
+            }
+            self.thinair.as_mut().expect("checked above").truncate(keep);
+            for level in keep..nreads {
+                let d = nreads - 1 - level;
+                let edge = self.rfe_edge(d);
+                let pick = self.rf_pick[d];
+                if self.thinair.as_mut().expect("checked above").try_push(pick, edge) {
+                    continue;
+                }
+                // Cycle: skip to the next digit-d subtree boundary.
+                let width = self.rf_weights[d];
+                let next = ((self.pos / width) + 1).saturating_mul(width).min(self.end);
+                self.pruned =
+                    self.pruned.saturating_add((next - self.pos).saturating_mul(self.co_total));
+                self.pos = next;
+                if self.pos >= self.end {
+                    self.done = true;
+                    return false;
+                }
+                self.decode_pos();
+                continue 'retarget;
+            }
+            return true;
+        }
     }
 
     /// Prepares rf relation, sources, and the coherence state for the
     /// current rf configuration. Returns `false` when the whole rf subtree
-    /// is pruned (some location has no uniproc-consistent order).
+    /// is pruned (some location has no uniproc-consistent order), after
+    /// accounting its `co_total` candidates as pruned.
     fn setup_rf_config(&mut self) -> bool {
         let n = self.parts.base_events.len();
         self.cur_rf = Relation::empty(n);
@@ -399,12 +609,12 @@ impl CandidateIter {
             Some(graphs) => {
                 let menus = graphs.co_menus(&self.parts.locs, &self.parts.loc_writes, &self.rf_src);
                 let rf_ok = graphs.rf_only_consistent(&self.parts.locs, &self.rf_src);
-                let kept: usize = menus.iter().map(Vec::len).product();
+                let kept = menus.iter().map(|m| m.len() as u128).fold(1u128, u128::saturating_mul);
                 if !rf_ok || kept == 0 {
-                    self.pruned += self.co_total();
+                    self.pruned = self.pruned.saturating_add(self.co_total);
                     return false;
                 }
-                self.pruned += self.co_total() - kept;
+                self.pruned = self.pruned.saturating_add(self.co_total - kept);
                 let radices: Vec<usize> = menus.iter().map(Vec::len).collect();
                 self.co = CoState::Menu { pick: vec![0; menus.len()], menus, radices };
                 true
@@ -451,11 +661,6 @@ impl CandidateIter {
             CoState::Menu { pick, radices, .. } => bump(pick, radices),
         }
     }
-
-    /// Advances the rf odometer; `false` on wrap-around.
-    fn advance_rf(&mut self) -> bool {
-        bump(&mut self.rf_pick, &self.rf_radices)
-    }
 }
 
 impl Iterator for CandidateIter {
@@ -468,10 +673,11 @@ impl Iterator for CandidateIter {
             }
             if self.fresh_rf {
                 self.fresh_rf = false;
+                if !self.sync_thinair() {
+                    continue; // shard exhausted (done set)
+                }
                 if !self.setup_rf_config() {
-                    if !self.advance_rf() {
-                        self.done = true;
-                    }
+                    self.advance_one();
                     self.fresh_rf = true;
                     continue;
                 }
@@ -479,11 +685,8 @@ impl Iterator for CandidateIter {
             let x = self.emit();
             self.emitted += 1;
             if !self.advance_co() {
-                if self.advance_rf() {
-                    self.fresh_rf = true;
-                } else {
-                    self.done = true;
-                }
+                self.advance_one();
+                self.fresh_rf = true;
             }
             return Some(x);
         }
@@ -539,8 +742,19 @@ impl HeapPerm {
     }
 }
 
-fn factorial(k: usize) -> usize {
-    (1..=k).product::<usize>().max(1)
+/// `k!` in `u128`, `None` on overflow (first at `k = 35`). The previous
+/// `usize` version overflowed silently at `k ≥ 21`.
+fn factorial_checked(k: usize) -> Option<u128> {
+    let mut acc = 1u128;
+    for i in 2..=k as u128 {
+        acc = acc.checked_mul(i)?;
+    }
+    Some(acc)
+}
+
+/// `k!` in `u128`, saturating at `u128::MAX`.
+fn factorial_saturating(k: usize) -> u128 {
+    factorial_checked(k).unwrap_or(u128::MAX)
 }
 
 /// Advances a mixed-radix odometer; returns false on wrap-around to zero.
@@ -722,9 +936,31 @@ mod tests {
     fn mp_has_four_candidates() {
         // Each read has 2 possible sources; 1 non-init write per location.
         let sk = mp_skeleton(false, false);
-        assert_eq!(sk.candidate_count(), 4);
+        assert_eq!(sk.candidate_count(), Some(4));
         assert_eq!(sk.candidates().len(), 4);
         assert_eq!(sk.candidates_eager().len(), 4);
+    }
+
+    #[test]
+    fn candidate_count_is_overflow_safe() {
+        // 40 same-location writes per location: 40!² overflows u128 (and
+        // the old usize arithmetic long before). No wraparound, no panic.
+        let mut b = SkeletonBuilder::new();
+        for i in 0..40 {
+            b.write(0, "x", i);
+            b.write(1, "y", i);
+        }
+        let sk = b.build();
+        assert_eq!(sk.candidate_count(), None, "40!^2 exceeds u128");
+        assert_eq!(sk.candidate_count_saturating(), u128::MAX);
+        // A merely-large skeleton still counts exactly: 21 writes at one
+        // location is 21! — past the old usize-factorial overflow.
+        let mut b = SkeletonBuilder::new();
+        for i in 0..21 {
+            b.write(0, "x", i);
+        }
+        let sk = b.build();
+        assert_eq!(sk.candidate_count(), Some(51_090_942_171_709_440_000));
     }
 
     #[test]
@@ -791,7 +1027,7 @@ mod tests {
         let r = b.read(1, "x");
         let _ = r;
         let sk = b.build();
-        let total = sk.candidate_count();
+        let total = sk.candidate_count().unwrap();
         let all: Vec<Execution> = sk.stream().collect();
         let ok_eager = all.iter().filter(|x| sc_per_location(x)).count();
 
@@ -801,6 +1037,98 @@ mod tests {
         assert_eq!(kept.len(), ok_eager, "pruning keeps exactly the uniproc-consistent ones");
         assert_eq!(it.emitted() + it.pruned(), total, "pruned + emitted == candidate_count");
         assert!(it.pruned() > 0, "this skeleton must actually prune");
+    }
+
+    /// A genuine lb+datas ring: each thread reads one location and writes
+    /// the next with a data dependency, so the all-non-init rf choice
+    /// forms an `hb` cycle (paper Fig 7) prunable before any co work.
+    fn lb_ring(threads: usize) -> Skeleton {
+        let mut b = SkeletonBuilder::new();
+        let names: Vec<String> = (0..threads).map(|i| format!("x{i}")).collect();
+        let mut reads = Vec::new();
+        for t in 0..threads {
+            reads.push(b.read(t as u16, &names[t]));
+        }
+        for t in 0..threads {
+            let w = b.write(t as u16, &names[(t + 1) % threads], 1);
+            b.data(reads[t], w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn thin_air_pruning_skips_the_self_justifying_subtree() {
+        let sk = lb_ring(2);
+        let power = Power::new();
+        let total = sk.candidate_count().unwrap();
+
+        let all: Vec<Execution> = sk.stream().collect();
+        let allowed_eager = all.iter().filter(|x| check(&power, x).allowed()).count();
+
+        let mut it = sk.stream_pruned_for(&power);
+        let kept: Vec<Execution> = it.by_ref().collect();
+        assert_eq!(it.emitted() + it.pruned(), total, "thin-air accounting is exact");
+        assert!(it.pruned() > 0, "the cyclic rf choice must be pruned at generation");
+        assert!(
+            kept.iter().all(|x| check(&power, x).no_thin_air),
+            "nothing thin-air-forbidden survives"
+        );
+        let allowed_pruned = kept.iter().filter(|x| check(&power, x).allowed()).count();
+        assert_eq!(allowed_pruned, allowed_eager, "pruning is invisible to the model");
+    }
+
+    #[test]
+    fn architectures_without_a_base_never_thin_air_prune() {
+        /// Power's axioms but no static-base vouching (the default hook).
+        struct NoHook(Power);
+        impl crate::model::Architecture for NoHook {
+            fn name(&self) -> &str {
+                "no-hook"
+            }
+            fn ppo(&self, x: &Execution) -> Relation {
+                self.0.ppo(x)
+            }
+            fn fences(&self, x: &Execution) -> Relation {
+                self.0.fences(x)
+            }
+            fn prop(&self, x: &Execution) -> Relation {
+                self.0.prop(x)
+            }
+        }
+        let sk = lb_ring(2);
+        let hookless: usize = sk.stream_pruned_for(&NoHook(Power::new())).count();
+        let uniproc: usize = sk.stream_pruned().count();
+        assert_eq!(hookless, uniproc, "no base ⇒ uniproc-only pruning");
+        assert!(sk.stream_pruned_for(&Power::new()).count() < uniproc, "the hook does prune");
+    }
+
+    /// Contiguous rf-prefix shards must cover the stream exactly, with
+    /// merged counters matching the candidate count.
+    #[test]
+    fn shards_partition_the_stream_exactly() {
+        let key = |x: &Execution| format!("{:?}|{:?}", x.rf(), x.co());
+        for sk in [mp_skeleton(true, true), lb_ring(3)] {
+            let power = Power::new();
+            let mut whole: Vec<String> = sk.stream_pruned_for(&power).map(|x| key(&x)).collect();
+            whole.sort();
+            for nshards in [1usize, 2, 3, 7] {
+                let mut merged = Vec::new();
+                let (mut emitted, mut pruned) = (0u128, 0u128);
+                for s in 0..nshards {
+                    let mut it = sk.stream_pruned_for_shard(&power, s, nshards);
+                    merged.extend(it.by_ref().map(|x| key(&x)));
+                    emitted += it.emitted();
+                    pruned += it.pruned();
+                }
+                merged.sort();
+                assert_eq!(merged, whole, "{nshards} shards cover exactly the stream");
+                assert_eq!(
+                    emitted + pruned,
+                    sk.candidate_count().unwrap(),
+                    "merged shard counters are exact"
+                );
+            }
+        }
     }
 
     #[test]

@@ -217,6 +217,35 @@ impl ExecCore {
         &self.po_loc
     }
 
+    /// All write events (including initial writes).
+    pub fn writes(&self) -> &EventSet {
+        &self.w_set
+    }
+
+    /// All read events.
+    pub fn reads(&self) -> &EventSet {
+        &self.r_set
+    }
+
+    /// The raw relation of one fence flavour (empty when the skeleton has
+    /// no such fence) — the core-level twin of [`Execution::fence`].
+    pub fn fence(&self, f: Fence) -> Relation {
+        self.fences.get(&f).cloned().unwrap_or_else(|| Relation::empty(self.universe()))
+    }
+
+    /// Restricts `r` by source/target direction — the core-level twin of
+    /// [`Execution::dir_restrict`], available before any data-flow choice
+    /// (directions are skeleton-invariant).
+    pub fn dir_restrict(&self, r: &Relation, src: Option<Dir>, dst: Option<Dir>) -> Relation {
+        let full = EventSet::full(self.universe());
+        let pick = |d: Option<Dir>| match d {
+            None => &full,
+            Some(Dir::W) => &self.w_set,
+            Some(Dir::R) => &self.r_set,
+        };
+        r.restrict(pick(src), pick(dst))
+    }
+
     /// Same-location pairs (irreflexive).
     pub fn same_loc(&self) -> &Relation {
         &self.same_loc
@@ -375,7 +404,7 @@ impl Execution {
     /// The raw relation of one fence flavour: pairs of memory accesses with
     /// such a fence in between in program order.
     pub fn fence(&self, f: Fence) -> Relation {
-        self.core.fences().get(&f).cloned().unwrap_or_else(|| Relation::empty(self.len()))
+        self.core.fence(f)
     }
 
     /// All write events (including initial writes).
@@ -470,10 +499,7 @@ impl Execution {
     /// target has direction `dst` — the `WW(r)`, `RM(r)`, ... combinators
     /// of the cat language (Fig 38).
     pub fn dir_restrict(&self, r: &Relation, src: Option<Dir>, dst: Option<Dir>) -> Relation {
-        let full = EventSet::full(self.len());
-        let s = src.map_or(&full, |d| self.dir_set(d));
-        let t = dst.map_or(&full, |d| self.dir_set(d));
-        r.restrict(s, t)
+        self.core.dir_restrict(r, src, dst)
     }
 
     /// The final memory state: for each location, the value of the

@@ -38,6 +38,26 @@
 //! | OBSERVATION | `irreflexive(fre; prop; hb*)` | §4.4, Figs 5, 8 | [`crate::model::Verdict::observation`] |
 //! | PROPAGATION | `acyclic(co ∪ prop)` | §4.4, Figs 5, 13 | [`crate::model::Verdict::propagation`] |
 //!
+//! # Generation-time pruning — herd's `-speedcheck` (Sec 8.3)
+//!
+//! Enumeration never materialises candidates it can already refute: two
+//! axiom-shaped cuts run *inside* the rf×co odometer, and the odometer
+//! itself shards across threads.
+//!
+//! | axis | cuts on | when it fires | where |
+//! |---|---|---|---|
+//! | uniproc pruning | SC PER LOCATION | per location, once its rf sources and coherence order are fixed; whole rf×co subtrees die pre-materialisation | [`crate::uniproc::LocGraphs`] |
+//! | thin-air pruning | NO THIN AIR | per *read*, as the rf odometer picks sources: `hb = ppo ∪ fences ∪ rfe` never mentions `co`, so a static `ppo ∪ fences` base ([`crate::model::Architecture::thin_air_base`]) plus the partial rfe edges refutes entire rf subtrees before any coherence permutation | [`crate::thinair::ThinAirTracker`] |
+//! | rf-odometer sharding | — | the rf configuration index range splits into contiguous shards, one iterator per thread, per-shard `emitted`/`pruned` merging exactly to `candidate_count()` | [`crate::enumerate::StreamOpts::shard`] |
+//!
+//! Both pruning axes are *sound per architecture*: the llh hook
+//! ([`crate::model::Architecture::tolerates_load_load_hazards`]) weakens
+//! the uniproc graphs, and thin-air pruning only fires when the
+//! architecture vouches for an underapproximating static base (`None`
+//! disables it — e.g. for models without the NO THIN AIR axiom). Entry
+//! points: [`crate::enumerate::Skeleton::stream_pruned_for`] and the
+//! litmus driver's `stream_arch`/`stream_shard`/`simulate_sharded`.
+//!
 //! # Litmus names (Tab III)
 //!
 //! | classic | systematic | description |

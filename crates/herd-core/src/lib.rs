@@ -15,7 +15,11 @@
 //! - [`model`]: the generic axioms and the [`model::Architecture`] trait.
 //! - [`ppo`]: the Power/ARM preserved-program-order fixpoint (Fig 25).
 //! - [`arch`]: the stock architectures.
-//! - [`enumerate`]: data-flow enumeration from skeletons to candidates.
+//! - [`enumerate`]: data-flow enumeration from skeletons to candidates,
+//!   streaming with generation-time pruning and rf-odometer sharding.
+//! - [`uniproc`] / [`thinair`]: the two pruning axes of herd's
+//!   `-speedcheck` (Sec 8.3) — per-location SC PER LOCATION masks and the
+//!   incremental NO THIN AIR happens-before tracker.
 //! - [`fixtures`]: hand-built executions for every canonical pattern
 //!   (mp, sb, lb, wrc, isa2, 2+2w, r, s, rwc, iriw, the coXY five, ...).
 //! - [`glossary`]: the paper's Tabs II and III as living documentation —
@@ -55,6 +59,7 @@ pub mod model;
 pub mod ppo;
 pub mod relation;
 pub mod set;
+pub mod thinair;
 pub mod uniproc;
 
 pub use event::{Dir, Event, Fence, Loc, ThreadId, Val};

@@ -15,7 +15,7 @@
 //! weakens axiom 4 to `irreflexive(prop; co)` (Sec 4.8).
 
 use crate::event::Dir;
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::relation::Relation;
 use std::fmt;
 
@@ -73,6 +73,28 @@ pub trait Architecture {
     /// Which form of the PROPAGATION axiom applies.
     fn propagation_check(&self) -> PropagationCheck {
         PropagationCheck::Acyclic
+    }
+
+    /// A skeleton-invariant underapproximation of `ppo ∪ fences`, enabling
+    /// generation-time NO THIN AIR pruning (Sec 8.3, the `-speedcheck`
+    /// strategy).
+    ///
+    /// The contract: the returned relation must be contained in
+    /// `ppo(x) ∪ fences(x)` for **every** candidate execution `x` built on
+    /// `core`, so that a cycle in `base ∪ rfe` implies a cycle in `hb` and
+    /// the candidate is forbidden by NO THIN AIR whatever its coherence
+    /// order. Architectures whose model does not enforce NO THIN AIR (or
+    /// that cannot offer a sound static base) return `None` — the default
+    /// — which disables this pruning axis entirely; pruning never happens
+    /// unless an architecture explicitly vouches for it.
+    ///
+    /// Stock instances override it: SC/C++RA return `po`, TSO/PSO/RMO
+    /// their static `ppo` plus fences, Power/ARM the
+    /// [`crate::ppo::compute_static`] fixpoint plus their static fence
+    /// relations.
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        let _ = core;
+        None
     }
 }
 

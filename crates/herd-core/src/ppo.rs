@@ -8,7 +8,7 @@
 //! `ppo = (ii ∩ RR) ∪ (ic ∩ RW)`.
 
 use crate::event::Dir;
-use crate::exec::Execution;
+use crate::exec::{ExecCore, Execution};
 use crate::relation::Relation;
 
 /// Knobs differentiating the Power ppo from the ARM variants and the
@@ -95,6 +95,25 @@ pub fn compute(x: &Execution, cfg: &PpoConfig) -> SubeventOrders {
     cc0.union_with(&x.deps().ctrl);
     cc0.union_with(&x.deps().addr.seq(x.po()));
 
+    let (ii, ic, ci, cc) = fixpoint(&ii0, &ic0, &ci0, &cc0);
+
+    let ppo = x.dir_restrict(&ii, Some(Dir::R), Some(Dir::R)).union(&x.dir_restrict(
+        &ic,
+        Some(Dir::R),
+        Some(Dir::W),
+    ));
+
+    SubeventOrders { ii, ic, cc, ci, ppo }
+}
+
+/// Iterates the Fig 25 equations to their least fixpoint from the given
+/// base cases; returns `(ii, ic, ci, cc)`.
+fn fixpoint(
+    ii0: &Relation,
+    ic0: &Relation,
+    ci0: &Relation,
+    cc0: &Relation,
+) -> (Relation, Relation, Relation, Relation) {
     let mut ii = ii0.clone();
     let mut ic = ic0.clone();
     let mut ci = ci0.clone();
@@ -118,14 +137,34 @@ pub fn compute(x: &Execution, cfg: &PpoConfig) -> SubeventOrders {
             break;
         }
     }
+    (ii, ic, ci, cc)
+}
 
-    let ppo = x.dir_restrict(&ii, Some(Dir::R), Some(Dir::R)).union(&x.dir_restrict(
-        &ic,
-        Some(Dir::R),
-        Some(Dir::W),
-    ));
+/// The rf/co-independent part of the Fig 25 ppo: the same fixpoint with
+/// the dynamic ingredients (`rdw`, `rfi`, `detour`) emptied, computed from
+/// an [`ExecCore`] before any data-flow choice exists.
+///
+/// The fixpoint equations are monotone, so the result is contained in
+/// `compute(x, cfg).ppo` for *every* candidate `x` built on `core` — the
+/// underapproximation that makes generation-time NO THIN AIR pruning
+/// sound ([`crate::model::Architecture::thin_air_base`]).
+pub fn compute_static(core: &ExecCore, cfg: &PpoConfig) -> Relation {
+    let n = core.universe();
+    let dp = core.deps().addr.union(&core.deps().data);
 
-    SubeventOrders { ii, ic, cc, ci, ppo }
+    let ii0 = dp.clone();
+    let ic0 = Relation::empty(n);
+    let ci0 =
+        if cfg.ctrl_cfence_in_ci0 { core.deps().ctrl_cfence.clone() } else { Relation::empty(n) };
+    let mut cc0 = dp;
+    if cfg.po_loc_in_cc0 {
+        cc0.union_with(core.po_loc());
+    }
+    cc0.union_with(&core.deps().ctrl);
+    cc0.union_with(&core.deps().addr.seq(core.po()));
+
+    let (ii, ic, _, _) = fixpoint(&ii0, &ic0, &ci0, &cc0);
+    ii.restrict(core.reads(), core.reads()).union(&ic.restrict(core.reads(), core.writes()))
 }
 
 #[cfg(test)]
@@ -186,6 +225,22 @@ mod tests {
             assert!(o.ci.is_subset(&o.cc), "ci ⊆ cc");
             assert!(o.ii.is_subset(&o.ic), "ii ⊆ ic");
             assert!(o.cc.is_subset(&o.ic), "cc ⊆ ic");
+        }
+    }
+
+    #[test]
+    fn static_ppo_underapproximates_every_candidate() {
+        for x in [
+            fixtures::mp(Device::Fence(crate::event::Fence::Lwsync), Device::Addr),
+            fixtures::lb(Device::Data, Device::Ctrl),
+            fixtures::s(Device::None, Device::Addr),
+            fixtures::co_rr(),
+        ] {
+            for cfg in [PpoConfig::power(), PpoConfig::arm()] {
+                let full = compute(&x, &cfg).ppo;
+                let fixed = compute_static(x.core(), &cfg);
+                assert!(fixed.is_subset(&full), "static ppo must be ⊆ the candidate's ppo");
+            }
         }
     }
 

@@ -1,0 +1,206 @@
+//! Early NO THIN AIR pruning for candidate enumeration (paper, Sec 8.3).
+//!
+//! The second axiom of Fig 5, `acyclic(hb)` with `hb = ppo ∪ fences ∪
+//! rfe`, never mentions the coherence order: once the rf/co-independent
+//! part of an architecture's `ppo ∪ fences` is known (a *static base*,
+//! [`crate::model::Architecture::thin_air_base`]), the axiom's fate is
+//! sealed by the rf choice alone. herd's `-speedcheck` strategy exploits
+//! this: as the rf odometer picks a source for each read, the external
+//! read-from edges are added to the base incrementally, and the moment
+//! the partial happens-before graph goes cyclic the whole rf subtree —
+//! every completion of the remaining reads times every coherence
+//! permutation — is skipped before a single
+//! [`crate::exec::Execution`] is materialised.
+//!
+//! [`ThinAirTracker`] is that incremental structure: transitive
+//! reachability masks over ≤64 events (the same representation as
+//! [`crate::uniproc::LocGraphs`]) with one checkpoint level per chosen
+//! read, so enumeration can roll back exactly to the odometer digit that
+//! changed. Construction returns `None` beyond 64 events and callers fall
+//! back to streaming without this pruning axis — the same graceful
+//! degradation as the per-location masks.
+
+use crate::relation::Relation;
+
+/// One checkpoint of the incremental happens-before closure.
+struct Level {
+    /// The rf-odometer digit value this level was built with, used to
+    /// revalidate the checkpoint stack after the odometer moves.
+    tag: usize,
+    /// Reachability masks after this level's edge.
+    reach: Vec<u64>,
+}
+
+/// Incremental cycle detection over `base ∪ {chosen rfe edges}`.
+///
+/// The *base* is a static, skeleton-invariant underapproximation of
+/// `ppo ∪ fences`; levels are pushed one per read as the enumeration
+/// fixes read-from sources, and popped (via [`truncate`]) when the
+/// odometer carries. A rejected [`try_push`] means every candidate
+/// sharing the pushed prefix violates NO THIN AIR, whatever the remaining
+/// reads and coherence orders do.
+///
+/// [`truncate`]: ThinAirTracker::truncate
+/// [`try_push`]: ThinAirTracker::try_push
+pub struct ThinAirTracker {
+    n: usize,
+    /// Transitive closure of the static base, as successor masks.
+    base: Vec<u64>,
+    /// Whether the base alone is cyclic (every candidate doomed).
+    base_cyclic: bool,
+    levels: Vec<Level>,
+}
+
+impl ThinAirTracker {
+    /// Builds a tracker over the transitive closure of `base`.
+    ///
+    /// Returns `None` when the universe exceeds 64 events (beyond litmus
+    /// scale; the mask representation caps there) — callers then stream
+    /// without thin-air pruning, which is always sound.
+    pub fn new(base: &Relation) -> Option<Self> {
+        let n = base.universe();
+        if n > 64 {
+            return None;
+        }
+        let closed = base.tclosure();
+        let mut masks = vec![0u64; n];
+        let mut base_cyclic = false;
+        for (a, b) in closed.iter_pairs() {
+            masks[a] |= 1 << b;
+            if a == b {
+                base_cyclic = true;
+            }
+        }
+        Some(ThinAirTracker { n, base: masks, base_cyclic, levels: Vec::new() })
+    }
+
+    /// Is the static base itself cyclic? Then every rf choice is doomed
+    /// and the caller can prune the entire enumeration up front.
+    pub fn is_base_cyclic(&self) -> bool {
+        self.base_cyclic
+    }
+
+    /// Number of checkpoint levels currently pushed.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The tag `level` was pushed with (0-based from the bottom).
+    pub fn level_tag(&self, level: usize) -> usize {
+        self.levels[level].tag
+    }
+
+    /// Pops levels until only `depth` remain.
+    pub fn truncate(&mut self, depth: usize) {
+        self.levels.truncate(depth);
+    }
+
+    fn top(&self) -> &[u64] {
+        self.levels.last().map_or(&self.base, |l| &l.reach)
+    }
+
+    /// Pushes one checkpoint for a read whose source was just picked.
+    ///
+    /// `edge` is the read's external read-from edge `(write, read)`, or
+    /// `None` when the pick contributes nothing to `hb` (an internal
+    /// read-from edge — `rfi ⊄ hb`). Returns `false` and leaves the stack
+    /// unchanged when the edge closes a cycle: every candidate sharing
+    /// the current prefix of picks then violates NO THIN AIR.
+    pub fn try_push(&mut self, tag: usize, edge: Option<(usize, usize)>) -> bool {
+        if self.base_cyclic {
+            return false;
+        }
+        let Some((from, to)) = edge else {
+            let reach = self.top().to_vec();
+            self.levels.push(Level { tag, reach });
+            return true;
+        };
+        debug_assert!(from < self.n && to < self.n, "edge out of universe");
+        if from == to || self.top()[to] >> from & 1 == 1 {
+            return false;
+        }
+        let mut reach = self.top().to_vec();
+        let add = reach[to] | 1 << to;
+        reach[from] |= add;
+        for r in reach.iter_mut() {
+            if *r >> from & 1 == 1 {
+                *r |= add;
+            }
+        }
+        self.levels.push(Level { tag, reach });
+        true
+    }
+
+    /// One-shot check of a complete rf choice: `true` iff `base ∪ edges`
+    /// is acyclic. Resets the checkpoint stack; `edges` are the external
+    /// read-from edges of the configuration.
+    pub fn check_rf(&mut self, edges: impl IntoIterator<Item = (usize, usize)>) -> bool {
+        if self.base_cyclic {
+            return false;
+        }
+        self.levels.clear();
+        for (w, r) in edges {
+            if !self.try_push(0, Some((w, r))) {
+                self.levels.clear();
+                return false;
+            }
+        }
+        self.levels.clear();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_cycles_incrementally_and_rolls_back() {
+        // base: 0 -> 1
+        let base = Relation::from_pairs(3, [(0, 1)]);
+        let mut t = ThinAirTracker::new(&base).unwrap();
+        assert!(!t.is_base_cyclic());
+        assert!(t.try_push(0, Some((1, 2))), "1 -> 2 extends the chain");
+        assert!(!t.try_push(0, Some((2, 0))), "2 -> 0 closes the cycle");
+        assert_eq!(t.depth(), 1, "the rejected edge pushed nothing");
+        // Roll back and take a harmless edge instead.
+        t.truncate(0);
+        assert!(t.try_push(1, Some((2, 0))), "without 1 -> 2 the back edge is fine");
+        assert!(!t.try_push(0, Some((1, 2))), "...but now the chain closes it");
+    }
+
+    #[test]
+    fn internal_picks_push_without_edges() {
+        let base = Relation::from_pairs(2, [(0, 1)]);
+        let mut t = ThinAirTracker::new(&base).unwrap();
+        assert!(t.try_push(7, None));
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.level_tag(0), 7);
+        assert!(!t.try_push(0, Some((1, 0))), "base edges persist through levels");
+    }
+
+    #[test]
+    fn cyclic_base_dooms_everything() {
+        let base = Relation::from_pairs(2, [(0, 1), (1, 0)]);
+        let mut t = ThinAirTracker::new(&base).unwrap();
+        assert!(t.is_base_cyclic());
+        assert!(!t.try_push(0, None));
+        assert!(!t.check_rf([]));
+    }
+
+    #[test]
+    fn check_rf_is_a_oneshot_reset() {
+        let base = Relation::from_pairs(4, [(0, 1), (2, 3)]);
+        let mut t = ThinAirTracker::new(&base).unwrap();
+        assert!(t.check_rf([(1, 2)]), "0->1->2->3 is a chain");
+        assert!(!t.check_rf([(1, 2), (3, 0)]), "closing the chain is a cycle");
+        assert!(t.check_rf([(3, 0)]), "the stack was reset in between");
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn more_than_64_events_fall_back() {
+        assert!(ThinAirTracker::new(&Relation::empty(65)).is_none());
+        assert!(ThinAirTracker::new(&Relation::empty(64)).is_some());
+    }
+}

@@ -66,10 +66,10 @@ impl LocGraphs {
     /// paper Tab VII / Sec 4.9); pruning with the weakened graph never
     /// discards a candidate such an architecture would allow.
     ///
-    /// # Panics
-    ///
-    /// Panics if one location has more than 64 events (far beyond litmus
-    /// scale; the bitmask representation caps there).
+    /// Locations with more than 64 events (beyond the bitmask width, far
+    /// past litmus scale) simply get no graph: enumeration falls back to
+    /// unpruned streaming for them — fewer prunes, never a crash, and the
+    /// axioms still filter those candidates downstream.
     pub fn new(shape: &[EventShape], po: &Relation, drop_rr: bool) -> Self {
         assert_eq!(po.universe(), shape.len(), "po universe mismatch");
         let mut locs: Vec<Loc> = shape.iter().map(|s| s.loc).collect();
@@ -79,11 +79,11 @@ impl LocGraphs {
         let mut graphs = Vec::new();
         for loc in locs {
             let members: Vec<usize> = (0..shape.len()).filter(|&id| shape[id].loc == loc).collect();
-            // A lone event can never close a cycle.
-            if members.len() < 2 {
+            // A lone event can never close a cycle; an oversized location
+            // exceeds the mask width and streams unpruned instead.
+            if members.len() < 2 || members.len() > 64 {
                 continue;
             }
-            assert!(members.len() <= 64, "more than 64 events at one location");
             let mut local_of = vec![NOT_LOCAL; shape.len()];
             for (i, &gid) in members.iter().enumerate() {
                 local_of[gid] = i as u8;
@@ -326,6 +326,21 @@ mod tests {
         let graphs = LocGraphs::new(&shape, &po, false);
         assert!(graphs.graph_for(Loc(0)).is_none(), "single event: nothing to check");
         assert!(graphs.graph_for(Loc(1)).is_some());
+    }
+
+    #[test]
+    fn oversized_locations_fall_back_to_unpruned() {
+        // 65 writes at one location: beyond the mask width. The location
+        // gets no graph (no panic), while a small sibling keeps its own.
+        let mut shape: Vec<EventShape> =
+            (0..65).map(|_| EventShape { dir: Dir::W, loc: Loc(0), init: false }).collect();
+        shape.push(EventShape { dir: Dir::W, loc: Loc(1), init: true });
+        shape.push(EventShape { dir: Dir::W, loc: Loc(1), init: false });
+        let po = Relation::empty(shape.len());
+        let graphs = LocGraphs::new(&shape, &po, false);
+        assert!(graphs.graph_for(Loc(0)).is_none(), "oversized location streams unpruned");
+        assert!(graphs.graph_for(Loc(1)).is_some(), "small locations still prune");
+        assert!(graphs.rf_only_consistent(&[], &vec![0; shape.len()]));
     }
 
     #[test]

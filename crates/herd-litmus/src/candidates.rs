@@ -24,7 +24,9 @@ use crate::sem::{self, SemError, ThreadPath};
 use herd_core::enumerate::{build_co, HeapPerm};
 use herd_core::event::{Dir, Event, Fence, Loc, ThreadId, Val};
 use herd_core::exec::{Deps, ExecCore, Execution};
+use herd_core::model::Architecture;
 use herd_core::relation::Relation;
+use herd_core::thinair::ThinAirTracker;
 use herd_core::uniproc::{EventShape, LocGraphs};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -173,16 +175,23 @@ impl Prune {
 pub struct EnumStats {
     /// Candidates pushed to the sink.
     pub emitted: usize,
-    /// Candidates pruned before materialisation (0 without pruning).
-    pub pruned: usize,
+    /// Candidates pruned before materialisation (0 without pruning). A
+    /// `u128`: pruning counts subtrees it never visits, so the tally can
+    /// legitimately exceed anything enumerable.
+    pub pruned: u128,
 }
 
 impl EnumStats {
     /// All candidates the data-flow odometer covered.
-    pub fn total(&self) -> usize {
-        self.emitted + self.pruned
+    pub fn total(&self) -> u128 {
+        self.emitted as u128 + self.pruned
     }
 }
+
+/// Callback computing an architecture's static NO THIN AIR base for the
+/// core of one control-flow combination (see
+/// [`Architecture::thin_air_base`]); `None` disables thin-air pruning.
+type ThinAirHook<'a> = &'a dyn Fn(&ExecCore) -> Option<Relation>;
 
 /// Streams the candidate executions of `test` into `sink`.
 ///
@@ -199,6 +208,62 @@ pub fn stream(
     test: &LitmusTest,
     opts: &EnumOptions,
     prune: Prune,
+    sink: &mut dyn FnMut(Candidate),
+) -> Result<EnumStats, CandidateError> {
+    stream_impl(test, opts, prune, None, (0, 1), sink)
+}
+
+/// Streams with every pruning axis that is sound for `arch`: the
+/// architecture's uniproc mode ([`Prune::for_arch`]) plus generation-time
+/// NO THIN AIR pruning whenever [`Architecture::thin_air_base`] vouches
+/// for a static base — herd's full `-speedcheck` (paper, Sec 8.3).
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the emitted-candidate
+/// bound is exceeded.
+pub fn stream_arch<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    sink: &mut dyn FnMut(Candidate),
+) -> Result<EnumStats, CandidateError> {
+    stream_shard(test, opts, arch, 0, 1, sink)
+}
+
+/// One shard of [`stream_arch`]: processes only the rf configurations
+/// whose global index is `shard` modulo `nshards` (round-robin, so heavy
+/// regions of the odometer spread evenly), letting callers fan a *single*
+/// test's rf×co space out across threads. Per-shard [`EnumStats`] sum to
+/// exactly the unsharded totals.
+///
+/// # Panics
+///
+/// Panics when `shard >= nshards`.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the per-shard
+/// emitted-candidate bound is exceeded.
+pub fn stream_shard<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    shard: usize,
+    nshards: usize,
+    sink: &mut dyn FnMut(Candidate),
+) -> Result<EnumStats, CandidateError> {
+    assert!(nshards > 0 && shard < nshards, "shard index out of range");
+    let hook = |core: &ExecCore| arch.thin_air_base(core);
+    stream_impl(test, opts, Prune::for_arch(arch), Some(&hook), (shard, nshards), sink)
+}
+
+fn stream_impl(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    prune: Prune,
+    thin_air: Option<ThinAirHook<'_>>,
+    shard: (usize, usize),
     sink: &mut dyn FnMut(Candidate),
 ) -> Result<EnumStats, CandidateError> {
     let locs = LocTable::for_test(test);
@@ -227,11 +292,26 @@ pub fn stream(
     let domain = value_domain(test);
 
     let mut stats = EnumStats::default();
+    // Global rf-configuration counter, advanced identically in every
+    // shard so that round-robin ownership partitions the space exactly.
+    let mut cfg_idx = 0u64;
     let mut pick = vec![0usize; thread_paths.len()];
     loop {
         let combo: Vec<&ThreadPath> =
             pick.iter().zip(&thread_paths).map(|(&i, ps)| &ps[i]).collect();
-        assemble(test, &locs, &combo, &domain, opts, prune, sink, &mut stats)?;
+        assemble(AssembleCtx {
+            test,
+            locs: &locs,
+            combo: &combo,
+            domain: &domain,
+            opts,
+            prune,
+            thin_air,
+            shard,
+            cfg_idx: &mut cfg_idx,
+            sink,
+            stats: &mut stats,
+        })?;
         if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
             break;
         }
@@ -278,19 +358,39 @@ fn value_domain(test: &LitmusTest) -> Vec<i64> {
     d
 }
 
-/// Assembles all candidates for one combination of thread paths, pushing
-/// them into `sink` as the data-flow odometer advances.
-#[allow(clippy::too_many_arguments)]
-fn assemble(
-    test: &LitmusTest,
-    locs: &LocTable,
-    combo: &[&ThreadPath],
-    domain: &[i64],
-    opts: &EnumOptions,
+/// Everything [`assemble`] needs for one combination of thread paths.
+struct AssembleCtx<'a, 'h, 's> {
+    test: &'a LitmusTest,
+    locs: &'a LocTable,
+    combo: &'a [&'a ThreadPath],
+    domain: &'a [i64],
+    opts: &'a EnumOptions,
     prune: Prune,
-    sink: &mut dyn FnMut(Candidate),
-    stats: &mut EnumStats,
-) -> Result<(), CandidateError> {
+    thin_air: Option<ThinAirHook<'h>>,
+    /// Round-robin shard `(index, count)` over rf configurations.
+    shard: (usize, usize),
+    /// Global rf-configuration counter shared across combinations.
+    cfg_idx: &'a mut u64,
+    sink: &'a mut (dyn FnMut(Candidate) + 's),
+    stats: &'a mut EnumStats,
+}
+
+/// Assembles all candidates for one combination of thread paths, pushing
+/// them into the sink as the data-flow odometer advances.
+fn assemble(ctx: AssembleCtx<'_, '_, '_>) -> Result<(), CandidateError> {
+    let AssembleCtx {
+        test,
+        locs,
+        combo,
+        domain,
+        opts,
+        prune,
+        thin_air,
+        shard,
+        cfg_idx,
+        sink,
+        stats,
+    } = ctx;
     // Lay out events: init writes first, then thread accesses.
     let n_init = locs.names().len();
     let n: usize = n_init + combo.iter().map(|p| p.accesses.len()).sum::<usize>();
@@ -440,6 +540,10 @@ fn assemble(
             Some(LocGraphs::new(&shape, core.po(), prune == Prune::UniprocLlh))
         }
     };
+    // NO THIN AIR pruning: the architecture's static `ppo ∪ fences` base
+    // for this combination's core (None beyond 64 events — fall back).
+    let mut thinair: Option<ThinAirTracker> =
+        thin_air.and_then(|hook| hook(&core)).and_then(|base| ThinAirTracker::new(&base));
 
     let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
 
@@ -447,6 +551,20 @@ fn assemble(
     let mut rf_pick = vec![0usize; reads.len()];
     let rf_radices: Vec<usize> = rf_choices.iter().map(Vec::len).collect();
     loop {
+        // Round-robin sharding: every shard advances the global counter
+        // identically and works only the configurations it owns.
+        let mine = {
+            let idx = *cfg_idx;
+            *cfg_idx += 1;
+            idx % shard.1 as u64 == shard.0 as u64
+        };
+        if !mine {
+            if !bump(&mut rf_pick, &rf_radices) {
+                break;
+            }
+            continue;
+        }
+
         // Equations for this rf choice.
         let mut equations = base_equations.clone();
         let mut rf = Relation::empty(n);
@@ -493,6 +611,28 @@ fn assemble(
             continue;
         }
 
+        // NO THIN AIR: if the static base plus this configuration's
+        // external rf edges is already cyclic, every candidate of the
+        // configuration is forbidden by the axiom whatever its coherence
+        // orders — count them pruned and skip all co work (Sec 8.3).
+        let thin_air_doomed = thinair.as_mut().is_some_and(|t| {
+            !t.check_rf(reads.iter().enumerate().filter_map(|(k, &r)| {
+                let w = rf_choices[k][rf_pick[k]];
+                let external = match (events[w].thread, events[r].thread) {
+                    (Some(a), Some(b)) => a != b,
+                    _ => true,
+                };
+                external.then_some((w, r))
+            }))
+        });
+        if thin_air_doomed {
+            stats.pruned += (concs.len() as u128).saturating_mul(co_total as u128);
+            if !bump(&mut rf_pick, &rf_radices) {
+                break;
+            }
+            continue;
+        }
+
         // With pruning: filter each location's coherence orders once per
         // rf configuration and check the locations without a co digit —
         // an empty menu or a failed rf-only location kills the whole rf
@@ -506,7 +646,7 @@ fn assemble(
             Some(_) => 0,
             None => co_total,
         };
-        stats.pruned += concs.len() * (co_total - co_valid);
+        stats.pruned += (concs.len() as u128).saturating_mul((co_total - co_valid) as u128);
         if co_valid == 0 {
             if !bump(&mut rf_pick, &rf_radices) {
                 break;
@@ -682,7 +822,7 @@ mod tests {
         let stats =
             stream(&test, &EnumOptions::default(), Prune::Uniproc, &mut |c| kept.push(c)).unwrap();
         assert_eq!(stats.emitted, coherent);
-        assert_eq!(stats.total(), all.len(), "emitted + pruned covers everything");
+        assert_eq!(stats.total(), all.len() as u128, "emitted + pruned covers everything");
         assert!(stats.pruned > 0, "coRR must actually prune");
         assert!(kept.iter().all(|c| herd_core::model::sc_per_location(&c.exec)));
 
@@ -693,6 +833,36 @@ mod tests {
         })
         .unwrap();
         assert!(llh.emitted > stats.emitted, "llh tolerates hazards strict pruning drops");
+    }
+
+    #[test]
+    fn shards_partition_the_arch_stream_exactly() {
+        use herd_core::arch::Power;
+        let test = crate::corpus::co_rr(Isa::Power);
+        let opts = EnumOptions::default();
+        let power = Power::new();
+        let mut whole = Vec::new();
+        let whole_stats = stream_arch(&test, &opts, &power, &mut |c| {
+            whole.push(format!("{:?}|{:?}", c.exec.rf(), c.exec.co()));
+        })
+        .unwrap();
+        whole.sort();
+        for nshards in [2usize, 3] {
+            let mut merged = Vec::new();
+            let mut stats = EnumStats::default();
+            for s in 0..nshards {
+                let shard_stats = stream_shard(&test, &opts, &power, s, nshards, &mut |c| {
+                    merged.push(format!("{:?}|{:?}", c.exec.rf(), c.exec.co()));
+                })
+                .unwrap();
+                stats.emitted += shard_stats.emitted;
+                stats.pruned += shard_stats.pruned;
+            }
+            merged.sort();
+            assert_eq!(merged, whole, "{nshards} shards emit exactly the stream");
+            assert_eq!(stats.emitted, whole_stats.emitted);
+            assert_eq!(stats.pruned, whole_stats.pruned, "pruned counters merge exactly");
+        }
     }
 
     #[test]

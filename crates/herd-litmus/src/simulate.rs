@@ -2,20 +2,26 @@
 //! pruning, apply a model, evaluate the final condition (paper, Sec 8.3).
 //!
 //! [`simulate`] never materialises the candidate vector: candidates arrive
-//! one at a time from [`candidates::stream`] with SC-PER-LOCATION-violating
-//! subtrees pruned at the generator (they are forbidden by every
-//! architecture's first axiom, so only their count is kept). Each surviving
-//! candidate is judged via [`herd_core::model::check_with`] on
-//! architecture relations computed once per candidate — `hb+`/`hb*` are
-//! shared by the NO THIN AIR and OBSERVATION axioms instead of being
-//! recomputed per axiom consumer. [`simulate_corpus`] fans a whole corpus
-//! out over `std::thread::scope` so campaign-scale runs use every core.
+//! one at a time from [`candidates::stream_arch`] with both `-speedcheck`
+//! axes applied at the generator — SC-PER-LOCATION-violating subtrees
+//! (forbidden by every architecture's first axiom) and, when the
+//! architecture vouches for a static base
+//! ([`Architecture::thin_air_base`]), NO-THIN-AIR-violating rf subtrees;
+//! only their counts are kept. Each surviving candidate is judged via
+//! [`herd_core::model::check_with`] on architecture relations computed
+//! once per candidate — `hb+`/`hb*` are shared by the NO THIN AIR and
+//! OBSERVATION axioms instead of being recomputed per axiom consumer.
+//! [`simulate_sharded`] fans the rf×co space of a *single* test out over
+//! scoped threads with exactly merged accounting, and [`simulate_corpus`]
+//! distributes a whole corpus over every core via an atomic work-stealing
+//! index (no static split, no idle workers).
 
-use crate::candidates::{self, Candidate, CandidateError, EnumOptions, Prune, RegFinal};
+use crate::candidates::{self, Candidate, CandidateError, EnumOptions, EnumStats, RegFinal};
 use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
 use herd_core::model::{self, ArchRelations, Architecture, Verdict};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of simulating one test under one model.
 #[derive(Clone, Debug)]
@@ -25,11 +31,11 @@ pub struct SimOutcome {
     /// Model name.
     pub arch: String,
     /// Number of candidate executions (including pruned ones).
-    pub candidates: usize,
-    /// Candidates discarded at generation time by uniproc pruning (all of
-    /// them forbidden by SC PER LOCATION; 0 when judging pre-enumerated
-    /// slices).
-    pub pruned: usize,
+    pub candidates: u128,
+    /// Candidates discarded at generation time by uniproc or thin-air
+    /// pruning (all of them forbidden by SC PER LOCATION respectively
+    /// NO THIN AIR; 0 when judging pre-enumerated slices).
+    pub pruned: u128,
     /// Number the model allows.
     pub allowed: usize,
     /// Allowed executions satisfying the condition's proposition.
@@ -84,7 +90,9 @@ pub fn simulate<A: Architecture + ?Sized>(
 }
 
 /// Simulates with explicit enumeration options, streaming candidates with
-/// the architecture's sound uniproc pruning.
+/// every generation-time pruning axis sound for the architecture (uniproc
+/// masks plus NO THIN AIR when [`Architecture::thin_air_base`] provides a
+/// static base).
 ///
 /// # Errors
 ///
@@ -95,10 +103,62 @@ pub fn simulate_with<A: Architecture + ?Sized>(
     opts: &EnumOptions,
 ) -> Result<SimOutcome, CandidateError> {
     let mut acc = Judgement::default();
-    let stats = candidates::stream(test, opts, Prune::for_arch(arch), &mut |c| {
+    let stats = candidates::stream_arch(test, opts, arch, &mut |c| {
         acc.absorb(test, arch, &c);
     })?;
     Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
+}
+
+/// Simulates one test with its rf×co space sharded over `workers` scoped
+/// threads ([`candidates::stream_shard`]): per-shard judgements and
+/// `emitted`/`pruned` counters merge into exact totals, so the outcome is
+/// identical to [`simulate_with`] — including the candidate accounting.
+/// `workers <= 1` degrades to the sequential driver.
+///
+/// # Errors
+///
+/// Returns the first [`CandidateError`] any shard produced. The
+/// `max_candidates` bound keeps its sequential, whole-test meaning: if
+/// the shards together emit more than the bound, the call fails exactly
+/// as [`simulate_with`] would, whatever the worker count.
+pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
+    test: &LitmusTest,
+    arch: &A,
+    opts: &EnumOptions,
+    workers: usize,
+) -> Result<SimOutcome, CandidateError> {
+    if workers <= 1 {
+        return simulate_with(test, arch, opts);
+    }
+    let shards: Vec<Result<(Judgement, EnumStats), CandidateError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut acc = Judgement::default();
+                    let stats = candidates::stream_shard(test, opts, arch, s, workers, &mut |c| {
+                        acc.absorb(test, arch, &c);
+                    })?;
+                    Ok((acc, stats))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    let mut acc = Judgement::default();
+    let (mut candidates, mut pruned, mut emitted) = (0u128, 0u128, 0usize);
+    for shard in shards {
+        let (part, stats) = shard?;
+        acc.merge(part);
+        candidates += stats.total();
+        pruned += stats.pruned;
+        emitted += stats.emitted;
+    }
+    // Per-shard streams each stay under the bound individually; restore
+    // the whole-test semantics so outcomes do not depend on core count.
+    if emitted > opts.max_candidates {
+        return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
+    }
+    Ok(acc.outcome(test, arch, candidates, pruned))
 }
 
 /// Applies the model and condition to pre-enumerated candidates (lets
@@ -112,7 +172,7 @@ pub fn judge<A: Architecture + ?Sized>(
     for c in cands {
         acc.absorb(test, arch, c);
     }
-    acc.outcome(test, arch, cands.len(), 0)
+    acc.outcome(test, arch, cands.len() as u128, 0)
 }
 
 /// Streaming accumulator behind [`simulate_with`] and [`judge`].
@@ -125,6 +185,14 @@ struct Judgement {
 }
 
 impl Judgement {
+    /// Folds another shard's judgement into this one.
+    fn merge(&mut self, other: Judgement) {
+        self.allowed += other.allowed;
+        self.positive += other.positive;
+        self.negative += other.negative;
+        self.states.extend(other.states);
+    }
+
     fn absorb<A: Architecture + ?Sized>(&mut self, test: &LitmusTest, arch: &A, c: &Candidate) {
         // One relation computation per candidate, shared by every axiom
         // (hb+/hb* feed both NO THIN AIR and OBSERVATION).
@@ -146,8 +214,8 @@ impl Judgement {
         self,
         test: &LitmusTest,
         arch: &A,
-        candidates: usize,
-        pruned: usize,
+        candidates: u128,
+        pruned: u128,
     ) -> SimOutcome {
         let validated = match test.condition.quantifier {
             Quantifier::Exists => self.positive > 0,
@@ -168,9 +236,14 @@ impl Judgement {
     }
 }
 
-/// Simulates a whole corpus in parallel, splitting the tests over all
-/// available cores with scoped threads. Outcomes are returned in input
-/// order.
+/// Simulates a whole corpus in parallel over all available cores.
+/// Outcomes are returned in input order.
+///
+/// Tests are handed out through an atomic work-stealing index rather than
+/// a contiguous static split: the old split spawned empty workers when
+/// the stride did not divide the corpus and could hand every slow test to
+/// one worker, serialising the campaign. A lone test is sharded
+/// internally instead ([`simulate_sharded`]) so it still uses every core.
 ///
 /// # Errors
 ///
@@ -180,32 +253,40 @@ pub fn simulate_corpus<A: Architecture + Sync + ?Sized>(
     arch: &A,
     opts: &EnumOptions,
 ) -> Result<Vec<SimOutcome>, CandidateError> {
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if let [test] = tests {
+        return Ok(vec![simulate_sharded(test, arch, opts, cores)?]);
+    }
+    let workers = cores.min(tests.len());
     if workers <= 1 {
         return tests.iter().map(|t| simulate_with(t, arch, opts)).collect();
     }
+    let next = AtomicUsize::new(0);
+    let done: Vec<(usize, Result<SimOutcome, CandidateError>)> = std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tests.len() {
+                            break;
+                        }
+                        mine.push((i, simulate_with(&tests[i], arch, opts)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("simulation worker panicked")).collect()
+    });
     let mut results: Vec<Option<Result<SimOutcome, CandidateError>>> =
         (0..tests.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        // Contiguous split: worker w owns tests [w*stride, (w+1)*stride).
-        let mut rest: &mut [Option<Result<SimOutcome, CandidateError>>] = &mut results;
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let stride = tests.len().div_ceil(workers);
-            let (mine, tail) = rest.split_at_mut(stride.min(rest.len()));
-            rest = tail;
-            let lo = w * stride;
-            handles.push(scope.spawn(move || {
-                for (k, slot) in mine.iter_mut().enumerate() {
-                    *slot = Some(simulate_with(&tests[lo + k], arch, opts));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("simulation worker panicked");
-        }
-    });
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    for (i, r) in done {
+        results[i] = Some(r);
+    }
+    results.into_iter().map(|r| r.expect("every index was claimed")).collect()
 }
 
 /// Evaluates a proposition against one candidate's final state.
@@ -329,6 +410,54 @@ mod tests {
             assert_eq!(out.validated, seq.validated, "{}", test.name);
             assert_eq!(out.allowed, seq.allowed, "{}", test.name);
             assert_eq!(out.states, seq.states, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn sharded_simulation_matches_sequential_exactly() {
+        let power = Power::new();
+        let opts = crate::candidates::EnumOptions::default();
+        for test in [
+            corpus::mp(Isa::Power, Dev::Po, Dev::Po),
+            corpus::co_rr(Isa::Power),
+            corpus::iriw(Isa::Power, Dev::Po, Dev::Po),
+        ] {
+            let seq = simulate_with(&test, &power, &opts).unwrap();
+            for workers in [2usize, 3] {
+                let sharded = simulate_sharded(&test, &power, &opts, workers).unwrap();
+                assert_eq!(sharded.candidates, seq.candidates, "{}", test.name);
+                assert_eq!(sharded.pruned, seq.pruned, "{}", test.name);
+                assert_eq!(sharded.allowed, seq.allowed, "{}", test.name);
+                assert_eq!(sharded.positive, seq.positive, "{}", test.name);
+                assert_eq!(sharded.negative, seq.negative, "{}", test.name);
+                assert_eq!(sharded.states, seq.states, "{}", test.name);
+                assert_eq!(sharded.validated, seq.validated, "{}", test.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_bound_keeps_whole_test_semantics() {
+        // max_candidates must mean the same thing whatever the worker
+        // count: a bound the sequential driver trips must also trip the
+        // sharded one, even when every shard stays under it individually.
+        let test = corpus::iriw(Isa::Power, Dev::Po, Dev::Po);
+        let opts = crate::candidates::EnumOptions {
+            max_candidates: 4,
+            ..crate::candidates::EnumOptions::default()
+        };
+        assert!(matches!(
+            simulate_with(&test, &Power::new(), &opts),
+            Err(crate::candidates::CandidateError::TooManyCandidates { bound: 4 })
+        ));
+        for workers in [2usize, 4] {
+            assert!(
+                matches!(
+                    simulate_sharded(&test, &Power::new(), &opts, workers),
+                    Err(crate::candidates::CandidateError::TooManyCandidates { bound: 4 })
+                ),
+                "{workers} workers must not widen the bound"
+            );
         }
     }
 

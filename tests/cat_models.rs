@@ -116,7 +116,7 @@ mod random_agreement {
                 }
             }
             let skeleton = b.build();
-            prop_assume!(skeleton.candidate_count() <= 500);
+            prop_assume!(skeleton.candidate_count_saturating() <= 500);
             let native = Power::new();
             let cat = stock::load(stock::POWER);
             for exec in skeleton.candidates() {

@@ -134,7 +134,7 @@ mod random_programs {
                 }
             }
             let skeleton = b.build();
-            prop_assume!(skeleton.candidate_count() <= 600);
+            prop_assume!(skeleton.candidate_count_saturating() <= 600);
             let power = Power::new();
             for exec in skeleton.candidates() {
                 let axiomatic = check(&power, &exec).allowed();

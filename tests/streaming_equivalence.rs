@@ -6,17 +6,45 @@
 //! * uniproc pruning is *exact* — `emitted + pruned == candidate_count()`
 //!   — and *sound*: the emitted set is precisely the SC-PER-LOCATION
 //!   -consistent subset, in both the strict and load-load-hazard variants;
+//! * thin-air pruning ([`Architecture::thin_air_base`]) keeps exactly the
+//!   model-allowed multiset on architectures vouching for a static base,
+//!   and never fires on architectures without one;
+//! * sharded enumeration partitions the stream exactly, with merged
+//!   `emitted + pruned` counters equal to `candidate_count()`;
 //! * the streamed, pruned litmus driver reaches identical verdicts to the
 //!   eager judge on the whole corpus, under native and llh architectures.
 
+use herd_core::arch::Power;
 use herd_core::enumerate::{Skeleton, SkeletonBuilder};
 use herd_core::event::{Dir, Fence};
 use herd_core::exec::Execution;
-use herd_core::model::{sc_per_location, Architecture};
+use herd_core::model::{check, sc_per_location, Architecture};
+use herd_core::relation::Relation;
 use herd_litmus::candidates::{enumerate, EnumOptions};
 use herd_litmus::corpus::CorpusEntry;
-use herd_litmus::simulate::{judge, simulate_with};
+use herd_litmus::simulate::{judge, simulate_sharded, simulate_with};
 use proptest::prelude::*;
+
+/// Power's axioms without the static-base hook: the default
+/// [`Architecture::thin_air_base`] returns `None`, modelling an
+/// architecture that does not (or cannot soundly) declare NO THIN AIR for
+/// generation-time pruning.
+struct NoThinAirHook(Power);
+
+impl Architecture for NoThinAirHook {
+    fn name(&self) -> &str {
+        "power-no-hook"
+    }
+    fn ppo(&self, x: &Execution) -> Relation {
+        self.0.ppo(x)
+    }
+    fn fences(&self, x: &Execution) -> Relation {
+        self.0.fences(x)
+    }
+    fn prop(&self, x: &Execution) -> Relation {
+        self.0.prop(x)
+    }
+}
 
 /// A canonical fingerprint of one execution: event values plus the rf/co
 /// choice (everything the data-flow enumeration decides).
@@ -81,19 +109,19 @@ proptest! {
     #[test]
     fn streaming_yields_the_eager_multiset(prog in random_program()) {
         let sk = build_skeleton(&prog);
-        prop_assume!(sk.candidate_count() <= 1500);
+        prop_assume!(sk.candidate_count_saturating() <= 1500);
         let eager = sorted_keys(sk.candidates_eager());
         let lazy = sorted_keys(sk.stream());
         prop_assert_eq!(eager, lazy);
         // The back-compat entry point is the stream, collected.
-        prop_assert_eq!(sk.candidates().len(), sk.candidate_count());
+        prop_assert_eq!(sk.candidates().len() as u128, sk.candidate_count().unwrap());
     }
 
     #[test]
     fn pruning_is_exact_and_sound(prog in random_program()) {
         let sk = build_skeleton(&prog);
-        prop_assume!(sk.candidate_count() <= 1500);
-        let total = sk.candidate_count();
+        prop_assume!(sk.candidate_count_saturating() <= 1500);
+        let total = sk.candidate_count().unwrap();
         let all: Vec<Execution> = sk.stream().collect();
 
         let mut it = sk.stream_pruned();
@@ -113,11 +141,66 @@ proptest! {
         prop_assert_eq!(llh_kept, llh_expected,
             "llh pruning matches the load-load-hazard weakening");
     }
+
+    /// Thin-air pruning may only ever discard model-forbidden candidates:
+    /// the *allowed* multiset under Power must match eager enumeration
+    /// exactly, with exact accounting — while the same skeleton streamed
+    /// for an architecture without a static base prunes nothing beyond
+    /// uniproc.
+    #[test]
+    fn thin_air_pruning_preserves_the_allowed_multiset(prog in random_program()) {
+        let sk = build_skeleton(&prog);
+        prop_assume!(sk.candidate_count_saturating() <= 1500);
+        let power = Power::new();
+        let all: Vec<Execution> = sk.stream().collect();
+        let allowed_eager =
+            sorted_keys(all.iter().filter(|x| check(&power, x).allowed()).cloned());
+
+        let mut it = sk.stream_pruned_for(&power);
+        let kept: Vec<Execution> = it.by_ref().collect();
+        prop_assert_eq!(it.emitted() + it.pruned(), sk.candidate_count().unwrap(),
+            "thin-air + uniproc accounting must stay exact");
+        let allowed_pruned =
+            sorted_keys(kept.iter().filter(|x| check(&power, x).allowed()).cloned());
+        prop_assert_eq!(allowed_pruned, allowed_eager,
+            "generation-time thin-air pruning must be invisible to the model");
+
+        // Without the hook, the stream degrades to uniproc-only pruning.
+        let mut plain = sk.stream_pruned();
+        let uniproc_kept = sorted_keys(plain.by_ref());
+        let hookless = sorted_keys(sk.stream_pruned_for(&NoThinAirHook(power)));
+        prop_assert_eq!(hookless, uniproc_kept,
+            "no static base means no thin-air pruning, ever");
+    }
+
+    /// Contiguous rf-odometer shards partition the pruned stream exactly.
+    #[test]
+    fn sharded_enumeration_partitions_exactly(prog in random_program(), nshards in 2usize..5) {
+        let sk = build_skeleton(&prog);
+        prop_assume!(sk.candidate_count_saturating() <= 1500);
+        let power = Power::new();
+        let mut whole: Vec<String> = sk.stream_pruned_for(&power).map(|x| key(&x)).collect();
+        whole.sort();
+
+        let mut merged = Vec::new();
+        let (mut emitted, mut pruned) = (0u128, 0u128);
+        for s in 0..nshards {
+            let mut it = sk.stream_pruned_for_shard(&power, s, nshards);
+            merged.extend(it.by_ref().map(|x| key(&x)));
+            emitted += it.emitted();
+            pruned += it.pruned();
+        }
+        merged.sort();
+        prop_assert_eq!(merged, whole, "shards must cover the stream exactly");
+        prop_assert_eq!(emitted + pruned, sk.candidate_count().unwrap(),
+            "merged shard counters must equal the candidate count");
+    }
 }
 
-/// The streamed, pruned driver and the eager enumerate-then-judge path
-/// must produce identical outcomes for every corpus test.
-fn assert_corpus_equivalence<A: Architecture + ?Sized>(corpus: &[CorpusEntry], arch: &A) {
+/// The streamed, pruned driver — sequential and sharded — and the eager
+/// enumerate-then-judge path must produce identical outcomes for every
+/// corpus test.
+fn assert_corpus_equivalence<A: Architecture + Sync + ?Sized>(corpus: &[CorpusEntry], arch: &A) {
     let opts = EnumOptions::default();
     for entry in corpus {
         let streamed = simulate_with(&entry.test, arch, &opts).expect("streamed simulation");
@@ -128,6 +211,12 @@ fn assert_corpus_equivalence<A: Architecture + ?Sized>(corpus: &[CorpusEntry], a
         assert_eq!(streamed.negative, eager.negative, "{}", entry.test.name);
         assert_eq!(streamed.states, eager.states, "{}", entry.test.name);
         assert_eq!(streamed.validated, eager.validated, "{}", entry.test.name);
+        let sharded = simulate_sharded(&entry.test, arch, &opts, 3).expect("sharded simulation");
+        assert_eq!(sharded.candidates, streamed.candidates, "{}", entry.test.name);
+        assert_eq!(sharded.pruned, streamed.pruned, "{}", entry.test.name);
+        assert_eq!(sharded.allowed, streamed.allowed, "{}", entry.test.name);
+        assert_eq!(sharded.states, streamed.states, "{}", entry.test.name);
+        assert_eq!(sharded.validated, streamed.validated, "{}", entry.test.name);
     }
 }
 

@@ -12,7 +12,7 @@ use herd_core::model::check;
 use herd_litmus::candidates::{enumerate, EnumOptions};
 use herd_litmus::isa::{Addr, Instr, Isa, Reg};
 use herd_litmus::program::{CondVal, Condition, InitVal, LitmusTest, Prop, Quantifier};
-use herd_litmus::simulate::eval_prop;
+use herd_litmus::simulate::{eval_prop, judge, simulate_with};
 use std::collections::BTreeMap;
 
 /// `T0: r1 = x; y = r1 — T1: r2 = y; x = r2`, with a 1 written nowhere:
@@ -82,6 +82,26 @@ fn disabling_the_axiom_admits_thin_air() {
         .filter(|c| eval_prop(&test.condition.prop, c))
         .any(|c| weakened.check(&c.exec).unwrap().allowed());
     assert!(admitted);
+}
+
+/// Sec 8.3 `-speedcheck`, second axis: the self-justifying rf subtrees of
+/// the genuine lb+datas are pruned at *generation* time by the streamed
+/// driver (Power vouches for a static `ppo ∪ fences` base, and the cyclic
+/// `data ∪ rfe` choice can never satisfy NO THIN AIR) — yet the verdict,
+/// allowed counts and states are bit-identical to eager enumerate+judge.
+#[test]
+fn generation_time_pruning_drops_thin_air_subtrees_but_keeps_verdicts() {
+    let test = true_lb();
+    let power = Power::new();
+    let streamed = simulate_with(&test, &power, &EnumOptions::default()).unwrap();
+    let eager = judge(&test, &power, &enumerate(&test, &EnumOptions::default()).unwrap());
+    assert!(streamed.pruned > 0, "the self-justifying subtrees must die at generation");
+    assert_eq!(streamed.candidates, eager.candidates, "accounting covers pruned candidates");
+    assert_eq!(streamed.allowed, eager.allowed);
+    assert_eq!(streamed.positive, eager.positive);
+    assert_eq!(streamed.negative, eager.negative);
+    assert_eq!(streamed.states, eager.states);
+    assert_eq!(streamed.validated, eager.validated);
 }
 
 #[test]
