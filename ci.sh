@@ -9,19 +9,30 @@
 #   3. cargo bench --no-run         — the 9 harness=false bench targets
 #                                     (cargo build/test skip these)
 #   4. cargo test  -q               — all unit + integration + doc tests
-#   5. perf_pipeline --quick --gate — the tracked perf bench (eager vs
-#                                     streaming vs uniproc- vs thin-air-
-#                                     pruned enumeration, single-test
-#                                     sharding, compiled cat models,
-#                                     work-stealing corpus split); writes
+#   5. alloc_smoke (alloc-count)    — the zero-allocation contract of the
+#                                     arena-backed relation engine: a
+#                                     counting global allocator asserts 0
+#                                     steady-state heap allocations per
+#                                     candidate on iriw+2w
+#   6. perf_pipeline --quick --gate — the tracked perf bench (eager vs
+#                                     streaming vs pruned vs arena-backed
+#                                     enumeration+checking, thin-air
+#                                     pruning, single-test sharding,
+#                                     compiled cat models, work-stealing
+#                                     corpus split); writes
 #                                     BENCH_pr<N>.json so every PR leaves
 #                                     its own perf-trajectory data point
 #                                     (prior PRs' files are kept), and
 #                                     FAILS if a heavily-pruning IRIW/2+2W
 #                                     row drops below 5x or a heavily-
 #                                     cyclic lb+datas row below 2x
-#   6. cargo doc   --no-deps        — rustdoc, warnings denied
-#   7. cargo fmt   --check          — formatting (rustfmt.toml at root)
+#   7. perf_pipeline --compare      — reads every BENCH_pr*.json, prints
+#                                     the per-family speedup trajectory
+#                                     table, and FAILS if the new PR's
+#                                     effective pruned row regresses past
+#                                     tolerance vs the previous PR's file
+#   8. cargo doc   --no-deps        — rustdoc, warnings denied
+#   9. cargo fmt   --check          — formatting (rustfmt.toml at root)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,8 +56,10 @@ run cargo build --release --workspace
 run cargo build --examples
 run cargo bench --no-run --workspace
 run cargo test -q --workspace
+run cargo test -p herd-bench --release --features alloc-count --test alloc_smoke
 run cargo bench -p herd-bench --bench perf_pipeline -- \
     --quick --gate --pr "$PR" --json "$PWD/BENCH_pr${PR}.json"
+run cargo bench -p herd-bench --bench perf_pipeline -- --compare --gate
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo fmt --check
 

@@ -32,6 +32,7 @@
 
 use herd_bench::{iriw_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled};
 use herd_core::arch::Power;
+use herd_core::arena::RelArena;
 use herd_core::enumerate::Skeleton;
 use herd_core::model::check;
 use herd_litmus::candidates::EnumOptions;
@@ -62,6 +63,9 @@ struct PipelineRow {
     eager_ns: u128,
     stream_ns: u128,
     pruned_ns: u128,
+    /// The arena-backed checked stream (`Skeleton::check_stream_arena`):
+    /// same pruned workload, zero allocations per candidate.
+    arena_ns: u128,
 }
 
 impl PipelineRow {
@@ -70,6 +74,14 @@ impl PipelineRow {
     }
     fn speedup_pruned(&self) -> f64 {
         self.eager_ns as f64 / self.pruned_ns.max(1) as f64
+    }
+    fn speedup_arena(&self) -> f64 {
+        self.eager_ns as f64 / self.arena_ns.max(1) as f64
+    }
+    /// The arena engine against the PR 3 pruned stream — the per-PR
+    /// acceptance figure.
+    fn arena_vs_pruned(&self) -> f64 {
+        self.pruned_ns as f64 / self.arena_ns.max(1) as f64
     }
     fn pruned_fraction(&self) -> f64 {
         self.pruned as f64 / self.candidates.max(1) as f64
@@ -92,10 +104,24 @@ fn bench_pipeline(name: &str, sk: &Skeleton, reps: usize) -> PipelineRow {
         pruned = it.pruned();
         allowed
     });
+    // The arena-backed engine: same pruned semantics, candidates checked
+    // in place (no Execution materialisation, no per-candidate allocs).
+    let mut arena = RelArena::new(0);
+    let (arena_ns, arena_stats) =
+        best_of(reps, || sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {}));
     assert_eq!(eager_allowed, stream_allowed, "{name}: streaming changed the verdict");
     assert_eq!(eager_allowed, pruned_allowed, "{name}: pruning changed the verdict");
+    assert_eq!(
+        arena_stats.allowed, eager_allowed as u128,
+        "{name}: the arena engine changed the verdict"
+    );
     let candidates = sk.candidate_count().expect("bench skeletons count in u128");
     assert_eq!(emitted + pruned, candidates, "{name}: pruning accounting is exact");
+    assert_eq!(
+        arena_stats.emitted + arena_stats.pruned,
+        candidates,
+        "{name}: arena accounting is exact"
+    );
     PipelineRow {
         name: name.to_owned(),
         candidates,
@@ -105,6 +131,7 @@ fn bench_pipeline(name: &str, sk: &Skeleton, reps: usize) -> PipelineRow {
         eager_ns,
         stream_ns,
         pruned_ns,
+        arena_ns,
     }
 }
 
@@ -259,8 +286,13 @@ fn bench_models(reps: usize) -> Vec<ModelRow> {
         let (tree_ns, tree_allowed) = best_of(reps, || {
             cands.iter().filter(|c| herd_cat::eval_tree(&model, &c.exec).unwrap().allowed()).count()
         });
-        let (compiled_ns, compiled_allowed) =
-            best_of(reps, || cands.iter().filter(|c| compiled.check(&c.exec).allowed()).count());
+        // One workspace across the whole candidate stream: slots bind
+        // builtins by reference and the arena pool amortises to zero
+        // allocations per check.
+        let mut ws = herd_cat::CatWorkspace::new();
+        let (compiled_ns, compiled_allowed) = best_of(reps, || {
+            cands.iter().filter(|c| compiled.check_in(&c.exec, &mut ws).allowed()).count()
+        });
         assert_eq!(tree_allowed, compiled_allowed, "{name}: compilation changed the verdict");
         rows.push(ModelRow { model: name.to_owned(), execs: cands.len(), tree_ns, compiled_ns });
     }
@@ -335,7 +367,8 @@ fn emit_json(
         j.push_str(&format!(
             "    {{\"name\": \"{}\", \"candidates\": {}, \"emitted\": {}, \"pruned\": {}, \
              \"pruned_fraction\": {:.4}, \"allowed\": {}, \"eager_ns\": {}, \"stream_ns\": {}, \
-             \"pruned_ns\": {}, \"speedup_stream\": {:.2}, \"speedup_pruned\": {:.2}}}{}\n",
+             \"pruned_ns\": {}, \"arena_ns\": {}, \"speedup_stream\": {:.2}, \
+             \"speedup_pruned\": {:.2}, \"speedup_arena\": {:.2}, \"arena_vs_pruned\": {:.2}}}{}\n",
             json_escape(&r.name),
             r.candidates,
             r.emitted,
@@ -345,8 +378,11 @@ fn emit_json(
             r.eager_ns,
             r.stream_ns,
             r.pruned_ns,
+            r.arena_ns,
             r.speedup_stream(),
             r.speedup_pruned(),
+            r.speedup_arena(),
+            r.arena_vs_pruned(),
             if i + 1 < pipeline.len() { "," } else { "" },
         ));
     }
@@ -441,10 +477,259 @@ fn gate_violations(pipeline: &[PipelineRow], thinair: &[ThinAirRow]) -> Vec<Stri
     bad
 }
 
+/// One parsed `BENCH_pr<N>.json`, reduced to what `--compare` consumes.
+struct BenchFile {
+    pr: u64,
+    /// Pipeline rows: `(family, pruned_ns, arena_ns)` — `arena_ns` is
+    /// absent in pre-arena files (PR ≤ 3).
+    pipeline: Vec<(String, u128, Option<u128>)>,
+    /// Thin-air rows: `(family, thinair_ns)`.
+    thinair: Vec<(String, u128)>,
+}
+
+impl BenchFile {
+    /// The family's *effective pruned-stream* time: the arena engine when
+    /// the file records one, the pre-arena pruned stream otherwise — the
+    /// series the cross-PR regression gate runs on.
+    fn effective(&self, family: &str) -> Option<u128> {
+        self.pipeline
+            .iter()
+            .find(|(n, _, _)| n == family)
+            .map(|&(_, pruned, arena)| arena.unwrap_or(pruned))
+    }
+
+    fn thinair_ns(&self, family: &str) -> Option<u128> {
+        self.thinair.iter().find(|(n, _)| n == family).map(|&(_, ns)| ns)
+    }
+}
+
+/// Extracts `"key": 123` from one emitted JSON line.
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "value"` from one emitted JSON line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Parses one bench JSON by the line discipline `emit_json` writes (one
+/// row object per line, section headers on their own lines) — the same
+/// shape every `BENCH_pr*.json` since PR 2 has.
+fn parse_bench(path: &std::path::Path) -> Option<BenchFile> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Pipeline,
+        Thinair,
+    }
+    let text = std::fs::read_to_string(path).ok()?;
+    let pr = u64::try_from(field_u128(&text, "pr")?).ok()?;
+    let mut section = Section::None;
+    let mut pipeline = Vec::new();
+    let mut thinair = Vec::new();
+    for line in text.lines() {
+        if line.contains("\"pipeline\": [") {
+            section = Section::Pipeline;
+            continue;
+        }
+        if line.contains("\"thinair\": [") {
+            section = Section::Thinair;
+            continue;
+        }
+        if line.trim_start().starts_with(']') {
+            section = Section::None;
+            continue;
+        }
+        match section {
+            Section::Pipeline => {
+                if let (Some(name), Some(pruned)) =
+                    (field_str(line, "name"), field_u128(line, "pruned_ns"))
+                {
+                    pipeline.push((name, pruned, field_u128(line, "arena_ns")));
+                }
+            }
+            Section::Thinair => {
+                if let (Some(name), Some(ns)) =
+                    (field_str(line, "name"), field_u128(line, "thinair_ns"))
+                {
+                    thinair.push((name, ns));
+                }
+            }
+            Section::None => {}
+        }
+    }
+    Some(BenchFile { pr, pipeline, thinair })
+}
+
+/// Cross-PR regression tolerance for the effective pruned-stream series:
+/// quick-mode single-rep timings are noisy, so only a slowdown beyond
+/// this factor counts as a regression.
+const COMPARE_TOLERANCE: f64 = 1.35;
+
+/// `--compare`: reads every `BENCH_pr*.json` in the working directory,
+/// prints the per-family speedup trajectory across PRs, and (with
+/// `--gate`) fails on an effective pruned-row regression between the two
+/// newest files.
+fn run_compare(gate: bool) {
+    let scan = |dir: &std::path::Path| -> Vec<BenchFile> {
+        std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .filter_map(|e| {
+                let e = e.ok()?;
+                let name = e.file_name().into_string().ok()?;
+                (name.starts_with("BENCH_pr") && name.ends_with(".json"))
+                    .then(|| parse_bench(&e.path()))
+                    .flatten()
+            })
+            .collect()
+    };
+    // Cargo runs bench binaries with the package as working directory;
+    // the BENCH files live at the workspace root. Try the cwd first (so
+    // direct invocations from the root work), then hop up from the
+    // manifest.
+    let mut files = scan(std::path::Path::new("."));
+    if files.is_empty() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            files = scan(&std::path::Path::new(&manifest).join("..").join(".."));
+        }
+    }
+    files.sort_by_key(|f| f.pr);
+    if files.is_empty() {
+        eprintln!("--compare: no BENCH_pr*.json files found");
+        std::process::exit(1);
+    }
+
+    // Family order: first appearance across the PR series.
+    let mut families: Vec<String> = Vec::new();
+    for f in &files {
+        for (name, _, _) in &f.pipeline {
+            if !families.contains(name) {
+                families.push(name.clone());
+            }
+        }
+    }
+
+    println!("perf trajectory — effective pruned-stream time per family (arena engine once");
+    println!("a file records one, the pre-arena pruned stream before); ×N is the speedup");
+    println!("over the previous PR's file.\n");
+    print!("{:<12}", "family");
+    for f in &files {
+        print!(" {:>16}", format!("PR {}", f.pr));
+    }
+    println!();
+    for family in &families {
+        print!("{family:<12}");
+        let mut prev: Option<u128> = None;
+        for f in &files {
+            match f.effective(family) {
+                Some(ns) => {
+                    let cell = match prev {
+                        Some(p) if ns > 0 => {
+                            format!(
+                                "{:.2}ms {:>5}",
+                                ns as f64 / 1e6,
+                                format!("×{:.1}", p as f64 / ns as f64)
+                            )
+                        }
+                        _ => format!("{:.2}ms", ns as f64 / 1e6),
+                    };
+                    print!(" {cell:>16}");
+                    prev = Some(ns);
+                }
+                None => print!(" {:>16}", "—"),
+            }
+        }
+        println!();
+    }
+
+    // Thin-air families, same discipline.
+    let mut ta_families: Vec<String> = Vec::new();
+    for f in &files {
+        for (name, _) in &f.thinair {
+            if !ta_families.contains(name) {
+                ta_families.push(name.clone());
+            }
+        }
+    }
+    if !ta_families.is_empty() {
+        println!();
+        for family in &ta_families {
+            print!("{family:<12}");
+            let mut prev: Option<u128> = None;
+            for f in &files {
+                match f.thinair_ns(family) {
+                    Some(ns) => {
+                        let cell = match prev {
+                            Some(p) if ns > 0 => format!(
+                                "{:.2}ms {:>5}",
+                                ns as f64 / 1e6,
+                                format!("×{:.1}", p as f64 / ns as f64)
+                            ),
+                            _ => format!("{:.2}ms", ns as f64 / 1e6),
+                        };
+                        print!(" {cell:>16}");
+                        prev = Some(ns);
+                    }
+                    None => print!(" {:>16}", "—"),
+                }
+            }
+            println!();
+        }
+    }
+
+    // Gate: the newest file must not regress the effective pruned series
+    // against its predecessor on any family both record.
+    if files.len() < 2 {
+        println!("\nonly one data point: nothing to gate against");
+        return;
+    }
+    let (prev, last) = (&files[files.len() - 2], &files[files.len() - 1]);
+    let mut violations = Vec::new();
+    for family in &families {
+        if let (Some(p), Some(l)) = (prev.effective(family), last.effective(family)) {
+            if (l as f64) > (p as f64) * COMPARE_TOLERANCE {
+                violations.push(format!(
+                    "{family}: effective pruned {:.2}ms (PR {}) -> {:.2}ms (PR {}) exceeds the \
+                     {COMPARE_TOLERANCE}x tolerance",
+                    p as f64 / 1e6,
+                    prev.pr,
+                    l as f64 / 1e6,
+                    last.pr
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!("\ncompare gate: PR {} holds every family of PR {}", last.pr, prev.pr);
+        return;
+    }
+    eprintln!("\ncompare gate (PR {} vs PR {}):", last.pr, prev.pr);
+    for v in &violations {
+        eprintln!("  FAIL {v}");
+    }
+    if gate {
+        std::process::exit(1);
+    }
+    eprintln!("  (--gate not set: not failing the run)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate = args.iter().any(|a| a == "--gate");
+    if args.iter().any(|a| a == "--compare") {
+        run_compare(gate);
+        return;
+    }
     let json = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
     let pr: u64 = args
         .iter()
@@ -467,14 +752,25 @@ fn main() {
     ];
 
     println!(
-        "{:<10} {:>10} {:>8} {:>7} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "test", "cands", "pruned%", "allowed", "eager", "stream", "pruned", "xstream", "xpruned"
+        "{:<10} {:>10} {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>9}",
+        "test",
+        "cands",
+        "pruned%",
+        "allowed",
+        "eager",
+        "stream",
+        "pruned",
+        "arena",
+        "xpruned",
+        "xarena",
+        "ar/pr"
     );
     let mut pipeline = Vec::new();
     for (name, sk) in &workloads {
         let row = bench_pipeline(name, sk, reps);
         println!(
-            "{:<10} {:>10} {:>7.1}% {:>7} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>7.1}x {:>7.1}x",
+            "{:<10} {:>10} {:>7.1}% {:>7} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>7.1}x \
+             {:>7.1}x {:>8.2}x",
             row.name,
             row.candidates,
             100.0 * row.pruned_fraction(),
@@ -482,8 +778,10 @@ fn main() {
             row.eager_ns as f64 / 1e6,
             row.stream_ns as f64 / 1e6,
             row.pruned_ns as f64 / 1e6,
-            row.speedup_stream(),
+            row.arena_ns as f64 / 1e6,
             row.speedup_pruned(),
+            row.speedup_arena(),
+            row.arena_vs_pruned(),
         );
         pipeline.push(row);
     }

@@ -1,0 +1,56 @@
+//! A counting global allocator for allocation-freedom smoke tests.
+//!
+//! The arena-backed relation engine's contract is *zero heap allocations
+//! per candidate in the steady state*; benchmarks can only show the
+//! symptom (throughput), so `tests/alloc_smoke.rs` pins the cause by
+//! installing [`CountingAllocator`] as the global allocator and reading
+//! [`allocation_count`] around the hot loop. Behind the `alloc-count`
+//! feature because a counting allocator taxes every build that links it.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator with an allocation-event counter in front.
+///
+/// Counts `alloc`, `alloc_zeroed` and `realloc` calls (frees are not
+/// counted: the contract under test is "no new memory per candidate").
+/// Install in a test binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: herd_bench::alloc_count::CountingAllocator =
+///     herd_bench::alloc_count::CountingAllocator;
+/// ```
+pub struct CountingAllocator;
+
+// SAFETY: delegates verbatim to `System`, which upholds the GlobalAlloc
+// contract; the counter is a side effect with no aliasing implications.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocation events since process start (monotone).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -6,7 +6,14 @@
 //! recorded paper-vs-measured outcomes.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The `alloc-count` feature installs a counting global allocator, whose
+// `GlobalAlloc` impl is necessarily `unsafe`; everything else stays
+// forbidden.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
+
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 
 use herd_core::enumerate::{Skeleton, SkeletonBuilder};
 use herd_litmus::candidates::{enumerate, Candidate, EnumOptions};

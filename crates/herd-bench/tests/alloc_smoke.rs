@@ -1,0 +1,75 @@
+//! Allocation-freedom smoke test for the arena-backed relation engine
+//! (run with `cargo test -p herd-bench --features alloc-count --test
+//! alloc_smoke`).
+//!
+//! The engine's contract: once the per-worker [`RelArena`] has warmed to
+//! its high-water mark, streaming-and-checking a candidate performs
+//! **zero** heap allocations — enumeration state, the witness relations,
+//! the Power ppo fixpoint, the axiom temporaries and the pruning
+//! machinery all live in reused storage. A counting global allocator
+//! turns that claim into an assert on the `iriw+2w` family.
+//!
+//! [`RelArena`]: herd_core::arena::RelArena
+#![cfg(feature = "alloc-count")]
+
+use herd_bench::alloc_count::{allocation_count, CountingAllocator};
+use herd_bench::iriw_scaled;
+use herd_core::arch::Power;
+use herd_core::arena::RelArena;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn iriw_2w_steady_state_allocates_zero_per_candidate() {
+    let sk = iriw_scaled(2);
+    let power = Power::new();
+    let mut arena = RelArena::new(0);
+
+    // Pre-size the observation buffer so the sink itself cannot allocate.
+    let mut counts: Vec<u64> = Vec::with_capacity(4096);
+    let stats = sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {
+        counts.push(allocation_count());
+    });
+    assert!(stats.emitted > 16, "iriw+2w must stream a meaningful candidate count");
+    assert!(counts.len() < 4096, "observation buffer must not have grown");
+
+    // Warm-up: the first candidates grow the arena pool, the coherence
+    // menus and the thin-air level pool to their high-water marks. After
+    // a quarter of the stream everything must be steady: the allocation
+    // counter may no longer move between candidates.
+    let warmup = counts.len() / 4;
+    let steady = &counts[warmup..];
+    let per_candidate: Vec<u64> = steady.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        per_candidate.iter().all(|&d| d == 0),
+        "steady-state candidates allocated: deltas {per_candidate:?}"
+    );
+
+    // And the whole steady-state tail together allocated nothing either
+    // (guards against allocations between the sampled sink calls).
+    assert_eq!(
+        steady.first().copied(),
+        steady.last().copied(),
+        "allocation counter moved across the steady-state window"
+    );
+}
+
+/// The same engine must also be allocation-free across *rf-scope*
+/// boundaries once warm, not just inside one coherence scope: run the
+/// whole stream twice and require the second pass to allocate nothing at
+/// all (every buffer, menu and arena slot is reused).
+#[test]
+fn second_pass_over_iriw_2w_allocates_nothing_in_the_arena() {
+    let sk = iriw_scaled(2);
+    let power = Power::new();
+    let mut arena = RelArena::new(0);
+    sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {});
+    let high_water = arena.high_water_words();
+    sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {});
+    assert_eq!(
+        arena.high_water_words(),
+        high_water,
+        "second pass grew the arena past the first pass's high-water mark"
+    );
+}

@@ -27,6 +27,7 @@
 
 use crate::ast::{CheckKind, Expr, Model, Stmt};
 use crate::eval::{CatVerdict, CheckOutcome, EvalError};
+use herd_core::arena::{RelArena, RelId, RelSrc};
 use herd_core::event::{Dir, Fence};
 use herd_core::exec::Execution;
 use herd_core::relation::Relation;
@@ -116,33 +117,38 @@ impl BuiltinRel {
         })
     }
 
-    /// Materialises the builtin on one execution.
-    fn fetch(self, x: &Execution) -> Relation {
+    /// Borrows the builtin from one execution — **no copy**: every
+    /// variant, including `id` and absent fence flavours, resolves to a
+    /// relation the execution (or its shared core) already holds. This is
+    /// what lets compiled evaluation keep builtins by reference in its
+    /// slots; the old `fetch` that `clone()`d each builtin per evaluation
+    /// is gone, and [`EvalStats::builtin_copies`] pins the invariant.
+    fn fetch_ref(self, x: &Execution) -> &Relation {
         use BuiltinRel::*;
         match self {
-            Po => x.po().clone(),
-            PoLoc => x.po_loc().clone(),
-            Rf => x.rf().clone(),
-            Rfe => x.rfe().clone(),
-            Rfi => x.rfi().clone(),
-            Co => x.co().clone(),
-            Coe => x.coe().clone(),
-            Coi => x.coi().clone(),
-            Fr => x.fr().clone(),
-            Fre => x.fre().clone(),
-            Fri => x.fri().clone(),
-            Com => x.com().clone(),
-            Addr => x.deps().addr.clone(),
-            Data => x.deps().data.clone(),
-            Ctrl => x.deps().ctrl.clone(),
-            CtrlCfence => x.deps().ctrl_cfence.clone(),
-            Rdw => x.rdw().clone(),
-            Detour => x.detour().clone(),
-            SameLoc => x.same_loc().clone(),
-            Int => x.internal().clone(),
-            Ext => x.external().clone(),
-            Id => Relation::id(x.len()),
-            Fence(f) => x.fence(f),
+            Po => x.po(),
+            PoLoc => x.po_loc(),
+            Rf => x.rf(),
+            Rfe => x.rfe(),
+            Rfi => x.rfi(),
+            Co => x.co(),
+            Coe => x.coe(),
+            Coi => x.coi(),
+            Fr => x.fr(),
+            Fre => x.fre(),
+            Fri => x.fri(),
+            Com => x.com(),
+            Addr => &x.deps().addr,
+            Data => &x.deps().data,
+            Ctrl => &x.deps().ctrl,
+            CtrlCfence => &x.deps().ctrl_cfence,
+            Rdw => x.rdw(),
+            Detour => x.detour(),
+            SameLoc => x.same_loc(),
+            Int => x.internal(),
+            Ext => x.external(),
+            Id => x.core().id_rel(),
+            Fence(f) => x.core().fence_ref(f),
         }
     }
 }
@@ -232,27 +238,44 @@ impl CompiledModel {
 
     /// Checks one candidate execution against the compiled model.
     ///
-    /// Infallible: every name was resolved at compile time.
+    /// Infallible: every name was resolved at compile time. Convenience
+    /// wrapper creating a throwaway [`CatWorkspace`]; when checking a
+    /// stream of candidates, hold one workspace and call
+    /// [`CompiledModel::check_in`] so the arena amortises to zero heap
+    /// allocations per candidate.
     pub fn check(&self, exec: &Execution) -> CatVerdict {
-        let mut slots: Vec<Option<Relation>> = vec![None; self.n_slots];
+        self.check_in(exec, &mut CatWorkspace::new())
+    }
+
+    /// Checks one candidate against the compiled model using a reusable
+    /// [`CatWorkspace`].
+    ///
+    /// Slot values are either *borrowed builtins* (references into the
+    /// execution and its shared core — never copied) or computed
+    /// relations bump-allocated in the workspace arena; the arena's pool
+    /// is kept across calls, so steady-state evaluation performs no heap
+    /// allocation beyond the returned verdict's check names.
+    pub fn check_in(&self, exec: &Execution, ws: &mut CatWorkspace) -> CatVerdict {
+        ws.begin(exec.len(), self.n_slots);
         for step in &self.prog {
             match step {
-                Step::Op(insn) => {
-                    slots[insn.dst] = Some(run_op(insn.op, &slots, exec));
-                }
+                Step::Op(insn) => ws.run_insn(*insn, exec),
                 Step::Fixpoint { rec, results, body } => {
-                    let n = exec.len();
                     for &r in rec {
-                        slots[r] = Some(Relation::empty(n));
+                        ws.slots[r] = Slot::Empty;
                     }
                     loop {
+                        ws.stats.fixpoint_iters += 1;
                         for insn in body {
-                            slots[insn.dst] = Some(run_op(insn.op, &slots, exec));
+                            ws.run_insn(*insn, exec);
                         }
-                        let stable = rec.iter().zip(results).all(|(&r, &s)| slots[r] == slots[s]);
+                        let stable = rec
+                            .iter()
+                            .zip(results)
+                            .all(|(&r, &s)| r == s || ws.slots_equal(r, s, exec));
                         for (&r, &s) in rec.iter().zip(results) {
                             if r != s {
-                                slots[r] = slots[s].clone();
+                                ws.assign(r, s);
                             }
                         }
                         if stable {
@@ -262,15 +285,29 @@ impl CompiledModel {
                 }
             }
         }
+        // Regression accounting: a Builtin instruction whose slot ended up
+        // materialised (owned storage) would mean the borrow discipline
+        // broke — see [`EvalStats::builtin_copies`].
+        for step in &self.prog {
+            if let Step::Op(Insn { dst, op: Op::Builtin(_) }) = step {
+                if matches!(ws.slots[*dst], Slot::Owned(_)) {
+                    ws.stats.builtin_copies += 1;
+                }
+            }
+        }
         let checks = self
             .checks
             .iter()
             .map(|c| {
-                let r = slots[c.slot].as_ref().expect("check slot computed");
                 let ok = match c.kind {
-                    CheckKind::Acyclic => r.is_acyclic(),
-                    CheckKind::Irreflexive => r.is_irreflexive(),
-                    CheckKind::Empty => r.is_empty(),
+                    CheckKind::Acyclic => {
+                        let src = resolve(&ws.slots, c.slot, exec);
+                        ws.arena.is_acyclic(src)
+                    }
+                    CheckKind::Irreflexive => {
+                        ws.arena.is_irreflexive(resolve(&ws.slots, c.slot, exec))
+                    }
+                    CheckKind::Empty => ws.arena.is_empty(resolve(&ws.slots, c.slot, exec)),
                 };
                 CheckOutcome { name: c.name.clone(), kind: c.kind, ok }
             })
@@ -279,24 +316,175 @@ impl CompiledModel {
     }
 }
 
-fn run_op(op: Op, slots: &[Option<Relation>], x: &Execution) -> Relation {
-    let s = |i: usize| slots[i].as_ref().expect("operand slot computed");
-    match op {
-        Op::Builtin(b) => b.fetch(x),
-        Op::Empty => Relation::empty(x.len()),
-        Op::DirId(d) => {
-            let id = Relation::id(x.len());
-            x.dir_restrict(&id, d, d)
+/// One slot value during compiled evaluation: builtins stay *borrowed*
+/// (resolved to a reference on demand), computed results live in the
+/// workspace arena.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// Not yet computed (program order guarantees no reads).
+    Unset,
+    /// A builtin of the execution, held by name — resolved to a borrow at
+    /// each use, never copied.
+    Builtin(BuiltinRel),
+    /// The empty relation (resolved to the core's cached instance).
+    Empty,
+    /// A computed relation in the workspace arena.
+    Owned(RelId),
+}
+
+/// Runtime statistics of one [`CompiledModel::check_in`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// `Op::Builtin` instructions executed (slots bound by reference).
+    pub builtin_loads: u64,
+    /// Builtin relations that were deep-copied into owned storage to
+    /// satisfy a builtin load — **always 0** with the arena evaluator;
+    /// the regression test in this crate asserts it stays that way.
+    pub builtin_copies: u64,
+    /// Total `let rec` fixpoint iterations run.
+    pub fixpoint_iters: u64,
+}
+
+/// Reusable evaluation state for [`CompiledModel::check_in`]: the slot
+/// table and the relation arena, both of which keep their storage across
+/// candidates.
+pub struct CatWorkspace {
+    arena: RelArena,
+    slots: Vec<Slot>,
+    stats: EvalStats,
+}
+
+impl Default for CatWorkspace {
+    fn default() -> Self {
+        CatWorkspace::new()
+    }
+}
+
+impl CatWorkspace {
+    /// A fresh workspace (the arena grows to the model × execution
+    /// high-water mark on first use and is then flat).
+    pub fn new() -> Self {
+        CatWorkspace { arena: RelArena::new(0), slots: Vec::new(), stats: EvalStats::default() }
+    }
+
+    /// Statistics of the most recent [`CompiledModel::check_in`] call.
+    pub fn last_stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    fn begin(&mut self, universe: usize, n_slots: usize) {
+        self.arena.reset(universe);
+        self.slots.clear();
+        self.slots.resize(n_slots, Slot::Unset);
+        self.stats = EvalStats::default();
+    }
+
+    /// The arena slot backing `i`, allocated on first write.
+    fn owned(&mut self, i: usize) -> RelId {
+        if let Slot::Owned(id) = self.slots[i] {
+            return id;
         }
-        Op::Union(a, b) => s(a).union(s(b)),
-        Op::Inter(a, b) => s(a).intersect(s(b)),
-        Op::Diff(a, b) => s(a).minus(s(b)),
-        Op::Seq(a, b) => s(a).seq(s(b)),
-        Op::TClosure(a) => s(a).tclosure(),
-        Op::RtClosure(a) => s(a).rtclosure(),
-        Op::Opt(a) => s(a).union(&Relation::id(s(a).universe())),
-        Op::Inverse(a) => s(a).transpose(),
-        Op::DirRestrict(a, src, dst) => x.dir_restrict(s(a), src, dst),
+        let id = self.arena.alloc();
+        self.slots[i] = Slot::Owned(id);
+        id
+    }
+
+    /// `slots[r] = value of slots[s]` (fixpoint result propagation):
+    /// borrowed values propagate as borrows, owned ones copy rows in the
+    /// arena — never a heap allocation after warm-up.
+    fn assign(&mut self, r: usize, s: usize) {
+        match self.slots[s] {
+            Slot::Owned(sid) => {
+                let rid = self.owned(r);
+                self.arena.copy_into(rid, sid);
+            }
+            other => self.slots[r] = other,
+        }
+    }
+
+    /// Bitwise equality of two slots' values.
+    fn slots_equal(&self, a: usize, b: usize, x: &Execution) -> bool {
+        self.arena.eq(resolve(&self.slots, a, x), resolve(&self.slots, b, x))
+    }
+
+    fn run_insn(&mut self, insn: Insn, x: &Execution) {
+        let Insn { dst, op } = insn;
+        match op {
+            Op::Builtin(b) => {
+                self.stats.builtin_loads += 1;
+                self.slots[dst] = Slot::Builtin(b);
+            }
+            Op::Empty => self.slots[dst] = Slot::Empty,
+            Op::DirId(d) => {
+                let id = self.owned(dst);
+                x.core().dir_restrict_arena(&mut self.arena, id, x.core().id_rel(), d, d);
+            }
+            Op::Union(a, b) => self.binop(dst, a, b, x, BinKind::Union),
+            Op::Inter(a, b) => self.binop(dst, a, b, x, BinKind::Inter),
+            Op::Diff(a, b) => self.binop(dst, a, b, x, BinKind::Diff),
+            Op::Seq(a, b) => {
+                let id = self.owned(dst);
+                let (sa, sb) = (resolve(&self.slots, a, x), resolve(&self.slots, b, x));
+                self.arena.seq_into(id, sa, sb);
+            }
+            Op::TClosure(a) => {
+                let id = self.owned(dst);
+                let sa = resolve(&self.slots, a, x);
+                self.arena.tclosure_into(id, sa);
+            }
+            Op::RtClosure(a) => {
+                let id = self.owned(dst);
+                let sa = resolve(&self.slots, a, x);
+                self.arena.rtclosure_into(id, sa);
+            }
+            Op::Opt(a) => {
+                let id = self.owned(dst);
+                let sa = resolve(&self.slots, a, x);
+                self.arena.copy_into(id, sa);
+                self.arena.union_id(id);
+            }
+            Op::Inverse(a) => {
+                let id = self.owned(dst);
+                let sa = resolve(&self.slots, a, x);
+                self.arena.transpose_into(id, sa);
+            }
+            Op::DirRestrict(a, src, tgt) => {
+                let id = self.owned(dst);
+                let sa = resolve(&self.slots, a, x);
+                x.core().dir_restrict_arena(&mut self.arena, id, sa, src, tgt);
+            }
+        }
+    }
+
+    /// `dst = a ⟨op⟩ b` for the copy-then-combine operators.
+    fn binop(&mut self, dst: usize, a: usize, b: usize, x: &Execution, kind: BinKind) {
+        let id = self.owned(dst);
+        let (sa, sb) = (resolve(&self.slots, a, x), resolve(&self.slots, b, x));
+        self.arena.copy_into(id, sa);
+        match kind {
+            BinKind::Union => self.arena.union_into(id, sb),
+            BinKind::Inter => self.arena.intersect_into(id, sb),
+            BinKind::Diff => self.arena.minus_into(id, sb),
+        }
+    }
+}
+
+/// The three copy-then-combine binary operators of [`CatWorkspace::binop`].
+#[derive(Clone, Copy)]
+enum BinKind {
+    Union,
+    Inter,
+    Diff,
+}
+
+/// Resolves a slot to an arena operand: owned slots by id, builtins and
+/// the empty relation as borrows into the execution's shared core.
+fn resolve<'x>(slots: &[Slot], i: usize, x: &'x Execution) -> RelSrc<'x> {
+    match slots[i] {
+        Slot::Owned(id) => RelSrc::Slot(id),
+        Slot::Builtin(b) => RelSrc::Ext(b.fetch_ref(x)),
+        Slot::Empty => RelSrc::Ext(x.core().empty_rel()),
+        Slot::Unset => unreachable!("slot {i} read before being computed"),
     }
 }
 
@@ -574,6 +762,39 @@ mod tests {
         agree("let rec p = po | (p;p)\nacyclic p\n");
         agree("empty WW(po) as ww\nirreflexive fre;po as obs\n");
         agree("let a = [W];po;[R]\nempty a \\ WR(po) as fwd\n");
+    }
+
+    /// The satellite regression assert: compiled evaluation must never
+    /// copy a builtin relation — slots bind builtins by reference, and a
+    /// reused workspace's arena stops growing after the first candidate.
+    #[test]
+    fn compiled_evaluation_copies_zero_builtins() {
+        let mut ws = CatWorkspace::new();
+        for (name, src) in crate::stock::ALL {
+            let compiled = compile(&parse(src).unwrap()).unwrap();
+            for x in [
+                fixtures::mp(Device::Addr, Device::Addr),
+                fixtures::iriw(Device::Fence(herd_core::event::Fence::Sync), Device::Addr),
+                fixtures::sb(Device::None, Device::None),
+            ] {
+                let tree = eval_tree(&parse(src).unwrap(), &x).unwrap();
+                let v = compiled.check_in(&x, &mut ws);
+                assert_eq!(v, tree, "{name}");
+                let stats = ws.last_stats();
+                assert!(stats.builtin_loads > 0, "{name}: models do load builtins");
+                assert_eq!(stats.builtin_copies, 0, "{name}: a builtin was materialised");
+            }
+        }
+        // Steady state: re-checking with the warmed workspace must not
+        // grow the arena pool.
+        let compiled = compile(&parse(crate::stock::ALL[0].1).unwrap()).unwrap();
+        let x = fixtures::mp(Device::Addr, Device::Addr);
+        compiled.check_in(&x, &mut ws);
+        let hw = ws.arena.high_water_words();
+        for _ in 0..16 {
+            compiled.check_in(&x, &mut ws);
+        }
+        assert_eq!(ws.arena.high_water_words(), hw, "workspace pool grew in steady state");
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl CatVerdict {
 /// lowered to a slot-indexed program and executed once. When checking many
 /// candidates against one model, compile once with
 /// [`crate::compile::compile`] (or [`crate::CatModel::compile`]) and call
-/// [`crate::compile::CompiledModel::check`] per candidate instead.
+/// [`crate::compile::CompiledModel::check_in`] per candidate with one
+/// reusable [`crate::compile::CatWorkspace`] — slots bind the execution's
+/// builtin relations by reference (never cloned) and computed relations
+/// live in a bump arena that stops allocating after the first candidate.
 ///
 /// # Errors
 ///

@@ -27,7 +27,7 @@ pub mod eval;
 pub mod parse;
 
 pub use ast::{CheckKind, Expr, Model, Stmt};
-pub use compile::{compile, BuiltinRel, CompiledModel};
+pub use compile::{compile, BuiltinRel, CatWorkspace, CompiledModel, EvalStats};
 pub use eval::{eval, eval_tree, CatVerdict, CheckOutcome, EvalError};
 pub use parse::{parse, CatParseError};
 

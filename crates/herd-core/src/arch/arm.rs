@@ -15,13 +15,14 @@
 //! full fences restricted to `WW` (with the lightweight alternative kept
 //! as an option, Sec 4.7).
 
+use crate::arena::RelArena;
 use crate::event::{Dir, Fence};
-use crate::exec::{ExecCore, Execution};
-use crate::model::Architecture;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels};
 use crate::ppo::{self, PpoConfig};
 use crate::relation::Relation;
 
-use super::power::prop_power_arm;
+use super::power::{prop_power_arm, prop_power_arm_arena};
 
 /// Which ARM model variant (Tab VII).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -133,8 +134,36 @@ impl Architecture for Arm {
         self.variant == ArmVariant::ProposedLlh
     }
 
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        self.fences_static(core)
+    }
+
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        Some(ppo::compute_static(core, &self.ppo_config()).union(&self.fences_static(core)))
+        Some(ppo::compute_static(core, &self.ppo_config()).union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = ppo::compute_arena(fx, &self.ppo_config(), arena);
+        // st_ww = (dmb.st ∪ dsb.st) ∩ WW.
+        let st_ww = arena.alloc_from(core.fence_ref(Fence::DmbSt));
+        arena.union_into(st_ww, core.fence_ref(Fence::DsbSt));
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, st_ww, Some(Dir::W), Some(Dir::W));
+        arena.copy_into(st_ww, t);
+        // ffence = dmb ∪ dsb (∪ st_ww unless .st is lightweight);
+        // fences = lwfence ∪ ffence with lwfence = st_ww when lightweight.
+        let ffence = arena.alloc_from(core.fence_ref(Fence::Dmb));
+        arena.union_into(ffence, core.fence_ref(Fence::Dsb));
+        if !self.st_fences_lightweight {
+            arena.union_into(ffence, st_ww);
+        }
+        let fences = arena.alloc_from(ffence);
+        if self.st_fences_lightweight {
+            arena.union_into(fences, st_ww);
+        }
+        let prop = prop_power_arm_arena(fx, ppo, fences, ffence, arena);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 

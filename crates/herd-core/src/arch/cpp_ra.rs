@@ -5,8 +5,9 @@
 //! axiom (`acyclic(co ∪ prop)`) is slightly *stronger* than the standard's
 //! `HBVSMO` (`irreflexive(hb⁺; mo)`); [`CppRaStrength`] selects either.
 
-use crate::exec::{ExecCore, Execution};
-use crate::model::{Architecture, PropagationCheck};
+use crate::arena::RelArena;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels, PropagationCheck};
 use crate::relation::Relation;
 
 /// Which PROPAGATION variant the instance uses (Sec 4.8).
@@ -67,8 +68,20 @@ impl Architecture for CppRa {
     }
 
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        // ppo = sb = po and no fences.
-        Some(core.po().clone())
+        // ppo = sb = po and no fences (empty static fence suffix).
+        Some(core.po().union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = arena.alloc_from(core.po());
+        let fences = arena.alloc();
+        // prop = (ppo ∪ rfe)+.
+        let t = arena.alloc_from(ppo);
+        arena.union_into(t, fx.rels.rfe);
+        let prop = arena.alloc();
+        arena.tclosure_into(prop, t);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 

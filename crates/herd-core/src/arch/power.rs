@@ -11,9 +11,10 @@
 //! prop      = (prop-base ∩ WW) ∪ (com*; prop-base*; ffence; hb*)
 //! ```
 
+use crate::arena::{RelArena, RelId};
 use crate::event::{Dir, Fence};
-use crate::exec::{ExecCore, Execution};
-use crate::model::Architecture;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels};
 use crate::ppo::{self, PpoConfig};
 use crate::relation::Relation;
 
@@ -92,10 +93,31 @@ impl Architecture for Power {
         prop_power_arm(x, &self.ppo(x), &self.fences(x), &self.ffence(x))
     }
 
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        Power::fences_static(core)
+    }
+
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
         // The static ppo fixpoint (rdw/rfi/detour emptied) is ⊆ ppo on
-        // every candidate; the fence relations are skeleton-invariant.
-        Some(ppo::compute_static(core, &self.ppo_cfg).union(&Power::fences_static(core)))
+        // every candidate; the static fence suffix covers the fence part
+        // of hb and, compositionally, the A-cumulativity pairs.
+        Some(ppo::compute_static(core, &self.ppo_cfg).union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = ppo::compute_arena(fx, &self.ppo_cfg, arena);
+        // fences = lwfence ∪ ffence = ((lwsync \ WR) ∪ (eieio ∩ WW)) ∪ sync.
+        let fences = arena.alloc_from(core.fence_ref(Fence::Lwsync));
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, fences, Some(Dir::W), Some(Dir::R));
+        arena.minus_into(fences, t);
+        core.dir_restrict_arena(arena, t, core.fence_ref(Fence::Eieio), Some(Dir::W), Some(Dir::W));
+        arena.union_into(fences, t);
+        arena.union_into(fences, core.fence_ref(Fence::Sync));
+        let ffence = arena.alloc_from(core.fence_ref(Fence::Sync));
+        let prop = prop_power_arm_arena(fx, ppo, fences, ffence, arena);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 
@@ -116,6 +138,45 @@ pub fn prop_power_arm(
     let com_star = x.com().rtclosure();
     let strong = com_star.seq(&prop_base.rtclosure()).seq(ffence).seq(&hb_star);
     prop_base_ww.union(&strong)
+}
+
+/// Arena twin of [`prop_power_arm`]: computes the Fig 18 propagation
+/// order for one arena-backed candidate from already-computed `ppo`,
+/// `fences` and `ffence` slots. Temporaries live under the caller's mark.
+pub fn prop_power_arm_arena(
+    fx: &ExecFrame<'_>,
+    ppo: RelId,
+    fences: RelId,
+    ffence: RelId,
+    arena: &mut RelArena,
+) -> RelId {
+    let core = fx.core.as_ref();
+    // hb = ppo ∪ fences ∪ rfe, and hb*.
+    let hb = arena.alloc_from(ppo);
+    arena.union_into(hb, fences);
+    arena.union_into(hb, fx.rels.rfe);
+    let hb_star = arena.alloc();
+    arena.rtclosure_into(hb_star, hb);
+    // prop-base = (fences ∪ A-cumul); hb*, with A-cumul = rfe; fences.
+    let lhs = arena.alloc();
+    arena.seq_into(lhs, fx.rels.rfe, fences);
+    arena.union_into(lhs, fences);
+    let prop_base = arena.alloc();
+    arena.seq_into(prop_base, lhs, hb_star);
+    let prop = arena.alloc();
+    core.dir_restrict_arena(arena, prop, prop_base, Some(Dir::W), Some(Dir::W));
+    // strong part: com*; prop-base*; ffence; hb*.
+    let com_star = arena.alloc();
+    arena.rtclosure_into(com_star, fx.rels.com);
+    let pb_star = arena.alloc();
+    arena.rtclosure_into(pb_star, prop_base);
+    let t = arena.alloc();
+    arena.seq_into(t, com_star, pb_star);
+    let t2 = arena.alloc();
+    arena.seq_into(t2, t, ffence);
+    arena.seq_into(t, t2, hb_star);
+    arena.union_into(prop, t);
+    prop
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 //! `acyclic(po ∪ com)`; `tests/lemma_4_1.rs` checks that equivalence over
 //! the corpus and under proptest.
 
-use crate::exec::{ExecCore, Execution};
-use crate::model::Architecture;
+use crate::arena::RelArena;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels};
 use crate::relation::Relation;
 
 /// Lamport's Sequential Consistency.
@@ -31,8 +32,20 @@ impl Architecture for Sc {
     }
 
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        // ppo = po and no fences: the whole of hb \ rfe is static.
-        Some(core.po().clone())
+        // ppo = po and no fences: the whole of hb \ rfe is static (the
+        // fence suffix of the default hook is empty here).
+        Some(core.po().union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = arena.alloc_from(core.po());
+        let fences = arena.alloc();
+        // prop = ppo ∪ fences ∪ rf ∪ fr.
+        let prop = arena.alloc_from(ppo);
+        arena.union_into(prop, fx.rels.rf);
+        arena.union_into(prop, fx.rels.fr);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 

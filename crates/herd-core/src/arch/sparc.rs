@@ -11,9 +11,10 @@
 //! Both use `mfence` (standing in for the `membar` family) as their full
 //! fence and keep the TSO-style propagation `ppo ∪ fences ∪ rfe ∪ fr`.
 
+use crate::arena::RelArena;
 use crate::event::{Dir, Fence};
-use crate::exec::{ExecCore, Execution};
-use crate::model::Architecture;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels};
 use crate::relation::Relation;
 
 /// Sparc Partial Store Order.
@@ -39,11 +40,31 @@ impl Architecture for Pso {
         self.ppo(x).union(&self.fences(x)).union(x.rfe()).union(x.fr())
     }
 
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        core.fence(Fence::Mfence)
+    }
+
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        // ppo = po \ (WR ∪ WW) and fences = mfence are skeleton-invariant.
+        // ppo = po \ (WR ∪ WW) and the mfence suffix are skeleton-invariant.
         let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
         let ww = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::W));
-        Some(core.po().minus(&wr).minus(&ww).union(&core.fence(Fence::Mfence)))
+        Some(core.po().minus(&wr).minus(&ww).union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = arena.alloc_from(core.po());
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, core.po(), Some(Dir::W), Some(Dir::R));
+        arena.minus_into(ppo, t);
+        core.dir_restrict_arena(arena, t, core.po(), Some(Dir::W), Some(Dir::W));
+        arena.minus_into(ppo, t);
+        let fences = arena.alloc_from(core.fence_ref(Fence::Mfence));
+        let prop = arena.alloc_from(ppo);
+        arena.union_into(prop, fences);
+        arena.union_into(prop, fx.rels.rfe);
+        arena.union_into(prop, fx.rels.fr);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 
@@ -73,10 +94,28 @@ impl Architecture for Rmo {
         true
     }
 
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        core.fence(Fence::Mfence)
+    }
+
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        // ppo = addr ∪ data ∪ ctrl and fences = mfence: all static.
+        // ppo = addr ∪ data ∪ ctrl and the mfence suffix: all static.
         let deps = core.deps();
-        Some(deps.addr.union(&deps.data).union(&deps.ctrl).union(&core.fence(Fence::Mfence)))
+        Some(deps.addr.union(&deps.data).union(&deps.ctrl).union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let deps = core.deps();
+        let ppo = arena.alloc_from(&deps.addr);
+        arena.union_into(ppo, &deps.data);
+        arena.union_into(ppo, &deps.ctrl);
+        let fences = arena.alloc_from(core.fence_ref(Fence::Mfence));
+        let prop = arena.alloc_from(ppo);
+        arena.union_into(prop, fences);
+        arena.union_into(prop, fx.rels.rfe);
+        arena.union_into(prop, fx.rels.fr);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 

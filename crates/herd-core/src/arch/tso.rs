@@ -2,9 +2,10 @@
 //! (Fig 21): `ppo = po \ WR`, the only fence is `mfence` (full), and
 //! `prop = ppo ∪ fences ∪ rfe ∪ fr`.
 
+use crate::arena::RelArena;
 use crate::event::{Dir, Fence};
-use crate::exec::{ExecCore, Execution};
-use crate::model::Architecture;
+use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::model::{Architecture, ArenaArchRels};
 use crate::relation::Relation;
 
 /// Sparc/x86 Total Store Order.
@@ -30,10 +31,29 @@ impl Architecture for Tso {
         self.ppo(x).union(&self.fences(x)).union(x.rfe()).union(x.fr())
     }
 
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        core.fence(Fence::Mfence)
+    }
+
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
-        // ppo = po \ WR and fences = mfence are both skeleton-invariant.
+        // ppo = po \ WR and the mfence suffix are both skeleton-invariant.
         let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
-        Some(core.po().minus(&wr).union(&core.fence(Fence::Mfence)))
+        Some(core.po().minus(&wr).union(&self.thin_air_fences(core)))
+    }
+
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let core = fx.core.as_ref();
+        let ppo = arena.alloc_from(core.po());
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, core.po(), Some(Dir::W), Some(Dir::R));
+        arena.minus_into(ppo, t);
+        let fences = arena.alloc_from(core.fence_ref(Fence::Mfence));
+        // prop = ppo ∪ fences ∪ rfe ∪ fr.
+        let prop = arena.alloc_from(ppo);
+        arena.union_into(prop, fences);
+        arena.union_into(prop, fx.rels.rfe);
+        arena.union_into(prop, fx.rels.fr);
+        ArenaArchRels { ppo, fences, prop }
     }
 }
 

@@ -36,12 +36,13 @@
 //! concrete [`Execution`]s directly; this module covers the common case of
 //! constant-valued writes, which includes every litmus family in the paper.
 
+use crate::arena::RelArena;
 use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
-use crate::exec::{Deps, ExecCore, Execution};
-use crate::model::Architecture;
+use crate::exec::{Deps, ExecCore, ExecFrame, ExecRels, Execution};
+use crate::model::{Architecture, ArenaChecker, Verdict};
 use crate::relation::Relation;
 use crate::thinair::ThinAirTracker;
-use crate::uniproc::{EventShape, LocGraphs};
+use crate::uniproc::{CoMenus, EventShape, LocGraphs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -161,6 +162,119 @@ impl Skeleton {
             .expect("skeleton relations are well-formed"),
         );
         (parts, core)
+    }
+
+    /// The arena-backed checked stream: enumerates with every pruning
+    /// axis sound for `arch` (uniproc masks, llh weakening, thin air) and
+    /// checks each surviving candidate against the four axioms — **zero
+    /// heap allocations per candidate** once `arena` has warmed to its
+    /// high-water mark.
+    ///
+    /// Candidates are never materialised as owned [`Execution`]s: the
+    /// witness and all derived relations live in `arena` slots addressed
+    /// by one [`ExecRels`], refreshed scope by scope — the rf-invariant
+    /// part once per rf-odometer digit, the coherence-dependent part once
+    /// per co choice — and `sink` observes each candidate as a borrowed
+    /// [`ExecFrame`] plus its [`Verdict`]. The axiom temporaries are
+    /// rolled back to a checkpoint after every candidate, so the arena's
+    /// footprint is the high-water mark of one candidate's working set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
+    pub fn check_stream_arena<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        arena: &mut RelArena,
+        sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
+    ) -> CheckedStats {
+        self.check_stream_arena_shard(arch, arena, 0, 1, sink)
+    }
+
+    /// One shard of [`Skeleton::check_stream_arena`], covering the
+    /// `shard`-th of `nshards` contiguous slices of the rf odometer (the
+    /// same partition as [`Skeleton::stream_pruned_for_shard`], so
+    /// per-shard `emitted + pruned` sum to [`Skeleton::candidate_count`]).
+    /// Each worker thread owns its own [`RelArena`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch or `shard >= nshards`.
+    pub fn check_stream_arena_shard<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        arena: &mut RelArena,
+        shard: usize,
+        nshards: usize,
+        sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
+    ) -> CheckedStats {
+        let (parts, core) = self.parts_core();
+        let n = parts.base_events.len();
+        let shape: Vec<EventShape> = parts
+            .base_events
+            .iter()
+            .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+            .collect();
+        let graphs = LocGraphs::new(&shape, &self.po, arch.tolerates_load_load_hazards());
+        let thin_air = arch.thin_air_base(&core);
+        let mut driver = RfDriver::new(&parts, thin_air.as_ref(), (shard, nshards));
+
+        arena.reset(n);
+        let rels = ExecRels::alloc(arena);
+        let checker = ArenaChecker::new(arch, &core);
+        let mut menus = CoMenus::new(&parts.loc_writes);
+        let mut co_pick = vec![0usize; parts.locs.len()];
+        let mut events = parts.base_events.clone();
+        let mut rf_src = vec![0usize; n];
+        let mut stats = CheckedStats::default();
+
+        while !driver.done {
+            if !driver.sync_thinair(&parts) {
+                break; // shard exhausted
+            }
+            // One rf scope: fill rf, concretise read values, filter the
+            // coherence menus, derive the rf-invariant relations once.
+            arena.clear(rels.rf);
+            for (k, &r) in parts.reads.iter().enumerate() {
+                let w = parts.rf_choices[k][driver.rf_pick[k]];
+                arena.add(rels.rf, w, r);
+                rf_src[r] = w;
+                events[r].val = events[w].val;
+            }
+            graphs.co_menus_into(&parts.locs, &rf_src, &mut menus);
+            let rf_ok = graphs.rf_only_consistent(&parts.locs, &rf_src);
+            let kept = menus.kept();
+            if !rf_ok || kept == 0 {
+                driver.prune_rf_subtree();
+                driver.advance_one();
+                continue;
+            }
+            driver.add_pruned(driver.co_total - kept);
+            rels.derive_rf(&core, arena);
+
+            // The coherence scope: one menu combination per candidate.
+            co_pick.iter_mut().for_each(|d| *d = 0);
+            loop {
+                arena.clear(rels.co);
+                for (li, &init) in parts.loc_init.iter().enumerate() {
+                    build_co_arena(arena, rels.co, init, menus.order(li, co_pick[li]));
+                }
+                rels.derive_co(&core, arena);
+                let fx = ExecFrame { core: &core, events: &events, rels: &rels };
+                let verdict = checker.check(arch, &fx, arena);
+                stats.emitted += 1;
+                if verdict.allowed() {
+                    stats.allowed += 1;
+                }
+                sink(&fx, arena, verdict);
+                if !menus.bump(&mut co_pick) {
+                    break;
+                }
+            }
+            driver.advance_one();
+        }
+        stats.pruned = driver.pruned;
+        stats
     }
 
     /// Enumerates every candidate execution into a vector.
@@ -364,6 +478,41 @@ impl SkeletonParts {
     }
 }
 
+/// Statistics of one arena-backed checked stream
+/// ([`Skeleton::check_stream_arena`]): `emitted + pruned` equals
+/// [`Skeleton::candidate_count`] (summed over shards), exactly as for
+/// [`CandidateIter`], and `allowed` counts the candidates the
+/// architecture's four axioms accept.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckedStats {
+    /// Candidates materialised as frames and checked.
+    pub emitted: u128,
+    /// Candidates pruned at generation time (uniproc + thin air).
+    pub pruned: u128,
+    /// Checked candidates all four axioms allow.
+    pub allowed: u128,
+}
+
+/// Arena twin of [`build_co`]: adds one location's coherence edges to an
+/// arena slot.
+pub fn build_co_arena(
+    arena: &mut RelArena,
+    co: crate::arena::RelId,
+    init: Option<usize>,
+    order: &[usize],
+) {
+    if let Some(init) = init {
+        for &w in order {
+            arena.add(co, init, w);
+        }
+    }
+    for i in 0..order.len() {
+        for j in i + 1..order.len() {
+            arena.add(co, order[i], order[j]);
+        }
+    }
+}
+
 /// Adds the (transitively closed) coherence edges of one location's order:
 /// the initial write before every ordered write, and each ordered write
 /// before all its successors. Shared by every enumeration front end.
@@ -389,62 +538,31 @@ enum CoState {
     Menu { menus: Vec<Vec<Vec<usize>>>, pick: Vec<usize>, radices: Vec<usize> },
 }
 
-/// A lazy, pruning iterator over the candidate executions of a skeleton.
-///
-/// Created by [`Skeleton::stream`] / [`Skeleton::stream_pruned`] /
-/// [`Skeleton::stream_pruned_for`]. All yielded executions share one
-/// [`ExecCore`] via `Arc`; [`pruned`] (and [`emitted`]) expose the
-/// generation-time pruning statistics, with
-/// `emitted + pruned == candidate_count()` once exhausted (summed over
-/// all shards when sharded).
-///
-/// [`pruned`]: CandidateIter::pruned
-/// [`emitted`]: CandidateIter::emitted
-pub struct CandidateIter {
-    core: Arc<ExecCore>,
-    parts: SkeletonParts,
-    graphs: Option<LocGraphs>,
+/// The rf-odometer state machine shared by [`CandidateIter`] (the owned,
+/// `Execution`-materialising stream) and the arena-backed checked stream
+/// ([`Skeleton::check_stream_arena`]): linear-index sharding, mixed-radix
+/// digit decoding, thin-air subtree skipping and the pruned accounting.
+struct RfDriver {
     thinair: Option<ThinAirTracker>,
-
     rf_pick: Vec<usize>,
     /// Odometer radices for `rf_pick` (fixed for the whole iteration).
     rf_radices: Vec<usize>,
     /// `rf_weights[d]` = Π `rf_radices[..d]`: the number of rf
     /// configurations in one digit-`d` subtree (saturating).
     rf_weights: Vec<u128>,
-    /// Linear rf-configuration index of the current pick; this iterator
+    /// Linear rf-configuration index of the current pick; this driver
     /// covers `[pos, end)` of the rf odometer.
     pos: u128,
     end: u128,
     /// Total coherence combinations of one rf configuration (saturating).
     co_total: u128,
-
-    /// Read-from source per global event id (entries only valid for reads).
-    rf_src: Vec<usize>,
-    cur_rf: Relation,
-    co: CoState,
-    fresh_rf: bool,
     done: bool,
-
-    emitted: u128,
     pruned: u128,
 }
 
-impl CandidateIter {
-    fn new(sk: &Skeleton, parts: SkeletonParts, core: Arc<ExecCore>, opts: StreamOpts) -> Self {
-        let n = sk.events.len();
-        let graphs = if opts.uniproc {
-            let shape: Vec<EventShape> = parts
-                .base_events
-                .iter()
-                .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
-                .collect();
-            Some(LocGraphs::new(&shape, &sk.po, opts.llh))
-        } else {
-            None
-        };
-        let thinair = opts.thin_air.as_ref().and_then(ThinAirTracker::new);
-
+impl RfDriver {
+    fn new(parts: &SkeletonParts, thin_air: Option<&Relation>, shard: (usize, usize)) -> Self {
+        let thinair = thin_air.and_then(ThinAirTracker::new);
         let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
         let mut rf_weights = Vec::with_capacity(rf_radices.len());
         let mut rf_total: u128 = 1;
@@ -458,16 +576,13 @@ impl CandidateIter {
             .map(|ws| factorial_saturating(ws.len()))
             .fold(1u128, u128::saturating_mul);
 
-        let (shard, nshards) = opts.shard.unwrap_or((0, 1));
+        let (shard, nshards) = shard;
         assert!(nshards > 0 && shard < nshards, "shard index out of range");
         let chunk = rf_total.div_ceil(nshards as u128);
         let pos = chunk.saturating_mul(shard as u128).min(rf_total);
         let end = pos.saturating_add(chunk).min(rf_total);
 
-        let mut it = CandidateIter {
-            core,
-            parts,
-            graphs,
+        let mut d = RfDriver {
             thinair,
             rf_pick: vec![0usize; rf_radices.len()],
             rf_radices,
@@ -475,35 +590,19 @@ impl CandidateIter {
             pos,
             end,
             co_total,
-            rf_src: vec![0usize; n],
-            cur_rf: Relation::empty(n),
-            co: CoState::Lazy(Vec::new()),
-            fresh_rf: true,
             done: pos >= end,
-            emitted: 0,
             pruned: 0,
         };
-        if !it.done {
-            it.decode_pos();
+        if !d.done {
+            d.decode_pos();
             // A cyclic static base forbids every candidate of the shard.
-            if it.thinair.as_ref().is_some_and(ThinAirTracker::is_base_cyclic) {
-                it.pruned = (it.end - it.pos).saturating_mul(it.co_total);
-                it.pos = it.end;
-                it.done = true;
+            if d.thinair.as_ref().is_some_and(ThinAirTracker::is_base_cyclic) {
+                d.pruned = (d.end - d.pos).saturating_mul(d.co_total);
+                d.pos = d.end;
+                d.done = true;
             }
         }
-        it
-    }
-
-    /// Candidates yielded so far.
-    pub fn emitted(&self) -> u128 {
-        self.emitted
-    }
-
-    /// Candidates pruned (skipped before materialisation) so far. Always 0
-    /// for [`Skeleton::stream`].
-    pub fn pruned(&self) -> u128 {
-        self.pruned
+        d
     }
 
     /// Rewrites `rf_pick` to the digits of the linear index `pos`.
@@ -524,13 +623,23 @@ impl CandidateIter {
         debug_assert!(more, "pos < end implies the odometer has not wrapped");
     }
 
+    /// Accounts a whole rf configuration's coherence subtree as pruned.
+    fn prune_rf_subtree(&mut self) {
+        self.pruned = self.pruned.saturating_add(self.co_total);
+    }
+
+    /// Accounts `k` candidates as pruned (menu filtering).
+    fn add_pruned(&mut self, k: u128) {
+        self.pruned = self.pruned.saturating_add(k);
+    }
+
     /// The external read-from edge read-digit `d` contributes to `hb`
     /// under the current pick, if any (`rfi ⊄ hb`; initial writes are
     /// external but can never sit on a cycle, so including them is fine).
-    fn rfe_edge(&self, d: usize) -> Option<(usize, usize)> {
-        let r = self.parts.reads[d];
-        let w = self.parts.rf_choices[d][self.rf_pick[d]];
-        let ev = &self.parts.base_events;
+    fn rfe_edge(&self, parts: &SkeletonParts, d: usize) -> Option<(usize, usize)> {
+        let r = parts.reads[d];
+        let w = parts.rf_choices[d][self.rf_pick[d]];
+        let ev = &parts.base_events;
         match (ev[w].thread, ev[r].thread) {
             (Some(a), Some(b)) if a == b => None,
             _ => Some((w, r)),
@@ -546,11 +655,11 @@ impl CandidateIter {
     ///
     /// Returns `true` when `pos` names a thin-air-clean configuration;
     /// `false` when the shard is exhausted (`done` is set).
-    fn sync_thinair(&mut self) -> bool {
+    fn sync_thinair(&mut self, parts: &SkeletonParts) -> bool {
         if self.thinair.is_none() {
             return true;
         }
-        let nreads = self.parts.reads.len();
+        let nreads = parts.reads.len();
         'retarget: loop {
             // Levels are stacked top digit first: level `l` holds the pick
             // of digit `nreads - 1 - l`. Keep the prefix that still
@@ -565,7 +674,7 @@ impl CandidateIter {
             self.thinair.as_mut().expect("checked above").truncate(keep);
             for level in keep..nreads {
                 let d = nreads - 1 - level;
-                let edge = self.rfe_edge(d);
+                let edge = self.rfe_edge(parts, d);
                 let pick = self.rf_pick[d];
                 if self.thinair.as_mut().expect("checked above").try_push(pick, edge) {
                     continue;
@@ -586,6 +695,71 @@ impl CandidateIter {
             return true;
         }
     }
+}
+
+/// A lazy, pruning iterator over the candidate executions of a skeleton.
+///
+/// Created by [`Skeleton::stream`] / [`Skeleton::stream_pruned`] /
+/// [`Skeleton::stream_pruned_for`]. All yielded executions share one
+/// [`ExecCore`] via `Arc`; [`pruned`] (and [`emitted`]) expose the
+/// generation-time pruning statistics, with
+/// `emitted + pruned == candidate_count()` once exhausted (summed over
+/// all shards when sharded).
+///
+/// [`pruned`]: CandidateIter::pruned
+/// [`emitted`]: CandidateIter::emitted
+pub struct CandidateIter {
+    core: Arc<ExecCore>,
+    parts: SkeletonParts,
+    graphs: Option<LocGraphs>,
+    driver: RfDriver,
+
+    /// Read-from source per global event id (entries only valid for reads).
+    rf_src: Vec<usize>,
+    cur_rf: Relation,
+    co: CoState,
+    fresh_rf: bool,
+
+    emitted: u128,
+}
+
+impl CandidateIter {
+    fn new(sk: &Skeleton, parts: SkeletonParts, core: Arc<ExecCore>, opts: StreamOpts) -> Self {
+        let n = sk.events.len();
+        let graphs = if opts.uniproc {
+            let shape: Vec<EventShape> = parts
+                .base_events
+                .iter()
+                .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+                .collect();
+            Some(LocGraphs::new(&shape, &sk.po, opts.llh))
+        } else {
+            None
+        };
+        let driver = RfDriver::new(&parts, opts.thin_air.as_ref(), opts.shard.unwrap_or((0, 1)));
+        CandidateIter {
+            core,
+            parts,
+            graphs,
+            driver,
+            rf_src: vec![0usize; n],
+            cur_rf: Relation::empty(n),
+            co: CoState::Lazy(Vec::new()),
+            fresh_rf: true,
+            emitted: 0,
+        }
+    }
+
+    /// Candidates yielded so far.
+    pub fn emitted(&self) -> u128 {
+        self.emitted
+    }
+
+    /// Candidates pruned (skipped before materialisation) so far. Always 0
+    /// for [`Skeleton::stream`].
+    pub fn pruned(&self) -> u128 {
+        self.driver.pruned
+    }
 
     /// Prepares rf relation, sources, and the coherence state for the
     /// current rf configuration. Returns `false` when the whole rf subtree
@@ -595,7 +769,7 @@ impl CandidateIter {
         let n = self.parts.base_events.len();
         self.cur_rf = Relation::empty(n);
         for (k, &r) in self.parts.reads.iter().enumerate() {
-            let w = self.parts.rf_choices[k][self.rf_pick[k]];
+            let w = self.parts.rf_choices[k][self.driver.rf_pick[k]];
             self.cur_rf.add(w, r);
             self.rf_src[r] = w;
         }
@@ -611,10 +785,10 @@ impl CandidateIter {
                 let rf_ok = graphs.rf_only_consistent(&self.parts.locs, &self.rf_src);
                 let kept = menus.iter().map(|m| m.len() as u128).fold(1u128, u128::saturating_mul);
                 if !rf_ok || kept == 0 {
-                    self.pruned = self.pruned.saturating_add(self.co_total);
+                    self.driver.prune_rf_subtree();
                     return false;
                 }
-                self.pruned = self.pruned.saturating_add(self.co_total - kept);
+                self.driver.add_pruned(self.driver.co_total - kept);
                 let radices: Vec<usize> = menus.iter().map(Vec::len).collect();
                 self.co = CoState::Menu { pick: vec![0; menus.len()], menus, radices };
                 true
@@ -627,7 +801,7 @@ impl CandidateIter {
         let n = self.parts.base_events.len();
         let mut events = self.parts.base_events.clone();
         for (k, &r) in self.parts.reads.iter().enumerate() {
-            let w = self.parts.rf_choices[k][self.rf_pick[k]];
+            let w = self.parts.rf_choices[k][self.driver.rf_pick[k]];
             events[r].val = events[w].val;
         }
         let mut co = Relation::empty(n);
@@ -668,16 +842,16 @@ impl Iterator for CandidateIter {
 
     fn next(&mut self) -> Option<Execution> {
         loop {
-            if self.done {
+            if self.driver.done {
                 return None;
             }
             if self.fresh_rf {
                 self.fresh_rf = false;
-                if !self.sync_thinair() {
+                if !self.driver.sync_thinair(&self.parts) {
                     continue; // shard exhausted (done set)
                 }
                 if !self.setup_rf_config() {
-                    self.advance_one();
+                    self.driver.advance_one();
                     self.fresh_rf = true;
                     continue;
                 }
@@ -685,7 +859,7 @@ impl Iterator for CandidateIter {
             let x = self.emit();
             self.emitted += 1;
             if !self.advance_co() {
-                self.advance_one();
+                self.driver.advance_one();
                 self.fresh_rf = true;
             }
             return Some(x);
@@ -1129,6 +1303,95 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The arena-backed checked stream must agree with the PR 3 engine
+    /// (owned `Execution`s + `check`) on counts *and* per-candidate
+    /// witnesses, with identical pruning accounting.
+    #[test]
+    fn arena_checked_stream_matches_owned_engine() {
+        use crate::arena::RelArena;
+        let power = Power::new();
+        for sk in [mp_skeleton(true, true), lb_ring(2), lb_ring(3)] {
+            let mut it = sk.stream_pruned_for(&power);
+            let mut owned_keys: Vec<String> = Vec::new();
+            let mut owned_allowed = 0u128;
+            for x in it.by_ref() {
+                if check(&power, &x).allowed() {
+                    owned_allowed += 1;
+                }
+                owned_keys.push(format!("{:?}|{:?}", x.rf(), x.co()));
+            }
+            let (owned_emitted, owned_pruned) = (it.emitted(), it.pruned());
+
+            let mut arena = RelArena::new(0);
+            let mut keys = Vec::new();
+            let stats = sk.check_stream_arena(&power, &mut arena, &mut |fx, a, v| {
+                assert_eq!(
+                    v,
+                    check(&power, &fx.to_execution(a)),
+                    "frame verdict disagrees with the owned check"
+                );
+                keys.push(format!(
+                    "{:?}|{:?}",
+                    a.to_relation(fx.rels.rf),
+                    a.to_relation(fx.rels.co)
+                ));
+            });
+            owned_keys.sort();
+            keys.sort();
+            assert_eq!(keys, owned_keys, "same candidates in the same witness space");
+            assert_eq!(stats.emitted, owned_emitted);
+            assert_eq!(stats.pruned, owned_pruned);
+            assert_eq!(stats.allowed, owned_allowed);
+            assert_eq!(
+                stats.emitted + stats.pruned,
+                sk.candidate_count().unwrap(),
+                "arena accounting is exact"
+            );
+        }
+    }
+
+    /// Arena-engine shards partition the stream exactly, like the owned
+    /// iterator's shards.
+    #[test]
+    fn arena_shards_partition_exactly() {
+        use crate::arena::RelArena;
+        let power = Power::new();
+        let sk = lb_ring(3);
+        let mut arena = RelArena::new(0);
+        let whole = sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {});
+        for nshards in [2usize, 3, 5] {
+            let mut merged = CheckedStats::default();
+            for s in 0..nshards {
+                let part =
+                    sk.check_stream_arena_shard(&power, &mut arena, s, nshards, &mut |_, _, _| {});
+                merged.emitted += part.emitted;
+                merged.pruned += part.pruned;
+                merged.allowed += part.allowed;
+            }
+            assert_eq!(merged, whole, "{nshards} shards merge exactly");
+        }
+    }
+
+    /// After warm-up, the arena pool must stop growing: the whole point
+    /// of the engine is a flat steady-state footprint.
+    #[test]
+    fn arena_high_water_stabilises_after_first_candidates() {
+        use crate::arena::RelArena;
+        let power = Power::new();
+        let sk = mp_skeleton(true, true);
+        let mut arena = RelArena::new(0);
+        let mut waters: Vec<usize> = Vec::new();
+        sk.check_stream_arena(&power, &mut arena, &mut |_, a, _| {
+            waters.push(a.high_water_words());
+        });
+        assert!(waters.len() > 2);
+        let settled = waters[0];
+        assert!(
+            waters.iter().skip(1).all(|&w| w == settled),
+            "pool grew after the first candidate: {waters:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! are computed per candidate, which is what makes streaming enumeration
 //! cheap (paper, Sec 8.3).
 
+use crate::arena::{RelArena, RelId, RelSrc, RelView};
 use crate::event::{Dir, Event, Fence, Loc, Val};
 use crate::relation::Relation;
 use crate::set::EventSet;
@@ -126,10 +127,16 @@ pub struct ExecCore {
     fences: BTreeMap<Fence, Relation>,
     w_set: EventSet,
     r_set: EventSet,
+    all_set: EventSet,
     po_loc: Relation,
     same_loc: Relation,
     internal: Relation,
     external: Relation,
+    /// Cached `id` over the universe, so borrowing consumers (the
+    /// compiled cat evaluator, the arena checker) never materialise it.
+    id_rel: Relation,
+    /// Cached empty relation, the resolution of absent fence flavours.
+    empty_rel: Relation,
 }
 
 impl ExecCore {
@@ -189,7 +196,20 @@ impl ExecCore {
 
         let po_loc = po.intersect(&same_loc);
 
-        Ok(ExecCore { po, deps, fences, w_set, r_set, po_loc, same_loc, internal, external })
+        Ok(ExecCore {
+            po,
+            deps,
+            fences,
+            w_set,
+            r_set,
+            all_set: EventSet::full(n),
+            po_loc,
+            same_loc,
+            internal,
+            external,
+            id_rel: Relation::id(n),
+            empty_rel: Relation::empty(n),
+        })
     }
 
     /// Size of the event universe.
@@ -230,20 +250,53 @@ impl ExecCore {
     /// The raw relation of one fence flavour (empty when the skeleton has
     /// no such fence) — the core-level twin of [`Execution::fence`].
     pub fn fence(&self, f: Fence) -> Relation {
-        self.fences.get(&f).cloned().unwrap_or_else(|| Relation::empty(self.universe()))
+        self.fence_ref(f).clone()
+    }
+
+    /// Borrowed twin of [`ExecCore::fence`]: absent flavours resolve to
+    /// the cached empty relation, so no caller ever needs to clone a
+    /// fence relation just to read it.
+    pub fn fence_ref(&self, f: Fence) -> &Relation {
+        self.fences.get(&f).unwrap_or(&self.empty_rel)
+    }
+
+    /// The cached identity relation over the universe.
+    pub fn id_rel(&self) -> &Relation {
+        &self.id_rel
+    }
+
+    /// The cached empty relation over the universe.
+    pub fn empty_rel(&self) -> &Relation {
+        &self.empty_rel
+    }
+
+    /// The event set selected by a direction filter (`None` = all).
+    pub fn dir_set(&self, d: Option<Dir>) -> &EventSet {
+        match d {
+            None => &self.all_set,
+            Some(Dir::W) => &self.w_set,
+            Some(Dir::R) => &self.r_set,
+        }
     }
 
     /// Restricts `r` by source/target direction — the core-level twin of
     /// [`Execution::dir_restrict`], available before any data-flow choice
     /// (directions are skeleton-invariant).
     pub fn dir_restrict(&self, r: &Relation, src: Option<Dir>, dst: Option<Dir>) -> Relation {
-        let full = EventSet::full(self.universe());
-        let pick = |d: Option<Dir>| match d {
-            None => &full,
-            Some(Dir::W) => &self.w_set,
-            Some(Dir::R) => &self.r_set,
-        };
-        r.restrict(pick(src), pick(dst))
+        r.restrict(self.dir_set(src), self.dir_set(dst))
+    }
+
+    /// Arena twin of [`ExecCore::dir_restrict`]: writes the restriction of
+    /// `src_rel` into the arena slot `dst`.
+    pub fn dir_restrict_arena<'a>(
+        &self,
+        arena: &mut RelArena,
+        dst: RelId,
+        src_rel: impl Into<RelSrc<'a>>,
+        src: Option<Dir>,
+        tgt: Option<Dir>,
+    ) {
+        arena.restrict_into(dst, src_rel, self.dir_set(src), self.dir_set(tgt));
     }
 
     /// Same-location pairs (irreflexive).
@@ -549,6 +602,193 @@ impl Execution {
             }
         };
         Some(r.clone())
+    }
+}
+
+/// The per-candidate relations of one arena-backed candidate: the witness
+/// (`rf`, `co`) plus everything [`Execution::with_core`] would derive from
+/// it, held as [`RelArena`] slots instead of owned [`Relation`]s.
+///
+/// The slots are allocated once per enumeration ([`ExecRels::alloc`]) and
+/// *overwritten* scope by scope: [`ExecRels::derive_rf`] refreshes the
+/// rf-invariant relations once per rf-odometer configuration, and
+/// [`ExecRels::derive_co`] the coherence-dependent remainder once per
+/// coherence choice — the arena-scope structure that mirrors the odometer
+/// digits (paper, Sec 8.3). No validation happens here: enumeration
+/// produces well-formed witnesses by construction, so the arena path
+/// skips the `validate_rf`/`validate_co` work the owned constructor pays.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecRels {
+    /// Read-from.
+    pub rf: RelId,
+    /// `rf⁻¹`, shared by every `fr` computation of the rf scope.
+    pub rft: RelId,
+    /// External read-from.
+    pub rfe: RelId,
+    /// Internal read-from.
+    pub rfi: RelId,
+    /// Coherence.
+    pub co: RelId,
+    /// External coherence.
+    pub coe: RelId,
+    /// Internal coherence.
+    pub coi: RelId,
+    /// From-read `rf⁻¹; co`.
+    pub fr: RelId,
+    /// External from-read.
+    pub fre: RelId,
+    /// Internal from-read.
+    pub fri: RelId,
+    /// Communications `co ∪ rf ∪ fr`.
+    pub com: RelId,
+    /// `rdw = po-loc ∩ (fre; rfe)` (Fig 27).
+    pub rdw: RelId,
+    /// `detour = po-loc ∩ (coe; rfe)` (Fig 28).
+    pub detour: RelId,
+}
+
+impl ExecRels {
+    /// Allocates the 13 slots (zeroed) in `arena`.
+    pub fn alloc(arena: &mut RelArena) -> Self {
+        ExecRels {
+            rf: arena.alloc(),
+            rft: arena.alloc(),
+            rfe: arena.alloc(),
+            rfi: arena.alloc(),
+            co: arena.alloc(),
+            coe: arena.alloc(),
+            coi: arena.alloc(),
+            fr: arena.alloc(),
+            fre: arena.alloc(),
+            fri: arena.alloc(),
+            com: arena.alloc(),
+            rdw: arena.alloc(),
+            detour: arena.alloc(),
+        }
+    }
+
+    /// Mirrors an owned [`Execution`]'s witness into freshly allocated
+    /// arena slots and derives the rest — the bridge the equivalence
+    /// suites use to compare the arena path against the owned one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's universe does not match the execution's.
+    pub fn from_execution(x: &Execution, arena: &mut RelArena) -> Self {
+        assert_eq!(arena.universe(), x.len(), "arena universe mismatch");
+        let rels = ExecRels::alloc(arena);
+        arena.copy_into(rels.rf, x.rf());
+        rels.derive_rf(x.core(), arena);
+        arena.copy_into(rels.co, x.co());
+        rels.derive_co(x.core(), arena);
+        rels
+    }
+
+    /// Refreshes the relations that depend on `rf` alone (`rf⁻¹`, `rfe`,
+    /// `rfi`) — once per rf-odometer configuration, shared by every
+    /// coherence choice underneath it. Call after filling [`ExecRels::rf`].
+    pub fn derive_rf(&self, core: &ExecCore, arena: &mut RelArena) {
+        arena.transpose_into(self.rft, self.rf);
+        arena.copy_into(self.rfe, self.rf);
+        arena.intersect_into(self.rfe, core.external());
+        arena.copy_into(self.rfi, self.rf);
+        arena.intersect_into(self.rfi, core.internal());
+    }
+
+    /// Refreshes the coherence-dependent relations (`coe`, `coi`, `fr`
+    /// and its splits, `com`, `rdw`, `detour`) — once per coherence
+    /// choice. Call after filling [`ExecRels::co`] (and after
+    /// [`ExecRels::derive_rf`] for the enclosing rf scope).
+    pub fn derive_co(&self, core: &ExecCore, arena: &mut RelArena) {
+        arena.copy_into(self.coe, self.co);
+        arena.intersect_into(self.coe, core.external());
+        arena.copy_into(self.coi, self.co);
+        arena.intersect_into(self.coi, core.internal());
+        // fr = rf⁻¹; co, then the internal/external split.
+        arena.seq_into(self.fr, self.rft, self.co);
+        arena.copy_into(self.fre, self.fr);
+        arena.intersect_into(self.fre, core.external());
+        arena.copy_into(self.fri, self.fr);
+        arena.intersect_into(self.fri, core.internal());
+        // com = co ∪ rf ∪ fr.
+        arena.copy_into(self.com, self.co);
+        arena.union_into(self.com, self.rf);
+        arena.union_into(self.com, self.fr);
+        // rdw = po-loc ∩ (fre; rfe); detour = po-loc ∩ (coe; rfe).
+        let m = arena.mark();
+        let t = arena.alloc();
+        arena.seq_into(t, self.fre, self.rfe);
+        arena.copy_into(self.rdw, core.po_loc());
+        arena.intersect_into(self.rdw, t);
+        arena.seq_into(t, self.coe, self.rfe);
+        arena.copy_into(self.detour, core.po_loc());
+        arena.intersect_into(self.detour, t);
+        arena.release(m);
+    }
+}
+
+/// A borrowed, arena-backed candidate execution: the zero-allocation twin
+/// of [`Execution`] that streaming checkers consume in place.
+///
+/// Skeleton-invariant relations come from the shared [`ExecCore`];
+/// witness-dependent ones live in a [`RelArena`] addressed through
+/// [`ExecRels`]. The arena itself is passed alongside the frame (rather
+/// than held in it) so checkers can keep allocating scratch relations
+/// while the frame is alive.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecFrame<'a> {
+    /// The shared skeleton-invariant core.
+    pub core: &'a Arc<ExecCore>,
+    /// The events with concretised values, indexed by id.
+    pub events: &'a [Event],
+    /// The per-candidate relation slots.
+    pub rels: &'a ExecRels,
+}
+
+impl<'a> ExecFrame<'a> {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the frame devoid of events?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A view of one per-candidate relation slot.
+    pub fn view<'b>(&self, arena: &'b RelArena, id: RelId) -> RelView<'b> {
+        arena.view(id)
+    }
+
+    /// Materialises an owned, validated [`Execution`] — the compatibility
+    /// bridge for consumers of the owned API (allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's witness is not well-formed (enumerated
+    /// frames are, by construction).
+    pub fn to_execution(&self, arena: &RelArena) -> Execution {
+        Execution::with_core(
+            self.events.to_vec(),
+            Arc::clone(self.core),
+            arena.to_relation(self.rels.rf),
+            arena.to_relation(self.rels.co),
+        )
+        .expect("arena frames hold well-formed witnesses")
+    }
+
+    /// The final memory state: for each location, the value of the
+    /// `co`-maximal write — the frame twin of [`Execution::final_memory`].
+    pub fn final_memory(&self, arena: &RelArena) -> BTreeMap<Loc, Val> {
+        let co = arena.view(self.rels.co);
+        let mut out = BTreeMap::new();
+        for e in self.events {
+            if e.is_write() && co.row_is_empty(e.id) {
+                out.insert(e.loc, e.val);
+            }
+        }
+        out
     }
 }
 

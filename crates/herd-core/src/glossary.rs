@@ -54,9 +54,35 @@
 //! ([`crate::model::Architecture::tolerates_load_load_hazards`]) weakens
 //! the uniproc graphs, and thin-air pruning only fires when the
 //! architecture vouches for an underapproximating static base (`None`
-//! disables it — e.g. for models without the NO THIN AIR axiom). Entry
+//! disables it — e.g. for models without the NO THIN AIR axiom). The
+//! base is uniformly `static ppo ∪ thin_air_fences`; keeping the static
+//! *fence suffix* in it means the A-cumulativity pairs `rfe; fences`
+//! (Fig 18) fall out of the tracker's closure compositionally — the
+//! `rfe` prefix is the pushed edge, the suffix is already closed. Entry
 //! points: [`crate::enumerate::Skeleton::stream_pruned_for`] and the
 //! litmus driver's `stream_arch`/`stream_shard`/`simulate_sharded`.
+//!
+//! # Arena scopes — incremental candidates without allocation (Sec 8.3)
+//!
+//! Sec 8.3's incremental-candidate discussion observes that herd never
+//! recomputes what a candidate shares with its odometer neighbour: when
+//! only one coherence digit moved, everything derived from `rf` alone is
+//! still valid. The arena engine ([`crate::arena::RelArena`],
+//! [`crate::enumerate::Skeleton::check_stream_arena`]) turns that
+//! observation into a storage discipline — each odometer layer owns an
+//! arena scope, entered by overwriting a fixed set of slots and left by
+//! an O(1) checkpoint rollback:
+//!
+//! | scope | lifetime | holds | where |
+//! |---|---|---|---|
+//! | enumeration | whole stream | the 13 witness/derived slots, menus, thin-air levels | [`crate::exec::ExecRels::alloc`], [`crate::uniproc::CoMenus`], [`crate::thinair::ThinAirTracker`] |
+//! | rf digit | one rf configuration | `rf`, `rf⁻¹`, `rfe`, `rfi` refreshed once, shared by every coherence choice below | [`crate::exec::ExecRels::derive_rf`] |
+//! | co digit | one coherence choice | `co`, `fr` (`rf⁻¹; co` reuses the scope above), `com`, `rdw`, `detour` | [`crate::exec::ExecRels::derive_co`] |
+//! | candidate check | one verdict | `ppo`/`fences`/`prop`, `hb`, closures, axiom compositions — released by one [`crate::arena::Mark`] | [`crate::model::ArenaChecker::check`] |
+//!
+//! The steady state allocates nothing per candidate (the `herd-bench`
+//! `alloc-count` smoke test asserts the zero), which is what lets
+//! sharding and corpus batching scale without allocator contention.
 //!
 //! # Litmus names (Tab III)
 //!

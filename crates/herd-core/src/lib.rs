@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arch;
+pub mod arena;
 pub mod dot;
 pub mod enumerate;
 pub mod event;

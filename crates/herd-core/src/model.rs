@@ -14,8 +14,9 @@
 //! -hazards weakens `po-loc` in axiom 1 (Tab VII), and exact C++ R-A
 //! weakens axiom 4 to `irreflexive(prop; co)` (Sec 4.8).
 
+use crate::arena::{RelArena, RelId};
 use crate::event::Dir;
-use crate::exec::{ExecCore, Execution};
+use crate::exec::{ExecCore, ExecFrame, Execution};
 use crate::relation::Relation;
 use std::fmt;
 
@@ -61,18 +62,55 @@ pub trait Architecture {
     /// The `po-loc` used by SC PER LOCATION. Architectures tolerating
     /// load-load hazards drop read-read pairs
     /// (`po-loc-llh = po-loc \ RR`, Tab VII).
+    ///
+    /// The default delegates to the skeleton-invariant
+    /// [`Architecture::sc_per_location_po_loc_static`] — directions and
+    /// locations never depend on the witness — so overriding the static
+    /// hook adjusts both the owned and the arena checking paths at once.
     fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
+        self.sc_per_location_po_loc_static(x.core())
+    }
+
+    /// Skeleton-invariant twin of
+    /// [`Architecture::sc_per_location_po_loc`], computed from the core
+    /// before any data-flow choice. [`ArenaChecker::new`] caches it once
+    /// per enumeration, so architectures customising their SC PER
+    /// LOCATION `po-loc` should override *this* hook (a per-candidate
+    /// override of the dynamic method alone would only affect the owned
+    /// path).
+    fn sc_per_location_po_loc_static(&self, core: &ExecCore) -> Relation {
         if self.tolerates_load_load_hazards() {
-            let rr = x.dir_restrict(x.po_loc(), Some(Dir::R), Some(Dir::R));
-            x.po_loc().minus(&rr)
+            let rr = core.dir_restrict(core.po_loc(), Some(Dir::R), Some(Dir::R));
+            core.po_loc().minus(&rr)
         } else {
-            x.po_loc().clone()
+            core.po_loc().clone()
         }
     }
 
     /// Which form of the PROPAGATION axiom applies.
     fn propagation_check(&self) -> PropagationCheck {
         PropagationCheck::Acyclic
+    }
+
+    /// The skeleton-invariant part of this architecture's `fences`
+    /// relation — the *static fence suffix* of the cumulativity edges.
+    ///
+    /// `A-cumul = rfe; fences` (Fig 18) is rf-dependent, but its `fences`
+    /// suffix is not: fence placement and event directions are fixed by
+    /// the skeleton. Putting this static suffix into the thin-air base
+    /// makes every cumulativity composition fall out of the incremental
+    /// closure for free — when the tracker pushes an rfe edge `(w, r)`
+    /// and the base holds `(r, c) ∈ fences`, the closed graph contains
+    /// `(w, c)` without any per-candidate work (the `rfe; fences` pair).
+    /// `tests/thin_air.rs` checks both halves of the contract: the base
+    /// stays under every candidate's `hb`, and the cumulativity pairs are
+    /// reachable in the tracked closure.
+    ///
+    /// The default is empty (sound for every architecture); stock
+    /// instances with fences override it and their
+    /// [`Architecture::thin_air_base`] unions it into the static base.
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        Relation::empty(core.universe())
     }
 
     /// A skeleton-invariant underapproximation of `ppo ∪ fences`, enabling
@@ -89,13 +127,88 @@ pub trait Architecture {
     /// unless an architecture explicitly vouches for it.
     ///
     /// Stock instances override it: SC/C++RA return `po`, TSO/PSO/RMO
-    /// their static `ppo` plus fences, Power/ARM the
-    /// [`crate::ppo::compute_static`] fixpoint plus their static fence
-    /// relations.
+    /// their static `ppo`, Power/ARM the [`crate::ppo::compute_static`]
+    /// fixpoint — each unioned with the static fence suffix
+    /// ([`Architecture::thin_air_fences`]), which also covers the
+    /// cumulativity edges compositionally.
     fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
         let _ = core;
         None
     }
+
+    /// Evaluates the three architecture functions for one arena-backed
+    /// candidate, returning arena slots instead of owned relations.
+    ///
+    /// The default implementation materialises an owned [`Execution`]
+    /// from the frame and copies `ppo`/`fences`/`prop` into the arena —
+    /// always correct, but it allocates; every stock architecture
+    /// overrides it with a pure-arena computation so the hot checking
+    /// path performs zero heap allocations in the steady state.
+    ///
+    /// Slots are allocated under the caller's current mark; the caller
+    /// (normally [`ArenaChecker::check`]) releases them after the axioms
+    /// are evaluated.
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        let x = fx.to_execution(arena);
+        ArenaArchRels {
+            ppo: arena.alloc_from(&self.ppo(&x)),
+            fences: arena.alloc_from(&self.fences(&x)),
+            prop: arena.alloc_from(&self.prop(&x)),
+        }
+    }
+}
+
+/// References delegate wholesale, preserving every override — so `&A`
+/// (and in particular `&dyn Architecture`, which is `Sized`) is itself an
+/// architecture. Lets unsized-generic drivers hand a trait object to
+/// enum-shaped plumbing without re-monomorphising it.
+impl<A: Architecture + ?Sized> Architecture for &A {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn ppo(&self, x: &Execution) -> Relation {
+        (**self).ppo(x)
+    }
+    fn fences(&self, x: &Execution) -> Relation {
+        (**self).fences(x)
+    }
+    fn prop(&self, x: &Execution) -> Relation {
+        (**self).prop(x)
+    }
+    fn tolerates_load_load_hazards(&self) -> bool {
+        (**self).tolerates_load_load_hazards()
+    }
+    fn sc_per_location_po_loc(&self, x: &Execution) -> Relation {
+        (**self).sc_per_location_po_loc(x)
+    }
+    fn sc_per_location_po_loc_static(&self, core: &ExecCore) -> Relation {
+        (**self).sc_per_location_po_loc_static(core)
+    }
+    fn propagation_check(&self) -> PropagationCheck {
+        (**self).propagation_check()
+    }
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        (**self).thin_air_fences(core)
+    }
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        (**self).thin_air_base(core)
+    }
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        (**self).arch_rels_arena(fx, arena)
+    }
+}
+
+/// The three architecture relations of one arena-backed candidate, as
+/// slots of the checking arena — the [`ArchRelations`] twin produced by
+/// [`Architecture::arch_rels_arena`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArenaArchRels {
+    /// Preserved program order.
+    pub ppo: RelId,
+    /// Fence-induced ordering.
+    pub fences: RelId,
+    /// Propagation order.
+    pub prop: RelId,
 }
 
 /// The three architecture relations, computed once per candidate.
@@ -219,6 +332,84 @@ pub fn sc_per_location(x: &Execution) -> bool {
     x.po_loc().union(x.com()).is_acyclic()
 }
 
+/// The arena-backed axiom checker: [`check_with`] without a single heap
+/// allocation per candidate.
+///
+/// Construct once per enumeration ([`ArenaChecker::new`] precomputes the
+/// skeleton-invariant `po-loc` the SC PER LOCATION axiom uses, load-load
+/// -hazard-weakened when the architecture asks for it), then call
+/// [`ArenaChecker::check`] per candidate frame. All per-candidate
+/// temporaries — the architecture relations, `hb` and its closures, the
+/// axiom compositions — live above one arena mark that is released before
+/// returning, so the arena's footprint stays at its high-water mark.
+///
+/// Equivalence with the owned path ([`check`] / [`check_with`]) is pinned
+/// down by the corpus-wide equivalence suites; architectures customising
+/// SC PER LOCATION do so through
+/// [`Architecture::sc_per_location_po_loc_static`], which both paths
+/// consume.
+pub struct ArenaChecker {
+    sc_po_loc: Relation,
+}
+
+impl ArenaChecker {
+    /// Precomputes the static per-architecture inputs for `core`.
+    pub fn new<A: Architecture + ?Sized>(arch: &A, core: &ExecCore) -> Self {
+        ArenaChecker { sc_po_loc: arch.sc_per_location_po_loc_static(core) }
+    }
+
+    /// Checks the four axioms of Fig 5 on one arena-backed candidate.
+    pub fn check<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        fx: &ExecFrame<'_>,
+        arena: &mut RelArena,
+    ) -> Verdict {
+        let m = arena.mark();
+
+        // SC PER LOCATION: acyclic(po-loc ∪ com).
+        let t = arena.alloc_from(&self.sc_po_loc);
+        arena.union_into(t, fx.rels.com);
+        let sc_per_location = arena.is_acyclic(t);
+
+        let ar = arch.arch_rels_arena(fx, arena);
+
+        // hb = ppo ∪ fences ∪ rfe; NO THIN AIR is acyclic(hb).
+        let hb = arena.alloc_from(ar.ppo);
+        arena.union_into(hb, ar.fences);
+        arena.union_into(hb, fx.rels.rfe);
+        let hb_plus = arena.alloc();
+        arena.tclosure_into(hb_plus, hb);
+        let no_thin_air = arena.is_irreflexive(hb_plus);
+
+        // OBSERVATION: irreflexive(fre; prop; hb*). hb* reuses hb+ (the
+        // irreflexivity of hb+ was already read off above).
+        arena.union_id(hb_plus);
+        let t1 = arena.alloc();
+        arena.seq_into(t1, fx.rels.fre, ar.prop);
+        let t2 = arena.alloc();
+        arena.seq_into(t2, t1, hb_plus);
+        let observation = arena.is_irreflexive(t2);
+
+        // PROPAGATION: acyclic(co ∪ prop), or the C++ R-A weakening.
+        let propagation = match arch.propagation_check() {
+            PropagationCheck::Acyclic => {
+                let t3 = arena.alloc_from(fx.rels.co);
+                arena.union_into(t3, ar.prop);
+                arena.is_acyclic(t3)
+            }
+            PropagationCheck::IrreflexivePropCo => {
+                let t3 = arena.alloc();
+                arena.seq_into(t3, ar.prop, fx.rels.co);
+                arena.is_irreflexive(t3)
+            }
+        };
+
+        arena.release(m);
+        Verdict { sc_per_location, no_thin_air, observation, propagation }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +446,46 @@ mod tests {
         let x = crate::fixtures::mp_fig4();
         let v = check(&Null, &x);
         assert!(v.allowed(), "no ppo, no fences, no prop: everything is allowed");
+    }
+
+    /// The arena checker must agree with the owned path verdict-for-
+    /// verdict — for the stock arena implementations *and* for the
+    /// default (materialising) `arch_rels_arena` fallback.
+    #[test]
+    fn arena_checker_matches_owned_check() {
+        use crate::arena::RelArena;
+        use crate::exec::{ExecFrame, ExecRels};
+        use crate::fixtures::{self, Device};
+
+        let fixtures = [
+            fixtures::mp(Device::None, Device::None),
+            fixtures::mp(Device::Fence(crate::event::Fence::Lwsync), Device::Addr),
+            fixtures::sb(Device::Fence(crate::event::Fence::Mfence), Device::None),
+            fixtures::lb(Device::Data, Device::Ctrl),
+            fixtures::iriw(Device::Fence(crate::event::Fence::Sync), Device::Addr),
+            fixtures::two_plus_two_w(Device::Fence(crate::event::Fence::Lwsync), Device::None),
+            fixtures::co_rr(),
+            fixtures::wrc(Device::Fence(crate::event::Fence::Lwsync), Device::Addr),
+        ];
+        let mut arena = RelArena::new(0);
+        for arch in crate::arch::all() {
+            for x in &fixtures {
+                arena.reset(x.len());
+                let rels = ExecRels::from_execution(x, &mut arena);
+                let fx = ExecFrame { core: x.core(), events: x.events(), rels: &rels };
+                let checker = ArenaChecker::new(arch.as_ref(), x.core());
+                let arena_v = checker.check(arch.as_ref(), &fx, &mut arena);
+                let owned_v = check(arch.as_ref(), x);
+                assert_eq!(arena_v, owned_v, "{} disagrees", arch.name());
+            }
+        }
+        // The default fallback (Null overrides nothing) takes the
+        // materialising path and must agree too.
+        let x = fixtures::mp_fig4();
+        arena.reset(x.len());
+        let rels = ExecRels::from_execution(&x, &mut arena);
+        let fx = ExecFrame { core: x.core(), events: x.events(), rels: &rels };
+        let checker = ArenaChecker::new(&Null, x.core());
+        assert_eq!(checker.check(&Null, &fx, &mut arena), check(&Null, &x));
     }
 }

@@ -7,8 +7,9 @@
 //! the equations of Fig 25. The preserved program order is then
 //! `ppo = (ii ∩ RR) ∪ (ic ∩ RW)`.
 
+use crate::arena::{RelArena, RelId};
 use crate::event::Dir;
-use crate::exec::{ExecCore, Execution};
+use crate::exec::{ExecCore, ExecFrame, Execution};
 use crate::relation::Relation;
 
 /// Knobs differentiating the Power ppo from the ARM variants and the
@@ -138,6 +139,100 @@ fn fixpoint(
         }
     }
     (ii, ic, ci, cc)
+}
+
+/// Arena twin of [`compute`]: evaluates the Fig 25 fixpoint for one
+/// arena-backed candidate and returns the `ppo` slot, with every
+/// intermediate (`ii`/`ic`/`ci`/`cc` and their per-iteration nexts) bump
+/// -allocated under the caller's mark — zero heap allocations.
+pub fn compute_arena(fx: &ExecFrame<'_>, cfg: &PpoConfig, arena: &mut RelArena) -> RelId {
+    let core = fx.core.as_ref();
+    let deps = core.deps();
+
+    let dp = arena.alloc_from(&deps.addr);
+    arena.union_into(dp, &deps.data);
+
+    let ii0 = arena.alloc_from(dp);
+    if cfg.rdw_in_ii0 {
+        arena.union_into(ii0, fx.rels.rdw);
+    }
+    arena.union_into(ii0, fx.rels.rfi);
+
+    let ic0 = arena.alloc();
+
+    let ci0 = arena.alloc();
+    if cfg.ctrl_cfence_in_ci0 {
+        arena.copy_into(ci0, &deps.ctrl_cfence);
+    }
+    if cfg.detour_in_ci0 {
+        arena.union_into(ci0, fx.rels.detour);
+    }
+
+    let cc0 = arena.alloc_from(dp);
+    if cfg.po_loc_in_cc0 {
+        arena.union_into(cc0, core.po_loc());
+    }
+    arena.union_into(cc0, &deps.ctrl);
+    let s = arena.alloc();
+    arena.seq_into(s, &deps.addr, core.po());
+    arena.union_into(cc0, s);
+
+    // The fixpoint loop of `fixpoint`, with one reusable seq scratch and
+    // a current/next slot pair per relation.
+    let (ii, ic, ci, cc) = (
+        arena.alloc_from(ii0),
+        arena.alloc_from(ic0),
+        arena.alloc_from(ci0),
+        arena.alloc_from(cc0),
+    );
+    let (ii_n, ic_n, ci_n, cc_n) = (arena.alloc(), arena.alloc(), arena.alloc(), arena.alloc());
+    loop {
+        // ii' = ii0 ∪ ci ∪ (ic; ci) ∪ (ii; ii)
+        arena.copy_into(ii_n, ii0);
+        arena.union_into(ii_n, ci);
+        arena.seq_into(s, ic, ci);
+        arena.union_into(ii_n, s);
+        arena.seq_into(s, ii, ii);
+        arena.union_into(ii_n, s);
+        // ic' = ic0 ∪ ii ∪ cc ∪ (ic; cc) ∪ (ii; ic)
+        arena.copy_into(ic_n, ic0);
+        arena.union_into(ic_n, ii);
+        arena.union_into(ic_n, cc);
+        arena.seq_into(s, ic, cc);
+        arena.union_into(ic_n, s);
+        arena.seq_into(s, ii, ic);
+        arena.union_into(ic_n, s);
+        // ci' = ci0 ∪ (ci; ii) ∪ (cc; ci)
+        arena.copy_into(ci_n, ci0);
+        arena.seq_into(s, ci, ii);
+        arena.union_into(ci_n, s);
+        arena.seq_into(s, cc, ci);
+        arena.union_into(ci_n, s);
+        // cc' = cc0 ∪ ci ∪ (ci; ic) ∪ (cc; cc)
+        arena.copy_into(cc_n, cc0);
+        arena.union_into(cc_n, ci);
+        arena.seq_into(s, ci, ic);
+        arena.union_into(cc_n, s);
+        arena.seq_into(s, cc, cc);
+        arena.union_into(cc_n, s);
+
+        let stable =
+            arena.eq(ii_n, ii) && arena.eq(ic_n, ic) && arena.eq(ci_n, ci) && arena.eq(cc_n, cc);
+        arena.copy_into(ii, ii_n);
+        arena.copy_into(ic, ic_n);
+        arena.copy_into(ci, ci_n);
+        arena.copy_into(cc, cc_n);
+        if stable {
+            break;
+        }
+    }
+
+    // ppo = (ii ∩ RR) ∪ (ic ∩ RW).
+    let ppo = arena.alloc();
+    arena.restrict_into(ppo, ii, core.reads(), core.reads());
+    arena.restrict_into(s, ic, core.reads(), core.writes());
+    arena.union_into(ppo, s);
+    ppo
 }
 
 /// The rf/co-independent part of the Fig 25 ppo: the same fixpoint with

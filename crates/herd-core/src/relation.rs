@@ -81,6 +81,21 @@ impl Relation {
         self.n
     }
 
+    /// Raw row-major words (rows of `words_for(n)` words each) — the
+    /// layout shared with [`crate::arena::RelArena`] slots, so arena
+    /// operations can consume owned relations in place.
+    #[inline]
+    pub(crate) fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Builds a relation from raw row-major words (the arena layout).
+    pub(crate) fn from_raw(n: usize, bits: Vec<u64>) -> Self {
+        let wpr = words_for(n);
+        assert_eq!(bits.len(), n * wpr, "raw word count mismatch");
+        Relation { n, wpr, bits }
+    }
+
     /// Adds the pair `(a, b)`.
     ///
     /// # Panics

@@ -23,6 +23,11 @@
 use crate::relation::Relation;
 
 /// One checkpoint of the incremental happens-before closure.
+///
+/// Level storage is pooled: [`ThinAirTracker::truncate`] only moves the
+/// logical depth, and a later push at the same depth reuses the retired
+/// level's mask buffer — so after the stack has once reached its maximum
+/// depth (the read count), pushing and popping allocate nothing.
 struct Level {
     /// The rf-odometer digit value this level was built with, used to
     /// revalidate the checkpoint stack after the odometer moves.
@@ -48,7 +53,10 @@ pub struct ThinAirTracker {
     base: Vec<u64>,
     /// Whether the base alone is cyclic (every candidate doomed).
     base_cyclic: bool,
+    /// Pooled level storage; only the first [`ThinAirTracker::depth`]
+    /// entries are live.
     levels: Vec<Level>,
+    depth: usize,
 }
 
 impl ThinAirTracker {
@@ -71,7 +79,7 @@ impl ThinAirTracker {
                 base_cyclic = true;
             }
         }
-        Some(ThinAirTracker { n, base: masks, base_cyclic, levels: Vec::new() })
+        Some(ThinAirTracker { n, base: masks, base_cyclic, levels: Vec::new(), depth: 0 })
     }
 
     /// Is the static base itself cyclic? Then every rf choice is doomed
@@ -82,21 +90,43 @@ impl ThinAirTracker {
 
     /// Number of checkpoint levels currently pushed.
     pub fn depth(&self) -> usize {
-        self.levels.len()
+        self.depth
     }
 
     /// The tag `level` was pushed with (0-based from the bottom).
     pub fn level_tag(&self, level: usize) -> usize {
+        assert!(level < self.depth, "level {level} beyond depth {}", self.depth);
         self.levels[level].tag
     }
 
-    /// Pops levels until only `depth` remain.
+    /// Pops levels until only `depth` remain (their mask buffers stay
+    /// pooled for reuse — no frees, no later allocations).
     pub fn truncate(&mut self, depth: usize) {
-        self.levels.truncate(depth);
+        assert!(depth <= self.depth, "truncate cannot deepen the stack");
+        self.depth = depth;
     }
 
     fn top(&self) -> &[u64] {
-        self.levels.last().map_or(&self.base, |l| &l.reach)
+        if self.depth == 0 {
+            &self.base
+        } else {
+            &self.levels[self.depth - 1].reach
+        }
+    }
+
+    /// Makes `levels[depth]` live (reusing pooled storage when present),
+    /// seeded with a copy of the current top masks and the given tag.
+    fn push_level(&mut self, tag: usize) {
+        if self.levels.len() == self.depth {
+            let reach = self.top().to_vec();
+            self.levels.push(Level { tag, reach });
+        } else {
+            let (live, pool) = self.levels.split_at_mut(self.depth);
+            let top = if self.depth == 0 { &self.base } else { &live[self.depth - 1].reach };
+            pool[0].reach.copy_from_slice(top);
+            pool[0].tag = tag;
+        }
+        self.depth += 1;
     }
 
     /// Pushes one checkpoint for a read whose source was just picked.
@@ -111,15 +141,15 @@ impl ThinAirTracker {
             return false;
         }
         let Some((from, to)) = edge else {
-            let reach = self.top().to_vec();
-            self.levels.push(Level { tag, reach });
+            self.push_level(tag);
             return true;
         };
         debug_assert!(from < self.n && to < self.n, "edge out of universe");
         if from == to || self.top()[to] >> from & 1 == 1 {
             return false;
         }
-        let mut reach = self.top().to_vec();
+        self.push_level(tag);
+        let reach = &mut self.levels[self.depth - 1].reach;
         let add = reach[to] | 1 << to;
         reach[from] |= add;
         for r in reach.iter_mut() {
@@ -127,7 +157,6 @@ impl ThinAirTracker {
                 *r |= add;
             }
         }
-        self.levels.push(Level { tag, reach });
         true
     }
 
@@ -138,14 +167,14 @@ impl ThinAirTracker {
         if self.base_cyclic {
             return false;
         }
-        self.levels.clear();
+        self.depth = 0;
         for (w, r) in edges {
             if !self.try_push(0, Some((w, r))) {
-                self.levels.clear();
+                self.depth = 0;
                 return false;
             }
         }
-        self.levels.clear();
+        self.depth = 0;
         true
     }
 }

@@ -152,12 +152,111 @@ impl LocGraphs {
             .collect()
     }
 
+    /// Refills a reusable [`CoMenus`] with the uniproc-valid coherence
+    /// permutations under the current rf sources — the allocation-free
+    /// twin of [`LocGraphs::co_menus`] used by the arena-backed engine.
+    pub fn co_menus_into(&self, locs: &[Loc], rf_src: &[usize], menus: &mut CoMenus) {
+        menus.refill(Some(self), locs, rf_src);
+    }
+
     /// Checks the locations carrying no coherence digit (only reads beyond
     /// the initial write, so excluded from `co_locs`): their `rf`/`po-loc`
     /// edges are fixed by the rf choice alone and need checking once per
     /// rf configuration.
     pub fn rf_only_consistent(&self, co_locs: &[Loc], rf_src: &[usize]) -> bool {
         self.graphs.iter().filter(|g| !co_locs.contains(&g.loc)).all(|g| g.is_uniproc(&[], rf_src))
+    }
+}
+
+/// Reusable per-rf-configuration coherence menus: the uniproc-valid
+/// orders of every location, stored in buffers that survive from one rf
+/// configuration to the next.
+///
+/// [`LocGraphs::co_menus`] allocates a fresh nested vector per rf
+/// configuration; at arena-engine scale that is the last allocation left
+/// in the rf scope. `CoMenus` keeps one [`HeapPerm`] generator and one
+/// order pool per location, so after the first few configurations have
+/// warmed the pools a [`CoMenus::refill`] allocates nothing.
+pub struct CoMenus {
+    per_loc: Vec<MenuLoc>,
+}
+
+struct MenuLoc {
+    /// Cycling in-place permutation generator over the location's writes.
+    heap: HeapPerm,
+    /// Pooled storage for the valid orders; only `len` entries are live.
+    orders: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl CoMenus {
+    /// Builds the buffers for the given per-location write lists (the
+    /// same `loc_writes` tables the enumerators carry).
+    pub fn new(loc_writes: &[Vec<usize>]) -> Self {
+        CoMenus {
+            per_loc: loc_writes
+                .iter()
+                .map(|ws| MenuLoc { heap: HeapPerm::new(ws.clone()), orders: Vec::new(), len: 0 })
+                .collect(),
+        }
+    }
+
+    /// Refills every location's menu for the current rf sources;
+    /// `graphs = None` keeps every permutation (no pruning).
+    pub fn refill(&mut self, graphs: Option<&LocGraphs>, locs: &[Loc], rf_src: &[usize]) {
+        assert_eq!(locs.len(), self.per_loc.len(), "location count mismatch");
+        for (ml, l) in self.per_loc.iter_mut().zip(locs) {
+            let graph = graphs.and_then(|g| g.graph_for(*l));
+            ml.len = 0;
+            loop {
+                if graph.is_none_or(|g| g.is_uniproc(ml.heap.current(), rf_src)) {
+                    if ml.len < ml.orders.len() {
+                        ml.orders[ml.len].clear();
+                        ml.orders[ml.len].extend_from_slice(ml.heap.current());
+                    } else {
+                        ml.orders.push(ml.heap.current().to_vec());
+                    }
+                    ml.len += 1;
+                }
+                if !ml.heap.advance() {
+                    break; // generator cycled back to the initial order
+                }
+            }
+        }
+    }
+
+    /// Number of locations carrying a menu.
+    pub fn loc_count(&self) -> usize {
+        self.per_loc.len()
+    }
+
+    /// Number of valid orders of location `li` under the current refill.
+    pub fn radix(&self, li: usize) -> usize {
+        self.per_loc[li].len
+    }
+
+    /// The `k`-th valid order of location `li`.
+    pub fn order(&self, li: usize, k: usize) -> &[usize] {
+        assert!(k < self.per_loc[li].len, "menu index out of range");
+        &self.per_loc[li].orders[k]
+    }
+
+    /// Product of all radices (saturating): the number of coherence
+    /// combinations surviving this rf configuration.
+    pub fn kept(&self) -> u128 {
+        self.per_loc.iter().map(|m| m.len as u128).fold(1u128, u128::saturating_mul)
+    }
+
+    /// Advances a caller-held odometer over the menus; `false` on wrap.
+    pub fn bump(&self, pick: &mut [usize]) -> bool {
+        for (d, ml) in pick.iter_mut().zip(&self.per_loc) {
+            if *d + 1 < ml.len {
+                *d += 1;
+                return true;
+            }
+            *d = 0;
+        }
+        false
     }
 }
 

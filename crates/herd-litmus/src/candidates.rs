@@ -21,10 +21,11 @@ use crate::expr::{self, Assignment, Equation, RVal, SymExpr, SymId};
 use crate::isa::Reg;
 use crate::program::{InitVal, LitmusTest};
 use crate::sem::{self, SemError, ThreadPath};
-use herd_core::enumerate::{build_co, HeapPerm};
+use herd_core::arena::RelArena;
+use herd_core::enumerate::{build_co, build_co_arena, HeapPerm};
 use herd_core::event::{Dir, Event, Fence, Loc, ThreadId, Val};
-use herd_core::exec::{Deps, ExecCore, Execution};
-use herd_core::model::Architecture;
+use herd_core::exec::{Deps, ExecCore, ExecFrame, ExecRels, Execution};
+use herd_core::model::{Architecture, ArenaChecker, Verdict};
 use herd_core::relation::Relation;
 use herd_core::thinair::ThinAirTracker;
 use herd_core::uniproc::{EventShape, LocGraphs};
@@ -193,6 +194,27 @@ impl EnumStats {
 /// [`Architecture::thin_air_base`]); `None` disables thin-air pruning.
 type ThinAirHook<'a> = &'a dyn Fn(&ExecCore) -> Option<Relation>;
 
+/// One judged candidate of the arena-backed verdict stream: the axiom
+/// verdict plus the observables the final condition consumes — no owned
+/// [`Execution`] is ever materialised.
+#[derive(Debug)]
+pub struct VerdictCandidate<'a> {
+    /// The four-axiom verdict of the architecture under simulation.
+    pub verdict: Verdict,
+    /// Final register values, per `(thread, register)`.
+    pub final_regs: &'a BTreeMap<(u16, Reg), RegFinal>,
+    /// Final memory values by location name (the `co`-maximal writes).
+    pub final_mem: &'a BTreeMap<String, i64>,
+}
+
+/// What the enumeration inner loop emits: owned [`Candidate`]s (the
+/// compatibility path) or arena-checked [`VerdictCandidate`]s (the
+/// zero-materialisation simulation path).
+enum Emit<'a, 's> {
+    Cands(&'a mut (dyn FnMut(Candidate) + 's)),
+    Verdicts { arch: &'a dyn Architecture, sink: &'a mut (dyn FnMut(&VerdictCandidate<'_>) + 's) },
+}
+
 /// Streams the candidate executions of `test` into `sink`.
 ///
 /// Candidates are materialised one at a time; with pruning, subtrees that
@@ -210,7 +232,7 @@ pub fn stream(
     prune: Prune,
     sink: &mut dyn FnMut(Candidate),
 ) -> Result<EnumStats, CandidateError> {
-    stream_impl(test, opts, prune, None, (0, 1), sink)
+    stream_impl(test, opts, prune, None, (0, 1), &mut Emit::Cands(sink))
 }
 
 /// Streams with every pruning axis that is sound for `arch`: the
@@ -255,7 +277,63 @@ pub fn stream_shard<A: Architecture + ?Sized>(
 ) -> Result<EnumStats, CandidateError> {
     assert!(nshards > 0 && shard < nshards, "shard index out of range");
     let hook = |core: &ExecCore| arch.thin_air_base(core);
-    stream_impl(test, opts, Prune::for_arch(arch), Some(&hook), (shard, nshards), sink)
+    stream_impl(
+        test,
+        opts,
+        Prune::for_arch(arch),
+        Some(&hook),
+        (shard, nshards),
+        &mut Emit::Cands(sink),
+    )
+}
+
+/// The arena-backed verdict stream: enumerates with every pruning axis
+/// sound for `arch` *and* judges each candidate against the four axioms
+/// in place, without materialising an owned [`Execution`] — the driver
+/// behind [`crate::simulate::simulate_with`]. The caller-owned worker
+/// state (one [`RelArena`] per thread) lives inside; per-candidate heap
+/// traffic is limited to the final-state observables.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the emitted-candidate
+/// bound is exceeded.
+pub fn stream_arch_verdicts<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    sink: &mut dyn FnMut(&VerdictCandidate<'_>),
+) -> Result<EnumStats, CandidateError> {
+    stream_shard_verdicts(test, opts, arch, 0, 1, sink)
+}
+
+/// One shard of [`stream_arch_verdicts`] (round-robin rf-configuration
+/// ownership, like [`stream_shard`]); each worker thread owns its own
+/// arena, so shards never contend on allocation.
+///
+/// # Panics
+///
+/// Panics when `shard >= nshards`.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the per-shard
+/// emitted-candidate bound is exceeded.
+pub fn stream_shard_verdicts<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    shard: usize,
+    nshards: usize,
+    sink: &mut dyn FnMut(&VerdictCandidate<'_>),
+) -> Result<EnumStats, CandidateError> {
+    assert!(nshards > 0 && shard < nshards, "shard index out of range");
+    let hook = |core: &ExecCore| arch.thin_air_base(core);
+    // `&A` is itself an `Architecture` (the reference blanket impl), and
+    // it is `Sized`, so `&&A` coerces to the trait object the mode holds.
+    let arch_ref = &arch;
+    let mut mode = Emit::Verdicts { arch: arch_ref, sink };
+    stream_impl(test, opts, Prune::for_arch(arch), Some(&hook), (shard, nshards), &mut mode)
 }
 
 fn stream_impl(
@@ -264,7 +342,7 @@ fn stream_impl(
     prune: Prune,
     thin_air: Option<ThinAirHook<'_>>,
     shard: (usize, usize),
-    sink: &mut dyn FnMut(Candidate),
+    mode: &mut Emit<'_, '_>,
 ) -> Result<EnumStats, CandidateError> {
     let locs = LocTable::for_test(test);
     let loc_map = locs.as_map();
@@ -292,6 +370,10 @@ fn stream_impl(
     let domain = value_domain(test);
 
     let mut stats = EnumStats::default();
+    // One relation arena per worker call, retuned per control-flow
+    // combination and kept across them — the bump pool converges to the
+    // largest combination's working set and then never allocates.
+    let mut arena = RelArena::new(0);
     // Global rf-configuration counter, advanced identically in every
     // shard so that round-robin ownership partitions the space exactly.
     let mut cfg_idx = 0u64;
@@ -309,7 +391,8 @@ fn stream_impl(
             thin_air,
             shard,
             cfg_idx: &mut cfg_idx,
-            sink,
+            arena: &mut arena,
+            mode,
             stats: &mut stats,
         })?;
         if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
@@ -359,7 +442,7 @@ fn value_domain(test: &LitmusTest) -> Vec<i64> {
 }
 
 /// Everything [`assemble`] needs for one combination of thread paths.
-struct AssembleCtx<'a, 'h, 's> {
+struct AssembleCtx<'a, 'h, 'e, 's> {
     test: &'a LitmusTest,
     locs: &'a LocTable,
     combo: &'a [&'a ThreadPath],
@@ -371,13 +454,15 @@ struct AssembleCtx<'a, 'h, 's> {
     shard: (usize, usize),
     /// Global rf-configuration counter shared across combinations.
     cfg_idx: &'a mut u64,
-    sink: &'a mut (dyn FnMut(Candidate) + 's),
+    /// The worker's relation arena (verdict mode only touches it).
+    arena: &'a mut RelArena,
+    mode: &'a mut Emit<'e, 's>,
     stats: &'a mut EnumStats,
 }
 
 /// Assembles all candidates for one combination of thread paths, pushing
 /// them into the sink as the data-flow odometer advances.
-fn assemble(ctx: AssembleCtx<'_, '_, '_>) -> Result<(), CandidateError> {
+fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
     let AssembleCtx {
         test,
         locs,
@@ -388,7 +473,8 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_>) -> Result<(), CandidateError> {
         thin_air,
         shard,
         cfg_idx,
-        sink,
+        arena,
+        mode,
         stats,
     } = ctx;
     // Lay out events: init writes first, then thread accesses.
@@ -545,6 +631,18 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_>) -> Result<(), CandidateError> {
     let mut thinair: Option<ThinAirTracker> =
         thin_air.and_then(|hook| hook(&core)).and_then(|base| ThinAirTracker::new(&base));
 
+    // Verdict mode: retune the worker arena to this combination's
+    // universe and set up the per-candidate relation slots plus the
+    // checker's static inputs, once per combination.
+    let vstate = match &*mode {
+        Emit::Verdicts { arch, .. } => {
+            arena.reset(n);
+            let rels = ExecRels::alloc(arena);
+            Some((ArenaChecker::new(*arch, &core), rels))
+        }
+        Emit::Cands(_) => None,
+    };
+
     let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
 
     let mut rf_src = vec![0usize; n];
@@ -654,49 +752,113 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_>) -> Result<(), CandidateError> {
             continue;
         }
 
+        // Verdict mode: fill the arena rf slot and refresh the
+        // rf-invariant derived relations once for the whole rf scope.
+        if let Some((_, rels)) = &vstate {
+            arena.clear(rels.rf);
+            for (k, &r) in reads.iter().enumerate() {
+                arena.add(rels.rf, rf_choices[k][rf_pick[k]], r);
+            }
+            rels.derive_rf(&core, arena);
+        }
+
         let menu_radices: Vec<usize> =
             menus.as_ref().map(|m| m.iter().map(Vec::len).collect()).unwrap_or_default();
-        for (evs, final_regs) in &concs {
-            // Coherence odometer: in-place Heap's generators without
-            // pruning, the filtered menus with it.
-            let mut heaps: Vec<HeapPerm> = match &menus {
-                None => co_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
-                Some(_) => Vec::new(),
-            };
-            let mut menu_pick = vec![0usize; co_locs.len()];
-            loop {
-                let mut co = Relation::empty(n);
-                for (li, &init) in co_inits.iter().enumerate() {
-                    let order: &[usize] = match &menus {
-                        None => heaps[li].current(),
-                        Some(menus) => &menus[li][menu_pick[li]],
+        match &mut *mode {
+            Emit::Cands(sink) => {
+                for (evs, final_regs) in &concs {
+                    // Coherence odometer: in-place Heap's generators
+                    // without pruning, the filtered menus with it.
+                    let mut heaps: Vec<HeapPerm> = match &menus {
+                        None => co_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
+                        Some(_) => Vec::new(),
                     };
-                    build_co(&mut co, init, order);
+                    let mut menu_pick = vec![0usize; co_locs.len()];
+                    loop {
+                        let mut co = Relation::empty(n);
+                        for (li, &init) in co_inits.iter().enumerate() {
+                            let order: &[usize] = match &menus {
+                                None => heaps[li].current(),
+                                Some(menus) => &menus[li][menu_pick[li]],
+                            };
+                            build_co(&mut co, init, order);
+                        }
+                        let exec =
+                            Execution::with_core(evs.clone(), Arc::clone(&core), rf.clone(), co)
+                                .expect("assembled candidates are well-formed");
+                        let final_mem = exec
+                            .final_memory()
+                            .into_iter()
+                            .map(|(l, v)| (locs.name(l).to_owned(), v.0))
+                            .collect();
+                        sink(Candidate {
+                            exec,
+                            final_regs: final_regs.clone(),
+                            final_mem,
+                            loc_names: locs.names().to_vec(),
+                        });
+                        stats.emitted += 1;
+                        if stats.emitted > opts.max_candidates {
+                            return Err(CandidateError::TooManyCandidates {
+                                bound: opts.max_candidates,
+                            });
+                        }
+                        let more = match &menus {
+                            None => heaps.iter_mut().any(|h| h.advance()),
+                            Some(_) => bump(&mut menu_pick, &menu_radices),
+                        };
+                        if !more {
+                            break;
+                        }
+                    }
                 }
-                let exec = Execution::with_core(evs.clone(), Arc::clone(&core), rf.clone(), co)
-                    .expect("assembled candidates are well-formed");
-                let final_mem = exec
-                    .final_memory()
-                    .into_iter()
-                    .map(|(l, v)| (locs.name(l).to_owned(), v.0))
-                    .collect();
-                sink(Candidate {
-                    exec,
-                    final_regs: final_regs.clone(),
-                    final_mem,
-                    loc_names: locs.names().to_vec(),
-                });
-                stats.emitted += 1;
-                if stats.emitted > opts.max_candidates {
-                    return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
-                }
-
-                let more = match &menus {
-                    None => heaps.iter_mut().any(|h| h.advance()),
-                    Some(_) => bump(&mut menu_pick, &menu_radices),
+            }
+            Emit::Verdicts { arch, sink } => {
+                // Coherence-major order: the verdict depends only on
+                // (rf, co), never on the value concretisation, so the
+                // four axioms run once per coherence choice and every
+                // assignment of the configuration reuses that verdict —
+                // only the observables differ per concretisation.
+                let (checker, rels) = vstate.as_ref().expect("verdict state set up");
+                let mut heaps: Vec<HeapPerm> = match &menus {
+                    None => co_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
+                    Some(_) => Vec::new(),
                 };
-                if !more {
-                    break;
+                let mut menu_pick = vec![0usize; co_locs.len()];
+                loop {
+                    arena.clear(rels.co);
+                    for (li, &init) in co_inits.iter().enumerate() {
+                        let order: &[usize] = match &menus {
+                            None => heaps[li].current(),
+                            Some(menus) => &menus[li][menu_pick[li]],
+                        };
+                        build_co_arena(arena, rels.co, init, order);
+                    }
+                    rels.derive_co(&core, arena);
+                    let fx = ExecFrame { core: &core, events: &concs[0].0, rels };
+                    let verdict = checker.check(*arch, &fx, arena);
+                    for (evs, final_regs) in &concs {
+                        let fx = ExecFrame { core: &core, events: evs, rels };
+                        let final_mem: BTreeMap<String, i64> = fx
+                            .final_memory(arena)
+                            .into_iter()
+                            .map(|(l, v)| (locs.name(l).to_owned(), v.0))
+                            .collect();
+                        sink(&VerdictCandidate { verdict, final_regs, final_mem: &final_mem });
+                        stats.emitted += 1;
+                        if stats.emitted > opts.max_candidates {
+                            return Err(CandidateError::TooManyCandidates {
+                                bound: opts.max_candidates,
+                            });
+                        }
+                    }
+                    let more = match &menus {
+                        None => heaps.iter_mut().any(|h| h.advance()),
+                        Some(_) => bump(&mut menu_pick, &menu_radices),
+                    };
+                    if !more {
+                        break;
+                    }
                 }
             }
         }

@@ -16,10 +16,13 @@
 //! distributes a whole corpus over every core via an atomic work-stealing
 //! index (no static split, no idle workers).
 
-use crate::candidates::{self, Candidate, CandidateError, EnumOptions, EnumStats, RegFinal};
+use crate::candidates::{
+    self, Candidate, CandidateError, EnumOptions, EnumStats, RegFinal, VerdictCandidate,
+};
+use crate::isa::Reg;
 use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
 use herd_core::model::{self, ArchRelations, Architecture, Verdict};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -94,6 +97,11 @@ pub fn simulate<A: Architecture + ?Sized>(
 /// masks plus NO THIN AIR when [`Architecture::thin_air_base`] provides a
 /// static base).
 ///
+/// Runs on the arena-backed verdict stream
+/// ([`candidates::stream_arch_verdicts`]): candidates are judged in
+/// place, no owned `Execution` is materialised, and the worker's relation
+/// arena is reset between candidates instead of reallocated.
+///
 /// # Errors
 ///
 /// Propagates [`CandidateError`] from enumeration.
@@ -103,8 +111,8 @@ pub fn simulate_with<A: Architecture + ?Sized>(
     opts: &EnumOptions,
 ) -> Result<SimOutcome, CandidateError> {
     let mut acc = Judgement::default();
-    let stats = candidates::stream_arch(test, opts, arch, &mut |c| {
-        acc.absorb(test, arch, &c);
+    let stats = candidates::stream_arch_verdicts(test, opts, arch, &mut |vc| {
+        acc.absorb_verdict(test, vc);
     })?;
     Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
 }
@@ -134,10 +142,20 @@ pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
         let handles: Vec<_> = (0..workers)
             .map(|s| {
                 scope.spawn(move || {
+                    // Each shard worker drives its own arena-backed
+                    // verdict stream — one relation pool per thread, no
+                    // cross-thread allocator contention.
                     let mut acc = Judgement::default();
-                    let stats = candidates::stream_shard(test, opts, arch, s, workers, &mut |c| {
-                        acc.absorb(test, arch, &c);
-                    })?;
+                    let stats = candidates::stream_shard_verdicts(
+                        test,
+                        opts,
+                        arch,
+                        s,
+                        workers,
+                        &mut |vc| {
+                            acc.absorb_verdict(test, vc);
+                        },
+                    )?;
                     Ok((acc, stats))
                 })
             })
@@ -198,16 +216,32 @@ impl Judgement {
         // (hb+/hb* feed both NO THIN AIR and OBSERVATION).
         let rels = ArchRelations::compute(arch, &c.exec);
         let v: Verdict = model::check_with(arch, &c.exec, &rels);
+        self.tally(test, v, &c.final_regs, &c.final_mem);
+    }
+
+    /// Folds one arena-judged candidate (the verdict was already computed
+    /// in place by the streaming checker).
+    fn absorb_verdict(&mut self, test: &LitmusTest, vc: &VerdictCandidate<'_>) {
+        self.tally(test, vc.verdict, vc.final_regs, vc.final_mem);
+    }
+
+    fn tally(
+        &mut self,
+        test: &LitmusTest,
+        v: Verdict,
+        final_regs: &BTreeMap<(u16, Reg), RegFinal>,
+        final_mem: &BTreeMap<String, i64>,
+    ) {
         if !v.allowed() {
             return;
         }
         self.allowed += 1;
-        if eval_prop(&test.condition.prop, c) {
+        if eval_prop_parts(&test.condition.prop, final_regs, final_mem) {
             self.positive += 1;
         } else {
             self.negative += 1;
         }
-        self.states.insert(render_state(test, c));
+        self.states.insert(render_state(test, final_regs, final_mem));
     }
 
     fn outcome<A: Architecture + ?Sized>(
@@ -291,13 +325,27 @@ pub fn simulate_corpus<A: Architecture + Sync + ?Sized>(
 
 /// Evaluates a proposition against one candidate's final state.
 pub fn eval_prop(p: &Prop, c: &Candidate) -> bool {
+    eval_prop_parts(p, &c.final_regs, &c.final_mem)
+}
+
+/// Evaluates a proposition against bare final-state observables (shared
+/// by the owned [`Candidate`] path and the arena verdict stream).
+pub fn eval_prop_parts(
+    p: &Prop,
+    final_regs: &BTreeMap<(u16, Reg), RegFinal>,
+    final_mem: &BTreeMap<String, i64>,
+) -> bool {
     match p {
         Prop::True => true,
-        Prop::Not(q) => !eval_prop(q, c),
-        Prop::And(a, b) => eval_prop(a, c) && eval_prop(b, c),
-        Prop::Or(a, b) => eval_prop(a, c) || eval_prop(b, c),
-        Prop::MemEq { loc, val } => c.final_mem.get(loc) == Some(val),
-        Prop::RegEq { tid, reg, val } => match (c.final_regs.get(&(*tid, *reg)), val) {
+        Prop::Not(q) => !eval_prop_parts(q, final_regs, final_mem),
+        Prop::And(a, b) => {
+            eval_prop_parts(a, final_regs, final_mem) && eval_prop_parts(b, final_regs, final_mem)
+        }
+        Prop::Or(a, b) => {
+            eval_prop_parts(a, final_regs, final_mem) || eval_prop_parts(b, final_regs, final_mem)
+        }
+        Prop::MemEq { loc, val } => final_mem.get(loc) == Some(val),
+        Prop::RegEq { tid, reg, val } => match (final_regs.get(&(*tid, *reg)), val) {
             (Some(RegFinal::Int(v)), CondVal::Int(w)) => v == w,
             (Some(RegFinal::Addr(l)), CondVal::Loc(m)) => l == m,
             _ => false,
@@ -307,12 +355,16 @@ pub fn eval_prop(p: &Prop, c: &Candidate) -> bool {
 
 /// Renders the observable state (the registers and locations the condition
 /// mentions), in the style of litmus logs: `1:r1=1; 1:r5=0;`.
-fn render_state(test: &LitmusTest, c: &Candidate) -> String {
+fn render_state(
+    test: &LitmusTest,
+    final_regs: &BTreeMap<(u16, Reg), RegFinal>,
+    final_mem: &BTreeMap<String, i64>,
+) -> String {
     let mut pieces: Vec<String> = Vec::new();
     let mut seen = BTreeSet::new();
     collect_atoms(&test.condition.prop, &mut |p| match p {
         Prop::RegEq { tid, reg, .. } if seen.insert(format!("{tid}:{reg}")) => {
-            let v = match c.final_regs.get(&(*tid, *reg)) {
+            let v = match final_regs.get(&(*tid, *reg)) {
                 Some(RegFinal::Int(v)) => v.to_string(),
                 Some(RegFinal::Addr(l)) => l.clone(),
                 None => "?".into(),
@@ -320,7 +372,7 @@ fn render_state(test: &LitmusTest, c: &Candidate) -> String {
             pieces.push(format!("{tid}:{reg}={v};"));
         }
         Prop::MemEq { loc, .. } if seen.insert(loc.clone()) => {
-            let v = c.final_mem.get(loc).copied().unwrap_or(0);
+            let v = final_mem.get(loc).copied().unwrap_or(0);
             pieces.push(format!("{loc}={v};"));
         }
         _ => {}

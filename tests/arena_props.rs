@@ -1,0 +1,132 @@
+//! Property tests for the arena-backed relation engine (herd-core
+//! `arena`): every in-arena operator must agree with the owned
+//! [`Relation`] algebra on random matrices, and checkpoint/rollback must
+//! preserve surviving slots while recycling storage.
+
+use herd_core::arena::RelArena;
+use herd_core::relation::Relation;
+use herd_core::set::EventSet;
+use proptest::prelude::*;
+
+fn relation(n: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..n, 0..n), 0..=n * 2)
+        .prop_map(move |pairs| Relation::from_pairs(n, pairs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arena_binary_ops_match_owned(a in relation(9), b in relation(9)) {
+        let mut ar = RelArena::new(9);
+        let (ia, ib) = (ar.alloc_from(&a), ar.alloc_from(&b));
+
+        let u = ar.alloc_from(ia);
+        ar.union_into(u, ib);
+        prop_assert_eq!(ar.to_relation(u), a.union(&b));
+
+        let i = ar.alloc_from(ia);
+        ar.intersect_into(i, &b); // external operand flavour
+        prop_assert_eq!(ar.to_relation(i), a.intersect(&b));
+
+        let d = ar.alloc_from(&a);
+        ar.minus_into(d, ib);
+        prop_assert_eq!(ar.to_relation(d), a.minus(&b));
+
+        // seq in all four slot/external operand combinations.
+        let expected = a.seq(&b);
+        let s = ar.alloc();
+        ar.seq_into(s, ia, ib);
+        prop_assert_eq!(ar.to_relation(s), expected.clone());
+        ar.seq_into(s, &a, ib);
+        prop_assert_eq!(ar.to_relation(s), expected.clone());
+        ar.seq_into(s, ia, &b);
+        prop_assert_eq!(ar.to_relation(s), expected.clone());
+        ar.seq_into(s, &a, &b);
+        prop_assert_eq!(ar.to_relation(s), expected);
+
+        let t = ar.alloc();
+        ar.transpose_into(t, ia);
+        prop_assert_eq!(ar.to_relation(t), a.transpose());
+    }
+
+    #[test]
+    fn arena_closures_and_predicates_match_owned(a in relation(9)) {
+        let mut ar = RelArena::new(9);
+        let ia = ar.alloc_from(&a);
+
+        let c = ar.alloc();
+        ar.tclosure_into(c, ia);
+        prop_assert_eq!(ar.to_relation(c), a.tclosure());
+
+        let rc = ar.alloc();
+        ar.rtclosure_into(rc, ia);
+        prop_assert_eq!(ar.to_relation(rc), a.rtclosure());
+
+        prop_assert_eq!(ar.is_acyclic(ia), a.is_acyclic());
+        prop_assert_eq!(ar.is_irreflexive(ia), a.is_irreflexive());
+        prop_assert_eq!(ar.is_empty(ia), a.is_empty());
+    }
+
+    #[test]
+    fn arena_acyclicity_matches_owned_beyond_mask_width(a in relation(70)) {
+        // Above 64 events the arena falls back from the stack-mask Kahn
+        // path to a temporary-closure check; both must agree with owned.
+        let mut ar = RelArena::new(70);
+        let ia = ar.alloc_from(&a);
+        prop_assert_eq!(ar.is_acyclic(ia), a.is_acyclic());
+        let live = ar.live();
+        prop_assert_eq!(live, 1, "acyclicity released its temporary");
+    }
+
+    #[test]
+    fn arena_restrict_matches_owned(
+        a in relation(8),
+        srcs in proptest::collection::vec(0..8usize, 0..8),
+        dsts in proptest::collection::vec(0..8usize, 0..8),
+    ) {
+        let (srcs, dsts) = (
+            EventSet::from_indices(8, srcs),
+            EventSet::from_indices(8, dsts),
+        );
+        let mut ar = RelArena::new(8);
+        let ia = ar.alloc_from(&a);
+        let out = ar.alloc();
+        ar.restrict_into(out, ia, &srcs, &dsts);
+        prop_assert_eq!(ar.to_relation(out), a.restrict(&srcs, &dsts));
+    }
+
+    /// Checkpoint/rollback stress: random interleavings of mark, alloc,
+    /// release and in-place mutation, mirrored against a vector of owned
+    /// relations. Rollbacks must retire exactly the slots above the mark,
+    /// survivors must keep their bits, and recycled storage must come
+    /// back zeroed.
+    #[test]
+    fn checkpoint_rollback_stress(ops in proptest::collection::vec((relation(6), 0..4usize), 1..32)) {
+        let mut ar = RelArena::new(6);
+        let mut live: Vec<(herd_core::arena::RelId, Relation)> = Vec::new();
+        let mut marks: Vec<(herd_core::arena::Mark, usize)> = Vec::new();
+        for (r, action) in ops {
+            match action {
+                0 => marks.push((ar.mark(), live.len())),
+                1 => live.push((ar.alloc_from(&r), r)),
+                2 => {
+                    if let Some((m, len)) = marks.pop() {
+                        ar.release(m);
+                        live.truncate(len);
+                    }
+                }
+                _ => {
+                    if let Some((id, model)) = live.last_mut() {
+                        ar.union_into(*id, &r);
+                        model.union_with(&r);
+                    }
+                }
+            }
+            prop_assert_eq!(ar.live(), live.len(), "bump pointer tracks the model stack");
+            for (id, model) in &live {
+                prop_assert_eq!(&ar.to_relation(*id), model, "a surviving slot changed");
+            }
+        }
+    }
+}

@@ -246,3 +246,52 @@ fn erratum_silicon_keeps_hazard_candidates_under_pruning() {
     let test = corpus::co_rr(Isa::Arm);
     assert_corpus_equivalence(&[CorpusEntry { test, allowed: true }], &tegra2);
 }
+
+/// The arena-backed verdict stream against the PR 3 engine, candidate by
+/// candidate across the whole corpus: [`stream_arch_verdicts`] judges
+/// each candidate in place (no owned `Execution`, relations in a reused
+/// arena) and must reproduce exactly the per-candidate verdicts of the
+/// owned path (`stream_arch` + `ArchRelations` + `check_with`), along
+/// with identical emitted/pruned accounting.
+///
+/// [`stream_arch_verdicts`]: herd_litmus::candidates::stream_arch_verdicts
+#[test]
+fn arena_verdict_stream_matches_owned_candidate_stream_corpus_wide() {
+    use herd_core::arch::{Arm, ArmVariant, Tso};
+    use herd_core::model::{check_with, ArchRelations};
+    use herd_litmus::candidates::{stream_arch, stream_arch_verdicts};
+    use herd_litmus::corpus;
+
+    let opts = EnumOptions::default();
+    let suites: Vec<(Vec<CorpusEntry>, Box<dyn Architecture + Sync>)> = vec![
+        (corpus::power_corpus(), Box::new(Power::new())),
+        (corpus::arm_corpus(), Box::new(Arm::new(ArmVariant::Proposed))),
+        (corpus::x86_corpus(), Box::new(Tso)),
+    ];
+    for (entries, arch) in &suites {
+        for entry in entries {
+            // PR 3 engine: owned candidates, owned relation computation.
+            let mut owned: Vec<String> = Vec::new();
+            let owned_stats = stream_arch(&entry.test, &opts, arch.as_ref(), &mut |c| {
+                let rels = ArchRelations::compute(arch.as_ref(), &c.exec);
+                let v = check_with(arch.as_ref(), &c.exec, &rels);
+                owned.push(format!("{v:?}|{:?}|{:?}", c.final_regs, c.final_mem));
+            })
+            .expect("corpus streams");
+            // Arena engine: verdicts computed in place.
+            let mut arena_side: Vec<String> = Vec::new();
+            let arena_stats = stream_arch_verdicts(&entry.test, &opts, arch.as_ref(), &mut |vc| {
+                arena_side.push(format!("{:?}|{:?}|{:?}", vc.verdict, vc.final_regs, vc.final_mem));
+            })
+            .expect("corpus streams");
+            owned.sort();
+            arena_side.sort();
+            assert_eq!(owned, arena_side, "{}: per-candidate verdicts differ", entry.test.name);
+            assert_eq!(
+                owned_stats, arena_stats,
+                "{}: emitted/pruned accounting differs",
+                entry.test.name
+            );
+        }
+    }
+}

@@ -114,3 +114,146 @@ fn zero_outcomes_stay_sequential() {
         .any(|c| !eval_prop(&test.condition.prop, c) && check(&Power::new(), &c.exec).allowed());
     assert!(sequential);
 }
+
+// ---------------------------------------------------------------------------
+// The static base's contract, property-tested (the fence-suffix extension):
+// `Architecture::thin_air_base` = static ppo ∪ `thin_air_fences`, and the
+// whole of it must underapproximate `ppo(x) ∪ fences(x)` on *every*
+// candidate — so `base ∪ rfe ⊆ hb` and generation-time pruning is sound.
+// Keeping the static fence suffix in the base is also what makes the
+// A-cumulativity pairs `rfe; fences` fall out of the tracked closure for
+// free: once the rfe edge `(w, r)` is pushed, `(r, c) ∈ fences ⊆ base`
+// closes `(w, c)` transitively.
+// ---------------------------------------------------------------------------
+
+use herd_core::enumerate::{Skeleton, SkeletonBuilder};
+use herd_core::event::Fence;
+use herd_core::exec::Execution;
+use proptest::prelude::*;
+
+/// One random op: `(thread, write?, location, value, device)`.
+type SkOp = (u8, u8, u8, i8, u8);
+
+/// Builds a small random skeleton: up to three threads over three
+/// locations, with occasional fences and read-to-write dependencies.
+fn build_skeleton(ops: &[SkOp]) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    let names = ["x", "y", "z"];
+    let mut last_read: [Option<usize>; 3] = [None; 3];
+    let mut last_ev: [Option<usize>; 3] = [None; 3];
+    for &(tid, w, loc, val, dev) in ops {
+        let t = (tid % 3) as usize;
+        let is_write = w % 2 == 1;
+        let loc = names[(loc % 3) as usize];
+        let id = if is_write { b.write(t as u16, loc, val as i64) } else { b.read(t as u16, loc) };
+        match dev % 6 {
+            1 => {
+                if let Some(prev) = last_ev[t] {
+                    b.fence(Fence::Sync, prev, id);
+                }
+            }
+            2 => {
+                if let Some(prev) = last_ev[t] {
+                    b.fence(Fence::Lwsync, prev, id);
+                }
+            }
+            3 => {
+                if let Some(prev) = last_ev[t] {
+                    b.fence(Fence::Mfence, prev, id);
+                }
+            }
+            4 => {
+                if is_write {
+                    if let Some(r) = last_read[t] {
+                        b.data(r, id);
+                    }
+                }
+            }
+            5 => {
+                if let Some(r) = last_read[t] {
+                    if r != id {
+                        b.ctrl(r, id);
+                    }
+                }
+            }
+            _ => {}
+        }
+        if !is_write {
+            last_read[t] = Some(id);
+        }
+        last_ev[t] = Some(id);
+    }
+    b.build()
+}
+
+fn small_candidates(sk: &Skeleton) -> Option<Vec<Execution>> {
+    let count = sk.candidate_count_saturating();
+    (count >= 1 && count <= 256).then(|| sk.stream().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The soundness half: on every candidate of a random skeleton, every
+    /// stock architecture's (fence-extended) static base stays under the
+    /// candidate's `ppo ∪ fences` — hence under its `hb`.
+    #[test]
+    fn extended_base_underapproximates_every_candidates_hb(
+        ops in proptest::collection::vec((0..3u8, 0..2u8, 0..3u8, 0..4i8, 0..6u8), 1..8)
+    ) {
+        let sk = build_skeleton(&ops);
+        let cands = small_candidates(&sk);
+        prop_assume!(cands.is_some());
+        let cands = cands.unwrap();
+        prop_assume!(!cands.is_empty());
+        let core = cands[0].core();
+        for arch in herd_core::arch::all() {
+            let suffix = arch.thin_air_fences(core);
+            if let Some(base) = arch.thin_air_base(core) {
+                prop_assert!(
+                    suffix.is_subset(&base),
+                    "{}: the static fence suffix must sit inside the base",
+                    arch.name()
+                );
+                for x in &cands {
+                    let hb_static_part = arch.ppo(x).union(&arch.fences(x));
+                    prop_assert!(
+                        base.is_subset(&hb_static_part),
+                        "{}: base ⊄ ppo ∪ fences on a candidate",
+                        arch.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The cumulativity half: with the fence suffix inside the base,
+    /// every A-cumulativity pair `rfe; fences` of every candidate is
+    /// already reachable in the closed `base ∪ rfe` graph — exactly what
+    /// the incremental tracker maintains, so cumulativity-mediated cycles
+    /// are caught without per-candidate work.
+    #[test]
+    fn cumulativity_edges_fall_out_of_the_closed_base(
+        ops in proptest::collection::vec((0..3u8, 0..2u8, 0..3u8, 0..4i8, 0..6u8), 1..8)
+    ) {
+        let sk = build_skeleton(&ops);
+        let cands = small_candidates(&sk);
+        prop_assume!(cands.is_some());
+        let cands = cands.unwrap();
+        prop_assume!(!cands.is_empty());
+        let core = cands[0].core();
+        for arch in herd_core::arch::all() {
+            if let Some(base) = arch.thin_air_base(core) {
+                for x in &cands {
+                    let closure = base.union(x.rfe()).tclosure();
+                    let a_cumul = x.rfe().seq(&arch.fences(x));
+                    prop_assert!(
+                        a_cumul.is_subset(&closure),
+                        "{}: an rfe;fences pair escaped the tracked closure",
+                        arch.name()
+                    );
+                }
+            }
+        }
+    }
+}
