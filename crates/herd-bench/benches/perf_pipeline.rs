@@ -13,7 +13,14 @@
 //!   rf subtrees whose partial `hb` is already cyclic die before any
 //!   coherence work, on top of uniproc pruning;
 //! * **sharded** — a single test's rf×co space split over scoped threads
-//!   by rf-odometer prefix range, with exactly merged counters.
+//!   by rf-odometer prefix range, with exactly merged counters;
+//! * **sched** — the hierarchical work scheduler (`herd_core::sched`) on
+//!   the co-heavy `wrc+Nw` family: co-level `WorkUnit`s within single rf
+//!   configurations vs the static rf-prefix split, reporting the
+//!   load-balance speedups on ≥4 planned workers (the static split can
+//!   fill at most 2 of them on `wrc+Nw`) and measured wall-clock when
+//!   real cores exist — a 1-core "parallel" time is not reported, same
+//!   discipline as the other parallel sections.
 //!
 //! Also measures compiled-vs-tree cat-model checking throughput on the
 //! corpus and the work-stealing corpus simulation split.
@@ -30,11 +37,13 @@
 //! heavily-thin-air row (≥ half the uniproc-kept candidates cyclic)
 //! below 2x, exits non-zero.
 
-use herd_bench::{iriw_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled};
+use herd_bench::{iriw_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled, wrc_scaled};
 use herd_core::arch::Power;
 use herd_core::arena::RelArena;
-use herd_core::enumerate::Skeleton;
-use herd_core::model::check;
+use herd_core::enumerate::{CheckedStats, Skeleton};
+use herd_core::exec::ExecFrame;
+use herd_core::model::{check, Verdict};
+use herd_core::sched::{PlanOpts, WorkPlan};
 use herd_litmus::candidates::EnumOptions;
 use herd_litmus::corpus;
 use herd_litmus::simulate::{simulate_corpus, simulate_with};
@@ -261,6 +270,144 @@ fn bench_sharded(name: &str, sk: &Skeleton, reps: usize) -> ShardRow {
     }
 }
 
+/// One hierarchical-scheduler row: the co-level work-stealing plan
+/// against the static rf-prefix split of the same workload.
+struct SchedRow {
+    name: String,
+    candidates: u128,
+    /// Workers the plans are sized for (≥ 4: the co-heavy acceptance
+    /// shape), whatever the machine offers.
+    plan_workers: usize,
+    /// Cores actually available for the measured numbers.
+    cores: usize,
+    units: usize,
+    co_units: usize,
+    /// Load-balance speedup of the static rf-prefix split on
+    /// `plan_workers` workers: total checks / biggest shard.
+    static_speedup: f64,
+    /// Load-balance speedup of the stealing plan: total checks / LPT
+    /// makespan of the per-unit check counts.
+    sched_speedup: f64,
+    /// Measured wall-clock (static scoped-thread shards), `None` on one
+    /// core — a 1-thread "parallel" number is not a parallel number.
+    static_ns: Option<u128>,
+    /// Measured wall-clock of the work-stealing executor, same rule.
+    sched_ns: Option<u128>,
+}
+
+impl SchedRow {
+    /// Parallel efficiency of the scheduler plan: balance speedup over
+    /// worker count (1.0 = perfectly even units).
+    fn efficiency(&self) -> f64 {
+        self.sched_speedup / self.plan_workers as f64
+    }
+    /// How much better the scheduler balances than the static split.
+    fn balance_ratio(&self) -> f64 {
+        self.sched_speedup / self.static_speedup.max(f64::MIN_POSITIVE)
+    }
+    fn measured_ratio(&self) -> Option<f64> {
+        match (self.static_ns, self.sched_ns) {
+            (Some(s), Some(w)) => Some(s as f64 / w.max(1) as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A no-op scheduler sink (one per worker).
+fn null_sink(_w: usize) -> impl FnMut(&ExecFrame<'_>, &RelArena, Verdict) + Send {
+    |_, _, _| {}
+}
+
+fn bench_sched(name: &str, sk: &Skeleton, reps: usize) -> SchedRow {
+    let power = Power::new();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Plan for at least 4 workers: the shape the co-heavy acceptance
+    // figure is defined on; the balance numbers are analytic (exact
+    // per-shard / per-unit check counts), so they do not need 4 cores.
+    let plan_workers = cores.max(4);
+    let candidates = sk.candidate_count().expect("bench skeletons count in u128");
+
+    // The static rf-prefix split (the PR 4 scheme): per-shard check
+    // counts give its balance; the biggest shard is its makespan.
+    let mut arena = RelArena::new(0);
+    let mut shard_emitted = Vec::new();
+    let mut whole = CheckedStats::default();
+    for s in 0..plan_workers {
+        let st =
+            sk.check_stream_arena_shard(&power, &mut arena, s, plan_workers, &mut |_, _, _| {});
+        shard_emitted.push(st.emitted);
+        whole.emitted += st.emitted;
+        whole.pruned += st.pruned;
+        whole.allowed += st.allowed;
+    }
+    assert_eq!(whole.emitted + whole.pruned, candidates, "{name}: static shard accounting");
+
+    // The hierarchical plan: per-unit stats give the stealing balance.
+    let plan = WorkPlan::for_skeleton(sk, &power, &PlanOpts::for_workers(plan_workers));
+    let out = sk.check_stream_sched(&power, &plan, cores, null_sink);
+    assert_eq!(out.stats, whole, "{name}: the scheduler changed the workload");
+
+    let static_makespan = shard_emitted.iter().copied().max().unwrap_or(0).max(1);
+    // The stealing executor approximates LPT (largest units first, next
+    // unit to the first free worker): greedy-assign the exact per-unit
+    // check counts to `plan_workers` bins.
+    let mut bins = vec![0u128; plan_workers];
+    let mut unit_emitted: Vec<u128> = out.unit_stats.iter().map(|s| s.emitted).collect();
+    unit_emitted.sort_unstable_by(|a, b| b.cmp(a));
+    for e in unit_emitted {
+        *bins.iter_mut().min().expect("bins not empty") += e;
+    }
+    let sched_makespan = bins.iter().copied().max().unwrap_or(0).max(1);
+    let static_speedup = whole.emitted as f64 / static_makespan as f64;
+    let sched_speedup = whole.emitted as f64 / sched_makespan as f64;
+
+    // Measured wall-clock only with real parallelism.
+    let (static_ns, sched_ns) = if cores > 1 {
+        let (s_ns, static_emitted) = best_of(reps, || {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cores)
+                    .map(|s| {
+                        let (sk, power) = (&sk, &power);
+                        scope.spawn(move || {
+                            let mut arena = RelArena::new(0);
+                            sk.check_stream_arena_shard(
+                                power,
+                                &mut arena,
+                                s,
+                                cores,
+                                &mut |_, _, _| {},
+                            )
+                            .emitted
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).sum::<u128>()
+            })
+        });
+        let run_plan = WorkPlan::for_skeleton(sk, &power, &PlanOpts::for_workers(cores));
+        let (w_ns, sched_emitted) = best_of(reps, || {
+            sk.check_stream_sched(&power, &run_plan, cores, null_sink).stats.emitted
+        });
+        assert_eq!(static_emitted, sched_emitted, "{name}: measured runs disagree");
+        (Some(s_ns), Some(w_ns))
+    } else {
+        (None, None)
+    };
+
+    SchedRow {
+        name: name.to_owned(),
+        candidates,
+        plan_workers,
+        cores,
+        units: plan.len(),
+        co_units: plan.co_units(),
+        static_speedup,
+        sched_speedup,
+        static_ns,
+        sched_ns,
+    }
+}
+
 struct ModelRow {
     model: String,
     execs: usize,
@@ -355,6 +502,7 @@ fn emit_json(
     pipeline: &[PipelineRow],
     thinair: &[ThinAirRow],
     sharded: &ShardRow,
+    sched: &[SchedRow],
     models: &[ModelRow],
     corpus: &CorpusRow,
 ) {
@@ -417,6 +565,28 @@ fn emit_json(
         json_opt(sharded.sharded_ns),
         sharded.speedup().map_or_else(|| "null".to_owned(), |s| format!("{s:.2}")),
     ));
+    j.push_str("  \"sched\": [\n");
+    for (i, r) in sched.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"plan_workers\": {}, \"cores\": {}, \
+             \"units\": {}, \"co_units\": {}, \"static_speedup\": {:.2}, \
+             \"sched_speedup\": {:.2}, \"efficiency\": {:.3}, \"static_ns\": {}, \
+             \"sched_ns\": {}}}{}\n",
+            json_escape(&r.name),
+            r.candidates,
+            r.plan_workers,
+            r.cores,
+            r.units,
+            r.co_units,
+            r.static_speedup,
+            r.sched_speedup,
+            r.efficiency(),
+            json_opt(r.static_ns),
+            json_opt(r.sched_ns),
+            if i + 1 < sched.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
     j.push_str("  \"models\": [\n");
     for (i, r) in models.iter().enumerate() {
         j.push_str(&format!(
@@ -451,9 +621,42 @@ fn emit_json(
 
 /// Regression thresholds (ROADMAP): heavily-pruning IRIW/2+2W rows must
 /// hold 5x over eager, heavily-cyclic lb+datas rows must hold 2x over
-/// uniproc-only pruning. Returns the violations.
-fn gate_violations(pipeline: &[PipelineRow], thinair: &[ThinAirRow]) -> Vec<String> {
+/// uniproc-only pruning, and on co-heavy (co-split) scheduler rows the
+/// hierarchical plan must balance ≥1.5x better than the static rf-prefix
+/// split — measured wall-clock included whenever ≥4 real cores exist.
+/// Returns the violations.
+fn gate_violations(
+    pipeline: &[PipelineRow],
+    thinair: &[ThinAirRow],
+    sched: &[SchedRow],
+) -> Vec<String> {
     let mut bad = Vec::new();
+    for r in sched {
+        if r.co_units == 0 {
+            continue; // rf-heavy control rows: both schemes balance
+        }
+        if r.balance_ratio() < 1.5 {
+            bad.push(format!(
+                "{}: scheduler balance {:.2}x static {:.2}x — ratio {:.2} < 1.5 on a co-heavy \
+                 workload",
+                r.name,
+                r.sched_speedup,
+                r.static_speedup,
+                r.balance_ratio()
+            ));
+        }
+        if r.cores >= 4 {
+            if let Some(ratio) = r.measured_ratio() {
+                if ratio < 1.5 {
+                    bad.push(format!(
+                        "{}: measured sched wall-clock only {ratio:.2}x over static sharding on \
+                         {} cores (< 1.5x)",
+                        r.name, r.cores
+                    ));
+                }
+            }
+        }
+    }
     for r in pipeline {
         if r.pruned_fraction() >= 0.9 && r.speedup_pruned() < 5.0 {
             bad.push(format!(
@@ -749,6 +952,7 @@ fn main() {
         ("2+2w".into(), two_plus_two_w_scaled(1)),
         ("2+2w+2w".into(), two_plus_two_w_scaled(2)),
         ("iriw+3w".into(), iriw_scaled(3)),
+        ("wrc+6w".into(), wrc_scaled(6)),
     ];
 
     println!(
@@ -830,6 +1034,42 @@ fn main() {
         ),
     }
 
+    // The hierarchical scheduler vs the static rf-prefix split: wrc+Nw is
+    // the co-heavy family the scheduler exists for (static sharding can
+    // fill at most 2 workers there), iriw+3w the rf-heavy control where
+    // both schemes balance.
+    let sched_rows = vec![
+        bench_sched("wrc+6w", &wrc_scaled(6), reps),
+        bench_sched("iriw+3w", &iriw_scaled(3), reps),
+    ];
+    println!(
+        "\n{:<10} {:>8} {:>6} {:>9} {:>3} {:>9} {:>9} {:>6}  measured",
+        "scheduler", "cands", "units", "co-units", "w", "static-x", "sched-x", "eff"
+    );
+    for r in &sched_rows {
+        let measured = match (r.static_ns, r.sched_ns) {
+            (Some(s), Some(w)) => format!(
+                "static {:.2}ms / sched {:.2}ms ({:.2}x) on {} cores",
+                s as f64 / 1e6,
+                w as f64 / 1e6,
+                r.measured_ratio().expect("both measured"),
+                r.cores
+            ),
+            _ => "1 core: no wall-clock to report".to_owned(),
+        };
+        println!(
+            "{:<10} {:>8} {:>6} {:>9} {:>3} {:>8.2}x {:>8.2}x {:>6.2}  {measured}",
+            r.name,
+            r.candidates,
+            r.units,
+            r.co_units,
+            r.plan_workers,
+            r.static_speedup,
+            r.sched_speedup,
+            r.efficiency(),
+        );
+    }
+
     println!(
         "\n{:<16} {:>7} {:>12} {:>12} {:>8} {:>14}",
         "model", "execs", "tree", "compiled", "x", "checks/s"
@@ -879,12 +1119,13 @@ fn main() {
             &pipeline,
             &thinair,
             &sharded,
+            &sched_rows,
             &models,
             &corpus,
         );
     }
 
-    let violations = gate_violations(&pipeline, &thinair);
+    let violations = gate_violations(&pipeline, &thinair, &sched_rows);
     if !violations.is_empty() {
         eprintln!("\nperf regression gate:");
         for v in &violations {

@@ -96,6 +96,32 @@ pub fn lb_datas_scaled(threads: usize, writes: usize) -> Skeleton {
     b.build()
 }
 
+/// The co-heavy `wrc+Nw` family: a write-to-read causality chain into a
+/// contended location. T0 writes `z`; T1 reads `z` and (data-dependently)
+/// writes `x`; `extra` further threads each write `x` once. The rf space
+/// is *constant* — two configurations, the lone read's two sources —
+/// while `x`'s coherence odometer is `(extra + 1)!` cross-thread orders
+/// that no `po-loc` edge pins, so uniproc pruning keeps them all.
+///
+/// This is the workload whose co space dwarfs its rf space (ROADMAP's
+/// "shard within one rf configuration's co odometer"): static rf-prefix
+/// sharding can hand out at most 2 non-empty shards whatever the worker
+/// count, while the hierarchical scheduler's co-level [`WorkUnit`]s split
+/// the `(extra + 1)!` orders evenly across every worker.
+///
+/// [`WorkUnit`]: herd_core::sched::WorkUnit
+pub fn wrc_scaled(extra: usize) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    b.write(0, "z", 1);
+    let r = b.read(1, "z");
+    let w = b.write(1, "x", 1);
+    b.data(r, w);
+    for i in 0..extra {
+        b.write(2 + i as u16, "x", 2 + i as i64);
+    }
+    b.build()
+}
+
 /// The 2+2W skeleton scaled up: two threads each write both locations `k`
 /// times in opposite orders, so every location carries `2k` writes from
 /// two threads — `((2k)!)^2` coherence orders of which only the po-loc

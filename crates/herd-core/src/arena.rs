@@ -29,6 +29,72 @@
 use crate::relation::Relation;
 use crate::set::{words_for, EventSet};
 
+/// `dst |= src`, 4 words per step. Rows are contiguous in one pool, so
+/// the whole-slot operators reduce to these word loops; the fixed-width
+/// unroll lets the compiler keep them in SIMD registers (the remainder
+/// loop covers litmus-scale universes, whose rows are a single word).
+#[inline]
+fn or_words(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] |= sc[0];
+        dc[1] |= sc[1];
+        dc[2] |= sc[2];
+        dc[3] |= sc[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a |= b;
+    }
+}
+
+/// `dst &= src`, 4 words per step.
+#[inline]
+fn and_words(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] &= sc[0];
+        dc[1] &= sc[1];
+        dc[2] &= sc[2];
+        dc[3] &= sc[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a &= b;
+    }
+}
+
+/// `dst &= !src`, 4 words per step.
+#[inline]
+fn andnot_words(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] &= !sc[0];
+        dc[1] &= !sc[1];
+        dc[2] &= !sc[2];
+        dc[3] &= !sc[3];
+    }
+    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a &= !b;
+    }
+}
+
+/// `buf[d0..d0+wpr] |= buf[s0..s0+wpr]` for two disjoint rows of the same
+/// pool (the `seq`/closure inner step, borrow-split so [`or_words`]'s
+/// unrolled loop applies).
+#[inline]
+fn or_row_in_buf(buf: &mut [u64], d0: usize, s0: usize, wpr: usize) {
+    debug_assert!(d0 + wpr <= s0 || s0 + wpr <= d0, "overlapping rows");
+    if d0 < s0 {
+        let (lo, hi) = buf.split_at_mut(s0);
+        or_words(&mut lo[d0..d0 + wpr], &hi[..wpr]);
+    } else {
+        let (lo, hi) = buf.split_at_mut(d0);
+        or_words(&mut hi[..wpr], &lo[s0..s0 + wpr]);
+    }
+}
+
 /// A handle to one relation slot in a [`RelArena`].
 ///
 /// Valid for the arena that produced it, until a [`RelArena::release`] to
@@ -360,15 +426,11 @@ impl RelArena {
                     return;
                 }
                 let (d, s) = self.two_slots(dst, s);
-                for (a, b) in d.iter_mut().zip(s) {
-                    *a |= b;
-                }
+                or_words(d, s);
             }
             RelSrc::Ext(r) => {
                 self.check_ext(r);
-                for (a, b) in self.slot_mut(dst).iter_mut().zip(r.bits()) {
-                    *a |= b;
-                }
+                or_words(self.slot_mut(dst), r.bits());
             }
         }
     }
@@ -381,15 +443,11 @@ impl RelArena {
                     return;
                 }
                 let (d, s) = self.two_slots(dst, s);
-                for (a, b) in d.iter_mut().zip(s) {
-                    *a &= b;
-                }
+                and_words(d, s);
             }
             RelSrc::Ext(r) => {
                 self.check_ext(r);
-                for (a, b) in self.slot_mut(dst).iter_mut().zip(r.bits()) {
-                    *a &= b;
-                }
+                and_words(self.slot_mut(dst), r.bits());
             }
         }
     }
@@ -403,15 +461,11 @@ impl RelArena {
                     return;
                 }
                 let (d, s) = self.two_slots(dst, s);
-                for (a, b) in d.iter_mut().zip(s) {
-                    *a &= !b;
-                }
+                andnot_words(d, s);
             }
             RelSrc::Ext(r) => {
                 self.check_ext(r);
-                for (a, b) in self.slot_mut(dst).iter_mut().zip(r.bits()) {
-                    *a &= !b;
-                }
+                andnot_words(self.slot_mut(dst), r.bits());
             }
         }
     }
@@ -470,18 +524,10 @@ impl RelArena {
                     let j = w * 64 + word.trailing_zeros() as usize;
                     word &= word - 1;
                     match (b_off, &b) {
-                        (Some(o), _) => {
-                            let brow = o + j * wpr;
-                            for k in 0..wpr {
-                                let v = self.buf[brow + k];
-                                self.buf[drow + k] |= v;
-                            }
-                        }
+                        (Some(o), _) => or_row_in_buf(&mut self.buf, drow, o + j * wpr, wpr),
                         (None, RelSrc::Ext(r)) => {
                             let brow = &r.bits()[j * wpr..(j + 1) * wpr];
-                            for (k, &v) in brow.iter().enumerate() {
-                                self.buf[drow + k] |= v;
-                            }
+                            or_words(&mut self.buf[drow..drow + wpr], brow);
                         }
                         _ => unreachable!(),
                     }
@@ -533,11 +579,7 @@ impl RelArena {
                     continue;
                 }
                 if self.buf[d0 + i * wpr + k / 64] >> (k % 64) & 1 == 1 {
-                    let (irow, krow) = (d0 + i * wpr, d0 + k * wpr);
-                    for w in 0..wpr {
-                        let v = self.buf[krow + w];
-                        self.buf[irow + w] |= v;
-                    }
+                    or_row_in_buf(&mut self.buf, d0 + i * wpr, d0 + k * wpr, wpr);
                 }
             }
         }

@@ -208,73 +208,10 @@ impl Skeleton {
         nshards: usize,
         sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
     ) -> CheckedStats {
-        let (parts, core) = self.parts_core();
-        let n = parts.base_events.len();
-        let shape: Vec<EventShape> = parts
-            .base_events
-            .iter()
-            .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
-            .collect();
-        let graphs = LocGraphs::new(&shape, &self.po, arch.tolerates_load_load_hazards());
-        let thin_air = arch.thin_air_base(&core);
-        let mut driver = RfDriver::new(&parts, thin_air.as_ref(), (shard, nshards));
-
-        arena.reset(n);
-        let rels = ExecRels::alloc(arena);
-        let checker = ArenaChecker::new(arch, &core);
-        let mut menus = CoMenus::new(&parts.loc_writes);
-        let mut co_pick = vec![0usize; parts.locs.len()];
-        let mut events = parts.base_events.clone();
-        let mut rf_src = vec![0usize; n];
-        let mut stats = CheckedStats::default();
-
-        while !driver.done {
-            if !driver.sync_thinair(&parts) {
-                break; // shard exhausted
-            }
-            // One rf scope: fill rf, concretise read values, filter the
-            // coherence menus, derive the rf-invariant relations once.
-            arena.clear(rels.rf);
-            for (k, &r) in parts.reads.iter().enumerate() {
-                let w = parts.rf_choices[k][driver.rf_pick[k]];
-                arena.add(rels.rf, w, r);
-                rf_src[r] = w;
-                events[r].val = events[w].val;
-            }
-            graphs.co_menus_into(&parts.locs, &rf_src, &mut menus);
-            let rf_ok = graphs.rf_only_consistent(&parts.locs, &rf_src);
-            let kept = menus.kept();
-            if !rf_ok || kept == 0 {
-                driver.prune_rf_subtree();
-                driver.advance_one();
-                continue;
-            }
-            driver.add_pruned(driver.co_total - kept);
-            rels.derive_rf(&core, arena);
-
-            // The coherence scope: one menu combination per candidate.
-            co_pick.iter_mut().for_each(|d| *d = 0);
-            loop {
-                arena.clear(rels.co);
-                for (li, &init) in parts.loc_init.iter().enumerate() {
-                    build_co_arena(arena, rels.co, init, menus.order(li, co_pick[li]));
-                }
-                rels.derive_co(&core, arena);
-                let fx = ExecFrame { core: &core, events: &events, rels: &rels };
-                let verdict = checker.check(arch, &fx, arena);
-                stats.emitted += 1;
-                if verdict.allowed() {
-                    stats.allowed += 1;
-                }
-                sink(&fx, arena, verdict);
-                if !menus.bump(&mut co_pick) {
-                    break;
-                }
-            }
-            driver.advance_one();
-        }
-        stats.pruned = driver.pruned;
-        stats
+        let ctx = EngineCtx::new(self, arch);
+        let mut st = EngineState::new(&ctx, arch, arena);
+        let (start, end) = shard_range(RfDriver::rf_total(&ctx.parts), shard, nshards);
+        run_arena_range(&ctx, arch, arena, &mut st, start, end, None, sink)
     }
 
     /// Enumerates every candidate execution into a vector.
@@ -415,20 +352,21 @@ pub struct StreamOpts {
     pub shard: Option<(usize, usize)>,
 }
 
-/// Skeleton-derived tables shared by the eager and streaming paths.
-struct SkeletonParts {
-    base_events: Vec<Event>,
-    reads: Vec<usize>,
-    rf_choices: Vec<Vec<usize>>,
-    locs: Vec<Loc>,
+/// Skeleton-derived tables shared by the eager and streaming paths (and,
+/// crate-internally, by the [`crate::sched`] planner).
+pub(crate) struct SkeletonParts {
+    pub(crate) base_events: Vec<Event>,
+    pub(crate) reads: Vec<usize>,
+    pub(crate) rf_choices: Vec<Vec<usize>>,
+    pub(crate) locs: Vec<Loc>,
     /// Initial write of each `locs` entry, if any.
-    loc_init: Vec<Option<usize>>,
+    pub(crate) loc_init: Vec<Option<usize>>,
     /// Non-initial writes of each `locs` entry, in event order.
-    loc_writes: Vec<Vec<usize>>,
+    pub(crate) loc_writes: Vec<Vec<usize>>,
 }
 
 impl SkeletonParts {
-    fn new(sk: &Skeleton) -> Self {
+    pub(crate) fn new(sk: &Skeleton) -> Self {
         let base_events: Vec<Event> = sk
             .events
             .iter()
@@ -493,6 +431,155 @@ pub struct CheckedStats {
     pub allowed: u128,
 }
 
+/// Skeleton-invariant context of the arena-backed checked stream, built
+/// once per enumeration and shared (read-only) by every worker and every
+/// [`crate::sched::WorkUnit`].
+pub(crate) struct EngineCtx {
+    pub(crate) parts: SkeletonParts,
+    pub(crate) core: Arc<ExecCore>,
+    pub(crate) graphs: LocGraphs,
+    pub(crate) thin_air: Option<Relation>,
+}
+
+impl EngineCtx {
+    pub(crate) fn new<A: Architecture + ?Sized>(sk: &Skeleton, arch: &A) -> Self {
+        let (parts, core) = sk.parts_core();
+        let shape: Vec<EventShape> = parts
+            .base_events
+            .iter()
+            .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
+            .collect();
+        let graphs = LocGraphs::new(&shape, &sk.po, arch.tolerates_load_load_hazards());
+        let thin_air = arch.thin_air_base(&core);
+        EngineCtx { parts, core, graphs, thin_air }
+    }
+}
+
+/// Per-worker mutable state of the engine: the arena-slot addresses, the
+/// checker, and the reusable menu/odometer buffers. One `EngineState` (and
+/// one [`RelArena`]) per worker thread; many units run through it in turn,
+/// so unit granularity costs no allocator traffic.
+pub(crate) struct EngineState {
+    rels: ExecRels,
+    checker: ArenaChecker,
+    menus: CoMenus,
+    co_pick: Vec<usize>,
+    events: Vec<Event>,
+    rf_src: Vec<usize>,
+}
+
+impl EngineState {
+    pub(crate) fn new<A: Architecture + ?Sized>(
+        ctx: &EngineCtx,
+        arch: &A,
+        arena: &mut RelArena,
+    ) -> Self {
+        let n = ctx.parts.base_events.len();
+        arena.reset(n);
+        EngineState {
+            rels: ExecRels::alloc(arena),
+            checker: ArenaChecker::new(arch, &ctx.core),
+            menus: CoMenus::new(&ctx.parts.loc_writes),
+            co_pick: vec![0usize; ctx.parts.locs.len()],
+            events: ctx.parts.base_events.clone(),
+            rf_src: vec![0usize; n],
+        }
+    }
+}
+
+/// Runs the arena-backed checked stream over one work unit: the linear
+/// rf-configuration range `[rf_start, rf_end)`, optionally restricted to
+/// the coherence-menu odometer sub-range `co_range` of a *single* rf
+/// configuration (then `rf_end == rf_start + 1`).
+///
+/// Accounting contract: a co-sub-range unit emits exactly its share of the
+/// menu combinations, and only the unit whose sub-range starts at menu
+/// index 0 claims the configuration's generation-time prunes (uniproc menu
+/// filtering and thin-air/rf dooms), so per-unit `emitted + pruned` summed
+/// over any partition produced by [`crate::sched::WorkPlan`] equals
+/// [`Skeleton::candidate_count`].
+pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
+    ctx: &EngineCtx,
+    arch: &A,
+    arena: &mut RelArena,
+    st: &mut EngineState,
+    rf_start: u128,
+    rf_end: u128,
+    co_range: Option<(u128, u128)>,
+    sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
+) -> CheckedStats {
+    let parts = &ctx.parts;
+    let mut driver = RfDriver::new_range(parts, ctx.thin_air.as_ref(), rf_start, rf_end);
+    let accounts_prunes = co_range.is_none_or(|(s, _)| s == 0);
+    let mut stats = CheckedStats::default();
+
+    while !driver.done {
+        if !driver.sync_thinair(parts) {
+            break; // range exhausted
+        }
+        // One rf scope: fill rf, concretise read values, filter the
+        // coherence menus, derive the rf-invariant relations once.
+        arena.clear(st.rels.rf);
+        for (k, &r) in parts.reads.iter().enumerate() {
+            let w = parts.rf_choices[k][driver.rf_pick[k]];
+            arena.add(st.rels.rf, w, r);
+            st.rf_src[r] = w;
+            st.events[r].val = st.events[w].val;
+        }
+        ctx.graphs.co_menus_into(&parts.locs, &st.rf_src, &mut st.menus);
+        let rf_ok = ctx.graphs.rf_only_consistent(&parts.locs, &st.rf_src);
+        let kept = st.menus.kept();
+        if !rf_ok || kept == 0 {
+            driver.prune_rf_subtree();
+            driver.advance_one();
+            continue;
+        }
+        driver.add_pruned(driver.co_total - kept);
+        st.rels.derive_rf(&ctx.core, arena);
+
+        // The coherence scope: one menu combination per candidate, over
+        // the whole menu odometer or the unit's sub-range of it.
+        let (co_s, co_e) = match co_range {
+            None => (0, kept),
+            Some((s, e)) => (s.min(kept), e.min(kept)),
+        };
+        if co_s < co_e {
+            // Seek the menu odometer to `co_s` (mixed radix, digit 0
+            // least significant — the same layout `CoMenus::bump` walks).
+            let mut rem = co_s;
+            for (li, d) in st.co_pick.iter_mut().enumerate() {
+                let r = st.menus.radix(li) as u128;
+                *d = (rem % r) as usize;
+                rem /= r;
+            }
+            let mut visited = co_s;
+            loop {
+                arena.clear(st.rels.co);
+                for (li, &init) in parts.loc_init.iter().enumerate() {
+                    build_co_arena(arena, st.rels.co, init, st.menus.order(li, st.co_pick[li]));
+                }
+                st.rels.derive_co(&ctx.core, arena);
+                let fx = ExecFrame { core: &ctx.core, events: &st.events, rels: &st.rels };
+                let verdict = st.checker.check(arch, &fx, arena);
+                stats.emitted += 1;
+                if verdict.allowed() {
+                    stats.allowed += 1;
+                }
+                sink(&fx, arena, verdict);
+                visited += 1;
+                if visited >= co_e || !st.menus.bump(&mut st.co_pick) {
+                    break;
+                }
+            }
+        }
+        driver.advance_one();
+    }
+    if accounts_prunes {
+        stats.pruned = driver.pruned;
+    }
+    stats
+}
+
 /// Arena twin of [`build_co`]: adds one location's coherence edges to an
 /// arena slot.
 pub fn build_co_arena(
@@ -539,12 +626,14 @@ enum CoState {
 }
 
 /// The rf-odometer state machine shared by [`CandidateIter`] (the owned,
-/// `Execution`-materialising stream) and the arena-backed checked stream
-/// ([`Skeleton::check_stream_arena`]): linear-index sharding, mixed-radix
-/// digit decoding, thin-air subtree skipping and the pruned accounting.
-struct RfDriver {
+/// `Execution`-materialising stream), the arena-backed checked stream
+/// ([`Skeleton::check_stream_arena`]) and the [`crate::sched`] work
+/// scheduler: linear-index range ownership (seek/resume in O(digits)),
+/// mixed-radix digit decoding, thin-air subtree skipping and the pruned
+/// accounting.
+pub(crate) struct RfDriver {
     thinair: Option<ThinAirTracker>,
-    rf_pick: Vec<usize>,
+    pub(crate) rf_pick: Vec<usize>,
     /// Odometer radices for `rf_pick` (fixed for the whole iteration).
     rf_radices: Vec<usize>,
     /// `rf_weights[d]` = Π `rf_radices[..d]`: the number of rf
@@ -555,13 +644,37 @@ struct RfDriver {
     pos: u128,
     end: u128,
     /// Total coherence combinations of one rf configuration (saturating).
-    co_total: u128,
-    done: bool,
-    pruned: u128,
+    pub(crate) co_total: u128,
+    pub(crate) done: bool,
+    pub(crate) pruned: u128,
 }
 
 impl RfDriver {
-    fn new(parts: &SkeletonParts, thin_air: Option<&Relation>, shard: (usize, usize)) -> Self {
+    /// Total number of rf configurations of a skeleton (saturating) — the
+    /// linear index space [`RfDriver::new_range`] addresses.
+    pub(crate) fn rf_total(parts: &SkeletonParts) -> u128 {
+        parts.rf_choices.iter().map(|c| c.len() as u128).fold(1u128, u128::saturating_mul)
+    }
+
+    pub(crate) fn new(
+        parts: &SkeletonParts,
+        thin_air: Option<&Relation>,
+        shard: (usize, usize),
+    ) -> Self {
+        let (pos, end) = shard_range(Self::rf_total(parts), shard.0, shard.1);
+        Self::new_range(parts, thin_air, pos, end)
+    }
+
+    /// A driver seeked to cover exactly the linear rf-configuration range
+    /// `[start, end)`: the odometer digits are decoded from `start` in
+    /// O(digits), so a [`crate::sched::WorkUnit`] can resume mid-odometer
+    /// without replaying the prefix.
+    pub(crate) fn new_range(
+        parts: &SkeletonParts,
+        thin_air: Option<&Relation>,
+        start: u128,
+        end: u128,
+    ) -> Self {
         let thinair = thin_air.and_then(ThinAirTracker::new);
         let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
         let mut rf_weights = Vec::with_capacity(rf_radices.len());
@@ -576,11 +689,8 @@ impl RfDriver {
             .map(|ws| factorial_saturating(ws.len()))
             .fold(1u128, u128::saturating_mul);
 
-        let (shard, nshards) = shard;
-        assert!(nshards > 0 && shard < nshards, "shard index out of range");
-        let chunk = rf_total.div_ceil(nshards as u128);
-        let pos = chunk.saturating_mul(shard as u128).min(rf_total);
-        let end = pos.saturating_add(chunk).min(rf_total);
+        let pos = start.min(rf_total);
+        let end = end.min(rf_total);
 
         let mut d = RfDriver {
             thinair,
@@ -914,6 +1024,21 @@ impl HeapPerm {
         self.i = 0;
         false
     }
+}
+
+/// The contiguous range of shard `shard` of `nshards` over a space of
+/// `total` linear indices — the one place the static shard arithmetic
+/// lives, shared by [`RfDriver::new`] and the checked-stream shard entry
+/// points so partitions can never drift apart.
+///
+/// # Panics
+///
+/// Panics when `shard >= nshards` or `nshards == 0`.
+pub(crate) fn shard_range(total: u128, shard: usize, nshards: usize) -> (u128, u128) {
+    assert!(nshards > 0 && shard < nshards, "shard index out of range");
+    let chunk = total.div_ceil(nshards as u128);
+    let start = chunk.saturating_mul(shard as u128).min(total);
+    (start, start.saturating_add(chunk).min(total))
 }
 
 /// `k!` in `u128`, `None` on overflow (first at `k = 35`). The previous

@@ -84,6 +84,33 @@
 //! `alloc-count` smoke test asserts the zero), which is what lets
 //! sharding and corpus batching scale without allocator contention.
 //!
+//! # Work units — scheduling the incremental-candidate walk (Sec 8.3)
+//!
+//! Sec 8.3's incremental-candidate walk is also what makes parallelism
+//! awkward: the cheap step is always "advance one digit from where you
+//! are", so carving the space up means choosing *which digits* a worker
+//! owns. The hierarchical scheduler ([`crate::sched`]) aligns its
+//! [`crate::sched::WorkUnit`] granularity with the odometer layers of
+//! the scope table above:
+//!
+//! | unit | odometer level | seek cost | when the planner emits it |
+//! |---|---|---|---|
+//! | rf range | a contiguous slice of rf-configuration indices | O(digits) decode (the crate-internal `RfDriver` seek) | rf space alone ≥ workers × units/worker |
+//! | co sub-range | a slice of *one* configuration's surviving coherence-menu odometer | the rf-scope replay: refill `rf`/`rf⁻¹`/`rfe`/`rfi` and the menus once, then decode the menu odometer | a configuration's menu dwarfs the rf space (co-heavy tests — `wrc+Nw`) |
+//!
+//! A co unit is exactly one "rf digit" scope entered once plus a
+//! sub-range of its "co digit" scopes — the per-digit checkpoint
+//! structure is what makes mid-odometer entry cheap. Accounting stays
+//! exact over any plan: the unit whose co sub-range starts at menu index
+//! 0 claims the configuration's generation-time prunes, so per-unit
+//! `emitted + pruned` sums to `candidate_count()` (pinned by the
+//! `sched_props` proptests). Units are drained largest-first through one
+//! atomic cursor ([`crate::sched::execute_units`]) by workers owning
+//! their arena and sinks — the executor behind
+//! [`crate::sched::WorkPlan`]-driven checking
+//! ([`crate::enumerate::Skeleton::check_stream_sched`]), the litmus
+//! `simulate_sharded`/`simulate_corpus`, and the `herd-hw` campaigns.
+//!
 //! # Litmus names (Tab III)
 //!
 //! | classic | systematic | description |

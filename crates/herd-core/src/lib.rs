@@ -17,6 +17,10 @@
 //! - [`arch`]: the stock architectures.
 //! - [`enumerate`]: data-flow enumeration from skeletons to candidates,
 //!   streaming with generation-time pruning and rf-odometer sharding.
+//! - [`sched`]: the hierarchical work scheduler — [`sched::WorkPlan`]s
+//!   decompose the combined rf×co odometer (co-level splitting within one
+//!   rf configuration for co-heavy tests) and a work-stealing executor
+//!   drives every parallel entry point of the workspace.
 //! - [`uniproc`] / [`thinair`]: the two pruning axes of herd's
 //!   `-speedcheck` (Sec 8.3) — per-location SC PER LOCATION masks and the
 //!   incremental NO THIN AIR happens-before tracker.
@@ -59,6 +63,7 @@ pub mod glossary;
 pub mod model;
 pub mod ppo;
 pub mod relation;
+pub mod sched;
 pub mod set;
 pub mod thinair;
 pub mod uniproc;

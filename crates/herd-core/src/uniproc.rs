@@ -35,6 +35,10 @@ pub struct EventShape {
 #[derive(Clone, Debug)]
 pub struct LocGraphs {
     graphs: Vec<LocGraph>,
+    /// Locations with more than 64 events: beyond the bitmask width, so
+    /// they stream unpruned. Surfaced (instead of silently degrading) so
+    /// drivers can tell the user why a huge test suddenly stopped pruning.
+    oversized: Vec<Loc>,
 }
 
 /// One location's subgraph: members, local indices and `po-loc` masks.
@@ -77,11 +81,17 @@ impl LocGraphs {
         locs.dedup();
 
         let mut graphs = Vec::new();
+        let mut oversized = Vec::new();
         for loc in locs {
             let members: Vec<usize> = (0..shape.len()).filter(|&id| shape[id].loc == loc).collect();
             // A lone event can never close a cycle; an oversized location
-            // exceeds the mask width and streams unpruned instead.
-            if members.len() < 2 || members.len() > 64 {
+            // exceeds the mask width and streams unpruned instead — and is
+            // recorded, so the degradation is visible to the driver.
+            if members.len() > 64 {
+                oversized.push(loc);
+                continue;
+            }
+            if members.len() < 2 {
                 continue;
             }
             let mut local_of = vec![NOT_LOCAL; shape.len()];
@@ -109,12 +119,20 @@ impl LocGraphs {
             }
             graphs.push(LocGraph { loc, members, local_of, po_mask, init_mask, read_mask });
         }
-        LocGraphs { graphs }
+        LocGraphs { graphs, oversized }
     }
 
     /// The non-trivial location graphs (locations with ≥ 2 events).
     pub fn graphs(&self) -> &[LocGraph] {
         &self.graphs
+    }
+
+    /// Locations whose event count exceeds the 64-bit mask width: these
+    /// stream *unpruned* (every coherence permutation survives the menu
+    /// filter), which is sound but can make a huge test look mysteriously
+    /// slow. Drivers surface the count in their enumeration stats.
+    pub fn oversized(&self) -> &[Loc] {
+        &self.oversized
     }
 
     /// The graph of one location, if non-trivial.
@@ -440,6 +458,7 @@ mod tests {
         assert!(graphs.graph_for(Loc(0)).is_none(), "oversized location streams unpruned");
         assert!(graphs.graph_for(Loc(1)).is_some(), "small locations still prune");
         assert!(graphs.rf_only_consistent(&[], &vec![0; shape.len()]));
+        assert_eq!(graphs.oversized(), &[Loc(0)], "the degradation is surfaced, not silent");
     }
 
     #[test]

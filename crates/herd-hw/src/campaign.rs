@@ -13,11 +13,22 @@
 //! (the `10M/95G`-style entries of Tab VI). Counts are sampled from a
 //! Poisson approximation of per-run multinomial draws, so a campaign of
 //! billions of simulated runs costs microseconds.
+//!
+//! Candidate judging streams through the arena engine
+//! ([`herd_litmus::candidates::stream_multi_verdicts`]): each candidate's
+//! silicon / SC / clean (resp. reference / silicon) verdicts are computed
+//! from one shared set of arena relations in a single enumeration pass,
+//! instead of the three materialising `check` calls per candidate the
+//! owned path paid. Campaigns fan their tests out over the
+//! [`herd_core::sched`] work-stealing executor with one
+//! deterministically-derived RNG per test.
 
 use crate::silicon::{Machine, Rarity};
 use herd_core::arch::Sc;
-use herd_core::model::{check, Architecture};
-use herd_litmus::candidates::{enumerate, Candidate, CandidateError, EnumOptions, RegFinal};
+use herd_core::model::Architecture;
+use herd_core::sched;
+use herd_litmus::candidates::{self, Candidate, CandidateError, EnumOptions, RegFinal};
+use herd_litmus::isa::Reg;
 use herd_litmus::program::LitmusTest;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,15 +36,24 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Renders a candidate's complete final state canonically.
 pub fn render_full_state(c: &Candidate) -> String {
+    render_full_state_parts(&c.final_regs, &c.final_mem)
+}
+
+/// [`render_full_state`] over bare observables — what the arena verdict
+/// stream hands out (no owned [`Candidate`] exists on that path).
+pub fn render_full_state_parts(
+    final_regs: &BTreeMap<(u16, Reg), RegFinal>,
+    final_mem: &BTreeMap<String, i64>,
+) -> String {
     let mut parts: Vec<String> = Vec::new();
-    for ((tid, reg), v) in &c.final_regs {
+    for ((tid, reg), v) in final_regs {
         let v = match v {
             RegFinal::Int(i) => i.to_string(),
             RegFinal::Addr(l) => l.clone(),
         };
         parts.push(format!("{tid}:{reg}={v}"));
     }
-    for (loc, v) in &c.final_mem {
+    for (loc, v) in final_mem {
         parts.push(format!("{loc}={v}"));
     }
     parts.join("; ")
@@ -59,25 +79,28 @@ pub fn run_test(
     iterations: u64,
     rng: &mut StdRng,
 ) -> Result<RunOutcome, CandidateError> {
-    let cands = enumerate(test, &EnumOptions::default())?;
-    // Group silicon-allowed candidates by final state, grading each state
-    // by its most likely (least buggy) producing candidate.
+    // One enumeration pass: silicon / SC / clean verdicts per candidate
+    // come from the same arena relations (no owned Execution, no three
+    // materialising `check` calls). Group silicon-allowed candidates by
+    // final state, grading each state by its most likely (least buggy)
+    // producing candidate.
     let mut weights: BTreeMap<String, f64> = BTreeMap::new();
-    for c in &cands {
-        if !check(machine.silicon.as_ref(), &c.exec).allowed() {
-            continue;
+    let archs: [&dyn Architecture; 3] = [machine.silicon.as_ref(), &Sc, machine.clean.as_ref()];
+    candidates::stream_multi_verdicts(test, &EnumOptions::default(), &archs, &mut |mc| {
+        if !mc.verdicts[0].allowed() {
+            return;
         }
-        let rarity = if check(&Sc, &c.exec).allowed() {
+        let rarity = if mc.verdicts[1].allowed() {
             Rarity::Common
-        } else if check(machine.clean.as_ref(), &c.exec).allowed() {
+        } else if mc.verdicts[2].allowed() {
             Rarity::Weak
         } else {
             Rarity::BugOnly
         };
-        let state = render_full_state(c);
+        let state = render_full_state_parts(mc.final_regs, mc.final_mem);
         let w = weights.entry(state).or_insert(0.0);
         *w = w.max(rarity.weight());
-    }
+    })?;
     let total: f64 = weights.values().sum();
     let mut states = BTreeMap::new();
     for (state, w) in weights {
@@ -179,7 +202,71 @@ impl CampaignSummary {
     }
 }
 
+/// The RNG of one campaign test: derived deterministically from the
+/// campaign seed and the test's index, so the campaign's outcome does not
+/// depend on scheduling order or worker count.
+fn test_rng(seed: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Judges one campaign test: simulated observations plus the streamed
+/// reference/silicon comparison (one arena pass per candidate).
+fn campaign_test(
+    machine: &Machine,
+    test: &LitmusTest,
+    reference: &(dyn Architecture + Sync),
+    iterations: u64,
+    rng: &mut StdRng,
+) -> Result<(TestReport, Vec<String>), CandidateError> {
+    let run = run_test(machine, test, iterations, rng)?;
+    let mut model_allowed = BTreeSet::new();
+    // For classification: per state, remember the reference verdicts of
+    // the silicon-allowed candidates producing it.
+    let mut state_labels: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let archs: [&dyn Architecture; 2] = [reference, machine.silicon.as_ref()];
+    candidates::stream_multi_verdicts(test, &EnumOptions::default(), &archs, &mut |mc| {
+        let state = render_full_state_parts(mc.final_regs, mc.final_mem);
+        let verdict = mc.verdicts[0];
+        if verdict.allowed() {
+            model_allowed.insert(state);
+        } else if mc.verdicts[1].allowed() {
+            state_labels.entry(state).or_default().insert(verdict.violation_label());
+        }
+    })?;
+    let invalid_states: Vec<String> =
+        run.states.keys().filter(|s| !model_allowed.contains(*s)).cloned().collect();
+    let unseen_states: Vec<String> =
+        model_allowed.iter().filter(|s| !run.states.contains_key(*s)).cloned().collect();
+    let mut invalid_axioms = BTreeSet::new();
+    // One classification entry per invalid *state* (Tab VIII counts
+    // observations, not distinct labels).
+    let mut state_best_labels = Vec::new();
+    for s in &invalid_states {
+        if let Some(labels) = state_labels.get(s) {
+            // Most charitable: the shortest violation label.
+            if let Some(best) = labels.iter().min_by_key(|l| l.len()) {
+                invalid_axioms.insert(best.clone());
+                state_best_labels.push(best.clone());
+            }
+        }
+    }
+    let report = TestReport {
+        name: test.name.clone(),
+        observed: run.states,
+        model_allowed,
+        invalid_states,
+        unseen_states,
+        invalid_axioms,
+    };
+    Ok((report, state_best_labels))
+}
+
 /// Runs a campaign of `tests` on `machine`, judging against `reference`.
+///
+/// Tests fan out over the [`herd_core::sched`] work-stealing executor
+/// (every core busy until the queue drains); each test's RNG is derived
+/// from `(seed, index)`, so the summary is identical whatever the worker
+/// count or steal order.
 ///
 /// # Errors
 ///
@@ -187,52 +274,28 @@ impl CampaignSummary {
 pub fn campaign(
     machine: &Machine,
     tests: &[LitmusTest],
-    reference: &dyn Architecture,
+    reference: &(dyn Architecture + Sync),
     iterations: u64,
     seed: u64,
 ) -> Result<CampaignSummary, CandidateError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut reports = Vec::new();
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
+    let (_, results) = sched::execute_units(
+        tests.len(),
+        workers.max(1),
+        |_| (),
+        |(), i| {
+            let mut rng = test_rng(seed, i);
+            campaign_test(machine, &tests[i], reference, iterations, &mut rng)
+        },
+    );
+    let mut reports = Vec::with_capacity(tests.len());
     let mut classification: BTreeMap<String, usize> = BTreeMap::new();
-    for test in tests {
-        let run = run_test(machine, test, iterations, &mut rng)?;
-        let cands = enumerate(test, &EnumOptions::default())?;
-        let mut model_allowed = BTreeSet::new();
-        // For classification: per state, remember the reference verdicts of
-        // the silicon-allowed candidates producing it.
-        let mut state_labels: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-        for c in &cands {
-            let state = render_full_state(c);
-            let verdict = check(reference, &c.exec);
-            if verdict.allowed() {
-                model_allowed.insert(state.clone());
-            }
-            if check(machine.silicon.as_ref(), &c.exec).allowed() && !verdict.allowed() {
-                state_labels.entry(state).or_default().insert(verdict.violation_label());
-            }
+    for result in results {
+        let (report, labels) = result?;
+        for label in labels {
+            *classification.entry(label).or_insert(0) += 1;
         }
-        let invalid_states: Vec<String> =
-            run.states.keys().filter(|s| !model_allowed.contains(*s)).cloned().collect();
-        let unseen_states: Vec<String> =
-            model_allowed.iter().filter(|s| !run.states.contains_key(*s)).cloned().collect();
-        let mut invalid_axioms = BTreeSet::new();
-        for s in &invalid_states {
-            if let Some(labels) = state_labels.get(s) {
-                // Most charitable: the shortest violation label.
-                if let Some(best) = labels.iter().min_by_key(|l| l.len()) {
-                    invalid_axioms.insert(best.clone());
-                    *classification.entry(best.clone()).or_insert(0) += 1;
-                }
-            }
-        }
-        reports.push(TestReport {
-            name: test.name.clone(),
-            observed: run.states,
-            model_allowed,
-            invalid_states,
-            unseen_states,
-            invalid_axioms,
-        });
+        reports.push(report);
     }
     let invalid = reports.iter().filter(|r| r.is_invalid()).count();
     let unseen = reports.iter().filter(|r| r.has_unseen()).count();
@@ -293,13 +356,55 @@ mod tests {
 
     // Machines hold Box<dyn Architecture>; rebuild the APQ silicon for the
     // test (Machine is not Clone because of the trait objects).
-    fn dyn_clone_silicon(m: &Machine) -> Box<dyn herd_core::model::Architecture> {
+    fn dyn_clone_silicon(m: &Machine) -> Box<dyn herd_core::model::Architecture + Send + Sync> {
         use crate::silicon::{ArmErrata, ArmSilicon};
         let _ = m;
         Box::new(ArmSilicon::new(
             "APQ8060",
             ArmErrata { load_load_hazards: true, early_commit: true, ..Default::default() },
         ))
+    }
+
+    /// The streamed reference/silicon judging must reproduce the
+    /// pre-refactor owned enumerate-then-check path exactly: same
+    /// model-allowed state sets, same per-state violation labels, on the
+    /// full ARM corpus.
+    #[test]
+    fn streamed_judging_matches_owned_checks() {
+        use herd_core::model::check;
+        use herd_litmus::candidates::enumerate;
+        let machine = &arm_machines()[0]; // Tegra2: llh silicon
+        let reference = Arm::new(ArmVariant::PowerArm);
+        for entry in corpus::arm_corpus() {
+            let test = entry.test;
+            let cands = enumerate(&test, &EnumOptions::default()).unwrap();
+            let mut owned_allowed = BTreeSet::new();
+            let mut owned_labels: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            for c in &cands {
+                let state = render_full_state(c);
+                let v = check(&reference, &c.exec);
+                if v.allowed() {
+                    owned_allowed.insert(state.clone());
+                }
+                if check(machine.silicon.as_ref(), &c.exec).allowed() && !v.allowed() {
+                    owned_labels.entry(state).or_default().insert(v.violation_label());
+                }
+            }
+            let mut s_allowed = BTreeSet::new();
+            let mut s_labels: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+            let archs: [&dyn Architecture; 2] = [&reference, machine.silicon.as_ref()];
+            candidates::stream_multi_verdicts(&test, &EnumOptions::default(), &archs, &mut |mc| {
+                let state = render_full_state_parts(mc.final_regs, mc.final_mem);
+                if mc.verdicts[0].allowed() {
+                    s_allowed.insert(state);
+                } else if mc.verdicts[1].allowed() {
+                    s_labels.entry(state).or_default().insert(mc.verdicts[0].violation_label());
+                }
+            })
+            .unwrap();
+            assert_eq!(s_allowed, owned_allowed, "{}: model_allowed diverged", test.name);
+            assert_eq!(s_labels, owned_labels, "{}: violation labels diverged", test.name);
+        }
     }
 
     #[test]

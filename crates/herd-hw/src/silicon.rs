@@ -149,11 +149,13 @@ impl Rarity {
 pub struct Machine {
     /// Part name as in the paper (Tab VI).
     pub name: &'static str,
-    /// What the silicon can do.
-    pub silicon: Box<dyn Architecture>,
+    /// What the silicon can do (`Send + Sync`: campaigns fan tests out
+    /// over the work-stealing executor, which shares the machine across
+    /// worker threads).
+    pub silicon: Box<dyn Architecture + Send + Sync>,
     /// The clean (bug-free) model for this part's architecture, used to
     /// grade outcome rarity.
-    pub clean: Box<dyn Architecture>,
+    pub clean: Box<dyn Architecture + Send + Sync>,
 }
 
 /// The Power machines of Sec 8.1.1.

@@ -180,6 +180,12 @@ pub struct EnumStats {
     /// `u128`: pruning counts subtrees it never visits, so the tally can
     /// legitimately exceed anything enumerable.
     pub pruned: u128,
+    /// Locations whose event count exceeds the 64-bit pruning-mask width
+    /// and therefore streamed *unpruned* despite pruning being requested
+    /// (the maximum over control-flow combinations). Previously this
+    /// degradation was silent, making huge tests look mysteriously slow;
+    /// drivers log it.
+    pub unpruned_locations: usize,
 }
 
 impl EnumStats {
@@ -207,12 +213,65 @@ pub struct VerdictCandidate<'a> {
     pub final_mem: &'a BTreeMap<String, i64>,
 }
 
+/// One candidate of the multi-model arena verdict stream: the verdicts of
+/// *every* model under comparison, computed from one shared set of arena
+/// relations in a single pass — what the `herd-hw` campaign (silicon /
+/// clean / SC in one sweep) and `herd-machine` comparisons consume instead
+/// of three materialising `check` calls per candidate.
+#[derive(Debug)]
+pub struct MultiVerdictCandidate<'a> {
+    /// Per-model verdicts, indexed like the `archs` slice passed to
+    /// [`stream_multi_verdicts`].
+    pub verdicts: &'a [Verdict],
+    /// Final register values, per `(thread, register)`.
+    pub final_regs: &'a BTreeMap<(u16, Reg), RegFinal>,
+    /// Final memory values by location name (the `co`-maximal writes).
+    pub final_mem: &'a BTreeMap<String, i64>,
+}
+
 /// What the enumeration inner loop emits: owned [`Candidate`]s (the
-/// compatibility path) or arena-checked [`VerdictCandidate`]s (the
-/// zero-materialisation simulation path).
+/// compatibility path), arena-checked [`VerdictCandidate`]s (the
+/// zero-materialisation simulation path), or [`MultiVerdictCandidate`]s
+/// (several models judged per candidate in one pass).
 enum Emit<'a, 's> {
     Cands(&'a mut (dyn FnMut(Candidate) + 's)),
-    Verdicts { arch: &'a dyn Architecture, sink: &'a mut (dyn FnMut(&VerdictCandidate<'_>) + 's) },
+    Verdicts {
+        arch: &'a dyn Architecture,
+        sink: &'a mut (dyn FnMut(&VerdictCandidate<'_>) + 's),
+    },
+    Multi {
+        archs: &'a [&'a dyn Architecture],
+        sink: &'a mut (dyn FnMut(&MultiVerdictCandidate<'_>) + 's),
+    },
+}
+
+/// Which rf configurations one enumeration call owns: a round-robin
+/// residue class (the PR 3 sharding, kept for its public entry points) or
+/// a contiguous range of the global configuration index — the
+/// [`herd_core::sched::WorkUnit`] granularity the work-stealing drivers
+/// hand out.
+#[derive(Clone, Copy, Debug)]
+enum CfgOwner {
+    RoundRobin { shard: u64, nshards: u64 },
+    Range { start: u128, end: u128 },
+}
+
+impl CfgOwner {
+    fn owns(&self, idx: u64) -> bool {
+        match *self {
+            CfgOwner::RoundRobin { shard, nshards } => idx % nshards == shard,
+            CfgOwner::Range { start, end } => start <= idx as u128 && (idx as u128) < end,
+        }
+    }
+
+    /// Is every configuration at or past `idx` unowned? Lets range owners
+    /// stop enumerating the moment their range is behind them.
+    fn exhausted(&self, idx: u64) -> bool {
+        match *self {
+            CfgOwner::RoundRobin { .. } => false,
+            CfgOwner::Range { end, .. } => idx as u128 >= end,
+        }
+    }
 }
 
 /// Streams the candidate executions of `test` into `sink`.
@@ -232,8 +291,11 @@ pub fn stream(
     prune: Prune,
     sink: &mut dyn FnMut(Candidate),
 ) -> Result<EnumStats, CandidateError> {
-    stream_impl(test, opts, prune, None, (0, 1), &mut Emit::Cands(sink))
+    stream_impl(test, opts, prune, None, EVERYTHING, &mut Emit::Cands(sink))
 }
+
+/// The ownership covering the whole configuration space.
+const EVERYTHING: CfgOwner = CfgOwner::RoundRobin { shard: 0, nshards: 1 };
 
 /// Streams with every pruning axis that is sound for `arch`: the
 /// architecture's uniproc mode ([`Prune::for_arch`]) plus generation-time
@@ -282,7 +344,7 @@ pub fn stream_shard<A: Architecture + ?Sized>(
         opts,
         Prune::for_arch(arch),
         Some(&hook),
-        (shard, nshards),
+        CfgOwner::RoundRobin { shard: shard as u64, nshards: nshards as u64 },
         &mut Emit::Cands(sink),
     )
 }
@@ -328,27 +390,94 @@ pub fn stream_shard_verdicts<A: Architecture + ?Sized>(
     sink: &mut dyn FnMut(&VerdictCandidate<'_>),
 ) -> Result<EnumStats, CandidateError> {
     assert!(nshards > 0 && shard < nshards, "shard index out of range");
+    stream_verdicts_owned(
+        test,
+        opts,
+        arch,
+        CfgOwner::RoundRobin { shard: shard as u64, nshards: nshards as u64 },
+        sink,
+    )
+}
+
+/// The arena-backed verdict stream over one contiguous range
+/// `[start, end)` of the global rf-configuration index — the
+/// [`herd_core::sched::WorkUnit`] granularity. Per-unit [`EnumStats`] over
+/// any exact partition of `[0, count_rf_configs)` sum to the unsharded
+/// totals, so the work-stealing `simulate_sharded` keeps the same exact
+/// accounting as the sequential driver.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the per-unit
+/// emitted-candidate bound is exceeded.
+pub fn stream_range_verdicts<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    start: u128,
+    end: u128,
+    sink: &mut dyn FnMut(&VerdictCandidate<'_>),
+) -> Result<EnumStats, CandidateError> {
+    stream_verdicts_owned(test, opts, arch, CfgOwner::Range { start, end }, sink)
+}
+
+fn stream_verdicts_owned<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    arch: &A,
+    owner: CfgOwner,
+    sink: &mut dyn FnMut(&VerdictCandidate<'_>),
+) -> Result<EnumStats, CandidateError> {
     let hook = |core: &ExecCore| arch.thin_air_base(core);
     // `&A` is itself an `Architecture` (the reference blanket impl), and
     // it is `Sized`, so `&&A` coerces to the trait object the mode holds.
     let arch_ref = &arch;
     let mut mode = Emit::Verdicts { arch: arch_ref, sink };
-    stream_impl(test, opts, Prune::for_arch(arch), Some(&hook), (shard, nshards), &mut mode)
+    stream_impl(test, opts, Prune::for_arch(arch), Some(&hook), owner, &mut mode)
 }
 
-fn stream_impl(
+/// Judges every candidate against *several* models in one enumeration
+/// pass: the witness and derived relations are computed once per
+/// candidate and each model's four axioms are evaluated on those shared
+/// arena slots — replacing the N materialising `check` calls per
+/// candidate the owned consumers (`herd-hw` campaigns, `herd-machine`
+/// comparisons) used to pay.
+///
+/// Pruning is the strongest mode sound for **all** models: load-load
+/// hazards are tolerated in the uniproc masks as soon as *any* model
+/// tolerates them (the weakened graph prunes less, and everything it does
+/// prune violates every model's SC PER LOCATION axiom), and thin-air
+/// pruning is off (its static base is per-model). The verdicts of the
+/// surviving candidates are exactly [`herd_core::model::check`]'s.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program or the emitted-candidate
+/// bound is exceeded.
+pub fn stream_multi_verdicts(
     test: &LitmusTest,
     opts: &EnumOptions,
-    prune: Prune,
-    thin_air: Option<ThinAirHook<'_>>,
-    shard: (usize, usize),
-    mode: &mut Emit<'_, '_>,
+    archs: &[&dyn Architecture],
+    sink: &mut dyn FnMut(&MultiVerdictCandidate<'_>),
 ) -> Result<EnumStats, CandidateError> {
-    let locs = LocTable::for_test(test);
-    let loc_map = locs.as_map();
+    let prune = if archs.iter().any(|a| a.tolerates_load_load_hazards()) {
+        Prune::UniprocLlh
+    } else {
+        Prune::Uniproc
+    };
+    let mut mode = Emit::Multi { archs, sink };
+    stream_impl(test, opts, prune, None, EVERYTHING, &mut mode)
+}
 
-    // Per-thread control-flow paths.
-    let mut thread_paths: Vec<Vec<ThreadPath>> = Vec::new();
+/// Runs every thread symbolically and returns the per-thread control-flow
+/// paths (shared by the streaming enumerators and the configuration
+/// counter).
+fn thread_paths(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    loc_map: &BTreeMap<String, Loc>,
+) -> Result<Vec<Vec<ThreadPath>>, CandidateError> {
+    let mut paths: Vec<Vec<ThreadPath>> = Vec::new();
     for (tid, code) in test.threads.iter().enumerate() {
         let init: BTreeMap<Reg, RVal> = test
             .reg_init
@@ -362,8 +491,66 @@ fn stream_impl(
                 (*r, rv)
             })
             .collect();
-        thread_paths.push(sem::run_thread(tid as u16, code, &init, &loc_map, opts.fuel)?);
+        paths.push(sem::run_thread(tid as u16, code, &init, loc_map, opts.fuel)?);
     }
+    Ok(paths)
+}
+
+/// The total number of rf configurations the streaming enumerators walk
+/// for `test` — the linear index space [`stream_range_verdicts`] ranges
+/// over, summed across control-flow combinations. This is the cheap
+/// planning pass of the work-stealing `simulate_sharded`: thread
+/// semantics runs, but no equation solving and no candidate work.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program.
+pub fn count_rf_configs(test: &LitmusTest, opts: &EnumOptions) -> Result<u128, CandidateError> {
+    let locs = LocTable::for_test(test);
+    let loc_map = locs.as_map();
+    let paths = thread_paths(test, opts, &loc_map)?;
+    let mut total = 0u128;
+    let mut pick = vec![0usize; paths.len()];
+    let radices: Vec<usize> = paths.iter().map(Vec::len).collect();
+    loop {
+        let combo: Vec<&ThreadPath> = pick.iter().zip(&paths).map(|(&i, ps)| &ps[i]).collect();
+        let mut writes_by_loc: BTreeMap<Loc, u128> = BTreeMap::new();
+        for path in &combo {
+            for a in &path.accesses {
+                if a.dir == Dir::W {
+                    *writes_by_loc.entry(a.loc).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut cfgs = 1u128;
+        for path in &combo {
+            for a in &path.accesses {
+                if a.dir == Dir::R {
+                    // Same-location thread writes plus the initial write.
+                    let ws = writes_by_loc.get(&a.loc).copied().unwrap_or(0) + 1;
+                    cfgs = cfgs.saturating_mul(ws);
+                }
+            }
+        }
+        total = total.saturating_add(cfgs);
+        if !bump(&mut pick, &radices) {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+fn stream_impl(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    prune: Prune,
+    thin_air: Option<ThinAirHook<'_>>,
+    owner: CfgOwner,
+    mode: &mut Emit<'_, '_>,
+) -> Result<EnumStats, CandidateError> {
+    let locs = LocTable::for_test(test);
+    let loc_map = locs.as_map();
+    let thread_paths = thread_paths(test, opts, &loc_map)?;
 
     // Value domain for free (thin-air) symbols: every constant the test can
     // produce.
@@ -374,8 +561,9 @@ fn stream_impl(
     // combination and kept across them — the bump pool converges to the
     // largest combination's working set and then never allocates.
     let mut arena = RelArena::new(0);
-    // Global rf-configuration counter, advanced identically in every
-    // shard so that round-robin ownership partitions the space exactly.
+    // Global rf-configuration counter, advanced identically by every
+    // owner so that round-robin and range ownership both partition the
+    // space exactly.
     let mut cfg_idx = 0u64;
     let mut pick = vec![0usize; thread_paths.len()];
     loop {
@@ -389,12 +577,17 @@ fn stream_impl(
             opts,
             prune,
             thin_air,
-            shard,
+            owner,
             cfg_idx: &mut cfg_idx,
             arena: &mut arena,
             mode,
             stats: &mut stats,
         })?;
+        // A range owner whose range is behind the global counter owns
+        // nothing further: stop instead of walking the rest of the space.
+        if owner.exhausted(cfg_idx) {
+            break;
+        }
         if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
             break;
         }
@@ -450,8 +643,8 @@ struct AssembleCtx<'a, 'h, 'e, 's> {
     opts: &'a EnumOptions,
     prune: Prune,
     thin_air: Option<ThinAirHook<'h>>,
-    /// Round-robin shard `(index, count)` over rf configurations.
-    shard: (usize, usize),
+    /// Which rf configurations this call owns.
+    owner: CfgOwner,
     /// Global rf-configuration counter shared across combinations.
     cfg_idx: &'a mut u64,
     /// The worker's relation arena (verdict mode only touches it).
@@ -471,7 +664,7 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
         opts,
         prune,
         thin_air,
-        shard,
+        owner,
         cfg_idx,
         arena,
         mode,
@@ -623,7 +816,11 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                 .iter()
                 .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
                 .collect();
-            Some(LocGraphs::new(&shape, core.po(), prune == Prune::UniprocLlh))
+            let g = LocGraphs::new(&shape, core.po(), prune == Prune::UniprocLlh);
+            // Oversized locations (>64 events) silently stream unpruned;
+            // record the degradation so drivers can tell the user.
+            stats.unpruned_locations = stats.unpruned_locations.max(g.oversized().len());
+            Some(g)
         }
     };
     // NO THIN AIR pruning: the architecture's static `ppo ∪ fences` base
@@ -631,17 +828,23 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
     let mut thinair: Option<ThinAirTracker> =
         thin_air.and_then(|hook| hook(&core)).and_then(|base| ThinAirTracker::new(&base));
 
-    // Verdict mode: retune the worker arena to this combination's
-    // universe and set up the per-candidate relation slots plus the
-    // checker's static inputs, once per combination.
+    // Verdict modes: retune the worker arena to this combination's
+    // universe and set up the per-candidate relation slots plus each
+    // model's static checker inputs, once per combination.
     let vstate = match &*mode {
         Emit::Verdicts { arch, .. } => {
             arena.reset(n);
             let rels = ExecRels::alloc(arena);
-            Some((ArenaChecker::new(*arch, &core), rels))
+            Some((vec![ArenaChecker::new(*arch, &core)], rels))
+        }
+        Emit::Multi { archs, .. } => {
+            arena.reset(n);
+            let rels = ExecRels::alloc(arena);
+            Some((archs.iter().map(|a| ArenaChecker::new(a, &core)).collect::<Vec<_>>(), rels))
         }
         Emit::Cands(_) => None,
     };
+    let mut verdicts: Vec<Verdict> = Vec::new();
 
     let symbols: Vec<SymId> = reads.iter().map(|&r| SymId(r)).collect();
 
@@ -649,14 +852,18 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
     let mut rf_pick = vec![0usize; reads.len()];
     let rf_radices: Vec<usize> = rf_choices.iter().map(Vec::len).collect();
     loop {
-        // Round-robin sharding: every shard advances the global counter
-        // identically and works only the configurations it owns.
+        // Ownership: every caller advances the global counter identically
+        // and works only the configurations it owns, so round-robin
+        // shards and contiguous ranges both partition the space exactly.
         let mine = {
             let idx = *cfg_idx;
             *cfg_idx += 1;
-            idx % shard.1 as u64 == shard.0 as u64
+            owner.owns(idx)
         };
         if !mine {
+            if owner.exhausted(*cfg_idx) {
+                break; // a range owner is done the moment it is passed
+            }
             if !bump(&mut rf_pick, &rf_radices) {
                 break;
             }
@@ -813,13 +1020,14 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                     }
                 }
             }
-            Emit::Verdicts { arch, sink } => {
-                // Coherence-major order: the verdict depends only on
-                // (rf, co), never on the value concretisation, so the
-                // four axioms run once per coherence choice and every
-                // assignment of the configuration reuses that verdict —
-                // only the observables differ per concretisation.
-                let (checker, rels) = vstate.as_ref().expect("verdict state set up");
+            judged @ (Emit::Verdicts { .. } | Emit::Multi { .. }) => {
+                // Coherence-major order: verdicts depend only on
+                // (rf, co), never on the value concretisation, so each
+                // model's four axioms run once per coherence choice and
+                // every assignment of the configuration reuses those
+                // verdicts — only the observables differ per
+                // concretisation.
+                let (checkers, rels) = vstate.as_ref().expect("verdict state set up");
                 let mut heaps: Vec<HeapPerm> = match &menus {
                     None => co_writes.iter().map(|ws| HeapPerm::new(ws.clone())).collect(),
                     Some(_) => Vec::new(),
@@ -836,7 +1044,18 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                     }
                     rels.derive_co(&core, arena);
                     let fx = ExecFrame { core: &core, events: &concs[0].0, rels };
-                    let verdict = checker.check(*arch, &fx, arena);
+                    verdicts.clear();
+                    match &*judged {
+                        Emit::Verdicts { arch, .. } => {
+                            verdicts.push(checkers[0].check(*arch, &fx, arena));
+                        }
+                        Emit::Multi { archs, .. } => {
+                            for (ck, a) in checkers.iter().zip(archs.iter()) {
+                                verdicts.push(ck.check(a, &fx, arena));
+                            }
+                        }
+                        Emit::Cands(_) => unreachable!("outer match excludes Cands"),
+                    }
                     for (evs, final_regs) in &concs {
                         let fx = ExecFrame { core: &core, events: evs, rels };
                         let final_mem: BTreeMap<String, i64> = fx
@@ -844,7 +1063,19 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                             .into_iter()
                             .map(|(l, v)| (locs.name(l).to_owned(), v.0))
                             .collect();
-                        sink(&VerdictCandidate { verdict, final_regs, final_mem: &final_mem });
+                        match &mut *judged {
+                            Emit::Verdicts { sink, .. } => sink(&VerdictCandidate {
+                                verdict: verdicts[0],
+                                final_regs,
+                                final_mem: &final_mem,
+                            }),
+                            Emit::Multi { sink, .. } => sink(&MultiVerdictCandidate {
+                                verdicts: &verdicts,
+                                final_regs,
+                                final_mem: &final_mem,
+                            }),
+                            Emit::Cands(_) => unreachable!("outer match excludes Cands"),
+                        }
                         stats.emitted += 1;
                         if stats.emitted > opts.max_candidates {
                             return Err(CandidateError::TooManyCandidates {
@@ -1024,6 +1255,87 @@ mod tests {
             assert_eq!(merged, whole, "{nshards} shards emit exactly the stream");
             assert_eq!(stats.emitted, whole_stats.emitted);
             assert_eq!(stats.pruned, whole_stats.pruned, "pruned counters merge exactly");
+        }
+    }
+
+    #[test]
+    fn range_units_partition_the_verdict_stream_exactly() {
+        use herd_core::arch::Power;
+        let test = crate::corpus::iriw(Isa::Power, Dev::Po, Dev::Po);
+        let opts = EnumOptions::default();
+        let power = Power::new();
+        let total = count_rf_configs(&test, &opts).unwrap();
+        assert!(total > 4, "iriw has a real rf space");
+        let mut whole_states = Vec::new();
+        let whole = stream_arch_verdicts(&test, &opts, &power, &mut |vc| {
+            whole_states.push(format!("{:?}|{:?}", vc.verdict, vc.final_mem));
+        })
+        .unwrap();
+        whole_states.sort();
+        for units in [1u128, 3, 5, total, total + 7] {
+            let ranges = herd_core::sched::rf_ranges(total, units);
+            let mut merged = EnumStats::default();
+            let mut states = Vec::new();
+            for (s, e) in ranges {
+                let part = stream_range_verdicts(&test, &opts, &power, s, e, &mut |vc| {
+                    states.push(format!("{:?}|{:?}", vc.verdict, vc.final_mem));
+                })
+                .unwrap();
+                merged.emitted += part.emitted;
+                merged.pruned += part.pruned;
+            }
+            states.sort();
+            assert_eq!(states, whole_states, "{units} units cover exactly the stream");
+            assert_eq!(merged.emitted, whole.emitted);
+            assert_eq!(merged.pruned, whole.pruned, "pruned counters merge exactly");
+        }
+    }
+
+    /// The multi-model stream must reproduce, per model, exactly what the
+    /// owned enumerate-then-check path computes: same allowed counts, same
+    /// allowed observable states.
+    #[test]
+    fn multi_verdicts_match_per_model_owned_checks() {
+        use herd_core::arch::{Power, Sc, Tso};
+        use herd_core::model::check;
+        let archs: Vec<Box<dyn herd_core::model::Architecture>> =
+            vec![Box::new(Power::new()), Box::new(Sc), Box::new(Tso)];
+        let arch_refs: Vec<&dyn herd_core::model::Architecture> =
+            archs.iter().map(|a| a.as_ref()).collect();
+        let opts = EnumOptions::default();
+        for test in [
+            crate::corpus::mp(Isa::Power, Dev::Po, Dev::Po),
+            crate::corpus::co_rr(Isa::Power),
+            crate::corpus::lb(Isa::Power, Dev::Data, Dev::Data),
+        ] {
+            let owned = enumerate(&test, &opts).unwrap();
+            for (k, arch) in arch_refs.iter().enumerate() {
+                let mut owned_allowed = 0usize;
+                let mut owned_states = std::collections::BTreeSet::new();
+                for c in &owned {
+                    if check(*arch, &c.exec).allowed() {
+                        owned_allowed += 1;
+                        owned_states.insert(format!("{:?}", c.final_mem));
+                    }
+                }
+                let mut multi_allowed = 0usize;
+                let mut multi_states = std::collections::BTreeSet::new();
+                stream_multi_verdicts(&test, &opts, &arch_refs, &mut |mc| {
+                    if mc.verdicts[k].allowed() {
+                        multi_allowed += 1;
+                        multi_states.insert(format!("{:?}", mc.final_mem));
+                    }
+                })
+                .unwrap();
+                assert_eq!(
+                    multi_allowed,
+                    owned_allowed,
+                    "{}: {} allowed count diverged",
+                    test.name,
+                    arch.name()
+                );
+                assert_eq!(multi_states, owned_states, "{}: state sets diverged", test.name);
+            }
         }
     }
 

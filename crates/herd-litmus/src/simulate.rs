@@ -12,9 +12,10 @@
 //! once per candidate — `hb+`/`hb*` are shared by the NO THIN AIR and
 //! OBSERVATION axioms instead of being recomputed per axiom consumer.
 //! [`simulate_sharded`] fans the rf×co space of a *single* test out over
-//! scoped threads with exactly merged accounting, and [`simulate_corpus`]
-//! distributes a whole corpus over every core via an atomic work-stealing
-//! index (no static split, no idle workers).
+//! the [`herd_core::sched`] work-stealing executor (contiguous
+//! rf-configuration range units, exactly merged accounting), and
+//! [`simulate_corpus`] distributes a whole corpus over every core through
+//! the same executor (no static split, no idle workers).
 
 use crate::candidates::{
     self, Candidate, CandidateError, EnumOptions, EnumStats, RegFinal, VerdictCandidate,
@@ -22,9 +23,9 @@ use crate::candidates::{
 use crate::isa::Reg;
 use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
 use herd_core::model::{self, ArchRelations, Architecture, Verdict};
+use herd_core::sched;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of simulating one test under one model.
 #[derive(Clone, Debug)]
@@ -114,20 +115,44 @@ pub fn simulate_with<A: Architecture + ?Sized>(
     let stats = candidates::stream_arch_verdicts(test, opts, arch, &mut |vc| {
         acc.absorb_verdict(test, vc);
     })?;
+    warn_unpruned(test, stats.unpruned_locations);
     Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
 }
 
-/// Simulates one test with its rf×co space sharded over `workers` scoped
-/// threads ([`candidates::stream_shard`]): per-shard judgements and
-/// `emitted`/`pruned` counters merge into exact totals, so the outcome is
-/// identical to [`simulate_with`] — including the candidate accounting.
-/// `workers <= 1` degrades to the sequential driver.
+/// Surfaces the uniproc pruner's >64-events-per-location fallback: such
+/// locations stream *unpruned* (sound, but a huge test then looks
+/// mysteriously slow), so say it once instead of degrading silently.
+fn warn_unpruned(test: &LitmusTest, unpruned_locations: usize) {
+    if unpruned_locations > 0 {
+        eprintln!(
+            "herd: {}: {unpruned_locations} location(s) exceed 64 events; their coherence \
+             orders stream unpruned (SC PER LOCATION still filters them at check time)",
+            test.name
+        );
+    }
+}
+
+/// Units per worker the rf-configuration planner targets: enough
+/// granularity for the stealing executor to rebalance, little enough that
+/// the per-unit seek (thread semantics re-run) stays negligible.
+const UNITS_PER_WORKER: usize = 4;
+
+/// Simulates one test with its rf×co space fanned out over `workers`
+/// threads on the [`herd_core::sched`] work-stealing executor: the
+/// rf-configuration index space ([`candidates::count_rf_configs`]) is cut
+/// into `workers × 4` contiguous [`candidates::stream_range_verdicts`]
+/// units that workers steal from a shared cursor — no static split, no
+/// idle workers when the odometer's weight is lopsided. Per-unit
+/// judgements and `emitted`/`pruned` counters merge into exact totals, so
+/// the outcome is identical to [`simulate_with`] — including the
+/// candidate accounting. `workers <= 1` degrades to the sequential
+/// driver.
 ///
 /// # Errors
 ///
-/// Returns the first [`CandidateError`] any shard produced. The
+/// Returns the first [`CandidateError`] any unit produced. The
 /// `max_candidates` bound keeps its sequential, whole-test meaning: if
-/// the shards together emit more than the bound, the call fails exactly
+/// the units together emit more than the bound, the call fails exactly
 /// as [`simulate_with`] would, whatever the worker count.
 pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
     test: &LitmusTest,
@@ -138,44 +163,43 @@ pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
     if workers <= 1 {
         return simulate_with(test, arch, opts);
     }
-    let shards: Vec<Result<(Judgement, EnumStats), CandidateError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|s| {
-                scope.spawn(move || {
-                    // Each shard worker drives its own arena-backed
-                    // verdict stream — one relation pool per thread, no
-                    // cross-thread allocator contention.
-                    let mut acc = Judgement::default();
-                    let stats = candidates::stream_shard_verdicts(
-                        test,
-                        opts,
-                        arch,
-                        s,
-                        workers,
-                        &mut |vc| {
-                            acc.absorb_verdict(test, vc);
-                        },
-                    )?;
-                    Ok((acc, stats))
+    let total = candidates::count_rf_configs(test, opts)?;
+    let units = sched::rf_ranges(total, (workers * UNITS_PER_WORKER) as u128);
+    if units.len() <= 1 {
+        return simulate_with(test, arch, opts);
+    }
+    // Each worker owns one Judgement (and, inside the stream, one relation
+    // arena) — no cross-thread state, no locks, only the unit cursor.
+    let (accs, results): (Vec<Judgement>, Vec<Result<EnumStats, CandidateError>>) =
+        sched::execute_units(
+            units.len(),
+            workers,
+            |_| Judgement::default(),
+            |acc, u| {
+                let (start, end) = units[u];
+                candidates::stream_range_verdicts(test, opts, arch, start, end, &mut |vc| {
+                    acc.absorb_verdict(test, vc);
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-    });
+            },
+        );
     let mut acc = Judgement::default();
-    let (mut candidates, mut pruned, mut emitted) = (0u128, 0u128, 0usize);
-    for shard in shards {
-        let (part, stats) = shard?;
+    for part in accs {
         acc.merge(part);
+    }
+    let (mut candidates, mut pruned, mut emitted, mut unpruned) = (0u128, 0u128, 0usize, 0usize);
+    for stats in results {
+        let stats = stats?;
         candidates += stats.total();
         pruned += stats.pruned;
         emitted += stats.emitted;
+        unpruned = unpruned.max(stats.unpruned_locations);
     }
-    // Per-shard streams each stay under the bound individually; restore
+    // Per-unit streams each stay under the bound individually; restore
     // the whole-test semantics so outcomes do not depend on core count.
     if emitted > opts.max_candidates {
         return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
     }
+    warn_unpruned(test, unpruned);
     Ok(acc.outcome(test, arch, candidates, pruned))
 }
 
@@ -273,11 +297,11 @@ impl Judgement {
 /// Simulates a whole corpus in parallel over all available cores.
 /// Outcomes are returned in input order.
 ///
-/// Tests are handed out through an atomic work-stealing index rather than
-/// a contiguous static split: the old split spawned empty workers when
-/// the stride did not divide the corpus and could hand every slow test to
-/// one worker, serialising the campaign. A lone test is sharded
-/// internally instead ([`simulate_sharded`]) so it still uses every core.
+/// Runs on the same work-stealing executor as every other parallel entry
+/// point ([`herd_core::sched::execute_units`], one unit per test): no
+/// static split, no idle workers when one worker lands every slow test.
+/// A lone test is sharded internally instead ([`simulate_sharded`]) so it
+/// still uses every core.
 ///
 /// # Errors
 ///
@@ -295,32 +319,13 @@ pub fn simulate_corpus<A: Architecture + Sync + ?Sized>(
     if workers <= 1 {
         return tests.iter().map(|t| simulate_with(t, arch, opts)).collect();
     }
-    let next = AtomicUsize::new(0);
-    let done: Vec<(usize, Result<SimOutcome, CandidateError>)> = std::thread::scope(|scope| {
-        let next = &next;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= tests.len() {
-                            break;
-                        }
-                        mine.push((i, simulate_with(&tests[i], arch, opts)));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("simulation worker panicked")).collect()
-    });
-    let mut results: Vec<Option<Result<SimOutcome, CandidateError>>> =
-        (0..tests.len()).map(|_| None).collect();
-    for (i, r) in done {
-        results[i] = Some(r);
-    }
-    results.into_iter().map(|r| r.expect("every index was claimed")).collect()
+    let (_, results) = sched::execute_units(
+        tests.len(),
+        workers,
+        |_| (),
+        |(), i| simulate_with(&tests[i], arch, opts),
+    );
+    results.into_iter().collect()
 }
 
 /// Evaluates a proposition against one candidate's final state.

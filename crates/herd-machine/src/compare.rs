@@ -24,6 +24,75 @@ use herd_core::event::Dir;
 use herd_core::exec::Execution;
 use herd_core::model::Architecture;
 use herd_core::relation::Relation;
+use herd_litmus::candidates::{self, CandidateError, EnumOptions};
+use herd_litmus::program::LitmusTest;
+use std::collections::BTreeSet;
+
+/// The streamed divergence report between two models on one test — what
+/// the Fig 36/37 comparison experiments aggregate. Produced by
+/// [`compare_models`] from the arena verdict stream: both models judge
+/// each candidate from one shared set of arena relations in a single
+/// enumeration pass (no owned `Execution`, no per-model `check` call).
+#[derive(Clone, Debug)]
+pub struct ModelComparison {
+    /// Test name.
+    pub test: String,
+    /// Candidates both models judged (post-pruning; pruned candidates are
+    /// forbidden by both models' first axiom, so they can never diverge).
+    pub checked: u128,
+    /// Candidates where the two verdicts disagree.
+    pub diverging: u128,
+    /// Final states of diverging candidates that `a` allows and `b`
+    /// forbids.
+    pub only_a: BTreeSet<String>,
+    /// Final states of diverging candidates that `b` allows and `a`
+    /// forbids.
+    pub only_b: BTreeSet<String>,
+}
+
+impl ModelComparison {
+    /// Do the models agree on every candidate of this test?
+    pub fn agrees(&self) -> bool {
+        self.diverging == 0
+    }
+}
+
+/// Streams the comparison of two models over one test's candidate space:
+/// one enumeration pass, both verdicts per candidate computed on shared
+/// arena relations ([`candidates::stream_multi_verdicts`]).
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn compare_models(
+    test: &LitmusTest,
+    a: &dyn Architecture,
+    b: &dyn Architecture,
+    opts: &EnumOptions,
+) -> Result<ModelComparison, CandidateError> {
+    let mut out = ModelComparison {
+        test: test.name.clone(),
+        checked: 0,
+        diverging: 0,
+        only_a: BTreeSet::new(),
+        only_b: BTreeSet::new(),
+    };
+    candidates::stream_multi_verdicts(test, opts, &[a, b], &mut |mc| {
+        out.checked += 1;
+        let (va, vb) = (mc.verdicts[0].allowed(), mc.verdicts[1].allowed());
+        if va == vb {
+            return;
+        }
+        out.diverging += 1;
+        let state = format!("{:?} {:?}", mc.final_regs, mc.final_mem);
+        if va {
+            out.only_a.insert(state);
+        } else {
+            out.only_b.insert(state);
+        }
+    })?;
+    Ok(out)
+}
 
 /// Surrogate for the operational Power model of PLDI 2011 (flawed: too
 /// strong on `addr; po` read chains).
@@ -147,13 +216,54 @@ mod tests {
             if skip.iter().any(|s| entry.test.name.contains(s)) {
                 continue;
             }
-            for c in enumerate(&entry.test, &opts).unwrap() {
-                let ours = check(&Power::new(), &c.exec).allowed();
-                let pldi = check(&PldiFlawed::new(), &c.exec).allowed();
-                let cav = check(&MadorHaim::new(), &c.exec).allowed();
-                assert_eq!(ours, pldi, "{}: PLDI surrogate diverged", entry.test.name);
-                assert_eq!(ours, cav, "{}: CAV surrogate diverged", entry.test.name);
+            let pldi =
+                compare_models(&entry.test, &Power::new(), &PldiFlawed::new(), &opts).unwrap();
+            assert!(pldi.agrees(), "{}: PLDI surrogate diverged: {pldi:?}", entry.test.name);
+            let cav = compare_models(&entry.test, &Power::new(), &MadorHaim::new(), &opts).unwrap();
+            assert!(cav.agrees(), "{}: CAV surrogate diverged: {cav:?}", entry.test.name);
+        }
+    }
+
+    /// The streamed comparison must count exactly the divergences the
+    /// pre-refactor owned enumerate-then-check loop counts, corpus-wide
+    /// (including the two tests where the surrogates genuinely diverge).
+    #[test]
+    fn streamed_comparison_matches_owned_checks() {
+        let opts = EnumOptions::default();
+        for entry in corpus::power_corpus() {
+            for surrogate in
+                [&PldiFlawed::new() as &dyn Architecture, &MadorHaim::new() as &dyn Architecture]
+            {
+                let mut owned_div = 0u128;
+                for c in enumerate(&entry.test, &opts).unwrap() {
+                    let ours = check(&Power::new(), &c.exec);
+                    let theirs = check(&surrogate, &c.exec);
+                    if ours.allowed() != theirs.allowed() {
+                        owned_div += 1;
+                    }
+                }
+                let streamed =
+                    compare_models(&entry.test, &Power::new(), surrogate, &opts).unwrap();
+                assert_eq!(
+                    streamed.diverging,
+                    owned_div,
+                    "{}: streamed divergence count != owned ({})",
+                    entry.test.name,
+                    surrogate.name()
+                );
             }
         }
+    }
+
+    /// The documented flaw shows up in the streamed report: the PLDI
+    /// surrogate forbids candidates of the detour test our model allows.
+    #[test]
+    fn streamed_comparison_surfaces_the_pldi_flaw() {
+        let test = corpus::mp_addr_po_detour(herd_litmus::isa::Isa::Power);
+        let cmp = compare_models(&test, &Power::new(), &PldiFlawed::new(), &EnumOptions::default())
+            .unwrap();
+        assert!(!cmp.agrees(), "the detour test must diverge");
+        assert!(!cmp.only_a.is_empty(), "our model allows states the PLDI surrogate forbids");
+        assert!(cmp.only_b.is_empty(), "the flaw is one-sided: PLDI is too strong");
     }
 }

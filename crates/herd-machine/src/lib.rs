@@ -7,7 +7,9 @@
 //!   exhaustive acceptance search and the Lemma 7.3 path construction.
 //! - [`compare`]: surrogates for the PLDI 2011 operational model (with its
 //!   documented flaw on `mp+lwsync+addr-po-detour`) and the CAV 2012
-//!   multi-event model (with its `bigdetour` divergence).
+//!   multi-event model (with its `bigdetour` divergence), plus
+//!   [`compare_models`] — the streamed comparison that judges both models
+//!   per candidate on one shared set of arena relations.
 //! - [`multi_event`]: the multi-event *representation* (one propagation
 //!   node per thread per write), verdict-preserving, used to measure the
 //!   representational cost the paper reports in Tab IX.
@@ -22,7 +24,7 @@ pub mod intermediate;
 pub mod multi_event;
 pub mod verify;
 
-pub use compare::{MadorHaim, PldiFlawed};
+pub use compare::{compare_models, MadorHaim, ModelComparison, PldiFlawed};
 pub use intermediate::{accepts, Label, Machine};
 pub use multi_event::check_multi;
 pub use verify::{verify_axiomatic, verify_operational, VerifyOutcome};

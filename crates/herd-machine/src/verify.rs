@@ -16,10 +16,10 @@
 //! record the time gap (the paper reports two orders of magnitude).
 
 use crate::intermediate::Machine;
-use herd_core::model::{check, Architecture};
-use herd_litmus::candidates::{enumerate, CandidateError, EnumOptions};
+use herd_core::model::Architecture;
+use herd_litmus::candidates::{enumerate, stream_arch_verdicts, CandidateError, EnumOptions};
 use herd_litmus::program::LitmusTest;
-use herd_litmus::simulate::eval_prop;
+use herd_litmus::simulate::{eval_prop, eval_prop_parts};
 
 /// The verification verdict for a litmus program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,12 +28,18 @@ pub struct VerifyOutcome {
     pub reachable: bool,
     /// Allowed executions inspected.
     pub allowed: usize,
-    /// Total candidate executions inspected.
-    pub candidates: usize,
+    /// Total candidate executions covered. A `u128` like the simulation
+    /// drivers' counters: generation-time pruning counts subtrees it
+    /// never visits, so the tally can exceed anything enumerable.
+    pub candidates: u128,
 }
 
-/// Axiomatic bounded verification: enumerate, filter by the axioms, test
-/// the proposition.
+/// Axiomatic bounded verification: stream candidates through the arena
+/// verdict engine (generation-time pruning included — pruned candidates
+/// are axiom-forbidden, so they can never witness reachability) and test
+/// the proposition on the allowed ones. No owned `Execution` is ever
+/// materialised; `candidates` still counts the whole space, exactly as
+/// the pre-streaming enumerate-then-check path did.
 ///
 /// # Errors
 ///
@@ -42,16 +48,15 @@ pub fn verify_axiomatic(
     test: &LitmusTest,
     arch: &dyn Architecture,
 ) -> Result<VerifyOutcome, CandidateError> {
-    let cands = enumerate(test, &EnumOptions::default())?;
     let mut allowed = 0;
     let mut reachable = false;
-    for c in &cands {
-        if check(arch, &c.exec).allowed() {
+    let stats = stream_arch_verdicts(test, &EnumOptions::default(), arch, &mut |vc| {
+        if vc.verdict.allowed() {
             allowed += 1;
-            reachable |= eval_prop(&test.condition.prop, c);
+            reachable |= eval_prop_parts(&test.condition.prop, vc.final_regs, vc.final_mem);
         }
-    }
-    Ok(VerifyOutcome { reachable, allowed, candidates: cands.len() })
+    })?;
+    Ok(VerifyOutcome { reachable, allowed, candidates: stats.total() })
 }
 
 /// Operational bounded verification: like [`verify_axiomatic`] but each
@@ -74,7 +79,7 @@ pub fn verify_operational(
             reachable |= eval_prop(&test.condition.prop, c);
         }
     }
-    Ok(VerifyOutcome { reachable, allowed, candidates: cands.len() })
+    Ok(VerifyOutcome { reachable, allowed, candidates: cands.len() as u128 })
 }
 
 #[cfg(test)]

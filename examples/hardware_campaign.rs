@@ -33,7 +33,7 @@ fn main() {
     }
     for machine in arm_machines() {
         for reference in [
-            Box::new(Arm::new(ArmVariant::PowerArm)) as Box<dyn herd_core::Architecture>,
+            Box::new(Arm::new(ArmVariant::PowerArm)) as Box<dyn herd_core::Architecture + Sync>,
             Box::new(Arm::new(ArmVariant::Proposed)),
         ] {
             let summary =
