@@ -9,6 +9,13 @@
 #   3. cargo bench --no-run         — the 9 harness=false bench targets
 #                                     (cargo build/test skip these)
 #   4. cargo test  -q               — all unit + integration + doc tests
+#   4b. consistency_differential    — run by step 4 and repeated here by
+#                                     name: the polynomial single-outcome
+#                                     backend must agree with the streamed
+#                                     enumeration engine on every probe
+#                                     (corpus-wide + randomised), with
+#                                     fallbacks counted and zero silent
+#                                     disagreements
 #   5. alloc_smoke (alloc-count)    — the zero-allocation contract of the
 #                                     arena-backed relation engine: a
 #                                     counting global allocator asserts 0
@@ -24,8 +31,11 @@
 #                                     its own perf-trajectory data point
 #                                     (prior PRs' files are kept), and
 #                                     FAILS if a heavily-pruning IRIW/2+2W
-#                                     row drops below 5x or a heavily-
-#                                     cyclic lb+datas row below 2x
+#                                     row drops below 5x, a heavily-
+#                                     cyclic lb+datas row below 2x, or a
+#                                     backend query row (SC/TSO on
+#                                     iriw+3w / wrc+6w) below 10x over
+#                                     the enumeration scan
 #   7. perf_pipeline --compare      — reads every BENCH_pr*.json, prints
 #                                     the per-family speedup trajectory
 #                                     table, and FAILS if the new PR's
@@ -56,6 +66,7 @@ run cargo build --release --workspace
 run cargo build --examples
 run cargo bench --no-run --workspace
 run cargo test -q --workspace
+run cargo test -q --test consistency_differential
 run cargo test -p herd-bench --release --features alloc-count --test alloc_smoke
 run cargo bench -p herd-bench --bench perf_pipeline -- \
     --quick --gate --pr "$PR" --json "$PWD/BENCH_pr${PR}.json"

@@ -23,7 +23,10 @@
 //!   discipline as the other parallel sections.
 //!
 //! Also measures compiled-vs-tree cat-model checking throughput on the
-//! corpus and the work-stealing corpus simulation split.
+//! corpus, the work-stealing corpus simulation split, and (**query**) the
+//! polynomial single-outcome backend against the full enumeration scan on
+//! the scaled families' litmus-level twins — SC/TSO rows gated at ≥10x
+//! with zero counted fallbacks.
 //!
 //! Usage (the driver `ci.sh` runs quick mode with a derived PR number):
 //!
@@ -38,15 +41,19 @@
 //! below 2x, exits non-zero.
 
 use herd_bench::{iriw_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled, wrc_scaled};
-use herd_core::arch::Power;
+use herd_core::arch::{Power, Sc, Tso};
 use herd_core::arena::RelArena;
 use herd_core::enumerate::{CheckedStats, Skeleton};
 use herd_core::exec::ExecFrame;
-use herd_core::model::{check, Verdict};
+use herd_core::model::{check, Architecture, Verdict};
 use herd_core::sched::{PlanOpts, WorkPlan};
-use herd_litmus::candidates::EnumOptions;
-use herd_litmus::corpus;
+use herd_litmus::candidates::{stream_arch_verdicts, EnumOptions, RegFinal};
+use herd_litmus::corpus::{self, Dev, Op, TestBuilder};
+use herd_litmus::decide::{decide_outcome, Outcome};
+use herd_litmus::isa::Isa;
+use herd_litmus::program::{LitmusTest, Prop, Quantifier};
 use herd_litmus::simulate::{simulate_corpus, simulate_with};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Wall-clock of the best of `reps` runs of `f`, in nanoseconds, plus the
@@ -486,6 +493,123 @@ fn bench_corpus(reps: usize) -> CorpusRow {
     CorpusRow { tests: tests.len(), candidates, pruned, sequential_ns, parallel_ns, workers }
 }
 
+/// One single-outcome query row: the polynomial backend against the full
+/// streamed-enumeration scan answering the same "is this final state
+/// allowed?" question.
+struct QueryRow {
+    /// `family/outcome` label.
+    name: String,
+    arch: String,
+    allowed: bool,
+    /// Full scan over `stream_arch_verdicts` (generation-time pruning
+    /// included) looking for an allowed candidate matching the outcome.
+    enum_ns: u128,
+    /// `decide_outcome` through the consistency backend.
+    backend_ns: u128,
+    /// rf configurations of the whole space vs the ones the backend's
+    /// register screening actually probed.
+    rf_space: u128,
+    rf_configs: u64,
+    /// Counted enumeration fallbacks (must be 0 on SC/TSO rows).
+    fallbacks: usize,
+}
+
+impl QueryRow {
+    fn speedup(&self) -> f64 {
+        self.enum_ns as f64 / self.backend_ns.max(1) as f64
+    }
+}
+
+/// The litmus-level `iriw+3w` family (the skeleton benches' `iriw_scaled(3)`
+/// with real instruction semantics) plus its classic forbidden outcome:
+/// both readers observe the two locations in opposite orders.
+fn query_iriw_3w() -> (LitmusTest, Outcome) {
+    let test = TestBuilder::new(Isa::X86, "iriw+3w")
+        .thread(vec![Op::W("x", 1), Op::W("x", 2), Op::W("x", 3)], vec![Dev::Po, Dev::Po])
+        .thread(vec![Op::W("y", 1), Op::W("y", 2), Op::W("y", 3)], vec![Dev::Po, Dev::Po])
+        .thread(vec![Op::R("y"), Op::R("x")], vec![Dev::Po])
+        .thread(vec![Op::R("x"), Op::R("y")], vec![Dev::Po])
+        .condition(Quantifier::Exists, |_| Prop::True);
+    let outcome = Outcome {
+        regs: BTreeMap::from([
+            ((2, herd_litmus::Reg(1)), RegFinal::Int(3)),
+            ((2, herd_litmus::Reg(2)), RegFinal::Int(0)),
+            ((3, herd_litmus::Reg(1)), RegFinal::Int(3)),
+            ((3, herd_litmus::Reg(2)), RegFinal::Int(0)),
+        ]),
+        mem: BTreeMap::new(),
+    };
+    (test, outcome)
+}
+
+/// The litmus-level `wrc+6w` family (`wrc_scaled(6)`: one contended
+/// location with 7 unordered writers) plus an allowed outcome pinning a
+/// mid-chain write as coherence-last.
+fn query_wrc_6w() -> (LitmusTest, Outcome) {
+    let mut b = TestBuilder::new(Isa::X86, "wrc+6w")
+        .thread(vec![Op::W("z", 1)], vec![])
+        .thread(vec![Op::R("z"), Op::W("x", 1)], vec![Dev::Data]);
+    for i in 0..6 {
+        b = b.thread(vec![Op::W("x", 2 + i)], vec![]);
+    }
+    let test = b.condition(Quantifier::Exists, |_| Prop::True);
+    let outcome = Outcome {
+        regs: BTreeMap::from([((1, herd_litmus::Reg(1)), RegFinal::Int(1))]),
+        mem: BTreeMap::from([("x".to_owned(), 5)]),
+    };
+    (test, outcome)
+}
+
+fn bench_query(
+    name: &str,
+    test: &LitmusTest,
+    probe: &Outcome,
+    arch: &dyn Architecture,
+    reps: usize,
+) -> QueryRow {
+    let opts = EnumOptions::default();
+    let (enum_ns, enum_reachable) = best_of(reps, || {
+        let mut hit = false;
+        stream_arch_verdicts(test, &opts, arch, &mut |vc| {
+            if !hit && vc.verdict.allowed() {
+                hit = probe.regs.iter().all(|(k, v)| vc.final_regs.get(k) == Some(v))
+                    && probe.mem.iter().all(|(l, v)| vc.final_mem.get(l) == Some(v));
+            }
+        })
+        .expect("query family streams");
+        hit
+    });
+    let (backend_ns, decision) =
+        best_of(reps, || decide_outcome(test, arch, &opts, probe).expect("query family decides"));
+    assert_eq!(
+        decision.allowed,
+        enum_reachable,
+        "{name} on {}: backend and enumeration disagree",
+        arch.name()
+    );
+    QueryRow {
+        name: name.to_owned(),
+        arch: arch.name().to_owned(),
+        allowed: decision.allowed,
+        enum_ns,
+        backend_ns,
+        rf_space: decision.stats.rf_space,
+        rf_configs: decision.stats.rf_configs,
+        fallbacks: decision.stats.backend.fallbacks,
+    }
+}
+
+fn bench_queries(reps: usize) -> Vec<QueryRow> {
+    let (iriw, iriw_probe) = query_iriw_3w();
+    let (wrc, wrc_probe) = query_wrc_6w();
+    let mut rows = Vec::new();
+    for arch in [&Sc as &dyn Architecture, &Tso] {
+        rows.push(bench_query("iriw+3w/forbidden", &iriw, &iriw_probe, arch, reps));
+        rows.push(bench_query("wrc+6w/allowed", &wrc, &wrc_probe, arch, reps));
+    }
+    rows
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -505,6 +629,7 @@ fn emit_json(
     sched: &[SchedRow],
     models: &[ModelRow],
     corpus: &CorpusRow,
+    queries: &[QueryRow],
 ) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -602,6 +727,28 @@ fn emit_json(
         ));
     }
     j.push_str("  ],\n");
+    // The single-outcome query section (PR 6): the `--compare` parser
+    // only reads the "pipeline" and "thinair" sections, so this addition
+    // is compare-safe against every earlier BENCH file.
+    j.push_str("  \"query\": [\n");
+    for (i, r) in queries.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"arch\": \"{}\", \"allowed\": {}, \"enum_ns\": {}, \
+             \"backend_ns\": {}, \"speedup\": {:.2}, \"rf_space\": {}, \"rf_configs\": {}, \
+             \"fallbacks\": {}}}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.arch),
+            r.allowed,
+            r.enum_ns,
+            r.backend_ns,
+            r.speedup(),
+            r.rf_space,
+            r.rf_configs,
+            r.fallbacks,
+            if i + 1 < queries.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
     j.push_str(&format!(
         "  \"corpus\": {{\"tests\": {}, \"candidates\": {}, \"pruned\": {}, \
          \"sequential_ns\": {}, \"parallel_ns\": {}, \"workers\": {}, \
@@ -629,8 +776,28 @@ fn gate_violations(
     pipeline: &[PipelineRow],
     thinair: &[ThinAirRow],
     sched: &[SchedRow],
+    queries: &[QueryRow],
 ) -> Vec<String> {
     let mut bad = Vec::new();
+    for r in queries {
+        // Every query row runs a polynomial-side model (SC/TSO): the
+        // backend must beat the full enumeration scan by 10x and never
+        // leave the saturation path.
+        if r.speedup() < 10.0 {
+            bad.push(format!(
+                "{} on {}: backend query only {:.2}x over the enumeration scan (< 10x)",
+                r.name,
+                r.arch,
+                r.speedup()
+            ));
+        }
+        if r.fallbacks != 0 {
+            bad.push(format!(
+                "{} on {}: {} enumeration fallbacks on a polynomial-side model",
+                r.name, r.arch, r.fallbacks
+            ));
+        }
+    }
     for r in sched {
         if r.co_units == 0 {
             continue; // rf-heavy control rows: both schemes balance
@@ -1087,6 +1254,27 @@ fn main() {
         );
     }
 
+    // Single-outcome queries: the consistency backend against the full
+    // enumeration scan, on the scaled families' litmus-level twins.
+    let queries = bench_queries(reps);
+    println!(
+        "\n{:<20} {:<6} {:>8} {:>12} {:>12} {:>8} {:>9} {:>4}",
+        "query", "arch", "allowed", "enum", "backend", "x", "rf-space", "rf"
+    );
+    for r in &queries {
+        println!(
+            "{:<20} {:<6} {:>8} {:>10.3}ms {:>10.3}ms {:>7.1}x {:>9} {:>4}",
+            r.name,
+            r.arch,
+            r.allowed,
+            r.enum_ns as f64 / 1e6,
+            r.backend_ns as f64 / 1e6,
+            r.speedup(),
+            r.rf_space,
+            r.rf_configs,
+        );
+    }
+
     let corpus = bench_corpus(reps);
     match corpus.parallel_ns {
         Some(par) => println!(
@@ -1122,10 +1310,11 @@ fn main() {
             &sched_rows,
             &models,
             &corpus,
+            &queries,
         );
     }
 
-    let violations = gate_violations(&pipeline, &thinair, &sched_rows);
+    let violations = gate_violations(&pipeline, &thinair, &sched_rows, &queries);
     if !violations.is_empty() {
         eprintln!("\nperf regression gate:");
         for v in &violations {

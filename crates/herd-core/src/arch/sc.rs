@@ -7,7 +7,7 @@
 
 use crate::arena::RelArena;
 use crate::exec::{ExecCore, ExecFrame, Execution};
-use crate::model::{Architecture, ArenaArchRels};
+use crate::model::{Architecture, ArenaArchRels, Tractability};
 use crate::relation::Relation;
 
 /// Lamport's Sequential Consistency.
@@ -35,6 +35,12 @@ impl Architecture for Sc {
         // ppo = po and no fences: the whole of hb \ rfe is static (the
         // fence suffix of the default hook is empty here).
         Some(core.po().union(&self.thin_air_fences(core)))
+    }
+
+    fn tractability(&self) -> Tractability {
+        // prop = po ∪ rf ∪ fr: static except fr, which is monotone in co,
+        // and arch_rels_arena below never materialises an Execution.
+        Tractability::Polynomial
     }
 
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {

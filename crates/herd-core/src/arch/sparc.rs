@@ -14,7 +14,7 @@
 use crate::arena::RelArena;
 use crate::event::{Dir, Fence};
 use crate::exec::{ExecCore, ExecFrame, Execution};
-use crate::model::{Architecture, ArenaArchRels};
+use crate::model::{Architecture, ArenaArchRels, Tractability};
 use crate::relation::Relation;
 
 /// Sparc Partial Store Order.
@@ -49,6 +49,11 @@ impl Architecture for Pso {
         let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
         let ww = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::W));
         Some(core.po().minus(&wr).minus(&ww).union(&self.thin_air_fences(core)))
+    }
+
+    fn tractability(&self) -> Tractability {
+        // TSO-style prop over a static ppo: monotone in co throughout.
+        Tractability::Polynomial
     }
 
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
@@ -102,6 +107,13 @@ impl Architecture for Rmo {
         // ppo = addr ∪ data ∪ ctrl and the mfence suffix: all static.
         let deps = core.deps();
         Some(deps.addr.union(&deps.data).union(&deps.ctrl).union(&self.thin_air_fences(core)))
+    }
+
+    fn tractability(&self) -> Tractability {
+        // Dependency-only ppo is static; prop is the TSO shape. The llh
+        // weakening only shrinks the static po-loc, which saturation
+        // reads through `sc_per_location_po_loc_static`.
+        Tractability::Polynomial
     }
 
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {

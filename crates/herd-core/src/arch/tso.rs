@@ -5,7 +5,7 @@
 use crate::arena::RelArena;
 use crate::event::{Dir, Fence};
 use crate::exec::{ExecCore, ExecFrame, Execution};
-use crate::model::{Architecture, ArenaArchRels};
+use crate::model::{Architecture, ArenaArchRels, Tractability};
 use crate::relation::Relation;
 
 /// Sparc/x86 Total Store Order.
@@ -39,6 +39,12 @@ impl Architecture for Tso {
         // ppo = po \ WR and the mfence suffix are both skeleton-invariant.
         let wr = core.dir_restrict(core.po(), Some(Dir::W), Some(Dir::R));
         Some(core.po().minus(&wr).union(&self.thin_air_fences(core)))
+    }
+
+    fn tractability(&self) -> Tractability {
+        // Static ppo/fences; prop adds rfe (co-independent) and fr
+        // (monotone in co); arch_rels_arena is pure-arena.
+        Tractability::Polynomial
     }
 
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {

@@ -476,6 +476,110 @@ pub fn mp_fig4() -> Execution {
     mp(Device::None, Device::None)
 }
 
+/// One operation of a randomly generated program shape.
+///
+/// Shapes are ISA-agnostic skeletons for the differential test suites:
+/// the litmus layer turns them into real programs, the core layer only
+/// guarantees the bounds ([`ProgramShape::decode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShapeOp {
+    /// A store of `val` to location number `loc`.
+    Write {
+        /// Location index, `< ProgramShape::LOCS`.
+        loc: u8,
+        /// Stored value, drawn from `{1, 2}`.
+        val: i64,
+    },
+    /// A load from location number `loc`.
+    Read {
+        /// Location index, `< ProgramShape::LOCS`.
+        loc: u8,
+    },
+}
+
+/// A bounded multi-threaded program skeleton decoded from raw bytes.
+///
+/// The decoding is total — *any* byte slice yields a well-formed shape —
+/// which makes it a drop-in target for property-testing strategies over
+/// `Vec<u8>`: the strategy supplies entropy, `decode` supplies the
+/// invariants (at most [`Self::MAX_THREADS`] threads of at most
+/// [`Self::MAX_OPS_PER_THREAD`] operations over [`Self::LOCS`] locations,
+/// write values in `{1, 2}`). Small bounds keep brute-force ground truth
+/// cheap while still covering every communication pattern of up to four
+/// accesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramShape {
+    /// Per-thread operation lists, in program order.
+    pub threads: Vec<Vec<ShapeOp>>,
+}
+
+impl ProgramShape {
+    /// Upper bound on thread count.
+    pub const MAX_THREADS: usize = 3;
+    /// Upper bound on operations per thread.
+    pub const MAX_OPS_PER_THREAD: usize = 2;
+    /// Number of distinct memory locations shapes range over.
+    pub const LOCS: usize = 2;
+
+    /// Decodes a shape from raw bytes (total: never fails, never panics).
+    ///
+    /// An empty slice decodes to a minimal one-thread, one-write shape.
+    pub fn decode(bytes: &[u8]) -> ProgramShape {
+        let at = |k: usize| -> u8 {
+            if bytes.is_empty() {
+                k as u8
+            } else {
+                bytes[k % bytes.len()]
+            }
+        };
+        let mut cursor = 0;
+        let mut next = || {
+            let b = at(cursor);
+            cursor += 1;
+            b
+        };
+        let nthreads = 1 + (next() as usize) % Self::MAX_THREADS;
+        let mut threads = Vec::with_capacity(nthreads);
+        for _ in 0..nthreads {
+            let nops = 1 + (next() as usize) % Self::MAX_OPS_PER_THREAD;
+            let mut ops = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                let shape = next();
+                let loc = (shape >> 1) % Self::LOCS as u8;
+                if shape & 1 == 0 {
+                    let val = 1 + i64::from(next() % 2);
+                    ops.push(ShapeOp::Write { loc, val });
+                } else {
+                    ops.push(ShapeOp::Read { loc });
+                }
+            }
+            threads.push(ops);
+        }
+        ProgramShape { threads }
+    }
+
+    /// Total number of read operations across all threads.
+    pub fn reads(&self) -> usize {
+        self.threads.iter().flatten().filter(|o| matches!(o, ShapeOp::Read { .. })).count()
+    }
+
+    /// Total number of write operations across all threads.
+    pub fn writes(&self) -> usize {
+        self.threads.iter().flatten().filter(|o| matches!(o, ShapeOp::Write { .. })).count()
+    }
+}
+
+/// Maps a raw byte to an outcome-probe value over `{0, 1, 2, 9}`.
+///
+/// `0` is the initial value, `{1, 2}` is the write-value domain of
+/// [`ProgramShape`], and `9` is produced by no write of any shape — a
+/// probe constraining a register or location to `9` is unreachable under
+/// *every* interleaving, exercising the backend's forbidden path on
+/// outcomes the enumeration engine never even emits.
+pub fn probe_value(byte: u8) -> i64 {
+    [0, 1, 2, 9][(byte % 4) as usize]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,5 +627,60 @@ mod tests {
         let mut b = ExecBuilder::new();
         b.read(0, "x", 7);
         assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn shape_decoding_is_total_and_bounded() {
+        // A spread of adversarial byte patterns, including the empty one.
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![255],
+            vec![0xAB; 17],
+            (0..=255).collect(),
+            vec![1, 254, 3, 252, 5, 250],
+        ];
+        for bytes in patterns {
+            let shape = ProgramShape::decode(&bytes);
+            assert!(!shape.threads.is_empty());
+            assert!(shape.threads.len() <= ProgramShape::MAX_THREADS);
+            for ops in &shape.threads {
+                assert!(!ops.is_empty());
+                assert!(ops.len() <= ProgramShape::MAX_OPS_PER_THREAD);
+                for op in ops {
+                    match *op {
+                        ShapeOp::Write { loc, val } => {
+                            assert!((loc as usize) < ProgramShape::LOCS);
+                            assert!(val == 1 || val == 2);
+                        }
+                        ShapeOp::Read { loc } => {
+                            assert!((loc as usize) < ProgramShape::LOCS);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                shape.reads() + shape.writes(),
+                shape.threads.iter().map(Vec::len).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn probe_values_stay_in_domain_and_nine_is_unwritable() {
+        for b in 0..=255u8 {
+            let v = probe_value(b);
+            assert!([0, 1, 2, 9].contains(&v));
+        }
+        // Every byte pattern's writes stay within {1, 2}: 9 really is
+        // unreachable for any decoded shape.
+        for seed in 0..64u8 {
+            let shape = ProgramShape::decode(&[seed, seed.wrapping_mul(37), 5]);
+            for op in shape.threads.iter().flatten() {
+                if let ShapeOp::Write { val, .. } = op {
+                    assert_ne!(*val, 9);
+                }
+            }
+        }
     }
 }

@@ -111,6 +111,33 @@
 //! ([`crate::enumerate::Skeleton::check_stream_sched`]), the litmus
 //! `simulate_sharded`/`simulate_corpus`, and the `herd-hw` campaigns.
 //!
+//! # The tractability frontier — single-execution consistency
+//!
+//! The enumeration engine answers "is this *outcome* allowed?" by
+//! visiting every surviving `(rf, co)` witness. "How Hard is Weak-Memory
+//! Testing?" (PAPERS.md) shows the single-execution question — rf fixed,
+//! does *some* consistent coherence order exist? — is polynomial for
+//! SC/TSO-class models and NP-hard past a frontier. The backend
+//! ([`crate::consistency`]) implements both sides, and
+//! [`crate::model::Architecture::tractability`] declares which side a
+//! model sits on:
+//!
+//! | term | meaning | where |
+//! |---|---|---|
+//! | co-placement | the queried outcome fixes rf and the per-location *last* writes; deciding it means placing one coherence order around those constraints, never enumerating `Π |writes(l)|!` of them | [`crate::consistency::CoQuery`], [`crate::consistency::co_exists`] |
+//! | forced order | the partial co every witness must extend: init writes first, the architecture's static po-loc on same-location write pairs (orienting co against one closes a 2-cycle in `po-loc ∪ com`), all other writes before the queried last write — transitively closed | the `forced` slot in [`crate::consistency::co_exists`] |
+//! | saturation | the polynomial fixpoint: each unordered same-location write pair is hypothesised both ways against the axioms — both orientations definitively violating ⇒ forbidden, one ⇒ force the other, neither ⇒ leave free — then the forced order is completed greedily into a witness | the hypothesis loop in [`crate::consistency::co_exists`] |
+//! | monotonicity | why a *partial*-co violation is definitive on the polynomial side: on SC/TSO/PSO/RMO every axiom input grows monotonically with co (`fr = rf⁻¹; co`, `prop` built from `com`), so adding edges never un-violates an axiom | [`crate::model::Tractability::Polynomial`] |
+//! | tractability frontier | where monotone saturation stops being sound: dynamic ppo (Power/ARM's `rdw`/`detour` react to the coherence choice) and release/acquire-style models; frontier models skip saturation and take the counted fallback | [`crate::model::Tractability::Frontier`] |
+//! | counted fallback | exact enumeration of the forced order's per-location linear extensions when saturation is incomplete or unsound — always visible in the stats, never silent | [`crate::consistency::ConsistencyStats::fallbacks`] |
+//!
+//! The litmus layer (`herd_litmus::decide`) adds register screening (a
+//! queried read value filters that read's rf menu before any coherence
+//! work) and routes `simulate_decided`, `herd-machine` reachability and
+//! `herd-hw` log judging through the backend; the whole stack is
+//! differentially pinned against the enumeration engine by
+//! `tests/consistency_differential.rs`.
+//!
 //! # Litmus names (Tab III)
 //!
 //! | classic | systematic | description |

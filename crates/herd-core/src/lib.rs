@@ -17,6 +17,10 @@
 //! - [`arch`]: the stock architectures.
 //! - [`enumerate`]: data-flow enumeration from skeletons to candidates,
 //!   streaming with generation-time pruning and rf-odometer sharding.
+//! - [`consistency`]: the polynomial single-execution backend — given a
+//!   fixed `rf`, saturation places one coherence order (or derives a
+//!   contradiction) instead of enumerating all of them, with a counted
+//!   enumeration fallback past the tractability frontier.
 //! - [`sched`]: the hierarchical work scheduler — [`sched::WorkPlan`]s
 //!   decompose the combined rf×co odometer (co-level splitting within one
 //!   rf configuration for co-heavy tests) and a work-stealing executor
@@ -54,6 +58,7 @@
 
 pub mod arch;
 pub mod arena;
+pub mod consistency;
 pub mod dot;
 pub mod enumerate;
 pub mod event;

@@ -31,6 +31,35 @@ pub enum PropagationCheck {
     IrreflexivePropCo,
 }
 
+/// Which side of the single-execution consistency tractability frontier a
+/// model sits on — the complexity landscape of "How Hard is Weak-Memory
+/// Testing?" applied to this framework's axioms.
+///
+/// [`crate::consistency`] decides "does some coherence order make this
+/// (rf-fixed) execution consistent?" by saturation: it tests co
+/// hypotheses against the axioms with a *partial* coherence order and
+/// treats a violation as definitive. That reasoning is sound exactly when
+/// every co-dependent relation the axioms consume (`fr`, `com`, `prop`,
+/// `fre; prop; hb*`) is **monotone** in co — adding co edges can only add
+/// derived edges, never remove a violation. The SC/TSO/PSO/RMO-class
+/// instances (static `ppo`, `prop = ppo ∪ fences ∪ rf[e] ∪ fr`) qualify;
+/// Power/ARM's dynamic `ppo` (`rdw`/`detour` feed the Fig 25 fixpoint)
+/// and C++ R-A's `irreflexive(prop; co)` weakening are not vouched for,
+/// so their queries fall back to (counted) enumeration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Tractability {
+    /// Saturation/co-placement decides single-execution consistency in
+    /// polynomial time: every axiom is monotone in `co` and
+    /// [`Architecture::arch_rels_arena`] accepts partial coherence
+    /// orders (no materialising default that would validate totality).
+    Polynomial,
+    /// Beyond the vouched-for frontier: single-execution queries fall
+    /// back to enumerating coherence orders, and the fallback is counted
+    /// in [`crate::consistency::ConsistencyStats`], never silent.
+    #[default]
+    Frontier,
+}
+
 /// An instance of the generic framework.
 ///
 /// Implementations provide the three architecture functions; the default
@@ -90,6 +119,18 @@ pub trait Architecture {
     /// Which form of the PROPAGATION axiom applies.
     fn propagation_check(&self) -> PropagationCheck {
         PropagationCheck::Acyclic
+    }
+
+    /// Which side of the single-execution tractability frontier this
+    /// model sits on (see [`Tractability`]). Overriding to
+    /// [`Tractability::Polynomial`] is a promise that every co-dependent
+    /// relation the axioms consume is monotone in `co` **and** that
+    /// [`Architecture::arch_rels_arena`] never materialises an owned
+    /// [`Execution`] (whose validation rejects the partial coherence
+    /// orders saturation probes with). The default keeps the enumeration
+    /// fallback — always sound, never silent.
+    fn tractability(&self) -> Tractability {
+        Tractability::Frontier
     }
 
     /// The skeleton-invariant part of this architecture's `fences`
@@ -186,6 +227,9 @@ impl<A: Architecture + ?Sized> Architecture for &A {
     }
     fn propagation_check(&self) -> PropagationCheck {
         (**self).propagation_check()
+    }
+    fn tractability(&self) -> Tractability {
+        (**self).tractability()
     }
     fn thin_air_fences(&self, core: &ExecCore) -> Relation {
         (**self).thin_air_fences(core)

@@ -19,7 +19,7 @@ pub mod silicon;
 pub mod silicon_tso;
 
 pub use campaign::{campaign, run_test, CampaignSummary, RunOutcome, TestReport};
-pub use log::{compare, hardware_log, model_log, Comparison, Log};
+pub use log::{compare, hardware_log, judge_entry, model_log, Comparison, Log};
 pub use silicon::{
     arm_machines, power_machines, x86_machines, ArmErrata, ArmSilicon, Machine, PowerSilicon,
 };

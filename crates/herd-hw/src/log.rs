@@ -159,23 +159,69 @@ pub fn compare(model: &Log, hardware: &Log) -> Comparison {
 
 /// Builds the model-side log for a set of tests under a model: per test,
 /// the full states of the allowed candidate executions (count 0).
+///
+/// Models on the polynomial side of the tractability frontier
+/// ([`herd_core::model::Tractability::Polynomial`]) are judged through
+/// the consistency backend — one witness query per distinct final state
+/// instead of a full (rf, co) enumeration; the others keep the
+/// enumerate-and-check path. Both produce the same states.
 pub fn model_log(
     tests: &[herd_litmus::program::LitmusTest],
     model: &dyn herd_core::model::Architecture,
 ) -> Log {
-    use crate::campaign::render_full_state;
+    use crate::campaign::{render_full_state, render_full_state_parts};
+    use herd_core::model::Tractability;
     use herd_litmus::candidates::{enumerate, EnumOptions};
     let mut log = Log::default();
     for t in tests {
-        let states: BTreeMap<String, u64> = enumerate(t, &EnumOptions::default())
-            .expect("corpus tests enumerate")
-            .iter()
-            .filter(|c| herd_core::model::check(model, &c.exec).allowed())
-            .map(|c| (render_full_state(c), 0))
-            .collect();
+        let states: BTreeMap<String, u64> = if model.tractability() == Tractability::Polynomial {
+            let mut stats = herd_litmus::decide::QueryStats::default();
+            let mut states = BTreeMap::new();
+            herd_litmus::decide::allowed_full_outcomes(
+                t,
+                model,
+                &EnumOptions::default(),
+                &mut stats,
+                &mut |regs, mem| {
+                    states.insert(render_full_state_parts(regs, mem), 0);
+                },
+            )
+            .expect("corpus tests enumerate");
+            states
+        } else {
+            enumerate(t, &EnumOptions::default())
+                .expect("corpus tests enumerate")
+                .iter()
+                .filter(|c| herd_core::model::check(model, &c.exec).allowed())
+                .map(|c| (render_full_state(c), 0))
+                .collect()
+        };
         log.insert(&t.name, states);
     }
     log
+}
+
+/// Judges one log row — a full final state like `0:r1=1; x=2` — against a
+/// model through the single-outcome backend: `Ok(true)` iff some
+/// consistent execution of `test` produces the state. This is the
+/// per-row form of the [`compare`] "invalid" set: a hardware state is
+/// invalid exactly when `judge_entry` says `false`.
+///
+/// # Errors
+///
+/// Returns the parse error for a malformed state row, or the enumeration
+/// error message for a program thread semantics rejects.
+pub fn judge_entry(
+    test: &herd_litmus::program::LitmusTest,
+    model: &dyn herd_core::model::Architecture,
+    state: &str,
+) -> Result<bool, String> {
+    use herd_litmus::candidates::EnumOptions;
+    use herd_litmus::decide::{decide_outcome, Outcome};
+    let outcome = Outcome::from_state_row(state)?;
+    decide_outcome(test, model, &EnumOptions::default(), &outcome)
+        .map(|d| d.allowed)
+        .map_err(|e| e.to_string())
 }
 
 /// Builds the hardware-side log by running each test on a machine.

@@ -470,9 +470,9 @@ pub fn stream_multi_verdicts(
 }
 
 /// Runs every thread symbolically and returns the per-thread control-flow
-/// paths (shared by the streaming enumerators and the configuration
-/// counter).
-fn thread_paths(
+/// paths (shared by the streaming enumerators, the configuration counter
+/// and the decision backend).
+pub(crate) fn thread_paths(
     test: &LitmusTest,
     opts: &EnumOptions,
     loc_map: &BTreeMap<String, Loc>,
@@ -610,7 +610,7 @@ pub fn enumerate(test: &LitmusTest, opts: &EnumOptions) -> Result<Vec<Candidate>
     Ok(out)
 }
 
-fn value_domain(test: &LitmusTest) -> Vec<i64> {
+pub(crate) fn value_domain(test: &LitmusTest) -> Vec<i64> {
     use crate::isa::Instr;
     let mut d: Vec<i64> = vec![0, 1];
     for t in &test.threads {
@@ -634,43 +634,41 @@ fn value_domain(test: &LitmusTest) -> Vec<i64> {
     d
 }
 
-/// Everything [`assemble`] needs for one combination of thread paths.
-struct AssembleCtx<'a, 'h, 'e, 's> {
-    test: &'a LitmusTest,
-    locs: &'a LocTable,
-    combo: &'a [&'a ThreadPath],
-    domain: &'a [i64],
-    opts: &'a EnumOptions,
-    prune: Prune,
-    thin_air: Option<ThinAirHook<'h>>,
-    /// Which rf configurations this call owns.
-    owner: CfgOwner,
-    /// Global rf-configuration counter shared across combinations.
-    cfg_idx: &'a mut u64,
-    /// The worker's relation arena (verdict mode only touches it).
-    arena: &'a mut RelArena,
-    mode: &'a mut Emit<'e, 's>,
-    stats: &'a mut EnumStats,
+/// The skeleton-invariant parts of one control-flow combination: event
+/// layout, shared core, symbolic write values, path constraints, and the
+/// rf/co choice spaces. Shared by the enumeration odometer ([`assemble`])
+/// and the single-outcome decision backend ([`crate::decide`]).
+pub(crate) struct ComboParts {
+    /// Events, init writes first (the init write of `loc` has id `loc.0`).
+    pub events: Vec<Event>,
+    /// Global id of local read index `i` of thread `t`: `read_gid[t][i]`.
+    pub read_gid: Vec<Vec<usize>>,
+    /// Value expression of each write event, by event id.
+    pub write_value: Vec<Option<SymExpr>>,
+    /// Path constraints, renamed to global symbols.
+    pub base_equations: Vec<Equation>,
+    /// The shared po/deps/fences core.
+    pub core: Arc<ExecCore>,
+    /// Read event ids.
+    pub reads: Vec<usize>,
+    /// Per-read menu of rf sources: same-location thread writes + init.
+    pub rf_choices: Vec<Vec<usize>>,
+    /// Locations with thread writes, in `Loc` order.
+    pub co_locs: Vec<Loc>,
+    /// Thread writes per `co_locs` entry.
+    pub co_writes: Vec<Vec<usize>>,
+    /// Initial write per `co_locs` entry.
+    pub co_inits: Vec<Option<usize>>,
+    /// `Π |co_writes[l]|!` — coherence orders per rf configuration.
+    /// Saturating `u128`: scaled families put this past `usize` (21! on a
+    /// single location already overflows 64 bits).
+    pub co_total: u128,
 }
 
-/// Assembles all candidates for one combination of thread paths, pushing
-/// them into the sink as the data-flow odometer advances.
-fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
-    let AssembleCtx {
-        test,
-        locs,
-        combo,
-        domain,
-        opts,
-        prune,
-        thin_air,
-        owner,
-        cfg_idx,
-        arena,
-        mode,
-        stats,
-    } = ctx;
-    // Lay out events: init writes first, then thread accesses.
+/// Lays out the events of one combination of thread paths (init writes
+/// first, then thread accesses) and builds everything downstream of the
+/// layout that does not depend on an rf or co choice.
+pub(crate) fn combo_parts(test: &LitmusTest, locs: &LocTable, combo: &[&ThreadPath]) -> ComboParts {
     let n_init = locs.names().len();
     let n: usize = n_init + combo.iter().map(|p| p.accesses.len()).sum::<usize>();
 
@@ -807,7 +805,74 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
     let co_locs: Vec<Loc> = writes_by_loc.keys().copied().collect();
     let co_writes: Vec<Vec<usize>> = writes_by_loc.values().cloned().collect();
     let co_inits: Vec<Option<usize>> = co_locs.iter().map(|l| Some(l.0 as usize)).collect();
-    let co_total: usize = co_writes.iter().map(|ws| factorial(ws.len())).product::<usize>().max(1);
+    let co_total: u128 =
+        co_writes.iter().map(|ws| factorial(ws.len())).fold(1u128, u128::saturating_mul);
+
+    ComboParts {
+        events,
+        read_gid: layout.read_gid,
+        write_value,
+        base_equations,
+        core,
+        reads,
+        rf_choices,
+        co_locs,
+        co_writes,
+        co_inits,
+        co_total,
+    }
+}
+
+/// Everything [`assemble`] needs for one combination of thread paths.
+struct AssembleCtx<'a, 'h, 'e, 's> {
+    test: &'a LitmusTest,
+    locs: &'a LocTable,
+    combo: &'a [&'a ThreadPath],
+    domain: &'a [i64],
+    opts: &'a EnumOptions,
+    prune: Prune,
+    thin_air: Option<ThinAirHook<'h>>,
+    /// Which rf configurations this call owns.
+    owner: CfgOwner,
+    /// Global rf-configuration counter shared across combinations.
+    cfg_idx: &'a mut u64,
+    /// The worker's relation arena (verdict mode only touches it).
+    arena: &'a mut RelArena,
+    mode: &'a mut Emit<'e, 's>,
+    stats: &'a mut EnumStats,
+}
+
+/// Assembles all candidates for one combination of thread paths, pushing
+/// them into the sink as the data-flow odometer advances.
+fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
+    let AssembleCtx {
+        test,
+        locs,
+        combo,
+        domain,
+        opts,
+        prune,
+        thin_air,
+        owner,
+        cfg_idx,
+        arena,
+        mode,
+        stats,
+    } = ctx;
+    let ComboParts {
+        events,
+        read_gid,
+        write_value,
+        base_equations,
+        core,
+        reads,
+        rf_choices,
+        co_locs,
+        co_writes,
+        co_inits,
+        co_total,
+    } = combo_parts(test, locs, combo);
+    let n = events.len();
 
     let graphs = match prune {
         Prune::None => None,
@@ -905,7 +970,7 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                 }
             }
             if ok {
-                concs.push((evs, final_registers(test, locs, combo, &asg, &layout.read_gid)));
+                concs.push((evs, final_registers(test, locs, combo, &asg, &read_gid)));
             }
         }
 
@@ -931,7 +996,7 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
             }))
         });
         if thin_air_doomed {
-            stats.pruned += (concs.len() as u128).saturating_mul(co_total as u128);
+            stats.pruned += (concs.len() as u128).saturating_mul(co_total);
             if !bump(&mut rf_pick, &rf_radices) {
                 break;
             }
@@ -946,12 +1011,14 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
         let menus: Option<Vec<Vec<Vec<usize>>>> =
             graphs.as_ref().map(|g| g.co_menus(&co_locs, &co_writes, &rf_src));
         let rf_only_ok = graphs.as_ref().is_none_or(|g| g.rf_only_consistent(&co_locs, &rf_src));
-        let co_valid = match &menus {
-            Some(menus) if rf_only_ok => menus.iter().map(Vec::len).product::<usize>(),
+        let co_valid: u128 = match &menus {
+            Some(menus) if rf_only_ok => {
+                menus.iter().map(|m| m.len() as u128).fold(1u128, u128::saturating_mul)
+            }
             Some(_) => 0,
             None => co_total,
         };
-        stats.pruned += (concs.len() as u128).saturating_mul((co_total - co_valid) as u128);
+        stats.pruned += (concs.len() as u128).saturating_mul(co_total.saturating_sub(co_valid));
         if co_valid == 0 {
             if !bump(&mut rf_pick, &rf_radices) {
                 break;
@@ -1101,11 +1168,11 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
     Ok(())
 }
 
-fn factorial(k: usize) -> usize {
-    (1..=k).product::<usize>().max(1)
+fn factorial(k: usize) -> u128 {
+    (1..=k as u128).fold(1u128, u128::saturating_mul)
 }
 
-fn final_registers(
+pub(crate) fn final_registers(
     test: &LitmusTest,
     locs: &LocTable,
     combo: &[&ThreadPath],
@@ -1140,7 +1207,7 @@ fn final_registers(
     out
 }
 
-fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
+pub(crate) fn bump(digits: &mut [usize], radices: &[usize]) -> bool {
     for (d, &r) in digits.iter_mut().zip(radices) {
         if *d + 1 < r {
             *d += 1;

@@ -30,6 +30,7 @@
 
 pub mod candidates;
 pub mod corpus;
+pub mod decide;
 pub mod expr;
 pub mod isa;
 pub mod parse;

@@ -203,6 +203,43 @@ pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
     Ok(acc.outcome(test, arch, candidates, pruned))
 }
 
+/// Simulates by *deciding outcomes* instead of enumerating witnesses: the
+/// distinct full final states are probed through the polynomial
+/// consistency backend ([`crate::decide`]), one coherence query per
+/// outcome rather than one check per (rf, co) candidate.
+///
+/// `validated` and `states` are provably identical to
+/// [`simulate_with`]'s — an outcome is allowed iff some allowed candidate
+/// produces it. The counters differ by construction and say so here:
+/// `allowed`/`positive`/`negative` count decided *outcomes* (distinct
+/// final states), not candidate executions, `candidates` counts the
+/// probed outcomes, and `pruned` is 0. The decision backend's own
+/// accounting (witnesses, contradictions, counted fallbacks) lands in
+/// `stats`.
+///
+/// # Errors
+///
+/// Propagates [`CandidateError`] from thread semantics.
+pub fn simulate_decided<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    arch: &A,
+    opts: &EnumOptions,
+    stats: &mut crate::decide::QueryStats,
+) -> Result<SimOutcome, CandidateError> {
+    let mut acc = Judgement::default();
+    crate::decide::allowed_full_outcomes(test, arch, opts, stats, &mut |regs, mem| {
+        acc.allowed += 1;
+        if eval_prop_parts(&test.condition.prop, regs, mem) {
+            acc.positive += 1;
+        } else {
+            acc.negative += 1;
+        }
+        acc.states.insert(render_state(test, regs, mem));
+    })?;
+    let probed = acc.allowed as u128;
+    Ok(acc.outcome(test, arch, probed, 0))
+}
+
 /// Applies the model and condition to pre-enumerated candidates (lets
 /// callers reuse one enumeration across several models).
 pub fn judge<A: Architecture + ?Sized>(
@@ -515,6 +552,30 @@ mod tests {
                 ),
                 "{workers} workers must not widen the bound"
             );
+        }
+    }
+
+    #[test]
+    fn decided_simulation_agrees_with_enumeration() {
+        let opts = crate::candidates::EnumOptions::default();
+        for test in [
+            corpus::mp(Isa::X86, Dev::Po, Dev::Po),
+            corpus::sb(Isa::X86, Dev::Po, Dev::Po),
+            corpus::sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence)),
+            corpus::co_rr(Isa::X86),
+        ] {
+            for arch in [&Sc as &dyn herd_core::model::Architecture, &Tso] {
+                let streamed = simulate_with(&test, arch, &opts).unwrap();
+                let mut stats = crate::decide::QueryStats::default();
+                let decided = simulate_decided(&test, arch, &opts, &mut stats).unwrap();
+                assert_eq!(decided.validated, streamed.validated, "{}", test.name);
+                assert_eq!(decided.states, streamed.states, "{}", test.name);
+                assert_eq!(
+                    stats.backend.fallbacks, 0,
+                    "{}: SC/TSO must stay on the polynomial path",
+                    test.name
+                );
+            }
         }
     }
 

@@ -59,6 +59,31 @@ pub fn verify_axiomatic(
     Ok(VerifyOutcome { reachable, allowed, candidates: stats.total() })
 }
 
+/// The bare reachability question, answered through the polynomial
+/// consistency backend instead of candidate enumeration: the distinct
+/// final states are decided one witness query at a time
+/// ([`herd_litmus::simulate::simulate_decided`]), so for
+/// SC/TSO/PSO-class models
+/// ([`herd_core::model::Tractability::Polynomial`]) the per-outcome cost
+/// drops from `Π |writes(l)|!` coherence checks to a saturation pass —
+/// and past the frontier the backend's counted fallback keeps the answer
+/// exact. Returns the same `reachable` bit as [`verify_axiomatic`]
+/// (whose candidate accounting it deliberately does not reproduce —
+/// outcomes, not candidates, are what get decided).
+///
+/// # Errors
+///
+/// Propagates enumeration failures.
+pub fn verify_reachable(
+    test: &LitmusTest,
+    arch: &dyn Architecture,
+) -> Result<bool, CandidateError> {
+    let mut stats = herd_litmus::decide::QueryStats::default();
+    let out =
+        herd_litmus::simulate::simulate_decided(test, arch, &EnumOptions::default(), &mut stats)?;
+    Ok(out.positive > 0)
+}
+
 /// Operational bounded verification: like [`verify_axiomatic`] but each
 /// candidate is validated by exhaustively exploring the intermediate
 /// machine instead of evaluating the axioms.
@@ -102,6 +127,23 @@ mod tests {
             let ax = verify_axiomatic(&test, &power).unwrap();
             let op = verify_operational(&test, &power).unwrap();
             assert_eq!(ax, op, "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn decided_reachability_agrees_with_both_encodings() {
+        use herd_core::arch::{Sc, Tso};
+        for test in [
+            corpus::mp(Isa::X86, Dev::Po, Dev::Po),
+            corpus::sb(Isa::X86, Dev::Po, Dev::Po),
+            corpus::sb(Isa::X86, Dev::F(Fence::Mfence), Dev::F(Fence::Mfence)),
+            corpus::iriw(Isa::X86, Dev::Po, Dev::Po),
+        ] {
+            for arch in [&Sc as &dyn Architecture, &Tso] {
+                let ax = verify_axiomatic(&test, arch).unwrap();
+                let decided = verify_reachable(&test, arch).unwrap();
+                assert_eq!(decided, ax.reachable, "{} on {}", test.name, arch.name());
+            }
         }
     }
 }

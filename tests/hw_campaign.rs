@@ -1,8 +1,14 @@
 //! Tab V shapes, asserted: our Power model is never invalidated by the
 //! Power machines but leaves behaviours unseen; every ARM part invalidates
 //! the Power-ARM model; Tegra3 is the worst offender; x86 is clean.
+//!
+//! Plus the polynomial-backend routing of log judging: for models on the
+//! polynomial side of the tractability frontier, [`herd_hw::model_log`]
+//! and [`herd_hw::judge_entry`] answer through single-outcome witness
+//! queries — their verdicts must be indistinguishable from the
+//! enumerate-and-check reference, row by row.
 
-use herd_core::arch::{Arm, ArmVariant, Power, Tso};
+use herd_core::arch::{Arm, ArmVariant, Power, Sc, Tso};
 use herd_hw::{arm_machines, campaign, power_machines, x86_machines};
 use herd_litmus::corpus;
 use herd_litmus::program::LitmusTest;
@@ -68,6 +74,87 @@ fn tab5_x86_control_row() {
     let machine = &x86_machines()[0];
     let s = campaign(machine, &tests, &Tso, RUNS, 42).unwrap();
     assert_eq!((s.invalid, s.unseen), (0, 0), "x86 silicon is exactly TSO");
+}
+
+#[test]
+fn backend_model_log_matches_the_enumeration_reference() {
+    use herd_core::model::{check, Architecture, Tractability};
+    use herd_hw::campaign::render_full_state;
+    use herd_hw::Log;
+    use herd_litmus::candidates::{enumerate, EnumOptions};
+
+    let tests: Vec<LitmusTest> = corpus::x86_corpus().into_iter().map(|e| e.test).collect();
+    for model in [&Sc as &(dyn Architecture + Sync), &Tso] {
+        // These models sit on the polynomial side: `model_log` routes
+        // them through the consistency backend.
+        assert_eq!(model.tractability(), Tractability::Polynomial);
+        let backend = herd_hw::model_log(&tests, model);
+        // The pre-backend reference: enumerate every candidate, keep the
+        // allowed ones, render their full states.
+        let mut reference = Log::default();
+        for t in &tests {
+            let states = enumerate(t, &EnumOptions::default())
+                .unwrap()
+                .iter()
+                .filter(|c| check(model, &c.exec).allowed())
+                .map(|c| (render_full_state(c), 0))
+                .collect();
+            reference.insert(&t.name, states);
+        }
+        assert_eq!(backend, reference, "backend log differs under {}", model.name());
+    }
+}
+
+#[test]
+fn judge_entry_reproduces_the_compare_invalid_sets() {
+    // A seeded campaign log judged row by row: a hardware state is in
+    // `compare`'s invalid set exactly when the backend forbids it.
+    let tests: Vec<LitmusTest> = corpus::x86_corpus().into_iter().map(|e| e.test).collect();
+    let machine = &x86_machines()[0];
+    let hw = herd_hw::hardware_log(&tests, machine, RUNS, 7);
+    // Judge TSO silicon against SC: the write-read reorderings (sb, r,
+    // rwc) must show up invalid, so the equivalence below has teeth.
+    let model = herd_hw::model_log(&tests, &Sc);
+    let cmp = herd_hw::compare(&model, &hw);
+    assert!(
+        cmp.invalid.values().map(|s| s.len()).sum::<usize>() > 0,
+        "TSO silicon must invalidate SC somewhere"
+    );
+    for (name, entry) in &hw.entries {
+        let test = tests.iter().find(|t| &t.name == name).unwrap();
+        for state in entry.states.keys() {
+            let allowed = herd_hw::judge_entry(test, &Sc, state).unwrap();
+            let invalid = cmp.invalid.get(name).is_some_and(|s| s.contains(state));
+            assert_eq!(!allowed, invalid, "{name}: backend and mcompare disagree on row '{state}'");
+        }
+    }
+}
+
+#[test]
+fn backend_judged_campaigns_are_worker_count_independent() {
+    // Campaign tests fan out over the work-stealing executor with as many
+    // workers as the host offers; per-test RNGs are derived from
+    // (seed, index), so two runs must agree state for state however the
+    // steal order interleaved them — including everything the backend
+    // judged.
+    let tests: Vec<LitmusTest> = corpus::x86_corpus().into_iter().map(|e| e.test).collect();
+    let machine = &x86_machines()[0];
+    let a = campaign(machine, &tests, &Tso, RUNS, 42).unwrap();
+    let b = campaign(machine, &tests, &Tso, RUNS, 42).unwrap();
+    assert_eq!((a.invalid, a.unseen), (b.invalid, b.unseen));
+    assert_eq!(a.classification, b.classification);
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.observed, rb.observed, "{}", ra.name);
+        assert_eq!(ra.model_allowed, rb.model_allowed, "{}", ra.name);
+        assert_eq!(ra.invalid_states, rb.invalid_states, "{}", ra.name);
+        assert_eq!(ra.unseen_states, rb.unseen_states, "{}", ra.name);
+    }
+    // And the raw seeded log is bitwise reproducible, too.
+    let h1 = herd_hw::hardware_log(&tests, machine, RUNS, 7);
+    let h2 = herd_hw::hardware_log(&tests, machine, RUNS, 7);
+    assert_eq!(h1, h2);
 }
 
 #[test]
