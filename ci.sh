@@ -16,6 +16,15 @@
 #                                     (corpus-wide + randomised), with
 #                                     fallbacks counted and zero silent
 #                                     disagreements
+#   4c. robustness (fault-injection)— the deterministic fault-injection
+#                                     suite: herd-core's faultpoint
+#                                     harness armed (cfg-gated, a no-op in
+#                                     every other step), single-threaded
+#                                     because the harness is
+#                                     process-global. Injected panics,
+#                                     delays, and spurious cancels must
+#                                     each degrade to partial results with
+#                                     exact candidate accounting
 #   5. alloc_smoke (alloc-count)    — the zero-allocation contract of the
 #                                     arena-backed relation engine: a
 #                                     counting global allocator asserts 0
@@ -35,7 +44,10 @@
 #                                     cyclic lb+datas row below 2x, or a
 #                                     backend query row (SC/TSO on
 #                                     iriw+3w / wrc+6w) below 10x over
-#                                     the enumeration scan
+#                                     the enumeration scan, or a robust
+#                                     row (never-firing budget threaded
+#                                     through the arena engine) at ≥5%
+#                                     overhead
 #   7. perf_pipeline --compare      — reads every BENCH_pr*.json, prints
 #                                     the per-family speedup trajectory
 #                                     table, and FAILS if the new PR's
@@ -67,6 +79,7 @@ run cargo build --examples
 run cargo bench --no-run --workspace
 run cargo test -q --workspace
 run cargo test -q --test consistency_differential
+run cargo test -q --test robustness --features fault-injection -- --test-threads=1
 run cargo test -p herd-bench --release --features alloc-count --test alloc_smoke
 run cargo bench -p herd-bench --bench perf_pipeline -- \
     --quick --gate --pr "$PR" --json "$PWD/BENCH_pr${PR}.json"

@@ -23,10 +23,14 @@
 //!   discipline as the other parallel sections.
 //!
 //! Also measures compiled-vs-tree cat-model checking throughput on the
-//! corpus, the work-stealing corpus simulation split, and (**query**) the
+//! corpus, the work-stealing corpus simulation split, (**query**) the
 //! polynomial single-outcome backend against the full enumeration scan on
 //! the scaled families' litmus-level twins — SC/TSO rows gated at ≥10x
-//! with zero counted fallbacks.
+//! with zero counted fallbacks — and (**robust**, PR 7) the budget-check
+//! overhead: the arena engine armed with a never-firing [`Budget`]
+//! (far-future deadline + huge candidate cap + untripped cancel token)
+//! against the unbudgeted engine on `iriw+3w` and `wrc+6w`, gated at
+//! < 5% overhead.
 //!
 //! Usage (the driver `ci.sh` runs quick mode with a derived PR number):
 //!
@@ -46,7 +50,7 @@ use herd_core::arena::RelArena;
 use herd_core::enumerate::{CheckedStats, Skeleton};
 use herd_core::exec::ExecFrame;
 use herd_core::model::{check, Architecture, Verdict};
-use herd_core::sched::{PlanOpts, WorkPlan};
+use herd_core::sched::{Budget, CancelToken, PlanOpts, WorkPlan};
 use herd_litmus::candidates::{stream_arch_verdicts, EnumOptions, RegFinal};
 use herd_litmus::corpus::{self, Dev, Op, TestBuilder};
 use herd_litmus::decide::{decide_outcome, Outcome};
@@ -54,7 +58,7 @@ use herd_litmus::isa::Isa;
 use herd_litmus::program::{LitmusTest, Prop, Quantifier};
 use herd_litmus::simulate::{simulate_corpus, simulate_with};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Wall-clock of the best of `reps` runs of `f`, in nanoseconds, plus the
 /// last result.
@@ -488,9 +492,74 @@ fn bench_corpus(reps: usize) -> CorpusRow {
     });
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
     let parallel_ns = (workers > 1).then(|| {
-        best_of(reps, || simulate_corpus(&tests, &power, &opts).expect("corpus simulates")).0
+        best_of(reps, || {
+            let out = simulate_corpus(&tests, &power, &opts).expect("corpus simulates");
+            assert!(out.is_complete(), "bench corpus must simulate with no lost units");
+            out
+        })
+        .0
     });
     CorpusRow { tests: tests.len(), candidates, pruned, sequential_ns, parallel_ns, workers }
+}
+
+/// One budget-overhead row: the arena engine with no budget against the
+/// budgeted engine armed with a budget that never fires (far-future
+/// deadline, `u128::MAX` candidate cap, untripped cancel token) — the
+/// pure cost of the per-candidate robustness checks on a run that never
+/// needs them.
+struct RobustRow {
+    name: String,
+    candidates: u128,
+    plain_ns: u128,
+    budgeted_ns: u128,
+}
+
+impl RobustRow {
+    /// `budgeted / plain`: 1.00 = free, 1.05 = the 5% gate.
+    fn overhead(&self) -> f64 {
+        self.budgeted_ns as f64 / self.plain_ns.max(1) as f64
+    }
+}
+
+fn bench_robust(name: &str, sk: &Skeleton, reps: usize) -> RobustRow {
+    // The gate is a ratio of two close timings: quick mode's single rep
+    // is far too noisy for it, and even back-to-back best-of loops pick
+    // up frequency drift between the two engines. Take many samples,
+    // alternating engines within each round so drift cancels, and gate
+    // on the per-engine minima.
+    let rounds = reps.max(12);
+    let power = Power::new();
+    let mut arena = RelArena::new(0);
+    let budget = Budget::unlimited()
+        .with_timeout(Duration::from_secs(86_400))
+        .with_max_candidates(u128::MAX)
+        .with_cancel(CancelToken::new());
+    let mut plain_ns = u128::MAX;
+    let mut budgeted_ns = u128::MAX;
+    let mut plain_stats = None;
+    let mut budgeted_stats = None;
+    for _ in 0..rounds {
+        let (ns, stats) =
+            best_of(1, || sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {}));
+        plain_ns = plain_ns.min(ns);
+        plain_stats = Some(stats);
+        let (ns, stats) = best_of(1, || {
+            sk.check_stream_arena_budgeted(&power, &mut arena, &budget, &mut |_, _, _| {})
+        });
+        budgeted_ns = budgeted_ns.min(ns);
+        budgeted_stats = Some(stats);
+    }
+    let plain_stats = plain_stats.expect("at least one round");
+    let budgeted_stats = budgeted_stats.expect("at least one round");
+    assert!(budgeted_stats.stopped.is_none(), "{name}: the never-firing budget fired");
+    assert_eq!(budgeted_stats.remaining, 0, "{name}: the budgeted run must complete");
+    assert_eq!(
+        (budgeted_stats.emitted, budgeted_stats.pruned, budgeted_stats.allowed),
+        (plain_stats.emitted, plain_stats.pruned, plain_stats.allowed),
+        "{name}: the budget changed the verdict"
+    );
+    let candidates = sk.candidate_count().expect("bench skeletons count in u128");
+    RobustRow { name: name.to_owned(), candidates, plain_ns, budgeted_ns }
 }
 
 /// One single-outcome query row: the polynomial backend against the full
@@ -630,6 +699,7 @@ fn emit_json(
     models: &[ModelRow],
     corpus: &CorpusRow,
     queries: &[QueryRow],
+    robust: &[RobustRow],
 ) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -749,6 +819,22 @@ fn emit_json(
         ));
     }
     j.push_str("  ],\n");
+    // The budget-overhead section (PR 7): like "query", invisible to the
+    // `--compare` parser, so older BENCH files stay comparable.
+    j.push_str("  \"robust\": [\n");
+    for (i, r) in robust.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"plain_ns\": {}, \
+             \"budgeted_ns\": {}, \"overhead\": {:.4}}}{}\n",
+            json_escape(&r.name),
+            r.candidates,
+            r.plain_ns,
+            r.budgeted_ns,
+            r.overhead(),
+            if i + 1 < robust.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
     j.push_str(&format!(
         "  \"corpus\": {{\"tests\": {}, \"candidates\": {}, \"pruned\": {}, \
          \"sequential_ns\": {}, \"parallel_ns\": {}, \"workers\": {}, \
@@ -770,15 +856,26 @@ fn emit_json(
 /// hold 5x over eager, heavily-cyclic lb+datas rows must hold 2x over
 /// uniproc-only pruning, and on co-heavy (co-split) scheduler rows the
 /// hierarchical plan must balance ≥1.5x better than the static rf-prefix
-/// split — measured wall-clock included whenever ≥4 real cores exist.
-/// Returns the violations.
+/// split — measured wall-clock included whenever ≥4 real cores exist —
+/// and a never-firing budget must cost < 5% over the unbudgeted arena
+/// engine. Returns the violations.
 fn gate_violations(
     pipeline: &[PipelineRow],
     thinair: &[ThinAirRow],
     sched: &[SchedRow],
     queries: &[QueryRow],
+    robust: &[RobustRow],
 ) -> Vec<String> {
     let mut bad = Vec::new();
+    for r in robust {
+        if r.overhead() >= 1.05 {
+            bad.push(format!(
+                "{}: budget checks cost {:.1}% over the unbudgeted arena engine (>= 5%)",
+                r.name,
+                100.0 * (r.overhead() - 1.0)
+            ));
+        }
+    }
     for r in queries {
         // Every query row runs a polynomial-side model (SC/TSO): the
         // backend must beat the full enumeration scan by 10x and never
@@ -1275,6 +1372,27 @@ fn main() {
         );
     }
 
+    // Budget-check overhead on the two biggest families: a never-firing
+    // budget threaded through the arena engine must be nearly free.
+    let robust_rows = vec![
+        bench_robust("iriw+3w", &iriw_scaled(3), reps),
+        bench_robust("wrc+6w", &wrc_scaled(6), reps),
+    ];
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>9}",
+        "robust", "cands", "plain", "budgeted", "overhead"
+    );
+    for r in &robust_rows {
+        println!(
+            "{:<10} {:>10} {:>10.2}ms {:>10.2}ms {:>+8.1}%",
+            r.name,
+            r.candidates,
+            r.plain_ns as f64 / 1e6,
+            r.budgeted_ns as f64 / 1e6,
+            100.0 * (r.overhead() - 1.0),
+        );
+    }
+
     let corpus = bench_corpus(reps);
     match corpus.parallel_ns {
         Some(par) => println!(
@@ -1311,10 +1429,11 @@ fn main() {
             &models,
             &corpus,
             &queries,
+            &robust_rows,
         );
     }
 
-    let violations = gate_violations(&pipeline, &thinair, &sched_rows, &queries);
+    let violations = gate_violations(&pipeline, &thinair, &sched_rows, &queries, &robust_rows);
     if !violations.is_empty() {
         eprintln!("\nperf regression gate:");
         for v in &violations {

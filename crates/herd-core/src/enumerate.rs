@@ -39,8 +39,10 @@
 use crate::arena::RelArena;
 use crate::event::{Dir, Event, Fence, Loc, ThreadId, Val};
 use crate::exec::{Deps, ExecCore, ExecFrame, ExecRels, Execution};
+use crate::faultpoint::{self, FaultPoint};
 use crate::model::{Architecture, ArenaChecker, Verdict};
 use crate::relation::Relation;
+use crate::sched::{Budget, StopReason};
 use crate::thinair::ThinAirTracker;
 use crate::uniproc::{CoMenus, EventShape, LocGraphs};
 use std::collections::BTreeMap;
@@ -211,7 +213,80 @@ impl Skeleton {
         let ctx = EngineCtx::new(self, arch);
         let mut st = EngineState::new(&ctx, arch, arena);
         let (start, end) = shard_range(RfDriver::rf_total(&ctx.parts), shard, nshards);
-        run_arena_range(&ctx, arch, arena, &mut st, start, end, None, sink)
+        run_arena_range(&ctx, arch, arena, &mut st, start, end, None, &Budget::unlimited(), sink)
+    }
+
+    /// [`Skeleton::check_stream_arena`] under a [`Budget`]: a deadline,
+    /// candidate bound, or cooperative cancellation stops enumeration
+    /// mid-odometer, and the returned stats report the cut exactly —
+    /// `emitted + pruned + remaining == candidate_count`, with a
+    /// [`ResumePoint`] that [`Skeleton::check_stream_arena_resume`] can
+    /// complete from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
+    pub fn check_stream_arena_budgeted<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        arena: &mut RelArena,
+        budget: &Budget,
+        sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
+    ) -> CheckedStats {
+        let ctx = EngineCtx::new(self, arch);
+        let mut st = EngineState::new(&ctx, arch, arena);
+        let end = RfDriver::rf_total(&ctx.parts);
+        run_arena_range(&ctx, arch, arena, &mut st, 0, end, None, budget, sink)
+    }
+
+    /// Completes an interrupted [`Skeleton::check_stream_arena_budgeted`]
+    /// run from its [`ResumePoint`]: first the unchecked tail of the cut
+    /// configuration's coherence odometer, then every following rf
+    /// configuration. The merged stats of the interrupted run and this one
+    /// reproduce an uninterrupted run exactly — same verdict stream, same
+    /// accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a universe mismatch (a front-end bug).
+    pub fn check_stream_arena_resume<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        arena: &mut RelArena,
+        resume: ResumePoint,
+        sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
+    ) -> CheckedStats {
+        let ctx = EngineCtx::new(self, arch);
+        let mut st = EngineState::new(&ctx, arch, arena);
+        let end = RfDriver::rf_total(&ctx.parts);
+        let unlimited = Budget::unlimited();
+        let mut stats = CheckedStats::default();
+        let tail_start = if resume.co_next > 0 {
+            // Finish the cut configuration's coherence tail; `u128::MAX`
+            // clamps to the menu count, and a non-zero start means the
+            // configuration's generation-time prunes stay with the
+            // interrupted run that already claimed them.
+            stats.absorb(&run_arena_range(
+                &ctx,
+                arch,
+                arena,
+                &mut st,
+                resume.rf_pos,
+                resume.rf_pos + 1,
+                Some((resume.co_next, u128::MAX)),
+                &unlimited,
+                sink,
+            ));
+            resume.rf_pos + 1
+        } else {
+            resume.rf_pos
+        };
+        if tail_start < end {
+            stats.absorb(&run_arena_range(
+                &ctx, arch, arena, &mut st, tail_start, end, None, &unlimited, sink,
+            ));
+        }
+        stats
     }
 
     /// Enumerates every candidate execution into a vector.
@@ -417,9 +492,10 @@ impl SkeletonParts {
 }
 
 /// Statistics of one arena-backed checked stream
-/// ([`Skeleton::check_stream_arena`]): `emitted + pruned` equals
-/// [`Skeleton::candidate_count`] (summed over shards), exactly as for
-/// [`CandidateIter`], and `allowed` counts the candidates the
+/// ([`Skeleton::check_stream_arena`]): `emitted + pruned + remaining`
+/// equals [`Skeleton::candidate_count`] (summed over shards) — with
+/// `remaining == 0` on an uninterrupted run, exactly as for
+/// [`CandidateIter`] — and `allowed` counts the candidates the
 /// architecture's four axioms accept.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckedStats {
@@ -429,6 +505,50 @@ pub struct CheckedStats {
     pub pruned: u128,
     /// Checked candidates all four axioms allow.
     pub allowed: u128,
+    /// Candidates neither checked nor pruned because a [`Budget`] stopped
+    /// the run first; zero on a completed run. Recovered in O(odometer
+    /// digits) from the driver position at the cut, never by counting.
+    pub remaining: u128,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Where to pick the enumeration back up
+    /// ([`Skeleton::check_stream_arena_resume`]); `None` when the run
+    /// completed or when per-unit cut points make a single linear resume
+    /// point meaningless (the scheduler path).
+    pub resume: Option<ResumePoint>,
+}
+
+impl CheckedStats {
+    /// Merges another shard's / unit's stats into `self`: counters add
+    /// (saturating, matching the engine's u128 accounting), `stopped`
+    /// keeps the first reason seen, and `resume` keeps the first cut
+    /// point (meaningful only when the parts are consecutive).
+    pub fn absorb(&mut self, other: &CheckedStats) {
+        self.emitted = self.emitted.saturating_add(other.emitted);
+        self.pruned = self.pruned.saturating_add(other.pruned);
+        self.allowed = self.allowed.saturating_add(other.allowed);
+        self.remaining = self.remaining.saturating_add(other.remaining);
+        if self.stopped.is_none() {
+            self.stopped = other.stopped;
+        }
+        if self.resume.is_none() {
+            self.resume = other.resume;
+        }
+    }
+}
+
+/// An exact enumeration cut point: the rf configuration and the coherence
+/// ordinal within it where a budgeted run stopped. Feeding it back to
+/// [`Skeleton::check_stream_arena_resume`] completes the stream with the
+/// same verdicts an uninterrupted run would have produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResumePoint {
+    /// Linear rf-odometer index of the configuration that was current at
+    /// the cut.
+    pub rf_pos: u128,
+    /// Coherence-menu ordinal (within `rf_pos`) of the first unchecked
+    /// candidate; `0` means the whole configuration is still pending.
+    pub co_next: u128,
 }
 
 /// Skeleton-invariant context of the arena-backed checked stream, built
@@ -498,6 +618,16 @@ impl EngineState {
 /// filtering and thin-air/rf dooms), so per-unit `emitted + pruned` summed
 /// over any partition produced by [`crate::sched::WorkPlan`] equals
 /// [`Skeleton::candidate_count`].
+///
+/// Budget contract: when `budget` trips — deadline, candidate bound, or
+/// cancellation — the run stops at the next check point (an rf-scope
+/// boundary, or every candidate inside the coherence loop) and the
+/// returned stats carry the exact `remaining` count of the unit's
+/// unclassified candidates plus the [`ResumePoint`] of the cut, so
+/// `emitted + pruned + remaining` still equals the unit's share of the
+/// space. `remaining` comes from the driver position in O(odometer
+/// digits), never from counting.
+#[allow(clippy::too_many_arguments)] // engine-internal; one call site family
 pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
     ctx: &EngineCtx,
     arch: &A,
@@ -506,6 +636,7 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
     rf_start: u128,
     rf_end: u128,
     co_range: Option<(u128, u128)>,
+    budget: &Budget,
     sink: &mut dyn FnMut(&ExecFrame<'_>, &RelArena, Verdict),
 ) -> CheckedStats {
     let parts = &ctx.parts;
@@ -513,9 +644,20 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
     let accounts_prunes = co_range.is_none_or(|(s, _)| s == 0);
     let mut stats = CheckedStats::default();
 
-    while !driver.done {
+    'scopes: while !driver.done {
         if !driver.sync_thinair(parts) {
             break; // range exhausted
+        }
+        // Unit-boundary budget check for plain rf ranges: everything from
+        // the current configuration on is untouched, so `remaining` is a
+        // whole-subtree product and the resume point is a clean scope.
+        if co_range.is_none() {
+            if let Some(reason) = budget.check(stats.emitted) {
+                stats.stopped = Some(reason);
+                stats.remaining = (driver.end - driver.pos).saturating_mul(driver.co_total);
+                stats.resume = Some(ResumePoint { rf_pos: driver.pos, co_next: 0 });
+                break 'scopes;
+            }
         }
         // One rf scope: fill rf, concretise read values, filter the
         // coherence menus, derive the rf-invariant relations once.
@@ -526,6 +668,7 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
             st.rf_src[r] = w;
             st.events[r].val = st.events[w].val;
         }
+        faultpoint::hit(FaultPoint::CoMenuBuild, faultpoint::config_key(driver.pos));
         ctx.graphs.co_menus_into(&parts.locs, &st.rf_src, &mut st.menus);
         let rf_ok = ctx.graphs.rf_only_consistent(&parts.locs, &st.rf_src);
         let kept = st.menus.kept();
@@ -534,15 +677,32 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
             driver.advance_one();
             continue;
         }
-        driver.add_pruned(driver.co_total - kept);
-        st.rels.derive_rf(&ctx.core, arena);
-
         // The coherence scope: one menu combination per candidate, over
         // the whole menu odometer or the unit's sub-range of it.
         let (co_s, co_e) = match co_range {
             None => (0, kept),
             Some((s, e)) => (s.min(kept), e.min(kept)),
         };
+        // Unit-boundary budget check for co-sub-range units, *before* the
+        // menu prunes are claimed: an interrupted unit classifies its
+        // whole share — emitted slice and (if it owns them) menu prunes —
+        // as remaining, so a resumed run can re-account them exactly.
+        if co_range.is_some() {
+            if let Some(reason) = budget.check(stats.emitted) {
+                stats.stopped = Some(reason);
+                stats.remaining = (co_e - co_s).saturating_add(if accounts_prunes {
+                    driver.co_total - kept
+                } else {
+                    0
+                });
+                stats.resume = Some(ResumePoint { rf_pos: driver.pos, co_next: co_s });
+                break 'scopes;
+            }
+        }
+        driver.add_pruned(driver.co_total - kept);
+        faultpoint::hit(FaultPoint::ArenaCheckpoint, faultpoint::config_key(driver.pos));
+        st.rels.derive_rf(&ctx.core, arena);
+
         if co_s < co_e {
             // Seek the menu odometer to `co_s` (mixed radix, digit 0
             // least significant — the same layout `CoMenus::bump` walks).
@@ -560,6 +720,10 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
                 }
                 st.rels.derive_co(&ctx.core, arena);
                 let fx = ExecFrame { core: &ctx.core, events: &st.events, rels: &st.rels };
+                faultpoint::hit(
+                    FaultPoint::CandidateCheck,
+                    faultpoint::candidate_key(driver.pos, visited),
+                );
                 let verdict = st.checker.check(arch, &fx, arena);
                 stats.emitted += 1;
                 if verdict.allowed() {
@@ -569,6 +733,22 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
                 visited += 1;
                 if visited >= co_e || !st.menus.bump(&mut st.co_pick) {
                     break;
+                }
+                // Mid-odometer budget check: the cheap compare-and-load
+                // every candidate, the clock only every 1024 emits (the
+                // `~2^k` cadence that keeps overhead under the perf gate).
+                let hit = if stats.emitted & 1023 == 0 {
+                    budget.check(stats.emitted)
+                } else {
+                    budget.check_fast(stats.emitted)
+                };
+                if let Some(reason) = hit {
+                    stats.stopped = Some(reason);
+                    stats.remaining = (co_e - visited).saturating_add(
+                        (driver.end - driver.pos - 1).saturating_mul(driver.co_total),
+                    );
+                    stats.resume = Some(ResumePoint { rf_pos: driver.pos, co_next: visited });
+                    break 'scopes;
                 }
             }
         }

@@ -1,0 +1,187 @@
+//! Deterministic fault injection for the execution stack.
+//!
+//! The robustness contract of [`crate::sched`] — no wedge, no lost units,
+//! no corrupted accounting under any single-point failure — is only worth
+//! stating if it can be *exercised*. This module plants named fault
+//! points on the hot path (unit claim, rf-scope arena refresh, co-menu
+//! build, candidate check) that a test-controlled [`FaultPlan`] can trip
+//! with a panic, a delay, or a spurious cancellation.
+//!
+//! Two properties make the harness usable:
+//!
+//! * **Zero cost when disabled.** Without the `fault-injection` cargo
+//!   feature, [`hit`] is an empty `#[inline(always)]` function — the
+//!   production engine carries no atomic loads, no locks, nothing.
+//! * **Worker-count independence.** A plan triggers on the *identity* of
+//!   the work (the unit index, the rf-configuration linear index, the
+//!   `(configuration, coherence-ordinal)` pair — see [`config_key`] and
+//!   [`candidate_key`]), never on hit order. Hit order depends on thread
+//!   scheduling; identities do not, so an injected fault lands on the
+//!   same logical work whether 1 or 16 workers run — which is exactly
+//!   what lets the `robustness` suite pin salvage behaviour across
+//!   worker counts.
+//!
+//! A plan fires **once** (single-point failure): after triggering it
+//! disarms itself, so salvage paths that revisit the same work — e.g.
+//! the scheduler re-measuring a poisoned unit's remaining space — do not
+//! re-trip it.
+
+use std::time::Duration;
+
+/// Named instrumentation points on the execution stack's hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A worker claimed a work unit from the stealing cursor
+    /// ([`crate::sched::execute_units`]); key = unit index.
+    UnitClaim,
+    /// The engine is about to refresh an rf-scope's arena slots
+    /// (`derive_rf`); key = [`config_key`] of the rf configuration.
+    ArenaCheckpoint,
+    /// The engine is about to build one rf configuration's surviving
+    /// coherence menus; key = [`config_key`] of the rf configuration.
+    CoMenuBuild,
+    /// The engine is about to check one candidate; key =
+    /// [`candidate_key`] of the `(configuration, ordinal)` pair.
+    CandidateCheck,
+}
+
+/// What an armed fault does when its point and key match.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Panic with a `"faultpoint: ..."` string payload (suppressed by the
+    /// quiet panic hook the install guard sets, so intentional faults do
+    /// not spray backtraces over test output).
+    Panic,
+    /// Sleep for the given duration — a straggler, not a failure.
+    Delay(Duration),
+    /// Trip the given cancel token — a spurious external cancellation.
+    Cancel(crate::sched::CancelToken),
+}
+
+/// One armed fault: fires once when `hit(point, key)` matches.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The instrumentation point to trip.
+    pub point: FaultPoint,
+    /// The deterministic work identity to trip on (see [`FaultPoint`] for
+    /// each point's key derivation).
+    pub key: u64,
+    /// What happens on the (first) matching hit.
+    pub action: FaultAction,
+}
+
+/// The key of an rf-configuration-level fault point: the configuration's
+/// linear rf-odometer index, truncated to `u64` (litmus-scale rf spaces
+/// fit with room to spare).
+pub fn config_key(pos: u128) -> u64 {
+    pos as u64
+}
+
+/// The key of a candidate-level fault point: a deterministic fold of the
+/// rf configuration's linear index and the candidate's coherence-menu
+/// ordinal within it.
+pub fn candidate_key(pos: u128, ordinal: u128) -> u64 {
+    (pos as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (ordinal as u64)
+}
+
+/// Reports a hit of `point` with deterministic identity `key`. Compiled
+/// to nothing without the `fault-injection` feature; with it, triggers
+/// the installed [`FaultPlan`] when point and key match (once).
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hit(_point: FaultPoint, _key: u64) {}
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::{FaultAction, FaultPlan, FaultPoint};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Fast-path arm flag: `hit` is one relaxed load when no plan is
+    /// installed (the common case even in fault-injection builds).
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static PLAN: Mutex<Option<Active>> = Mutex::new(None);
+    /// Serialises tests that install plans: the harness state is global,
+    /// so two concurrently-installed plans would race.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+    struct Active {
+        plan: FaultPlan,
+        fired: bool,
+    }
+
+    fn plan_lock() -> MutexGuard<'static, Option<Active>> {
+        PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// RAII handle for an installed plan: holds the global test-exclusivity
+    /// lock and disarms the harness on drop.
+    pub struct FaultGuard {
+        _exclusive: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            ARMED.store(false, Ordering::SeqCst);
+            *plan_lock() = None;
+        }
+    }
+
+    /// Installs the process-wide quiet panic hook once: injected
+    /// `"faultpoint: ..."` panics are intentional, so their backtraces
+    /// are suppressed; every other panic still reaches the prior hook.
+    fn quiet_hook() {
+        static ONCE: OnceLock<()> = OnceLock::new();
+        ONCE.get_or_init(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("faultpoint:"));
+                if !injected {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Arms `plan` for the whole process until the returned guard drops.
+    /// Takes the global exclusivity lock, so concurrent installs (e.g.
+    /// parallel `#[test]`s) serialise instead of racing.
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        let exclusive = EXCLUSIVE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        quiet_hook();
+        *plan_lock() = Some(Active { plan, fired: false });
+        ARMED.store(true, Ordering::SeqCst);
+        FaultGuard { _exclusive: exclusive }
+    }
+
+    /// The armed implementation of [`super::hit`]: fires the installed
+    /// plan's action on the first matching `(point, key)`.
+    pub fn hit(point: FaultPoint, key: u64) {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let action = {
+            let mut guard = plan_lock();
+            match guard.as_mut() {
+                Some(a) if !a.fired && a.plan.point == point && a.plan.key == key => {
+                    a.fired = true;
+                    a.plan.action.clone()
+                }
+                _ => return,
+            }
+        };
+        match action {
+            FaultAction::Panic => {
+                panic!("faultpoint: injected panic at {point:?} key {key}")
+            }
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Cancel(token) => token.cancel(),
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use armed::{hit, install, FaultGuard};

@@ -138,6 +138,32 @@
 //! differentially pinned against the enumeration engine by
 //! `tests/consistency_differential.rs`.
 //!
+//! # Graceful degradation — bounded experiments (Sec 8.3)
+//!
+//! The paper's experimental campaigns are *bounded*: hardware runs
+//! against sometimes-flaky machines under wall-clock and iteration
+//! limits, and the reported tables still account for every experiment,
+//! finished or not. The robustness layer gives the simulator the same
+//! vocabulary — a run that hits a limit or loses a worker degrades to a
+//! *partial* result whose accounting is exact, never to a crash or a
+//! silent undercount:
+//!
+//! | term | meaning | where |
+//! |---|---|---|
+//! | budget | the load-shedding knobs of a bounded experiment — an optional deadline, emitted-candidate cap, and cooperative cancel token — checked per candidate (compare + relaxed load) and on unit/rf boundaries (the clock read) | [`crate::sched::Budget`], [`crate::sched::CancelToken`] |
+//! | stop reason | *why* a run degraded: deadline, cancellation, or candidate budget | [`crate::sched::StopReason`], [`crate::enumerate::CheckedStats::stopped`] |
+//! | partition identity | the invariant every partial result keeps: `emitted + pruned + remaining == candidate_count()`, with `remaining` recovered in O(digits) from the odometer position | [`crate::enumerate::CheckedStats::remaining`] |
+//! | resume point | the cut position a stopped run names, so a later call finishes exactly the tail the budget cut off | [`crate::enumerate::ResumePoint`], [`crate::enumerate::Skeleton::check_stream_arena_resume`] |
+//! | poisoned unit | a work unit whose worker panicked: the executor catches it, repairs the worker, keeps stealing — callers salvage every other unit and measure the lost sub-range as remaining | [`crate::sched::UnitResult`], [`crate::sched::SchedOutcome`] |
+//! | fault point | a named seam of the engine (unit claim, arena checkpoint, co-menu build, candidate check) where the cfg-gated harness can deterministically inject a panic, delay, or spurious cancel, keyed by enumeration position so faults land on the same logical work whatever the worker count | [`crate::faultpoint`] |
+//!
+//! Downstream, the litmus driver folds all of this into `PartialSim`
+//! (stop reason + lost units + remaining), `herd-machine` reports the
+//! uncompared tail of a budget-tripped comparison, and the `herd-hw`
+//! campaigns retry flaky machines under a bounded attempt budget,
+//! degrading exhausted tests to named `lost` entries — the Sec 8.3
+//! bounded-experiment methodology, end to end.
+//!
 //! # Litmus names (Tab III)
 //!
 //! | classic | systematic | description |

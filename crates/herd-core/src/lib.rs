@@ -24,7 +24,12 @@
 //! - [`sched`]: the hierarchical work scheduler — [`sched::WorkPlan`]s
 //!   decompose the combined rf×co odometer (co-level splitting within one
 //!   rf configuration for co-heavy tests) and a work-stealing executor
-//!   drives every parallel entry point of the workspace.
+//!   drives every parallel entry point of the workspace, with
+//!   [`sched::Budget`]/[`sched::CancelToken`] graceful degradation and
+//!   per-unit panic isolation.
+//! - [`faultpoint`]: the deterministic fault-injection harness behind the
+//!   robustness suite — named fault points on the hot path, zero-cost
+//!   unless the `fault-injection` feature is on.
 //! - [`uniproc`] / [`thinair`]: the two pruning axes of herd's
 //!   `-speedcheck` (Sec 8.3) — per-location SC PER LOCATION masks and the
 //!   incremental NO THIN AIR happens-before tracker.
@@ -63,6 +68,7 @@ pub mod dot;
 pub mod enumerate;
 pub mod event;
 pub mod exec;
+pub mod faultpoint;
 pub mod fixtures;
 pub mod glossary;
 pub mod model;

@@ -37,10 +37,148 @@
 use crate::arena::RelArena;
 use crate::enumerate::{run_arena_range, CheckedStats, EngineCtx, EngineState, RfDriver, Skeleton};
 use crate::exec::ExecFrame;
+use crate::faultpoint::{self, FaultPoint};
 use crate::model::{Architecture, Verdict};
 use crate::thinair::ThinAirTracker;
 use crate::uniproc::CoMenus;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag, shareable across threads and across
+/// the whole execution stack: clone it into a [`Budget`], keep the
+/// original, and [`CancelToken::cancel`] stops every enumeration checking
+/// that budget at its next check point — mid-odometer, with exact
+/// accounting ([`CheckedStats::remaining`]).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token: every budget holding a clone observes it at its
+    /// next check point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the token been tripped?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why an enumeration stopped before exhausting its range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The [`Budget`] deadline passed.
+    Deadline,
+    /// The [`Budget`]'s [`CancelToken`] was tripped.
+    Cancelled,
+    /// The emitted-candidate budget was exhausted.
+    CandidateBudget,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Deadline => f.write_str("deadline passed"),
+            StopReason::Cancelled => f.write_str("cancelled"),
+            StopReason::CandidateBudget => f.write_str("candidate budget exhausted"),
+        }
+    }
+}
+
+/// An execution budget: a wall-clock deadline, an emitted-candidate
+/// bound, and/or a cooperative [`CancelToken`] — the load-shedding knobs
+/// of the Sec 8.3 experimental methodology (bounded experiments on flaky
+/// machines) threaded through the whole engine.
+///
+/// Budgets are checked on unit boundaries and inside `run_arena_range`:
+/// the candidate bound and the cancel flag on every candidate (a compare
+/// and a relaxed load), the deadline only on rf-configuration boundaries
+/// and every 1024 emitted candidates (`Instant::now` is the expensive
+/// one). A tripped budget stops enumeration mid-odometer with *exact*
+/// accounting: `emitted + pruned + remaining` still equals the range's
+/// candidate count, and [`CheckedStats::resume`] names the cut point.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_candidates: Option<u128>,
+    cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// The no-op budget: never stops anything, costs two branch tests per
+    /// candidate.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Stop (with [`StopReason::Deadline`]) once `deadline` has passed.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// [`Budget::with_deadline`], relative to now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Stop (with [`StopReason::CandidateBudget`]) after emitting at most
+    /// `max` candidates.
+    pub fn with_max_candidates(mut self, max: u128) -> Self {
+        self.max_candidates = Some(max);
+        self
+    }
+
+    /// Stop (with [`StopReason::Cancelled`]) once `token` is tripped.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Is this the no-op budget?
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_candidates.is_none() && self.cancel.is_none()
+    }
+
+    /// The cheap per-candidate check: candidate bound and cancel flag
+    /// only (no clock read).
+    #[inline]
+    pub fn check_fast(&self, emitted: u128) -> Option<StopReason> {
+        if let Some(max) = self.max_candidates {
+            if emitted >= max {
+                return Some(StopReason::CandidateBudget);
+            }
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        None
+    }
+
+    /// The full check: [`Budget::check_fast`] plus the deadline.
+    pub fn check(&self, emitted: u128) -> Option<StopReason> {
+        if let Some(reason) = self.check_fast(emitted) {
+            return Some(reason);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+}
 
 /// One schedulable sub-range of a skeleton's rf×co enumeration space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -262,11 +400,75 @@ fn rf_range_units(total: u128, target: u128) -> Vec<WorkUnit> {
         .collect()
 }
 
+/// The outcome of one work unit under the panic-isolated executor.
+#[derive(Debug)]
+pub enum UnitResult<R> {
+    /// The unit ran to completion.
+    Done(R),
+    /// The unit's `run` panicked. The worker rebuilt its state and kept
+    /// stealing; every other unit's result is intact.
+    Poisoned {
+        /// The panic payload, stringified (`"non-string panic payload"`
+        /// when the payload was neither `String` nor `&str`).
+        payload: String,
+    },
+}
+
+impl<R> UnitResult<R> {
+    /// The completed result, if the unit was not poisoned.
+    pub fn done(self) -> Option<R> {
+        match self {
+            UnitResult::Done(r) => Some(r),
+            UnitResult::Poisoned { .. } => None,
+        }
+    }
+
+    /// Borrowing twin of [`UnitResult::done`].
+    pub fn as_done(&self) -> Option<&R> {
+        match self {
+            UnitResult::Done(r) => Some(r),
+            UnitResult::Poisoned { .. } => None,
+        }
+    }
+
+    /// Did the unit panic?
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, UnitResult::Poisoned { .. })
+    }
+
+    /// The panic payload, if the unit was poisoned.
+    pub fn poison_payload(&self) -> Option<&str> {
+        match self {
+            UnitResult::Done(_) => None,
+            UnitResult::Poisoned { payload } => Some(payload),
+        }
+    }
+}
+
+fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    match p.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
 /// The lock-light work-stealing executor behind every parallel entry
 /// point: `units` indices are handed out through one atomic cursor;
 /// worker `w` owns the state `init(w)` builds (arena, sinks, accumulators
 /// — never shared, never locked) and runs `run(&mut state, unit)` for
 /// every unit it steals.
+///
+/// Per-unit panic isolation: each `run` call is wrapped in
+/// `catch_unwind`, so a panicking unit becomes [`UnitResult::Poisoned`]
+/// instead of aborting the run — the worker calls `repair` on its state
+/// (a panic can leave the *engine* part mid-mutation; accumulated results
+/// must survive, so the caller, not the executor, decides what to rebuild)
+/// and keeps stealing, and every completed unit's result is intact. The
+/// inline (`workers <= 1`) path catches identically, so poisoning
+/// behaviour is worker-count independent.
 ///
 /// Returns the per-worker states (for the caller to merge) and the
 /// per-unit results, indexed by unit. With `workers <= 1` or a single
@@ -276,21 +478,40 @@ pub fn execute_units<S, R>(
     units: usize,
     workers: usize,
     init: impl Fn(usize) -> S + Sync,
+    repair: impl Fn(&mut S) + Sync,
     run: impl Fn(&mut S, usize) -> R + Sync,
-) -> (Vec<S>, Vec<R>)
+) -> (Vec<S>, Vec<UnitResult<R>>)
 where
     S: Send,
     R: Send,
 {
+    let guarded = |s: &mut S, u: usize| -> UnitResult<R> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            faultpoint::hit(FaultPoint::UnitClaim, u as u64);
+            run(s, u)
+        }));
+        match attempt {
+            Ok(r) => UnitResult::Done(r),
+            Err(p) => UnitResult::Poisoned { payload: panic_payload(p) },
+        }
+    };
     if workers <= 1 || units <= 1 {
         let mut s = init(0);
-        let out = (0..units).map(|u| run(&mut s, u)).collect();
+        let mut out = Vec::with_capacity(units);
+        for u in 0..units {
+            let r = guarded(&mut s, u);
+            if r.is_poisoned() {
+                // The panic may have torn the engine state mid-mutation.
+                repair(&mut s);
+            }
+            out.push(r);
+        }
         return (vec![s], out);
     }
     let workers = workers.min(units);
     let next = AtomicUsize::new(0);
-    let done: Vec<(S, Vec<(usize, R)>)> = std::thread::scope(|scope| {
-        let (next, init, run) = (&next, &init, &run);
+    let done: Vec<(S, Vec<(usize, UnitResult<R>)>)> = std::thread::scope(|scope| {
+        let (next, init, repair, guarded) = (&next, &init, &repair, &guarded);
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
@@ -301,17 +522,22 @@ where
                         if u >= units {
                             break;
                         }
-                        let r = run(&mut s, u);
+                        let r = guarded(&mut s, u);
+                        if r.is_poisoned() {
+                            repair(&mut s);
+                        }
                         mine.push((u, r));
                     }
                     (s, mine)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scheduler worker panicked")).collect()
+        // Workers cannot panic out of the loop above (every unit body is
+        // caught), so a join failure is a bug in the executor itself.
+        handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
     });
     let mut states = Vec::with_capacity(workers);
-    let mut slots: Vec<Option<R>> = (0..units).map(|_| None).collect();
+    let mut slots: Vec<Option<UnitResult<R>>> = (0..units).map(|_| None).collect();
     for (s, mine) in done {
         states.push(s);
         for (u, r) in mine {
@@ -322,18 +548,72 @@ where
     (states, out)
 }
 
+/// One unit lost to a panic, as reported by
+/// [`Skeleton::check_stream_sched`] and its litmus-level callers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoisonedUnit {
+    /// Index into [`WorkPlan::units`] of the unit that panicked.
+    pub unit: usize,
+    /// The stringified panic payload.
+    pub payload: String,
+}
+
 /// What [`Skeleton::check_stream_sched`] returns: the merged stats, the
 /// per-unit stats (plan order), and the per-worker sinks for the caller
 /// to merge.
 pub struct SchedOutcome<S> {
-    /// Merged totals; `emitted + pruned` equals
-    /// [`Skeleton::candidate_count`], exactly as for the sharded engine.
+    /// Merged totals; `emitted + pruned + remaining` equals
+    /// [`Skeleton::candidate_count`] — with `remaining == 0` exactly when
+    /// the run completed (no budget stop, no poisoned unit).
     pub stats: CheckedStats,
-    /// Per-unit stats, indexed like [`WorkPlan::units`].
+    /// Per-unit stats, indexed like [`WorkPlan::units`]. A poisoned
+    /// unit's entry carries its whole space as `remaining` (its own
+    /// counters died with it), so the per-unit sum stays exact.
     pub unit_stats: Vec<CheckedStats>,
+    /// Units lost to panics (empty on a healthy run). Their completed
+    /// siblings' verdicts are all present in `sinks`.
+    pub poisoned: Vec<PoisonedUnit>,
     /// One sink per worker that ran (workers that stole nothing still
     /// appear; merge them all).
     pub sinks: Vec<S>,
+}
+
+impl<S> SchedOutcome<S> {
+    /// Did every unit complete with no budget stop?
+    pub fn is_complete(&self) -> bool {
+        self.poisoned.is_empty() && self.stats.stopped.is_none() && self.stats.remaining == 0
+    }
+}
+
+/// The exact candidate space of one unit, measured without emitting
+/// anything: a zero-candidate budget stops `run_arena_range` at its first
+/// boundary, which classifies the unit's whole range as pruned-or-
+/// remaining in O(one rf scope). Used to restore exact accounting for
+/// poisoned units, whose own counters died with the panic.
+fn unit_space<A: Architecture + Sync + ?Sized>(
+    ctx: &EngineCtx,
+    arch: &A,
+    unit: &WorkUnit,
+) -> CheckedStats {
+    let mut arena = RelArena::new(0);
+    let mut st = EngineState::new(ctx, arch, &mut arena);
+    let nothing = Budget::unlimited().with_max_candidates(0);
+    let mut stats = run_arena_range(
+        ctx,
+        arch,
+        &mut arena,
+        &mut st,
+        unit.rf_start,
+        unit.rf_end,
+        unit.co,
+        &nothing,
+        &mut |_, _, _| {},
+    );
+    // The measuring budget is an artefact; the unit stopped because it
+    // was poisoned, which `SchedOutcome::poisoned` already records.
+    stats.stopped = None;
+    stats.resume = None;
+    stats
 }
 
 impl Skeleton {
@@ -357,8 +637,31 @@ impl Skeleton {
         A: Architecture + Sync + ?Sized,
         S: FnMut(&ExecFrame<'_>, &RelArena, Verdict) + Send,
     {
+        self.check_stream_sched_budgeted(arch, plan, workers, &Budget::unlimited(), make_sink)
+    }
+
+    /// [`Skeleton::check_stream_sched`] under a [`Budget`]: the budget is
+    /// checked inside every unit (so a deadline, candidate bound or
+    /// cancellation stops the run mid-odometer) and unit-by-unit (a unit
+    /// claimed after the budget tripped is classified — pruned/remaining —
+    /// in one rf scope without emitting anything). Poisoned units are
+    /// salvaged the same way; either way the merged
+    /// `emitted + pruned + remaining` equals
+    /// [`Skeleton::candidate_count`] exactly.
+    pub fn check_stream_sched_budgeted<A, S>(
+        &self,
+        arch: &A,
+        plan: &WorkPlan,
+        workers: usize,
+        budget: &Budget,
+        make_sink: impl Fn(usize) -> S + Sync,
+    ) -> SchedOutcome<S>
+    where
+        A: Architecture + Sync + ?Sized,
+        S: FnMut(&ExecFrame<'_>, &RelArena, Verdict) + Send,
+    {
         let ctx = EngineCtx::new(self, arch);
-        let (states, unit_stats) = execute_units(
+        let (states, results) = execute_units(
             plan.units.len(),
             workers,
             |w| {
@@ -366,18 +669,49 @@ impl Skeleton {
                 let st = EngineState::new(&ctx, arch, &mut arena);
                 (arena, st, make_sink(w))
             },
+            // A panic can tear the arena/engine state mid-mutation;
+            // rebuild those two, but never the sink — the worker's
+            // completed units' verdicts live there.
+            |(arena, st, _)| {
+                *st = EngineState::new(&ctx, arch, arena);
+            },
             |(arena, st, sink), u| {
                 let unit = &plan.units[u];
-                run_arena_range(&ctx, arch, arena, st, unit.rf_start, unit.rf_end, unit.co, sink)
+                run_arena_range(
+                    &ctx,
+                    arch,
+                    arena,
+                    st,
+                    unit.rf_start,
+                    unit.rf_end,
+                    unit.co,
+                    budget,
+                    sink,
+                )
             },
         );
+        let mut unit_stats = Vec::with_capacity(results.len());
+        let mut poisoned = Vec::new();
+        for (u, r) in results.into_iter().enumerate() {
+            match r {
+                UnitResult::Done(s) => unit_stats.push(s),
+                UnitResult::Poisoned { payload } => {
+                    poisoned.push(PoisonedUnit { unit: u, payload });
+                    unit_stats.push(unit_space(&ctx, arch, &plan.units[u]));
+                }
+            }
+        }
         let mut stats = CheckedStats::default();
         for s in &unit_stats {
-            stats.emitted += s.emitted;
-            stats.pruned += s.pruned;
-            stats.allowed += s.allowed;
+            stats.absorb(s);
         }
-        SchedOutcome { stats, unit_stats, sinks: states.into_iter().map(|(_, _, s)| s).collect() }
+        stats.resume = None; // per-unit cut points, not a single linear one
+        SchedOutcome {
+            stats,
+            unit_stats,
+            poisoned,
+            sinks: states.into_iter().map(|(_, _, s)| s).collect(),
+        }
     }
 }
 
@@ -465,6 +799,7 @@ mod tests {
             37,
             4,
             |w| (w, 0usize),
+            |_| {},
             |s, u| {
                 s.1 += 1;
                 u * 2
@@ -472,7 +807,7 @@ mod tests {
         );
         assert_eq!(results.len(), 37);
         for (u, r) in results.iter().enumerate() {
-            assert_eq!(*r, u * 2);
+            assert_eq!(r.as_done(), Some(&(u * 2)), "unit {u} completed");
         }
         let total: usize = states.iter().map(|s| s.1).sum();
         assert_eq!(total, 37, "every unit ran exactly once");

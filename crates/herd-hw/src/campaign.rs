@@ -22,11 +22,19 @@
 //! owned path paid. Campaigns fan their tests out over the
 //! [`herd_core::sched`] work-stealing executor with one
 //! deterministically-derived RNG per test.
+//!
+//! Campaigns degrade instead of crashing: a test whose judging unit
+//! panics is isolated by the executor and recorded in
+//! [`CampaignSummary::lost`] while every sibling's verdict is salvaged,
+//! and tests on a [`FlakyMachine`] get bounded reseeded retries
+//! ([`run_test_retry`]) whose schedule depends only on
+//! `(seed, test name, attempt)` — never on worker count or steal order.
 
+use crate::flaky::{Flake, FlakyMachine};
 use crate::silicon::{Machine, Rarity};
 use herd_core::arch::Sc;
 use herd_core::model::Architecture;
-use herd_core::sched;
+use herd_core::sched::{self, UnitResult};
 use herd_litmus::candidates::{self, Candidate, CandidateError, EnumOptions, RegFinal};
 use herd_litmus::isa::Reg;
 use herd_litmus::program::LitmusTest;
@@ -113,6 +121,81 @@ pub fn run_test(
     Ok(RunOutcome { states, iterations })
 }
 
+/// The RNG of one retry attempt: attempt 0 reproduces [`test_rng`]
+/// bit-for-bit (so a never-flaky machine yields the plain campaign's
+/// outcome exactly), later attempts reseed with an attempt-derived salt.
+fn attempt_rng(seed: u64, index: usize, attempt: u32) -> StdRng {
+    test_rng(seed ^ u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407), index)
+}
+
+/// One test's bounded-retry outcome on a flaky machine.
+#[derive(Clone, Debug)]
+pub struct RetriedRun {
+    /// The first honest run, or `None` when every attempt flaked.
+    pub outcome: Option<RunOutcome>,
+    /// Attempts consumed, the successful one included.
+    pub attempts: u32,
+    /// What each failed attempt did, in attempt order.
+    pub flakes: Vec<Flake>,
+}
+
+/// Runs `test` on a flaky machine with up to `max_attempts` attempts,
+/// reseeding the RNG per attempt.
+///
+/// Every retry decision derives from `(seed, test name, attempt)` — never
+/// from scheduling order — so campaigns over flaky machines stay
+/// worker-count independent. An aborted attempt yields nothing; a
+/// misreporting attempt produces a garbage report (checked against the
+/// schedule and discarded). When the budget runs out the test is reported
+/// lost (`outcome: None`), not a hard error.
+///
+/// # Errors
+///
+/// Propagates candidate-enumeration failures.
+pub fn run_test_retry(
+    flaky: &FlakyMachine,
+    test: &LitmusTest,
+    iterations: u64,
+    seed: u64,
+    index: usize,
+    max_attempts: u32,
+) -> Result<RetriedRun, CandidateError> {
+    let budget = max_attempts.max(1);
+    let mut flakes = Vec::new();
+    for attempt in 0..budget {
+        let mut rng = attempt_rng(seed, index, attempt);
+        match flaky.flake(&test.name, attempt) {
+            Some(f @ Flake::Abort) => flakes.push(f),
+            Some(f @ Flake::Misreport) => {
+                // The harness ran but reported garbage: only the modal
+                // state survives. The schedule tells us the attempt is
+                // tainted, so the report is dropped and the test retried.
+                let honest = run_test(flaky.machine(), test, iterations, &mut rng)?;
+                let garbage = misreport(&honest);
+                debug_assert!(garbage.states.len() <= 1);
+                flakes.push(f);
+            }
+            None => {
+                let outcome = run_test(flaky.machine(), test, iterations, &mut rng)?;
+                return Ok(RetriedRun { outcome: Some(outcome), attempts: attempt + 1, flakes });
+            }
+        }
+    }
+    Ok(RetriedRun { outcome: None, attempts: budget, flakes })
+}
+
+/// What a misreporting harness hands back: the modal state only, every
+/// rare outcome silently dropped (the worst kind of testbed lie — it
+/// looks like a clean SC run).
+fn misreport(honest: &RunOutcome) -> RunOutcome {
+    let modal = honest
+        .states
+        .iter()
+        .max_by_key(|(_, c)| **c)
+        .map(|(s, c)| (s.clone(), honest.iterations.max(*c)));
+    RunOutcome { states: modal.into_iter().collect(), iterations: honest.iterations }
+}
+
 /// Samples a count with mean `expected`: exact Poisson for small means,
 /// normal approximation above.
 fn sample_poissonish(expected: f64, rng: &mut StdRng) -> u64 {
@@ -172,6 +255,17 @@ impl TestReport {
     }
 }
 
+/// A test that produced no verdict: its judging unit panicked (and was
+/// isolated, every sibling salvaged), or it exhausted its retry budget on
+/// a flaky machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LostTest {
+    /// Test name.
+    pub name: String,
+    /// Why the test was lost, human-readable.
+    pub reason: String,
+}
+
 /// A whole campaign: many tests, one machine, one reference model
 /// (Tab V's rows).
 #[derive(Clone, Debug)]
@@ -188,16 +282,33 @@ pub struct CampaignSummary {
     pub unseen: usize,
     /// Tab VIII: axiom-set label → number of invalid observations.
     pub classification: BTreeMap<String, usize>,
-    /// Per-test details.
+    /// Per-test details (lost tests excluded).
     pub reports: Vec<TestReport>,
+    /// Tests that produced no verdict (panicked unit, exhausted retries).
+    /// The rest of the summary covers every test *not* listed here.
+    pub lost: Vec<LostTest>,
 }
 
 impl CampaignSummary {
+    /// Did every test produce a verdict?
+    pub fn is_complete(&self) -> bool {
+        self.lost.is_empty()
+    }
+
     /// Renders the Tab V row.
     pub fn table_row(&self) -> String {
         format!(
-            "{:12} vs {:12}  # tests {:5}  invalid {:4}  unseen {:4}",
-            self.machine, self.model, self.tests, self.invalid, self.unseen
+            "{:12} vs {:12}  # tests {:5}  invalid {:4}  unseen {:4}{}",
+            self.machine,
+            self.model,
+            self.tests,
+            self.invalid,
+            self.unseen,
+            if self.lost.is_empty() {
+                String::new()
+            } else {
+                format!("  lost {:4}", self.lost.len())
+            }
         )
     }
 }
@@ -215,10 +326,8 @@ fn campaign_test(
     machine: &Machine,
     test: &LitmusTest,
     reference: &(dyn Architecture + Sync),
-    iterations: u64,
-    rng: &mut StdRng,
+    run: RunOutcome,
 ) -> Result<(TestReport, Vec<String>), CandidateError> {
-    let run = run_test(machine, test, iterations, rng)?;
     let mut model_allowed = BTreeSet::new();
     // For classification: per state, remember the reference verdicts of
     // the silicon-allowed candidates producing it.
@@ -266,7 +375,9 @@ fn campaign_test(
 /// Tests fan out over the [`herd_core::sched`] work-stealing executor
 /// (every core busy until the queue drains); each test's RNG is derived
 /// from `(seed, index)`, so the summary is identical whatever the worker
-/// count or steal order.
+/// count or steal order. A test whose judging unit panics is isolated —
+/// it lands in [`CampaignSummary::lost`] while every other test's verdict
+/// is salvaged.
 ///
 /// # Errors
 ///
@@ -278,24 +389,112 @@ pub fn campaign(
     iterations: u64,
     seed: u64,
 ) -> Result<CampaignSummary, CandidateError> {
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests.len());
+    campaign_with_workers(machine, tests, reference, iterations, seed, default_workers(tests.len()))
+}
+
+/// [`campaign`] with an explicit worker count (the worker-count
+/// independence tests pin that any count yields the same summary).
+///
+/// # Errors
+///
+/// Propagates candidate-enumeration failures.
+pub fn campaign_with_workers(
+    machine: &Machine,
+    tests: &[LitmusTest],
+    reference: &(dyn Architecture + Sync),
+    iterations: u64,
+    seed: u64,
+    workers: usize,
+) -> Result<CampaignSummary, CandidateError> {
+    campaign_impl(machine, None, 1, tests, reference, iterations, seed, workers)
+}
+
+/// Runs a campaign on a [`FlakyMachine`]: each test gets up to
+/// `max_attempts` reseeded attempts ([`run_test_retry`]); tests that
+/// exhaust the budget land in [`CampaignSummary::lost`] instead of
+/// failing the campaign.
+///
+/// # Errors
+///
+/// Propagates candidate-enumeration failures.
+pub fn campaign_flaky(
+    flaky: &FlakyMachine,
+    tests: &[LitmusTest],
+    reference: &(dyn Architecture + Sync),
+    iterations: u64,
+    seed: u64,
+    max_attempts: u32,
+    workers: usize,
+) -> Result<CampaignSummary, CandidateError> {
+    campaign_impl(
+        flaky.machine(),
+        Some(flaky),
+        max_attempts,
+        tests,
+        reference,
+        iterations,
+        seed,
+        workers,
+    )
+}
+
+fn default_workers(tests: usize) -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get()).min(tests).max(1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn campaign_impl(
+    machine: &Machine,
+    flaky: Option<&FlakyMachine>,
+    max_attempts: u32,
+    tests: &[LitmusTest],
+    reference: &(dyn Architecture + Sync),
+    iterations: u64,
+    seed: u64,
+    workers: usize,
+) -> Result<CampaignSummary, CandidateError> {
     let (_, results) = sched::execute_units(
         tests.len(),
         workers.max(1),
         |_| (),
-        |(), i| {
-            let mut rng = test_rng(seed, i);
-            campaign_test(machine, &tests[i], reference, iterations, &mut rng)
+        |_| {},
+        |(), i| -> Result<Option<(TestReport, Vec<String>)>, CandidateError> {
+            let run = match flaky {
+                None => {
+                    let mut rng = test_rng(seed, i);
+                    run_test(machine, &tests[i], iterations, &mut rng)?
+                }
+                Some(f) => {
+                    match run_test_retry(f, &tests[i], iterations, seed, i, max_attempts)?.outcome {
+                        Some(run) => run,
+                        None => return Ok(None), // retry budget exhausted
+                    }
+                }
+            };
+            campaign_test(machine, &tests[i], reference, run).map(Some)
         },
     );
     let mut reports = Vec::with_capacity(tests.len());
+    let mut lost = Vec::new();
     let mut classification: BTreeMap<String, usize> = BTreeMap::new();
-    for result in results {
-        let (report, labels) = result?;
-        for label in labels {
-            *classification.entry(label).or_insert(0) += 1;
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            UnitResult::Done(Ok(Some((report, labels)))) => {
+                for label in labels {
+                    *classification.entry(label).or_insert(0) += 1;
+                }
+                reports.push(report);
+            }
+            UnitResult::Done(Ok(None)) => lost.push(LostTest {
+                name: tests[i].name.clone(),
+                reason: format!("retry budget ({max_attempts}) exhausted"),
+            }),
+            UnitResult::Done(Err(e)) => return Err(e),
+            UnitResult::Poisoned { payload } => lost.push(LostTest {
+                name: tests[i].name.clone(),
+                reason: format!("judging unit panicked: {payload}"),
+            }),
         }
-        reports.push(report);
     }
     let invalid = reports.iter().filter(|r| r.is_invalid()).count();
     let unseen = reports.iter().filter(|r| r.has_unseen()).count();
@@ -307,6 +506,7 @@ pub fn campaign(
         unseen,
         classification,
         reports,
+        lost,
     })
 }
 
@@ -405,6 +605,80 @@ mod tests {
             assert_eq!(s_allowed, owned_allowed, "{}: model_allowed diverged", test.name);
             assert_eq!(s_labels, owned_labels, "{}: violation labels diverged", test.name);
         }
+    }
+
+    // Everything that should be identical across equivalent campaigns,
+    // in one comparable blob (the structs don't derive `PartialEq`).
+    fn fingerprint(s: &CampaignSummary) -> String {
+        format!("{:?}", (s.tests, s.invalid, s.unseen, &s.classification, &s.reports, &s.lost))
+    }
+
+    #[test]
+    fn clean_flaky_schedule_matches_plain_campaign_exactly() {
+        let machine = &arm_machines()[0];
+        let tests = arm_tests();
+        let reference = Arm::new(ArmVariant::Proposed);
+        let plain = campaign(machine, &tests, &reference, 1_000_000, 9).unwrap();
+        // Attempt 0 reseeds to the plain RNG, so a never-flaky wrapper is
+        // indistinguishable from no wrapper at all.
+        let flaky = FlakyMachine::new(machine, 123).with_schedule(0, 0);
+        let wrapped = campaign_flaky(&flaky, &tests, &reference, 1_000_000, 9, 3, 2).unwrap();
+        assert_eq!(fingerprint(&plain), fingerprint(&wrapped));
+    }
+
+    #[test]
+    fn flaky_campaign_recovers_and_is_worker_count_independent() {
+        let machine = &arm_machines()[0];
+        let tests = arm_tests();
+        let reference = Arm::new(ArmVariant::Proposed);
+        let flaky = FlakyMachine::new(machine, 42);
+        assert!(
+            tests.iter().any(|t| flaky.flake(&t.name, 0).is_some()),
+            "the schedule actually selects corpus tests"
+        );
+        let budget = flaky.attempts_to_recover();
+        let runs: Vec<CampaignSummary> = [1usize, 2, 5]
+            .into_iter()
+            .map(|w| campaign_flaky(&flaky, &tests, &reference, 1_000_000, 42, budget, w).unwrap())
+            .collect();
+        assert!(runs[0].is_complete(), "a sufficient budget recovers every flaky test");
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[1]));
+        assert_eq!(fingerprint(&runs[0]), fingerprint(&runs[2]));
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_lost_tests() {
+        let machine = &arm_machines()[0];
+        let tests = arm_tests();
+        let reference = Arm::new(ArmVariant::Proposed);
+        // Fails 3 attempts per selected test, budget of 2: selected tests
+        // are lost, the rest of the campaign survives.
+        let flaky = FlakyMachine::new(machine, 42).with_schedule(2, 3);
+        let summary = campaign_flaky(&flaky, &tests, &reference, 1_000_000, 42, 2, 3).unwrap();
+        assert!(!summary.is_complete(), "some tests exhaust the budget");
+        assert_eq!(summary.reports.len() + summary.lost.len(), tests.len());
+        for lost in &summary.lost {
+            assert!(lost.reason.contains("retry budget"), "{}", lost.reason);
+            assert_eq!(flaky.flake(&lost.name, 0).is_some(), true, "only scheduled tests are lost");
+        }
+        assert!(!summary.reports.is_empty(), "unselected tests still report");
+    }
+
+    #[test]
+    fn retry_attempts_consume_the_schedule_in_order() {
+        let machine = &arm_machines()[0];
+        let tests = arm_tests();
+        let flaky = FlakyMachine::new(machine, 42);
+        let (i, flaky_test) = tests
+            .iter()
+            .enumerate()
+            .find(|(_, t)| flaky.flake(&t.name, 0).is_some())
+            .expect("schedule selects a corpus test");
+        let run = run_test_retry(&flaky, flaky_test, 1_000_000, 42, i, 5).unwrap();
+        assert_eq!(run.flakes.len() as u32, flaky.attempts_to_recover() - 1);
+        assert_eq!(run.attempts, flaky.attempts_to_recover());
+        let outcome = run.outcome.expect("recovers within budget");
+        assert!(!outcome.states.is_empty());
     }
 
     #[test]

@@ -14,11 +14,16 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod flaky;
 pub mod log;
 pub mod silicon;
 pub mod silicon_tso;
 
-pub use campaign::{campaign, run_test, CampaignSummary, RunOutcome, TestReport};
+pub use campaign::{
+    campaign, campaign_flaky, campaign_with_workers, run_test, run_test_retry, CampaignSummary,
+    LostTest, RetriedRun, RunOutcome, TestReport,
+};
+pub use flaky::{Flake, FlakyMachine};
 pub use log::{compare, hardware_log, judge_entry, model_log, Comparison, Log};
 pub use silicon::{
     arm_machines, power_machines, x86_machines, ArmErrata, ArmSilicon, Machine, PowerSilicon,

@@ -71,10 +71,18 @@ impl Candidate {
 pub enum CandidateError {
     /// Thread semantics failed.
     Sem(SemError),
-    /// The enumeration exceeded `max_candidates`.
+    /// The enumeration exceeded `max_candidates`. Carries the exact
+    /// progress at the point of interruption, so drivers can degrade to a
+    /// partial outcome with exact accounting instead of discarding
+    /// everything already learned.
     TooManyCandidates {
         /// The configured bound.
         bound: usize,
+        /// Candidates emitted (and judged by the sink) before the stop —
+        /// the bound plus one, the candidate that tripped it.
+        emitted: u128,
+        /// Candidates pruned at generation time before the stop.
+        pruned: u128,
     },
 }
 
@@ -82,8 +90,12 @@ impl fmt::Display for CandidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CandidateError::Sem(e) => write!(f, "instruction semantics: {e}"),
-            CandidateError::TooManyCandidates { bound } => {
-                write!(f, "more than {bound} candidate executions")
+            CandidateError::TooManyCandidates { bound, emitted, pruned } => {
+                write!(
+                    f,
+                    "more than {bound} candidate executions \
+                     ({emitted} emitted, {pruned} pruned at interruption)"
+                )
             }
         }
     }
@@ -534,6 +546,108 @@ pub fn count_rf_configs(test: &LitmusTest, opts: &EnumOptions) -> Result<u128, C
         }
         total = total.saturating_add(cfgs);
         if !bump(&mut pick, &radices) {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+/// The exact size of the candidate space of `test` — what
+/// `emitted + pruned` of an uninterrupted pruning stream totals — without
+/// checking or materialising anything: per rf configuration, the number
+/// of consistent value concretisations times the coherence-order count.
+/// This is the litmus-level `remaining` oracle: an interrupted run's
+/// unclassified work is `count_candidates - emitted - pruned`, exact.
+///
+/// Costs one equation solve per rf configuration (no coherence loop, no
+/// axiom checks) — the cheap planning-pass class, like
+/// [`count_rf_configs`].
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program.
+pub fn count_candidates(test: &LitmusTest, opts: &EnumOptions) -> Result<u128, CandidateError> {
+    count_candidates_owned(test, opts, EVERYTHING)
+}
+
+/// [`count_candidates`] restricted to the contiguous rf-configuration
+/// range `[start, end)` — the [`herd_core::sched::WorkUnit`] granularity,
+/// with the same global indexing as [`stream_range_verdicts`]. Summed over
+/// an exact partition of `[0, count_rf_configs)` this reproduces the
+/// whole-test count, so a lost unit's exact share of the space is
+/// recoverable without re-running it.
+///
+/// # Errors
+///
+/// Fails if thread semantics rejects the program.
+pub fn count_candidates_range(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    start: u128,
+    end: u128,
+) -> Result<u128, CandidateError> {
+    count_candidates_owned(test, opts, CfgOwner::Range { start, end })
+}
+
+fn count_candidates_owned(
+    test: &LitmusTest,
+    opts: &EnumOptions,
+    owner: CfgOwner,
+) -> Result<u128, CandidateError> {
+    let locs = LocTable::for_test(test);
+    let loc_map = locs.as_map();
+    let thread_paths = thread_paths(test, opts, &loc_map)?;
+    let domain = value_domain(test);
+    let mut total = 0u128;
+    // The same global configuration counter every streaming owner walks,
+    // so range ownership partitions the space identically here.
+    let mut cfg_idx = 0u64;
+    let mut pick = vec![0usize; thread_paths.len()];
+    'combos: loop {
+        let combo: Vec<&ThreadPath> =
+            pick.iter().zip(&thread_paths).map(|(&i, ps)| &ps[i]).collect();
+        let parts = combo_parts(test, &locs, &combo);
+        let symbols: Vec<SymId> = parts.reads.iter().map(|&r| SymId(r)).collect();
+        let mut rf_pick = vec![0usize; parts.reads.len()];
+        let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
+        loop {
+            let mine = {
+                let idx = cfg_idx;
+                cfg_idx += 1;
+                owner.owns(idx)
+            };
+            if mine {
+                let mut equations = parts.base_equations.clone();
+                for (k, &r) in parts.reads.iter().enumerate() {
+                    let w = parts.rf_choices[k][rf_pick[k]];
+                    equations.push(Equation::ReadsValue {
+                        sym: SymId(r),
+                        expr: parts.write_value[w].clone().expect("write has a value expression"),
+                    });
+                }
+                // A concretisation counts iff every thread event's value
+                // resolves — the same keep test `assemble` applies.
+                let concs = expr::solve(&symbols, &equations, &domain)
+                    .into_iter()
+                    .filter(|asg| {
+                        parts.events.iter().filter(|e| e.thread.is_some()).all(|e| match e.dir {
+                            Dir::R => asg.get(SymId(e.id)).is_some(),
+                            Dir::W => parts.write_value[e.id]
+                                .as_ref()
+                                .is_some_and(|x| x.eval(asg).is_some()),
+                        })
+                    })
+                    .count() as u128;
+                total = total.saturating_add(concs.saturating_mul(parts.co_total));
+            }
+            if owner.exhausted(cfg_idx) {
+                break 'combos;
+            }
+            if !bump(&mut rf_pick, &rf_radices) {
+                break;
+            }
+        }
+        if !bump(&mut pick, &thread_paths.iter().map(Vec::len).collect::<Vec<_>>()) {
             break;
         }
     }
@@ -1075,6 +1189,8 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                         if stats.emitted > opts.max_candidates {
                             return Err(CandidateError::TooManyCandidates {
                                 bound: opts.max_candidates,
+                                emitted: stats.emitted as u128,
+                                pruned: stats.pruned,
                             });
                         }
                         let more = match &menus {
@@ -1147,6 +1263,8 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                         if stats.emitted > opts.max_candidates {
                             return Err(CandidateError::TooManyCandidates {
                                 bound: opts.max_candidates,
+                                emitted: stats.emitted as u128,
+                                pruned: stats.pruned,
                             });
                         }
                     }

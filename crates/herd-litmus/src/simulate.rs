@@ -17,15 +17,61 @@
 //! [`simulate_corpus`] distributes a whole corpus over every core through
 //! the same executor (no static split, no idle workers).
 
-use crate::candidates::{
-    self, Candidate, CandidateError, EnumOptions, EnumStats, RegFinal, VerdictCandidate,
-};
+use crate::candidates::{self, Candidate, CandidateError, EnumOptions, RegFinal, VerdictCandidate};
 use crate::isa::Reg;
 use crate::program::{CondVal, LitmusTest, Prop, Quantifier};
 use herd_core::model::{self, ArchRelations, Architecture, Verdict};
 use herd_core::sched;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// Why a simulation stopped before classifying its whole space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimStop {
+    /// The `max_candidates` bound tripped.
+    CandidateBudget {
+        /// The configured bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for SimStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimStop::CandidateBudget { bound } => write!(f, "candidate budget ({bound})"),
+        }
+    }
+}
+
+/// One work unit lost to a panic during a parallel simulation: an
+/// rf-range unit for [`simulate_sharded`], a whole test for
+/// [`simulate_corpus`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LostUnit {
+    /// Index of the lost unit in its driver's unit order.
+    pub unit: usize,
+    /// The stringified panic payload.
+    pub payload: String,
+}
+
+/// The degradation record of a partial [`SimOutcome`]: what stopped the
+/// run and exactly how much of the candidate space was never classified.
+///
+/// Verdict-bearing fields of a partial outcome (`allowed`, `positive`,
+/// `negative`, `states`, `validated`) are computed from the candidates
+/// that *were* judged — lower bounds, not final answers. The accounting
+/// stays exact: `candidates == judged + pruned + remaining`, with the
+/// unreached share counted against the true space
+/// ([`crate::candidates::count_candidates`]), never inferred.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartialSim {
+    /// The budget that stopped enumeration, if one tripped.
+    pub stopped: Option<SimStop>,
+    /// Work units lost to panics (their siblings' verdicts all survive).
+    pub poisoned: Vec<LostUnit>,
+    /// Candidates neither judged nor pruned — exact.
+    pub remaining: u128,
+}
 
 /// Result of simulating one test under one model.
 #[derive(Clone, Debug)]
@@ -34,7 +80,9 @@ pub struct SimOutcome {
     pub test: String,
     /// Model name.
     pub arch: String,
-    /// Number of candidate executions (including pruned ones).
+    /// Number of candidate executions (including pruned ones). On a
+    /// partial outcome this still counts the *whole* space; `partial`
+    /// says how much of it was never reached.
     pub candidates: u128,
     /// Candidates discarded at generation time by uniproc or thin-air
     /// pruning (all of them forbidden by SC PER LOCATION respectively
@@ -50,6 +98,10 @@ pub struct SimOutcome {
     pub validated: bool,
     /// Rendered final states of the allowed executions.
     pub states: BTreeSet<String>,
+    /// `Some` when the run degraded instead of completing — a candidate
+    /// budget tripped or work units were lost to panics. `None` means
+    /// every candidate of the space was judged or pruned.
+    pub partial: Option<PartialSim>,
 }
 
 impl SimOutcome {
@@ -60,6 +112,11 @@ impl SimOutcome {
         } else {
             "No"
         }
+    }
+
+    /// Did the run classify its entire candidate space?
+    pub fn is_complete(&self) -> bool {
+        self.partial.is_none()
     }
 }
 
@@ -77,7 +134,18 @@ impl fmt::Display for SimOutcome {
             self.negative,
             self.candidates,
             self.allowed
-        )
+        )?;
+        if let Some(p) = &self.partial {
+            write!(f, "partial")?;
+            if let Some(stop) = &p.stopped {
+                write!(f, " — stopped by {stop}")?;
+            }
+            if !p.poisoned.is_empty() {
+                write!(f, " — {} unit(s) lost to panics", p.poisoned.len())?;
+            }
+            writeln!(f, " — {} candidate(s) unclassified", p.remaining)?;
+        }
+        Ok(())
     }
 }
 
@@ -103,20 +171,43 @@ pub fn simulate<A: Architecture + ?Sized>(
 /// place, no owned `Execution` is materialised, and the worker's relation
 /// arena is reset between candidates instead of reallocated.
 ///
+/// A tripped `max_candidates` bound no longer discards what was learned:
+/// the run degrades to a **partial** outcome ([`SimOutcome::partial`])
+/// whose verdicts cover the judged prefix and whose `remaining` is the
+/// exact unreached share of the space
+/// ([`candidates::count_candidates`]).
+///
 /// # Errors
 ///
-/// Propagates [`CandidateError`] from enumeration.
+/// Propagates [`CandidateError`] from thread semantics (a malformed
+/// program is a hard error; only enumeration-size limits degrade).
 pub fn simulate_with<A: Architecture + ?Sized>(
     test: &LitmusTest,
     arch: &A,
     opts: &EnumOptions,
 ) -> Result<SimOutcome, CandidateError> {
     let mut acc = Judgement::default();
-    let stats = candidates::stream_arch_verdicts(test, opts, arch, &mut |vc| {
+    let result = candidates::stream_arch_verdicts(test, opts, arch, &mut |vc| {
         acc.absorb_verdict(test, vc);
-    })?;
-    warn_unpruned(test, stats.unpruned_locations);
-    Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
+    });
+    match result {
+        Ok(stats) => {
+            warn_unpruned(test, stats.unpruned_locations);
+            Ok(acc.outcome(test, arch, stats.total(), stats.pruned))
+        }
+        Err(CandidateError::TooManyCandidates { bound, emitted, pruned }) => {
+            let space = candidates::count_candidates(test, opts)?;
+            let remaining = space.saturating_sub(emitted.saturating_add(pruned));
+            let mut out = acc.outcome(test, arch, space, pruned);
+            out.partial = Some(PartialSim {
+                stopped: Some(SimStop::CandidateBudget { bound }),
+                poisoned: Vec::new(),
+                remaining,
+            });
+            Ok(out)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Surfaces the uniproc pruner's >64-events-per-location fallback: such
@@ -150,10 +241,14 @@ const UNITS_PER_WORKER: usize = 4;
 ///
 /// # Errors
 ///
-/// Returns the first [`CandidateError`] any unit produced. The
-/// `max_candidates` bound keeps its sequential, whole-test meaning: if
-/// the units together emit more than the bound, the call fails exactly
-/// as [`simulate_with`] would, whatever the worker count.
+/// Returns the first hard [`CandidateError`] (thread semantics) any unit
+/// produced. Size limits and lost units degrade instead of failing: the
+/// `max_candidates` bound keeps its sequential, whole-test meaning — if
+/// the units together emit more than the bound, the outcome is partial
+/// exactly as [`simulate_with`]'s trip is, whatever the worker count —
+/// and a panicking unit ([`herd_core::sched::UnitResult::Poisoned`])
+/// surrenders only its own range: every sibling's verdicts are salvaged
+/// and the lost share is reported in [`PartialSim::remaining`].
 pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
     test: &LitmusTest,
     arch: &A,
@@ -169,38 +264,72 @@ pub fn simulate_sharded<A: Architecture + Sync + ?Sized>(
         return simulate_with(test, arch, opts);
     }
     // Each worker owns one Judgement (and, inside the stream, one relation
-    // arena) — no cross-thread state, no locks, only the unit cursor.
-    let (accs, results): (Vec<Judgement>, Vec<Result<EnumStats, CandidateError>>) =
-        sched::execute_units(
-            units.len(),
-            workers,
-            |_| Judgement::default(),
-            |acc, u| {
-                let (start, end) = units[u];
-                candidates::stream_range_verdicts(test, opts, arch, start, end, &mut |vc| {
-                    acc.absorb_verdict(test, vc);
-                })
-            },
-        );
+    // arena) — no cross-thread state, no locks, only the unit cursor. A
+    // Judgement is append-only across units, so there is nothing to
+    // repair after a poisoned unit: the stream state it tore was local to
+    // the lost `stream_range_verdicts` call.
+    let (accs, results) = sched::execute_units(
+        units.len(),
+        workers,
+        |_| Judgement::default(),
+        |_| {},
+        |acc, u| {
+            let (start, end) = units[u];
+            candidates::stream_range_verdicts(test, opts, arch, start, end, &mut |vc| {
+                acc.absorb_verdict(test, vc);
+            })
+        },
+    );
     let mut acc = Judgement::default();
     for part in accs {
         acc.merge(part);
     }
-    let (mut candidates, mut pruned, mut emitted, mut unpruned) = (0u128, 0u128, 0usize, 0usize);
-    for stats in results {
-        let stats = stats?;
-        candidates += stats.total();
-        pruned += stats.pruned;
-        emitted += stats.emitted;
-        unpruned = unpruned.max(stats.unpruned_locations);
+    // `covered` = candidates exactly classified (judged or pruned) by the
+    // units that survived; everything else is `remaining`, counted
+    // against the true space below — never inferred.
+    let (mut covered, mut pruned, mut emitted, mut unpruned) = (0u128, 0u128, 0u128, 0usize);
+    let mut stopped: Option<SimStop> = None;
+    let mut poisoned: Vec<LostUnit> = Vec::new();
+    for (u, r) in results.into_iter().enumerate() {
+        match r {
+            sched::UnitResult::Done(Ok(stats)) => {
+                covered = covered.saturating_add(stats.total());
+                pruned += stats.pruned;
+                emitted += stats.emitted as u128;
+                unpruned = unpruned.max(stats.unpruned_locations);
+            }
+            sched::UnitResult::Done(Err(CandidateError::TooManyCandidates {
+                bound,
+                emitted: e,
+                pruned: p,
+            })) => {
+                // The unit stopped at its bound mid-range; its judged
+                // prefix stands and its exact progress counts as covered.
+                stopped.get_or_insert(SimStop::CandidateBudget { bound });
+                covered = covered.saturating_add(e.saturating_add(p));
+                pruned += p;
+                emitted += e;
+            }
+            sched::UnitResult::Done(Err(e)) => return Err(e),
+            sched::UnitResult::Poisoned { payload } => {
+                poisoned.push(LostUnit { unit: u, payload });
+            }
+        }
     }
     // Per-unit streams each stay under the bound individually; restore
     // the whole-test semantics so outcomes do not depend on core count.
-    if emitted > opts.max_candidates {
-        return Err(CandidateError::TooManyCandidates { bound: opts.max_candidates });
+    if emitted > opts.max_candidates as u128 {
+        stopped.get_or_insert(SimStop::CandidateBudget { bound: opts.max_candidates });
     }
     warn_unpruned(test, unpruned);
-    Ok(acc.outcome(test, arch, candidates, pruned))
+    if stopped.is_none() && poisoned.is_empty() {
+        return Ok(acc.outcome(test, arch, covered, pruned));
+    }
+    let space = candidates::count_candidates(test, opts)?;
+    let remaining = space.saturating_sub(covered);
+    let mut out = acc.outcome(test, arch, space, pruned);
+    out.partial = Some(PartialSim { stopped, poisoned, remaining });
+    Ok(out)
 }
 
 /// Simulates by *deciding outcomes* instead of enumerating witnesses: the
@@ -327,7 +456,27 @@ impl Judgement {
             negative: self.negative,
             validated,
             states: self.states,
+            partial: None,
         }
+    }
+}
+
+/// The outcome of a corpus run: per-test outcomes for every test that
+/// completed (or degraded to a reported partial), plus the tests whose
+/// simulation panicked — one poisoned test no longer aborts the corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusOutcome {
+    /// Outcomes of the tests that ran, in input order with lost tests
+    /// removed ([`LostUnit::unit`] indexes into the input slice).
+    pub outcomes: Vec<SimOutcome>,
+    /// Tests lost to worker panics: input index + payload.
+    pub poisoned: Vec<LostUnit>,
+}
+
+impl CorpusOutcome {
+    /// Did every test run, with its whole space classified?
+    pub fn is_complete(&self) -> bool {
+        self.poisoned.is_empty() && self.outcomes.iter().all(SimOutcome::is_complete)
     }
 }
 
@@ -340,29 +489,46 @@ impl Judgement {
 /// A lone test is sharded internally instead ([`simulate_sharded`]) so it
 /// still uses every core.
 ///
+/// Panic isolation is per test: a test whose simulation panics is
+/// reported in [`CorpusOutcome::poisoned`] and every other test's outcome
+/// survives — whatever the worker count, including the inline
+/// single-worker path.
+///
 /// # Errors
 ///
-/// Returns the first [`CandidateError`] any test produced.
+/// Returns the first hard [`CandidateError`] (thread semantics) any test
+/// produced; size limits degrade to partial outcomes instead.
 pub fn simulate_corpus<A: Architecture + Sync + ?Sized>(
     tests: &[LitmusTest],
     arch: &A,
     opts: &EnumOptions,
-) -> Result<Vec<SimOutcome>, CandidateError> {
+) -> Result<CorpusOutcome, CandidateError> {
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     if let [test] = tests {
-        return Ok(vec![simulate_sharded(test, arch, opts, cores)?]);
+        return Ok(CorpusOutcome {
+            outcomes: vec![simulate_sharded(test, arch, opts, cores)?],
+            poisoned: Vec::new(),
+        });
     }
     let workers = cores.min(tests.len());
-    if workers <= 1 {
-        return tests.iter().map(|t| simulate_with(t, arch, opts)).collect();
-    }
     let (_, results) = sched::execute_units(
         tests.len(),
         workers,
         |_| (),
+        |_| {},
         |(), i| simulate_with(&tests[i], arch, opts),
     );
-    results.into_iter().collect()
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut poisoned = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            sched::UnitResult::Done(res) => outcomes.push(res?),
+            sched::UnitResult::Poisoned { payload } => {
+                poisoned.push(LostUnit { unit: i, payload });
+            }
+        }
+    }
+    Ok(CorpusOutcome { outcomes, poisoned })
 }
 
 /// Evaluates a proposition against one candidate's final state.
@@ -497,6 +663,9 @@ mod tests {
         let power = Power::new();
         let opts = crate::candidates::EnumOptions::default();
         let par = simulate_corpus(&tests, &power, &opts).unwrap();
+        assert!(par.poisoned.is_empty(), "no unit may be lost on a healthy corpus");
+        assert!(par.is_complete());
+        let par = par.outcomes;
         assert_eq!(par.len(), tests.len());
         for (out, test) in par.iter().zip(&tests) {
             let seq = simulate_with(test, &power, &opts).unwrap();
@@ -535,23 +704,37 @@ mod tests {
         // max_candidates must mean the same thing whatever the worker
         // count: a bound the sequential driver trips must also trip the
         // sharded one, even when every shard stays under it individually.
+        // Tripping no longer hard-errors — it degrades to a partial
+        // outcome whose accounting is exact against the true space.
         let test = corpus::iriw(Isa::Power, Dev::Po, Dev::Po);
         let opts = crate::candidates::EnumOptions {
             max_candidates: 4,
             ..crate::candidates::EnumOptions::default()
         };
-        assert!(matches!(
-            simulate_with(&test, &Power::new(), &opts),
-            Err(crate::candidates::CandidateError::TooManyCandidates { bound: 4 })
-        ));
+        let space = crate::candidates::count_candidates(&test, &opts).unwrap();
+        let full = simulate_with(&test, &Power::new(), &EnumOptions::default()).unwrap();
+        assert!(full.is_complete());
+        assert_eq!(full.candidates, space, "count_candidates is the true space");
+
+        let seq = simulate_with(&test, &Power::new(), &opts).unwrap();
+        let p = seq.partial.as_ref().expect("the bound must trip sequentially");
+        assert_eq!(p.stopped, Some(SimStop::CandidateBudget { bound: 4 }));
+        assert!(p.poisoned.is_empty());
+        assert_eq!(seq.candidates, space, "partial outcomes report the whole space");
+        // emitted = candidates - pruned - remaining: the bound plus the
+        // candidate that tripped it.
+        assert_eq!(seq.candidates - seq.pruned - p.remaining, 5);
+
         for workers in [2usize, 4] {
+            let sharded = simulate_sharded(&test, &Power::new(), &opts, workers).unwrap();
+            let p = sharded.partial.as_ref().expect("sharded runs must trip the bound too");
             assert!(
-                matches!(
-                    simulate_sharded(&test, &Power::new(), &opts, workers),
-                    Err(crate::candidates::CandidateError::TooManyCandidates { bound: 4 })
-                ),
+                matches!(p.stopped, Some(SimStop::CandidateBudget { .. })),
                 "{workers} workers must not widen the bound"
             );
+            assert_eq!(sharded.candidates, space, "{workers} workers: space is exact");
+            let judged = sharded.candidates - sharded.pruned - p.remaining;
+            assert!(judged > 4, "{workers} workers: the bound was genuinely exceeded");
         }
     }
 

@@ -86,14 +86,63 @@ pub const ALL: [TextEntry; 10] = [
     },
 ];
 
+/// A shipped file that failed to parse: which file, and where in it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusParseError {
+    /// File name under `corpus/`.
+    pub file: &'static str,
+    /// The parser's diagnostic (line-numbered).
+    pub error: ParseError,
+}
+
+impl std::fmt::Display for CorpusParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.error)
+    }
+}
+
+impl std::error::Error for CorpusParseError {}
+
+/// Parses one shipped entry, attaching the file name to any diagnostic.
+///
+/// # Errors
+///
+/// Returns the parser's line-numbered diagnostic tagged with the file.
+pub fn parse_entry(entry: &TextEntry) -> Result<LitmusTest, CorpusParseError> {
+    parse(entry.source).map_err(|error| CorpusParseError { file: entry.file, error })
+}
+
 /// Parses every shipped file.
 ///
 /// # Errors
 ///
 /// Returns the first file that fails to parse (a packaging defect,
-/// covered by tests).
-pub fn load_all() -> Result<Vec<LitmusTest>, ParseError> {
-    ALL.iter().map(|e| parse(e.source)).collect()
+/// covered by tests), with its file/line diagnostics.
+pub fn load_all() -> Result<Vec<LitmusTest>, CorpusParseError> {
+    ALL.iter().map(parse_entry).collect()
+}
+
+/// Parses every shipped file, degrading malformed entries to reported
+/// skips: the parseable tests load, the failures come back as
+/// file/line diagnostics instead of aborting the whole corpus.
+pub fn load_reported() -> (Vec<(&'static TextEntry, LitmusTest)>, Vec<CorpusParseError>) {
+    load_reported_from(&ALL)
+}
+
+/// [`load_reported`] over an arbitrary entry slice (the shipped set, a
+/// filtered subset, or a user-supplied corpus).
+pub fn load_reported_from(
+    entries: &[TextEntry],
+) -> (Vec<(&TextEntry, LitmusTest)>, Vec<CorpusParseError>) {
+    let mut loaded = Vec::with_capacity(entries.len());
+    let mut skipped = Vec::new();
+    for entry in entries {
+        match parse_entry(entry) {
+            Ok(test) => loaded.push((entry, test)),
+            Err(e) => skipped.push(e),
+        }
+    }
+    (loaded, skipped)
 }
 
 #[cfg(test)]
@@ -110,8 +159,15 @@ mod tests {
 
     #[test]
     fn verdicts_match_under_the_matching_model() {
-        for entry in ALL {
-            let test = parse(entry.source).unwrap_or_else(|e| panic!("{}: {e}", entry.file));
+        let mut failures = Vec::new();
+        for entry in &ALL {
+            let test = match parse_entry(entry) {
+                Ok(t) => t,
+                Err(e) => {
+                    failures.push(e.to_string());
+                    continue;
+                }
+            };
             let model = arch::by_name(entry.model).expect("stock model");
             let out = simulate(&test, model.as_ref()).expect("simulates");
             assert_eq!(
@@ -123,16 +179,55 @@ mod tests {
                 out.verdict_str()
             );
         }
+        assert!(failures.is_empty(), "corpus files failed to parse: {failures:?}");
     }
 
     #[test]
     fn files_roundtrip_through_display() {
-        for entry in ALL {
-            let test = parse(entry.source).unwrap();
+        let (loaded, skipped) = load_reported();
+        assert!(skipped.is_empty(), "corpus files failed to parse: {skipped:?}");
+        for (entry, test) in loaded {
             let printed = test.to_string();
-            let reparsed = parse(&printed)
-                .unwrap_or_else(|e| panic!("{} reprint:\n{printed}\n{e}", entry.file));
-            assert_eq!(reparsed, test, "{}", entry.file);
+            match parse(&printed) {
+                Ok(reparsed) => assert_eq!(reparsed, test, "{}", entry.file),
+                Err(e) => panic!("{} reprint does not reparse:\n{printed}\n{e}", entry.file),
+            }
         }
+    }
+
+    #[test]
+    fn malformed_entries_degrade_to_reported_skips() {
+        let mut entries = vec![ALL[0], ALL[8]];
+        entries.insert(
+            1,
+            TextEntry {
+                file: "broken.litmus",
+                source: "PPC broken\n{ x=0; }\nno program block here",
+                model: "power",
+                allowed: false,
+            },
+        );
+        let (loaded, skipped) = load_reported_from(&entries);
+        assert_eq!(loaded.len(), 2, "the well-formed entries still load");
+        assert_eq!(loaded[0].0.file, ALL[0].file);
+        assert_eq!(loaded[1].0.file, ALL[8].file);
+        assert_eq!(skipped.len(), 1, "the malformed entry is a reported skip");
+        assert_eq!(skipped[0].file, "broken.litmus");
+        let msg = skipped[0].to_string();
+        assert!(msg.starts_with("broken.litmus: "), "diagnostic names the file: {msg}");
+    }
+
+    #[test]
+    fn entry_diagnostics_carry_file_and_line() {
+        let bad = TextEntry {
+            file: "bad.litmus",
+            source: "PPC bad\n{ x=0;\nnot-closed",
+            model: "power",
+            allowed: false,
+        };
+        let err = parse_entry(&bad).unwrap_err();
+        assert_eq!(err.file, "bad.litmus");
+        let msg = err.to_string();
+        assert!(msg.contains("bad.litmus"), "{msg}");
     }
 }

@@ -48,12 +48,26 @@ pub struct ModelComparison {
     /// Final states of diverging candidates that `b` allows and `a`
     /// forbids.
     pub only_b: BTreeSet<String>,
+    /// `Some(n)` when the enumeration was cut by the candidate budget:
+    /// `n` candidates were never compared, and the counts above are exact
+    /// over the compared prefix only (so `diverging` is a lower bound for
+    /// the whole space). `None`: the whole space was compared.
+    pub uncompared: Option<u128>,
 }
 
 impl ModelComparison {
     /// Do the models agree on every candidate of this test?
+    ///
+    /// On a partial comparison this speaks only for the compared prefix;
+    /// check [`ModelComparison::is_complete`] before treating agreement
+    /// as a whole-space statement.
     pub fn agrees(&self) -> bool {
         self.diverging == 0
+    }
+
+    /// Was the whole candidate space compared?
+    pub fn is_complete(&self) -> bool {
+        self.uncompared.is_none()
     }
 }
 
@@ -61,9 +75,15 @@ impl ModelComparison {
 /// one enumeration pass, both verdicts per candidate computed on shared
 /// arena relations ([`candidates::stream_multi_verdicts`]).
 ///
+/// A candidate-budget trip does not discard the comparison: the report
+/// degrades to a partial one — every candidate compared before the cut
+/// keeps its verdict pair, and [`ModelComparison::uncompared`] records
+/// exactly how much of the space was never reached (recovered from the
+/// interruption's emitted/pruned accounting plus the exact space count).
+///
 /// # Errors
 ///
-/// Propagates enumeration failures.
+/// Propagates thread-semantics failures. Budget trips are *not* errors.
 pub fn compare_models(
     test: &LitmusTest,
     a: &dyn Architecture,
@@ -76,8 +96,9 @@ pub fn compare_models(
         diverging: 0,
         only_a: BTreeSet::new(),
         only_b: BTreeSet::new(),
+        uncompared: None,
     };
-    candidates::stream_multi_verdicts(test, opts, &[a, b], &mut |mc| {
+    let streamed = candidates::stream_multi_verdicts(test, opts, &[a, b], &mut |mc| {
         out.checked += 1;
         let (va, vb) = (mc.verdicts[0].allowed(), mc.verdicts[1].allowed());
         if va == vb {
@@ -90,7 +111,15 @@ pub fn compare_models(
         } else {
             out.only_b.insert(state);
         }
-    })?;
+    });
+    match streamed {
+        Ok(_) => {}
+        Err(CandidateError::TooManyCandidates { emitted, pruned, .. }) => {
+            let space = candidates::count_candidates(test, opts)?;
+            out.uncompared = Some(space.saturating_sub(emitted + pruned));
+        }
+        Err(e) => return Err(e),
+    }
     Ok(out)
 }
 
@@ -253,6 +282,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A candidate-budget trip degrades the comparison instead of
+    /// discarding it: exact accounting of the uncompared tail, verdicts
+    /// of the compared prefix intact.
+    #[test]
+    fn budget_trip_yields_a_partial_comparison_with_exact_accounting() {
+        use herd_litmus::candidates::count_candidates;
+        let test = corpus::mp_addr_po_detour(herd_litmus::isa::Isa::Power);
+        let full =
+            compare_models(&test, &Power::new(), &PldiFlawed::new(), &EnumOptions::default())
+                .unwrap();
+        assert!(full.is_complete() && full.uncompared.is_none());
+        let space = count_candidates(&test, &EnumOptions::default()).unwrap();
+        let cut_opts = EnumOptions { max_candidates: 2, ..EnumOptions::default() };
+        let cut = compare_models(&test, &Power::new(), &PldiFlawed::new(), &cut_opts).unwrap();
+        assert!(!cut.is_complete());
+        assert_eq!(cut.checked, 3, "the bound plus the tripping candidate were compared");
+        let uncompared = cut.uncompared.unwrap();
+        assert!(uncompared > 0);
+        // checked + pruned + uncompared == space; pruned is implicit, so
+        // pin the two ends we can see directly.
+        assert!(cut.checked + uncompared <= space);
+        assert!(cut.diverging <= full.diverging, "prefix divergences are a lower bound");
     }
 
     /// The documented flaw shows up in the streamed report: the PLDI
