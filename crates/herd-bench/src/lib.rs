@@ -96,6 +96,44 @@ pub fn lb_datas_scaled(threads: usize, writes: usize) -> Skeleton {
     b.build()
 }
 
+/// The lb+datas ring of [`lb_datas_scaled`]`(3, 2)` padded with `ballast`
+/// extra threads, each performing three po-ordered coherent writes to its
+/// own private location — a family whose *event universe* scales far past
+/// the old 64-event mask ceiling while its surviving candidate space
+/// stays tiny.
+///
+/// Universe size is `12 + 4 * ballast` events (ring reads + ring writes +
+/// ballast writes + one init per location): `ballast = 14` gives 68
+/// events (2-word rows), `ballast = 30` gives 132 (3-word rows). The
+/// pruning structure is unchanged by the ballast: thin-air kills the
+/// `2^3` all-non-init rf subtrees of the ring, and `po-loc` pins every
+/// ballast location's `3!` coherence permutations down to exactly one —
+/// so both pruning axes must fire *past 64 events* for the family to
+/// enumerate in reasonable time. Before width-generic rows, neither did:
+/// `ThinAirTracker::new` returned `None` and these events had no
+/// thin-air pruning at all.
+pub fn lb_ballast_scaled(ballast: usize) -> Skeleton {
+    let mut b = SkeletonBuilder::new();
+    let names: Vec<String> = (0..3).map(|i| format!("x{i}")).collect();
+    let mut reads = Vec::new();
+    for t in 0..3u16 {
+        reads.push(b.read(t, &names[t as usize]));
+    }
+    for t in 0..3usize {
+        for j in 0..2 {
+            let w = b.write(t as u16, &names[(t + 1) % 3], j as i64 + 1);
+            b.data(reads[t], w);
+        }
+    }
+    for t in 0..ballast {
+        let loc = format!("b{t}");
+        for j in 0..3 {
+            b.write(3 + t as u16, &loc, j as i64 + 1);
+        }
+    }
+    b.build()
+}
+
 /// The co-heavy `wrc+Nw` family: a write-to-read causality chain into a
 /// contended location. T0 writes `z`; T1 reads `z` and (data-dependently)
 /// writes `x`; `extra` further threads each write `x` once. The rf space

@@ -16,12 +16,19 @@ use herd_bench::alloc_count::{allocation_count, CountingAllocator};
 use herd_bench::iriw_scaled;
 use herd_core::arch::Power;
 use herd_core::arena::RelArena;
+use std::sync::Mutex;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
+/// The counting allocator is process-global, so the two tests must not
+/// run on parallel harness threads: one test's warm-up allocations would
+/// show up in the other's per-candidate deltas.
+static SERIAL: Mutex<()> = Mutex::new(());
+
 #[test]
 fn iriw_2w_steady_state_allocates_zero_per_candidate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let sk = iriw_scaled(2);
     let power = Power::new();
     let mut arena = RelArena::new(0);
@@ -61,6 +68,7 @@ fn iriw_2w_steady_state_allocates_zero_per_candidate() {
 /// all (every buffer, menu and arena slot is reused).
 #[test]
 fn second_pass_over_iriw_2w_allocates_nothing_in_the_arena() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let sk = iriw_scaled(2);
     let power = Power::new();
     let mut arena = RelArena::new(0);

@@ -26,74 +26,11 @@
 //!
 //! [`ExecCore`]: crate::exec::ExecCore
 
+use crate::maskrow::{
+    acyclic_masks, and_words, andnot_words, or_row_in_buf, or_words, KahnScratch,
+};
 use crate::relation::Relation;
 use crate::set::{words_for, EventSet};
-
-/// `dst |= src`, 4 words per step. Rows are contiguous in one pool, so
-/// the whole-slot operators reduce to these word loops; the fixed-width
-/// unroll lets the compiler keep them in SIMD registers (the remainder
-/// loop covers litmus-scale universes, whose rows are a single word).
-#[inline]
-fn or_words(dst: &mut [u64], src: &[u64]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        dc[0] |= sc[0];
-        dc[1] |= sc[1];
-        dc[2] |= sc[2];
-        dc[3] |= sc[3];
-    }
-    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *a |= b;
-    }
-}
-
-/// `dst &= src`, 4 words per step.
-#[inline]
-fn and_words(dst: &mut [u64], src: &[u64]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        dc[0] &= sc[0];
-        dc[1] &= sc[1];
-        dc[2] &= sc[2];
-        dc[3] &= sc[3];
-    }
-    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *a &= b;
-    }
-}
-
-/// `dst &= !src`, 4 words per step.
-#[inline]
-fn andnot_words(dst: &mut [u64], src: &[u64]) {
-    let mut d = dst.chunks_exact_mut(4);
-    let mut s = src.chunks_exact(4);
-    for (dc, sc) in (&mut d).zip(&mut s) {
-        dc[0] &= !sc[0];
-        dc[1] &= !sc[1];
-        dc[2] &= !sc[2];
-        dc[3] &= !sc[3];
-    }
-    for (a, b) in d.into_remainder().iter_mut().zip(s.remainder()) {
-        *a &= !b;
-    }
-}
-
-/// `buf[d0..d0+wpr] |= buf[s0..s0+wpr]` for two disjoint rows of the same
-/// pool (the `seq`/closure inner step, borrow-split so [`or_words`]'s
-/// unrolled loop applies).
-#[inline]
-fn or_row_in_buf(buf: &mut [u64], d0: usize, s0: usize, wpr: usize) {
-    debug_assert!(d0 + wpr <= s0 || s0 + wpr <= d0, "overlapping rows");
-    if d0 < s0 {
-        let (lo, hi) = buf.split_at_mut(s0);
-        or_words(&mut lo[d0..d0 + wpr], &hi[..wpr]);
-    } else {
-        let (lo, hi) = buf.split_at_mut(d0);
-        or_words(&mut hi[..wpr], &lo[s0..s0 + wpr]);
-    }
-}
 
 /// A handle to one relation slot in a [`RelArena`].
 ///
@@ -236,6 +173,8 @@ pub struct RelArena {
     top: u32,
     /// One spare row for `seq_into`'s self-referential inner loop.
     scratch: Vec<u64>,
+    /// Pooled Kahn scratch for `is_acyclic` beyond 64 events.
+    kahn: KahnScratch,
     /// Largest `top * stride` ever reached (growth diagnostic).
     high_water: usize,
 }
@@ -251,6 +190,7 @@ impl RelArena {
             buf: Vec::new(),
             top: 0,
             scratch: vec![0; wpr],
+            kahn: KahnScratch::new(),
             high_water: 0,
         }
     }
@@ -644,8 +584,9 @@ impl RelArena {
     ///
     /// Universes of at most 64 events (every litmus-scale candidate) run
     /// a stack-only Kahn elimination over successor masks; larger ones
-    /// compute a transitive closure in a temporary slot released before
-    /// returning.
+    /// run the same elimination over multi-word rows through the arena's
+    /// pooled [`KahnScratch`] — O(rounds · n²/64) on the direct adjacency,
+    /// with no transitive closure and no temporary slot.
     pub fn is_acyclic<'a>(&mut self, src: impl Into<RelSrc<'a>>) -> bool {
         let src = src.into();
         if self.n <= 64 {
@@ -656,52 +597,16 @@ impl RelArena {
             }
             return acyclic_masks(&adj[..self.n]);
         }
-        let m = self.mark();
-        let t = self.alloc();
-        self.tclosure_into(t, src);
-        let ok = self.is_irreflexive(t);
-        self.release(m);
+        let mut kahn = std::mem::take(&mut self.kahn);
+        let v = self.view_of(src);
+        let ok = kahn.is_acyclic_rows(v.bits, v.n, v.wpr);
+        self.kahn = kahn;
         ok
     }
 
     /// Bitwise equality of two sources.
     pub fn eq<'a, 'b>(&self, a: impl Into<RelSrc<'a>>, b: impl Into<RelSrc<'b>>) -> bool {
         self.view_of(a).bits == self.view_of(b).bits
-    }
-}
-
-/// Kahn-style elimination over an adjacency-mask graph of ≤ 64 nodes
-/// (the same scheme as `uniproc::acyclic_masks`, local to keep the arena
-/// free-standing).
-fn acyclic_masks(adj: &[u64]) -> bool {
-    let m = adj.len();
-    let mut preds = [0u64; 64];
-    for (i, &succ) in adj.iter().enumerate() {
-        let mut s = succ;
-        while s != 0 {
-            let j = s.trailing_zeros() as usize;
-            s &= s - 1;
-            preds[j] |= 1 << i;
-        }
-    }
-    let mut alive: u64 = if m == 64 { !0 } else { (1u64 << m) - 1 };
-    loop {
-        let mut removed = 0u64;
-        let mut a = alive;
-        while a != 0 {
-            let i = a.trailing_zeros() as usize;
-            a &= a - 1;
-            if preds[i] & alive & !(1 << i) == 0 && adj[i] >> i & 1 == 0 {
-                removed |= 1 << i;
-            }
-        }
-        alive &= !removed;
-        if alive == 0 {
-            return true;
-        }
-        if removed == 0 {
-            return false;
-        }
     }
 }
 

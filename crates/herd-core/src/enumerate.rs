@@ -419,8 +419,9 @@ pub struct StreamOpts {
     pub llh: bool,
     /// Static `ppo ∪ fences` underapproximation enabling incremental
     /// NO THIN AIR pruning; must satisfy the
-    /// [`Architecture::thin_air_base`] soundness contract. Universes over
-    /// 64 events silently fall back to no thin-air pruning.
+    /// [`Architecture::thin_air_base`] soundness contract. The tracker's
+    /// reachability rows are width-generic, so the axis stays active at
+    /// any universe size (it used to fall back past 64 events).
     pub thin_air: Option<Relation>,
     /// Restrict the iterator to one contiguous shard `(index, count)` of
     /// the rf odometer's linear index range.
@@ -670,7 +671,7 @@ pub(crate) fn run_arena_range<A: Architecture + ?Sized>(
         }
         faultpoint::hit(FaultPoint::CoMenuBuild, faultpoint::config_key(driver.pos));
         ctx.graphs.co_menus_into(&parts.locs, &st.rf_src, &mut st.menus);
-        let rf_ok = ctx.graphs.rf_only_consistent(&parts.locs, &st.rf_src);
+        let rf_ok = ctx.graphs.rf_only_consistent_pooled(&parts.locs, &st.rf_src, &mut st.menus);
         let kept = st.menus.kept();
         if !rf_ok || kept == 0 {
             driver.prune_rf_subtree();
@@ -855,7 +856,7 @@ impl RfDriver {
         start: u128,
         end: u128,
     ) -> Self {
-        let thinair = thin_air.and_then(ThinAirTracker::new);
+        let thinair = thin_air.map(ThinAirTracker::new);
         let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
         let mut rf_weights = Vec::with_capacity(rf_radices.len());
         let mut rf_total: u128 = 1;

@@ -84,6 +84,32 @@
 //! `alloc-count` smoke test asserts the zero), which is what lets
 //! sharding and corpus batching scale without allocator contention.
 //!
+//! # Mask widths — the bit-row layer under the incremental walk (Sec 8.3)
+//!
+//! Every structure in the scope table above bottoms out in the same
+//! primitive: a row of `u64` words, one bit per event, combined with
+//! unrolled 4-word-block kernels ([`crate::maskrow`]). Sec 8.3's
+//! incremental-candidate walk stays allocation-free at litmus scale
+//! because each layer picks its row width once — per skeleton, per
+//! location, or per relation universe — and every per-candidate step is
+//! then pure word arithmetic on preallocated rows. Since PR 8 the widths
+//! are generic: 64 events is a *fast path*, not a ceiling.
+//!
+//! | rows over | width / storage | used by | where |
+//! |---|---|---|---|
+//! | a relation universe | `words_for(n)` words per row in pooled arena slots | every derived relation and axiom temporary of the walk | [`crate::arena::RelArena`] |
+//! | one location's members | ≤64 members: one stack word; wider: pooled multi-word rows | uniproc pruning's per-location acyclicity | [`crate::uniproc::LocGraph`], [`crate::uniproc::LocScratch`] |
+//! | the event universe's reachability | `words_for(n)` words per event row, one pooled level per rf pick | thin-air pruning's tracked closure | [`crate::thinair::ThinAirTracker`] |
+//! | a Kahn elimination | ≤64 nodes: stack masks ([`crate::maskrow::acyclic_masks`]); wider: grow-only scratch | acyclicity everywhere (arena, uniproc, scheduler replays) | [`crate::maskrow::KahnScratch`] |
+//! | a single named mask | ≤256 bits inline, spilling to the heap past that | init/read masks, odometer bookkeeping | [`crate::maskrow::MaskRow`] |
+//!
+//! The dispatch discipline: the 1-word paths are bit-identical to the
+//! pre-PR 8 code (same instructions, zero steady-state allocations —
+//! the `alloc-count` smoke test still pins the zero), and wider rows
+//! reuse pooled buffers so the walk's zero-allocation steady state
+//! survives past 64 events. The `lb+68ev`/`lb+132ev` bench families
+//! gate both pruning axes at 2- and 3-word widths.
+//!
 //! # Work units — scheduling the incremental-candidate walk (Sec 8.3)
 //!
 //! Sec 8.3's incremental-candidate walk is also what makes parallelism

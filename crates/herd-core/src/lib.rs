@@ -10,6 +10,10 @@
 //!
 //! - [`relation`] / [`set`]: dense bit-matrix relational algebra (union,
 //!   sequence, closures, acyclicity).
+//! - [`maskrow`]: the width-generic bit-row layer under every fast path —
+//!   unrolled word kernels, [`maskrow::MaskRow`] values, and the shared
+//!   Kahn elimination (stack masks up to 64 nodes, pooled row-major
+//!   scratch beyond).
 //! - [`event`] / [`exec`]: memory events and candidate executions with all
 //!   derived relations (`fr`, `com`, `rdw`, `detour`, ...).
 //! - [`model`]: the generic axioms and the [`model::Architecture`] trait.
@@ -71,6 +75,7 @@ pub mod exec;
 pub mod faultpoint;
 pub mod fixtures;
 pub mod glossary;
+pub mod maskrow;
 pub mod model;
 pub mod ppo;
 pub mod relation;

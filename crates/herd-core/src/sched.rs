@@ -271,7 +271,7 @@ impl WorkPlan {
             let cfgs = rf_total as usize;
             let n = parts.base_events.len();
             let radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
-            let mut tracker = ctx.thin_air.as_ref().and_then(ThinAirTracker::new);
+            let mut tracker = ctx.thin_air.as_ref().map(|base| ThinAirTracker::new(base));
             let mut menus = CoMenus::new(&parts.loc_writes);
             let mut rf_src = vec![0usize; n];
 
@@ -300,7 +300,7 @@ impl WorkPlan {
                 if let Some(t) = tracker.as_mut() {
                     doomed |= !t.check_rf(edges.iter().copied());
                 }
-                doomed |= !ctx.graphs.rf_only_consistent(&parts.locs, &rf_src);
+                doomed |= !ctx.graphs.rf_only_consistent_pooled(&parts.locs, &rf_src, &mut menus);
                 if !doomed {
                     ctx.graphs.co_menus_into(&parts.locs, &rf_src, &mut menus);
                     *k = menus.kept();

@@ -25,10 +25,7 @@ pub struct EventSet {
     words: Vec<u64>,
 }
 
-#[inline]
-pub(crate) fn words_for(n: usize) -> usize {
-    n.div_ceil(64)
-}
+pub(crate) use crate::maskrow::words_for;
 
 impl EventSet {
     /// The empty subset of a universe of `n` events.

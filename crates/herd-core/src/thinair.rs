@@ -13,13 +13,15 @@
 //! [`crate::exec::Execution`] is materialised.
 //!
 //! [`ThinAirTracker`] is that incremental structure: transitive
-//! reachability masks over ≤64 events (the same representation as
-//! [`crate::uniproc::LocGraphs`]) with one checkpoint level per chosen
-//! read, so enumeration can roll back exactly to the odometer digit that
-//! changed. Construction returns `None` beyond 64 events and callers fall
-//! back to streaming without this pruning axis — the same graceful
-//! degradation as the per-location masks.
+//! reachability rows over the event universe (width-generic
+//! [`crate::maskrow`] rows — one word up to 64 events, more beyond, with
+//! no upper cap) and one checkpoint level per chosen read, so enumeration
+//! can roll back exactly to the odometer digit that changed. Universes
+//! past 64 events, which previously lost this pruning axis entirely, now
+//! track through multi-word rows at the same per-edge cost scaled by the
+//! row width.
 
+use crate::maskrow::{or_words, row_set, row_test, words_for};
 use crate::relation::Relation;
 
 /// One checkpoint of the incremental happens-before closure.
@@ -32,7 +34,8 @@ struct Level {
     /// The rf-odometer digit value this level was built with, used to
     /// revalidate the checkpoint stack after the odometer moves.
     tag: usize,
-    /// Reachability masks after this level's edge.
+    /// Reachability rows after this level's edge (`n` rows of `wpr`
+    /// words, row-major).
     reach: Vec<u64>,
 }
 
@@ -49,7 +52,10 @@ struct Level {
 /// [`try_push`]: ThinAirTracker::try_push
 pub struct ThinAirTracker {
     n: usize,
-    /// Transitive closure of the static base, as successor masks.
+    /// Words per reachability row (`words_for(n)`).
+    wpr: usize,
+    /// Transitive closure of the static base, as row-major successor
+    /// rows (`n * wpr` words).
     base: Vec<u64>,
     /// Whether the base alone is cyclic (every candidate doomed).
     base_cyclic: bool,
@@ -57,29 +63,38 @@ pub struct ThinAirTracker {
     /// entries are live.
     levels: Vec<Level>,
     depth: usize,
+    /// One spare row for [`try_push`](ThinAirTracker::try_push)'s
+    /// closure update (`reach[to] ∪ {to}`).
+    add: Vec<u64>,
 }
 
 impl ThinAirTracker {
     /// Builds a tracker over the transitive closure of `base`.
     ///
-    /// Returns `None` when the universe exceeds 64 events (beyond litmus
-    /// scale; the mask representation caps there) — callers then stream
-    /// without thin-air pruning, which is always sound.
-    pub fn new(base: &Relation) -> Option<Self> {
+    /// Construction is width-generic: any universe size works, with rows
+    /// of `words_for(n)` words. (Universes past 64 events previously
+    /// returned `None` here and streamed without this pruning axis.)
+    pub fn new(base: &Relation) -> Self {
         let n = base.universe();
-        if n > 64 {
-            return None;
-        }
+        let wpr = words_for(n);
         let closed = base.tclosure();
-        let mut masks = vec![0u64; n];
+        let mut masks = vec![0u64; n * wpr];
         let mut base_cyclic = false;
         for (a, b) in closed.iter_pairs() {
-            masks[a] |= 1 << b;
+            row_set(&mut masks[a * wpr..(a + 1) * wpr], b);
             if a == b {
                 base_cyclic = true;
             }
         }
-        Some(ThinAirTracker { n, base: masks, base_cyclic, levels: Vec::new(), depth: 0 })
+        ThinAirTracker {
+            n,
+            wpr,
+            base: masks,
+            base_cyclic,
+            levels: Vec::new(),
+            depth: 0,
+            add: vec![0; wpr],
+        }
     }
 
     /// Is the static base itself cyclic? Then every rf choice is doomed
@@ -145,16 +160,19 @@ impl ThinAirTracker {
             return true;
         };
         debug_assert!(from < self.n && to < self.n, "edge out of universe");
-        if from == to || self.top()[to] >> from & 1 == 1 {
+        let wpr = self.wpr;
+        if from == to || row_test(&self.top()[to * wpr..(to + 1) * wpr], from) {
             return false;
         }
         self.push_level(tag);
         let reach = &mut self.levels[self.depth - 1].reach;
-        let add = reach[to] | 1 << to;
-        reach[from] |= add;
-        for r in reach.iter_mut() {
-            if *r >> from & 1 == 1 {
-                *r |= add;
+        // add = reach[to] ∪ {to}: everything the new edge makes reachable.
+        self.add.copy_from_slice(&reach[to * wpr..(to + 1) * wpr]);
+        row_set(&mut self.add, to);
+        or_words(&mut reach[from * wpr..(from + 1) * wpr], &self.add);
+        for i in 0..self.n {
+            if row_test(&reach[i * wpr..(i + 1) * wpr], from) {
+                or_words(&mut reach[i * wpr..(i + 1) * wpr], &self.add);
             }
         }
         true
@@ -187,7 +205,7 @@ mod tests {
     fn detects_cycles_incrementally_and_rolls_back() {
         // base: 0 -> 1
         let base = Relation::from_pairs(3, [(0, 1)]);
-        let mut t = ThinAirTracker::new(&base).unwrap();
+        let mut t = ThinAirTracker::new(&base);
         assert!(!t.is_base_cyclic());
         assert!(t.try_push(0, Some((1, 2))), "1 -> 2 extends the chain");
         assert!(!t.try_push(0, Some((2, 0))), "2 -> 0 closes the cycle");
@@ -201,7 +219,7 @@ mod tests {
     #[test]
     fn internal_picks_push_without_edges() {
         let base = Relation::from_pairs(2, [(0, 1)]);
-        let mut t = ThinAirTracker::new(&base).unwrap();
+        let mut t = ThinAirTracker::new(&base);
         assert!(t.try_push(7, None));
         assert_eq!(t.depth(), 1);
         assert_eq!(t.level_tag(0), 7);
@@ -211,7 +229,7 @@ mod tests {
     #[test]
     fn cyclic_base_dooms_everything() {
         let base = Relation::from_pairs(2, [(0, 1), (1, 0)]);
-        let mut t = ThinAirTracker::new(&base).unwrap();
+        let mut t = ThinAirTracker::new(&base);
         assert!(t.is_base_cyclic());
         assert!(!t.try_push(0, None));
         assert!(!t.check_rf([]));
@@ -220,7 +238,7 @@ mod tests {
     #[test]
     fn check_rf_is_a_oneshot_reset() {
         let base = Relation::from_pairs(4, [(0, 1), (2, 3)]);
-        let mut t = ThinAirTracker::new(&base).unwrap();
+        let mut t = ThinAirTracker::new(&base);
         assert!(t.check_rf([(1, 2)]), "0->1->2->3 is a chain");
         assert!(!t.check_rf([(1, 2), (3, 0)]), "closing the chain is a cycle");
         assert!(t.check_rf([(3, 0)]), "the stack was reset in between");
@@ -228,8 +246,31 @@ mod tests {
     }
 
     #[test]
-    fn more_than_64_events_fall_back() {
-        assert!(ThinAirTracker::new(&Relation::empty(65)).is_none());
-        assert!(ThinAirTracker::new(&Relation::empty(64)).is_some());
+    fn wide_universes_track_across_word_boundaries() {
+        // Previously `new` returned `None` past 64 events and the axis
+        // was lost; a 130-event chain now tracks through 3-word rows.
+        let base = Relation::from_pairs(130, [(0, 64), (64, 128)]);
+        let mut t = ThinAirTracker::new(&base);
+        assert!(!t.is_base_cyclic());
+        assert!(t.try_push(0, Some((128, 129))), "extends the chain into word 3");
+        assert!(!t.try_push(0, Some((129, 0))), "closes a 4-hop cycle spanning 3 words");
+        assert_eq!(t.depth(), 1);
+        t.truncate(0);
+        assert!(t.try_push(1, Some((129, 0))), "without the extension the back edge is fine");
+        assert!(!t.try_push(0, Some((128, 129))), "...and now the chain closes it");
+    }
+
+    #[test]
+    fn wide_base_cycle_and_check_rf() {
+        let mut pairs: Vec<(usize, usize)> = (0..99).map(|i| (i, i + 1)).collect();
+        let chain = Relation::from_pairs(100, pairs.clone());
+        let mut t = ThinAirTracker::new(&chain);
+        assert!(!t.is_base_cyclic());
+        assert!(t.check_rf([(99, 99)].into_iter().filter(|_| false)), "empty rf is fine");
+        assert!(!t.check_rf([(99, 0)]), "closing the 100-node chain is a cycle");
+        assert!(t.check_rf([(0, 99)]), "a parallel forward edge is not");
+        pairs.push((99, 0));
+        let cyclic = Relation::from_pairs(100, pairs);
+        assert!(ThinAirTracker::new(&cyclic).is_base_cyclic());
     }
 }

@@ -192,11 +192,12 @@ pub struct EnumStats {
     /// `u128`: pruning counts subtrees it never visits, so the tally can
     /// legitimately exceed anything enumerable.
     pub pruned: u128,
-    /// Locations whose event count exceeds the 64-bit pruning-mask width
-    /// and therefore streamed *unpruned* despite pruning being requested
-    /// (the maximum over control-flow combinations). Previously this
-    /// degradation was silent, making huge tests look mysteriously slow;
-    /// drivers log it.
+    /// Locations whose event count exceeds the per-location member cap
+    /// ([`herd_core::uniproc::MAX_LOC_MEMBERS`], the `u16` local-index
+    /// width — far past the old 64-bit mask limit) and therefore streamed
+    /// *unpruned* despite pruning being requested (the maximum over
+    /// control-flow combinations). Previously this degradation was
+    /// silent, making huge tests look mysteriously slow; drivers log it.
     pub unpruned_locations: usize,
 }
 
@@ -996,16 +997,16 @@ fn assemble(ctx: AssembleCtx<'_, '_, '_, '_>) -> Result<(), CandidateError> {
                 .map(|e| EventShape { dir: e.dir, loc: e.loc, init: e.thread.is_none() })
                 .collect();
             let g = LocGraphs::new(&shape, core.po(), prune == Prune::UniprocLlh);
-            // Oversized locations (>64 events) silently stream unpruned;
-            // record the degradation so drivers can tell the user.
+            // Oversized locations (past the u16 local-index cap) stream
+            // unpruned; record the degradation so drivers can tell the user.
             stats.unpruned_locations = stats.unpruned_locations.max(g.oversized().len());
             Some(g)
         }
     };
     // NO THIN AIR pruning: the architecture's static `ppo ∪ fences` base
-    // for this combination's core (None beyond 64 events — fall back).
+    // for this combination's core (width-generic: any universe size).
     let mut thinair: Option<ThinAirTracker> =
-        thin_air.and_then(|hook| hook(&core)).and_then(|base| ThinAirTracker::new(&base));
+        thin_air.and_then(|hook| hook(&core)).map(|base| ThinAirTracker::new(&base));
 
     // Verdict modes: retune the worker arena to this combination's
     // universe and set up the per-candidate relation slots plus each

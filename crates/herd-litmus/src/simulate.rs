@@ -210,15 +210,20 @@ pub fn simulate_with<A: Architecture + ?Sized>(
     }
 }
 
-/// Surfaces the uniproc pruner's >64-events-per-location fallback: such
+/// Surfaces the uniproc pruner's per-location member-cap fallback: such
 /// locations stream *unpruned* (sound, but a huge test then looks
 /// mysteriously slow), so say it once instead of degrading silently.
+/// The cap is the `u16` local-index width
+/// ([`herd_core::uniproc::MAX_LOC_MEMBERS`]), not the old 64-bit mask
+/// width, so this fires only on absurdly wide locations.
 fn warn_unpruned(test: &LitmusTest, unpruned_locations: usize) {
     if unpruned_locations > 0 {
         eprintln!(
-            "herd: {}: {unpruned_locations} location(s) exceed 64 events; their coherence \
-             orders stream unpruned (SC PER LOCATION still filters them at check time)",
-            test.name
+            "herd: {}: {unpruned_locations} location(s) exceed the per-location member cap \
+             ({} events); their coherence orders stream unpruned (SC PER LOCATION still \
+             filters them at check time)",
+            test.name,
+            herd_core::uniproc::MAX_LOC_MEMBERS
         );
     }
 }

@@ -4,6 +4,7 @@
 //! preserve surviving slots while recycling storage.
 
 use herd_core::arena::RelArena;
+use herd_core::maskrow::MaskRow;
 use herd_core::relation::Relation;
 use herd_core::set::EventSet;
 use proptest::prelude::*;
@@ -11,6 +12,22 @@ use proptest::prelude::*;
 fn relation(n: usize) -> impl Strategy<Value = Relation> {
     proptest::collection::vec((0..n, 0..n), 0..=n * 2)
         .prop_map(move |pairs| Relation::from_pairs(n, pairs))
+}
+
+/// The row widths where multi-word handling can go wrong: one word
+/// exactly full, one bit either side, and the same straddle at two words.
+const BOUNDARY_WIDTHS: [usize; 6] = [63, 64, 65, 127, 128, 129];
+
+/// A random relation over a universe drawn from [`BOUNDARY_WIDTHS`].
+fn boundary_relation() -> impl Strategy<Value = Relation> {
+    proptest::sample::select(&BOUNDARY_WIDTHS[..]).prop_flat_map(relation)
+}
+
+/// A boundary width plus two random index sets within it.
+fn mask_row_inputs() -> impl Strategy<Value = (usize, Vec<usize>, Vec<usize>)> {
+    proptest::sample::select(&BOUNDARY_WIDTHS[..]).prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(0..n, 0..n), proptest::collection::vec(0..n, 0..n))
+    })
 }
 
 proptest! {
@@ -70,13 +87,62 @@ proptest! {
 
     #[test]
     fn arena_acyclicity_matches_owned_beyond_mask_width(a in relation(70)) {
-        // Above 64 events the arena falls back from the stack-mask Kahn
-        // path to a temporary-closure check; both must agree with owned.
+        // Above 64 events the arena switches from the stack-mask Kahn
+        // path to the pooled multi-word rows; both must agree with owned.
         let mut ar = RelArena::new(70);
         let ia = ar.alloc_from(&a);
         prop_assert_eq!(ar.is_acyclic(ia), a.is_acyclic());
         let live = ar.live();
-        prop_assert_eq!(live, 1, "acyclicity released its temporary");
+        prop_assert_eq!(live, 1, "acyclicity allocated no temporary slot");
+    }
+
+    /// PR 8: masked acyclicity against the owned-closure answer at every
+    /// interesting row width — one word exactly full (64), one bit either
+    /// side of it (63, 65), and the same straddle at the two-word
+    /// boundary (127, 128, 129).
+    #[test]
+    fn arena_acyclicity_matches_owned_at_word_boundaries(a in boundary_relation()) {
+        let n = a.universe();
+        let mut ar = RelArena::new(n);
+        let ia = ar.alloc_from(&a);
+        prop_assert_eq!(ar.is_acyclic(ia), a.is_acyclic(), "width {}", n);
+        prop_assert_eq!(ar.live(), 1, "acyclicity allocated no temporary slot");
+    }
+
+    /// PR 8: the width-generic [`MaskRow`] kernels (or/and/andnot, set,
+    /// test, count, iteration) against the owned [`EventSet`] algebra at
+    /// the same boundary widths.
+    #[test]
+    fn mask_row_ops_match_owned_sets((n, xs, ys) in mask_row_inputs()) {
+        let mut a = MaskRow::zero(n);
+        let mut b = MaskRow::zero(n);
+        let mut sa = EventSet::empty(n);
+        let mut sb = EventSet::empty(n);
+        for &x in &xs { a.set(x); sa.insert(x); }
+        for &y in &ys { b.set(y); sb.insert(y); }
+        prop_assert_eq!(a.count(), sa.len());
+        prop_assert_eq!(a.is_empty(), sa.is_empty());
+        for i in 0..n {
+            prop_assert_eq!(a.test(i), sa.contains(i));
+        }
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), sa.iter().collect::<Vec<_>>());
+
+        let mut or = a.clone();
+        or.or(&b);
+        prop_assert_eq!(or.iter().collect::<Vec<_>>(), sa.union(&sb).iter().collect::<Vec<_>>());
+
+        let mut and = a.clone();
+        and.and(&b);
+        prop_assert_eq!(
+            and.iter().collect::<Vec<_>>(),
+            sa.intersect(&sb).iter().collect::<Vec<_>>()
+        );
+
+        let mut diff = a.clone();
+        diff.andnot(&b);
+        let mut sdiff = sa.clone();
+        sdiff.minus_with(&sb);
+        prop_assert_eq!(diff.iter().collect::<Vec<_>>(), sdiff.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -129,6 +129,8 @@ fn zero_outcomes_stay_sequential() {
 use herd_core::enumerate::{Skeleton, SkeletonBuilder};
 use herd_core::event::Fence;
 use herd_core::exec::Execution;
+use herd_core::relation::Relation;
+use herd_core::thinair::ThinAirTracker;
 use proptest::prelude::*;
 
 /// One random op: `(thread, write?, location, value, device)`.
@@ -184,6 +186,20 @@ fn build_skeleton(ops: &[SkOp]) -> Skeleton {
         last_ev[t] = Some(id);
     }
     b.build()
+}
+
+/// A >64-event universe, a sparse random base, and a random op sequence
+/// `(kind, from, to, rollback-depth)` for the tracker-vs-eager property.
+#[allow(clippy::type_complexity)]
+fn wide_tracker_inputs(
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<(u8, usize, usize, u8)>)> {
+    proptest::sample::select(vec![65usize, 100, 130]).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..n / 2),
+            proptest::collection::vec((0..4u8, 0..n, 0..n, 0..64u8), 1..32),
+        )
+    })
 }
 
 fn small_candidates(sk: &Skeleton) -> Option<Vec<Execution>> {
@@ -252,6 +268,47 @@ proptest! {
                         "{}: an rfe;fences pair escaped the tracked closure",
                         arch.name()
                     );
+                }
+            }
+        }
+    }
+
+    /// PR 8, the width-generic tracker: on universes past the old
+    /// 64-event ceiling, a random interleaving of pushes, no-edge levels
+    /// and rollbacks must agree step by step with eagerly recomputing
+    /// "is `base ∪ accepted edges ∪ new edge` acyclic?" from scratch.
+    #[test]
+    fn wide_tracker_matches_eager_recomputation((n, base_pairs, ops) in wide_tracker_inputs()) {
+        let base = Relation::from_pairs(n, base_pairs.clone());
+        let mut t = ThinAirTracker::new(&base);
+        prop_assert_eq!(t.is_base_cyclic(), !base.is_acyclic());
+        // Shadow stack of the tracker's levels (`None` = edgeless level).
+        let mut levels: Vec<Option<(usize, usize)>> = Vec::new();
+        for (kind, a, b, d) in ops {
+            match kind {
+                0 | 1 => {
+                    let mut pairs = base_pairs.clone();
+                    pairs.extend(levels.iter().flatten().copied());
+                    pairs.push((a, b));
+                    let eager_ok = Relation::from_pairs(n, pairs).is_acyclic();
+                    let pushed = t.try_push(0, Some((a, b)));
+                    prop_assert_eq!(pushed, eager_ok, "push ({}, {}) at width {}", a, b, n);
+                    if pushed {
+                        levels.push(Some((a, b)));
+                    }
+                    prop_assert_eq!(t.depth(), levels.len(), "a rejected push must not push");
+                }
+                2 => {
+                    let pushed = t.try_push(0, None);
+                    prop_assert_eq!(pushed, !t.is_base_cyclic());
+                    if pushed {
+                        levels.push(None);
+                    }
+                }
+                _ => {
+                    let d = d as usize % (levels.len() + 1);
+                    t.truncate(d);
+                    levels.truncate(d);
                 }
             }
         }

@@ -2,10 +2,11 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! vendored stub implements the slice of `proptest 1.x` the workspace's
-//! property tests use: the [`Strategy`] trait with [`Strategy::prop_map`],
-//! range and tuple strategies, [`arbitrary::any`], [`collection::vec`],
-//! the [`proptest!`] macro (with `#![proptest_config(..)]` support) and
-//! the `prop_assert*` / [`prop_assume!`] macros.
+//! property tests use: the [`Strategy`] trait with [`Strategy::prop_map`]
+//! and [`Strategy::prop_flat_map`], range and tuple strategies,
+//! [`arbitrary::any`], [`collection::vec`], [`sample::select`], the
+//! [`proptest!`] macro (with `#![proptest_config(..)]` support) and the
+//! `prop_assert*` / [`prop_assume!`] macros.
 //!
 //! Semantics differ from real proptest in two deliberate ways: cases are
 //! generated from a deterministic per-test seed (reproducible failures,
@@ -59,6 +60,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Returns a strategy that draws a value, feeds it to `f`, and draws
+    /// from the strategy `f` returns — dependent generation, e.g. a size
+    /// first and then data of that size.
+    fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        T: Strategy,
+        F: Fn(Self::Value) -> T,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -77,6 +90,26 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -231,6 +264,35 @@ pub mod collection {
     }
 }
 
+/// Strategies drawing from explicit collections (only `select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+
+    /// Picks one element of `values` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone>(values: impl Into<Vec<T>>) -> Select<T> {
+        let v = values.into();
+        assert!(!v.is_empty(), "select over an empty collection");
+        Select(v)
+    }
+}
+
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
@@ -358,6 +420,14 @@ mod tests {
         fn assume_skips(x in 0usize..10) {
             prop_assume!(x % 2 == 0);
             prop_assert_ne!(x % 2, 1);
+        }
+
+        #[test]
+        fn flat_map_selects_a_dependent_size(
+            v in crate::sample::select(vec![3usize, 5])
+                .prop_flat_map(|n| collection::vec(any::<bool>(), n))
+        ) {
+            prop_assert!(v.len() == 3 || v.len() == 5);
         }
     }
 }
