@@ -47,7 +47,12 @@
 #                                     the enumeration scan, or a robust
 #                                     row (never-firing budget threaded
 #                                     through the arena engine) at ≥5%
-#                                     overhead
+#                                     overhead, or a batch row (memoised
+#                                     query layer, PR 9) below 10x for
+#                                     decide_log over row-at-a-time
+#                                     judging on a 100k-row log / below
+#                                     100x for a warm verdict-cache
+#                                     lookup over the cold decide
 #   7. perf_pipeline --compare      — reads every BENCH_pr*.json, prints
 #                                     the per-family speedup trajectory
 #                                     table, and FAILS if the new PR's

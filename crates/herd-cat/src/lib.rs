@@ -115,6 +115,43 @@ impl CatModel {
     }
 }
 
+/// A content-addressed store of compiled cat models, keyed by the
+/// fingerprint of their source text — see [`compile_cached`].
+pub type ModelCache = herd_cache::ShardedLru<std::sync::Arc<CompiledModel>>;
+
+/// The content key of a cat model: a structural fingerprint of its
+/// source text (the model *is* its text — same source, same key).
+pub fn model_fingerprint(src: &str) -> herd_cache::Fingerprint {
+    let mut h = herd_cache::FpHasher::new("cat-model/v1");
+    h.tag("src");
+    h.write_str(src);
+    h.finish()
+}
+
+/// Parses and compiles cat source, memoised by content in `cache`: the
+/// same source text never lexes, parses, resolves or folds twice. The
+/// returned [`CompiledModel`] is shared behind an [`std::sync::Arc`], so
+/// warm calls are one fingerprint plus one shard probe — the compiled
+/// half of the memoised query layer (the verdict half lives in
+/// `herd-hw`/`herd-machine`).
+///
+/// # Errors
+///
+/// As [`CatModel::parse`] + [`CatModel::compile`]; failures are returned
+/// fresh every time, never cached.
+pub fn compile_cached(
+    src: &str,
+    cache: &ModelCache,
+) -> Result<std::sync::Arc<CompiledModel>, CatError> {
+    let key = model_fingerprint(src);
+    if let Some(m) = cache.get(key) {
+        return Ok(m);
+    }
+    let compiled = std::sync::Arc::new(CatModel::parse(src)?.compile()?);
+    cache.insert(key, compiled.clone());
+    Ok(compiled)
+}
+
 /// The stock model files shipped with the repository (`models/*.cat`).
 pub mod stock {
     use super::CatModel;
@@ -218,5 +255,25 @@ mod tests {
         assert!(!llh.check(&fixtures::co_ww()).unwrap().allowed());
         let arm = stock::load(stock::ARM);
         assert!(!arm.check(&fixtures::co_rr()).unwrap().allowed());
+    }
+
+    #[test]
+    fn cached_compilation_is_content_addressed() {
+        let cache = ModelCache::new(32);
+        let fresh = stock::load(stock::TSO).compile().unwrap();
+        let a = compile_cached(stock::TSO, &cache).unwrap();
+        let b = compile_cached(stock::TSO, &cache).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "warm compile is the same object");
+        // Same verdicts as a fresh compile on a witness either way.
+        let sb = fixtures::sb(Device::None, Device::None);
+        assert_eq!(a.check(&sb).allowed(), fresh.check(&sb).allowed());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // A different model is a different key; a parse error caches
+        // nothing.
+        let _ = compile_cached(stock::SC, &cache).unwrap();
+        assert_eq!(cache.stats().len, 2);
+        assert!(compile_cached("let rec broken", &cache).is_err());
+        assert_eq!(cache.stats().len, 2);
     }
 }

@@ -26,9 +26,7 @@
 //!
 //! [`ExecCore`]: crate::exec::ExecCore
 
-use crate::maskrow::{
-    acyclic_masks, and_words, andnot_words, or_row_in_buf, or_words, KahnScratch,
-};
+use crate::maskrow::{acyclic_masks, and_words, andnot_words, or_words, KahnScratch};
 use crate::relation::Relation;
 use crate::set::{words_for, EventSet};
 
@@ -171,8 +169,9 @@ pub struct RelArena {
     buf: Vec<u64>,
     /// Live slot count (the bump pointer, in slots).
     top: u32,
-    /// One spare row for `seq_into`'s self-referential inner loop.
-    scratch: Vec<u64>,
+    /// Pooled row-index scratch for the blocked `seq_into` /
+    /// `tclosure_into` composition loops.
+    idx: Vec<u32>,
     /// Pooled Kahn scratch for `is_acyclic` beyond 64 events.
     kahn: KahnScratch,
     /// Largest `top * stride` ever reached (growth diagnostic).
@@ -189,7 +188,7 @@ impl RelArena {
             stride: n * wpr,
             buf: Vec::new(),
             top: 0,
-            scratch: vec![0; wpr],
+            idx: Vec::new(),
             kahn: KahnScratch::new(),
             high_water: 0,
         }
@@ -203,8 +202,7 @@ impl RelArena {
         self.wpr = words_for(n);
         self.stride = n * self.wpr;
         self.top = 0;
-        self.scratch.clear();
-        self.scratch.resize(self.wpr, 0);
+        self.idx.clear();
     }
 
     /// Size of the event universe.
@@ -420,6 +418,14 @@ impl RelArena {
 
     /// `dst = a; b` (relational composition). `dst` must alias neither
     /// operand slot.
+    ///
+    /// Blocked over [`crate::maskrow`]-style 4-word column chunks: per
+    /// source row, the successors `j ∈ a(i)` are gathered once into the
+    /// pooled index scratch, then each chunk of `dst`'s row accumulates
+    /// the matching chunks of all `b(j)` rows in registers before a
+    /// single store — one pass over `b`'s rows per chunk instead of one
+    /// full-row OR per successor, which is what keeps wide universes
+    /// (beyond the 64-event single-word case) in cache.
     pub fn seq_into<'a, 'b>(
         &mut self,
         dst: RelId,
@@ -435,7 +441,7 @@ impl RelArena {
             }
         }
         self.clear(dst);
-        let (n, wpr, stride) = (self.n, self.wpr, self.stride);
+        let (n, wpr) = (self.n, self.wpr);
         let d0 = self.off(dst);
         let a_off = match a {
             RelSrc::Slot(id) => Some(self.off(id)),
@@ -445,35 +451,59 @@ impl RelArena {
             RelSrc::Slot(id) => Some(self.off(id)),
             RelSrc::Ext(_) => None,
         };
-        let _ = stride;
+        let mut idx = std::mem::take(&mut self.idx);
         for i in 0..n {
-            // Row i of `a` is copied to scratch first so the inner loop
-            // can mutate `buf` freely (a, b and dst may share it).
-            {
-                let arow: &[u64] = match (a_off, &a) {
-                    (Some(o), _) => &self.buf[o + i * wpr..o + (i + 1) * wpr],
-                    (None, RelSrc::Ext(r)) => &r.bits()[i * wpr..(i + 1) * wpr],
-                    _ => unreachable!(),
-                };
-                self.scratch.copy_from_slice(arow);
-            }
-            let drow = d0 + i * wpr;
-            for w in 0..wpr {
-                let mut word = self.scratch[w];
+            // Gather the successor indices of a's row i once; the chunk
+            // loop below then re-reads b freely (a and b never change —
+            // both are distinct from dst).
+            idx.clear();
+            let arow: &[u64] = match (a_off, &a) {
+                (Some(o), _) => &self.buf[o + i * wpr..o + (i + 1) * wpr],
+                (None, RelSrc::Ext(r)) => &r.bits()[i * wpr..(i + 1) * wpr],
+                _ => unreachable!(),
+            };
+            for (w, &word0) in arow.iter().enumerate() {
+                let mut word = word0;
                 while word != 0 {
-                    let j = w * 64 + word.trailing_zeros() as usize;
+                    idx.push((w * 64 + word.trailing_zeros() as usize) as u32);
                     word &= word - 1;
-                    match (b_off, &b) {
-                        (Some(o), _) => or_row_in_buf(&mut self.buf, drow, o + j * wpr, wpr),
-                        (None, RelSrc::Ext(r)) => {
-                            let brow = &r.bits()[j * wpr..(j + 1) * wpr];
-                            or_words(&mut self.buf[drow..drow + wpr], brow);
-                        }
-                        _ => unreachable!(),
-                    }
                 }
             }
+            if idx.is_empty() {
+                continue;
+            }
+            let drow = d0 + i * wpr;
+            let mut cb = 0;
+            while cb < wpr {
+                let bw = (wpr - cb).min(4);
+                let mut acc = [0u64; 4];
+                match (b_off, &b) {
+                    (Some(o), _) => {
+                        for &j in &idx {
+                            let base = o + j as usize * wpr + cb;
+                            for (t, a) in acc.iter_mut().enumerate().take(bw) {
+                                *a |= self.buf[base + t];
+                            }
+                        }
+                    }
+                    (None, RelSrc::Ext(r)) => {
+                        let bits = r.bits();
+                        for &j in &idx {
+                            let base = j as usize * wpr + cb;
+                            for (t, a) in acc.iter_mut().enumerate().take(bw) {
+                                *a |= bits[base + t];
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                for (t, &a) in acc.iter().enumerate().take(bw) {
+                    self.buf[drow + cb + t] |= a;
+                }
+                cb += 4;
+            }
         }
+        self.idx = idx;
     }
 
     /// `dst = src⁻¹` (transpose). `dst` must not alias the operand slot.
@@ -509,20 +539,47 @@ impl RelArena {
     }
 
     /// `dst = src⁺` (transitive closure, Warshall over bit rows in place).
+    ///
+    /// Blocked like [`RelArena::seq_into`]: per pivot `k`, the rows that
+    /// reach `k` are gathered once — the set is fixed for the whole
+    /// iteration, since row `k` itself is excluded and a row only joins
+    /// by already having bit `k` — then row `k` is OR-ed into all of them
+    /// one 4-word column chunk at a time, keeping the pivot row's chunk
+    /// in registers across the member rows.
     pub fn tclosure_into<'a>(&mut self, dst: RelId, src: impl Into<RelSrc<'a>>) {
         self.copy_into(dst, src);
         let (n, wpr) = (self.n, self.wpr);
         let d0 = self.off(dst);
+        let mut idx = std::mem::take(&mut self.idx);
         for k in 0..n {
+            idx.clear();
+            let (kw, kb) = (k / 64, 1u64 << (k % 64));
             for i in 0..n {
-                if i == k {
-                    continue;
-                }
-                if self.buf[d0 + i * wpr + k / 64] >> (k % 64) & 1 == 1 {
-                    or_row_in_buf(&mut self.buf, d0 + i * wpr, d0 + k * wpr, wpr);
+                if i != k && self.buf[d0 + i * wpr + kw] & kb != 0 {
+                    idx.push(i as u32);
                 }
             }
+            if idx.is_empty() {
+                continue;
+            }
+            let k0 = d0 + k * wpr;
+            let mut cb = 0;
+            while cb < wpr {
+                let bw = (wpr - cb).min(4);
+                let mut acc = [0u64; 4];
+                for (t, a) in acc.iter_mut().enumerate().take(bw) {
+                    *a = self.buf[k0 + cb + t];
+                }
+                for &i in &idx {
+                    let base = d0 + i as usize * wpr + cb;
+                    for (t, &a) in acc.iter().enumerate().take(bw) {
+                        self.buf[base + t] |= a;
+                    }
+                }
+                cb += 4;
+            }
         }
+        self.idx = idx;
     }
 
     /// `dst = src*` (reflexive-transitive closure).

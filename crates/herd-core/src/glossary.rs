@@ -190,6 +190,35 @@
 //! degrading exhausted tests to named `lost` entries — the Sec 8.3
 //! bounded-experiment methodology, end to end.
 //!
+//! # The query layer — memoising `mcompare` (Sec 11)
+//!
+//! Sec 11's data-mining workflow (`mcompare`) replays the same question
+//! shape millions of times: "does model M allow final state s of test
+//! T?" — once per logged hardware row, per model revision, per machine.
+//! The query layer makes that workflow cheap by exploiting the two
+//! redundancies the workflow itself creates — rows of one log repeat and
+//! share screened rf classes (*batching*), and whole (test, model,
+//! outcome) questions recur across runs (*memoisation*):
+//!
+//! | term | meaning | where |
+//! |---|---|---|
+//! | fingerprint | a deterministic 128-bit FNV-1a structural hash over a byte-tagged encoding; equal inputs hash equal across runs and platforms, so a fingerprint is a stable *content address* for a question | [`crate::fingerprint::Fingerprint`], [`crate::fingerprint::FpHasher`] |
+//! | query fingerprint | the address of a question's invariant part — test source, model name, enumeration options — hashed once per log, not once per row | `herd_litmus::decide::query_fingerprint` |
+//! | outcome fingerprint | the query fingerprint extended with one parsed outcome: the full content address of a single verdict | `herd_litmus::decide::outcome_fingerprint` |
+//! | batch judging | `decide_log` parses every row up front, groups rows by their screened rf class, and answers each class with one backend walk — co placements launched once per class, not once per row | `herd_litmus::decide::decide_log`, `herd_hw::judge_entries` |
+//! | batch stats | the accounting of a batch: rows in, distinct classes walked, co saturations launched, rows answered by another row's work (`reused`) | `herd_litmus::decide::BatchStats` |
+//! | verdict cache | a sharded, bounded LRU keyed by outcome fingerprint; a warm `mcompare` pass over an unchanged log is pure lookups | the `herd-cache` crate, `herd_hw::judge_log_cached` |
+//!
+//! The same content-addressed store fronts the other expensive
+//! recomputations of the workflow: model-log construction
+//! (`herd_hw::model_log_cached`), reachability verification
+//! (`herd_machine::verify_reachable_cached`), corpus simulation
+//! (`herd_litmus::simulate_corpus_cached`), and cat-model compilation
+//! (`herd_cat::compile_cached`). Every cached path is differentially
+//! pinned against its fresh twin, and the `perf_pipeline` bench gates
+//! the batch (≥10x over row-at-a-time) and warm-cache (≥100x over a
+//! cold decide) speedups per PR.
+//!
 //! # Litmus names (Tab III)
 //!
 //! | classic | systematic | description |

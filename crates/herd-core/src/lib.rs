@@ -31,6 +31,8 @@
 //!   drives every parallel entry point of the workspace, with
 //!   [`sched::Budget`]/[`sched::CancelToken`] graceful degradation and
 //!   per-unit panic isolation.
+//! - [`fingerprint`]: deterministic structural hashing — the stable
+//!   128-bit content keys under the memoised query layer (`herd-cache`).
 //! - [`faultpoint`]: the deterministic fault-injection harness behind the
 //!   robustness suite — named fault points on the hot path, zero-cost
 //!   unless the `fault-injection` feature is on.
@@ -73,6 +75,7 @@ pub mod enumerate;
 pub mod event;
 pub mod exec;
 pub mod faultpoint;
+pub mod fingerprint;
 pub mod fixtures;
 pub mod glossary;
 pub mod maskrow;

@@ -136,21 +136,6 @@ pub(crate) fn andnot_words(dst: &mut [u64], src: &[u64]) {
     }
 }
 
-/// `buf[d0..d0+wpr] |= buf[s0..s0+wpr]` for two disjoint rows of the same
-/// pool (the `seq`/closure inner step, borrow-split so [`or_words`]'s
-/// unrolled kernels apply).
-#[inline]
-pub(crate) fn or_row_in_buf(buf: &mut [u64], d0: usize, s0: usize, wpr: usize) {
-    debug_assert!(d0 + wpr <= s0 || s0 + wpr <= d0, "overlapping rows");
-    if d0 < s0 {
-        let (lo, hi) = buf.split_at_mut(s0);
-        or_words(&mut lo[d0..d0 + wpr], &hi[..wpr]);
-    } else {
-        let (lo, hi) = buf.split_at_mut(d0);
-        or_words(&mut hi[..wpr], &lo[s0..s0 + wpr]);
-    }
-}
-
 /// Does the row contain bit `b`?
 #[inline]
 pub(crate) fn row_test(row: &[u64], b: usize) -> bool {

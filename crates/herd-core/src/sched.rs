@@ -28,8 +28,10 @@
 //!   any plan equal [`Skeleton::candidate_count`].
 //! * [`execute_units`] is the lock-light work-stealing executor: one
 //!   atomic unit cursor, per-worker owned state (a [`RelArena`], an
-//!   engine state, a caller sink), units handed out largest-first so the
-//!   tail stays short. Every parallel entry point of the workspace —
+//!   engine state, a caller sink), units handed out in plan order —
+//!   priority-first ([`WorkPlan::prioritise`]), largest-first within a
+//!   priority band — so urgent units start early and the tail stays
+//!   short. Every parallel entry point of the workspace —
 //!   [`Skeleton::check_stream_sched`] here, `simulate_sharded` /
 //!   `simulate_corpus` in `herd-litmus`, the `herd-hw` campaign drivers —
 //!   runs on this executor instead of hand-rolled scoped-thread loops.
@@ -195,6 +197,12 @@ pub struct WorkUnit {
     /// Estimated candidate count of the unit (drives largest-first
     /// execution order; not part of the accounting contract).
     pub weight: u128,
+    /// Caller-assigned scheduling priority: higher-priority units are
+    /// stolen first, with `weight` breaking ties (largest first). Plans
+    /// are born with every unit at priority 0 — assign via
+    /// [`WorkPlan::prioritise`]. Like `weight`, this steers execution
+    /// order only; it is not part of the accounting contract.
+    pub priority: u32,
 }
 
 /// Knobs for [`WorkPlan::for_skeleton`].
@@ -225,7 +233,8 @@ impl Default for PlanOpts {
 }
 
 /// The decomposition of one skeleton's enumeration space into
-/// [`WorkUnit`]s, ordered largest-first for the stealing executor.
+/// [`WorkUnit`]s, held in steal order (priority descending, then
+/// largest-first) for the stealing executor.
 #[derive(Clone, Debug)]
 pub struct WorkPlan {
     units: Vec<WorkUnit>,
@@ -317,7 +326,13 @@ impl WorkPlan {
             let mut run_weight = 0u128;
             let flush = |units: &mut Vec<WorkUnit>, start: &mut Option<u128>, end, w: &mut u128| {
                 if let Some(s) = start.take() {
-                    units.push(WorkUnit { rf_start: s, rf_end: end, co: None, weight: *w });
+                    units.push(WorkUnit {
+                        rf_start: s,
+                        rf_end: end,
+                        co: None,
+                        weight: *w,
+                        priority: 0,
+                    });
                     *w = 0;
                 }
             };
@@ -333,6 +348,7 @@ impl WorkPlan {
                             rf_end: i + 1,
                             co: Some((s, e)),
                             weight: e - s,
+                            priority: 0,
                         });
                         s = e;
                     }
@@ -346,13 +362,29 @@ impl WorkPlan {
             flush(&mut units, &mut run_start, rf_total, &mut run_weight);
         }
 
-        // Largest first: the stealing executor then finishes with small
-        // units, keeping the makespan tail short.
-        units.sort_by(|a, b| b.weight.cmp(&a.weight));
+        // Largest first (every fresh unit has priority 0): the stealing
+        // executor then finishes with small units, keeping the makespan
+        // tail short.
+        units.sort_by(steal_order);
         WorkPlan { units }
     }
 
-    /// The planned units, in execution (largest-first) order.
+    /// Assigns each unit the priority `f` computes for it, then re-sorts
+    /// into steal order: priority descending, `weight` descending within
+    /// a priority band. The sort is stable, so units tied on both keys
+    /// keep their current relative order — two `prioritise` calls with
+    /// the same function yield the same unit sequence, and since
+    /// [`execute_units`]' atomic cursor hands units out in plan order,
+    /// that sequence *is* the steal order, independent of worker count.
+    pub fn prioritise(&mut self, mut f: impl FnMut(&WorkUnit) -> u32) {
+        for u in &mut self.units {
+            u.priority = f(u);
+        }
+        self.units.sort_by(steal_order);
+    }
+
+    /// The planned units, in execution (steal) order: priority
+    /// descending, then largest-first.
     pub fn units(&self) -> &[WorkUnit] {
         &self.units
     }
@@ -393,10 +425,17 @@ pub fn rf_ranges(total: u128, target: u128) -> Vec<(u128, u128)> {
     out
 }
 
+/// The executor's claim order: priority descending, then weight
+/// descending. Used as a *stable* sort key, so the full order is
+/// deterministic for any fixed plan.
+fn steal_order(a: &WorkUnit, b: &WorkUnit) -> std::cmp::Ordering {
+    b.priority.cmp(&a.priority).then(b.weight.cmp(&a.weight))
+}
+
 fn rf_range_units(total: u128, target: u128) -> Vec<WorkUnit> {
     rf_ranges(total, target)
         .into_iter()
-        .map(|(s, e)| WorkUnit { rf_start: s, rf_end: e, co: None, weight: e - s })
+        .map(|(s, e)| WorkUnit { rf_start: s, rf_end: e, co: None, weight: e - s, priority: 0 })
         .collect()
 }
 
@@ -811,6 +850,71 @@ mod tests {
         }
         let total: usize = states.iter().map(|s| s.1).sum();
         assert_eq!(total, 37, "every unit ran exactly once");
+    }
+
+    #[test]
+    fn priority_drives_the_steal_order_deterministically() {
+        // co_heavy plus a coRR observer: doomed rf configurations
+        // coalesce into rf units, live menus split into co units.
+        let mut b = SkeletonBuilder::new();
+        b.write(0, "z", 1);
+        b.read(1, "z");
+        b.write(1, "x", 1);
+        for i in 0..3 {
+            b.write(2 + i, "x", 2 + i as i64);
+        }
+        b.read(5, "x");
+        b.read(5, "x");
+        let sk = b.build();
+        let power = Power::new();
+        let opts = PlanOpts { workers: 16, units_per_worker: 4, co_split: true };
+        let mut plan = WorkPlan::for_skeleton(&sk, &power, &opts);
+        assert!(plan.co_units() >= 1 && plan.co_units() < plan.len(), "mixed plan");
+
+        // Promote co units above the (heavier) rf units.
+        let promote = |u: &WorkUnit| u32::from(u.co.is_some());
+        plan.prioritise(promote);
+        let first = plan.units().to_vec();
+        let boundary = first.iter().position(|u| u.co.is_none()).expect("an rf unit survives");
+        assert!(
+            first[..boundary].iter().all(|u| u.co.is_some())
+                && first[boundary..].iter().all(|u| u.co.is_none()),
+            "all co units precede all rf units: {first:?}"
+        );
+        for w in first.windows(2) {
+            assert!(
+                (w[0].priority, w[0].weight) >= (w[1].priority, w[1].weight),
+                "priority desc, weight desc within a band: {w:?}"
+            );
+        }
+
+        // Re-prioritising with the same function is a fixed point, so the
+        // order is reproducible run to run.
+        plan.prioritise(promote);
+        assert_eq!(plan.units(), &first[..], "prioritise is deterministic");
+
+        // Plan order is the claim order: the executor's cursor hands
+        // units out in sequence (trivially visible with one worker).
+        let (_, results) = execute_units(
+            plan.len(),
+            1,
+            |_| Vec::new(),
+            |_| {},
+            |claimed, u| {
+                claimed.push(u);
+                plan.units()[u]
+            },
+        );
+        let claimed: Vec<WorkUnit> =
+            results.into_iter().map(|r| r.done().expect("unit completed")).collect();
+        assert_eq!(claimed, first, "steal order equals plan order");
+
+        // The schedule steers execution order only — verdict accounting
+        // is untouched by prioritisation.
+        let mut arena = RelArena::new(0);
+        let whole = sk.check_stream_arena(&power, &mut arena, &mut |_, _, _| {});
+        let out = sk.check_stream_sched(&power, &plan, 3, |_| |_: &_, _: &_, _| {});
+        assert_eq!(out.stats, whole, "prioritised plan merges exactly");
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub use campaign::{
     LostTest, RetriedRun, RunOutcome, TestReport,
 };
 pub use flaky::{Flake, FlakyMachine};
-pub use log::{compare, hardware_log, judge_entry, model_log, Comparison, Log};
+pub use log::{
+    compare, hardware_log, judge_entries, judge_entry, judge_entry_cached, judge_log_cached,
+    model_log, model_log_cached, Comparison, Log, ModelLogCache, VerdictCache,
+};
 pub use silicon::{
     arm_machines, power_machines, x86_machines, ArmErrata, ArmSilicon, Machine, PowerSilicon,
 };

@@ -201,11 +201,45 @@ pub fn model_log(
     log
 }
 
+/// The memoised variant of [`model_log`]: each `(test, model)` pair's
+/// allowed-state set is looked up in (and on a miss, computed into) the
+/// content-addressed `cache`, so re-judging a corpus a second time — the
+/// normal shape of the Sec 11 data-mining loop — is one fingerprint and
+/// one shard probe per test.
+pub fn model_log_cached(
+    tests: &[herd_litmus::program::LitmusTest],
+    model: &dyn herd_core::model::Architecture,
+    cache: &ModelLogCache,
+) -> Log {
+    use herd_litmus::candidates::EnumOptions;
+    use herd_litmus::decide::query_fingerprint;
+    let mut log = Log::default();
+    for t in tests {
+        let key = query_fingerprint(t, model.name(), &EnumOptions::default());
+        let states = cache.get_or_insert_with(key, || {
+            let one = model_log(std::slice::from_ref(t), model);
+            one.entries.get(&t.name).map(|e| e.states.clone()).unwrap_or_default()
+        });
+        log.insert(&t.name, states);
+    }
+    log
+}
+
+/// A content-addressed store of model-log state sets, keyed by
+/// `(test, model, opts)` fingerprints — see [`model_log_cached`].
+pub type ModelLogCache = herd_cache::ShardedLru<BTreeMap<String, u64>>;
+
+/// A content-addressed store of per-row verdicts, keyed by
+/// `(test, model, opts, state row)` fingerprints — see
+/// [`judge_entry_cached`].
+pub type VerdictCache = herd_cache::ShardedLru<bool>;
+
 /// Judges one log row — a full final state like `0:r1=1; x=2` — against a
 /// model through the single-outcome backend: `Ok(true)` iff some
 /// consistent execution of `test` produces the state. This is the
 /// per-row form of the [`compare`] "invalid" set: a hardware state is
-/// invalid exactly when `judge_entry` says `false`.
+/// invalid exactly when `judge_entry` says `false`. A thin wrapper over
+/// the batch machinery of [`judge_entries`] with a one-row log.
 ///
 /// # Errors
 ///
@@ -216,12 +250,107 @@ pub fn judge_entry(
     model: &dyn herd_core::model::Architecture,
     state: &str,
 ) -> Result<bool, String> {
+    judge_entries(test, model, std::slice::from_ref(&state)).map(|(v, _)| v[0])
+}
+
+/// Judges a whole batch of log rows against one `(test, model)` pair
+/// through [`herd_litmus::decide::decide_log`]: repeated rows are
+/// answered once, and distinct rows sharing a screened rf class share
+/// one saturation. Returns per-row verdicts in input order plus the
+/// batch accounting.
+///
+/// # Errors
+///
+/// Returns the parse error naming the first malformed state row, or the
+/// enumeration error message for a program thread semantics rejects.
+pub fn judge_entries<S: AsRef<str>>(
+    test: &herd_litmus::program::LitmusTest,
+    model: &dyn herd_core::model::Architecture,
+    states: &[S],
+) -> Result<(Vec<bool>, herd_litmus::decide::BatchStats), String> {
     use herd_litmus::candidates::EnumOptions;
-    use herd_litmus::decide::{decide_outcome, Outcome};
+    use herd_litmus::decide::{decide_log, Outcome};
+    let rows: Vec<Outcome> = states
+        .iter()
+        .map(|s| Outcome::from_state_row(s.as_ref()))
+        .collect::<Result<_, String>>()?;
+    let batch =
+        decide_log(test, model, &EnumOptions::default(), &rows).map_err(|e| e.to_string())?;
+    Ok((batch.verdicts, batch.stats))
+}
+
+/// The memoised variant of [`judge_entry`]: the verdict is stored in the
+/// content-addressed `cache` under the `(test, model, opts, row)`
+/// fingerprint, so a warm re-query never re-runs the decision.
+///
+/// # Errors
+///
+/// As [`judge_entry`].
+pub fn judge_entry_cached(
+    test: &herd_litmus::program::LitmusTest,
+    model: &dyn herd_core::model::Architecture,
+    state: &str,
+    cache: &VerdictCache,
+) -> Result<bool, String> {
+    use herd_litmus::candidates::EnumOptions;
+    use herd_litmus::decide::{outcome_fingerprint, query_fingerprint, Outcome};
     let outcome = Outcome::from_state_row(state)?;
-    decide_outcome(test, model, &EnumOptions::default(), &outcome)
-        .map(|d| d.allowed)
-        .map_err(|e| e.to_string())
+    let base = query_fingerprint(test, model.name(), &EnumOptions::default());
+    let key = outcome_fingerprint(base, &outcome);
+    if let Some(v) = cache.get(key) {
+        return Ok(v);
+    }
+    let v = judge_entry(test, model, state)?;
+    cache.insert(key, v);
+    Ok(v)
+}
+
+/// The batched, memoised form of [`judge_entry`] — the Sec 11 `mcompare`
+/// inner loop at full speed. The query fingerprint is computed once per
+/// call (not once per row), every row is probed in the content-addressed
+/// `cache`, and the misses are decided *together* through
+/// [`herd_litmus::decide::decide_log`]'s class grouping before being
+/// cached. A warm re-query is one parse, one row fingerprint and one
+/// shard probe per row; a cold million-row log costs one saturation per
+/// distinct rf class.
+///
+/// # Errors
+///
+/// As [`judge_entry`]; a parse error names the first malformed row and
+/// caches nothing.
+pub fn judge_log_cached<S: AsRef<str>>(
+    test: &herd_litmus::program::LitmusTest,
+    model: &dyn herd_core::model::Architecture,
+    states: &[S],
+    cache: &VerdictCache,
+) -> Result<Vec<bool>, String> {
+    use herd_litmus::candidates::EnumOptions;
+    use herd_litmus::decide::{decide_log, outcome_fingerprint, query_fingerprint, Outcome};
+    let base = query_fingerprint(test, model.name(), &EnumOptions::default());
+    let mut verdicts: Vec<Option<bool>> = Vec::with_capacity(states.len());
+    let mut keys = Vec::with_capacity(states.len());
+    let mut missing = Vec::new();
+    let mut rows = Vec::new();
+    for (i, s) in states.iter().enumerate() {
+        let outcome = Outcome::from_state_row(s.as_ref())?;
+        let key = outcome_fingerprint(base, &outcome);
+        let hit = cache.get(key);
+        if hit.is_none() {
+            missing.push(i);
+            rows.push(outcome);
+        }
+        keys.push(key);
+        verdicts.push(hit);
+    }
+    if !missing.is_empty() {
+        let batch =
+            decide_log(test, model, &EnumOptions::default(), &rows).map_err(|e| e.to_string())?;
+        for (&i, &v) in missing.iter().zip(&batch.verdicts) {
+            cache.insert(keys[i], v);
+            verdicts[i] = Some(v);
+        }
+    }
+    Ok(verdicts.into_iter().map(|v| v.expect("every row hit or was decided")).collect())
 }
 
 /// Builds the hardware-side log by running each test on a machine.
@@ -269,6 +398,57 @@ mod tests {
         assert!(Log::parse("Test \n").is_err());
         assert!(Log::parse("5:>x=1;\n").is_err(), "state before header");
         assert!(Log::parse("Test t Allowed\nwat\n").is_err());
+    }
+
+    #[test]
+    fn batched_and_cached_judging_match_the_plain_paths() {
+        use herd_core::arch::Tso;
+        use herd_litmus::corpus::Dev;
+        use herd_litmus::isa::Isa;
+        let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        let rows =
+            ["0:r1=0; 1:r1=0", "0:r1=1; 1:r1=0", "0:r1=0; 1:r1=0", "0:r1=1; 1:r1=1", "x=1; y=1"];
+        let (batch, stats) = judge_entries(&test, &Tso, &rows).unwrap();
+        assert_eq!(stats.rows, rows.len() as u64);
+        assert!(stats.reused >= 1, "the literal repeat is answered once");
+        let cache = VerdictCache::new(1024);
+        for (i, row) in rows.iter().enumerate() {
+            let plain = judge_entry(&test, &Tso, row).unwrap();
+            assert_eq!(batch[i], plain, "row {i}");
+            assert_eq!(judge_entry_cached(&test, &Tso, row, &cache).unwrap(), plain);
+            assert_eq!(judge_entry_cached(&test, &Tso, row, &cache).unwrap(), plain, "warm");
+        }
+        let s = cache.stats();
+        assert!(s.hits >= rows.len() as u64 - 1, "second pass hits: {s:?}");
+        assert!(judge_entry(&test, &Tso, "not a state").is_err());
+
+        // The batched cached path: cold agrees with the batch verdicts,
+        // warm is all hits and agrees again.
+        let log_cache = VerdictCache::new(1024);
+        let cold = judge_log_cached(&test, &Tso, &rows, &log_cache).unwrap();
+        assert_eq!(cold, batch);
+        let warm = judge_log_cached(&test, &Tso, &rows, &log_cache).unwrap();
+        assert_eq!(warm, batch);
+        let s = log_cache.stats();
+        assert_eq!(s.misses, 5, "every cold probe misses (the repeat probes twice)");
+        assert_eq!(s.len, 4, "four distinct rows stored");
+        assert!(s.hits >= rows.len() as u64, "the warm pass never decides: {s:?}");
+        assert!(judge_log_cached(&test, &Tso, &["bogus"], &log_cache).is_err());
+    }
+
+    #[test]
+    fn cached_model_log_matches_and_hits_when_warm() {
+        use herd_core::arch::Tso;
+        let tests: Vec<_> = corpus::x86_corpus().into_iter().map(|e| e.test).take(4).collect();
+        let plain = model_log(&tests, &Tso);
+        let cache = ModelLogCache::new(256);
+        let cold = model_log_cached(&tests, &Tso, &cache);
+        assert_eq!(cold, plain);
+        let warm = model_log_cached(&tests, &Tso, &cache);
+        assert_eq!(warm, plain);
+        let s = cache.stats();
+        assert_eq!(s.misses, tests.len() as u64, "cold pass misses once per test");
+        assert_eq!(s.hits, tests.len() as u64, "warm pass is all hits");
     }
 
     #[test]

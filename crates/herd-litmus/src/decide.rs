@@ -26,6 +26,22 @@
 //! enumeration whenever saturation is incomplete or the model sits past
 //! the tractability frontier ([`herd_core::model::Tractability`]); the
 //! fallback shows up in [`QueryStats::backend`], never silently.
+//!
+//! ## Batched judging
+//!
+//! The data-mining workflow (paper Sec 11, `mcompare`) does not ask one
+//! question — it judges every row of a hardware log, and hardware logs
+//! repeat themselves: a 100k-run campaign of a 2-thread test produces a
+//! handful of *distinct* final states. [`decide_log`] exploits that
+//! twice. Literal repeats are answered once and copied
+//! ([`BatchStats::reused`]); the remaining distinct rows are grouped
+//! *per control-flow combination* by their screened rf class — the
+//! filtered rf menus plus the memory constraints — and each class walks
+//! the rf odometer **once**, sharing every solve, concretisation and
+//! coherence saturation across its members, with only the final
+//! register probe checked per row. [`decide_outcome`] (and `herd-hw`'s
+//! `judge_entry`) are thin wrappers over the same machinery, so the
+//! single-row path cannot drift from the batch path.
 
 use crate::candidates::{
     bump, combo_parts, final_registers, thread_paths, value_domain, CandidateError, ComboParts,
@@ -38,6 +54,7 @@ use crate::sem::ThreadPath;
 use herd_core::arena::RelArena;
 use herd_core::consistency::{co_exists, CoQuery, ConsistencyStats};
 use herd_core::event::{Event, Loc, Val};
+use herd_core::fingerprint::{Fingerprint, FpHasher};
 use herd_core::model::Architecture;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -136,10 +153,42 @@ pub struct Decision {
     pub stats: QueryStats,
 }
 
+/// Work accounting of one batched decision ([`decide_log`]), on top of
+/// the underlying [`QueryStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Rows in the input log, before deduplication.
+    pub rows: u64,
+    /// Screened rf classes walked: groups of distinct rows sharing
+    /// filtered rf menus and memory constraints within one control-flow
+    /// combination. Each class walks its rf odometer once.
+    pub classes: u64,
+    /// Coherence placements launched (each shared by a whole class).
+    pub saturations: u64,
+    /// Rows answered without their own decision walk: literal duplicates
+    /// of an earlier row, plus class co-members settled by a witness
+    /// found once for the class.
+    pub reused: u64,
+    /// The underlying decision accounting.
+    pub query: QueryStats,
+}
+
+/// The answer to one batched log query: one verdict per input row, in
+/// input order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchDecision {
+    /// `verdicts[i]` answers `rows[i]`: allowed under the model?
+    pub verdicts: Vec<bool>,
+    /// What the whole batch cost.
+    pub stats: BatchStats,
+}
+
 /// Decides whether `outcome` is allowed for `test` under `arch`.
 ///
 /// Exact for every architecture; polynomial (per rf configuration) for
 /// models vouching for [`herd_core::model::Tractability::Polynomial`].
+/// A thin wrapper over the batch engine ([`decide_log`]) with a
+/// single-row log — identical control flow and accounting.
 ///
 /// # Errors
 ///
@@ -150,57 +199,148 @@ pub fn decide_outcome<A: Architecture + ?Sized>(
     opts: &EnumOptions,
     outcome: &Outcome,
 ) -> Result<Decision, CandidateError> {
-    let locs = LocTable::for_test(test);
-    let mut stats = QueryStats::default();
-    // A location the test does not know can never match any candidate.
-    if outcome.mem.keys().any(|name| locs.lookup(name).is_none()) {
-        return Ok(Decision { allowed: false, stats });
-    }
-    let loc_map = locs.as_map();
-    let paths = thread_paths(test, opts, &loc_map)?;
-    let domain = value_domain(test);
-    let mut arena = RelArena::new(0);
-    let mut pick = vec![0usize; paths.len()];
-    let radices: Vec<usize> = paths.iter().map(Vec::len).collect();
-    loop {
-        let combo: Vec<&ThreadPath> = pick.iter().zip(&paths).map(|(&i, ps)| &ps[i]).collect();
-        if decide_combo(test, arch, &locs, &combo, &domain, outcome, &mut arena, &mut stats) {
-            return Ok(Decision { allowed: true, stats });
-        }
-        if !bump(&mut pick, &radices) {
-            break;
-        }
-    }
-    Ok(Decision { allowed: false, stats })
+    let batch = decide_log(test, arch, opts, std::slice::from_ref(outcome))?;
+    Ok(Decision { allowed: batch.verdicts[0], stats: batch.stats.query })
 }
 
-/// Decides `outcome` within one control-flow combination; `true` means a
-/// witness was found (the decision short-circuits).
-#[allow(clippy::too_many_arguments)] // private odometer step of decide_outcome
-fn decide_combo<A: Architecture + ?Sized>(
+/// Judges a whole log of outcome rows against one `(test, model)` pair.
+///
+/// Shares work three ways that row-at-a-time [`decide_outcome`] cannot:
+/// thread semantics and combination parts are computed once for the
+/// whole batch; literal repeat rows are answered once and copied; and
+/// within each combination, rows are grouped by screened rf class —
+/// identical filtered menus plus identical memory constraints — so each
+/// class walks the rf odometer, the solver and the coherence saturation
+/// *once*, with only the per-row register probe distinguishing members.
+/// A witness found for a class settles every member whose registers
+/// match ([`BatchStats::reused`]).
+///
+/// Verdicts are bit-identical to calling [`decide_outcome`] per row.
+///
+/// # Errors
+///
+/// Propagates [`CandidateError`] from thread semantics.
+pub fn decide_log<A: Architecture + ?Sized>(
+    test: &LitmusTest,
+    arch: &A,
+    opts: &EnumOptions,
+    rows: &[Outcome],
+) -> Result<BatchDecision, CandidateError> {
+    let mut stats = BatchStats { rows: rows.len() as u64, ..BatchStats::default() };
+    // Literal repeats: each input row maps to one distinct outcome.
+    let mut first: BTreeMap<String, usize> = BTreeMap::new();
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut owner: Vec<usize> = Vec::with_capacity(rows.len());
+    for (i, o) in rows.iter().enumerate() {
+        let key = render_key(&o.regs, &o.mem);
+        owner.push(*first.entry(key).or_insert_with(|| {
+            distinct.push(i);
+            distinct.len() - 1
+        }));
+    }
+    stats.reused += (rows.len() - distinct.len()) as u64;
+
+    let locs = LocTable::for_test(test);
+    // A location the test does not know can never match any candidate.
+    let mut dverdict: Vec<Option<bool>> = distinct
+        .iter()
+        .map(|&i| rows[i].mem.keys().any(|name| locs.lookup(name).is_none()).then_some(false))
+        .collect();
+    let live: Vec<usize> = (0..distinct.len()).filter(|&d| dverdict[d].is_none()).collect();
+
+    if !live.is_empty() {
+        let loc_map = locs.as_map();
+        let paths = thread_paths(test, opts, &loc_map)?;
+        let domain = value_domain(test);
+        let mut arena = RelArena::new(0);
+        let mut pick = vec![0usize; paths.len()];
+        let radices: Vec<usize> = paths.iter().map(Vec::len).collect();
+        loop {
+            let combo: Vec<&ThreadPath> = pick.iter().zip(&paths).map(|(&i, ps)| &ps[i]).collect();
+            stats.query.combos += 1;
+            let parts = combo_parts(test, &locs, &combo);
+            stats.query.rf_space +=
+                parts.rf_choices.iter().map(|c| c.len() as u128).product::<u128>().max(1);
+            // Screen every still-undecided row, grouping survivors by
+            // their screened rf class.
+            let mut groups: BTreeMap<u128, (Vec<Vec<usize>>, Vec<usize>)> = BTreeMap::new();
+            let mut screened = 0usize;
+            for &d in &live {
+                if dverdict[d].is_some() {
+                    continue;
+                }
+                screened += 1;
+                let outcome = &rows[distinct[d]];
+                if let Some(menus) = screen_combo(test, &locs, &combo, &parts, outcome) {
+                    let key = class_fingerprint(&menus, &outcome.mem);
+                    groups.entry(key.0).or_insert_with(|| (menus, Vec::new())).1.push(d);
+                }
+            }
+            if screened > 0 && groups.is_empty() {
+                // The combination is skipped whole, as in the single-row
+                // path: no surviving row can match it.
+                stats.query.combos_pruned += 1;
+            }
+            for (menus, members) in groups.values() {
+                stats.classes += 1;
+                decide_class(
+                    test,
+                    arch,
+                    &locs,
+                    &combo,
+                    &domain,
+                    &parts,
+                    menus,
+                    members,
+                    rows,
+                    &distinct,
+                    &mut dverdict,
+                    &mut arena,
+                    &mut stats,
+                );
+            }
+            if live.iter().all(|&d| dverdict[d].is_some()) {
+                break;
+            }
+            if !bump(&mut pick, &radices) {
+                break;
+            }
+        }
+    }
+
+    // Rows the walk never settled have no witness in any combination.
+    let verdicts: Vec<bool> = owner.iter().map(|&d| dverdict[d].unwrap_or(false)).collect();
+    Ok(BatchDecision { verdicts, stats })
+}
+
+/// Walks one screened rf class within one control-flow combination,
+/// settling every member a witness covers. Members share the rf
+/// odometer, the solver and the coherence queries; only the final
+/// register probe is per-row.
+#[allow(clippy::too_many_arguments)] // private odometer step of decide_log
+fn decide_class<A: Architecture + ?Sized>(
     test: &LitmusTest,
     arch: &A,
     locs: &LocTable,
     combo: &[&ThreadPath],
     domain: &[i64],
-    outcome: &Outcome,
+    parts: &ComboParts,
+    menus: &[Vec<usize>],
+    members: &[usize],
+    rows: &[Outcome],
+    distinct: &[usize],
+    dverdict: &mut [Option<bool>],
     arena: &mut RelArena,
-    stats: &mut QueryStats,
-) -> bool {
-    stats.combos += 1;
-    let parts = combo_parts(test, locs, combo);
-    stats.rf_space += parts.rf_choices.iter().map(|c| c.len() as u128).product::<u128>().max(1);
-
-    let Some(menus) = screen_combo(test, locs, combo, &parts, outcome) else {
-        stats.combos_pruned += 1;
-        return false;
-    };
-
+    stats: &mut BatchStats,
+) {
+    // Memory constraints are part of the class key: identical across
+    // members, so any member stands for the class below.
+    let class_outcome = &rows[distinct[members[0]]];
     let symbols: Vec<SymId> = parts.reads.iter().map(|&r| SymId(r)).collect();
     let rf_radices: Vec<usize> = menus.iter().map(Vec::len).collect();
     let mut rf_pick = vec![0usize; menus.len()];
     loop {
-        stats.rf_configs += 1;
+        stats.query.rf_configs += 1;
         let mut equations = parts.base_equations.clone();
         let mut rf_pairs: Vec<(usize, usize)> = Vec::with_capacity(parts.reads.len());
         for (k, &r) in parts.reads.iter().enumerate() {
@@ -212,20 +352,31 @@ fn decide_combo<A: Architecture + ?Sized>(
             });
         }
         for asg in expr::solve(&symbols, &equations, domain) {
-            let Some(evs) = concretise(&parts, &asg) else { continue };
+            let Some(evs) = concretise(parts, &asg) else { continue };
             let final_regs = final_registers(test, locs, combo, &asg, &parts.read_gid);
-            if !outcome.regs.iter().all(|(k, v)| final_regs.get(k) == Some(v)) {
+            // The per-row probe: which undecided members does this
+            // concretisation's register file satisfy?
+            let matching: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&d| dverdict[d].is_none())
+                .filter(|&d| {
+                    rows[distinct[d]].regs.iter().all(|(k, v)| final_regs.get(k) == Some(v))
+                })
+                .collect();
+            if matching.is_empty() {
                 continue;
             }
             // The outcome's memory values pin per-location co-maximal
             // writes: collect the candidate last writes of each
             // constrained location (any one of them being co-maximal
             // yields the required value — they are tried in turn).
-            let Some((constrained, last_menus)) = last_write_menus(&parts, locs, outcome, &evs)
+            let Some((constrained, last_menus)) =
+                last_write_menus(parts, locs, class_outcome, &evs)
             else {
                 continue;
             };
-            stats.matched += 1;
+            stats.query.matched += matching.len() as u64;
             let lw_radices: Vec<usize> = last_menus.iter().map(Vec::len).collect();
             let mut lw_pick = vec![0usize; last_menus.len()];
             loop {
@@ -241,19 +392,73 @@ fn decide_combo<A: Architecture + ?Sized>(
                     rf: &rf_pairs,
                     last_writes: &last_writes,
                 };
-                if co_exists(arch, &q, arena, &mut stats.backend) {
-                    return true;
+                stats.saturations += 1;
+                if co_exists(arch, &q, arena, &mut stats.query.backend) {
+                    // One witness settles every matching member.
+                    for (extra, &d) in matching.iter().enumerate() {
+                        dverdict[d] = Some(true);
+                        stats.reused += (extra > 0) as u64;
+                    }
+                    break;
                 }
                 if !bump(&mut lw_pick, &lw_radices) {
                     break;
                 }
+            }
+            if members.iter().all(|&d| dverdict[d].is_some()) {
+                return;
             }
         }
         if !bump(&mut rf_pick, &rf_radices) {
             break;
         }
     }
-    false
+}
+
+/// The identity of one screened rf class: the filtered menus plus the
+/// row's memory constraints — everything the shared walk depends on.
+fn class_fingerprint(menus: &[Vec<usize>], mem: &BTreeMap<String, i64>) -> Fingerprint {
+    let mut h = FpHasher::new("rf-class/v1");
+    h.tag("menus");
+    h.write_len(menus.len());
+    for m in menus {
+        h.write_len(m.len());
+        for &w in m {
+            h.write_u64(w as u64);
+        }
+    }
+    h.tag("mem");
+    h.write_len(mem.len());
+    for (name, &v) in mem {
+        h.write_str(name);
+        h.write_i64(v);
+    }
+    h.finish()
+}
+
+/// Stable content key of one `(test, model, opts)` query context — the
+/// base the per-row verdict keys of [`outcome_fingerprint`] extend, and
+/// the key `herd-cache` stores model logs and reachability verdicts
+/// under.
+pub fn query_fingerprint(test: &LitmusTest, model_name: &str, opts: &EnumOptions) -> Fingerprint {
+    let mut h = FpHasher::new("query/v1");
+    h.tag("test");
+    h.write_str(&test.to_string());
+    h.tag("model");
+    h.write_str(model_name);
+    h.tag("opts");
+    h.write_u64(opts.fuel as u64);
+    h.write_u64(opts.max_candidates as u64);
+    h.finish()
+}
+
+/// Extends a query key with one outcome row: the content key of a single
+/// cached verdict.
+pub fn outcome_fingerprint(base: Fingerprint, outcome: &Outcome) -> Fingerprint {
+    let mut h = FpHasher::from(base);
+    h.tag("row");
+    h.write_str(&render_key(&outcome.regs, &outcome.mem));
+    h.finish()
 }
 
 /// Static register screening of one combination: `None` when the path's
@@ -554,6 +759,82 @@ mod tests {
         assert!(!d.allowed, "iriw is forbidden on TSO");
         assert_eq!(d.stats.rf_space, 16);
         assert_eq!(d.stats.rf_configs, 1, "pinned reads collapse the rf odometer");
+    }
+
+    #[test]
+    fn batch_verdicts_match_row_at_a_time() {
+        let rows: Vec<Outcome> = [
+            "0:r1=0; 1:r1=0",
+            "0:r1=1; 1:r1=0",
+            "0:r1=0; 1:r1=1",
+            "0:r1=1; 1:r1=1",
+            "0:r1=0; 1:r1=0", // literal repeat
+            "x=1; y=1",
+            "zz=3", // unknown location
+        ]
+        .iter()
+        .map(|r| outcome(r))
+        .collect();
+        let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        for arch in [&Sc as &dyn herd_core::model::Architecture, &Tso] {
+            let batch = decide_log(&test, arch, &EnumOptions::default(), &rows).unwrap();
+            assert_eq!(batch.stats.rows, rows.len() as u64);
+            for (i, row) in rows.iter().enumerate() {
+                let single = decide_outcome(&test, arch, &EnumOptions::default(), row).unwrap();
+                assert_eq!(
+                    batch.verdicts[i], single.allowed,
+                    "row {i} diverged between batch and single"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reuses_work_across_repeated_rows() {
+        // 100 copies of two distinct rows: 98 answered by deduplication.
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            rows.push(outcome(if i % 2 == 0 { "0:r1=0; 1:r1=0" } else { "0:r1=1; 1:r1=1" }));
+        }
+        let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        let batch = decide_log(&test, &Tso, &EnumOptions::default(), &rows).unwrap();
+        assert!(batch.verdicts.iter().all(|&v| v), "both states are TSO-allowed");
+        assert!(batch.stats.reused >= 98, "duplicates are answered once: {:?}", batch.stats);
+        assert!(
+            batch.stats.query.combos <= 4,
+            "the combo walk runs per batch, not per row: {:?}",
+            batch.stats
+        );
+    }
+
+    #[test]
+    fn single_row_batch_reproduces_wrapper_stats() {
+        // The decide_outcome wrapper and a 1-row decide_log are the same
+        // machinery; their accounting must agree exactly.
+        let test = corpus::iriw(Isa::X86, Dev::Po, Dev::Po);
+        let witness = outcome("1:r1=1; 1:r2=0; 3:r1=1; 3:r2=0");
+        let single = decide_outcome(&test, &Tso, &EnumOptions::default(), &witness).unwrap();
+        let batch =
+            decide_log(&test, &Tso, &EnumOptions::default(), std::slice::from_ref(&witness))
+                .unwrap();
+        assert_eq!(single.stats, batch.stats.query);
+        assert_eq!(batch.stats.reused, 0);
+        assert!(batch.stats.classes >= 1);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_content_addressed() {
+        let test = corpus::sb(Isa::X86, Dev::Po, Dev::Po);
+        let opts = EnumOptions::default();
+        let base = query_fingerprint(&test, "TSO", &opts);
+        assert_eq!(base, query_fingerprint(&test, "TSO", &opts), "same content, same key");
+        assert_ne!(base, query_fingerprint(&test, "SC", &opts), "the model is part of the key");
+        let other = corpus::mp(Isa::X86, Dev::Po, Dev::Po);
+        assert_ne!(base, query_fingerprint(&other, "TSO", &opts), "the test is part of the key");
+        let row = outcome("0:r1=0; 1:r1=0");
+        let k1 = outcome_fingerprint(base, &row);
+        assert_eq!(k1, outcome_fingerprint(base, &row));
+        assert_ne!(k1, outcome_fingerprint(base, &outcome("0:r1=1; 1:r1=0")));
     }
 
     #[test]

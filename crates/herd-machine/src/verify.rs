@@ -84,6 +84,39 @@ pub fn verify_reachable(
     Ok(out.positive > 0)
 }
 
+/// A content-addressed store of reachability verdicts, keyed by
+/// `(test, model, opts)` fingerprints — see [`verify_reachable_cached`].
+pub type ReachabilityCache = herd_cache::ShardedLru<bool>;
+
+/// The memoised variant of [`verify_reachable`]: the bit is stored in
+/// the content-addressed `cache` under the `(test, model, opts)`
+/// fingerprint, so repeated verification sweeps over the same corpus —
+/// model-comparison loops, CI reruns — answer warm queries with one
+/// hash lookup instead of a decision walk.
+///
+/// # Errors
+///
+/// Propagates enumeration failures (errors are not cached).
+pub fn verify_reachable_cached(
+    test: &LitmusTest,
+    arch: &dyn Architecture,
+    cache: &ReachabilityCache,
+) -> Result<bool, CandidateError> {
+    let mut h = herd_core::fingerprint::FpHasher::from(herd_litmus::decide::query_fingerprint(
+        test,
+        arch.name(),
+        &EnumOptions::default(),
+    ));
+    h.tag("reachable");
+    let key = h.finish();
+    if let Some(v) = cache.get(key) {
+        return Ok(v);
+    }
+    let v = verify_reachable(test, arch)?;
+    cache.insert(key, v);
+    Ok(v)
+}
+
 /// Operational bounded verification: like [`verify_axiomatic`] but each
 /// candidate is validated by exhaustively exploring the intermediate
 /// machine instead of evaluating the axioms.
@@ -133,6 +166,7 @@ mod tests {
     #[test]
     fn decided_reachability_agrees_with_both_encodings() {
         use herd_core::arch::{Sc, Tso};
+        let cache = ReachabilityCache::new(64);
         for test in [
             corpus::mp(Isa::X86, Dev::Po, Dev::Po),
             corpus::sb(Isa::X86, Dev::Po, Dev::Po),
@@ -143,7 +177,15 @@ mod tests {
                 let ax = verify_axiomatic(&test, arch).unwrap();
                 let decided = verify_reachable(&test, arch).unwrap();
                 assert_eq!(decided, ax.reachable, "{} on {}", test.name, arch.name());
+                // The memoised path returns the same bit cold and warm.
+                for _ in 0..2 {
+                    let c = verify_reachable_cached(&test, arch, &cache).unwrap();
+                    assert_eq!(c, decided, "{} on {} (cached)", test.name, arch.name());
+                }
             }
         }
+        let s = cache.stats();
+        assert_eq!(s.misses, 8, "one cold miss per (test, model) pair");
+        assert_eq!(s.hits, 8, "every warm repeat is a hit");
     }
 }

@@ -7,6 +7,8 @@
 //! - [`litmus`]: mini-ISAs, instruction semantics, the litmus format,
 //!   candidate enumeration and the herd-style simulator.
 //! - [`cat`]: the cat model-definition language.
+//! - [`cache`]: the content-addressed verdict store behind the memoised
+//!   query layer (sharded bounded LRU keyed by structural fingerprints).
 //! - [`machine`]: the intermediate operational machine and the comparison
 //!   models (multi-event axiomatic, PLDI-style operational).
 //! - [`hw`]: simulated hardware testbeds with injectable bugs.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use herd_cache as cache;
 pub use herd_cat as cat;
 pub use herd_core as core;
 pub use herd_diy as diy;

@@ -109,6 +109,30 @@ proptest! {
         prop_assert_eq!(ar.live(), 1, "acyclicity allocated no temporary slot");
     }
 
+    /// PR 9: the blocked `seq`/`tclosure` kernels (4-word column chunks
+    /// with a register accumulator) against the owned algebra at the
+    /// word-boundary widths, where a wrong chunk remainder (`bw < 4`)
+    /// would silently drop or duplicate columns.
+    #[test]
+    fn arena_blocked_composition_matches_owned_at_word_boundaries(
+        (a, b) in proptest::sample::select(&BOUNDARY_WIDTHS[..])
+            .prop_flat_map(|n| (relation(n), relation(n)))
+    ) {
+        let n = a.universe();
+        let mut ar = RelArena::new(n);
+        let (ia, ib) = (ar.alloc_from(&a), ar.alloc_from(&b));
+
+        let s = ar.alloc();
+        ar.seq_into(s, ia, ib);
+        prop_assert_eq!(ar.to_relation(s), a.seq(&b), "seq at width {}", n);
+        ar.seq_into(s, &a, &b); // external operand flavour
+        prop_assert_eq!(ar.to_relation(s), a.seq(&b), "ext seq at width {}", n);
+
+        let c = ar.alloc();
+        ar.tclosure_into(c, ia);
+        prop_assert_eq!(ar.to_relation(c), a.tclosure(), "tclosure at width {}", n);
+    }
+
     /// PR 8: the width-generic [`MaskRow`] kernels (or/and/andnot, set,
     /// test, count, iteration) against the owned [`EventSet`] algebra at
     /// the same boundary widths.

@@ -131,6 +131,57 @@ fn judge_entry_reproduces_the_compare_invalid_sets() {
 }
 
 #[test]
+fn batched_judging_matches_row_at_a_time_and_enumeration() {
+    // PR 9: the batch API is the same judge, faster. For every test in a
+    // seeded x86 campaign log, `judge_entries` over the whole row set
+    // must agree row for row with (a) single-row `judge_entry` calls and
+    // (b) the enumerate-every-candidate reference.
+    use herd_core::model::{check, Architecture};
+    use herd_hw::campaign::render_full_state;
+    use herd_litmus::candidates::{enumerate, EnumOptions};
+    use std::collections::BTreeSet;
+
+    let tests: Vec<LitmusTest> = corpus::x86_corpus().into_iter().map(|e| e.test).collect();
+    let machine = &x86_machines()[0];
+    let hw = herd_hw::hardware_log(&tests, machine, RUNS, 7);
+    for model in [&Sc as &(dyn Architecture + Sync), &Tso] {
+        for (name, entry) in &hw.entries {
+            let test = tests.iter().find(|t| &t.name == name).unwrap();
+            let rows: Vec<&String> = entry.states.keys().collect();
+            let (batch, stats) = herd_hw::judge_entries(test, model, &rows).unwrap();
+            assert_eq!(batch.len(), rows.len());
+            assert_eq!(stats.rows, rows.len() as u64, "{name}: one stat row per log row");
+            assert!(stats.classes <= stats.rows, "{name}: classes cannot exceed rows");
+
+            // The enumeration reference: a full state is allowed exactly
+            // when some allowed candidate renders to it.
+            let allowed_states: BTreeSet<String> = enumerate(test, &EnumOptions::default())
+                .unwrap()
+                .iter()
+                .filter(|c| check(model, &c.exec).allowed())
+                .map(render_full_state)
+                .collect();
+
+            for (state, &verdict) in rows.iter().zip(&batch) {
+                let single = herd_hw::judge_entry(test, model, state).unwrap();
+                assert_eq!(
+                    verdict,
+                    single,
+                    "{name} under {}: batch and row-at-a-time disagree on '{state}'",
+                    model.name()
+                );
+                assert_eq!(
+                    verdict,
+                    allowed_states.contains(state.as_str()),
+                    "{name} under {}: batch and enumeration disagree on '{state}'",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn backend_judged_campaigns_are_worker_count_independent() {
     // Campaign tests fan out over the work-stealing executor with as many
     // workers as the host offers; per-test RNGs are derived from

@@ -158,10 +158,16 @@ fn mixed_plans_hold_the_partition_contract() {
     // co-splitting planner: doomed/small configurations coalesce into rf
     // units, menu-heavy ones split into co units.
     let opts = PlanOpts { workers: 16, units_per_worker: 4, co_split: true };
-    let plan = WorkPlan::for_skeleton(&sk, &power, &opts);
+    let mut plan = WorkPlan::for_skeleton(&sk, &power, &opts);
     assert!(plan.co_units() > 0, "the big menus must split: {:?}", plan.units());
     assert!(plan.co_units() < plan.len(), "doomed configurations must stay rf units");
     for workers in [1usize, 2, 5] {
+        check_plan(&sk, &plan, workers);
+    }
+    // PR 9: reordering by priority steers the steal order only — the
+    // partition contract and verdict multiset are unchanged.
+    plan.prioritise(|u| u32::from(u.co.is_some()));
+    for workers in [1usize, 5] {
         check_plan(&sk, &plan, workers);
     }
 }
