@@ -52,7 +52,15 @@
 #                                     decide_log over row-at-a-time
 #                                     judging on a 100k-row log / below
 #                                     100x for a warm verdict-cache
-#                                     lookup over the cold decide
+#                                     lookup over the cold decide, or a
+#                                     frontier row (conditional
+#                                     saturation, PR 10) above a 20%
+#                                     Power/ARM corpus fallback rate /
+#                                     below an 80% definitive fraction /
+#                                     below 5x for the envelope path
+#                                     over the pure-enumeration-fallback
+#                                     baseline on the iriw+3w+syncs and
+#                                     wrc+6w+po probes
 #   7. perf_pipeline --compare      — reads every BENCH_pr*.json, prints
 #                                     the per-family speedup trajectory
 #                                     table, and FAILS if the new PR's

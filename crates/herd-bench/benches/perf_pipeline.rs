@@ -39,7 +39,14 @@
 //! synthetic 100k-row campaign log judged by `decide_log` against
 //! row-at-a-time `judge_entry` (gated ≥ 10x), plus the content-addressed
 //! verdict cache's warm lookup against the cold uncached decide (gated
-//! ≥ 100x per verdict on an expensive `wrc+8w` family).
+//! ≥ 100x per verdict on an expensive `wrc+8w` family) — and
+//! (**frontier**, PR 10) conditional saturation past the tractability
+//! frontier: the whole checked-in Power and ARM corpus decided through
+//! `simulate_decided`, reporting how many queries the ppo envelope
+//! settles without enumeration (fallback rate gated ≤ 20%, definitive
+//! fraction gated ≥ 80%), plus envelope-vs-pure-fallback probes on
+//! `iriw+3w+syncs` and `wrc+6w+po` against a `Power`-delegating baseline
+//! stripped of its envelope (gated ≥ 5x).
 //!
 //! Usage (the driver `ci.sh` runs quick mode with a derived PR number):
 //!
@@ -56,19 +63,21 @@
 use herd_bench::{
     iriw_scaled, lb_ballast_scaled, lb_datas_scaled, power_tests, two_plus_two_w_scaled, wrc_scaled,
 };
-use herd_core::arch::{Power, Sc, Tso};
+use herd_core::arch::{Arm, ArmVariant, Power, Sc, Tso};
 use herd_core::arena::RelArena;
 use herd_core::enumerate::{CheckedStats, Skeleton};
-use herd_core::exec::ExecFrame;
-use herd_core::model::{check, Architecture, Verdict};
+use herd_core::event::Fence;
+use herd_core::exec::{ExecCore, ExecFrame, Execution};
+use herd_core::model::{check, Architecture, ArenaArchRels, PropagationCheck, Verdict};
+use herd_core::relation::Relation;
 use herd_core::sched::{Budget, CancelToken, PlanOpts, WorkPlan};
 use herd_core::uniproc::{EventShape, LocGraphs};
 use herd_litmus::candidates::{stream_arch_verdicts, EnumOptions, RegFinal};
 use herd_litmus::corpus::{self, Dev, Op, TestBuilder};
-use herd_litmus::decide::{decide_outcome, Outcome};
+use herd_litmus::decide::{decide_outcome, Outcome, QueryStats};
 use herd_litmus::isa::Isa;
 use herd_litmus::program::{LitmusTest, Prop, Quantifier};
-use herd_litmus::simulate::{simulate_corpus, simulate_with};
+use herd_litmus::simulate::{simulate_corpus, simulate_decided, simulate_with};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -813,6 +822,8 @@ struct BatchRow {
     reused: u64,
     cache_hits: u64,
     cache_misses: u64,
+    cache_insertions: u64,
+    cache_evictions: u64,
 }
 
 impl BatchRow {
@@ -881,6 +892,8 @@ fn bench_batch(
         reused: stats.reused,
         cache_hits: cs.hits,
         cache_misses: cs.misses,
+        cache_insertions: cs.insertions,
+        cache_evictions: cs.evictions,
     }
 }
 
@@ -919,6 +932,228 @@ fn bench_batches(reps: usize) -> Vec<BatchRow> {
     ]
 }
 
+/// The pure-counted-fallback baseline for the frontier rows (PR 10): the
+/// Power model verbatim, minus its `Tractability::Conditional`
+/// declaration and ppo envelope — i.e. exactly the pre-envelope routing,
+/// where every Power query takes the enumeration fallback. Delegates
+/// every relation to the real model so the two paths answer the same
+/// question; only the saturation strategy differs.
+struct FallbackPower(Power);
+
+impl Architecture for FallbackPower {
+    fn name(&self) -> &str {
+        "Power-fallback"
+    }
+    fn ppo(&self, x: &Execution) -> Relation {
+        self.0.ppo(x)
+    }
+    fn fences(&self, x: &Execution) -> Relation {
+        self.0.fences(x)
+    }
+    fn prop(&self, x: &Execution) -> Relation {
+        self.0.prop(x)
+    }
+    fn tolerates_load_load_hazards(&self) -> bool {
+        self.0.tolerates_load_load_hazards()
+    }
+    fn propagation_check(&self) -> PropagationCheck {
+        self.0.propagation_check()
+    }
+    fn thin_air_fences(&self, core: &ExecCore) -> Relation {
+        self.0.thin_air_fences(core)
+    }
+    fn thin_air_base(&self, core: &ExecCore) -> Option<Relation> {
+        self.0.thin_air_base(core)
+    }
+    fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
+        self.0.arch_rels_arena(fx, arena)
+    }
+}
+
+/// Corpus-wide conditional-saturation accounting for one architecture
+/// (PR 10): every checked-in corpus test's distinct final states decided
+/// through `simulate_decided`, with the consistency backend's envelope
+/// counters accumulated across the sweep.
+struct FrontierCorpusRow {
+    arch: String,
+    tests: usize,
+    queries: usize,
+    /// Queries the envelope settled without enumeration (lower-bound
+    /// contradiction or exactly-rechecked optimistic witness).
+    definitive: usize,
+    /// Queries where the bounds genuinely disagreed.
+    envelope_fallbacks: usize,
+    /// All counted fallbacks (must equal `envelope_fallbacks` here: on a
+    /// Conditional model nothing else reaches the fallback).
+    fallbacks: usize,
+    decide_ns: u128,
+}
+
+impl FrontierCorpusRow {
+    fn fallback_rate(&self) -> f64 {
+        self.fallbacks as f64 / self.queries.max(1) as f64
+    }
+    fn definitive_fraction(&self) -> f64 {
+        self.definitive as f64 / self.queries.max(1) as f64
+    }
+}
+
+fn bench_frontier_corpus(reps: usize) -> Vec<FrontierCorpusRow> {
+    let power_suite: Vec<LitmusTest> = corpus::power_corpus().into_iter().map(|e| e.test).collect();
+    let arm_suite: Vec<LitmusTest> = corpus::arm_corpus().into_iter().map(|e| e.test).collect();
+    let power = Power::new();
+    let arm = Arm::new(ArmVariant::Proposed);
+    let opts = EnumOptions::default();
+    let mut rows = Vec::new();
+    for (suite, arch) in [(&power_suite, &power as &dyn Architecture), (&arm_suite, &arm)] {
+        let (decide_ns, stats) = best_of(reps, || {
+            let mut stats = QueryStats::default();
+            for t in suite.iter() {
+                simulate_decided(t, arch, &opts, &mut stats).expect("corpus test decides");
+            }
+            stats
+        });
+        assert_eq!(
+            stats.backend.fallbacks,
+            stats.backend.envelope_fallbacks,
+            "{}: a fallback bypassed the envelope on a Conditional model",
+            arch.name()
+        );
+        rows.push(FrontierCorpusRow {
+            arch: arch.name().to_owned(),
+            tests: suite.len(),
+            queries: stats.backend.queries,
+            definitive: stats.backend.conditional_definitive,
+            envelope_fallbacks: stats.backend.envelope_fallbacks,
+            fallbacks: stats.backend.fallbacks,
+            decide_ns,
+        });
+    }
+    rows
+}
+
+/// One envelope-vs-fallback timing row (PR 10): the same outcome query
+/// decided under the real Conditional Power model and under
+/// [`FallbackPower`], its pre-envelope twin.
+struct FrontierSpeedRow {
+    name: String,
+    allowed: bool,
+    /// `decide_outcome` under the pure-fallback baseline.
+    fallback_ns: u128,
+    /// `decide_outcome` under the envelope path.
+    envelope_ns: u128,
+    /// Envelope-settled queries in the envelope run.
+    definitive: usize,
+    /// Counted fallbacks left in the envelope run.
+    residue: usize,
+    /// Whether the ≥5x gate applies (the forbidden probes, where the
+    /// baseline must exhaust every coherence completion).
+    gated: bool,
+}
+
+impl FrontierSpeedRow {
+    fn speedup(&self) -> f64 {
+        self.fallback_ns as f64 / self.envelope_ns.max(1) as f64
+    }
+}
+
+/// `iriw+3w` with `sync` between each reader's two loads — the classic
+/// `iriw+syncs` shape the paper forbids on Power (Fig 20), scaled to 3
+/// writes per location. The envelope's frozen lower bound already carries
+/// the fences, so the pessimistic pass contradicts on its base check; the
+/// fallback baseline grinds through every coherence completion of the
+/// 3-write chains (po-loc seeding is part of the saturation path it
+/// skipped) before conceding.
+fn query_iriw_3w_syncs() -> (LitmusTest, Outcome) {
+    let test = TestBuilder::new(Isa::Power, "iriw+3w+syncs")
+        .thread(vec![Op::W("x", 1), Op::W("x", 2), Op::W("x", 3)], vec![Dev::Po, Dev::Po])
+        .thread(vec![Op::W("y", 1), Op::W("y", 2), Op::W("y", 3)], vec![Dev::Po, Dev::Po])
+        .thread(vec![Op::R("y"), Op::R("x")], vec![Dev::F(Fence::Sync)])
+        .thread(vec![Op::R("x"), Op::R("y")], vec![Dev::F(Fence::Sync)])
+        .condition(Quantifier::Exists, |_| Prop::True);
+    let outcome = Outcome {
+        regs: BTreeMap::from([
+            ((2, herd_litmus::Reg(1)), RegFinal::Int(3)),
+            ((2, herd_litmus::Reg(2)), RegFinal::Int(0)),
+            ((3, herd_litmus::Reg(1)), RegFinal::Int(3)),
+            ((3, herd_litmus::Reg(2)), RegFinal::Int(0)),
+        ]),
+        mem: BTreeMap::new(),
+    };
+    (test, outcome)
+}
+
+/// `wrc+6w` with the 6 ballast writes po-ordered on one thread and a
+/// probe pinning the po-earliest of them coherence-last — forbidden by
+/// SC PER LOCATION alone. The envelope path's po-loc write seeding makes
+/// the forced order cyclic, so the frozen base check contradicts
+/// immediately; the fallback baseline (no seeding) enumerates the
+/// remaining writes' 6! completions and checks every one.
+fn query_wrc_6w_po() -> (LitmusTest, Outcome) {
+    let test = TestBuilder::new(Isa::Power, "wrc+6w+po")
+        .thread(vec![Op::W("z", 1)], vec![])
+        .thread(vec![Op::R("z"), Op::W("x", 1)], vec![Dev::Data])
+        .thread(
+            vec![
+                Op::W("x", 2),
+                Op::W("x", 3),
+                Op::W("x", 4),
+                Op::W("x", 5),
+                Op::W("x", 6),
+                Op::W("x", 7),
+            ],
+            vec![Dev::Po; 5],
+        )
+        .condition(Quantifier::Exists, |_| Prop::True);
+    let outcome = Outcome {
+        regs: BTreeMap::from([((1, herd_litmus::Reg(1)), RegFinal::Int(1))]),
+        mem: BTreeMap::from([("x".to_owned(), 2)]),
+    };
+    (test, outcome)
+}
+
+fn bench_frontier_speed(
+    name: &str,
+    test: &LitmusTest,
+    probe: &Outcome,
+    gated: bool,
+    reps: usize,
+) -> FrontierSpeedRow {
+    let opts = EnumOptions::default();
+    let power = Power::new();
+    let baseline = FallbackPower(Power::new());
+    let (fallback_ns, base) =
+        best_of(reps, || decide_outcome(test, &baseline, &opts, probe).expect("baseline decides"));
+    let (envelope_ns, decision) =
+        best_of(reps, || decide_outcome(test, &power, &opts, probe).expect("envelope decides"));
+    // Differential pin: the envelope never changes an answer, and the
+    // baseline really took the enumeration road.
+    assert_eq!(decision.allowed, base.allowed, "{name}: envelope changed the verdict");
+    assert!(base.stats.backend.fallbacks > 0, "{name}: the baseline never fell back");
+    assert_eq!(
+        base.stats.backend.conditional_definitive, 0,
+        "{name}: the baseline has no envelope"
+    );
+    FrontierSpeedRow {
+        name: name.to_owned(),
+        allowed: decision.allowed,
+        fallback_ns,
+        envelope_ns,
+        definitive: decision.stats.backend.conditional_definitive,
+        residue: decision.stats.backend.fallbacks,
+        gated,
+    }
+}
+
+fn bench_frontier_speeds(reps: usize) -> Vec<FrontierSpeedRow> {
+    let (iriw_syncs, iriw_syncs_probe) = query_iriw_3w_syncs();
+    let (wrc_po, wrc_po_probe) = query_wrc_6w_po();
+    vec![
+        bench_frontier_speed("iriw+3w+syncs/forbidden", &iriw_syncs, &iriw_syncs_probe, true, reps),
+        bench_frontier_speed("wrc+6w+po/forbidden", &wrc_po, &wrc_po_probe, true, reps),
+    ]
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -942,6 +1177,8 @@ fn emit_json(
     queries: &[QueryRow],
     robust: &[RobustRow],
     batch: &[BatchRow],
+    frontier_corpus: &[FrontierCorpusRow],
+    frontier_speed: &[FrontierSpeedRow],
 ) {
     let mut j = String::new();
     j.push_str("{\n");
@@ -1114,7 +1351,8 @@ fn emit_json(
              \"perrow_ns\": {}, \"batch_ns\": {}, \"batch_speedup\": {}, \"cold_ns\": {}, \
              \"warm_ns\": {}, \"cold_row_ns\": {:.0}, \"warm_row_ns\": {:.0}, \
              \"warm_speedup\": {:.2}, \"classes\": {}, \"saturations\": {}, \"reused\": {}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_insertions\": {}, \
+             \"cache_evictions\": {}}}{}\n",
             json_escape(&r.name),
             json_escape(&r.arch),
             r.rows,
@@ -1132,7 +1370,50 @@ fn emit_json(
             r.reused,
             r.cache_hits,
             r.cache_misses,
+            r.cache_insertions,
+            r.cache_evictions,
             if i + 1 < batch.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    // The conditional-saturation section (PR 10): like "query", "robust"
+    // and "batch", invisible to the `--compare` parser, so older BENCH
+    // files stay comparable. Records the corpus-wide frontier fallback
+    // rate per architecture and the envelope-vs-pure-fallback timings.
+    j.push_str("  \"frontier\": [\n");
+    for (i, r) in frontier_corpus.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"arch\": \"{}\", \"tests\": {}, \"queries\": {}, \"definitive\": {}, \
+             \"envelope_fallbacks\": {}, \"fallbacks\": {}, \"fallback_rate\": {:.4}, \
+             \"definitive_fraction\": {:.4}, \"decide_ns\": {}}}{}\n",
+            json_escape(&r.arch),
+            r.tests,
+            r.queries,
+            r.definitive,
+            r.envelope_fallbacks,
+            r.fallbacks,
+            r.fallback_rate(),
+            r.definitive_fraction(),
+            r.decide_ns,
+            if i + 1 < frontier_corpus.len() { "," } else { "" },
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"frontier_speed\": [\n");
+    for (i, r) in frontier_speed.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"allowed\": {}, \"fallback_ns\": {}, \"envelope_ns\": {}, \
+             \"speedup\": {:.2}, \"definitive\": {}, \"residue_fallbacks\": {}, \
+             \"gated\": {}}}{}\n",
+            json_escape(&r.name),
+            r.allowed,
+            r.fallback_ns,
+            r.envelope_ns,
+            r.speedup(),
+            r.definitive,
+            r.residue,
+            r.gated,
+            if i + 1 < frontier_speed.len() { "," } else { "" },
         ));
     }
     j.push_str("  ],\n");
@@ -1164,8 +1445,12 @@ fn emit_json(
 /// below the uniproc-only count, and at least one row at ≥ 128 events.
 /// The batch rows (PR 9) must hold `decide_log` ≥ 10x over row-at-a-time
 /// judging on a ≥ 100k-row log, and some cache row must show a warm
-/// verdict lookup ≥ 100x cheaper than the cold decide. Returns the
+/// verdict lookup ≥ 100x cheaper than the cold decide. The frontier rows
+/// (PR 10) must keep the Power/ARM corpus fallback rate ≤ 20% with a
+/// definitive fraction ≥ 80%, and the gated envelope-vs-fallback probes
+/// must hold ≥ 5x over the pure-enumeration baseline. Returns the
 /// violations.
+#[allow(clippy::too_many_arguments)]
 fn gate_violations(
     pipeline: &[PipelineRow],
     thinair: &[ThinAirRow],
@@ -1174,8 +1459,41 @@ fn gate_violations(
     queries: &[QueryRow],
     robust: &[RobustRow],
     batch: &[BatchRow],
+    frontier_corpus: &[FrontierCorpusRow],
+    frontier_speed: &[FrontierSpeedRow],
 ) -> Vec<String> {
     let mut bad = Vec::new();
+    for r in frontier_corpus {
+        if r.fallbacks >= r.queries {
+            bad.push(format!(
+                "frontier {}: every query fell back ({}/{})",
+                r.arch, r.fallbacks, r.queries
+            ));
+        }
+        if r.fallback_rate() > 0.20 {
+            bad.push(format!(
+                "frontier {}: corpus fallback rate {:.1}% (> 20%)",
+                r.arch,
+                100.0 * r.fallback_rate()
+            ));
+        }
+        if r.definitive_fraction() < 0.80 {
+            bad.push(format!(
+                "frontier {}: envelope settled only {:.1}% of queries (< 80%)",
+                r.arch,
+                100.0 * r.definitive_fraction()
+            ));
+        }
+    }
+    for r in frontier_speed {
+        if r.gated && r.speedup() < 5.0 {
+            bad.push(format!(
+                "frontier {}: envelope only {:.2}x over the pure-fallback baseline (< 5x)",
+                r.name,
+                r.speedup()
+            ));
+        }
+    }
     for r in batch {
         if r.rows < 100_000 {
             bad.push(format!("{}: synthetic log has {} rows (< 100k)", r.name, r.rows));
@@ -1809,6 +2127,46 @@ fn main() {
         );
     }
 
+    // The tractability frontier (PR 10): conditional saturation on the
+    // Power/ARM corpus (how much of the weak-model workload the ppo
+    // envelope settles without enumeration) and the envelope-vs-fallback
+    // probes against the pre-envelope Power routing.
+    let frontier_corpus = bench_frontier_corpus(reps);
+    println!(
+        "\n{:<18} {:>6} {:>8} {:>11} {:>9} {:>10} {:>9} {:>12}",
+        "frontier", "tests", "queries", "definitive", "fallback", "rate", "def%", "decide"
+    );
+    for r in &frontier_corpus {
+        println!(
+            "{:<18} {:>6} {:>8} {:>11} {:>9} {:>9.1}% {:>8.1}% {:>10.2}ms",
+            r.arch,
+            r.tests,
+            r.queries,
+            r.definitive,
+            r.fallbacks,
+            100.0 * r.fallback_rate(),
+            100.0 * r.definitive_fraction(),
+            r.decide_ns as f64 / 1e6,
+        );
+    }
+    let frontier_speed = bench_frontier_speeds(reps);
+    println!(
+        "\n{:<24} {:>8} {:>12} {:>12} {:>8} {:>11} {:>8}",
+        "frontier speed", "allowed", "fallback", "envelope", "x", "definitive", "residue"
+    );
+    for r in &frontier_speed {
+        println!(
+            "{:<24} {:>8} {:>10.3}ms {:>10.3}ms {:>7.1}x {:>11} {:>8}",
+            r.name,
+            r.allowed,
+            r.fallback_ns as f64 / 1e6,
+            r.envelope_ns as f64 / 1e6,
+            r.speedup(),
+            r.definitive,
+            r.residue,
+        );
+    }
+
     let corpus = bench_corpus(reps);
     match corpus.parallel_ns {
         Some(par) => println!(
@@ -1848,6 +2206,8 @@ fn main() {
             &queries,
             &robust_rows,
             &batch_rows,
+            &frontier_corpus,
+            &frontier_speed,
         );
     }
 
@@ -1859,6 +2219,8 @@ fn main() {
         &queries,
         &robust_rows,
         &batch_rows,
+        &frontier_corpus,
+        &frontier_speed,
     );
     if !violations.is_empty() {
         eprintln!("\nperf regression gate:");

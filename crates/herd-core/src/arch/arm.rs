@@ -15,11 +15,11 @@
 //! full fences restricted to `WW` (with the lightweight alternative kept
 //! as an option, Sec 4.7).
 
-use crate::arena::RelArena;
+use crate::arena::{RelArena, RelId};
 use crate::event::{Dir, Fence};
 use crate::exec::{ExecCore, ExecFrame, Execution};
-use crate::model::{Architecture, ArenaArchRels};
-use crate::ppo::{self, PpoConfig};
+use crate::model::{Architecture, ArenaArchRels, Tractability};
+use crate::ppo::{self, PpoConfig, PpoEnvelope};
 use crate::relation::Relation;
 
 use super::power::{prop_power_arm, prop_power_arm_arena};
@@ -101,6 +101,30 @@ impl Arm {
         // Full or lightweight, .st ∩ WW ends up in fences either way.
         core.fence(Fence::Dmb).union(&core.fence(Fence::Dsb)).union(&st_ww)
     }
+
+    /// Arena `(fences, ffence)` pair for one candidate — skeleton
+    /// -invariant, shared by the exact and frozen-ppo relation
+    /// evaluators.
+    fn fences_arena(&self, core: &ExecCore, arena: &mut RelArena) -> (RelId, RelId) {
+        // st_ww = (dmb.st ∪ dsb.st) ∩ WW.
+        let st_ww = arena.alloc_from(core.fence_ref(Fence::DmbSt));
+        arena.union_into(st_ww, core.fence_ref(Fence::DsbSt));
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, st_ww, Some(Dir::W), Some(Dir::W));
+        arena.copy_into(st_ww, t);
+        // ffence = dmb ∪ dsb (∪ st_ww unless .st is lightweight);
+        // fences = lwfence ∪ ffence with lwfence = st_ww when lightweight.
+        let ffence = arena.alloc_from(core.fence_ref(Fence::Dmb));
+        arena.union_into(ffence, core.fence_ref(Fence::Dsb));
+        if !self.st_fences_lightweight {
+            arena.union_into(ffence, st_ww);
+        }
+        let fences = arena.alloc_from(ffence);
+        if self.st_fences_lightweight {
+            arena.union_into(fences, st_ww);
+        }
+        (fences, ffence)
+    }
 }
 
 impl Default for Arm {
@@ -142,28 +166,32 @@ impl Architecture for Arm {
         Some(ppo::compute_static(core, &self.ppo_config()).union(&self.thin_air_fences(core)))
     }
 
+    fn tractability(&self) -> Tractability {
+        Tractability::Conditional
+    }
+
+    fn ppo_envelope(&self, core: &ExecCore) -> Option<PpoEnvelope> {
+        Some(PpoEnvelope::compute(core, &self.ppo_config()))
+    }
+
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
-        let core = fx.core.as_ref();
         let ppo = ppo::compute_arena(fx, &self.ppo_config(), arena);
-        // st_ww = (dmb.st ∪ dsb.st) ∩ WW.
-        let st_ww = arena.alloc_from(core.fence_ref(Fence::DmbSt));
-        arena.union_into(st_ww, core.fence_ref(Fence::DsbSt));
-        let t = arena.alloc();
-        core.dir_restrict_arena(arena, t, st_ww, Some(Dir::W), Some(Dir::W));
-        arena.copy_into(st_ww, t);
-        // ffence = dmb ∪ dsb (∪ st_ww unless .st is lightweight);
-        // fences = lwfence ∪ ffence with lwfence = st_ww when lightweight.
-        let ffence = arena.alloc_from(core.fence_ref(Fence::Dmb));
-        arena.union_into(ffence, core.fence_ref(Fence::Dsb));
-        if !self.st_fences_lightweight {
-            arena.union_into(ffence, st_ww);
-        }
-        let fences = arena.alloc_from(ffence);
-        if self.st_fences_lightweight {
-            arena.union_into(fences, st_ww);
-        }
+        let (fences, ffence) = self.fences_arena(fx.core.as_ref(), arena);
         let prop = prop_power_arm_arena(fx, ppo, fences, ffence, arena);
         ArenaArchRels { ppo, fences, prop }
+    }
+
+    fn arch_rels_arena_frozen(
+        &self,
+        fx: &ExecFrame<'_>,
+        ppo_bound: RelId,
+        arena: &mut RelArena,
+    ) -> ArenaArchRels {
+        // Fences are skeleton-invariant; prop is rebuilt from the frozen
+        // bound so nothing depends on the candidate's rdw/rfi/detour.
+        let (fences, ffence) = self.fences_arena(fx.core.as_ref(), arena);
+        let prop = prop_power_arm_arena(fx, ppo_bound, fences, ffence, arena);
+        ArenaArchRels { ppo: ppo_bound, fences, prop }
     }
 }
 

@@ -14,8 +14,8 @@
 use crate::arena::{RelArena, RelId};
 use crate::event::{Dir, Fence};
 use crate::exec::{ExecCore, ExecFrame, Execution};
-use crate::model::{Architecture, ArenaArchRels};
-use crate::ppo::{self, PpoConfig};
+use crate::model::{Architecture, ArenaArchRels, Tractability};
+use crate::ppo::{self, PpoConfig, PpoEnvelope};
 use crate::relation::Relation;
 
 /// The Power architecture.
@@ -64,6 +64,21 @@ impl Power {
         let eieio_ww = core.dir_restrict(&core.fence(Fence::Eieio), Some(Dir::W), Some(Dir::W));
         lw.minus(&lw_wr).union(&eieio_ww).union(&core.fence(Fence::Sync))
     }
+
+    /// Arena twin of [`Power::fences_static`]: computes the
+    /// `(fences, ffence)` slot pair for one candidate. Shared by the
+    /// exact and frozen-ppo relation evaluators.
+    fn fences_arena(core: &ExecCore, arena: &mut RelArena) -> (RelId, RelId) {
+        let fences = arena.alloc_from(core.fence_ref(Fence::Lwsync));
+        let t = arena.alloc();
+        core.dir_restrict_arena(arena, t, fences, Some(Dir::W), Some(Dir::R));
+        arena.minus_into(fences, t);
+        core.dir_restrict_arena(arena, t, core.fence_ref(Fence::Eieio), Some(Dir::W), Some(Dir::W));
+        arena.union_into(fences, t);
+        arena.union_into(fences, core.fence_ref(Fence::Sync));
+        let ffence = arena.alloc_from(core.fence_ref(Fence::Sync));
+        (fences, ffence)
+    }
 }
 
 impl Default for Power {
@@ -104,20 +119,35 @@ impl Architecture for Power {
         Some(ppo::compute_static(core, &self.ppo_cfg).union(&self.thin_air_fences(core)))
     }
 
+    fn tractability(&self) -> Tractability {
+        Tractability::Conditional
+    }
+
+    fn ppo_envelope(&self, core: &ExecCore) -> Option<PpoEnvelope> {
+        Some(PpoEnvelope::compute(core, &self.ppo_cfg))
+    }
+
     fn arch_rels_arena(&self, fx: &ExecFrame<'_>, arena: &mut RelArena) -> ArenaArchRels {
         let core = fx.core.as_ref();
         let ppo = ppo::compute_arena(fx, &self.ppo_cfg, arena);
         // fences = lwfence ∪ ffence = ((lwsync \ WR) ∪ (eieio ∩ WW)) ∪ sync.
-        let fences = arena.alloc_from(core.fence_ref(Fence::Lwsync));
-        let t = arena.alloc();
-        core.dir_restrict_arena(arena, t, fences, Some(Dir::W), Some(Dir::R));
-        arena.minus_into(fences, t);
-        core.dir_restrict_arena(arena, t, core.fence_ref(Fence::Eieio), Some(Dir::W), Some(Dir::W));
-        arena.union_into(fences, t);
-        arena.union_into(fences, core.fence_ref(Fence::Sync));
-        let ffence = arena.alloc_from(core.fence_ref(Fence::Sync));
+        let (fences, ffence) = Power::fences_arena(core, arena);
         let prop = prop_power_arm_arena(fx, ppo, fences, ffence, arena);
         ArenaArchRels { ppo, fences, prop }
+    }
+
+    fn arch_rels_arena_frozen(
+        &self,
+        fx: &ExecFrame<'_>,
+        ppo_bound: RelId,
+        arena: &mut RelArena,
+    ) -> ArenaArchRels {
+        // Fences are skeleton-invariant; prop is rebuilt from the frozen
+        // bound (its hb* sequences through ppo), so every returned
+        // relation is independent of the candidate's rdw/rfi/detour.
+        let (fences, ffence) = Power::fences_arena(fx.core.as_ref(), arena);
+        let prop = prop_power_arm_arena(fx, ppo_bound, fences, ffence, arena);
+        ArenaArchRels { ppo: ppo_bound, fences, prop }
     }
 }
 

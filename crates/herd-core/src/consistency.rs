@@ -26,6 +26,21 @@
 //! ([`Tractability::Frontier`]) skip saturation and go straight to the
 //! counted fallback.
 //!
+//! [`Tractability::Conditional`] models (Power/ARM) sit in between:
+//! their ppo is candidate-dependent, but *frozen* to any fixed bound the
+//! remaining axioms are monotone in `co` again. Saturation therefore runs
+//! against a two-sided [`PpoEnvelope`] (`lower ⊆ ppo(x) ⊆ upper` for
+//! every candidate): a contradiction under the pessimistic lower bound is
+//! definitively forbidden (the exact model has *more* ppo edges, so the
+//! violating cycle persists), hypothesis edges forced under the lower
+//! bound are constraints every exact witness obeys, and any completed
+//! coherence order — found under either bound — that re-checks clean
+//! under the exact per-candidate ppo is definitively allowed. Only when
+//! the envelope genuinely disagrees (lower finds no contradiction, upper
+//! guides to no exact-clean witness) does the query take the counted
+//! fallback, recorded per query in
+//! [`ConsistencyStats::envelope_fallbacks`].
+//!
 //! Everything runs on the arena engine: relations live in [`RelArena`]
 //! slots, candidates are checked as borrowed [`ExecFrame`]s through
 //! [`ArenaChecker`], and a query performs no per-hypothesis heap
@@ -36,6 +51,7 @@ use crate::enumerate::{build_co_arena, HeapPerm};
 use crate::event::{Dir, Event, Loc};
 use crate::exec::{ExecCore, ExecFrame, ExecRels};
 use crate::model::{Architecture, ArenaChecker, Tractability};
+use crate::ppo::PpoEnvelope;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -58,6 +74,13 @@ pub struct ConsistencyStats {
     pub fallbacks: usize,
     /// Coherence choices the fallback actually checked, across queries.
     pub fallback_candidates: u128,
+    /// [`Tractability::Conditional`] queries the ppo envelope decided
+    /// definitively (either direction) — also counted in
+    /// `contradictions`/`witnesses`, never in `fallbacks`.
+    pub conditional_definitive: usize,
+    /// [`Tractability::Conditional`] queries where the envelope genuinely
+    /// disagreed — each also counts once in `fallbacks`.
+    pub envelope_fallbacks: usize,
 }
 
 impl ConsistencyStats {
@@ -68,6 +91,8 @@ impl ConsistencyStats {
         self.witnesses += o.witnesses;
         self.fallbacks += o.fallbacks;
         self.fallback_candidates += o.fallback_candidates;
+        self.conditional_definitive += o.conditional_definitive;
+        self.envelope_fallbacks += o.envelope_fallbacks;
     }
 }
 
@@ -120,12 +145,30 @@ fn loc_writes(events: &[Event]) -> Vec<LocWrites> {
 /// four axioms of `arch` (and respect the queried co-maximal writes)?
 ///
 /// Decided by saturation for models vouching for
-/// [`Tractability::Polynomial`], by counted enumeration otherwise — the
-/// two paths agree exactly; only the cost differs. `arena` is scratch
-/// space reused across queries (it is reset to the query's universe).
+/// [`Tractability::Polynomial`], by envelope saturation plus exact
+/// re-validation for [`Tractability::Conditional`] ones, and by counted
+/// enumeration otherwise — all paths agree exactly; only the cost
+/// differs. `arena` is scratch space reused across queries (it is reset
+/// to the query's universe).
 pub fn co_exists<A: Architecture + ?Sized>(
     arch: &A,
     q: &CoQuery<'_>,
+    arena: &mut RelArena,
+    stats: &mut ConsistencyStats,
+) -> bool {
+    co_exists_with_envelope(arch, q, None, arena, stats)
+}
+
+/// [`co_exists`] with a caller-supplied ppo envelope for
+/// [`Tractability::Conditional`] models. The envelope depends only on
+/// the query's core and the architecture, so batch drivers
+/// (`herd_litmus::decide::decide_log`) compute it once per screened rf
+/// class and reuse it across every query on that class; `None` computes
+/// it on the fly (and is ignored entirely by non-`Conditional` models).
+pub fn co_exists_with_envelope<A: Architecture + ?Sized>(
+    arch: &A,
+    q: &CoQuery<'_>,
+    envelope: Option<&PpoEnvelope>,
     arena: &mut RelArena,
     stats: &mut ConsistencyStats,
 ) -> bool {
@@ -141,6 +184,20 @@ pub fn co_exists<A: Architecture + ?Sized>(
     rels.derive_rf(core, arena);
     let checker = ArenaChecker::new(arch, core);
     let locs = loc_writes(q.events);
+
+    let mode = arch.tractability();
+    // A `Conditional` model must vouch for an envelope; a missing one
+    // (contract violation) degrades to the frontier fallback — slower,
+    // never unsound.
+    let owned_env = match (mode, &envelope) {
+        (Tractability::Conditional, None) => arch.ppo_envelope(core),
+        _ => None,
+    };
+    let env = match mode {
+        Tractability::Conditional => envelope.or(owned_env.as_ref()),
+        _ => None,
+    };
+    let saturating = mode == Tractability::Polynomial || env.is_some();
 
     // The partial coherence order every valid witness must extend,
     // kept transitively closed throughout.
@@ -163,8 +220,7 @@ pub fn co_exists<A: Architecture + ?Sized>(
         }
     }
 
-    let saturate = arch.tractability() == Tractability::Polynomial;
-    if saturate {
+    if saturating {
         // SC PER LOCATION forces co to agree with the architecture's
         // static po-loc on same-location write pairs: orienting co
         // against such a pair closes a 2-cycle in `po-loc ∪ com`.
@@ -180,71 +236,17 @@ pub fn co_exists<A: Architecture + ?Sized>(
     }
     close(arena, forced);
 
-    if saturate {
-        // Base check: the seed itself (plus the rf-only axioms, NO THIN
-        // AIR included) may already be definitively violated.
-        if violates(arch, &checker, q, &rels, arena, forced) {
-            stats.contradictions += 1;
-            return false;
-        }
-        loop {
-            let mut grew = false;
-            for lw in &locs {
-                for (i, &a) in lw.writes.iter().enumerate() {
-                    for &b in &lw.writes[i + 1..] {
-                        let fv = arena.view(forced);
-                        if fv.contains(a, b) || fv.contains(b, a) {
-                            continue;
-                        }
-                        let ab_bad =
-                            hypothesis_violates(arch, &checker, q, &rels, arena, forced, a, b);
-                        let ba_bad =
-                            hypothesis_violates(arch, &checker, q, &rels, arena, forced, b, a);
-                        match (ab_bad, ba_bad) {
-                            (true, true) => {
-                                // Every total order contains one of the
-                                // two edges and both are definitively
-                                // violating: forbidden, no enumeration.
-                                stats.contradictions += 1;
-                                return false;
-                            }
-                            (true, false) => {
-                                force(arena, forced, b, a);
-                                grew = true;
-                            }
-                            (false, true) => {
-                                force(arena, forced, a, b);
-                                grew = true;
-                            }
-                            (false, false) => {}
-                        }
-                    }
-                }
-            }
-            if !grew {
-                break;
-            }
-            // New forced edges can combine into a definitive violation.
-            if violates(arch, &checker, q, &rels, arena, forced) {
+    if mode == Tractability::Polynomial {
+        // Exact saturation: the per-candidate relations are themselves
+        // monotone in co, so every probe checks the exact model.
+        match saturate(arch, &checker, q, &rels, arena, forced, &locs, None) {
+            SatResult::Contradiction => {
                 stats.contradictions += 1;
                 return false;
             }
+            SatResult::Fixpoint => {}
         }
-
-        // Greedy completion: per location, a topological linearisation of
-        // the forced order (smallest event id first among the ready).
-        arena.clear(rels.co);
-        let mut complete = true;
-        for lw in &locs {
-            match linearise(arena, forced, &lw.writes) {
-                Some(order) => build_co_arena(arena, rels.co, lw.init, &order),
-                None => {
-                    complete = false;
-                    break;
-                }
-            }
-        }
-        if complete {
+        if greedy_complete(arena, &rels, forced, &locs) {
             rels.derive_co(core, arena);
             let fx = ExecFrame { core: q.core, events: q.events, rels: &rels };
             if checker.check(arch, &fx, arena).allowed() {
@@ -254,10 +256,158 @@ pub fn co_exists<A: Architecture + ?Sized>(
         }
         // Saturation incomplete: the greedy witness failed (independent
         // pair orientations interact) — fall back, counted.
+    } else if let Some(env) = env {
+        let lower = arena.alloc_from(&env.lower);
+
+        // Pessimistic pass: with ppo frozen to the lower bound every
+        // violation is definitive for the exact model too (exact ppo ⊇
+        // lower only adds hb/prop edges, so the violating cycle
+        // persists) — a contradiction is definitively forbidden, and the
+        // forced edges are constraints every exact witness obeys.
+        match saturate(arch, &checker, q, &rels, arena, forced, &locs, Some(lower)) {
+            SatResult::Contradiction => {
+                stats.contradictions += 1;
+                stats.conditional_definitive += 1;
+                return false;
+            }
+            SatResult::Fixpoint => {}
+        }
+        if greedy_complete(arena, &rels, forced, &locs) {
+            rels.derive_co(core, arena);
+            let fx = ExecFrame { core: q.core, events: q.events, rels: &rels };
+            // A completed order is a real candidate: the *exact* check
+            // decides it, bounds no longer needed.
+            if checker.check(arch, &fx, arena).allowed() {
+                stats.witnesses += 1;
+                stats.conditional_definitive += 1;
+                return true;
+            }
+        }
+
+        // Optimistic pass, on a copy of the forced order (its forced
+        // edges are only sound for upper-frozen witnesses, so they must
+        // not leak into the fallback): saturating under the upper bound
+        // steers the greedy completion toward an order passing the
+        // *stricter* frozen model — and any such order passes the exact
+        // model by monotonicity (exact ppo ⊆ upper). The exact re-check
+        // below is what certifies the verdict either way. Only now does
+        // the envelope's lazily-materialised upper fixpoint get paid —
+        // queries the pessimistic pass settles never reach this line.
+        let upper = arena.alloc_from(env.upper(core));
+        let forced_up = arena.alloc_from(forced);
+        if let SatResult::Fixpoint =
+            saturate(arch, &checker, q, &rels, arena, forced_up, &locs, Some(upper))
+        {
+            if greedy_complete(arena, &rels, forced_up, &locs) {
+                rels.derive_co(core, arena);
+                let fx = ExecFrame { core: q.core, events: q.events, rels: &rels };
+                if checker.check(arch, &fx, arena).allowed() {
+                    stats.witnesses += 1;
+                    stats.conditional_definitive += 1;
+                    return true;
+                }
+            }
+        }
+        // The envelope genuinely disagreed: no lower contradiction, no
+        // exact-clean witness under either bound's guidance.
+        stats.envelope_fallbacks += 1;
     }
 
     stats.fallbacks += 1;
     fallback(arch, &checker, q, &rels, arena, forced, &locs, stats)
+}
+
+/// How one saturation pass ended.
+enum SatResult {
+    /// Some write pair violates in both orientations (or the seed itself
+    /// violates): under the pass's (frozen or exact) relations, no total
+    /// coherence order extending `forced` is consistent.
+    Contradiction,
+    /// The hypothesis fixpoint was reached without contradiction;
+    /// `forced` has absorbed every forced orientation.
+    Fixpoint,
+}
+
+/// The hypothesis loop of the polynomial side: tests every unordered
+/// same-location write pair in both orientations against the axioms
+/// (frozen to `frozen` when given, exact otherwise), forcing the
+/// survivor of a one-sided violation, until nothing grows. Mutates
+/// `forced` in place (kept transitively closed).
+#[allow(clippy::too_many_arguments)] // the solver's single inner loop
+fn saturate<A: Architecture + ?Sized>(
+    arch: &A,
+    checker: &ArenaChecker,
+    q: &CoQuery<'_>,
+    rels: &ExecRels,
+    arena: &mut RelArena,
+    forced: RelId,
+    locs: &[LocWrites],
+    frozen: Option<RelId>,
+) -> SatResult {
+    // Base check: the seed itself (plus the rf-only axioms, NO THIN
+    // AIR included) may already be definitively violated.
+    if violates(arch, checker, q, rels, arena, forced, frozen) {
+        return SatResult::Contradiction;
+    }
+    loop {
+        let mut grew = false;
+        for lw in locs {
+            for (i, &a) in lw.writes.iter().enumerate() {
+                for &b in &lw.writes[i + 1..] {
+                    let fv = arena.view(forced);
+                    if fv.contains(a, b) || fv.contains(b, a) {
+                        continue;
+                    }
+                    let ab_bad =
+                        hypothesis_violates(arch, checker, q, rels, arena, forced, a, b, frozen);
+                    let ba_bad =
+                        hypothesis_violates(arch, checker, q, rels, arena, forced, b, a, frozen);
+                    match (ab_bad, ba_bad) {
+                        (true, true) => {
+                            // Every total order contains one of the two
+                            // edges and both are definitively violating.
+                            return SatResult::Contradiction;
+                        }
+                        (true, false) => {
+                            force(arena, forced, b, a);
+                            grew = true;
+                        }
+                        (false, true) => {
+                            force(arena, forced, a, b);
+                            grew = true;
+                        }
+                        (false, false) => {}
+                    }
+                }
+            }
+        }
+        if !grew {
+            return SatResult::Fixpoint;
+        }
+        // New forced edges can combine into a definitive violation.
+        if violates(arch, checker, q, rels, arena, forced, frozen) {
+            return SatResult::Contradiction;
+        }
+    }
+}
+
+/// Greedy completion: per location, a topological linearisation of the
+/// forced order (smallest event id first among the ready), built into
+/// `rels.co`. False if `forced` is cyclic on some location's writes.
+fn greedy_complete(
+    arena: &mut RelArena,
+    rels: &ExecRels,
+    forced: RelId,
+    locs: &[LocWrites],
+) -> bool {
+    arena.clear(rels.co);
+    for lw in locs {
+        match linearise(arena, forced, &lw.writes) {
+            Some(order) => build_co_arena(arena, rels.co, lw.init, &order),
+            None => return false,
+        }
+    }
+    true
 }
 
 /// Transitively closes `rel` in place (through a scratch slot).
@@ -275,8 +425,11 @@ fn force(arena: &mut RelArena, rel: RelId, a: usize, b: usize) {
 }
 
 /// Do the four axioms reject this (possibly partial) coherence order?
-/// For monotone-in-`co` models a `true` here is definitive for every
-/// extension of `co_slot`.
+/// With `frozen` the architecture's ppo is pinned to that bound
+/// ([`ArenaChecker::check_frozen`]); either way, for relations monotone
+/// in `co` a `true` here is definitive for every extension of `co_slot`
+/// under the same (frozen or exact) ppo.
+#[allow(clippy::too_many_arguments)] // the solver's single probe shape
 fn violates<A: Architecture + ?Sized>(
     arch: &A,
     checker: &ArenaChecker,
@@ -284,11 +437,16 @@ fn violates<A: Architecture + ?Sized>(
     rels: &ExecRels,
     arena: &mut RelArena,
     co_slot: RelId,
+    frozen: Option<RelId>,
 ) -> bool {
     arena.copy_into(rels.co, co_slot);
     rels.derive_co(q.core.as_ref(), arena);
     let fx = ExecFrame { core: q.core, events: q.events, rels };
-    !checker.check(arch, &fx, arena).allowed()
+    let v = match frozen {
+        None => checker.check(arch, &fx, arena),
+        Some(bound) => checker.check_frozen(arch, &fx, arena, bound),
+    };
+    !v.allowed()
 }
 
 /// Tests the hypothesis `forced ∪ {(a, b)}` against the axioms.
@@ -302,13 +460,14 @@ fn hypothesis_violates<A: Architecture + ?Sized>(
     forced: RelId,
     a: usize,
     b: usize,
+    frozen: Option<RelId>,
 ) -> bool {
     let m = arena.mark();
     let t = arena.alloc_from(forced);
     arena.add(t, a, b);
     let hyp = arena.alloc();
     arena.tclosure_into(hyp, t);
-    let bad = violates(arch, checker, q, rels, arena, hyp);
+    let bad = violates(arch, checker, q, rels, arena, hyp, frozen);
     arena.release(m);
     bad
 }
@@ -462,9 +621,18 @@ mod tests {
             }
         }
         assert_eq!(stats.queries, archs.len() * fixtures.len());
-        // Power is frontier-side: all its queries must be counted
-        // fallbacks, none silent.
-        assert!(stats.fallbacks >= fixtures.len());
+        // Power is conditional-side: the ppo envelope decides (nearly)
+        // every fixture definitively, and whatever residue remains is a
+        // counted envelope fallback — never a silent one.
+        assert!(stats.conditional_definitive > 0, "the envelope must decide some queries");
+        assert_eq!(
+            stats.fallbacks, stats.envelope_fallbacks,
+            "every fallback must come from a counted envelope disagreement"
+        );
+        assert!(
+            stats.fallbacks < fixtures.len(),
+            "conditional saturation must beat one-fallback-per-query on the fixtures"
+        );
     }
 
     #[test]

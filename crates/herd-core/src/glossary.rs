@@ -154,8 +154,9 @@
 //! | forced order | the partial co every witness must extend: init writes first, the architecture's static po-loc on same-location write pairs (orienting co against one closes a 2-cycle in `po-loc ∪ com`), all other writes before the queried last write — transitively closed | the `forced` slot in [`crate::consistency::co_exists`] |
 //! | saturation | the polynomial fixpoint: each unordered same-location write pair is hypothesised both ways against the axioms — both orientations definitively violating ⇒ forbidden, one ⇒ force the other, neither ⇒ leave free — then the forced order is completed greedily into a witness | the hypothesis loop in [`crate::consistency::co_exists`] |
 //! | monotonicity | why a *partial*-co violation is definitive on the polynomial side: on SC/TSO/PSO/RMO every axiom input grows monotonically with co (`fr = rf⁻¹; co`, `prop` built from `com`), so adding edges never un-violates an axiom | [`crate::model::Tractability::Polynomial`] |
-//! | tractability frontier | where monotone saturation stops being sound: dynamic ppo (Power/ARM's `rdw`/`detour` react to the coherence choice) and release/acquire-style models; frontier models skip saturation and take the counted fallback | [`crate::model::Tractability::Frontier`] |
-//! | counted fallback | exact enumeration of the forced order's per-location linear extensions when saturation is incomplete or unsound — always visible in the stats, never silent | [`crate::consistency::ConsistencyStats::fallbacks`] |
+//! | tractability frontier | where monotone saturation stops being sound as-is: dynamic ppo (Power/ARM's `rdw`/`detour` react to the coherence choice) and release/acquire-style models; models with no better strategy skip saturation and take the counted fallback | [`crate::model::Tractability::Frontier`] |
+//! | conditional saturation | the frontier-crossing middle ground: a *ppo envelope* — a static lower bound (rdw/rfi/detour emptied) and upper bound (the same fixpoint with them saturated to same-location/same-thread supersets) sandwiching every candidate's exact ppo — restores monotonicity per bound; a lower-bound contradiction is definitively forbidden (axioms are monotone in ppo edges too), a completed order re-checked clean under the *exact* per-candidate ppo is definitively allowed, and only genuine envelope disagreement falls back | [`crate::model::Tractability::Conditional`], [`crate::ppo::PpoEnvelope`], [`crate::consistency::ConsistencyStats::conditional_definitive`] |
+//! | counted fallback | exact enumeration of the forced order's per-location linear extensions when saturation is incomplete or unsound — always visible in the stats, never silent | [`crate::consistency::ConsistencyStats::fallbacks`], [`crate::consistency::ConsistencyStats::envelope_fallbacks`] |
 //!
 //! The litmus layer (`herd_litmus::decide`) adds register screening (a
 //! queried read value filters that read's rf menu before any coherence

@@ -17,6 +17,7 @@
 use crate::arena::{RelArena, RelId};
 use crate::event::Dir;
 use crate::exec::{ExecCore, ExecFrame, Execution};
+use crate::ppo::PpoEnvelope;
 use crate::relation::Relation;
 use std::fmt;
 
@@ -42,10 +43,15 @@ pub enum PropagationCheck {
 /// every co-dependent relation the axioms consume (`fr`, `com`, `prop`,
 /// `fre; prop; hb*`) is **monotone** in co — adding co edges can only add
 /// derived edges, never remove a violation. The SC/TSO/PSO/RMO-class
-/// instances (static `ppo`, `prop = ppo ∪ fences ∪ rf[e] ∪ fr`) qualify;
-/// Power/ARM's dynamic `ppo` (`rdw`/`detour` feed the Fig 25 fixpoint)
-/// and C++ R-A's `irreflexive(prop; co)` weakening are not vouched for,
-/// so their queries fall back to (counted) enumeration.
+/// instances (static `ppo`, `prop = ppo ∪ fences ∪ rf[e] ∪ fr`) qualify.
+/// Power/ARM's `ppo` is *dynamic* (`rdw`/`rfi`/`detour` feed the Fig 25
+/// fixpoint), but once ppo is frozen to a candidate-independent bound
+/// their remaining axioms are monotone in co again — that is the
+/// [`Tractability::Conditional`] mode, which saturates against a sound
+/// two-sided [`crate::ppo::PpoEnvelope`] and only falls back to (counted)
+/// enumeration when the bounds genuinely disagree. C++ R-A's
+/// `irreflexive(prop; co)` weakening is not vouched for at all, so its
+/// queries always take the fallback.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Tractability {
     /// Saturation/co-placement decides single-execution consistency in
@@ -53,6 +59,17 @@ pub enum Tractability {
     /// [`Architecture::arch_rels_arena`] accepts partial coherence
     /// orders (no materialising default that would validate totality).
     Polynomial,
+    /// Conditionally polynomial: the axioms are monotone in co *given* a
+    /// frozen ppo, and the architecture vouches for a sound envelope
+    /// `lower ⊆ ppo(x) ⊆ upper` via [`Architecture::ppo_envelope`] plus a
+    /// frozen-ppo relation hook
+    /// ([`Architecture::arch_rels_arena_frozen`]). Saturation runs once
+    /// per bound: a lower-bound contradiction is definitively forbidden
+    /// (fewer ppo edges can only *miss* violations), an upper-bound
+    /// witness that re-checks clean under the exact per-candidate ppo is
+    /// definitively allowed, and only a genuine disagreement falls back —
+    /// counted in [`crate::consistency::ConsistencyStats`], never silent.
+    Conditional,
     /// Beyond the vouched-for frontier: single-execution queries fall
     /// back to enumerating coherence orders, and the fallback is counted
     /// in [`crate::consistency::ConsistencyStats`], never silent.
@@ -131,6 +148,39 @@ pub trait Architecture {
     /// fallback — always sound, never silent.
     fn tractability(&self) -> Tractability {
         Tractability::Frontier
+    }
+
+    /// The candidate-independent ppo envelope backing
+    /// [`Tractability::Conditional`]: `lower ⊆ ppo(x) ⊆ upper` for every
+    /// candidate `x` built on `core`. Architectures declaring
+    /// `Conditional` **must** override this (returning `Some`); the
+    /// default `None` matches the static-ppo and frontier models, for
+    /// which no envelope is needed or none is sound.
+    fn ppo_envelope(&self, core: &ExecCore) -> Option<PpoEnvelope> {
+        let _ = core;
+        None
+    }
+
+    /// [`Architecture::arch_rels_arena`] with the ppo *frozen* to a
+    /// caller-supplied bound instead of the candidate's exact Fig 25
+    /// fixpoint — the relation evaluator behind
+    /// [`Tractability::Conditional`] saturation.
+    ///
+    /// The default substitutes the frozen slot and recomputes nothing
+    /// else, which is exact for architectures whose `fences`/`prop` do
+    /// not consume ppo. Power/ARM's `prop` sequences through `hb` (which
+    /// contains ppo), so their overrides rebuild `prop` from the frozen
+    /// slot — a `Conditional` architecture must guarantee every returned
+    /// relation is computed from `ppo_bound`, not from the candidate's
+    /// dynamic ingredients.
+    fn arch_rels_arena_frozen(
+        &self,
+        fx: &ExecFrame<'_>,
+        ppo_bound: RelId,
+        arena: &mut RelArena,
+    ) -> ArenaArchRels {
+        let rels = self.arch_rels_arena(fx, arena);
+        ArenaArchRels { ppo: ppo_bound, ..rels }
     }
 
     /// The skeleton-invariant part of this architecture's `fences`
@@ -230,6 +280,17 @@ impl<A: Architecture + ?Sized> Architecture for &A {
     }
     fn tractability(&self) -> Tractability {
         (**self).tractability()
+    }
+    fn ppo_envelope(&self, core: &ExecCore) -> Option<PpoEnvelope> {
+        (**self).ppo_envelope(core)
+    }
+    fn arch_rels_arena_frozen(
+        &self,
+        fx: &ExecFrame<'_>,
+        ppo_bound: RelId,
+        arena: &mut RelArena,
+    ) -> ArenaArchRels {
+        (**self).arch_rels_arena_frozen(fx, ppo_bound, arena)
     }
     fn thin_air_fences(&self, core: &ExecCore) -> Relation {
         (**self).thin_air_fences(core)
@@ -436,6 +497,57 @@ impl ArenaChecker {
         let observation = arena.is_irreflexive(t2);
 
         // PROPAGATION: acyclic(co ∪ prop), or the C++ R-A weakening.
+        let propagation = match arch.propagation_check() {
+            PropagationCheck::Acyclic => {
+                let t3 = arena.alloc_from(fx.rels.co);
+                arena.union_into(t3, ar.prop);
+                arena.is_acyclic(t3)
+            }
+            PropagationCheck::IrreflexivePropCo => {
+                let t3 = arena.alloc();
+                arena.seq_into(t3, ar.prop, fx.rels.co);
+                arena.is_irreflexive(t3)
+            }
+        };
+
+        arena.release(m);
+        Verdict { sc_per_location, no_thin_air, observation, propagation }
+    }
+
+    /// [`ArenaChecker::check`] with the architecture's ppo frozen to
+    /// `ppo_bound` ([`Architecture::arch_rels_arena_frozen`]): the axiom
+    /// evaluator conditional saturation probes co hypotheses with. The
+    /// bound slot must outlive the call; everything else is released
+    /// before returning, as in `check`.
+    pub fn check_frozen<A: Architecture + ?Sized>(
+        &self,
+        arch: &A,
+        fx: &ExecFrame<'_>,
+        arena: &mut RelArena,
+        ppo_bound: RelId,
+    ) -> Verdict {
+        let m = arena.mark();
+
+        let t = arena.alloc_from(&self.sc_po_loc);
+        arena.union_into(t, fx.rels.com);
+        let sc_per_location = arena.is_acyclic(t);
+
+        let ar = arch.arch_rels_arena_frozen(fx, ppo_bound, arena);
+
+        let hb = arena.alloc_from(ar.ppo);
+        arena.union_into(hb, ar.fences);
+        arena.union_into(hb, fx.rels.rfe);
+        let hb_plus = arena.alloc();
+        arena.tclosure_into(hb_plus, hb);
+        let no_thin_air = arena.is_irreflexive(hb_plus);
+
+        arena.union_id(hb_plus);
+        let t1 = arena.alloc();
+        arena.seq_into(t1, fx.rels.fre, ar.prop);
+        let t2 = arena.alloc();
+        arena.seq_into(t2, t1, hb_plus);
+        let observation = arena.is_irreflexive(t2);
+
         let propagation = match arch.propagation_check() {
             PropagationCheck::Acyclic => {
                 let t3 = arena.alloc_from(fx.rels.co);

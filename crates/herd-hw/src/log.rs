@@ -161,10 +161,15 @@ pub fn compare(model: &Log, hardware: &Log) -> Comparison {
 /// the full states of the allowed candidate executions (count 0).
 ///
 /// Models on the polynomial side of the tractability frontier
-/// ([`herd_core::model::Tractability::Polynomial`]) are judged through
-/// the consistency backend — one witness query per distinct final state
-/// instead of a full (rf, co) enumeration; the others keep the
-/// enumerate-and-check path. Both produce the same states.
+/// ([`herd_core::model::Tractability::Polynomial`]) and the conditional
+/// models past it ([`Tractability::Conditional`], Power/ARM with their
+/// ppo envelopes) are judged through the consistency backend — one
+/// witness query per distinct final state instead of a full (rf, co)
+/// enumeration; only [`Tractability::Frontier`] models keep the
+/// enumerate-and-check path. All produce the same states.
+///
+/// [`Tractability::Conditional`]: herd_core::model::Tractability::Conditional
+/// [`Tractability::Frontier`]: herd_core::model::Tractability::Frontier
 pub fn model_log(
     tests: &[herd_litmus::program::LitmusTest],
     model: &dyn herd_core::model::Architecture,
@@ -174,7 +179,7 @@ pub fn model_log(
     use herd_litmus::candidates::{enumerate, EnumOptions};
     let mut log = Log::default();
     for t in tests {
-        let states: BTreeMap<String, u64> = if model.tractability() == Tractability::Polynomial {
+        let states: BTreeMap<String, u64> = if model.tractability() != Tractability::Frontier {
             let mut stats = herd_litmus::decide::QueryStats::default();
             let mut states = BTreeMap::new();
             herd_litmus::decide::allowed_full_outcomes(

@@ -52,10 +52,11 @@ use crate::isa::Reg;
 use crate::program::{InitVal, LitmusTest};
 use crate::sem::ThreadPath;
 use herd_core::arena::RelArena;
-use herd_core::consistency::{co_exists, CoQuery, ConsistencyStats};
+use herd_core::consistency::{co_exists_with_envelope, CoQuery, ConsistencyStats};
 use herd_core::event::{Event, Loc, Val};
 use herd_core::fingerprint::{Fingerprint, FpHasher};
 use herd_core::model::Architecture;
+use herd_core::ppo::PpoEnvelope;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One queried final state: register values by `(thread, register)` and
@@ -141,6 +142,18 @@ impl QueryStats {
         self.rf_space += o.rf_space;
         self.matched += o.matched;
         self.backend.absorb(&o.backend);
+    }
+
+    /// Coherence queries the ppo envelope decided definitively
+    /// ([`herd_core::model::Tractability::Conditional`] models only).
+    pub fn conditional_definitive(&self) -> usize {
+        self.backend.conditional_definitive
+    }
+
+    /// Coherence queries that took the enumeration fallback because the
+    /// ppo envelope genuinely disagreed.
+    pub fn envelope_fallbacks(&self) -> usize {
+        self.backend.envelope_fallbacks
     }
 }
 
@@ -248,6 +261,10 @@ pub fn decide_log<A: Architecture + ?Sized>(
         .collect();
     let live: Vec<usize> = (0..distinct.len()).filter(|&d| dverdict[d].is_none()).collect();
 
+    // Distinct rows a multi-member class answered *forbidden*: they rode
+    // another member's exhaustive walk exactly as witness-settled members
+    // do, and count as reused (once per row) when they stay forbidden.
+    let mut shared_forbidden = vec![false; distinct.len()];
     if !live.is_empty() {
         let loc_map = locs.as_map();
         let paths = thread_paths(test, opts, &loc_map)?;
@@ -281,6 +298,11 @@ pub fn decide_log<A: Architecture + ?Sized>(
                 // path: no surviving row can match it.
                 stats.query.combos_pruned += 1;
             }
+            // The ppo envelope of a Conditional model depends only on
+            // the combination's core — compute it once here and share
+            // it across every class and coherence query of the combo.
+            let envelope: Option<PpoEnvelope> =
+                if groups.is_empty() { None } else { arch.ppo_envelope(&parts.core) };
             for (menus, members) in groups.values() {
                 stats.classes += 1;
                 decide_class(
@@ -290,6 +312,7 @@ pub fn decide_log<A: Architecture + ?Sized>(
                     &combo,
                     &domain,
                     &parts,
+                    envelope.as_ref(),
                     menus,
                     members,
                     rows,
@@ -298,6 +321,11 @@ pub fn decide_log<A: Architecture + ?Sized>(
                     &mut arena,
                     &mut stats,
                 );
+                for &d in members.iter().skip(1) {
+                    if dverdict[d].is_none() {
+                        shared_forbidden[d] = true;
+                    }
+                }
             }
             if live.iter().all(|&d| dverdict[d].is_some()) {
                 break;
@@ -308,7 +336,13 @@ pub fn decide_log<A: Architecture + ?Sized>(
         }
     }
 
-    // Rows the walk never settled have no witness in any combination.
+    // Rows the walk never settled have no witness in any combination;
+    // those that shared some class's walk are reused, not re-walked.
+    stats.reused += shared_forbidden
+        .iter()
+        .zip(&dverdict)
+        .filter(|&(&shared, v)| shared && v.is_none())
+        .count() as u64;
     let verdicts: Vec<bool> = owner.iter().map(|&d| dverdict[d].unwrap_or(false)).collect();
     Ok(BatchDecision { verdicts, stats })
 }
@@ -325,6 +359,7 @@ fn decide_class<A: Architecture + ?Sized>(
     combo: &[&ThreadPath],
     domain: &[i64],
     parts: &ComboParts,
+    envelope: Option<&PpoEnvelope>,
     menus: &[Vec<usize>],
     members: &[usize],
     rows: &[Outcome],
@@ -393,7 +428,7 @@ fn decide_class<A: Architecture + ?Sized>(
                     last_writes: &last_writes,
                 };
                 stats.saturations += 1;
-                if co_exists(arch, &q, arena, &mut stats.query.backend) {
+                if co_exists_with_envelope(arch, &q, envelope, arena, &mut stats.query.backend) {
                     // One witness settles every matching member.
                     for (extra, &d) in matching.iter().enumerate() {
                         dverdict[d] = Some(true);
@@ -604,6 +639,8 @@ pub fn allowed_full_outcomes<A: Architecture + ?Sized>(
         stats.combos += 1;
         let parts = combo_parts(test, &locs, &combo);
         stats.rf_space += parts.rf_choices.iter().map(|c| c.len() as u128).product::<u128>().max(1);
+        // One ppo envelope per combination, shared by every query on it.
+        let envelope: Option<PpoEnvelope> = arch.ppo_envelope(&parts.core);
         let symbols: Vec<SymId> = parts.reads.iter().map(|&r| SymId(r)).collect();
         let rf_radices: Vec<usize> = parts.rf_choices.iter().map(Vec::len).collect();
         let mut rf_pick = vec![0usize; parts.rf_choices.len()];
@@ -650,7 +687,13 @@ pub fn allowed_full_outcomes<A: Architecture + ?Sized>(
                             rf: &rf_pairs,
                             last_writes: &last_writes,
                         };
-                        if co_exists(arch, &q, &mut arena, &mut stats.backend) {
+                        if co_exists_with_envelope(
+                            arch,
+                            &q,
+                            envelope.as_ref(),
+                            &mut arena,
+                            &mut stats.backend,
+                        ) {
                             seen_allowed.insert(key);
                             emit(&final_regs, &mem);
                         }
@@ -722,7 +765,11 @@ mod tests {
         let power =
             decide_outcome(&test, &Power::new(), &EnumOptions::default(), &witness).unwrap();
         assert!(power.allowed, "Power allows bare mp");
-        assert!(power.stats.backend.fallbacks > 0, "frontier models fall back, counted");
+        assert!(
+            power.stats.conditional_definitive() > 0,
+            "the ppo envelope settles bare mp without enumeration"
+        );
+        assert_eq!(power.stats.backend.fallbacks, 0, "no envelope fallback on bare mp");
     }
 
     #[test]
@@ -733,6 +780,29 @@ mod tests {
         assert!(d.allowed, "store buffering is THE tso behaviour");
         let sc = decide_outcome(&test, &Sc, &EnumOptions::default(), &witness).unwrap();
         assert!(!sc.allowed);
+    }
+
+    #[test]
+    fn forbidden_class_co_members_share_the_walk_and_count_reused() {
+        // Two rows that differ only in a never-written register pinned to
+        // its initial value screen to identical rf menus, so they land in
+        // the same class. mp+sync+addr forbids the relaxed outcome on
+        // Power: the class is walked once and the co-member is `reused`,
+        // not silently answered by a second enumeration.
+        // Thread 1 reads into r1 and r3 (r2 is the xor temp of the addr
+        // dependency).
+        let mut test = corpus::mp(Isa::Power, Dev::F(Isa::Power.full_fence()), Dev::Addr);
+        test.reg_init.insert((0, Reg(5)), InitVal::Int(0));
+        let rows = vec![outcome("1:r1=1; 1:r3=0"), outcome("1:r1=1; 1:r3=0; 0:r5=0")];
+        let arch = Power::new();
+        let batch = decide_log(&test, &arch, &EnumOptions::default(), &rows).unwrap();
+        assert_eq!(batch.verdicts, vec![false, false], "mp+sync+addr forbids the outcome");
+        let single = decide_log(&test, &arch, &EnumOptions::default(), &rows[..1]).unwrap();
+        assert_eq!(
+            batch.stats.saturations, single.stats.saturations,
+            "class co-members share one decision walk"
+        );
+        assert_eq!(batch.stats.reused, 1, "the forbidden co-member is accounted as reused");
     }
 
     #[test]

@@ -65,11 +65,15 @@ pub fn verify_axiomatic(
 /// ([`herd_litmus::simulate::simulate_decided`]), so for
 /// SC/TSO/PSO-class models
 /// ([`herd_core::model::Tractability::Polynomial`]) the per-outcome cost
-/// drops from `Π |writes(l)|!` coherence checks to a saturation pass —
-/// and past the frontier the backend's counted fallback keeps the answer
-/// exact. Returns the same `reachable` bit as [`verify_axiomatic`]
-/// (whose candidate accounting it deliberately does not reproduce —
-/// outcomes, not candidates, are what get decided).
+/// drops from `Π |writes(l)|!` coherence checks to a saturation pass,
+/// Power/ARM-class models
+/// ([`herd_core::model::Tractability::Conditional`]) resolve most
+/// outcomes through their ppo-envelope bounds, and the residue takes the
+/// backend's counted fallback, which keeps the answer exact.
+///
+/// Returns the same `reachable` bit as [`verify_axiomatic`] (whose
+/// candidate accounting it deliberately does not reproduce — outcomes,
+/// not candidates, are what get decided).
 ///
 /// # Errors
 ///

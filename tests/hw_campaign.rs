@@ -103,6 +103,28 @@ fn backend_model_log_matches_the_enumeration_reference() {
         }
         assert_eq!(backend, reference, "backend log differs under {}", model.name());
     }
+
+    // Past the old frontier: the conditional models (Power/ARM with ppo
+    // envelopes) route through the backend too, and their logs must be
+    // indistinguishable from enumerate-and-check as well.
+    for (tests, model) in [
+        (power_tests(), &Power::new() as &(dyn Architecture + Sync)),
+        (arm_tests(), &Arm::new(ArmVariant::Proposed)),
+    ] {
+        assert_eq!(model.tractability(), Tractability::Conditional);
+        let backend = herd_hw::model_log(&tests, model);
+        let mut reference = Log::default();
+        for t in &tests {
+            let states = enumerate(t, &EnumOptions::default())
+                .unwrap()
+                .iter()
+                .filter(|c| check(model, &c.exec).allowed())
+                .map(|c| (render_full_state(c), 0))
+                .collect();
+            reference.insert(&t.name, states);
+        }
+        assert_eq!(backend, reference, "backend log differs under {}", model.name());
+    }
 }
 
 #[test]
